@@ -1,0 +1,67 @@
+// Ablation (§5.5): the two-level query cache. Runs the same interaction
+// session with caches on vs off and reports interaction latency. Repetitive
+// workloads (users revisiting slider values) should benefit most.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "runtime/plan_executor.h"
+
+using namespace vegaplus;         // NOLINT
+using namespace vegaplus::bench;  // NOLINT
+
+int main() {
+  BenchConfig config = LoadConfig();
+  const size_t size = config.sizes.back();
+  std::printf("=== Ablation: two-level cache on/off (interaction ms, size=%zu) ===\n\n",
+              size);
+  std::printf("%-45s %12s %12s %12s\n", "template", "cache_on", "cache_off",
+              "hit_rate");
+
+  for (benchdata::TemplateId id : benchdata::AllTemplates()) {
+    if (!benchdata::IsInteractive(id)) continue;
+    BENCH_ASSIGN(benchdata::BenchCase bc,
+                 benchdata::MakeBenchCase(id, DatasetFor(id), size, config.seed));
+    sql::Engine engine;
+    engine.RegisterTable(bc.dataset.name, bc.dataset.table);
+    rewrite::PlanBuilder builder(bc.spec);
+    rewrite::ExecutionPlan plan = builder.FullPushdownPlan();
+
+    // A looping session: half the interactions repeat earlier ones.
+    benchdata::WorkloadGenerator workload(bc.spec, config.seed);
+    auto base = workload.Session(config.interactions);
+    std::vector<benchdata::Interaction> session = base;
+    session.insert(session.end(), base.begin(), base.end());  // repeat
+
+    double with_cache = 0, without_cache = 0, hit_rate = 0;
+    {
+      runtime::PlanExecutor executor(bc.spec, &engine, {});
+      BENCH_ASSIGN(runtime::EpisodeCost init, executor.Initialize(plan));
+      (void)init;
+      for (const auto& interaction : session) {
+        BENCH_ASSIGN(runtime::EpisodeCost c, executor.Interact(interaction.updates));
+        with_cache += c.total_ms;
+      }
+      const auto& stats = executor.middleware().stats();
+      hit_rate = stats.queries == 0
+                     ? 0
+                     : static_cast<double>(stats.client_cache_hits +
+                                           stats.server_cache_hits) /
+                           static_cast<double>(stats.queries);
+    }
+    {
+      runtime::MiddlewareOptions off;
+      off.enable_client_cache = false;
+      off.enable_server_cache = false;
+      runtime::PlanExecutor executor(bc.spec, &engine, off);
+      BENCH_ASSIGN(runtime::EpisodeCost init, executor.Initialize(plan));
+      (void)init;
+      for (const auto& interaction : session) {
+        BENCH_ASSIGN(runtime::EpisodeCost c, executor.Interact(interaction.updates));
+        without_cache += c.total_ms;
+      }
+    }
+    std::printf("%-45s %12.2f %12.2f %11.0f%%\n", benchdata::TemplateName(id),
+                with_cache, without_cache, hit_rate * 100);
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation (DESIGN.md §1): sensitivity to the client slowdown factor — the
+// core asymmetry the optimizer exploits. Sweeps client_ns_per_row and
+// reports where the all-client plan crosses over the full-pushdown plan.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "runtime/plan_executor.h"
+
+using namespace vegaplus;         // NOLINT
+using namespace vegaplus::bench;  // NOLINT
+
+int main() {
+  BenchConfig config = LoadConfig();
+  const size_t size = config.sizes[config.sizes.size() / 2];
+  std::printf("=== Ablation: client-compute slowdown sweep "
+              "(histogram, size=%zu) ===\n\n", size);
+  std::printf("%12s %14s %14s %10s\n", "client ns/row", "all-client_ms",
+              "pushdown_ms", "winner");
+
+  const auto id = benchdata::TemplateId::kInteractiveHistogram;
+  BENCH_ASSIGN(benchdata::BenchCase bc,
+               benchdata::MakeBenchCase(id, DatasetFor(id), size, config.seed));
+  sql::Engine engine;
+  engine.RegisterTable(bc.dataset.name, bc.dataset.table);
+  rewrite::PlanBuilder builder(bc.spec);
+
+  for (double ns : {25.0, 50.0, 100.0, 200.0, 400.0, 800.0}) {
+    double totals[2];
+    rewrite::ExecutionPlan plans[2] = {builder.AllClientPlan(),
+                                       builder.FullPushdownPlan()};
+    for (int p = 0; p < 2; ++p) {
+      runtime::MiddlewareOptions options;
+      options.latency.client_ns_per_row = ns;
+      options.enable_client_cache = false;
+      options.enable_server_cache = false;
+      runtime::PlanExecutor executor(bc.spec, &engine, options);
+      BENCH_ASSIGN(runtime::EpisodeCost init, executor.Initialize(plans[p]));
+      totals[p] = init.total_ms;
+      benchdata::WorkloadGenerator workload(bc.spec, config.seed);
+      for (size_t i = 0; i < config.interactions; ++i) {
+        BENCH_ASSIGN(runtime::EpisodeCost c, executor.Interact(workload.Next().updates));
+        totals[p] += c.total_ms;
+      }
+    }
+    std::printf("%12.0f %14.2f %14.2f %10s\n", ns, totals[0], totals[1],
+                totals[0] < totals[1] ? "client" : "server");
+  }
+  std::printf("\n(the optimizer's value: neither side wins everywhere)\n");
+  return 0;
+}

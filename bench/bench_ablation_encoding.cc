@@ -1,0 +1,47 @@
+// Ablation (§4): result encoding — columnar binary ("Apache Arrow format")
+// vs JSON rows — for plans that fetch raw data vs plans that fetch
+// aggregates. The binary win should be largest on raw fetches.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "runtime/plan_executor.h"
+
+using namespace vegaplus;         // NOLINT
+using namespace vegaplus::bench;  // NOLINT
+
+int main() {
+  BenchConfig config = LoadConfig();
+  std::printf("=== Ablation: binary (Arrow-style) vs JSON result encoding ===\n\n");
+  std::printf("%10s %-14s %14s %14s %9s\n", "size", "plan", "binary_ms", "json_ms",
+              "ratio");
+
+  const auto id = benchdata::TemplateId::kInteractiveHistogram;
+  for (size_t size : config.sizes) {
+    BENCH_ASSIGN(benchdata::BenchCase bc,
+                 benchdata::MakeBenchCase(id, DatasetFor(id), size, config.seed));
+    sql::Engine engine;
+    engine.RegisterTable(bc.dataset.name, bc.dataset.table);
+    rewrite::PlanBuilder builder(bc.spec);
+    struct Condition {
+      const char* name;
+      rewrite::ExecutionPlan plan;
+    };
+    std::vector<Condition> conditions{{"raw-fetch", builder.AllClientPlan()},
+                                      {"pushdown", builder.FullPushdownPlan()}};
+    for (const auto& condition : conditions) {
+      double ms[2];
+      for (int binary = 1; binary >= 0; --binary) {
+        runtime::MiddlewareOptions options;
+        options.binary_encoding = binary == 1;
+        options.enable_client_cache = false;
+        options.enable_server_cache = false;
+        runtime::PlanExecutor executor(bc.spec, &engine, options);
+        BENCH_ASSIGN(runtime::EpisodeCost cost, executor.Initialize(condition.plan));
+        ms[binary] = cost.total_ms;
+      }
+      std::printf("%10zu %-14s %14.2f %14.2f %8.2fx\n", size, condition.name, ms[1],
+                  ms[0], ms[0] / ms[1]);
+    }
+  }
+  return 0;
+}

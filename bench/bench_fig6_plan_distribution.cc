@@ -1,0 +1,35 @@
+// Figure 6: distribution of candidate-plan execution times for initial
+// rendering, per template x data size. Printed as summary series
+// (min / p25 / median / p75 / max) — the paper's faceted scatter columns.
+// Expected shape: more candidates => wider spread; latency grows with size;
+// clusters blur as size grows.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace vegaplus;         // NOLINT
+using namespace vegaplus::bench;  // NOLINT
+
+int main() {
+  BenchConfig config = LoadConfig();
+  config.sessions = 1;  // Fig. 6 plots initial rendering only
+  std::printf("=== Figure 6: candidate plan execution time distribution "
+              "(initial rendering, ms) ===\n");
+  for (benchdata::TemplateId id : benchdata::AllTemplates()) {
+    std::printf("\n-- %s --\n", benchdata::TemplateName(id));
+    std::printf("%10s %7s %10s %10s %10s %10s %10s\n", "size", "plans", "min", "p25",
+                "median", "p75", "max");
+    for (size_t size : config.sizes) {
+      BENCH_ASSIGN(auto run, CollectTemplate(id, DatasetFor(id), size, config));
+      std::vector<double> lat = run->sessions[0][0].latencies_ms;
+      std::sort(lat.begin(), lat.end());
+      auto q = [&lat](double p) {
+        return lat[static_cast<size_t>(p * static_cast<double>(lat.size() - 1))];
+      };
+      std::printf("%10zu %7zu %10.2f %10.2f %10.2f %10.2f %10.2f\n", size, lat.size(),
+                  lat.front(), q(0.25), q(0.5), q(0.75), lat.back());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 7: distribution of scaled errors (Eq. 1) for each model's wrong
+// pairwise predictions, binned 0.0..1.0. Expected shape: random errors pile
+// in both the first and last bins; RankSVM's mistakes skew to high-cost bins
+// compared to the heuristic, whose mistakes sit in the near-tie bins.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace vegaplus;         // NOLINT
+using namespace vegaplus::bench;  // NOLINT
+
+int main() {
+  BenchConfig config = LoadConfig();
+  const size_t size = config.sizes.back();
+  std::printf("=== Figure 7: scaled-error distribution of wrong predictions "
+              "(size=%zu) ===\n\n", size);
+
+  // Gather labeled pairs across all templates at the largest size.
+  std::vector<ml::PairExample> pairs;
+  std::vector<double> gaps;  // |Pi - Ai| / Pi per pair (scaled error if wrong)
+  for (benchdata::TemplateId id : benchdata::AllTemplates()) {
+    BENCH_ASSIGN(auto run, CollectTemplate(id, DatasetFor(id), size, config));
+    for (const auto& ep : run->AllEpisodes()) {
+      const size_t n = ep.vectors.size();
+      size_t stride = n > 40 ? n / 40 : 1;
+      for (size_t i = 0; i < n; i += stride) {
+        for (size_t j = i + 1; j < n; j += stride) {
+          double li = ep.latencies_ms[i];
+          double lj = ep.latencies_ms[j];
+          if (li == lj) continue;
+          pairs.push_back({ep.vectors[i], ep.vectors[j], li < lj ? 1 : -1});
+          double slow = std::max(li, lj);
+          double fast = std::min(li, lj);
+          gaps.push_back((slow - fast) / slow);
+        }
+      }
+    }
+  }
+  std::vector<ml::PairExample> train, test;
+  // Keep (pair, gap) aligned: use the raw set for both training (first 60%)
+  // and error analysis (rest).
+  size_t cut = pairs.size() * 6 / 10;
+  train.assign(pairs.begin(), pairs.begin() + static_cast<long>(cut));
+  ModelSuite suite = TrainSuite(train, config.seed);
+
+  const int kBins = 10;
+  auto models = suite.All();
+  std::printf("%-14s", "error bin");
+  for (int b = 0; b < kBins; ++b) std::printf(" %6.1f", (b + 0.5) / kBins);
+  std::printf("\n");
+  for (const auto* model : models) {
+    std::vector<size_t> histogram(kBins, 0);
+    for (size_t k = cut; k < pairs.size(); ++k) {
+      int predicted = model->Compare(pairs[k].a, pairs[k].b);
+      int actual = pairs[k].label == 1 ? -1 : 1;
+      if (predicted == actual) continue;  // only wrong predictions counted
+      int bin = std::min(kBins - 1, static_cast<int>(gaps[k] * kBins));
+      ++histogram[static_cast<size_t>(bin)];
+    }
+    std::printf("%-14s", model->name().c_str());
+    for (int b = 0; b < kBins; ++b) std::printf(" %6zu", histogram[static_cast<size_t>(b)]);
+    std::printf("\n");
+  }
+  std::printf("\n(bin = |P-A|/P of the mispredicted pair; right bins = costly "
+              "mistakes)\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 8: average per-session execution time, Vega vs VegaPlus (RankSVM
+// comparator), split into initial rendering and interaction time, for every
+// interactive template. Expected shape: VegaPlus wins overall, dominated by
+// initial rendering; at small sizes interaction-only time can be slightly
+// *worse* for VegaPlus (§7.5's consolidation trade-off).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "runtime/plan_executor.h"
+
+using namespace vegaplus;         // NOLINT
+using namespace vegaplus::bench;  // NOLINT
+
+int main() {
+  BenchConfig config = LoadConfig();
+  const size_t size = config.sizes.back();
+  std::printf("=== Figure 8: avg session time (ms), Vega vs VegaPlus "
+              "(RankSVM), size=%zu ===\n\n", size);
+  std::printf("%-45s %12s %12s %12s %12s\n", "template", "vega_init",
+              "vega_inter", "vp_init", "vp_inter");
+
+  for (benchdata::TemplateId id : benchdata::AllTemplates()) {
+    if (!benchdata::IsInteractive(id)) continue;
+    BENCH_ASSIGN(auto run, CollectTemplate(id, DatasetFor(id), size, config));
+
+    // Train RankSVM on this template's episodes and consolidate per §5.4.
+    auto pairs = optimizer::MakePairs(run->AllEpisodes(), config.max_pairs, config.seed);
+    std::vector<ml::PairExample> train, test;
+    ml::TrainTestSplit(pairs, 0.6, config.seed, &train, &test);
+    ModelSuite suite = TrainSuite(train, config.seed);
+    size_t pick = optimizer::ConsolidateSession(*suite.ranksvm, run->sessions[0]);
+    const rewrite::ExecutionPlan& plan = run->enumeration.plans[pick];
+
+    double vega_init = 0, vega_inter = 0, vp_init = 0, vp_inter = 0;
+    std::map<std::string, data::TablePtr> tables{
+        {run->bc.dataset.name, run->bc.dataset.table}};
+    for (size_t s = 0; s < config.sessions; ++s) {
+      benchdata::WorkloadGenerator workload(run->bc.spec, config.seed * 31 + s);
+      runtime::VegaBaselineExecutor vega(run->bc.spec, tables);
+      BENCH_ASSIGN(runtime::EpisodeCost vcost, vega.Initialize());
+      vega_init += vcost.total_ms;
+      runtime::PlanExecutor vegaplus(run->bc.spec, run->engine.get(), {});
+      BENCH_ASSIGN(runtime::EpisodeCost pcost, vegaplus.Initialize(plan));
+      vp_init += pcost.total_ms;
+      for (size_t i = 0; i < config.interactions; ++i) {
+        auto interaction = workload.Next();
+        BENCH_ASSIGN(runtime::EpisodeCost vi, vega.Interact(interaction.updates));
+        vega_inter += vi.total_ms;
+        BENCH_ASSIGN(runtime::EpisodeCost pi, vegaplus.Interact(interaction.updates));
+        vp_inter += pi.total_ms;
+      }
+    }
+    double n = static_cast<double>(config.sessions);
+    std::printf("%-45s %12.2f %12.2f %12.2f %12.2f\n", benchdata::TemplateName(id),
+                vega_init / n, vega_inter / n, vp_init / n, vp_inter / n);
+  }
+  std::printf("\n(vega_init includes CSV load+parse; VegaPlus uses the plan\n"
+              "consolidated across the session by the RankSVM cost model)\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 9: initial rendering and interactive update time for Vega,
+// VegaFusion (greedy full pushdown), and VegaPlus on the crossfilter
+// template across data sizes, including one size beyond the rest where the
+// Vega condition is dropped ("it cannot handle the data size"). Expected
+// shape: VegaPlus <= VegaFusion << Vega at scale for init; all server-backed
+// conditions grow with size on updates.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "runtime/plan_executor.h"
+
+using namespace vegaplus;         // NOLINT
+using namespace vegaplus::bench;  // NOLINT
+
+int main() {
+  BenchConfig config = LoadConfig();
+  std::vector<size_t> sizes = config.sizes;
+  sizes.push_back(config.sizes.back() * 10);  // the paper's 10M extension
+  const size_t vega_cap = config.sizes.back();
+
+  std::printf("=== Figure 9: init & update time (ms), crossfilter template ===\n\n");
+  std::printf("%10s | %12s %12s %12s | %12s %12s %12s\n", "size", "vega_init",
+              "fusion_init", "vp_init", "vega_upd", "fusion_upd", "vp_upd");
+
+  const auto id = benchdata::TemplateId::kCrossfilter;
+  for (size_t size : sizes) {
+    BENCH_ASSIGN(benchdata::BenchCase bc,
+                 benchdata::MakeBenchCase(id, DatasetFor(id), size, config.seed ^ size));
+    sql::Engine engine;
+    engine.RegisterTable(bc.dataset.name, bc.dataset.table);
+    std::map<std::string, data::TablePtr> tables{{bc.dataset.name, bc.dataset.table}};
+    benchdata::WorkloadGenerator workload(bc.spec, config.seed);
+    auto session = workload.Session(config.interactions);
+
+    double vega_init = -1, vega_upd = 0;
+    if (size <= vega_cap) {
+      runtime::VegaBaselineExecutor vega(bc.spec, tables);
+      BENCH_ASSIGN(runtime::EpisodeCost c, vega.Initialize());
+      vega_init = c.total_ms;
+      for (const auto& interaction : session) {
+        BENCH_ASSIGN(runtime::EpisodeCost u, vega.Interact(interaction.updates));
+        vega_upd += u.total_ms;
+      }
+      vega_upd /= static_cast<double>(session.size());
+    }
+
+    runtime::VegaFusionBaselineExecutor fusion(bc.spec, &engine, {});
+    BENCH_ASSIGN(runtime::EpisodeCost fusion_init, fusion.Initialize());
+    double fusion_upd = 0;
+    for (const auto& interaction : session) {
+      BENCH_ASSIGN(runtime::EpisodeCost u, fusion.Interact(interaction.updates));
+      fusion_upd += u.total_ms;
+    }
+    fusion_upd /= static_cast<double>(session.size());
+
+    // VegaPlus: optimizer-selected plan (trained on a small probe size to
+    // keep the harness honest about train/test separation).
+    BenchConfig probe = config;
+    probe.sessions = 1;
+    BENCH_ASSIGN(auto run,
+                 CollectTemplate(id, DatasetFor(id), std::min(size, vega_cap), probe));
+    auto pairs = optimizer::MakePairs(run->AllEpisodes(), config.max_pairs, config.seed);
+    ModelSuite suite = TrainSuite(pairs, config.seed);
+    size_t pick = optimizer::ConsolidateSession(*suite.ranksvm, run->sessions[0]);
+
+    runtime::PlanExecutor vegaplus(bc.spec, &engine, {});
+    BENCH_ASSIGN(runtime::EpisodeCost vp_init,
+                 vegaplus.Initialize(run->enumeration.plans[pick]));
+    double vp_upd = 0;
+    for (const auto& interaction : session) {
+      BENCH_ASSIGN(runtime::EpisodeCost u, vegaplus.Interact(interaction.updates));
+      vp_upd += u.total_ms;
+    }
+    vp_upd /= static_cast<double>(session.size());
+
+    char vega_init_s[32], vega_upd_s[32];
+    if (vega_init < 0) {
+      std::snprintf(vega_init_s, sizeof(vega_init_s), "%12s", "-");
+      std::snprintf(vega_upd_s, sizeof(vega_upd_s), "%12s", "-");
+    } else {
+      std::snprintf(vega_init_s, sizeof(vega_init_s), "%12.2f", vega_init);
+      std::snprintf(vega_upd_s, sizeof(vega_upd_s), "%12.2f", vega_upd);
+    }
+    std::printf("%10zu | %s %12.2f %12.2f | %s %12.2f %12.2f\n", size, vega_init_s,
+                fusion_init.total_ms, vp_init.total_ms, vega_upd_s, fusion_upd, vp_upd);
+  }
+  std::printf("\n('-' = Vega dropped at the largest size, as in the paper)\n");
+  return 0;
+}

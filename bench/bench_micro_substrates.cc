@@ -1,0 +1,117 @@
+// google-benchmark microbenchmarks for the substrates: SQL operators,
+// dataflow propagation, and result-set encodings.
+#include <benchmark/benchmark.h>
+
+#include "benchdata/datasets.h"
+#include "data/ipc.h"
+#include "expr/parser.h"
+#include "spec/compiler.h"
+#include "sql/engine.h"
+#include "transforms/transforms.h"
+
+namespace {
+
+using namespace vegaplus;  // NOLINT
+
+data::TablePtr FlightsTable(size_t rows) {
+  static std::map<size_t, data::TablePtr> cache;
+  auto it = cache.find(rows);
+  if (it != cache.end()) return it->second;
+  auto ds = benchdata::MakeDataset("flights", rows, 1);
+  cache[rows] = ds->table;
+  return ds->table;
+}
+
+void BM_SqlFilterScan(benchmark::State& state) {
+  sql::Engine engine;
+  engine.RegisterTable("flights", FlightsTable(static_cast<size_t>(state.range(0))));
+  for (auto _ : state) {
+    auto r = engine.Query("SELECT * FROM flights WHERE dep_delay > 30");
+    benchmark::DoNotOptimize(r->table);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SqlFilterScan)->Arg(10000)->Arg(50000);
+
+void BM_SqlGroupByAggregate(benchmark::State& state) {
+  sql::Engine engine;
+  engine.RegisterTable("flights", FlightsTable(static_cast<size_t>(state.range(0))));
+  for (auto _ : state) {
+    auto r = engine.Query(
+        "SELECT origin, COUNT(*) AS c, AVG(dep_delay) AS d FROM flights GROUP BY "
+        "origin");
+    benchmark::DoNotOptimize(r->table);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SqlGroupByAggregate)->Arg(10000)->Arg(50000);
+
+void BM_SqlBinAggregate(benchmark::State& state) {
+  sql::Engine engine;
+  engine.RegisterTable("flights", FlightsTable(static_cast<size_t>(state.range(0))));
+  for (auto _ : state) {
+    auto r = engine.Query(
+        "SELECT FLOOR(distance / 200) * 200 AS bin0, COUNT(*) AS c FROM flights "
+        "GROUP BY FLOOR(distance / 200) * 200");
+    benchmark::DoNotOptimize(r->table);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SqlBinAggregate)->Arg(10000)->Arg(50000);
+
+void BM_DataflowFilterPropagation(benchmark::State& state) {
+  dataflow::Dataflow flow;
+  flow.DeclareSignal("t", expr::EvalValue::Number(0));
+  auto* src = flow.Add(std::make_unique<dataflow::TableSourceOp>(
+                           FlightsTable(static_cast<size_t>(state.range(0)))),
+                       nullptr);
+  auto pred = *expr::ParseExpression("datum.dep_delay > t");
+  flow.Add(std::make_unique<transforms::FilterOp>(pred), src);
+  (void)flow.Run();
+  double threshold = 0;
+  for (auto _ : state) {
+    threshold = threshold > 50 ? 0 : threshold + 1;
+    auto stats = flow.Update({{"t", expr::EvalValue::Number(threshold)}});
+    benchmark::DoNotOptimize(stats->rows_processed);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DataflowFilterPropagation)->Arg(10000)->Arg(50000);
+
+void BM_EncodeBinary(benchmark::State& state) {
+  data::TablePtr t = FlightsTable(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::string bytes = data::SerializeBinary(*t);
+    benchmark::DoNotOptimize(bytes.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncodeBinary)->Arg(10000)->Arg(50000);
+
+void BM_EncodeJson(benchmark::State& state) {
+  data::TablePtr t = FlightsTable(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::string bytes = data::SerializeJsonRows(*t);
+    benchmark::DoNotOptimize(bytes.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncodeJson)->Arg(10000)->Arg(50000);
+
+void BM_ExpressionEvaluate(benchmark::State& state) {
+  data::TablePtr t = FlightsTable(10000);
+  auto e = *expr::ParseExpression(
+      "datum.dep_delay > 10 && datum.distance < 1500 && datum.origin == 'ATL'");
+  expr::EvalContext ctx;
+  ctx.table = t.get();
+  size_t row = 0;
+  for (auto _ : state) {
+    ctx.row = row++ % t->num_rows();
+    benchmark::DoNotOptimize(expr::Evaluate(e, ctx).Truthy());
+  }
+}
+BENCHMARK(BM_ExpressionEvaluate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

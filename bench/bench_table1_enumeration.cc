@@ -1,0 +1,37 @@
+// Table 1: per-template characteristics — number of declared operators,
+// number of enumerated plan candidates, and number of training pairs
+// generated (sessions x interactions x plan pairs).
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "plan/enumerator.h"
+
+using namespace vegaplus;           // NOLINT
+using namespace vegaplus::bench;    // NOLINT
+
+int main() {
+  BenchConfig config = LoadConfig();
+  std::printf("=== Table 1: template characteristics and enumeration space ===\n");
+  std::printf("(sessions=%zu interactions=%zu; pair counts per data size)\n\n",
+              config.sessions, config.interactions);
+  std::printf("%-45s %9s %9s %14s\n", "template", "# of ops", "# of plans",
+              "# of pairs");
+  for (benchdata::TemplateId id : benchdata::AllTemplates()) {
+    BENCH_ASSIGN(benchdata::BenchCase bc,
+                 benchdata::MakeBenchCase(id, DatasetFor(id), 2000, config.seed));
+    rewrite::PlanBuilder builder(bc.spec);
+    plan::EnumerationResult e = plan::EnumeratePlans(builder, 1u << 22);
+    size_t n = e.total_space;
+    size_t pairs_per_episode = n * (n - 1) / 2;
+    size_t episodes = benchdata::IsInteractive(id)
+                          ? config.sessions * config.interactions
+                          : config.sessions;
+    std::printf("%-45s %9zu %9zu %14zu\n", benchdata::TemplateName(id),
+                bc.spec.TotalOperators(), n, episodes * pairs_per_episode);
+  }
+  std::printf(
+      "\nNote: like the paper, pair counts grow with sessions*interactions for\n"
+      "interactive templates; training subsamples to VP max_pairs.\n");
+  return 0;
+}

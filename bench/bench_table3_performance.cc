@@ -1,0 +1,52 @@
+// Table 3: execution time of the plan each model picks vs the true optimum
+// (exhaustive search over labels), summed across templates, per input size —
+// the "accuracy does not imply fast plans" result of §7.3.1.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace vegaplus;         // NOLINT
+using namespace vegaplus::bench;  // NOLINT
+
+int main() {
+  BenchConfig config = LoadConfig();
+  std::printf("=== Table 3: picked-plan execution time vs optimal (ms) ===\n\n");
+  std::printf("%-14s", "models");
+  for (size_t size : config.sizes) std::printf(" %11zu", size);
+  std::printf("\n");
+
+  // Picked-plan latency summed over templates, per model (+optimal row).
+  std::vector<std::vector<double>> table(5, std::vector<double>(config.sizes.size(), 0));
+  for (size_t si = 0; si < config.sizes.size(); ++si) {
+    for (benchdata::TemplateId id : benchdata::AllTemplates()) {
+      BENCH_ASSIGN(auto run,
+                   CollectTemplate(id, DatasetFor(id), config.sizes[si], config));
+      auto initial = run->InitialEpisodes();
+      auto pairs = optimizer::MakePairs(initial, config.max_pairs, config.seed);
+      std::vector<ml::PairExample> train, test;
+      ml::TrainTestSplit(pairs, 0.6, config.seed, &train, &test);
+      ModelSuite suite = TrainSuite(train, config.seed);
+      // Evaluate on the first session's initial episode.
+      const optimizer::EpisodeRecord& ep = initial.front();
+      auto models = suite.All();
+      for (size_t m = 0; m < models.size(); ++m) {
+        size_t pick = optimizer::SelectBestPlan(*models[m], ep.vectors);
+        table[m][si] += ep.latencies_ms[pick];
+      }
+      double best = ep.latencies_ms[0];
+      for (double v : ep.latencies_ms) best = std::min(best, v);
+      table[4][si] += best;
+    }
+  }
+
+  const char* names[] = {"RankSVM", "Random Forest", "heuristic", "random", "optimal"};
+  for (int m = 0; m < 5; ++m) {
+    std::printf("%-14s", names[m]);
+    for (size_t si = 0; si < config.sizes.size(); ++si) {
+      std::printf(" %11.2f", table[static_cast<size_t>(m)][si]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(sums over the 7 templates; 'optimal' = exhaustive search)\n");
+  return 0;
+}

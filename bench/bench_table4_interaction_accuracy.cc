@@ -1,0 +1,52 @@
+// Table 4: pairwise prediction accuracy with *interaction episodes* (§7.4).
+// Expected shape: learned models improve (more pairs), while the heuristic —
+// whose rules were tuned for static dataflows — degrades markedly.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace vegaplus;         // NOLINT
+using namespace vegaplus::bench;  // NOLINT
+
+int main() {
+  BenchConfig config = LoadConfig();
+  std::printf("=== Table 4: pairwise accuracy with interaction episodes ===\n\n");
+  std::printf("%-14s", "models");
+  for (size_t size : config.sizes) std::printf(" %9zu", size);
+  std::printf("\n");
+
+  std::vector<std::vector<double>> table(4, std::vector<double>(config.sizes.size()));
+  for (size_t si = 0; si < config.sizes.size(); ++si) {
+    std::vector<ml::PairExample> pairs;
+    for (benchdata::TemplateId id : benchdata::AllTemplates()) {
+      if (!benchdata::IsInteractive(id)) continue;
+      BENCH_ASSIGN(auto run,
+                   CollectTemplate(id, DatasetFor(id), config.sizes[si], config));
+      // Interaction episodes only (drop each session's initial rendering).
+      std::vector<optimizer::EpisodeRecord> episodes;
+      for (const auto& session : run->sessions) {
+        for (size_t e = 1; e < session.size(); ++e) episodes.push_back(session[e]);
+      }
+      auto episode_pairs =
+          optimizer::MakePairs(episodes, config.max_pairs / 5, config.seed);
+      pairs.insert(pairs.end(), episode_pairs.begin(), episode_pairs.end());
+    }
+    std::vector<ml::PairExample> train, test;
+    ml::TrainTestSplit(pairs, 0.6, config.seed, &train, &test);
+    ModelSuite suite = TrainSuite(train, config.seed);
+    auto models = suite.All();
+    for (size_t m = 0; m < models.size(); ++m) {
+      table[m][si] = ComparatorAccuracy(*models[m], test);
+    }
+  }
+
+  const char* names[] = {"RankSVM", "Random Forest", "heuristic", "random"};
+  for (int m = 0; m < 4; ++m) {
+    std::printf("%-14s", names[m]);
+    for (size_t si = 0; si < config.sizes.size(); ++si) {
+      std::printf(" %9.3f", table[static_cast<size_t>(m)][si]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

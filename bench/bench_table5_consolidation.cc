@@ -1,0 +1,65 @@
+// Table 5: session consolidation (§5.4/§7.4) on the Overview+Detail
+// template: total per-session latency of the plan each model consolidates
+// to. Expected shape: RankSVM/Random Forest pick near-optimal plans; the
+// heuristic's win-count consolidation is catastrophically worse because it
+// favors frequent cheap interactions over expensive rare ones.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace vegaplus;         // NOLINT
+using namespace vegaplus::bench;  // NOLINT
+
+int main() {
+  BenchConfig config = LoadConfig();
+  std::printf("=== Table 5: consolidated plan's per-session time (ms), "
+              "Overview+Detail template ===\n\n");
+  std::printf("%-14s", "models");
+  for (size_t size : config.sizes) std::printf(" %11zu", size);
+  std::printf("\n");
+
+  const auto id = benchdata::TemplateId::kOverviewDetail;
+  std::vector<std::vector<double>> table(4, std::vector<double>(config.sizes.size(), 0));
+  std::vector<double> optimal(config.sizes.size(), 0);
+  for (size_t si = 0; si < config.sizes.size(); ++si) {
+    BENCH_ASSIGN(auto run, CollectTemplate(id, DatasetFor(id), config.sizes[si], config));
+    auto pairs = optimizer::MakePairs(run->AllEpisodes(), config.max_pairs, config.seed);
+    std::vector<ml::PairExample> train, test;
+    ml::TrainTestSplit(pairs, 0.6, config.seed, &train, &test);
+    ModelSuite suite = TrainSuite(train, config.seed);
+
+    // Session total per plan (ground truth).
+    size_t num_plans = run->enumeration.plans.size();
+    auto models = suite.All();
+    for (const auto& session : run->sessions) {
+      std::vector<double> session_total(num_plans, 0);
+      for (const auto& ep : session) {
+        for (size_t p = 0; p < num_plans; ++p) session_total[p] += ep.latencies_ms[p];
+      }
+      for (size_t m = 0; m < models.size(); ++m) {
+        size_t pick = optimizer::ConsolidateSession(*models[m], session);
+        table[m][si] += session_total[pick];
+      }
+      optimal[si] += *std::min_element(session_total.begin(), session_total.end());
+    }
+    for (size_t m = 0; m < models.size(); ++m) {
+      table[m][si] /= static_cast<double>(run->sessions.size());
+    }
+    optimal[si] /= static_cast<double>(run->sessions.size());
+  }
+
+  const char* names[] = {"RankSVM", "Random Forest", "heuristic", "random"};
+  for (int m = 0; m < 4; ++m) {
+    std::printf("%-14s", names[m]);
+    for (size_t si = 0; si < config.sizes.size(); ++si) {
+      std::printf(" %11.2f", table[static_cast<size_t>(m)][si]);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-14s", "optimal");
+  for (size_t si = 0; si < config.sizes.size(); ++si) {
+    std::printf(" %11.2f", optimal[si]);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,180 @@
+// Shared harness for the table/figure reproduction binaries.
+//
+// Scale: defaults are reduced so the whole suite finishes in minutes; set
+// VP_PAPER_SCALE=1 for the paper's sizes (50k..1M rows, 10x20 sessions).
+// Sizes can also be set directly: VP_SIZES=10000,50000.
+#ifndef VEGAPLUS_BENCH_BENCH_UTIL_H_
+#define VEGAPLUS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchdata/templates.h"
+#include "benchdata/workload.h"
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "optimizer/comparator.h"
+#include "optimizer/trainer.h"
+
+namespace vegaplus {
+namespace bench {
+
+struct BenchConfig {
+  std::vector<size_t> sizes{5000, 10000, 20000, 50000};
+  size_t sessions = 2;
+  size_t interactions = 5;
+  size_t max_plans = 192;
+  size_t max_pairs = 12000;
+  uint64_t seed = 2024;
+};
+
+inline BenchConfig LoadConfig() {
+  BenchConfig config;
+  if (const char* env = std::getenv("VP_PAPER_SCALE"); env && env[0] == '1') {
+    config.sizes = {50000, 100000, 500000, 1000000};
+    config.sessions = 10;
+    config.interactions = 20;
+  }
+  if (const char* env = std::getenv("VP_SIZES")) {
+    config.sizes.clear();
+    for (const std::string& s : Split(env, ',')) {
+      int64_t v = 0;
+      if (ParseInt64(s, &v) && v > 0) config.sizes.push_back(static_cast<size_t>(v));
+    }
+  }
+  if (const char* env = std::getenv("VP_SESSIONS")) {
+    int64_t v = 0;
+    if (ParseInt64(env, &v) && v > 0) config.sessions = static_cast<size_t>(v);
+  }
+  if (const char* env = std::getenv("VP_INTERACTIONS")) {
+    int64_t v = 0;
+    if (ParseInt64(env, &v) && v > 0) config.interactions = static_cast<size_t>(v);
+  }
+  return config;
+}
+
+/// Deterministic dataset choice per template (the paper randomly pairs
+/// templates with datasets; we rotate).
+inline std::string DatasetFor(benchdata::TemplateId id) {
+  auto names = benchdata::DatasetNames();
+  return names[static_cast<size_t>(id) % names.size()];
+}
+
+/// \brief Collected training/evaluation data for one (template, size).
+struct TemplateRun {
+  benchdata::BenchCase bc;
+  std::unique_ptr<sql::Engine> engine;
+  plan::EnumerationResult enumeration;
+  /// episodes, grouped per session; sessions[s][0] is initial rendering.
+  std::vector<std::vector<optimizer::EpisodeRecord>> sessions;
+
+  std::vector<optimizer::EpisodeRecord> AllEpisodes() const {
+    std::vector<optimizer::EpisodeRecord> all;
+    for (const auto& s : sessions) {
+      all.insert(all.end(), s.begin(), s.end());
+    }
+    return all;
+  }
+  std::vector<optimizer::EpisodeRecord> InitialEpisodes() const {
+    std::vector<optimizer::EpisodeRecord> all;
+    for (const auto& s : sessions) {
+      if (!s.empty()) all.push_back(s.front());
+    }
+    return all;
+  }
+};
+
+/// Simulate `sessions` sessions of `interactions` interactions each,
+/// labeling + encoding every candidate plan per episode (§7.1's workload).
+inline Result<std::unique_ptr<TemplateRun>> CollectTemplate(
+    benchdata::TemplateId id, const std::string& dataset, size_t rows,
+    const BenchConfig& config) {
+  auto run = std::make_unique<TemplateRun>();
+  VP_ASSIGN_OR_RETURN(run->bc, benchdata::MakeBenchCase(id, dataset, rows,
+                                                        config.seed ^ rows));
+  run->engine = std::make_unique<sql::Engine>();
+  run->engine->RegisterTable(run->bc.dataset.name, run->bc.dataset.table);
+  const bool interactive = benchdata::IsInteractive(id);
+
+  for (size_t s = 0; s < config.sessions; ++s) {
+    optimizer::CollectorOptions copts;
+    copts.max_plans = config.max_plans;
+    copts.seed = config.seed + s;
+    optimizer::EpisodeCollector collector(run->bc.spec, run->engine.get(), copts);
+    VP_RETURN_IF_ERROR(collector.Start());
+    if (s == 0) run->enumeration = collector.enumeration();
+    std::vector<optimizer::EpisodeRecord> episodes;
+    VP_ASSIGN_OR_RETURN(optimizer::EpisodeRecord initial, collector.Collect());
+    episodes.push_back(std::move(initial));
+    if (interactive) {
+      benchdata::WorkloadGenerator workload(run->bc.spec, config.seed * 31 + s);
+      for (size_t i = 0; i < config.interactions; ++i) {
+        VP_RETURN_IF_ERROR(collector.ApplyInteraction(workload.Next().updates));
+        VP_ASSIGN_OR_RETURN(optimizer::EpisodeRecord ep, collector.Collect());
+        episodes.push_back(std::move(ep));
+      }
+    }
+    run->sessions.push_back(std::move(episodes));
+  }
+  return run;
+}
+
+/// \brief The four §5.3.2 models, trained on one pair set.
+struct ModelSuite {
+  std::unique_ptr<optimizer::RankSvmComparator> ranksvm;
+  std::unique_ptr<optimizer::RandomForestComparator> forest;
+  std::unique_ptr<optimizer::HeuristicComparator> heuristic;
+  std::unique_ptr<optimizer::RandomComparator> random;
+
+  std::vector<const optimizer::PlanComparator*> All() const {
+    return {ranksvm.get(), forest.get(), heuristic.get(), random.get()};
+  }
+};
+
+inline ModelSuite TrainSuite(const std::vector<ml::PairExample>& train, uint64_t seed) {
+  ModelSuite suite;
+  ml::RankSvm svm;
+  svm.Train(train);
+  suite.ranksvm = std::make_unique<optimizer::RankSvmComparator>(std::move(svm));
+  ml::ForestOptions fopts;
+  fopts.num_trees = 24;
+  fopts.seed = seed;
+  ml::RandomForest forest(fopts);
+  forest.Train(train);
+  suite.forest = std::make_unique<optimizer::RandomForestComparator>(std::move(forest));
+  suite.heuristic = std::make_unique<optimizer::HeuristicComparator>();
+  suite.random = std::make_unique<optimizer::RandomComparator>(seed);
+  return suite;
+}
+
+/// Pairwise accuracy of a comparator over labeled pairs.
+inline double ComparatorAccuracy(const optimizer::PlanComparator& comparator,
+                                 const std::vector<ml::PairExample>& pairs) {
+  if (pairs.empty()) return 0;
+  size_t correct = 0;
+  for (const auto& p : pairs) {
+    int predicted = comparator.Compare(p.a, p.b);
+    int actual = p.label == 1 ? -1 : 1;
+    if (predicted == actual) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(pairs.size());
+}
+
+inline void Die(const Status& status, const char* what) {
+  std::fprintf(stderr, "FATAL (%s): %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+#define BENCH_ASSIGN(lhs, expr_result)                    \
+  auto VP_CONCAT(_bench_r_, __LINE__) = (expr_result);    \
+  if (!VP_CONCAT(_bench_r_, __LINE__).ok())               \
+    ::vegaplus::bench::Die(VP_CONCAT(_bench_r_, __LINE__).status(), #expr_result); \
+  lhs = std::move(VP_CONCAT(_bench_r_, __LINE__)).ValueOrDie()
+
+}  // namespace bench
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_BENCH_BENCH_UTIL_H_

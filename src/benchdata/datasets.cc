@@ -1,0 +1,260 @@
+#include "benchdata/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "data/csv.h"
+
+namespace vegaplus {
+namespace benchdata {
+
+namespace {
+
+using data::DataType;
+using data::Schema;
+using data::TableBuilder;
+using data::Value;
+
+int64_t Ts(const char* s) {
+  int64_t ms = 0;
+  data::ParseTimestamp(s, &ms);
+  return ms;
+}
+
+Dataset MakeFlights(size_t rows, uint64_t seed) {
+  // Modeled on the BTS on-time performance data the paper's Fig. 1 uses.
+  static const char* kOrigins[] = {"ATL", "ORD", "DFW", "LAX", "DEN", "PHX", "IAH",
+                                   "LAS", "DTW", "SFO", "SEA", "MSP", "JFK", "BOS",
+                                   "SLC", "EWR", "MCO", "CLT", "PHL", "SAN"};
+  static const char* kCarriers[] = {"WN", "AA", "DL", "UA", "US", "NW", "CO", "MQ",
+                                    "OO", "XE"};
+  Schema schema({{"date", DataType::kTimestamp},
+                 {"origin", DataType::kString},
+                 {"carrier", DataType::kString},
+                 {"distance", DataType::kFloat64},
+                 {"dep_delay", DataType::kFloat64},
+                 {"arr_delay", DataType::kFloat64},
+                 {"air_time", DataType::kFloat64}});
+  TableBuilder builder(schema);
+  builder.Reserve(rows);
+  Rng rng(seed);
+  const int64_t start = Ts("1987-10-01");
+  const int64_t span = Ts("2008-04-30") - start;
+  for (size_t i = 0; i < rows; ++i) {
+    int64_t when = start + rng.UniformInt(0, span / 60000) * 60000;
+    double distance = std::exp(rng.Normal(6.3, 0.7));  // lognormal, ~300-2500 mi
+    distance = std::clamp(distance, 60.0, 4500.0);
+    double dep_delay = rng.NextBool(0.6) ? rng.Uniform(-10, 10)
+                                         : std::exp(rng.Normal(3.0, 1.0));
+    dep_delay = std::clamp(dep_delay, -30.0, 600.0);
+    double arr_delay = dep_delay + rng.Normal(0, 12);
+    double air_time = distance / rng.Uniform(6.2, 8.6);
+    std::vector<Value> row{
+        Value::Timestamp(when),
+        Value::String(kOrigins[rng.Zipf(20, 1.3)]),
+        Value::String(kCarriers[rng.Zipf(10, 1.2)]),
+        Value::Double(std::round(distance)),
+        // ~1.5% missing delays, like real BTS data.
+        rng.NextBool(0.015) ? Value::Null() : Value::Double(std::round(dep_delay)),
+        rng.NextBool(0.02) ? Value::Null() : Value::Double(std::round(arr_delay)),
+        Value::Double(std::round(air_time)),
+    };
+    builder.AppendRow(row);
+  }
+  Dataset ds;
+  ds.name = "flights";
+  ds.table = builder.Build();
+  ds.quantitative = {"distance", "dep_delay", "arr_delay", "air_time"};
+  ds.categorical = {"origin", "carrier"};
+  ds.temporal = {"date"};
+  return ds;
+}
+
+Dataset MakeMovies(size_t rows, uint64_t seed) {
+  static const char* kGenres[] = {"Drama", "Comedy", "Action", "Thriller", "Romance",
+                                  "Horror", "Adventure", "Documentary", "Musical",
+                                  "Western", "Animation", "Fantasy"};
+  static const char* kRatings[] = {"G", "PG", "PG-13", "R", "Not Rated"};
+  Schema schema({{"release_date", DataType::kTimestamp},
+                 {"genre", DataType::kString},
+                 {"mpaa", DataType::kString},
+                 {"imdb_rating", DataType::kFloat64},
+                 {"rt_rating", DataType::kFloat64},
+                 {"budget", DataType::kFloat64},
+                 {"gross", DataType::kFloat64}});
+  TableBuilder builder(schema);
+  builder.Reserve(rows);
+  Rng rng(seed);
+  const int64_t start = Ts("1960-01-01");
+  const int64_t span = Ts("2010-12-31") - start;
+  for (size_t i = 0; i < rows; ++i) {
+    double imdb = std::clamp(rng.Normal(6.3, 1.2), 1.0, 10.0);
+    double rt = std::clamp(imdb * 10 + rng.Normal(0, 12), 0.0, 100.0);
+    double budget = std::exp(rng.Normal(16.5, 1.4));
+    double gross = budget * std::exp(rng.Normal(0.1, 1.0));
+    std::vector<Value> row{
+        Value::Timestamp(start + rng.UniformInt(0, span / 86400000) * 86400000),
+        Value::String(kGenres[rng.Zipf(12, 1.1)]),
+        Value::String(kRatings[rng.Zipf(5, 1.05)]),
+        rng.NextBool(0.03) ? Value::Null() : Value::Double(std::round(imdb * 10) / 10),
+        Value::Double(std::round(rt)),
+        Value::Double(std::round(budget)),
+        Value::Double(std::round(gross)),
+    };
+    builder.AppendRow(row);
+  }
+  Dataset ds;
+  ds.name = "movies";
+  ds.table = builder.Build();
+  ds.quantitative = {"imdb_rating", "rt_rating", "budget", "gross"};
+  ds.categorical = {"genre", "mpaa"};
+  ds.temporal = {"release_date"};
+  return ds;
+}
+
+Dataset MakeWeather(size_t rows, uint64_t seed) {
+  static const char* kStations[] = {"KSEA", "KPDX", "KSFO", "KLAX", "KDEN", "KORD",
+                                    "KATL", "KBOS", "KJFK", "KMIA", "KPHX", "KMSP",
+                                    "KIAH", "KDTW", "KSLC"};
+  static const char* kConditions[] = {"clear", "rain", "snow", "fog", "storm"};
+  Schema schema({{"date", DataType::kTimestamp},
+                 {"station", DataType::kString},
+                 {"condition", DataType::kString},
+                 {"temp_max", DataType::kFloat64},
+                 {"temp_min", DataType::kFloat64},
+                 {"precipitation", DataType::kFloat64},
+                 {"wind", DataType::kFloat64}});
+  TableBuilder builder(schema);
+  builder.Reserve(rows);
+  Rng rng(seed);
+  const int64_t start = Ts("2000-01-01");
+  for (size_t i = 0; i < rows; ++i) {
+    int64_t day = rng.UniformInt(0, 3650);
+    // Seasonal swing.
+    double season = std::sin(2 * M_PI * static_cast<double>(day % 365) / 365.0);
+    double tmax = 15 + 12 * season + rng.Normal(0, 5);
+    double tmin = tmax - rng.Uniform(4, 14);
+    double precip = rng.NextBool(0.55) ? 0.0 : std::exp(rng.Normal(0.5, 1.0));
+    std::vector<Value> row{
+        Value::Timestamp(start + day * 86400000),
+        Value::String(kStations[rng.Zipf(15, 1.1)]),
+        Value::String(kConditions[precip > 0 ? 1 + rng.Index(4) : 0]),
+        Value::Double(std::round(tmax * 10) / 10),
+        Value::Double(std::round(tmin * 10) / 10),
+        Value::Double(std::round(precip * 10) / 10),
+        Value::Double(std::round(std::fabs(rng.Normal(12, 6)))),
+    };
+    builder.AppendRow(row);
+  }
+  Dataset ds;
+  ds.name = "weather";
+  ds.table = builder.Build();
+  ds.quantitative = {"temp_max", "temp_min", "precipitation", "wind"};
+  ds.categorical = {"station", "condition"};
+  ds.temporal = {"date"};
+  return ds;
+}
+
+Dataset MakeTaxis(size_t rows, uint64_t seed) {
+  static const char* kBoroughs[] = {"Manhattan", "Brooklyn", "Queens", "Bronx",
+                                    "Staten Island", "EWR"};
+  static const char* kPayments[] = {"card", "cash", "dispute", "no charge"};
+  Schema schema({{"pickup_time", DataType::kTimestamp},
+                 {"borough", DataType::kString},
+                 {"payment", DataType::kString},
+                 {"passengers", DataType::kInt64},
+                 {"trip_distance", DataType::kFloat64},
+                 {"fare", DataType::kFloat64},
+                 {"tip", DataType::kFloat64}});
+  TableBuilder builder(schema);
+  builder.Reserve(rows);
+  Rng rng(seed);
+  const int64_t start = Ts("2015-01-01");
+  for (size_t i = 0; i < rows; ++i) {
+    double dist = std::exp(rng.Normal(0.9, 0.8));
+    dist = std::clamp(dist, 0.2, 60.0);
+    double fare = 2.5 + dist * rng.Uniform(2.2, 3.2);
+    bool card = rng.NextBool(0.62);
+    double tip = card ? fare * std::clamp(rng.Normal(0.18, 0.08), 0.0, 0.6) : 0.0;
+    std::vector<Value> row{
+        Value::Timestamp(start + rng.UniformInt(0, 365LL * 86400) * 1000),
+        Value::String(kBoroughs[rng.Zipf(6, 1.6)]),
+        Value::String(card ? kPayments[0] : kPayments[1 + rng.Zipf(3, 1.5)]),
+        Value::Int(1 + rng.Zipf(6, 1.8)),
+        Value::Double(std::round(dist * 100) / 100),
+        Value::Double(std::round(fare * 100) / 100),
+        Value::Double(std::round(tip * 100) / 100),
+    };
+    builder.AppendRow(row);
+  }
+  Dataset ds;
+  ds.name = "taxis";
+  ds.table = builder.Build();
+  ds.quantitative = {"trip_distance", "fare", "tip"};
+  ds.categorical = {"borough", "payment"};
+  ds.temporal = {"pickup_time"};
+  return ds;
+}
+
+Dataset MakeStocks(size_t rows, uint64_t seed) {
+  static const char* kSymbols[] = {"AAPL", "MSFT", "GOOG", "AMZN", "IBM",  "ORCL",
+                                   "INTC", "CSCO", "HPQ",  "DELL", "XOM",  "CVX",
+                                   "GE",   "F",    "GM",   "JPM",  "BAC",  "WFC",
+                                   "KO",   "PEP",  "WMT",  "TGT",  "PFE",  "MRK",
+                                   "JNJ"};
+  static const char* kSectors[] = {"tech", "energy", "industrial", "auto",
+                                   "finance", "consumer", "retail", "health"};
+  Schema schema({{"date", DataType::kTimestamp},
+                 {"symbol", DataType::kString},
+                 {"sector", DataType::kString},
+                 {"open", DataType::kFloat64},
+                 {"close", DataType::kFloat64},
+                 {"volume", DataType::kFloat64},
+                 {"ret", DataType::kFloat64}});
+  TableBuilder builder(schema);
+  builder.Reserve(rows);
+  Rng rng(seed);
+  const int64_t start = Ts("2004-01-02");
+  for (size_t i = 0; i < rows; ++i) {
+    size_t sym = rng.Zipf(25, 1.1);
+    double open = std::exp(rng.Normal(3.8, 0.8));
+    double ret = rng.Normal(0.0003, 0.02);
+    double close = open * (1.0 + ret);
+    std::vector<Value> row{
+        Value::Timestamp(start + rng.UniformInt(0, 2518) * 86400000),
+        Value::String(kSymbols[sym]),
+        Value::String(kSectors[sym % 8]),
+        Value::Double(std::round(open * 100) / 100),
+        Value::Double(std::round(close * 100) / 100),
+        Value::Double(std::round(std::exp(rng.Normal(13.5, 1.2)))),
+        Value::Double(std::round(ret * 10000) / 10000),
+    };
+    builder.AppendRow(row);
+  }
+  Dataset ds;
+  ds.name = "stocks";
+  ds.table = builder.Build();
+  ds.quantitative = {"open", "close", "volume", "ret"};
+  ds.categorical = {"symbol", "sector"};
+  ds.temporal = {"date"};
+  return ds;
+}
+
+}  // namespace
+
+std::vector<std::string> DatasetNames() {
+  return {"flights", "movies", "weather", "taxis", "stocks"};
+}
+
+Result<Dataset> MakeDataset(const std::string& name, size_t rows, uint64_t seed) {
+  if (name == "flights") return MakeFlights(rows, seed);
+  if (name == "movies") return MakeMovies(rows, seed);
+  if (name == "weather") return MakeWeather(rows, seed);
+  if (name == "taxis") return MakeTaxis(rows, seed);
+  if (name == "stocks") return MakeStocks(rows, seed);
+  return Status::KeyError("unknown dataset '" + name + "'");
+}
+
+}  // namespace benchdata
+}  // namespace vegaplus

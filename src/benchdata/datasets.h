@@ -1,0 +1,37 @@
+// Synthetic dataset generators standing in for the paper's five real-world
+// sources (flights, movies, weather, taxis, stocks), with realistic schema
+// roles, category skew, and value distributions, scalable to any row count
+// (the paper scales its sources 50k .. 10M rows the same way).
+#ifndef VEGAPLUS_BENCHDATA_DATASETS_H_
+#define VEGAPLUS_BENCHDATA_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/table.h"
+
+namespace vegaplus {
+namespace benchdata {
+
+/// \brief A generated dataset plus its field roles (which fields can fill
+/// quantitative / categorical / temporal template slots — Fig. 4).
+struct Dataset {
+  std::string name;
+  data::TablePtr table;
+  std::vector<std::string> quantitative;
+  std::vector<std::string> categorical;
+  std::vector<std::string> temporal;
+};
+
+/// Names accepted by MakeDataset: "flights", "movies", "weather", "taxis",
+/// "stocks".
+std::vector<std::string> DatasetNames();
+
+/// Generate `rows` rows of the named dataset deterministically from `seed`.
+Result<Dataset> MakeDataset(const std::string& name, size_t rows, uint64_t seed);
+
+}  // namespace benchdata
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_BENCHDATA_DATASETS_H_

@@ -1,0 +1,525 @@
+#include "benchdata/templates.h"
+
+#include "common/str_util.h"
+#include "data/stats.h"
+
+namespace vegaplus {
+namespace benchdata {
+
+namespace {
+
+using json::Value;
+using spec::BindKind;
+using spec::DataSpec;
+using spec::MarkSpec;
+using spec::ScaleSpec;
+using spec::SignalSpec;
+using spec::TransformSpec;
+using spec::VegaSpec;
+
+// ---- Small JSON builders for transform params ----
+
+Value FieldJson(const std::string& fixed) { return Value(fixed); }
+
+Value SignalFieldJson(const std::string& signal) {
+  Value v = Value::MakeObject();
+  v.Set("signal", signal);
+  return v;
+}
+
+TransformSpec Filter(const std::string& expr) {
+  Value t = Value::MakeObject();
+  t.Set("type", "filter");
+  t.Set("expr", expr);
+  return {"filter", t};
+}
+
+TransformSpec Extent(Value field, const std::string& out_signal) {
+  Value t = Value::MakeObject();
+  t.Set("type", "extent");
+  t.Set("field", std::move(field));
+  t.Set("signal", out_signal);
+  return {"extent", t};
+}
+
+TransformSpec Bin(Value field, const std::string& extent_signal, Value maxbins,
+                  const std::string& as0 = "bin0", const std::string& as1 = "bin1") {
+  Value t = Value::MakeObject();
+  t.Set("type", "bin");
+  t.Set("field", std::move(field));
+  Value extent = Value::MakeObject();
+  extent.Set("signal", extent_signal);
+  t.Set("extent", std::move(extent));
+  t.Set("maxbins", std::move(maxbins));
+  Value as = Value::MakeArray({Value(as0), Value(as1)});
+  t.Set("as", std::move(as));
+  return {"bin", t};
+}
+
+TransformSpec Aggregate(std::vector<Value> groupby, std::vector<std::string> ops,
+                        std::vector<Value> fields, std::vector<std::string> as) {
+  Value t = Value::MakeObject();
+  t.Set("type", "aggregate");
+  Value g = Value::MakeArray();
+  for (auto& v : groupby) g.Append(std::move(v));
+  t.Set("groupby", std::move(g));
+  Value o = Value::MakeArray();
+  for (const auto& s : ops) o.Append(Value(s));
+  t.Set("ops", std::move(o));
+  Value f = Value::MakeArray();
+  for (auto& v : fields) f.Append(std::move(v));
+  t.Set("fields", std::move(f));
+  Value a = Value::MakeArray();
+  for (const auto& s : as) a.Append(Value(s));
+  t.Set("as", std::move(a));
+  return {"aggregate", t};
+}
+
+TransformSpec CountBy(std::vector<Value> groupby, const std::string& as = "count") {
+  return Aggregate(std::move(groupby), {"count"}, {Value(nullptr)}, {as});
+}
+
+TransformSpec Collect(const std::string& field, bool descending = false) {
+  Value t = Value::MakeObject();
+  t.Set("type", "collect");
+  Value sort = Value::MakeObject();
+  sort.Set("field", field);
+  Value order = Value::MakeArray({Value(descending ? "descending" : "ascending")});
+  sort.Set("order", std::move(order));
+  t.Set("sort", std::move(sort));
+  return {"collect", t};
+}
+
+TransformSpec Stack(const std::string& field, std::vector<Value> groupby,
+                    const std::string& sort_field) {
+  Value t = Value::MakeObject();
+  t.Set("type", "stack");
+  t.Set("field", field);
+  Value g = Value::MakeArray();
+  for (auto& v : groupby) g.Append(std::move(v));
+  t.Set("groupby", std::move(g));
+  Value sort = Value::MakeObject();
+  sort.Set("field", sort_field);
+  t.Set("sort", std::move(sort));
+  return {"stack", t};
+}
+
+TransformSpec Timeunit(const std::string& field, const std::string& unit) {
+  Value t = Value::MakeObject();
+  t.Set("type", "timeunit");
+  t.Set("field", field);
+  t.Set("units", unit);
+  return {"timeunit", t};
+}
+
+SignalSpec PlainSignal(const std::string& name, Value init) {
+  SignalSpec s;
+  s.name = name;
+  s.init = std::move(init);
+  return s;
+}
+
+Value ExtentJson(double lo, double hi) {
+  return Value::MakeArray({Value(lo), Value(hi)});
+}
+
+// Numeric extent of a field from table stats (falls back to [0, 1]).
+void FieldExtent(const data::TableStats& stats, const std::string& field, double* lo,
+                 double* hi) {
+  const data::ColumnStats* cs = stats.Find(field);
+  if (cs != nullptr && cs->has_extent) {
+    *lo = cs->min;
+    *hi = cs->max;
+  } else {
+    *lo = 0;
+    *hi = 1;
+  }
+}
+
+std::string Pick(const std::vector<std::string>& options, Rng* rng) {
+  return options[rng->Index(options.size())];
+}
+
+// Pick `n` distinct entries (cycling when the pool is smaller).
+std::vector<std::string> PickN(const std::vector<std::string>& options, size_t n,
+                               Rng* rng) {
+  std::vector<std::string> pool = options;
+  rng->Shuffle(&pool);
+  std::vector<std::string> out;
+  for (size_t i = 0; i < n; ++i) out.push_back(pool[i % pool.size()]);
+  return out;
+}
+
+SignalSpec IntervalSignal(const std::string& name, const std::string& field, double lo,
+                          double hi) {
+  SignalSpec s;
+  s.name = name;
+  s.init = ExtentJson(lo, hi);
+  s.bind = BindKind::kInterval;
+  s.bound_field = field;
+  s.bind_min = lo;
+  s.bind_max = hi;
+  return s;
+}
+
+SignalSpec RangeSignal(const std::string& name, double init, double lo, double hi,
+                       double step) {
+  SignalSpec s;
+  s.name = name;
+  s.init = Value(init);
+  s.bind = BindKind::kRange;
+  s.bind_min = lo;
+  s.bind_max = hi;
+  s.bind_step = step;
+  return s;
+}
+
+SignalSpec SelectSignal(const std::string& name, const std::string& init,
+                        const std::vector<std::string>& options) {
+  SignalSpec s;
+  s.name = name;
+  s.init = Value(init);
+  s.bind = BindKind::kSelect;
+  for (const auto& o : options) s.options.push_back(Value(o));
+  return s;
+}
+
+SignalSpec PointSignal(const std::string& name, const std::vector<data::Value>& domain) {
+  SignalSpec s;
+  s.name = name;
+  s.init = Value(nullptr);  // no selection
+  s.bind = BindKind::kPoint;
+  for (const auto& v : domain) {
+    if (v.is_string()) s.options.push_back(Value(v.AsString()));
+  }
+  return s;
+}
+
+ScaleSpec DataScale(const std::string& name, const std::string& data,
+                    const std::string& field) {
+  ScaleSpec s;
+  s.name = name;
+  s.domain_data = data;
+  s.domain_field = field;
+  return s;
+}
+
+ScaleSpec SignalScale(const std::string& name, const std::string& signal) {
+  ScaleSpec s;
+  s.name = name;
+  s.domain_signal = signal;
+  return s;
+}
+
+MarkSpec Mark(const std::string& type, const std::string& from) {
+  MarkSpec m;
+  m.type = type;
+  m.from_data = from;
+  return m;
+}
+
+// ---- Individual templates ----
+
+VegaSpec TrellisStackedBar(const Dataset& ds, const data::TableStats& /*stats*/,
+                           Rng* rng) {
+  auto cats = PickN(ds.categorical, 2, rng);
+  const std::string& x = cats[0];
+  const std::string& color = cats[1];
+  VegaSpec spec;
+  spec.name = "trellis_stacked_bar";
+  DataSpec root;
+  root.name = "source";
+  root.table = ds.name;
+  DataSpec stacked;
+  stacked.name = "stacked";
+  stacked.source = "source";
+  stacked.transforms = {
+      CountBy({FieldJson(x), FieldJson(color)}),
+      Stack("count", {FieldJson(x)}, color),
+      Collect(x),
+  };
+  spec.data = {root, stacked};
+  spec.scales = {DataScale("x", "stacked", x), DataScale("y", "stacked", "y1"),
+                 DataScale("color", "stacked", color)};
+  spec.marks = {Mark("rect", "stacked")};
+  return spec;
+}
+
+VegaSpec LineChart(const Dataset& ds, const data::TableStats& /*stats*/, Rng* rng) {
+  const std::string t = Pick(ds.temporal, rng);
+  const std::string q = Pick(ds.quantitative, rng);
+  VegaSpec spec;
+  spec.name = "line_chart";
+  DataSpec root;
+  root.name = "source";
+  root.table = ds.name;
+  DataSpec series;
+  series.name = "series";
+  series.source = "source";
+  series.transforms = {
+      Timeunit(t, "month"),
+      Aggregate({FieldJson("unit0")}, {"mean"}, {FieldJson(q)}, {"mean_value"}),
+  };
+  spec.data = {root, series};
+  spec.scales = {DataScale("x", "series", "unit0"),
+                 DataScale("y", "series", "mean_value")};
+  spec.marks = {Mark("line", "series")};
+  return spec;
+}
+
+VegaSpec InteractiveHistogram(const Dataset& ds, const data::TableStats& /*stats*/,
+                              Rng* rng) {
+  const std::string initial_field = Pick(ds.quantitative, rng);
+  VegaSpec spec;
+  spec.name = "interactive_histogram";
+  spec.signals = {
+      SelectSignal("field", initial_field, ds.quantitative),
+      RangeSignal("maxbins", 10, 5, 50, 1),
+  };
+  DataSpec root;
+  root.name = "source";
+  root.table = ds.name;
+  DataSpec binned;
+  binned.name = "binned";
+  binned.source = "source";
+  binned.transforms = {
+      Extent(SignalFieldJson("field"), "x_extent"),
+      Bin(SignalFieldJson("field"), "x_extent", SignalFieldJson("maxbins")),
+      CountBy({FieldJson("bin0"), FieldJson("bin1")}),
+  };
+  spec.data = {root, binned};
+  spec.scales = {SignalScale("x", "x_extent"), DataScale("y", "binned", "count")};
+  spec.marks = {Mark("rect", "binned")};
+  return spec;
+}
+
+VegaSpec ZoomableHeatmap(const Dataset& ds, const data::TableStats& stats, Rng* rng) {
+  auto qs = PickN(ds.quantitative, 2, rng);
+  const std::string& x = qs[0];
+  const std::string& y = qs[1];
+  double xlo, xhi, ylo, yhi;
+  FieldExtent(stats, x, &xlo, &xhi);
+  FieldExtent(stats, y, &ylo, &yhi);
+  VegaSpec spec;
+  spec.name = "zoomable_heatmap";
+  spec.signals = {IntervalSignal("domain_x", x, xlo, xhi),
+                  IntervalSignal("domain_y", y, ylo, yhi)};
+  DataSpec root;
+  root.name = "source";
+  root.table = ds.name;
+  DataSpec density;
+  density.name = "density";
+  density.source = "source";
+  density.transforms = {
+      Filter(StrFormat("inrange(datum.%s, domain_x) && inrange(datum.%s, domain_y)",
+                       x.c_str(), y.c_str())),
+      Bin(FieldJson(x), "domain_x", Value(30), "xb0", "xb1"),
+      Bin(FieldJson(y), "domain_y", Value(30), "yb0", "yb1"),
+      CountBy({FieldJson("xb0"), FieldJson("xb1"), FieldJson("yb0"), FieldJson("yb1")}),
+  };
+  spec.data = {root, density};
+  spec.scales = {SignalScale("x", "domain_x"), SignalScale("y", "domain_y"),
+                 DataScale("color", "density", "count")};
+  spec.marks = {Mark("rect", "density")};
+  return spec;
+}
+
+VegaSpec Crossfilter(const Dataset& ds, const data::TableStats& stats, Rng* rng) {
+  auto qs = PickN(ds.quantitative, 3, rng);
+  VegaSpec spec;
+  spec.name = "crossfilter";
+  DataSpec root;
+  root.name = "source";
+  root.table = ds.name;
+  spec.data.push_back(root);
+  for (int i = 0; i < 3; ++i) {
+    double lo, hi;
+    FieldExtent(stats, qs[static_cast<size_t>(i)], &lo, &hi);
+    spec.signals.push_back(IntervalSignal(StrFormat("brush_%d", i),
+                                          qs[static_cast<size_t>(i)], lo, hi));
+    spec.signals.push_back(
+        PlainSignal(StrFormat("ext_%d", i), ExtentJson(lo, hi)));
+  }
+  for (int i = 0; i < 3; ++i) {
+    const std::string& field = qs[static_cast<size_t>(i)];
+    int j = (i + 1) % 3;
+    int k = (i + 2) % 3;
+    // Filtered histogram: brushes of the *other* two views apply.
+    DataSpec hist;
+    hist.name = StrFormat("hist_%d", i);
+    hist.source = "source";
+    hist.transforms = {
+        Filter(StrFormat("inrange(datum.%s, brush_%d) && inrange(datum.%s, brush_%d)",
+                         qs[static_cast<size_t>(j)].c_str(), j,
+                         qs[static_cast<size_t>(k)].c_str(), k)),
+        Bin(FieldJson(field), StrFormat("ext_%d", i), Value(20)),
+        CountBy({FieldJson("bin0"), FieldJson("bin1")}),
+    };
+    spec.data.push_back(hist);
+    // Gray layer: the full-data distribution, never re-filtered (§7.5).
+    DataSpec gray;
+    gray.name = StrFormat("gray_%d", i);
+    gray.source = "source";
+    gray.transforms = {
+        Bin(FieldJson(field), StrFormat("ext_%d", i), Value(20)),
+        CountBy({FieldJson("bin0"), FieldJson("bin1")}),
+    };
+    spec.data.push_back(gray);
+    spec.scales.push_back(SignalScale(StrFormat("x_%d", i), StrFormat("ext_%d", i)));
+    spec.marks.push_back(Mark("rect", hist.name));
+    spec.marks.push_back(Mark("rect", gray.name));
+  }
+  return spec;
+}
+
+VegaSpec HeatmapBarChart(const Dataset& ds, const data::TableStats& stats, Rng* rng) {
+  auto cats = PickN(ds.categorical, 2, rng);
+  const std::string& heat_cat = cats[0];
+  const std::string& bar_cat = cats[1];
+  const std::string q = Pick(ds.quantitative, rng);
+  double qlo, qhi;
+  FieldExtent(stats, q, &qlo, &qhi);
+  const data::ColumnStats* bar_stats = stats.Find(bar_cat);
+  VegaSpec spec;
+  spec.name = "heatmap_bar";
+  spec.signals = {
+      PointSignal("clicked", bar_stats != nullptr ? bar_stats->domain
+                                                  : std::vector<data::Value>{}),
+      RangeSignal("heat_bins", 15, 5, 40, 1),
+  };
+  DataSpec root;
+  root.name = "source";
+  root.table = ds.name;
+  DataSpec heat;
+  heat.name = "heat";
+  heat.source = "source";
+  heat.transforms = {
+      Filter(StrFormat("clicked == null || datum.%s == clicked", bar_cat.c_str())),
+      Extent(FieldJson(q), "q_extent"),
+      Bin(FieldJson(q), "q_extent", SignalFieldJson("heat_bins")),
+      CountBy({FieldJson(heat_cat), FieldJson("bin0"), FieldJson("bin1")}),
+  };
+  DataSpec bars;
+  bars.name = "bars";
+  bars.source = "source";
+  bars.transforms = {
+      CountBy({FieldJson(bar_cat)}),
+      Collect("count", /*descending=*/true),
+  };
+  spec.data = {root, heat, bars};
+  spec.scales = {DataScale("x", "heat", heat_cat), SignalScale("y", "q_extent"),
+                 DataScale("color", "heat", "count"),
+                 DataScale("bar_x", "bars", bar_cat)};
+  spec.marks = {Mark("rect", "heat"), Mark("rect", "bars")};
+  return spec;
+}
+
+VegaSpec OverviewDetail(const Dataset& ds, const data::TableStats& stats, Rng* rng) {
+  const std::string t = Pick(ds.temporal, rng);
+  const std::string q = Pick(ds.quantitative, rng);
+  const std::string c = Pick(ds.categorical, rng);
+  double tlo, thi;
+  FieldExtent(stats, t, &tlo, &thi);
+  const data::ColumnStats* cat_stats = stats.Find(c);
+  VegaSpec spec;
+  spec.name = "overview_detail";
+  spec.signals = {
+      IntervalSignal("time_brush", t, tlo, thi),
+      PointSignal("bar_click", cat_stats != nullptr ? cat_stats->domain
+                                                    : std::vector<data::Value>{}),
+  };
+  DataSpec root;
+  root.name = "source";
+  root.table = ds.name;
+  DataSpec overview;
+  overview.name = "overview";
+  overview.source = "source";
+  overview.transforms = {
+      Filter(StrFormat("bar_click == null || datum.%s == bar_click", c.c_str())),
+      Timeunit(t, "month"),
+      CountBy({FieldJson("unit0"), FieldJson("unit1")}),
+  };
+  DataSpec detail;
+  detail.name = "detail";
+  detail.source = "source";
+  detail.transforms = {
+      Filter(StrFormat(
+          "(bar_click == null || datum.%s == bar_click) && inrange(datum.%s, time_brush)",
+          c.c_str(), t.c_str())),
+      Extent(FieldJson(q), "detail_extent"),
+      Bin(FieldJson(q), "detail_extent", Value(25)),
+      CountBy({FieldJson("bin0"), FieldJson("bin1")}),
+  };
+  DataSpec bars;
+  bars.name = "bars";
+  bars.source = "source";
+  bars.transforms = {
+      CountBy({FieldJson(c)}),
+      Collect("count", /*descending=*/true),
+  };
+  spec.data = {root, overview, detail, bars};
+  spec.scales = {DataScale("ov_x", "overview", "unit0"),
+                 SignalScale("detail_x", "detail_extent"),
+                 DataScale("bar_x", "bars", c)};
+  spec.marks = {Mark("area", "overview"), Mark("rect", "detail"), Mark("rect", "bars")};
+  return spec;
+}
+
+}  // namespace
+
+std::vector<TemplateId> AllTemplates() {
+  return {TemplateId::kTrellisStackedBar, TemplateId::kLineChart,
+          TemplateId::kInteractiveHistogram, TemplateId::kZoomableHeatmap,
+          TemplateId::kCrossfilter, TemplateId::kHeatmapBarChart,
+          TemplateId::kOverviewDetail};
+}
+
+const char* TemplateName(TemplateId id) {
+  switch (id) {
+    case TemplateId::kTrellisStackedBar: return "Trellis Stacked Bar Chart";
+    case TemplateId::kLineChart: return "Line/Area Chart";
+    case TemplateId::kInteractiveHistogram: return "Interactive Histogram";
+    case TemplateId::kZoomableHeatmap: return "Zoomable Heatmap";
+    case TemplateId::kCrossfilter: return "Crossfiltering With Three 2D Histograms";
+    case TemplateId::kHeatmapBarChart: return "Heatmap and Bar Chart";
+    case TemplateId::kOverviewDetail: return "Overview+Detail Chart With Bar Chart";
+  }
+  return "?";
+}
+
+bool IsInteractive(TemplateId id) {
+  return id != TemplateId::kTrellisStackedBar && id != TemplateId::kLineChart;
+}
+
+Result<spec::VegaSpec> BuildTemplate(TemplateId id, const Dataset& dataset, Rng* rng) {
+  if (!dataset.table) return Status::InvalidArgument("template: dataset has no table");
+  if (dataset.quantitative.empty() || dataset.categorical.empty() ||
+      dataset.temporal.empty()) {
+    return Status::InvalidArgument("template: dataset missing field roles");
+  }
+  data::TableStats stats = data::ComputeTableStats(*dataset.table);
+  switch (id) {
+    case TemplateId::kTrellisStackedBar: return TrellisStackedBar(dataset, stats, rng);
+    case TemplateId::kLineChart: return LineChart(dataset, stats, rng);
+    case TemplateId::kInteractiveHistogram:
+      return InteractiveHistogram(dataset, stats, rng);
+    case TemplateId::kZoomableHeatmap: return ZoomableHeatmap(dataset, stats, rng);
+    case TemplateId::kCrossfilter: return Crossfilter(dataset, stats, rng);
+    case TemplateId::kHeatmapBarChart: return HeatmapBarChart(dataset, stats, rng);
+    case TemplateId::kOverviewDetail: return OverviewDetail(dataset, stats, rng);
+  }
+  return Status::InvalidArgument("template: unknown id");
+}
+
+Result<BenchCase> MakeBenchCase(TemplateId id, const std::string& dataset_name,
+                                size_t rows, uint64_t seed) {
+  BenchCase bc;
+  bc.id = id;
+  VP_ASSIGN_OR_RETURN(bc.dataset, MakeDataset(dataset_name, rows, seed));
+  Rng rng(seed ^ 0xBEEF);
+  VP_ASSIGN_OR_RETURN(bc.spec, BuildTemplate(id, bc.dataset, &rng));
+  return bc;
+}
+
+}  // namespace benchdata
+}  // namespace vegaplus

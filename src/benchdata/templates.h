@@ -1,0 +1,52 @@
+// The seven benchmark dashboard templates (§6.1), implemented as
+// dataset-agnostic spec builders: given a Dataset's field roles, each builder
+// populates a concrete VegaSpec (Fig. 4) with signals, data pipelines,
+// scales, and marks.
+#ifndef VEGAPLUS_BENCHDATA_TEMPLATES_H_
+#define VEGAPLUS_BENCHDATA_TEMPLATES_H_
+
+#include <string>
+#include <vector>
+
+#include "benchdata/datasets.h"
+#include "common/random.h"
+#include "spec/spec.h"
+
+namespace vegaplus {
+namespace benchdata {
+
+enum class TemplateId {
+  kTrellisStackedBar,
+  kLineChart,
+  kInteractiveHistogram,
+  kZoomableHeatmap,
+  kCrossfilter,
+  kHeatmapBarChart,
+  kOverviewDetail,
+};
+
+std::vector<TemplateId> AllTemplates();
+const char* TemplateName(TemplateId id);
+
+/// Static templates (Trellis, Line) have no bound interaction signals.
+bool IsInteractive(TemplateId id);
+
+/// Populate `id` against `dataset` (random field choices from `rng`; data
+/// statistics seed signal extents and widget domains).
+Result<spec::VegaSpec> BuildTemplate(TemplateId id, const Dataset& dataset, Rng* rng);
+
+/// \brief A ready-to-run benchmark case: populated spec + its dataset.
+struct BenchCase {
+  TemplateId id;
+  spec::VegaSpec spec;
+  Dataset dataset;
+};
+
+/// Convenience: generate dataset + populated template in one call.
+Result<BenchCase> MakeBenchCase(TemplateId id, const std::string& dataset_name,
+                                size_t rows, uint64_t seed);
+
+}  // namespace benchdata
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_BENCHDATA_TEMPLATES_H_

@@ -1,0 +1,78 @@
+#include "benchdata/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+#include "json/json_writer.h"
+
+namespace vegaplus {
+namespace benchdata {
+
+WorkloadGenerator::WorkloadGenerator(const spec::VegaSpec& spec, uint64_t seed)
+    : rng_(seed) {
+  for (const auto& s : spec.signals) {
+    if (s.bind != spec::BindKind::kNone) bound_.push_back(s);
+  }
+}
+
+Interaction WorkloadGenerator::Next() {
+  Interaction out;
+  if (bound_.empty()) return out;
+  const spec::SignalSpec& sig = bound_[rng_.Index(bound_.size())];
+  switch (sig.bind) {
+    case spec::BindKind::kRange: {
+      double steps = std::max(1.0, (sig.bind_max - sig.bind_min) / sig.bind_step);
+      double v = sig.bind_min +
+                 sig.bind_step * static_cast<double>(rng_.UniformInt(
+                                     0, static_cast<int64_t>(steps)));
+      out.updates.emplace_back(sig.name, expr::EvalValue::Number(v));
+      out.description = sig.name + "=" + FormatDouble(v);
+      break;
+    }
+    case spec::BindKind::kSelect: {
+      if (sig.options.empty()) break;
+      const json::Value& opt = sig.options[rng_.Index(sig.options.size())];
+      out.updates.emplace_back(sig.name, expr::EvalValue::FromJson(opt));
+      out.description = sig.name + "=" + json::Write(opt);
+      break;
+    }
+    case spec::BindKind::kInterval: {
+      // Brush a random sub-interval (10%..80% of the domain).
+      double span = sig.bind_max - sig.bind_min;
+      double width = span * rng_.Uniform(0.1, 0.8);
+      double lo = sig.bind_min + rng_.Uniform(0, span - width);
+      out.updates.emplace_back(
+          sig.name, expr::EvalValue::Array({data::Value::Double(lo),
+                                            data::Value::Double(lo + width)}));
+      out.description = sig.name + "=[" + FormatDouble(lo) + "," +
+                        FormatDouble(lo + width) + "]";
+      break;
+    }
+    case spec::BindKind::kPoint: {
+      // 25% of clicks clear the selection.
+      if (sig.options.empty() || rng_.NextBool(0.25)) {
+        out.updates.emplace_back(sig.name, expr::EvalValue::Null());
+        out.description = sig.name + "=null";
+      } else {
+        const json::Value& opt = sig.options[rng_.Index(sig.options.size())];
+        out.updates.emplace_back(sig.name, expr::EvalValue::FromJson(opt));
+        out.description = sig.name + "=" + json::Write(opt);
+      }
+      break;
+    }
+    case spec::BindKind::kNone:
+      break;
+  }
+  return out;
+}
+
+std::vector<Interaction> WorkloadGenerator::Session(size_t n) {
+  std::vector<Interaction> session;
+  session.reserve(n);
+  for (size_t i = 0; i < n; ++i) session.push_back(Next());
+  return session;
+}
+
+}  // namespace benchdata
+}  // namespace vegaplus

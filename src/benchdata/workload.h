@@ -1,0 +1,45 @@
+// Interaction workload simulation (§6.2): sequences of signal updates drawn
+// from each template's bound widgets (sliders, dropdowns, brushes, clicks).
+#ifndef VEGAPLUS_BENCHDATA_WORKLOAD_H_
+#define VEGAPLUS_BENCHDATA_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "runtime/plan_executor.h"
+#include "spec/spec.h"
+
+namespace vegaplus {
+namespace benchdata {
+
+/// \brief One simulated user interaction.
+struct Interaction {
+  std::vector<runtime::SignalUpdate> updates;
+  std::string description;
+};
+
+/// \brief Draws interactions for a populated spec. Each Next() picks one
+/// bound signal uniformly and synthesizes a value appropriate to its bind
+/// kind (range step, select option, brushed sub-interval, click-or-clear).
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const spec::VegaSpec& spec, uint64_t seed);
+
+  /// True when the spec has at least one bound (interactive) signal.
+  bool has_interactions() const { return !bound_.empty(); }
+
+  Interaction Next();
+
+  /// A full session: `n` interactions.
+  std::vector<Interaction> Session(size_t n);
+
+ private:
+  std::vector<spec::SignalSpec> bound_;
+  Rng rng_;
+};
+
+}  // namespace benchdata
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_BENCHDATA_WORKLOAD_H_

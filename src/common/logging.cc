@@ -1,0 +1,26 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace vegaplus {
+namespace internal {
+
+namespace {
+std::atomic<int> g_level{[] {
+  if (const char* env = std::getenv("VP_LOG_LEVEL")) {
+    int v = std::atoi(env);
+    if (v >= 0 && v <= 4) return v;
+  }
+  return static_cast<int>(LogLevel::kInfo);
+}()};
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+}  // namespace internal
+}  // namespace vegaplus

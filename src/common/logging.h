@@ -1,0 +1,78 @@
+// Minimal glog-style logging and assertion macros.
+#ifndef VEGAPLUS_COMMON_LOGGING_H_
+#define VEGAPLUS_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace vegaplus {
+namespace internal {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum level; messages below are dropped. Defaults to kInfo,
+/// override with environment variable VP_LOG_LEVEL (0-4).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line << "] ";
+  }
+  ~LogMessage() {
+    if (level_ >= GetLogLevel()) {
+      std::cerr << stream_.str() << std::endl;
+    }
+    if (level_ == LogLevel::kFatal) std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* LevelName(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarning: return "WARN";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kFatal: return "FATAL";
+    }
+    return "?";
+  }
+  static const char* Basename(const char* file) {
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace vegaplus
+
+#define VP_LOG_DEBUG \
+  ::vegaplus::internal::LogMessage(::vegaplus::internal::LogLevel::kDebug, __FILE__, __LINE__).stream()
+#define VP_LOG_INFO \
+  ::vegaplus::internal::LogMessage(::vegaplus::internal::LogLevel::kInfo, __FILE__, __LINE__).stream()
+#define VP_LOG_WARNING \
+  ::vegaplus::internal::LogMessage(::vegaplus::internal::LogLevel::kWarning, __FILE__, __LINE__).stream()
+#define VP_LOG_ERROR \
+  ::vegaplus::internal::LogMessage(::vegaplus::internal::LogLevel::kError, __FILE__, __LINE__).stream()
+
+/// Process-fatal invariant check (used for programmer errors, not data errors;
+/// data errors go through Status).
+#define VP_CHECK(cond)                                                              \
+  if (!(cond))                                                                      \
+  ::vegaplus::internal::LogMessage(::vegaplus::internal::LogLevel::kFatal, __FILE__, \
+                                   __LINE__)                                        \
+          .stream()                                                                 \
+      << "Check failed: " #cond " "
+
+#define VP_DCHECK(cond) VP_CHECK(cond)
+
+#endif  // VEGAPLUS_COMMON_LOGGING_H_

@@ -1,0 +1,34 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace vegaplus {
+
+double Rng::Normal(double mean, double stddev) {
+  // Box-Muller; discard the second variate for simplicity.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  if (n <= 1) return 0;
+  // Inverse-CDF over the (small) harmonic table would be exact but O(n);
+  // rejection sampling keeps generation O(1) per draw for large n.
+  // Devroye's method for Zipf.
+  const double b = std::pow(2.0, s - 1.0);
+  while (true) {
+    double u = NextDouble();
+    double v = NextDouble();
+    double x = std::floor(std::pow(u, -1.0 / (s - 1.0 + 1e-9)));
+    if (x < 1.0 || x > static_cast<double>(n)) continue;
+    double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      return static_cast<int64_t>(x) - 1;
+    }
+  }
+}
+
+}  // namespace vegaplus

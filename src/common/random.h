@@ -1,0 +1,86 @@
+// Deterministic, fast PRNG (xoshiro256**) used everywhere randomness is
+// needed: dataset generation, workload simulation, ML training, and the
+// random plan comparator. std::mt19937 is avoided so that streams are
+// identical across platforms and standard libraries.
+#ifndef VEGAPLUS_COMMON_RANDOM_H_
+#define VEGAPLUS_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace vegaplus {
+
+/// \brief Seedable xoshiro256** PRNG with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  /// Re-seed via SplitMix64 expansion (any seed, including 0, is fine).
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      // SplitMix64 step.
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  /// Bernoulli draw.
+  bool NextBool(double p_true = 0.5) { return NextDouble() < p_true; }
+
+  /// Standard normal via Box-Muller (one value per call; simple, good enough).
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Zipf-distributed index in [0, n) with exponent s (skewed categories).
+  int64_t Zipf(int64_t n, double s = 1.2);
+
+  /// Random index pick from [0, n).
+  size_t Index(size_t n) { return static_cast<size_t>(Next() % n); }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Next() % (i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_COMMON_RANDOM_H_

@@ -1,0 +1,56 @@
+// Result<T>: value-or-Status, the companion to Status for functions that
+// produce a value. Mirrors arrow::Result.
+#ifndef VEGAPLUS_COMMON_RESULT_H_
+#define VEGAPLUS_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace vegaplus {
+
+/// \brief Holds either a successfully produced T or the Status explaining
+/// why it could not be produced.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error Status. Constructing from an OK status is a bug.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::RuntimeError("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error (or OK if a value is present).
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  /// Access the value; undefined if !ok().
+  const T& ValueOrDie() const& { return *value_; }
+  T& ValueOrDie() & { return *value_; }
+  T ValueOrDie() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Value if ok, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_COMMON_RESULT_H_

@@ -1,0 +1,136 @@
+// Arrow/RocksDB-style Status: the error-handling currency of the library.
+// Functions that can fail return Status (or Result<T>, see result.h) instead
+// of throwing; exceptions never cross module boundaries.
+#ifndef VEGAPLUS_COMMON_STATUS_H_
+#define VEGAPLUS_COMMON_STATUS_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace vegaplus {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kParseError = 2,
+  kTypeError = 3,
+  kKeyError = 4,
+  kOutOfRange = 5,
+  kNotImplemented = 6,
+  kIOError = 7,
+  kRuntimeError = 8,
+};
+
+/// \brief Outcome of an operation: OK, or an error code plus message.
+///
+/// Copyable and cheap when OK (single pointer). Mirrors the API shape of
+/// arrow::Status so code reads familiarly to database developers.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(State{code, std::move(message)})) {}
+
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status RuntimeError(std::string msg) {
+    return Status(StatusCode::kRuntimeError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsKeyError() const { return code() == StatusCode::kKeyError; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsRuntimeError() const { return code() == StatusCode::kRuntimeError; }
+
+  /// Human-readable "Code: message" string.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code())) + ": " + message();
+  }
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kParseError: return "ParseError";
+      case StatusCode::kTypeError: return "TypeError";
+      case StatusCode::kKeyError: return "KeyError";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kNotImplemented: return "NotImplemented";
+      case StatusCode::kIOError: return "IOError";
+      case StatusCode::kRuntimeError: return "RuntimeError";
+    }
+    return "Unknown";
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const State> state_;  // nullptr == OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace vegaplus
+
+/// Propagate a non-OK Status to the caller.
+#define VP_RETURN_IF_ERROR(expr)                      \
+  do {                                                \
+    ::vegaplus::Status _vp_status = (expr);           \
+    if (!_vp_status.ok()) return _vp_status;          \
+  } while (0)
+
+#define VP_CONCAT_IMPL(x, y) x##y
+#define VP_CONCAT(x, y) VP_CONCAT_IMPL(x, y)
+
+/// Evaluate a Result<T>-returning expression; on error propagate the Status,
+/// otherwise move the value into `lhs` (which may be a declaration).
+#define VP_ASSIGN_OR_RETURN(lhs, expr)                         \
+  auto VP_CONCAT(_vp_result_, __LINE__) = (expr);              \
+  if (!VP_CONCAT(_vp_result_, __LINE__).ok())                  \
+    return VP_CONCAT(_vp_result_, __LINE__).status();          \
+  lhs = std::move(VP_CONCAT(_vp_result_, __LINE__)).ValueOrDie()
+
+#endif  // VEGAPLUS_COMMON_STATUS_H_

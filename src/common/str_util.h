@@ -1,0 +1,43 @@
+// Small string utilities shared by the parsers and printers.
+#ifndef VEGAPLUS_COMMON_STR_UTIL_H_
+#define VEGAPLUS_COMMON_STR_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vegaplus {
+
+/// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Join `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// ASCII-case-insensitive equality (used by the SQL keyword matcher).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Strict numeric parses; return false on trailing garbage or empty input.
+bool ParseInt64(std::string_view s, int64_t* out);
+bool ParseDouble(std::string_view s, double* out);
+
+/// Render a double the way JSON/Vega would (integral values without ".0",
+/// otherwise shortest round-trip representation).
+std::string FormatDouble(double v);
+
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_COMMON_STR_UTIL_H_

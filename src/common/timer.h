@@ -1,0 +1,27 @@
+// Wall-clock stopwatch. Note: benchmark *labels* in this repo come from the
+// deterministic latency model (runtime/latency_model.h), not from this timer;
+// the stopwatch is for reporting real harness runtimes only.
+#ifndef VEGAPLUS_COMMON_TIMER_H_
+#define VEGAPLUS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace vegaplus {
+
+class StopWatch {
+ public:
+  StopWatch() { Restart(); }
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+  /// Elapsed milliseconds since construction/Restart().
+  double ElapsedMillis() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_COMMON_TIMER_H_

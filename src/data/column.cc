@@ -1,0 +1,171 @@
+#include "data/column.h"
+
+#include <cmath>
+
+namespace vegaplus {
+namespace data {
+
+double Column::NumericAt(size_t i) const {
+  if (IsNull(i)) return std::nan("");
+  switch (type_) {
+    case DataType::kBool:
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      return static_cast<double>(ints_[i]);
+    case DataType::kFloat64:
+      return doubles_[i];
+    default:
+      return std::nan("");
+  }
+}
+
+Value Column::ValueAt(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  switch (type_) {
+    case DataType::kNull: return Value::Null();
+    case DataType::kBool: return Value::Bool(ints_[i] != 0);
+    case DataType::kInt64: return Value::Int(ints_[i]);
+    case DataType::kTimestamp: return Value::Timestamp(ints_[i]);
+    case DataType::kFloat64: return Value::Double(doubles_[i]);
+    case DataType::kString: return Value::String(strings_[i]);
+  }
+  return Value::Null();
+}
+
+void Column::Append(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case DataType::kBool:
+      if (v.is_bool() || v.is_numeric()) {
+        AppendBool(v.AsDouble() != 0.0);
+      } else {
+        AppendNull();
+      }
+      return;
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      if (v.is_numeric() || v.is_bool()) {
+        AppendInt(static_cast<int64_t>(v.AsDouble()));
+      } else {
+        AppendNull();
+      }
+      return;
+    case DataType::kFloat64:
+      if (v.is_numeric() || v.is_bool()) {
+        AppendDouble(v.AsDouble());
+      } else {
+        AppendNull();
+      }
+      return;
+    case DataType::kString:
+      if (v.is_string()) {
+        AppendString(v.AsString());
+      } else {
+        AppendString(v.ToString());
+      }
+      return;
+    case DataType::kNull:
+      AppendNull();
+      return;
+  }
+}
+
+void Column::AppendNull() {
+  validity_.push_back(0);
+  ++null_count_;
+  switch (type_) {
+    case DataType::kBool:
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      ints_.push_back(0);
+      break;
+    case DataType::kFloat64:
+      doubles_.push_back(0.0);
+      break;
+    case DataType::kString:
+      strings_.emplace_back();
+      break;
+    case DataType::kNull:
+      ints_.push_back(0);
+      break;
+  }
+}
+
+void Column::AppendBool(bool v) {
+  VP_DCHECK(type_ == DataType::kBool);
+  validity_.push_back(1);
+  ints_.push_back(v ? 1 : 0);
+}
+
+void Column::AppendInt(int64_t v) {
+  VP_DCHECK(type_ == DataType::kInt64 || type_ == DataType::kTimestamp);
+  validity_.push_back(1);
+  ints_.push_back(v);
+}
+
+void Column::AppendDouble(double v) {
+  VP_DCHECK(type_ == DataType::kFloat64);
+  validity_.push_back(1);
+  doubles_.push_back(v);
+}
+
+void Column::AppendString(std::string v) {
+  VP_DCHECK(type_ == DataType::kString);
+  validity_.push_back(1);
+  strings_.push_back(std::move(v));
+}
+
+void Column::Reserve(size_t n) {
+  validity_.reserve(n);
+  switch (type_) {
+    case DataType::kBool:
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+    case DataType::kNull:
+      ints_.reserve(n);
+      break;
+    case DataType::kFloat64:
+      doubles_.reserve(n);
+      break;
+    case DataType::kString:
+      strings_.reserve(n);
+      break;
+  }
+}
+
+Column Column::Take(const std::vector<int32_t>& indices) const {
+  Column out(type_);
+  out.Reserve(indices.size());
+  for (int32_t idx : indices) {
+    size_t i = static_cast<size_t>(idx);
+    if (IsNull(i)) {
+      out.AppendNull();
+      continue;
+    }
+    switch (type_) {
+      case DataType::kBool:
+        out.AppendBool(ints_[i] != 0);
+        break;
+      case DataType::kInt64:
+      case DataType::kTimestamp:
+        out.AppendInt(ints_[i]);
+        break;
+      case DataType::kFloat64:
+        out.AppendDouble(doubles_[i]);
+        break;
+      case DataType::kString:
+        out.AppendString(strings_[i]);
+        break;
+      case DataType::kNull:
+        out.AppendNull();
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace vegaplus

@@ -1,0 +1,76 @@
+// Column: typed, nullable, append-only storage. Numeric types are stored in
+// native vectors (no boxing); Value is only materialized at cell access.
+#ifndef VEGAPLUS_DATA_COLUMN_H_
+#define VEGAPLUS_DATA_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "data/data_type.h"
+#include "data/value.h"
+
+namespace vegaplus {
+namespace data {
+
+/// \brief A single column of a Table.
+class Column {
+ public:
+  explicit Column(DataType type = DataType::kNull) : type_(type) {}
+
+  DataType type() const { return type_; }
+  size_t length() const { return validity_.size(); }
+
+  bool IsNull(size_t i) const { return validity_[i] == 0; }
+  size_t null_count() const { return null_count_; }
+
+  // Typed accessors; caller must ensure the type matches and !IsNull(i).
+  bool BoolAt(size_t i) const { return ints_[i] != 0; }
+  int64_t IntAt(size_t i) const { return ints_[i]; }
+  double DoubleAt(size_t i) const { return doubles_[i]; }
+  const std::string& StringAt(size_t i) const { return strings_[i]; }
+
+  /// Numeric view of cell i (int/timestamp/bool widen to double); NaN if null
+  /// or non-numeric.
+  double NumericAt(size_t i) const;
+
+  /// Boxed cell access (null-aware).
+  Value ValueAt(size_t i) const;
+
+  /// Append a value, coercing numerics (int<->double) as needed. Appending an
+  /// incompatible value (e.g. string into int64) appends null.
+  void Append(const Value& v);
+  void AppendNull();
+
+  // Fast-path appends (type must match the column type).
+  void AppendBool(bool v);
+  void AppendInt(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string v);
+
+  void Reserve(size_t n);
+
+  /// Gather: new column containing rows [indices] in order.
+  Column Take(const std::vector<int32_t>& indices) const;
+
+  /// Raw storage access for serialization paths.
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+  const std::vector<uint8_t>& validity() const { return validity_; }
+
+ private:
+  DataType type_;
+  std::vector<uint8_t> validity_;  // 1 = present, 0 = null
+  size_t null_count_ = 0;
+  // Exactly one of these is populated, chosen by type_.
+  std::vector<int64_t> ints_;       // kBool, kInt64, kTimestamp
+  std::vector<double> doubles_;     // kFloat64
+  std::vector<std::string> strings_;  // kString
+};
+
+}  // namespace data
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_DATA_COLUMN_H_

@@ -1,0 +1,281 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace vegaplus {
+namespace data {
+
+namespace {
+
+// Split one CSV record honoring double-quote quoting ("" = literal quote).
+std::vector<std::string> SplitRecord(std::string_view line, char delim) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+bool IsNaToken(const std::string& s, const CsvOptions& options) {
+  if (s.empty()) return true;
+  if (!options.treat_na_as_null) return false;
+  return s == "NA" || s == "N/A" || s == "null" || s == "NULL" || s == "NaN";
+}
+
+DataType InferCell(const std::string& s) {
+  int64_t i;
+  if (ParseInt64(s, &i)) return DataType::kInt64;
+  double d;
+  if (ParseDouble(s, &d)) return DataType::kFloat64;
+  int64_t ms;
+  if (ParseTimestamp(s, &ms)) return DataType::kTimestamp;
+  return DataType::kString;
+}
+
+DataType Widen(DataType a, DataType b) {
+  if (a == b) return a;
+  if (a == DataType::kNull) return b;
+  if (b == DataType::kNull) return a;
+  auto numeric = [](DataType t) { return t == DataType::kInt64 || t == DataType::kFloat64; };
+  if (numeric(a) && numeric(b)) return DataType::kFloat64;
+  return DataType::kString;
+}
+
+}  // namespace
+
+bool ParseTimestamp(std::string_view s, int64_t* millis_out) {
+  int year, month, day, hour = 0, minute = 0, second = 0;
+  std::string buf(s);
+  int matched;
+  if (buf.find('T') != std::string::npos) {
+    matched = std::sscanf(buf.c_str(), "%d-%d-%dT%d:%d:%d", &year, &month, &day, &hour,
+                          &minute, &second);
+    if (matched != 6) return false;
+  } else {
+    matched = std::sscanf(buf.c_str(), "%d-%d-%d %d:%d:%d", &year, &month, &day, &hour,
+                          &minute, &second);
+    if (matched != 3 && matched != 6) return false;
+  }
+  if (month < 1 || month > 12 || day < 1 || day > 31 || hour < 0 || hour > 23 ||
+      minute < 0 || minute > 59 || second < 0 || second > 60) {
+    return false;
+  }
+  // Days-from-civil algorithm (Howard Hinnant), UTC, no DST concerns.
+  int y = year;
+  unsigned m = static_cast<unsigned>(month);
+  unsigned d = static_cast<unsigned>(day);
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  const int64_t days = era * 146097LL + static_cast<int64_t>(doe) - 719468LL;
+  *millis_out = ((days * 24 + hour) * 60 + minute) * 60000LL + second * 1000LL;
+  return true;
+}
+
+std::string FormatTimestamp(int64_t millis) {
+  int64_t seconds = millis / 1000;
+  int64_t days = seconds / 86400;
+  int64_t secs_of_day = seconds % 86400;
+  if (secs_of_day < 0) {
+    secs_of_day += 86400;
+    days -= 1;
+  }
+  // Civil-from-days (Howard Hinnant).
+  int64_t z = days + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  const int64_t year = y + (m <= 2);
+  int hour = static_cast<int>(secs_of_day / 3600);
+  int minute = static_cast<int>((secs_of_day % 3600) / 60);
+  int second = static_cast<int>(secs_of_day % 60);
+  return StrFormat("%04lld-%02u-%02u %02d:%02d:%02d", static_cast<long long>(year), m, d,
+                   hour, minute, second);
+}
+
+Result<TablePtr> ReadCsvString(std::string_view text, const CsvOptions& options) {
+  // Split into lines (handle \r\n); quoted fields containing newlines are not
+  // supported (none of our datasets emit them).
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t pos = text.find('\n', start);
+    std::string_view line;
+    if (pos == std::string_view::npos) {
+      line = text.substr(start);
+      start = text.size() + 1;
+    } else {
+      line = text.substr(start, pos - start);
+      start = pos + 1;
+    }
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty()) lines.push_back(line);
+  }
+  if (lines.empty()) return Status::ParseError("CSV: empty input");
+
+  std::vector<std::string> header = SplitRecord(lines[0], options.delimiter);
+  const size_t num_cols = header.size();
+  const size_t num_rows = lines.size() - 1;
+
+  // Pass 1: infer types from a sample.
+  std::vector<DataType> types(num_cols, DataType::kNull);
+  size_t sample = std::min(num_rows, options.inference_rows);
+  for (size_t r = 0; r < sample; ++r) {
+    auto fields = SplitRecord(lines[r + 1], options.delimiter);
+    for (size_t c = 0; c < num_cols && c < fields.size(); ++c) {
+      if (IsNaToken(fields[c], options)) continue;
+      types[c] = Widen(types[c], InferCell(fields[c]));
+    }
+  }
+  for (DataType& t : types) {
+    if (t == DataType::kNull) t = DataType::kString;
+  }
+
+  std::vector<Field> schema_fields(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) {
+    schema_fields[c] = Field{header[c], types[c]};
+  }
+  TableBuilder builder(Schema(std::move(schema_fields)));
+  builder.Reserve(num_rows);
+
+  for (size_t r = 0; r < num_rows; ++r) {
+    auto fields = SplitRecord(lines[r + 1], options.delimiter);
+    if (fields.size() != num_cols) {
+      return Status::ParseError(
+          StrFormat("CSV: row %zu has %zu fields, expected %zu", r + 1, fields.size(),
+                    num_cols));
+    }
+    for (size_t c = 0; c < num_cols; ++c) {
+      Column* col = builder.column(c);
+      const std::string& cell = fields[c];
+      if (IsNaToken(cell, options)) {
+        col->AppendNull();
+        continue;
+      }
+      switch (types[c]) {
+        case DataType::kInt64: {
+          int64_t v;
+          if (ParseInt64(cell, &v)) {
+            col->AppendInt(v);
+          } else {
+            col->AppendNull();
+          }
+          break;
+        }
+        case DataType::kFloat64: {
+          double v;
+          if (ParseDouble(cell, &v)) {
+            col->AppendDouble(v);
+          } else {
+            col->AppendNull();
+          }
+          break;
+        }
+        case DataType::kTimestamp: {
+          int64_t ms;
+          if (ParseTimestamp(cell, &ms)) {
+            col->AppendInt(ms);
+          } else {
+            col->AppendNull();
+          }
+          break;
+        }
+        default:
+          col->AppendString(cell);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Result<TablePtr> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ReadCsvString(ss.str(), options);
+}
+
+std::string WriteCsvString(const Table& table, const CsvOptions& options) {
+  std::string out;
+  auto write_field = [&](const std::string& s) {
+    bool needs_quotes = s.find(options.delimiter) != std::string::npos ||
+                        s.find('"') != std::string::npos ||
+                        s.find('\n') != std::string::npos;
+    if (!needs_quotes) {
+      out += s;
+      return;
+    }
+    out.push_back('"');
+    for (char c : s) {
+      if (c == '"') out.push_back('"');
+      out.push_back(c);
+    }
+    out.push_back('"');
+  };
+
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out.push_back(options.delimiter);
+    write_field(table.schema().field(c).name);
+  }
+  out.push_back('\n');
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out.push_back(options.delimiter);
+      const Column& col = table.column(c);
+      if (col.IsNull(r)) continue;
+      if (col.type() == DataType::kTimestamp) {
+        write_field(FormatTimestamp(col.IntAt(r)));
+      } else {
+        write_field(col.ValueAt(r).ToString());
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << WriteCsvString(table, options);
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+}  // namespace data
+}  // namespace vegaplus

@@ -1,0 +1,49 @@
+// CSV reader/writer with type inference. Used for dataset materialization
+// and the pure-Vega baseline (which, like the paper's Vega condition, pays
+// the cost of loading CSV from disk at initial rendering).
+#ifndef VEGAPLUS_DATA_CSV_H_
+#define VEGAPLUS_DATA_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "data/table.h"
+
+namespace vegaplus {
+namespace data {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// Rows sampled for type inference (whole file if fewer).
+  size_t inference_rows = 100;
+  /// Strings parsed as null ("" always is).
+  bool treat_na_as_null = true;
+};
+
+/// Parse CSV text (first row = header) into a Table. Column types are
+/// inferred as the narrowest of int64 -> float64 -> timestamp -> string that
+/// fits the sampled rows.
+Result<TablePtr> ReadCsvString(std::string_view text, const CsvOptions& options = {});
+
+/// Read and parse a CSV file.
+Result<TablePtr> ReadCsvFile(const std::string& path, const CsvOptions& options = {});
+
+/// Serialize a table to CSV text (header + rows).
+std::string WriteCsvString(const Table& table, const CsvOptions& options = {});
+
+/// Write a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+/// Parse an ISO-8601-ish timestamp ("YYYY-MM-DD" or "YYYY-MM-DD HH:MM:SS")
+/// to epoch milliseconds (UTC). Returns false on mismatch.
+bool ParseTimestamp(std::string_view s, int64_t* millis_out);
+
+/// Format epoch milliseconds as "YYYY-MM-DD HH:MM:SS".
+std::string FormatTimestamp(int64_t millis);
+
+}  // namespace data
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_DATA_CSV_H_

@@ -1,0 +1,28 @@
+#include "data/data_type.h"
+
+namespace vegaplus {
+namespace data {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kNull: return "null";
+    case DataType::kBool: return "bool";
+    case DataType::kInt64: return "int64";
+    case DataType::kFloat64: return "float64";
+    case DataType::kString: return "string";
+    case DataType::kTimestamp: return "timestamp";
+  }
+  return "unknown";
+}
+
+DataType DataTypeFromName(const std::string& name) {
+  if (name == "bool") return DataType::kBool;
+  if (name == "int64") return DataType::kInt64;
+  if (name == "float64") return DataType::kFloat64;
+  if (name == "string") return DataType::kString;
+  if (name == "timestamp") return DataType::kTimestamp;
+  return DataType::kNull;
+}
+
+}  // namespace data
+}  // namespace vegaplus

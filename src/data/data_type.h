@@ -1,0 +1,36 @@
+// Logical column types of the table substrate.
+#ifndef VEGAPLUS_DATA_DATA_TYPE_H_
+#define VEGAPLUS_DATA_DATA_TYPE_H_
+
+#include <string>
+
+namespace vegaplus {
+namespace data {
+
+/// Column/value types. kTimestamp is stored as int64 milliseconds since the
+/// Unix epoch (UTC) but is a distinct logical type so the timeunit transform
+/// and date functions can recognize temporal fields.
+enum class DataType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt64 = 2,
+  kFloat64 = 3,
+  kString = 4,
+  kTimestamp = 5,
+};
+
+/// Lowercase type name ("int64", "float64", ...).
+const char* DataTypeName(DataType t);
+
+/// Inverse of DataTypeName; returns kNull for unknown names.
+DataType DataTypeFromName(const std::string& name);
+
+/// True for kInt64 / kFloat64 / kTimestamp (types with a numeric order).
+inline bool IsNumericType(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kFloat64 || t == DataType::kTimestamp;
+}
+
+}  // namespace data
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_DATA_DATA_TYPE_H_

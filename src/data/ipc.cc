@@ -1,0 +1,345 @@
+#include "data/ipc.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/str_util.h"
+#include "json/json_parser.h"
+#include "json/json_writer.h"
+
+namespace vegaplus {
+namespace data {
+
+namespace {
+
+constexpr char kMagic[4] = {'V', 'P', 'T', '1'};
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+bool GetU32(const std::string& in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, 4);
+  *pos += 4;
+  return true;
+}
+
+bool GetU64(const std::string& in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool GetString(const std::string& in, size_t* pos, std::string* s) {
+  uint32_t len;
+  if (!GetU32(in, pos, &len)) return false;
+  if (*pos + len > in.size()) return false;
+  s->assign(in.data() + *pos, len);
+  *pos += len;
+  return true;
+}
+
+}  // namespace
+
+json::Value TableToJson(const Table& table) {
+  json::Value rows = json::Value::MakeArray();
+  rows.array().reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    json::Value row = json::Value::MakeObject();
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const Column& col = table.column(c);
+      if (col.IsNull(r)) continue;
+      const std::string& name = table.schema().field(c).name;
+      switch (col.type()) {
+        case DataType::kBool:
+          row.Set(name, json::Value(col.BoolAt(r)));
+          break;
+        case DataType::kInt64:
+        case DataType::kTimestamp:
+          row.Set(name, json::Value(static_cast<double>(col.IntAt(r))));
+          break;
+        case DataType::kFloat64:
+          row.Set(name, json::Value(col.DoubleAt(r)));
+          break;
+        case DataType::kString:
+          row.Set(name, json::Value(col.StringAt(r)));
+          break;
+        case DataType::kNull:
+          break;
+      }
+    }
+    rows.Append(std::move(row));
+  }
+  return rows;
+}
+
+std::string SerializeJsonRows(const Table& table) {
+  return json::Write(TableToJson(table));
+}
+
+Result<TablePtr> JsonToTable(const json::Value& rows) {
+  if (!rows.is_array()) return Status::TypeError("JsonToTable: expected array");
+  // Infer schema: union of keys (in first-seen order); number columns are
+  // int64 if all values integral, else float64.
+  std::vector<std::string> names;
+  std::vector<DataType> types;
+  auto find_col = [&](const std::string& name) -> int {
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  for (const json::Value& row : rows.array()) {
+    if (!row.is_object()) return Status::TypeError("JsonToTable: expected row objects");
+    for (const auto& [key, cell] : row.members()) {
+      int idx = find_col(key);
+      DataType t = DataType::kNull;
+      switch (cell.type()) {
+        case json::Type::kBool: t = DataType::kBool; break;
+        case json::Type::kNumber:
+          t = (cell.AsDouble() == std::floor(cell.AsDouble()) &&
+               std::fabs(cell.AsDouble()) < 9.0e15)
+                  ? DataType::kInt64
+                  : DataType::kFloat64;
+          break;
+        case json::Type::kString: t = DataType::kString; break;
+        default: t = DataType::kNull; break;
+      }
+      if (idx < 0) {
+        names.push_back(key);
+        types.push_back(t);
+      } else if (types[static_cast<size_t>(idx)] != t && t != DataType::kNull) {
+        DataType& cur = types[static_cast<size_t>(idx)];
+        if (cur == DataType::kNull) {
+          cur = t;
+        } else if ((cur == DataType::kInt64 && t == DataType::kFloat64) ||
+                   (cur == DataType::kFloat64 && t == DataType::kInt64)) {
+          cur = DataType::kFloat64;
+        } else if (cur != t) {
+          cur = DataType::kString;
+        }
+      }
+    }
+  }
+  std::vector<Field> fields;
+  fields.reserve(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    fields.push_back({names[i], types[i] == DataType::kNull ? DataType::kString : types[i]});
+  }
+  TableBuilder builder((Schema(fields)));
+  builder.Reserve(rows.size());
+  for (const json::Value& row : rows.array()) {
+    std::vector<Value> values(fields.size(), Value::Null());
+    for (const auto& [key, cell] : row.members()) {
+      int idx = find_col(key);
+      if (idx < 0) continue;
+      switch (cell.type()) {
+        case json::Type::kBool: values[static_cast<size_t>(idx)] = Value::Bool(cell.AsBool()); break;
+        case json::Type::kNumber:
+          if (fields[static_cast<size_t>(idx)].type == DataType::kInt64) {
+            values[static_cast<size_t>(idx)] = Value::Int(cell.AsInt());
+          } else {
+            values[static_cast<size_t>(idx)] = Value::Double(cell.AsDouble());
+          }
+          break;
+        case json::Type::kString: values[static_cast<size_t>(idx)] = Value::String(cell.AsString()); break;
+        default: break;
+      }
+    }
+    builder.AppendRow(values);
+  }
+  return builder.Build();
+}
+
+Result<TablePtr> DeserializeJsonRows(const std::string& text) {
+  VP_ASSIGN_OR_RETURN(json::Value doc, json::Parse(text));
+  return JsonToTable(doc);
+}
+
+std::string SerializeBinary(const Table& table) {
+  std::string out;
+  out.append(kMagic, 4);
+  PutU32(&out, static_cast<uint32_t>(table.num_columns()));
+  PutU64(&out, table.num_rows());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Field& f = table.schema().field(c);
+    PutString(&out, f.name);
+    out.push_back(static_cast<char>(f.type));
+  }
+  const size_t n = table.num_rows();
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    // Validity bitmap, packed.
+    std::string bitmap((n + 7) / 8, '\0');
+    for (size_t r = 0; r < n; ++r) {
+      if (!col.IsNull(r)) bitmap[r / 8] |= static_cast<char>(1u << (r % 8));
+    }
+    PutString(&out, bitmap);
+    switch (col.type()) {
+      case DataType::kBool: {
+        std::string bits((n + 7) / 8, '\0');
+        for (size_t r = 0; r < n; ++r) {
+          if (!col.IsNull(r) && col.BoolAt(r)) bits[r / 8] |= static_cast<char>(1u << (r % 8));
+        }
+        PutString(&out, bits);
+        break;
+      }
+      case DataType::kInt64:
+      case DataType::kTimestamp: {
+        PutU64(&out, n * 8);
+        out.append(reinterpret_cast<const char*>(col.ints().data()), n * 8);
+        break;
+      }
+      case DataType::kFloat64: {
+        PutU64(&out, n * 8);
+        out.append(reinterpret_cast<const char*>(col.doubles().data()), n * 8);
+        break;
+      }
+      case DataType::kString: {
+        // Offsets + concatenated bytes.
+        std::string bytes;
+        std::vector<uint32_t> offsets;
+        offsets.reserve(n + 1);
+        offsets.push_back(0);
+        for (size_t r = 0; r < n; ++r) {
+          if (!col.IsNull(r)) bytes.append(col.StringAt(r));
+          offsets.push_back(static_cast<uint32_t>(bytes.size()));
+        }
+        PutU64(&out, offsets.size() * 4);
+        out.append(reinterpret_cast<const char*>(offsets.data()), offsets.size() * 4);
+        PutString(&out, bytes);
+        break;
+      }
+      case DataType::kNull:
+        break;
+    }
+  }
+  return out;
+}
+
+Result<TablePtr> DeserializeBinary(const std::string& buffer) {
+  size_t pos = 0;
+  if (buffer.size() < 4 || std::memcmp(buffer.data(), kMagic, 4) != 0) {
+    return Status::ParseError("binary table: bad magic");
+  }
+  pos = 4;
+  uint32_t num_cols;
+  uint64_t num_rows;
+  if (!GetU32(buffer, &pos, &num_cols) || !GetU64(buffer, &pos, &num_rows)) {
+    return Status::ParseError("binary table: truncated header");
+  }
+  std::vector<Field> fields(num_cols);
+  for (uint32_t c = 0; c < num_cols; ++c) {
+    if (!GetString(buffer, &pos, &fields[c].name) || pos >= buffer.size()) {
+      return Status::ParseError("binary table: truncated schema");
+    }
+    fields[c].type = static_cast<DataType>(buffer[pos++]);
+  }
+  const size_t n = static_cast<size_t>(num_rows);
+  std::vector<Column> columns;
+  columns.reserve(num_cols);
+  for (uint32_t c = 0; c < num_cols; ++c) {
+    Column col(fields[c].type);
+    col.Reserve(n);
+    std::string bitmap;
+    if (!GetString(buffer, &pos, &bitmap) || bitmap.size() < (n + 7) / 8) {
+      return Status::ParseError("binary table: truncated validity");
+    }
+    auto is_valid = [&](size_t r) {
+      return (bitmap[r / 8] >> (r % 8)) & 1;
+    };
+    switch (fields[c].type) {
+      case DataType::kBool: {
+        std::string bits;
+        if (!GetString(buffer, &pos, &bits)) return Status::ParseError("truncated bools");
+        for (size_t r = 0; r < n; ++r) {
+          if (!is_valid(r)) {
+            col.AppendNull();
+          } else {
+            col.AppendBool((bits[r / 8] >> (r % 8)) & 1);
+          }
+        }
+        break;
+      }
+      case DataType::kInt64:
+      case DataType::kTimestamp: {
+        uint64_t len;
+        if (!GetU64(buffer, &pos, &len) || pos + len > buffer.size() || len != n * 8) {
+          return Status::ParseError("truncated ints");
+        }
+        for (size_t r = 0; r < n; ++r) {
+          int64_t v;
+          std::memcpy(&v, buffer.data() + pos + r * 8, 8);
+          if (!is_valid(r)) {
+            col.AppendNull();
+          } else {
+            col.AppendInt(v);
+          }
+        }
+        pos += len;
+        break;
+      }
+      case DataType::kFloat64: {
+        uint64_t len;
+        if (!GetU64(buffer, &pos, &len) || pos + len > buffer.size() || len != n * 8) {
+          return Status::ParseError("truncated doubles");
+        }
+        for (size_t r = 0; r < n; ++r) {
+          double v;
+          std::memcpy(&v, buffer.data() + pos + r * 8, 8);
+          if (!is_valid(r)) {
+            col.AppendNull();
+          } else {
+            col.AppendDouble(v);
+          }
+        }
+        pos += len;
+        break;
+      }
+      case DataType::kString: {
+        uint64_t len;
+        if (!GetU64(buffer, &pos, &len) || pos + len > buffer.size() ||
+            len != (n + 1) * 4) {
+          return Status::ParseError("truncated offsets");
+        }
+        std::vector<uint32_t> offsets(n + 1);
+        std::memcpy(offsets.data(), buffer.data() + pos, len);
+        pos += len;
+        std::string bytes;
+        if (!GetString(buffer, &pos, &bytes)) return Status::ParseError("truncated strings");
+        for (size_t r = 0; r < n; ++r) {
+          if (!is_valid(r)) {
+            col.AppendNull();
+          } else {
+            col.AppendString(bytes.substr(offsets[r], offsets[r + 1] - offsets[r]));
+          }
+        }
+        break;
+      }
+      case DataType::kNull: {
+        for (size_t r = 0; r < n; ++r) col.AppendNull();
+        break;
+      }
+    }
+    columns.push_back(std::move(col));
+  }
+  return TablePtr(std::make_shared<Table>(Schema(std::move(fields)), std::move(columns)));
+}
+
+}  // namespace data
+}  // namespace vegaplus

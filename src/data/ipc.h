@@ -1,0 +1,49 @@
+// Result-set serialization: the two wire encodings VegaPlus chooses between
+// when shipping query results from the DBMS/middleware to the client.
+//
+//  * JSON rows  — the default HTTP connector encoding in the paper: an array
+//    of objects. Large and requires client-side decoding.
+//  * Columnar binary ("Arrow format" stand-in) — schema header + contiguous
+//    per-column buffers, dramatically smaller and cheaper to decode.
+//
+// Both produce real byte strings; the network simulator charges transfer and
+// decode cost from the actual encoded sizes.
+#ifndef VEGAPLUS_DATA_IPC_H_
+#define VEGAPLUS_DATA_IPC_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/table.h"
+#include "json/json_value.h"
+
+namespace vegaplus {
+namespace data {
+
+// ---- JSON rows encoding ----
+
+/// Encode as a JSON array of row objects (nulls omitted, like Vega tuples).
+std::string SerializeJsonRows(const Table& table);
+
+/// Decode a JSON array of row objects; column types inferred from values
+/// (number cells become float64 unless every value is integral).
+Result<TablePtr> DeserializeJsonRows(const std::string& text);
+
+/// Convert a table to an in-memory json::Value (array of objects).
+json::Value TableToJson(const Table& table);
+
+/// Convert a JSON array of objects into a Table.
+Result<TablePtr> JsonToTable(const json::Value& rows);
+
+// ---- Columnar binary encoding ----
+
+/// Encode a table into the columnar binary format (magic "VPT1").
+std::string SerializeBinary(const Table& table);
+
+/// Decode a columnar binary buffer produced by SerializeBinary.
+Result<TablePtr> DeserializeBinary(const std::string& buffer);
+
+}  // namespace data
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_DATA_IPC_H_

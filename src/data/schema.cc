@@ -1,0 +1,34 @@
+#include "data/schema.h"
+
+#include "common/str_util.h"
+
+namespace vegaplus {
+namespace data {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    // First occurrence wins on duplicate names (matches SQL output behaviour
+    // where later duplicates are only addressable positionally).
+    index_.emplace(fields_[i].name, static_cast<int>(i));
+  }
+}
+
+int Schema::FieldIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ": ";
+    out += DataTypeName(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace data
+}  // namespace vegaplus

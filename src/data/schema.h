@@ -1,0 +1,50 @@
+// Schema: ordered, named, typed fields of a Table.
+#ifndef VEGAPLUS_DATA_SCHEMA_H_
+#define VEGAPLUS_DATA_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/data_type.h"
+
+namespace vegaplus {
+namespace data {
+
+struct Field {
+  std::string name;
+  DataType type = DataType::kNull;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief Immutable ordered field list with O(1) name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of field `name`, or -1 if absent.
+  int FieldIndex(const std::string& name) const;
+  bool HasField(const std::string& name) const { return FieldIndex(name) >= 0; }
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace data
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_DATA_SCHEMA_H_

@@ -1,0 +1,65 @@
+#include "data/stats.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace vegaplus {
+namespace data {
+
+namespace {
+
+struct ValueHasher {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+struct ValueEq {
+  bool operator()(const Value& a, const Value& b) const { return a == b; }
+};
+
+}  // namespace
+
+TableStats ComputeTableStats(const Table& table) {
+  TableStats stats;
+  stats.num_rows = table.num_rows();
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    ColumnStats cs;
+    cs.name = table.schema().field(c).name;
+    cs.type = col.type();
+    cs.null_count = col.null_count();
+
+    std::unordered_set<Value, ValueHasher, ValueEq> seen;
+    bool tracking = true;
+    double min = std::nan("");
+    double max = std::nan("");
+    for (size_t r = 0; r < col.length(); ++r) {
+      if (col.IsNull(r)) continue;
+      if (IsNumericType(col.type())) {
+        double v = col.NumericAt(r);
+        if (std::isnan(min) || v < min) min = v;
+        if (std::isnan(max) || v > max) max = v;
+      }
+      if (tracking) {
+        Value v = col.ValueAt(r);
+        if (seen.insert(v).second) {
+          cs.domain.push_back(std::move(v));
+          if (cs.domain.size() > kMaxTrackedDistinct) {
+            tracking = false;
+            cs.domain.clear();
+          }
+        }
+      }
+    }
+    cs.distinct_is_exact = tracking;
+    cs.distinct_count = tracking ? cs.domain.size() : kMaxTrackedDistinct + 1;
+    if (!std::isnan(min)) {
+      cs.min = min;
+      cs.max = max;
+      cs.has_extent = true;
+    }
+    stats.columns.push_back(std::move(cs));
+  }
+  return stats;
+}
+
+}  // namespace data
+}  // namespace vegaplus

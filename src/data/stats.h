@@ -1,0 +1,53 @@
+// Per-column statistics: the inputs to the SQL engine's EXPLAIN-style
+// cardinality/cost estimator and to the workload simulator (which needs
+// field extents and categorical domains to synthesize interaction params).
+#ifndef VEGAPLUS_DATA_STATS_H_
+#define VEGAPLUS_DATA_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+
+namespace vegaplus {
+namespace data {
+
+struct ColumnStats {
+  std::string name;
+  DataType type = DataType::kNull;
+  size_t null_count = 0;
+  /// Exact up to kMaxTrackedDistinct distinct values, then capped.
+  size_t distinct_count = 0;
+  bool distinct_is_exact = true;
+  /// Numeric extent (NaN when the column has no numeric values).
+  double min = 0.0;
+  double max = 0.0;
+  bool has_extent = false;
+  /// Distinct values in first-seen order when distinct_is_exact
+  /// (the categorical domain used for dropdowns/click filters).
+  std::vector<Value> domain;
+};
+
+struct TableStats {
+  size_t num_rows = 0;
+  std::vector<ColumnStats> columns;
+
+  const ColumnStats* Find(const std::string& name) const {
+    for (const auto& c : columns) {
+      if (c.name == name) return &c;
+    }
+    return nullptr;
+  }
+};
+
+/// Distinct-tracking cutoff; beyond this the domain is dropped and
+/// distinct_count becomes a floor estimate.
+inline constexpr size_t kMaxTrackedDistinct = 256;
+
+/// Compute stats with a full scan of `table`.
+TableStats ComputeTableStats(const Table& table);
+
+}  // namespace data
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_DATA_STATS_H_

@@ -1,0 +1,111 @@
+#include "data/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace vegaplus {
+namespace data {
+
+Table::Table(Schema schema, std::vector<Column> columns)
+    : schema_(std::move(schema)), columns_(std::move(columns)) {
+  VP_CHECK(schema_.num_fields() == columns_.size())
+      << "schema/column count mismatch: " << schema_.num_fields() << " vs "
+      << columns_.size();
+  num_rows_ = columns_.empty() ? 0 : columns_[0].length();
+  for (const Column& c : columns_) {
+    VP_CHECK(c.length() == num_rows_) << "ragged columns";
+  }
+}
+
+const Column* Table::ColumnByName(const std::string& name) const {
+  int idx = schema_.FieldIndex(name);
+  return idx < 0 ? nullptr : &columns_[static_cast<size_t>(idx)];
+}
+
+Value Table::ValueAt(size_t row, const std::string& name) const {
+  const Column* col = ColumnByName(name);
+  return col ? col->ValueAt(row) : Value::Null();
+}
+
+TablePtr Table::Take(const std::vector<int32_t>& indices) const {
+  std::vector<Column> cols;
+  cols.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    cols.push_back(c.Take(indices));
+  }
+  return std::make_shared<Table>(schema_, std::move(cols));
+}
+
+TablePtr Table::Head(size_t n) const {
+  n = std::min(n, num_rows_);
+  std::vector<int32_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = static_cast<int32_t>(i);
+  return Take(idx);
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  os << schema_.ToString() << " rows=" << num_rows_ << "\n";
+  size_t n = std::min(max_rows, num_rows_);
+  for (size_t r = 0; r < n; ++r) {
+    os << "  ";
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) os << " | ";
+      os << columns_[c].ValueAt(r).ToString();
+    }
+    os << "\n";
+  }
+  if (n < num_rows_) os << "  ... (" << (num_rows_ - n) << " more)\n";
+  return os.str();
+}
+
+bool Table::Equals(const Table& other) const {
+  if (!(schema_ == other.schema_) || num_rows_ != other.num_rows_) return false;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    for (size_t r = 0; r < num_rows_; ++r) {
+      if (columns_[c].ValueAt(r) != other.columns_[c].ValueAt(r)) return false;
+    }
+  }
+  return true;
+}
+
+TableBuilder::TableBuilder(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const Field& f : schema_.fields()) {
+    columns_.emplace_back(f.type);
+  }
+}
+
+void TableBuilder::AppendRow(const std::vector<Value>& values) {
+  VP_CHECK(values.size() == columns_.size()) << "row width mismatch";
+  for (size_t i = 0; i < values.size(); ++i) {
+    columns_[i].Append(values[i]);
+  }
+}
+
+void TableBuilder::Reserve(size_t n) {
+  for (Column& c : columns_) c.Reserve(n);
+}
+
+TablePtr TableBuilder::Build() {
+  auto t = std::make_shared<Table>(schema_, std::move(columns_));
+  columns_.clear();
+  for (const Field& f : schema_.fields()) {
+    columns_.emplace_back(f.type);
+  }
+  return t;
+}
+
+TablePtr MakeTable(Schema schema, const std::vector<std::vector<Value>>& rows) {
+  TableBuilder builder(std::move(schema));
+  builder.Reserve(rows.size());
+  for (const auto& row : rows) builder.AppendRow(row);
+  return builder.Build();
+}
+
+TablePtr EmptyTable(Schema schema) { return MakeTable(std::move(schema), {}); }
+
+}  // namespace data
+}  // namespace vegaplus

@@ -1,0 +1,90 @@
+// Table: immutable-ish columnar relation = Schema + Columns. Tables are
+// passed by shared_ptr<const Table> through the dataflow and SQL engines.
+#ifndef VEGAPLUS_DATA_TABLE_H_
+#define VEGAPLUS_DATA_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/column.h"
+#include "data/schema.h"
+
+namespace vegaplus {
+namespace data {
+
+class Table;
+using TablePtr = std::shared_ptr<const Table>;
+
+/// \brief A named-column relation.
+class Table {
+ public:
+  Table() = default;
+  Table(Schema schema, std::vector<Column> columns);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return num_rows_; }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Column by name; nullptr if absent.
+  const Column* ColumnByName(const std::string& name) const;
+
+  /// Cell access by row + field name; Null for unknown fields.
+  Value ValueAt(size_t row, const std::string& name) const;
+  Value ValueAt(size_t row, size_t col) const { return columns_[col].ValueAt(row); }
+
+  /// Gather rows (in `indices` order) into a new table.
+  TablePtr Take(const std::vector<int32_t>& indices) const;
+
+  /// First `n` rows.
+  TablePtr Head(size_t n) const;
+
+  /// Human-readable preview (up to `max_rows` rows) for examples/debugging.
+  std::string ToString(size_t max_rows = 10) const;
+
+  /// Structural equality (schema + every cell).
+  bool Equals(const Table& other) const;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+/// \brief Row-wise table construction against a fixed schema.
+class TableBuilder {
+ public:
+  explicit TableBuilder(Schema schema);
+
+  /// Append one row; `values` must have one entry per schema field.
+  void AppendRow(const std::vector<Value>& values);
+
+  /// Direct access to column `i` for fast typed appends. All columns must be
+  /// kept the same length by the caller when using this path.
+  Column* column(size_t i) { return &columns_[i]; }
+
+  void Reserve(size_t n);
+
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].length(); }
+
+  /// Finish; the builder is left empty.
+  TablePtr Build();
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+};
+
+/// Convenience: build a table from a schema and rows of Values.
+TablePtr MakeTable(Schema schema, const std::vector<std::vector<Value>>& rows);
+
+/// Empty table with the given schema.
+TablePtr EmptyTable(Schema schema);
+
+}  // namespace data
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_DATA_TABLE_H_

@@ -1,0 +1,85 @@
+#include "data/value.h"
+
+#include <cmath>
+#include <cstring>
+#include <functional>
+
+#include "common/str_util.h"
+
+namespace vegaplus {
+namespace data {
+
+bool Value::Truthy() const {
+  switch (type_) {
+    case DataType::kNull: return false;
+    case DataType::kBool: return int_ != 0;
+    case DataType::kInt64:
+    case DataType::kTimestamp: return int_ != 0;
+    case DataType::kFloat64: return double_ != 0.0 && !std::isnan(double_);
+    case DataType::kString: return !str_.empty();
+  }
+  return false;
+}
+
+int Value::Compare(const Value& other) const {
+  // Nulls sort first.
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;
+  if (other.is_null()) return 1;
+
+  const bool a_num = is_numeric() || is_bool();
+  const bool b_num = other.is_numeric() || other.is_bool();
+  if (a_num && b_num) {
+    double a = AsDouble();
+    double b = other.AsDouble();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (is_string() && other.is_string()) {
+    return str_.compare(other.str_) < 0 ? -1 : (str_ == other.str_ ? 0 : 1);
+  }
+  // Mixed string/number: order by type id for a stable total order.
+  int a_id = static_cast<int>(type_);
+  int b_id = static_cast<int>(other.type_);
+  return a_id < b_id ? -1 : (a_id == b_id ? 0 : 1);
+}
+
+size_t Value::Hash() const {
+  switch (type_) {
+    case DataType::kNull:
+      return 0x9E3779B9u;
+    case DataType::kBool:
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+    case DataType::kFloat64: {
+      // Hash through double so Int(3) and Double(3.0) collide with equality.
+      double d = AsDouble();
+      if (d == 0.0) d = 0.0;  // normalize -0.0
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(d));
+      bits *= 0xFF51AFD7ED558CCDull;
+      bits ^= bits >> 33;
+      return static_cast<size_t>(bits);
+    }
+    case DataType::kString:
+      return std::hash<std::string>{}(str_);
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case DataType::kNull: return "null";
+    case DataType::kBool: return int_ ? "true" : "false";
+    case DataType::kInt64: return StrFormat("%lld", static_cast<long long>(int_));
+    case DataType::kTimestamp: return StrFormat("%lld", static_cast<long long>(int_));
+    case DataType::kFloat64: return FormatDouble(double_);
+    case DataType::kString: return str_;
+  }
+  return "?";
+}
+
+}  // namespace data
+}  // namespace vegaplus

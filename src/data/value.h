@@ -1,0 +1,96 @@
+// Scalar Value: the dynamically-typed cell used at module boundaries
+// (expression evaluation, row building, SQL literals). Columns store data
+// natively; Value is the exchange format, not the storage format.
+#ifndef VEGAPLUS_DATA_VALUE_H_
+#define VEGAPLUS_DATA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/data_type.h"
+
+namespace vegaplus {
+namespace data {
+
+/// \brief A nullable scalar of any DataType.
+class Value {
+ public:
+  Value() : type_(DataType::kNull) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) {
+    Value v;
+    v.type_ = DataType::kBool;
+    v.int_ = b ? 1 : 0;
+    return v;
+  }
+  static Value Int(int64_t i) {
+    Value v;
+    v.type_ = DataType::kInt64;
+    v.int_ = i;
+    return v;
+  }
+  static Value Double(double d) {
+    Value v;
+    v.type_ = DataType::kFloat64;
+    v.double_ = d;
+    return v;
+  }
+  static Value String(std::string s) {
+    Value v;
+    v.type_ = DataType::kString;
+    v.str_ = std::move(s);
+    return v;
+  }
+  static Value Timestamp(int64_t millis) {
+    Value v;
+    v.type_ = DataType::kTimestamp;
+    v.int_ = millis;
+    return v;
+  }
+
+  DataType type() const { return type_; }
+  bool is_null() const { return type_ == DataType::kNull; }
+  bool is_bool() const { return type_ == DataType::kBool; }
+  bool is_int() const { return type_ == DataType::kInt64; }
+  bool is_double() const { return type_ == DataType::kFloat64; }
+  bool is_string() const { return type_ == DataType::kString; }
+  bool is_timestamp() const { return type_ == DataType::kTimestamp; }
+  bool is_numeric() const { return IsNumericType(type_); }
+
+  bool AsBool() const { return int_ != 0; }
+  int64_t AsInt() const { return type_ == DataType::kFloat64 ? static_cast<int64_t>(double_) : int_; }
+  /// Numeric view of the value (bool -> 0/1, timestamp -> millis).
+  double AsDouble() const {
+    return type_ == DataType::kFloat64 ? double_ : static_cast<double>(int_);
+  }
+  const std::string& AsString() const { return str_; }
+
+  /// Truthiness per the Vega expression language (JS semantics).
+  bool Truthy() const;
+
+  /// Total order for sorting: nulls first, then numeric/bool by value, then
+  /// strings lexicographically. Cross-type comparisons order by type id.
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Hash compatible with Compare()==0 (numeric 3 and 3.0 hash equal).
+  size_t Hash() const;
+
+  /// Display string: JSON-ish ("null", "true", "3.5", "abc").
+  std::string ToString() const;
+
+ private:
+  DataType type_;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string str_;
+};
+
+}  // namespace data
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_DATA_VALUE_H_

@@ -1,0 +1,142 @@
+#include "dataflow/dataflow.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vegaplus {
+namespace dataflow {
+
+Operator* Dataflow::Add(std::unique_ptr<Operator> op, Operator* input) {
+  op->id = static_cast<int>(operators_.size());
+  op->input = input;
+  ranks_dirty_ = true;
+  operators_.push_back(std::move(op));
+  return operators_.back().get();
+}
+
+void Dataflow::DeclareSignal(const std::string& name, expr::EvalValue initial) {
+  signals_.Set(name, std::move(initial), 0);
+}
+
+Status Dataflow::AssignRanks() {
+  // Dependencies: data input edge, plus an edge from the producer of every
+  // signal the operator reads. Iterate to fixpoint (graphs are small; a DAG
+  // converges in <= |V| sweeps).
+  for (auto& op : operators_) op->rank = 0;
+  bool changed = true;
+  size_t sweeps = 0;
+  while (changed) {
+    if (++sweeps > operators_.size() + 2) {
+      return Status::InvalidArgument("dataflow: dependency cycle detected");
+    }
+    changed = false;
+    for (auto& op : operators_) {
+      int rank = 0;
+      if (op->input != nullptr) rank = std::max(rank, op->input->rank + 1);
+      for (const std::string& sig : op->signal_deps()) {
+        auto it = signal_producers_.find(sig);
+        if (it != signal_producers_.end() && it->second != op.get()) {
+          rank = std::max(rank, it->second->rank + 1);
+        }
+      }
+      if (rank != op->rank) {
+        op->rank = rank;
+        changed = true;
+      }
+    }
+  }
+  ranks_dirty_ = false;
+  return Status::OK();
+}
+
+Result<RunStats> Dataflow::Run() {
+  std::vector<Operator*> all;
+  all.reserve(operators_.size());
+  for (auto& op : operators_) all.push_back(op.get());
+  return Propagate(all);
+}
+
+Result<RunStats> Dataflow::Update(
+    const std::vector<std::pair<std::string, expr::EvalValue>>& signal_updates) {
+  ++clock_;
+  for (const auto& [name, value] : signal_updates) {
+    signals_.Set(name, value, clock_);
+  }
+  // Dirty set: operators reading an updated signal.
+  std::vector<Operator*> dirty;
+  for (auto& op : operators_) {
+    for (const std::string& sig : op->signal_deps()) {
+      int64_t s = signals_.StampOf(sig);
+      if (s > op->stamp) {
+        dirty.push_back(op.get());
+        break;
+      }
+    }
+  }
+  return Propagate(dirty);
+}
+
+Result<RunStats> Dataflow::Propagate(const std::vector<Operator*>& initially_dirty) {
+  if (ranks_dirty_) VP_RETURN_IF_ERROR(AssignRanks());
+  if (clock_ == 0) ++clock_;  // initial Run() gets stamp 1
+
+  // Order by (rank, id) for deterministic evaluation.
+  std::vector<Operator*> order;
+  order.reserve(operators_.size());
+  for (auto& op : operators_) order.push_back(op.get());
+  std::sort(order.begin(), order.end(), [](const Operator* a, const Operator* b) {
+    return a->rank != b->rank ? a->rank < b->rank : a->id < b->id;
+  });
+
+  std::vector<bool> dirty(operators_.size(), false);
+  for (Operator* op : initially_dirty) dirty[static_cast<size_t>(op->id)] = true;
+
+  RunStats stats;
+  for (Operator* op : order) {
+    // Re-check signal stamps (a producer earlier in this pass may have
+    // written a signal this operator reads).
+    bool is_dirty = dirty[static_cast<size_t>(op->id)];
+    if (!is_dirty && op->input != nullptr && op->input->stamp > op->stamp) {
+      is_dirty = true;
+    }
+    if (!is_dirty) {
+      for (const std::string& sig : op->signal_deps()) {
+        if (signals_.StampOf(sig) > op->stamp) {
+          is_dirty = true;
+          break;
+        }
+      }
+    }
+    if (!is_dirty) continue;
+
+    data::TablePtr input = op->input != nullptr ? op->input->output : nullptr;
+    auto result = op->Evaluate(input, signals_);
+    if (!result.ok()) {
+      return Status(result.status().code(),
+                    "dataflow: operator '" + op->type() + "' (id " +
+                        std::to_string(op->id) + "): " + result.status().message());
+    }
+    op->output = result->table;
+    op->stamp = clock_;
+    for (auto& [name, value] : result->signal_writes) {
+      signals_.Set(name, std::move(value), clock_);
+      signal_producers_[name] = op;
+    }
+    ++stats.ops_evaluated;
+    stats.rows_processed += result->rows_processed;
+    stats.external_millis += result->external_millis;
+  }
+  return stats;
+}
+
+std::vector<const Operator*> Dataflow::CurrentOperators() const {
+  std::vector<const Operator*> current;
+  for (const auto& op : operators_) {
+    if (op->stamp == clock_) current.push_back(op.get());
+  }
+  return current;
+}
+
+}  // namespace dataflow
+}  // namespace vegaplus

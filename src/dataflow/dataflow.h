@@ -1,0 +1,89 @@
+// Dataflow: the reactive graph. Builds ranks from data edges plus
+// signal-producer edges, runs operators in rank order, and re-evaluates only
+// the operators downstream of updated signals (partial re-evaluation, §5.4).
+#ifndef VEGAPLUS_DATAFLOW_DATAFLOW_H_
+#define VEGAPLUS_DATAFLOW_DATAFLOW_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataflow/operator.h"
+#include "dataflow/signal_registry.h"
+
+namespace vegaplus {
+namespace dataflow {
+
+/// \brief Work accounting of one Run()/Update() pass; the latency model
+/// converts these counters into simulated client time.
+struct RunStats {
+  int ops_evaluated = 0;
+  size_t rows_processed = 0;
+  /// Simulated latency of external calls made during the run (VDT queries).
+  double external_millis = 0;
+
+  void Add(const RunStats& other) {
+    ops_evaluated += other.ops_evaluated;
+    rows_processed += other.rows_processed;
+    external_millis += other.external_millis;
+  }
+};
+
+/// \brief An executable reactive dataflow graph.
+class Dataflow {
+ public:
+  /// Add an operator wired to `input` (nullptr for roots). The graph owns it.
+  Operator* Add(std::unique_ptr<Operator> op, Operator* input);
+
+  /// Declare a signal with its initial value (stamp 0).
+  void DeclareSignal(const std::string& name, expr::EvalValue initial);
+
+  SignalRegistry& signals() { return signals_; }
+  const SignalRegistry& signals() const { return signals_; }
+
+  const std::vector<std::unique_ptr<Operator>>& operators() const { return operators_; }
+
+  /// Current logical clock (advances on every Run/Update).
+  int64_t clock() const { return clock_; }
+
+  /// Evaluate every operator (initial rendering). Returns run counters.
+  Result<RunStats> Run();
+
+  /// Apply signal updates, then re-evaluate only affected operators.
+  Result<RunStats> Update(
+      const std::vector<std::pair<std::string, expr::EvalValue>>& signal_updates);
+
+  /// Operators whose stamp equals the current clock (i.e. evaluated by the
+  /// most recent pass) — the per-interaction vector extraction of §5.4.
+  std::vector<const Operator*> CurrentOperators() const;
+
+ private:
+  /// Assign ranks from data edges + signal-producer edges; called lazily
+  /// before a run when the graph changed.
+  Status AssignRanks();
+
+  Result<RunStats> Propagate(const std::vector<Operator*>& initially_dirty);
+
+  std::vector<std::unique_ptr<Operator>> operators_;
+  /// signal name -> operator that writes it (from prior evaluations or
+  /// declared by transforms that output signals).
+  std::map<std::string, Operator*> signal_producers_;
+  SignalRegistry signals_;
+  int64_t clock_ = 0;
+  bool ranks_dirty_ = true;
+
+ public:
+  /// Register `op` as the producer of signal `name` (extent ops, VDTs that
+  /// emit signals). Needed for correct rank ordering; called by spec
+  /// compilation.
+  void RegisterSignalProducer(const std::string& name, Operator* op) {
+    signal_producers_[name] = op;
+    ranks_dirty_ = true;
+  }
+};
+
+}  // namespace dataflow
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_DATAFLOW_DATAFLOW_H_

@@ -1,0 +1,25 @@
+#include "dataflow/operator.h"
+
+namespace vegaplus {
+namespace dataflow {
+
+Result<EvalResult> TableSourceOp::Evaluate(const data::TablePtr& /*input*/,
+                                           const expr::SignalResolver& /*signals*/) {
+  if (!table_) return Status::InvalidArgument("source: no table bound");
+  EvalResult result;
+  result.table = table_;
+  result.rows_processed = table_->num_rows();
+  return result;
+}
+
+Result<EvalResult> RelayOp::Evaluate(const data::TablePtr& input,
+                                     const expr::SignalResolver& /*signals*/) {
+  if (!input) return Status::InvalidArgument("relay: missing input");
+  EvalResult result;
+  result.table = input;
+  result.rows_processed = 0;  // relays are free (no copy in this runtime)
+  return result;
+}
+
+}  // namespace dataflow
+}  // namespace vegaplus

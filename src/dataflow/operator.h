@@ -1,0 +1,99 @@
+// Operator: one node of the reactive dataflow graph. Operators have at most
+// one upstream data input (Vega data pipelines are chains that may fan out),
+// read signals, and produce an output table and/or signal writes.
+#ifndef VEGAPLUS_DATAFLOW_OPERATOR_H_
+#define VEGAPLUS_DATAFLOW_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "data/table.h"
+#include "expr/evaluator.h"
+
+namespace vegaplus {
+namespace dataflow {
+
+/// \brief What one Evaluate() produced.
+struct EvalResult {
+  /// Output tuples (null for signal-only operators such as extent).
+  data::TablePtr table;
+  /// Signals this evaluation wrote (e.g. extent -> [min, max]).
+  std::vector<std::pair<std::string, expr::EvalValue>> signal_writes;
+  /// Rows touched (drives the simulated client-CPU latency).
+  size_t rows_processed = 0;
+  /// Simulated latency contributed by external calls (VDT query + network).
+  double external_millis = 0;
+};
+
+/// \brief Base class of all dataflow operators (Vega transforms, data
+/// sources, and VegaPlus's VDTs).
+class Operator {
+ public:
+  Operator(std::string type, std::vector<std::string> signal_deps)
+      : type_(std::move(type)), signal_deps_(std::move(signal_deps)) {}
+  virtual ~Operator() = default;
+
+  /// Operator type name for plan encoding ("filter", "bin", "aggregate",
+  /// "vdt", "source", ...).
+  const std::string& type() const { return type_; }
+
+  /// Signals this operator reads.
+  const std::vector<std::string>& signal_deps() const { return signal_deps_; }
+
+  /// Re-compute from `input` (output of the upstream operator; null for
+  /// sources) under the given signal environment.
+  virtual Result<EvalResult> Evaluate(const data::TablePtr& input,
+                                      const expr::SignalResolver& signals) = 0;
+
+  // ---- Graph wiring / runtime state (managed by Dataflow) ----
+  int id = -1;
+  Operator* input = nullptr;        // upstream data dependency (may be null)
+  int rank = 0;                     // topological rank
+  int64_t stamp = -1;               // logical time of last evaluation
+  data::TablePtr output;            // latest output tuples
+  /// Output cardinality of the latest evaluation (0 before first run).
+  size_t output_rows() const { return output ? output->num_rows() : 0; }
+  /// Marks operators that must keep their output materialized on the client
+  /// (referenced by scales/marks/other spec components); set by dependency
+  /// checking, consumed by the plan enumerator.
+  bool client_reserved = false;
+  /// Name of the data entry this operator belongs to ("" for internal ops).
+  std::string data_entry;
+
+ protected:
+  std::string type_;
+  std::vector<std::string> signal_deps_;
+};
+
+/// \brief Root data source backed by an in-memory table (the client-side
+/// case; VDT sources in the rewrite module fetch from the DBMS instead).
+class TableSourceOp : public Operator {
+ public:
+  explicit TableSourceOp(data::TablePtr table)
+      : Operator("source", {}), table_(std::move(table)) {}
+
+  Result<EvalResult> Evaluate(const data::TablePtr& input,
+                              const expr::SignalResolver& signals) override;
+
+  void set_table(data::TablePtr table) { table_ = std::move(table); }
+
+ private:
+  data::TablePtr table_;
+};
+
+/// \brief Pass-through operator (internal relay; models Vega's implicit
+/// copies between data entries).
+class RelayOp : public Operator {
+ public:
+  RelayOp() : Operator("relay", {}) {}
+  Result<EvalResult> Evaluate(const data::TablePtr& input,
+                              const expr::SignalResolver& signals) override;
+};
+
+}  // namespace dataflow
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_DATAFLOW_OPERATOR_H_

@@ -1,0 +1,38 @@
+#include "dataflow/signal_registry.h"
+
+namespace vegaplus {
+namespace dataflow {
+
+void SignalRegistry::Set(const std::string& name, expr::EvalValue value, int64_t stamp) {
+  Entry& e = values_[name];
+  e.value = std::move(value);
+  e.stamp = stamp;
+}
+
+int64_t SignalRegistry::StampOf(const std::string& name) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? -1 : it->second.stamp;
+}
+
+bool SignalRegistry::Lookup(const std::string& name, expr::EvalValue* out) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  *out = it->second.value;
+  return true;
+}
+
+expr::EvalValue SignalRegistry::Get(const std::string& name) const {
+  expr::EvalValue v;
+  Lookup(name, &v);
+  return v;
+}
+
+std::vector<std::string> SignalRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [name, entry] : values_) names.push_back(name);
+  return names;
+}
+
+}  // namespace dataflow
+}  // namespace vegaplus

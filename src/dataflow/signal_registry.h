@@ -1,0 +1,48 @@
+// Signals: the named reactive variables of a Vega dataflow. Interactions
+// write signals; operators declare signal dependencies and re-evaluate when
+// one of their signals advances (§2 "Vega Parameters & Signals").
+#ifndef VEGAPLUS_DATAFLOW_SIGNAL_REGISTRY_H_
+#define VEGAPLUS_DATAFLOW_SIGNAL_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "expr/evaluator.h"
+
+namespace vegaplus {
+namespace dataflow {
+
+/// \brief Stamped signal store; doubles as the expression evaluator's
+/// SignalResolver.
+class SignalRegistry : public expr::SignalResolver {
+ public:
+  /// Define or overwrite a signal at logical time `stamp`.
+  void Set(const std::string& name, expr::EvalValue value, int64_t stamp);
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  /// Stamp of the last write to `name` (-1 if undefined).
+  int64_t StampOf(const std::string& name) const;
+
+  /// expr::SignalResolver:
+  bool Lookup(const std::string& name, expr::EvalValue* out) const override;
+
+  /// Value of `name` (Null if undefined).
+  expr::EvalValue Get(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+
+ private:
+  struct Entry {
+    expr::EvalValue value;
+    int64_t stamp = -1;
+  };
+  std::map<std::string, Entry> values_;
+};
+
+}  // namespace dataflow
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_DATAFLOW_SIGNAL_REGISTRY_H_

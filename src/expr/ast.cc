@@ -1,0 +1,182 @@
+#include "expr/ast.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace vegaplus {
+namespace expr {
+
+namespace {
+std::shared_ptr<Node> NewNode(NodeKind kind) {
+  auto n = std::make_shared<Node>();
+  n->kind = kind;
+  return n;
+}
+}  // namespace
+
+NodePtr Node::Literal(data::Value v) {
+  auto n = NewNode(NodeKind::kLiteral);
+  n->literal = std::move(v);
+  return n;
+}
+
+NodePtr Node::Identifier(std::string name) {
+  auto n = NewNode(NodeKind::kIdentifier);
+  n->name = std::move(name);
+  return n;
+}
+
+NodePtr Node::Member(NodePtr obj, std::string prop) {
+  auto n = NewNode(NodeKind::kMember);
+  n->a = std::move(obj);
+  n->name = std::move(prop);
+  return n;
+}
+
+NodePtr Node::Index(NodePtr obj, NodePtr index) {
+  auto n = NewNode(NodeKind::kIndex);
+  n->a = std::move(obj);
+  n->b = std::move(index);
+  return n;
+}
+
+NodePtr Node::Unary(UnaryOp op, NodePtr operand) {
+  auto n = NewNode(NodeKind::kUnary);
+  n->unary_op = op;
+  n->a = std::move(operand);
+  return n;
+}
+
+NodePtr Node::Binary(BinaryOp op, NodePtr lhs, NodePtr rhs) {
+  auto n = NewNode(NodeKind::kBinary);
+  n->binary_op = op;
+  n->a = std::move(lhs);
+  n->b = std::move(rhs);
+  return n;
+}
+
+NodePtr Node::Ternary(NodePtr cond, NodePtr then_branch, NodePtr else_branch) {
+  auto n = NewNode(NodeKind::kTernary);
+  n->a = std::move(cond);
+  n->b = std::move(then_branch);
+  n->c = std::move(else_branch);
+  return n;
+}
+
+NodePtr Node::Call(std::string fn, std::vector<NodePtr> args) {
+  auto n = NewNode(NodeKind::kCall);
+  n->name = std::move(fn);
+  n->args = std::move(args);
+  return n;
+}
+
+NodePtr Node::Array(std::vector<NodePtr> elements) {
+  auto n = NewNode(NodeKind::kArray);
+  n->args = std::move(elements);
+  return n;
+}
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNeq: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLte: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGte: return ">=";
+    case BinaryOp::kAnd: return "&&";
+    case BinaryOp::kOr: return "||";
+  }
+  return "?";
+}
+
+const char* UnaryOpName(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNeg: return "-";
+    case UnaryOp::kNot: return "!";
+    case UnaryOp::kPlus: return "+";
+  }
+  return "?";
+}
+
+std::string ToString(const NodePtr& node) {
+  if (!node) return "<null>";
+  switch (node->kind) {
+    case NodeKind::kLiteral:
+      if (node->literal.is_string()) {
+        return "'" + node->literal.AsString() + "'";
+      }
+      return node->literal.ToString();
+    case NodeKind::kIdentifier:
+      return node->name;
+    case NodeKind::kMember:
+      return ToString(node->a) + "." + node->name;
+    case NodeKind::kIndex:
+      return ToString(node->a) + "[" + ToString(node->b) + "]";
+    case NodeKind::kUnary:
+      return std::string(UnaryOpName(node->unary_op)) + "(" + ToString(node->a) + ")";
+    case NodeKind::kBinary:
+      return "(" + ToString(node->a) + " " + BinaryOpName(node->binary_op) + " " +
+             ToString(node->b) + ")";
+    case NodeKind::kTernary:
+      return "(" + ToString(node->a) + " ? " + ToString(node->b) + " : " +
+             ToString(node->c) + ")";
+    case NodeKind::kCall: {
+      std::string out = node->name + "(";
+      for (size_t i = 0; i < node->args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ToString(node->args[i]);
+      }
+      return out + ")";
+    }
+    case NodeKind::kArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < node->args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ToString(node->args[i]);
+      }
+      return out + "]";
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+void AddUnique(std::vector<std::string>* v, const std::string& s) {
+  if (std::find(v->begin(), v->end(), s) == v->end()) v->push_back(s);
+}
+
+}  // namespace
+
+void CollectReferences(const NodePtr& node, std::vector<std::string>* fields,
+                       std::vector<std::string>* signals) {
+  if (!node) return;
+  switch (node->kind) {
+    case NodeKind::kIdentifier:
+      if (node->name != "datum") AddUnique(signals, node->name);
+      return;
+    case NodeKind::kMember:
+      if (node->a && node->a->kind == NodeKind::kIdentifier && node->a->name == "datum") {
+        AddUnique(fields, node->name);
+        return;
+      }
+      CollectReferences(node->a, fields, signals);
+      return;
+    default:
+      break;
+  }
+  CollectReferences(node->a, fields, signals);
+  CollectReferences(node->b, fields, signals);
+  CollectReferences(node->c, fields, signals);
+  for (const auto& arg : node->args) CollectReferences(arg, fields, signals);
+}
+
+}  // namespace expr
+}  // namespace vegaplus

@@ -1,0 +1,85 @@
+// AST of the Vega expression language (the JavaScript-like language used in
+// filter predicates, formula transforms, and signal update expressions).
+#ifndef VEGAPLUS_EXPR_AST_H_
+#define VEGAPLUS_EXPR_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/value.h"
+
+namespace vegaplus {
+namespace expr {
+
+enum class NodeKind {
+  kLiteral,     // 3.5, 'abc', true, null
+  kIdentifier,  // signal name, or `datum`
+  kMember,      // obj.prop  /  obj['prop']
+  kIndex,       // obj[expr] with non-literal-string index
+  kUnary,       // -x, !x, +x
+  kBinary,      // x + y, x && y, ...
+  kTernary,     // c ? a : b
+  kCall,        // fn(args...)
+  kArray,       // [a, b, c]
+};
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNeq, kLt, kLte, kGt, kGte,
+  kAnd, kOr,
+};
+
+enum class UnaryOp { kNeg, kNot, kPlus };
+
+struct Node;
+using NodePtr = std::shared_ptr<const Node>;
+
+/// \brief A single AST node; children are immutable shared pointers so
+/// parsed expressions can be shared between spec, dataflow, and rewriter.
+struct Node {
+  NodeKind kind;
+
+  // kLiteral
+  data::Value literal;
+  // kIdentifier / kMember (property name) / kCall (function name)
+  std::string name;
+  // kMember/kIndex object; kUnary/kTernary first child; kBinary lhs
+  NodePtr a;
+  // kBinary rhs; kTernary then-branch; kIndex index expression
+  NodePtr b;
+  // kTernary else-branch
+  NodePtr c;
+  // kCall arguments; kArray elements
+  std::vector<NodePtr> args;
+  // kUnary / kBinary operator
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kAdd;
+
+  static NodePtr Literal(data::Value v);
+  static NodePtr Identifier(std::string name);
+  static NodePtr Member(NodePtr obj, std::string prop);
+  static NodePtr Index(NodePtr obj, NodePtr index);
+  static NodePtr Unary(UnaryOp op, NodePtr operand);
+  static NodePtr Binary(BinaryOp op, NodePtr lhs, NodePtr rhs);
+  static NodePtr Ternary(NodePtr cond, NodePtr then_branch, NodePtr else_branch);
+  static NodePtr Call(std::string fn, std::vector<NodePtr> args);
+  static NodePtr Array(std::vector<NodePtr> elements);
+};
+
+/// Unparse back to Vega expression syntax (stable, minimal parentheses not
+/// attempted — fully parenthesized for correctness).
+std::string ToString(const NodePtr& node);
+
+/// Collect `datum.<field>` references into `fields` and bare identifier
+/// (signal) references into `signals`, de-duplicated, in first-seen order.
+void CollectReferences(const NodePtr& node, std::vector<std::string>* fields,
+                       std::vector<std::string>* signals);
+
+const char* BinaryOpName(BinaryOp op);
+const char* UnaryOpName(UnaryOp op);
+
+}  // namespace expr
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_EXPR_AST_H_

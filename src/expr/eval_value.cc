@@ -1,0 +1,51 @@
+#include "expr/eval_value.h"
+
+namespace vegaplus {
+namespace expr {
+
+std::string EvalValue::ToString() const {
+  if (!is_array_) return scalar_.ToString();
+  std::string out = "[";
+  for (size_t i = 0; i < array_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += array_[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+json::Value EvalValue::ToJson() const {
+  auto scalar_to_json = [](const data::Value& v) -> json::Value {
+    switch (v.type()) {
+      case data::DataType::kNull: return json::Value(nullptr);
+      case data::DataType::kBool: return json::Value(v.AsBool());
+      case data::DataType::kString: return json::Value(v.AsString());
+      default: return json::Value(v.AsDouble());
+    }
+  };
+  if (!is_array_) return scalar_to_json(scalar_);
+  json::Value arr = json::Value::MakeArray();
+  for (const auto& v : array_) arr.Append(scalar_to_json(v));
+  return arr;
+}
+
+EvalValue EvalValue::FromJson(const json::Value& v) {
+  auto scalar_from_json = [](const json::Value& j) -> data::Value {
+    switch (j.type()) {
+      case json::Type::kBool: return data::Value::Bool(j.AsBool());
+      case json::Type::kNumber: return data::Value::Double(j.AsDouble());
+      case json::Type::kString: return data::Value::String(j.AsString());
+      default: return data::Value::Null();
+    }
+  };
+  if (v.is_array()) {
+    std::vector<data::Value> items;
+    items.reserve(v.array().size());
+    for (const auto& item : v.array()) items.push_back(scalar_from_json(item));
+    return EvalValue::Array(std::move(items));
+  }
+  return EvalValue(scalar_from_json(v));
+}
+
+}  // namespace expr
+}  // namespace vegaplus

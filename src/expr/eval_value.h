@@ -1,0 +1,72 @@
+// EvalValue: the value domain of the Vega expression language — a scalar or
+// an array of scalars (e.g. an extent signal [min, max], a brush range).
+// Also the storage type of dataflow signals.
+#ifndef VEGAPLUS_EXPR_EVAL_VALUE_H_
+#define VEGAPLUS_EXPR_EVAL_VALUE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/value.h"
+#include "json/json_value.h"
+
+namespace vegaplus {
+namespace expr {
+
+/// \brief A Vega expression value: a data::Value scalar or an array of them.
+class EvalValue {
+ public:
+  EvalValue() = default;
+  EvalValue(data::Value v) : scalar_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  explicit EvalValue(std::vector<data::Value> items)
+      : is_array_(true), array_(std::move(items)) {}
+
+  static EvalValue Null() { return EvalValue(data::Value::Null()); }
+  static EvalValue Number(double d) { return EvalValue(data::Value::Double(d)); }
+  static EvalValue Bool(bool b) { return EvalValue(data::Value::Bool(b)); }
+  static EvalValue String(std::string s) {
+    return EvalValue(data::Value::String(std::move(s)));
+  }
+  static EvalValue Array(std::vector<data::Value> items) {
+    return EvalValue(std::move(items));
+  }
+
+  bool is_array() const { return is_array_; }
+  bool is_null() const { return !is_array_ && scalar_.is_null(); }
+
+  const data::Value& scalar() const { return scalar_; }
+  const std::vector<data::Value>& array() const { return array_; }
+
+  /// Element access; Null out of range or on scalars.
+  data::Value At(size_t i) const {
+    if (!is_array_ || i >= array_.size()) return data::Value::Null();
+    return array_[i];
+  }
+
+  bool Truthy() const { return is_array_ ? !array_.empty() : scalar_.Truthy(); }
+
+  double AsDouble() const { return is_array_ ? 0.0 : scalar_.AsDouble(); }
+
+  bool operator==(const EvalValue& other) const {
+    if (is_array_ != other.is_array_) return false;
+    if (is_array_) return array_ == other.array_;
+    return scalar_ == other.scalar_;
+  }
+  bool operator!=(const EvalValue& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+
+  /// Conversion to/from JSON (signal init values in specs, debugging).
+  json::Value ToJson() const;
+  static EvalValue FromJson(const json::Value& v);
+
+ private:
+  data::Value scalar_;
+  bool is_array_ = false;
+  std::vector<data::Value> array_;
+};
+
+}  // namespace expr
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_EXPR_EVAL_VALUE_H_

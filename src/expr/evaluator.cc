@@ -1,0 +1,185 @@
+#include "expr/evaluator.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+#include "expr/functions.h"
+
+namespace vegaplus {
+namespace expr {
+
+Status Validate(const NodePtr& node) {
+  if (!node) return Status::InvalidArgument("expr: null node");
+  if (node->kind == NodeKind::kCall) {
+    const FunctionDef* def = FindFunction(node->name);
+    if (def == nullptr) {
+      return Status::KeyError("expr: unknown function '" + node->name + "'");
+    }
+    int n = static_cast<int>(node->args.size());
+    if (n < def->min_args || (def->max_args >= 0 && n > def->max_args)) {
+      return Status::InvalidArgument(
+          StrFormat("expr: function '%s' called with %d args (expects %d..%d)",
+                    node->name.c_str(), n, def->min_args, def->max_args));
+    }
+  }
+  for (const NodePtr& child : {node->a, node->b, node->c}) {
+    if (child) VP_RETURN_IF_ERROR(Validate(child));
+  }
+  for (const NodePtr& arg : node->args) VP_RETURN_IF_ERROR(Validate(arg));
+  return Status::OK();
+}
+
+namespace {
+
+EvalValue EvalBinary(BinaryOp op, const EvalValue& lhs, const EvalValue& rhs) {
+  switch (op) {
+    case BinaryOp::kAnd:
+      return lhs.Truthy() ? rhs : lhs;
+    case BinaryOp::kOr:
+      return lhs.Truthy() ? lhs : rhs;
+    default:
+      break;
+  }
+  // Equality works on any scalar pair; null == null is true (JS-ish but also
+  // what Vega users expect from `datum.x == null` guards).
+  if (op == BinaryOp::kEq || op == BinaryOp::kNeq) {
+    bool eq = lhs == rhs;
+    return EvalValue::Bool(op == BinaryOp::kEq ? eq : !eq);
+  }
+  // Remaining operators are numeric/string-ordered; null propagates (SQL-like,
+  // so client execution agrees with rewritten WHERE clauses).
+  if (lhs.is_array() || rhs.is_array()) return EvalValue::Null();
+  const data::Value& a = lhs.scalar();
+  const data::Value& b = rhs.scalar();
+  if (a.is_null() || b.is_null()) {
+    // Comparisons with null are false; arithmetic with null is null.
+    switch (op) {
+      case BinaryOp::kLt:
+      case BinaryOp::kLte:
+      case BinaryOp::kGt:
+      case BinaryOp::kGte:
+        return EvalValue::Bool(false);
+      default:
+        return EvalValue::Null();
+    }
+  }
+  // String concatenation with '+'.
+  if (op == BinaryOp::kAdd && (a.is_string() || b.is_string())) {
+    return EvalValue::String(a.ToString() + b.ToString());
+  }
+  // String ordering comparisons.
+  if (a.is_string() && b.is_string()) {
+    int cmp = a.Compare(b);
+    switch (op) {
+      case BinaryOp::kLt: return EvalValue::Bool(cmp < 0);
+      case BinaryOp::kLte: return EvalValue::Bool(cmp <= 0);
+      case BinaryOp::kGt: return EvalValue::Bool(cmp > 0);
+      case BinaryOp::kGte: return EvalValue::Bool(cmp >= 0);
+      default: return EvalValue::Null();
+    }
+  }
+  double x = a.AsDouble();
+  double y = b.AsDouble();
+  switch (op) {
+    case BinaryOp::kAdd: return EvalValue::Number(x + y);
+    case BinaryOp::kSub: return EvalValue::Number(x - y);
+    case BinaryOp::kMul: return EvalValue::Number(x * y);
+    case BinaryOp::kDiv: return y == 0 ? EvalValue::Null() : EvalValue::Number(x / y);
+    case BinaryOp::kMod: return y == 0 ? EvalValue::Null() : EvalValue::Number(std::fmod(x, y));
+    case BinaryOp::kLt: return EvalValue::Bool(x < y);
+    case BinaryOp::kLte: return EvalValue::Bool(x <= y);
+    case BinaryOp::kGt: return EvalValue::Bool(x > y);
+    case BinaryOp::kGte: return EvalValue::Bool(x >= y);
+    default: return EvalValue::Null();
+  }
+}
+
+}  // namespace
+
+EvalValue Evaluate(const NodePtr& node, const EvalContext& ctx) {
+  if (!node) return EvalValue::Null();
+  switch (node->kind) {
+    case NodeKind::kLiteral:
+      return EvalValue(node->literal);
+    case NodeKind::kIdentifier: {
+      if (node->name == "datum") return EvalValue::Null();  // bare datum unsupported
+      if (ctx.signals != nullptr) {
+        EvalValue out;
+        if (ctx.signals->Lookup(node->name, &out)) return out;
+      }
+      return EvalValue::Null();
+    }
+    case NodeKind::kMember: {
+      if (node->a && node->a->kind == NodeKind::kIdentifier && node->a->name == "datum") {
+        if (ctx.table == nullptr) return EvalValue::Null();
+        return EvalValue(ctx.table->ValueAt(ctx.row, node->name));
+      }
+      // Member on arrays: only `.length`.
+      EvalValue obj = Evaluate(node->a, ctx);
+      if (obj.is_array() && node->name == "length") {
+        return EvalValue::Number(static_cast<double>(obj.array().size()));
+      }
+      return EvalValue::Null();
+    }
+    case NodeKind::kIndex: {
+      EvalValue obj = Evaluate(node->a, ctx);
+      EvalValue idx = Evaluate(node->b, ctx);
+      if (!obj.is_array() || idx.is_array() || idx.scalar().is_null()) {
+        return EvalValue::Null();
+      }
+      double d = idx.scalar().AsDouble();
+      if (d < 0 || d != std::floor(d)) return EvalValue::Null();
+      return EvalValue(obj.At(static_cast<size_t>(d)));
+    }
+    case NodeKind::kUnary: {
+      EvalValue v = Evaluate(node->a, ctx);
+      switch (node->unary_op) {
+        case UnaryOp::kNot:
+          return EvalValue::Bool(!v.Truthy());
+        case UnaryOp::kNeg:
+          if (v.is_array() || v.scalar().is_null()) return EvalValue::Null();
+          return EvalValue::Number(-v.scalar().AsDouble());
+        case UnaryOp::kPlus:
+          if (v.is_array() || v.scalar().is_null()) return EvalValue::Null();
+          return EvalValue::Number(v.scalar().AsDouble());
+      }
+      return EvalValue::Null();
+    }
+    case NodeKind::kBinary: {
+      // Short-circuit for && / ||.
+      if (node->binary_op == BinaryOp::kAnd) {
+        EvalValue lhs = Evaluate(node->a, ctx);
+        return lhs.Truthy() ? Evaluate(node->b, ctx) : lhs;
+      }
+      if (node->binary_op == BinaryOp::kOr) {
+        EvalValue lhs = Evaluate(node->a, ctx);
+        return lhs.Truthy() ? lhs : Evaluate(node->b, ctx);
+      }
+      return EvalBinary(node->binary_op, Evaluate(node->a, ctx), Evaluate(node->b, ctx));
+    }
+    case NodeKind::kTernary:
+      return Evaluate(node->a, ctx).Truthy() ? Evaluate(node->b, ctx)
+                                             : Evaluate(node->c, ctx);
+    case NodeKind::kCall: {
+      const FunctionDef* def = FindFunction(node->name);
+      if (def == nullptr) return EvalValue::Null();
+      std::vector<EvalValue> args;
+      args.reserve(node->args.size());
+      for (const NodePtr& arg : node->args) args.push_back(Evaluate(arg, ctx));
+      return def->eval(args);
+    }
+    case NodeKind::kArray: {
+      std::vector<data::Value> items;
+      items.reserve(node->args.size());
+      for (const NodePtr& arg : node->args) {
+        EvalValue v = Evaluate(arg, ctx);
+        items.push_back(v.is_array() ? data::Value::Null() : v.scalar());
+      }
+      return EvalValue::Array(std::move(items));
+    }
+  }
+  return EvalValue::Null();
+}
+
+}  // namespace expr
+}  // namespace vegaplus

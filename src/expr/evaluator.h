@@ -1,0 +1,61 @@
+// Expression evaluation against a (datum, signals) context.
+//
+// Split into Validate() (one-time, Status-returning: unknown functions,
+// arity errors) and Evaluate() (per-row, never fails: JS-like semantics map
+// runtime oddities to null/false). This keeps the per-row hot path free of
+// error plumbing while still surfacing spec bugs eagerly.
+#ifndef VEGAPLUS_EXPR_EVALUATOR_H_
+#define VEGAPLUS_EXPR_EVALUATOR_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "data/table.h"
+#include "expr/ast.h"
+#include "expr/eval_value.h"
+
+namespace vegaplus {
+namespace expr {
+
+/// \brief Signal lookup interface; dataflow::SignalRegistry implements it.
+class SignalResolver {
+ public:
+  virtual ~SignalResolver() = default;
+  /// Return true and fill `out` when `name` resolves.
+  virtual bool Lookup(const std::string& name, EvalValue* out) const = 0;
+};
+
+/// Resolver over a fixed set (used in tests and template population).
+class MapSignalResolver : public SignalResolver {
+ public:
+  void Set(const std::string& name, EvalValue v) { values_[name] = std::move(v); }
+  bool Lookup(const std::string& name, EvalValue* out) const override {
+    auto it = values_.find(name);
+    if (it == values_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+ private:
+  std::map<std::string, EvalValue> values_;
+};
+
+/// \brief Evaluation context: the current datum row plus signal values.
+struct EvalContext {
+  const data::Table* table = nullptr;  // may be null (signal-only expressions)
+  size_t row = 0;
+  const SignalResolver* signals = nullptr;  // may be null
+};
+
+/// Static checks: every Call refers to a known function with valid arity.
+Status Validate(const NodePtr& node);
+
+/// Evaluate `node` under `ctx`. Unknown fields/signals and type mismatches
+/// evaluate to null (JS "undefined"-like), never error.
+EvalValue Evaluate(const NodePtr& node, const EvalContext& ctx);
+
+}  // namespace expr
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_EXPR_EVALUATOR_H_

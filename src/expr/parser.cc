@@ -1,0 +1,365 @@
+#include "expr/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace vegaplus {
+namespace expr {
+
+namespace {
+
+enum class TokKind { kNumber, kString, kIdent, kPunct, kEnd };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  double number = 0;
+  size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Status Tokenize(std::vector<Token>* out) {
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size()) break;
+      char c = text_[pos_];
+      size_t start = pos_;
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && pos_ + 1 < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' ||
+                ((text_[pos_] == '+' || text_[pos_] == '-') &&
+                 (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+          ++pos_;
+        }
+        Token t{TokKind::kNumber, std::string(text_.substr(start, pos_ - start)), 0, start};
+        if (!ParseDouble(t.text, &t.number)) {
+          return Status::ParseError("expr: bad number '" + t.text + "'");
+        }
+        out->push_back(std::move(t));
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '$')) {
+          ++pos_;
+        }
+        out->push_back({TokKind::kIdent, std::string(text_.substr(start, pos_ - start)), 0, start});
+      } else if (c == '\'' || c == '"') {
+        char quote = c;
+        ++pos_;
+        std::string s;
+        while (pos_ < text_.size() && text_[pos_] != quote) {
+          if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+            ++pos_;
+            switch (text_[pos_]) {
+              case 'n': s.push_back('\n'); break;
+              case 't': s.push_back('\t'); break;
+              default: s.push_back(text_[pos_]);
+            }
+          } else {
+            s.push_back(text_[pos_]);
+          }
+          ++pos_;
+        }
+        if (pos_ >= text_.size()) return Status::ParseError("expr: unterminated string");
+        ++pos_;  // closing quote
+        out->push_back({TokKind::kString, std::move(s), 0, start});
+      } else {
+        // Multi-char punctuation first.
+        static const char* kThree[] = {"===", "!=="};
+        static const char* kTwo[] = {"==", "!=", "<=", ">=", "&&", "||"};
+        std::string_view rest = text_.substr(pos_);
+        std::string match;
+        for (const char* p : kThree) {
+          if (StartsWith(rest, p)) {
+            match = p;
+            break;
+          }
+        }
+        if (match.empty()) {
+          for (const char* p : kTwo) {
+            if (StartsWith(rest, p)) {
+              match = p;
+              break;
+            }
+          }
+        }
+        if (match.empty()) {
+          static const std::string kSingles = "+-*/%<>!?:.,()[]";
+          if (kSingles.find(c) == std::string::npos) {
+            return Status::ParseError(StrFormat("expr: unexpected character '%c'", c));
+          }
+          match = std::string(1, c);
+        }
+        pos_ += match.size();
+        out->push_back({TokKind::kPunct, std::move(match), 0, start});
+      }
+    }
+    out->push_back({TokKind::kEnd, "", 0, pos_});
+    return Status::OK();
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<NodePtr> Parse() {
+    NodePtr node;
+    VP_RETURN_IF_ERROR(ParseTernary(&node));
+    if (!AtEnd()) {
+      return Status::ParseError("expr: trailing tokens after expression at '" +
+                                Cur().text + "'");
+    }
+    return node;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  bool AtEnd() const { return Cur().kind == TokKind::kEnd; }
+
+  bool MatchPunct(std::string_view p) {
+    if (Cur().kind == TokKind::kPunct && Cur().text == p) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectPunct(std::string_view p) {
+    if (!MatchPunct(p)) {
+      return Status::ParseError(StrFormat("expr: expected '%.*s' but found '%s'",
+                                          static_cast<int>(p.size()), p.data(),
+                                          Cur().text.c_str()));
+    }
+    return Status::OK();
+  }
+
+  Status ParseTernary(NodePtr* out) {
+    VP_RETURN_IF_ERROR(ParseOr(out));
+    if (MatchPunct("?")) {
+      NodePtr then_branch, else_branch;
+      VP_RETURN_IF_ERROR(ParseTernary(&then_branch));
+      VP_RETURN_IF_ERROR(ExpectPunct(":"));
+      VP_RETURN_IF_ERROR(ParseTernary(&else_branch));
+      *out = Node::Ternary(*out, then_branch, else_branch);
+    }
+    return Status::OK();
+  }
+
+  Status ParseOr(NodePtr* out) {
+    VP_RETURN_IF_ERROR(ParseAnd(out));
+    while (Cur().kind == TokKind::kPunct && Cur().text == "||") {
+      ++pos_;
+      NodePtr rhs;
+      VP_RETURN_IF_ERROR(ParseAnd(&rhs));
+      *out = Node::Binary(BinaryOp::kOr, *out, rhs);
+    }
+    return Status::OK();
+  }
+
+  Status ParseAnd(NodePtr* out) {
+    VP_RETURN_IF_ERROR(ParseEquality(out));
+    while (Cur().kind == TokKind::kPunct && Cur().text == "&&") {
+      ++pos_;
+      NodePtr rhs;
+      VP_RETURN_IF_ERROR(ParseEquality(&rhs));
+      *out = Node::Binary(BinaryOp::kAnd, *out, rhs);
+    }
+    return Status::OK();
+  }
+
+  Status ParseEquality(NodePtr* out) {
+    VP_RETURN_IF_ERROR(ParseRelational(out));
+    while (Cur().kind == TokKind::kPunct &&
+           (Cur().text == "==" || Cur().text == "!=" || Cur().text == "===" ||
+            Cur().text == "!==")) {
+      BinaryOp op = (Cur().text[0] == '=') ? BinaryOp::kEq : BinaryOp::kNeq;
+      ++pos_;
+      NodePtr rhs;
+      VP_RETURN_IF_ERROR(ParseRelational(&rhs));
+      *out = Node::Binary(op, *out, rhs);
+    }
+    return Status::OK();
+  }
+
+  Status ParseRelational(NodePtr* out) {
+    VP_RETURN_IF_ERROR(ParseAdditive(out));
+    while (Cur().kind == TokKind::kPunct &&
+           (Cur().text == "<" || Cur().text == "<=" || Cur().text == ">" ||
+            Cur().text == ">=")) {
+      BinaryOp op = Cur().text == "<"    ? BinaryOp::kLt
+                    : Cur().text == "<=" ? BinaryOp::kLte
+                    : Cur().text == ">"  ? BinaryOp::kGt
+                                         : BinaryOp::kGte;
+      ++pos_;
+      NodePtr rhs;
+      VP_RETURN_IF_ERROR(ParseAdditive(&rhs));
+      *out = Node::Binary(op, *out, rhs);
+    }
+    return Status::OK();
+  }
+
+  Status ParseAdditive(NodePtr* out) {
+    VP_RETURN_IF_ERROR(ParseMultiplicative(out));
+    while (Cur().kind == TokKind::kPunct && (Cur().text == "+" || Cur().text == "-")) {
+      BinaryOp op = Cur().text == "+" ? BinaryOp::kAdd : BinaryOp::kSub;
+      ++pos_;
+      NodePtr rhs;
+      VP_RETURN_IF_ERROR(ParseMultiplicative(&rhs));
+      *out = Node::Binary(op, *out, rhs);
+    }
+    return Status::OK();
+  }
+
+  Status ParseMultiplicative(NodePtr* out) {
+    VP_RETURN_IF_ERROR(ParseUnary(out));
+    while (Cur().kind == TokKind::kPunct &&
+           (Cur().text == "*" || Cur().text == "/" || Cur().text == "%")) {
+      BinaryOp op = Cur().text == "*"   ? BinaryOp::kMul
+                    : Cur().text == "/" ? BinaryOp::kDiv
+                                        : BinaryOp::kMod;
+      ++pos_;
+      NodePtr rhs;
+      VP_RETURN_IF_ERROR(ParseUnary(&rhs));
+      *out = Node::Binary(op, *out, rhs);
+    }
+    return Status::OK();
+  }
+
+  Status ParseUnary(NodePtr* out) {
+    if (Cur().kind == TokKind::kPunct) {
+      if (Cur().text == "-" || Cur().text == "!" || Cur().text == "+") {
+        UnaryOp op = Cur().text == "-"   ? UnaryOp::kNeg
+                     : Cur().text == "!" ? UnaryOp::kNot
+                                         : UnaryOp::kPlus;
+        ++pos_;
+        NodePtr operand;
+        VP_RETURN_IF_ERROR(ParseUnary(&operand));
+        *out = Node::Unary(op, operand);
+        return Status::OK();
+      }
+    }
+    return ParsePostfix(out);
+  }
+
+  Status ParsePostfix(NodePtr* out) {
+    VP_RETURN_IF_ERROR(ParsePrimary(out));
+    while (true) {
+      if (MatchPunct(".")) {
+        if (Cur().kind != TokKind::kIdent) {
+          return Status::ParseError("expr: expected property name after '.'");
+        }
+        *out = Node::Member(*out, Cur().text);
+        ++pos_;
+      } else if (MatchPunct("[")) {
+        NodePtr index;
+        VP_RETURN_IF_ERROR(ParseTernary(&index));
+        VP_RETURN_IF_ERROR(ExpectPunct("]"));
+        if (index->kind == NodeKind::kLiteral && index->literal.is_string()) {
+          *out = Node::Member(*out, index->literal.AsString());
+        } else {
+          *out = Node::Index(*out, index);
+        }
+      } else if (Cur().kind == TokKind::kPunct && Cur().text == "(" &&
+                 (*out)->kind == NodeKind::kIdentifier) {
+        ++pos_;
+        std::vector<NodePtr> args;
+        if (!MatchPunct(")")) {
+          while (true) {
+            NodePtr arg;
+            VP_RETURN_IF_ERROR(ParseTernary(&arg));
+            args.push_back(arg);
+            if (MatchPunct(")")) break;
+            VP_RETURN_IF_ERROR(ExpectPunct(","));
+          }
+        }
+        *out = Node::Call((*out)->name, std::move(args));
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  Status ParsePrimary(NodePtr* out) {
+    const Token& t = Cur();
+    switch (t.kind) {
+      case TokKind::kNumber:
+        *out = Node::Literal(data::Value::Double(t.number));
+        ++pos_;
+        return Status::OK();
+      case TokKind::kString:
+        *out = Node::Literal(data::Value::String(t.text));
+        ++pos_;
+        return Status::OK();
+      case TokKind::kIdent:
+        if (t.text == "true") {
+          *out = Node::Literal(data::Value::Bool(true));
+        } else if (t.text == "false") {
+          *out = Node::Literal(data::Value::Bool(false));
+        } else if (t.text == "null") {
+          *out = Node::Literal(data::Value::Null());
+        } else {
+          *out = Node::Identifier(t.text);
+        }
+        ++pos_;
+        return Status::OK();
+      case TokKind::kPunct:
+        if (t.text == "(") {
+          ++pos_;
+          VP_RETURN_IF_ERROR(ParseTernary(out));
+          return ExpectPunct(")");
+        }
+        if (t.text == "[") {
+          ++pos_;
+          std::vector<NodePtr> elements;
+          if (!MatchPunct("]")) {
+            while (true) {
+              NodePtr e;
+              VP_RETURN_IF_ERROR(ParseTernary(&e));
+              elements.push_back(e);
+              if (MatchPunct("]")) break;
+              VP_RETURN_IF_ERROR(ExpectPunct(","));
+            }
+          }
+          *out = Node::Array(std::move(elements));
+          return Status::OK();
+        }
+        return Status::ParseError("expr: unexpected token '" + t.text + "'");
+      case TokKind::kEnd:
+        return Status::ParseError("expr: unexpected end of expression");
+    }
+    return Status::ParseError("expr: unreachable");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<NodePtr> ParseExpression(std::string_view text) {
+  std::vector<Token> tokens;
+  VP_RETURN_IF_ERROR(Lexer(text).Tokenize(&tokens));
+  return Parser(std::move(tokens)).Parse();
+}
+
+}  // namespace expr
+}  // namespace vegaplus

@@ -1,0 +1,32 @@
+// Pratt parser for the Vega expression language.
+//
+// Grammar (JavaScript-expression subset):
+//   ternary:  or ('?' expr ':' expr)?
+//   or:       and ('||' and)*
+//   and:      eq ('&&' eq)*
+//   eq:       rel (('=='|'!='|'==='|'!==') rel)*
+//   rel:      add (('<'|'<='|'>'|'>=') add)*
+//   add:      mul (('+'|'-') mul)*
+//   mul:      unary (('*'|'/'|'%') unary)*
+//   unary:    ('-'|'!'|'+') unary | postfix
+//   postfix:  primary ('.' ident | '[' expr ']' | '(' args ')')*
+//   primary:  number | string | true | false | null | ident | '(' expr ')'
+//             | '[' elements ']'
+#ifndef VEGAPLUS_EXPR_PARSER_H_
+#define VEGAPLUS_EXPR_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "expr/ast.h"
+
+namespace vegaplus {
+namespace expr {
+
+/// Parse a complete Vega expression. Trailing tokens are an error.
+Result<NodePtr> ParseExpression(std::string_view text);
+
+}  // namespace expr
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_EXPR_PARSER_H_

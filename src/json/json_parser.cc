@@ -1,0 +1,209 @@
+#include "json/json_parser.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "common/str_util.h"
+
+namespace vegaplus {
+namespace json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> ParseDocument() {
+    SkipWhitespace();
+    Value v;
+    VP_RETURN_IF_ERROR(ParseValue(&v));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) {
+    return Status::ParseError(StrFormat("JSON: %s at offset %zu", what.c_str(), pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Eof() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  Status ParseValue(Value* out) {
+    if (Eof()) return Error("unexpected end of input");
+    switch (Peek()) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"': {
+        std::string s;
+        VP_RETURN_IF_ERROR(ParseString(&s));
+        *out = Value(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        return ParseLiteral("true", Value(true), out);
+      case 'f':
+        return ParseLiteral("false", Value(false), out);
+      case 'n':
+        return ParseLiteral("null", Value(nullptr), out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(std::string_view lit, Value v, Value* out) {
+    if (text_.substr(pos_, lit.size()) != lit) return Error("invalid literal");
+    pos_ += lit.size();
+    *out = std::move(v);
+    return Status::OK();
+  }
+
+  Status ParseNumber(Value* out) {
+    size_t start = pos_;
+    if (!Eof() && (Peek() == '-' || Peek() == '+')) ++pos_;
+    while (!Eof() && (std::isdigit(static_cast<unsigned char>(Peek())) || Peek() == '.' ||
+                      Peek() == 'e' || Peek() == 'E' || Peek() == '+' || Peek() == '-')) {
+      ++pos_;
+    }
+    double v = 0;
+    if (pos_ == start || !ParseDouble(text_.substr(start, pos_ - start), &v)) {
+      pos_ = start;
+      return Error("invalid number");
+    }
+    *out = Value(v);
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    // Caller guarantees Peek() == '"'.
+    ++pos_;
+    out->clear();
+    while (true) {
+      if (Eof()) return Error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (Eof()) return Error("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("invalid hex digit in \\u escape");
+            }
+          }
+          // Encode the code point as UTF-8 (BMP only; surrogates passed raw).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+  }
+
+  Status ParseArray(Value* out) {
+    ++pos_;  // consume '['
+    *out = Value::MakeArray();
+    SkipWhitespace();
+    if (!Eof() && Peek() == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      Value item;
+      SkipWhitespace();
+      VP_RETURN_IF_ERROR(ParseValue(&item));
+      out->Append(std::move(item));
+      SkipWhitespace();
+      if (Eof()) return Error("unterminated array");
+      char c = text_[pos_++];
+      if (c == ']') return Status::OK();
+      if (c != ',') return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseObject(Value* out) {
+    ++pos_;  // consume '{'
+    *out = Value::MakeObject();
+    SkipWhitespace();
+    if (!Eof() && Peek() == '}') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      if (Eof() || Peek() != '"') return Error("expected string key in object");
+      std::string key;
+      VP_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (Eof() || text_[pos_++] != ':') return Error("expected ':' in object");
+      SkipWhitespace();
+      Value item;
+      VP_RETURN_IF_ERROR(ParseValue(&item));
+      out->Set(key, std::move(item));
+      SkipWhitespace();
+      if (Eof()) return Error("unterminated object");
+      char c = text_[pos_++];
+      if (c == '}') return Status::OK();
+      if (c != ',') return Error("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(std::string_view text) { return Parser(text).ParseDocument(); }
+
+}  // namespace json
+}  // namespace vegaplus

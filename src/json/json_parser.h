@@ -1,0 +1,20 @@
+// Recursive-descent JSON parser (RFC 8259 subset: no surrogate-pair
+// validation; \uXXXX escapes are decoded to UTF-8).
+#ifndef VEGAPLUS_JSON_JSON_PARSER_H_
+#define VEGAPLUS_JSON_JSON_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "json/json_value.h"
+
+namespace vegaplus {
+namespace json {
+
+/// Parse a complete JSON document. Trailing non-whitespace is an error.
+Result<Value> Parse(std::string_view text);
+
+}  // namespace json
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_JSON_JSON_PARSER_H_

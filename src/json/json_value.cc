@@ -1,0 +1,72 @@
+#include "json/json_value.h"
+
+#include "common/logging.h"
+
+namespace vegaplus {
+namespace json {
+
+const Value* Value::Find(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Value* Value::Find(const std::string& key) {
+  for (auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Value::Set(const std::string& key, Value v) {
+  VP_CHECK(is_object()) << "Set() on non-object JSON value";
+  if (Value* existing = Find(key)) {
+    *existing = std::move(v);
+  } else {
+    members_.emplace_back(key, std::move(v));
+  }
+}
+
+Value& Value::operator[](const std::string& key) {
+  VP_CHECK(is_object()) << "operator[] on non-object JSON value";
+  if (Value* existing = Find(key)) return *existing;
+  members_.emplace_back(key, Value());
+  return members_.back().second;
+}
+
+std::string Value::GetString(const std::string& key, const std::string& dflt) const {
+  const Value* v = Find(key);
+  return (v && v->is_string()) ? v->AsString() : dflt;
+}
+
+double Value::GetDouble(const std::string& key, double dflt) const {
+  const Value* v = Find(key);
+  return (v && v->is_number()) ? v->AsDouble() : dflt;
+}
+
+int64_t Value::GetInt(const std::string& key, int64_t dflt) const {
+  const Value* v = Find(key);
+  return (v && v->is_number()) ? v->AsInt() : dflt;
+}
+
+bool Value::GetBool(const std::string& key, bool dflt) const {
+  const Value* v = Find(key);
+  return (v && v->is_bool()) ? v->AsBool() : dflt;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kNumber: return num_ == other.num_;
+    case Type::kString: return str_ == other.str_;
+    case Type::kArray: return array_ == other.array_;
+    case Type::kObject: return members_ == other.members_;
+  }
+  return false;
+}
+
+}  // namespace json
+}  // namespace vegaplus

@@ -1,0 +1,116 @@
+// JSON document model. Vega specifications are JSON; this module also backs
+// signal values and the JSON result encoding of the middleware.
+//
+// Objects preserve insertion order (like JavaScript) so that spec round-trips
+// and printed output are deterministic.
+#ifndef VEGAPLUS_JSON_JSON_VALUE_H_
+#define VEGAPLUS_JSON_JSON_VALUE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace vegaplus {
+namespace json {
+
+enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+/// \brief A JSON value: null, bool, double, string, array, or object.
+class Value {
+ public:
+  using Array = std::vector<Value>;
+  using Member = std::pair<std::string, Value>;
+  using Object = std::vector<Member>;
+
+  Value() : type_(Type::kNull) {}
+  Value(std::nullptr_t) : type_(Type::kNull) {}                       // NOLINT
+  Value(bool b) : type_(Type::kBool), bool_(b) {}                     // NOLINT
+  Value(int i) : type_(Type::kNumber), num_(i) {}                     // NOLINT
+  Value(int64_t i) : type_(Type::kNumber), num_(static_cast<double>(i)) {}  // NOLINT
+  Value(size_t i) : type_(Type::kNumber), num_(static_cast<double>(i)) {}   // NOLINT
+  Value(double d) : type_(Type::kNumber), num_(d) {}                  // NOLINT
+  Value(const char* s) : type_(Type::kString), str_(s) {}             // NOLINT
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+
+  static Value MakeArray() {
+    Value v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static Value MakeArray(std::initializer_list<Value> items) {
+    Value v = MakeArray();
+    v.array_.assign(items);
+    return v;
+  }
+  static Value MakeObject() {
+    Value v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return num_; }
+  int64_t AsInt() const { return static_cast<int64_t>(num_); }
+  const std::string& AsString() const { return str_; }
+
+  // ---- Array access ----
+  Array& array() { return array_; }
+  const Array& array() const { return array_; }
+  void Append(Value v) { array_.push_back(std::move(v)); }
+  size_t size() const { return is_array() ? array_.size() : members_.size(); }
+  const Value& operator[](size_t i) const { return array_[i]; }
+  Value& operator[](size_t i) { return array_[i]; }
+
+  // ---- Object access ----
+  Object& members() { return members_; }
+  const Object& members() const { return members_; }
+
+  /// True if this object has member `key`.
+  bool Has(const std::string& key) const { return Find(key) != nullptr; }
+
+  /// Pointer to member value or nullptr. (No exceptions: callers branch.)
+  const Value* Find(const std::string& key) const;
+  Value* Find(const std::string& key);
+
+  /// Set (replacing an existing member of the same name).
+  void Set(const std::string& key, Value v);
+
+  /// Member access; inserts null member if absent (object must be kObject).
+  Value& operator[](const std::string& key);
+
+  /// Lookup with defaults; never fail.
+  std::string GetString(const std::string& key, const std::string& dflt = "") const;
+  double GetDouble(const std::string& key, double dflt = 0.0) const;
+  int64_t GetInt(const std::string& key, int64_t dflt = 0) const;
+  bool GetBool(const std::string& key, bool dflt = false) const;
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array array_;
+  Object members_;
+};
+
+}  // namespace json
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_JSON_JSON_VALUE_H_

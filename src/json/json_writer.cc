@@ -1,0 +1,110 @@
+#include "json/json_writer.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace vegaplus {
+namespace json {
+
+namespace {
+
+void WriteImpl(const Value& v, std::string* out, int indent, int depth) {
+  auto newline = [&](int d) {
+    if (indent >= 0) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(indent * d), ' ');
+    }
+  };
+  switch (v.type()) {
+    case Type::kNull:
+      out->append("null");
+      break;
+    case Type::kBool:
+      out->append(v.AsBool() ? "true" : "false");
+      break;
+    case Type::kNumber:
+      out->append(FormatDouble(v.AsDouble()));
+      break;
+    case Type::kString:
+      out->append(QuoteString(v.AsString()));
+      break;
+    case Type::kArray: {
+      if (v.array().empty()) {
+        out->append("[]");
+        break;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < v.array().size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline(depth + 1);
+        WriteImpl(v.array()[i], out, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (v.members().empty()) {
+        out->append("{}");
+        break;
+      }
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : v.members()) {
+        if (!first) out->push_back(',');
+        first = false;
+        newline(depth + 1);
+        out->append(QuoteString(key));
+        out->push_back(':');
+        if (indent >= 0) out->push_back(' ');
+        WriteImpl(member, out, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string QuoteString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out.append("\\\""); break;
+      case '\\': out.append("\\\\"); break;
+      case '\b': out.append("\\b"); break;
+      case '\f': out.append("\\f"); break;
+      case '\n': out.append("\\n"); break;
+      case '\r': out.append("\\r"); break;
+      case '\t': out.append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out.append(StrFormat("\\u%04x", c));
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string Write(const Value& v) {
+  std::string out;
+  WriteImpl(v, &out, /*indent=*/-1, /*depth=*/0);
+  return out;
+}
+
+std::string WritePretty(const Value& v) {
+  std::string out;
+  WriteImpl(v, &out, /*indent=*/2, /*depth=*/0);
+  return out;
+}
+
+}  // namespace json
+}  // namespace vegaplus

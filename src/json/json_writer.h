@@ -1,0 +1,24 @@
+// JSON serialization (compact and pretty-printed).
+#ifndef VEGAPLUS_JSON_JSON_WRITER_H_
+#define VEGAPLUS_JSON_JSON_WRITER_H_
+
+#include <string>
+
+#include "json/json_value.h"
+
+namespace vegaplus {
+namespace json {
+
+/// Compact single-line serialization.
+std::string Write(const Value& v);
+
+/// Indented serialization (2-space indent).
+std::string WritePretty(const Value& v);
+
+/// Escape `s` per JSON string rules and wrap in quotes.
+std::string QuoteString(const std::string& s);
+
+}  // namespace json
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_JSON_JSON_WRITER_H_

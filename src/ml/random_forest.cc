@@ -1,0 +1,212 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace vegaplus {
+namespace ml {
+
+namespace {
+
+double Gini(size_t positives, size_t total) {
+  if (total == 0) return 0;
+  double p = static_cast<double>(positives) / static_cast<double>(total);
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+void DecisionTree::Train(const std::vector<std::vector<double>>& x,
+                         const std::vector<int>& y) {
+  nodes_.clear();
+  importance_.assign(x.empty() ? 0 : x[0].size(), 0.0);
+  if (x.empty()) return;
+  Rng rng(options_.seed);
+  std::vector<int> indices(x.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  BuildNode(x, y, indices, 0, &rng);
+}
+
+int DecisionTree::BuildNode(const std::vector<std::vector<double>>& x,
+                            const std::vector<int>& y, std::vector<int>& indices,
+                            int depth, Rng* rng) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  size_t positives = 0;
+  for (int i : indices) positives += static_cast<size_t>(y[static_cast<size_t>(i)]);
+  const size_t total = indices.size();
+  nodes_[static_cast<size_t>(node_id)].probability =
+      total == 0 ? 0.5 : static_cast<double>(positives) / static_cast<double>(total);
+
+  if (depth >= options_.max_depth ||
+      total < static_cast<size_t>(options_.min_samples_split) || positives == 0 ||
+      positives == total) {
+    return node_id;  // leaf
+  }
+
+  const size_t dim = x[0].size();
+  int max_features = options_.max_features > 0
+                         ? options_.max_features
+                         : std::max(1, static_cast<int>(std::sqrt(static_cast<double>(dim))));
+
+  // Pick candidate features (without replacement).
+  std::vector<size_t> features(dim);
+  std::iota(features.begin(), features.end(), 0);
+  rng->Shuffle(&features);
+  features.resize(std::min<size_t>(features.size(), static_cast<size_t>(max_features)));
+
+  double parent_gini = Gini(positives, total);
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0;
+
+  std::vector<double> values(total);
+  for (size_t f : features) {
+    for (size_t i = 0; i < total; ++i) {
+      values[i] = x[static_cast<size_t>(indices[i])][f];
+    }
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    if (sorted.size() < 2) continue;
+    // Try up to 16 quantile thresholds per feature.
+    size_t steps = std::min<size_t>(16, sorted.size() - 1);
+    for (size_t s = 1; s <= steps; ++s) {
+      double threshold = sorted[s * (sorted.size() - 1) / steps];
+      size_t left_total = 0, left_pos = 0;
+      for (size_t i = 0; i < total; ++i) {
+        if (values[i] < threshold) {
+          ++left_total;
+          left_pos += static_cast<size_t>(y[static_cast<size_t>(indices[i])]);
+        }
+      }
+      size_t right_total = total - left_total;
+      if (left_total == 0 || right_total == 0) continue;
+      size_t right_pos = positives - left_pos;
+      double child =
+          (static_cast<double>(left_total) * Gini(left_pos, left_total) +
+           static_cast<double>(right_total) * Gini(right_pos, right_total)) /
+          static_cast<double>(total);
+      double gain = parent_gini - child;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = threshold;
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;  // no useful split
+
+  std::vector<int> left_idx, right_idx;
+  for (int i : indices) {
+    if (x[static_cast<size_t>(i)][static_cast<size_t>(best_feature)] < best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  importance_[static_cast<size_t>(best_feature)] +=
+      best_gain * static_cast<double>(total);
+
+  int left = BuildNode(x, y, left_idx, depth + 1, rng);
+  int right = BuildNode(x, y, right_idx, depth + 1, rng);
+  Node& node = nodes_[static_cast<size_t>(node_id)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+double DecisionTree::PredictProbability(const std::vector<double>& x) const {
+  if (nodes_.empty()) return 0.5;
+  int cur = 0;
+  while (nodes_[static_cast<size_t>(cur)].feature >= 0) {
+    const Node& n = nodes_[static_cast<size_t>(cur)];
+    cur = x[static_cast<size_t>(n.feature)] < n.threshold ? n.left : n.right;
+  }
+  return nodes_[static_cast<size_t>(cur)].probability;
+}
+
+void RandomForest::Train(const std::vector<PairExample>& pairs) {
+  trees_.clear();
+  if (pairs.empty()) return;
+  dim_ = pairs[0].a.size();
+  // Feature space: difference vectors; label 1 == "a faster".
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  x.reserve(pairs.size());
+  y.reserve(pairs.size());
+  for (const PairExample& p : pairs) {
+    std::vector<double> diff(dim_);
+    for (size_t f = 0; f < dim_; ++f) diff[f] = p.a[f] - p.b[f];
+    x.push_back(std::move(diff));
+    y.push_back(p.label == 1 ? 1 : 0);
+  }
+
+  Rng rng(options_.seed);
+  trees_.reserve(static_cast<size_t>(options_.num_trees));
+  for (int t = 0; t < options_.num_trees; ++t) {
+    // Bootstrap sample.
+    std::vector<std::vector<double>> bx;
+    std::vector<int> by;
+    bx.reserve(x.size());
+    by.reserve(x.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+      size_t j = rng.Index(x.size());
+      bx.push_back(x[j]);
+      by.push_back(y[j]);
+    }
+    TreeOptions topt = options_.tree;
+    topt.seed = rng.Next();
+    DecisionTree tree(topt);
+    tree.Train(bx, by);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::ProbabilityFaster(const std::vector<double>& a,
+                                       const std::vector<double>& b) const {
+  if (trees_.empty()) return 0.5;
+  std::vector<double> diff(dim_);
+  for (size_t f = 0; f < dim_ && f < a.size(); ++f) diff[f] = a[f] - b[f];
+  double sum = 0;
+  for (const DecisionTree& tree : trees_) sum += tree.PredictProbability(diff);
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::FeatureImportance() const {
+  std::vector<double> importance(dim_, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const auto& imp = tree.feature_importance();
+    for (size_t f = 0; f < importance.size() && f < imp.size(); ++f) {
+      importance[f] += imp[f];
+    }
+  }
+  double total = 0;
+  for (double v : importance) total += v;
+  if (total > 0) {
+    for (double& v : importance) v /= total;
+  }
+  return importance;
+}
+
+void TrainTestSplit(const std::vector<PairExample>& all, double train_fraction,
+                    uint64_t seed, std::vector<PairExample>* train,
+                    std::vector<PairExample>* test) {
+  std::vector<size_t> order(all.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&order);
+  size_t cut = static_cast<size_t>(train_fraction * static_cast<double>(all.size()));
+  train->clear();
+  test->clear();
+  for (size_t i = 0; i < order.size(); ++i) {
+    (i < cut ? train : test)->push_back(all[order[i]]);
+  }
+}
+
+}  // namespace ml
+}  // namespace vegaplus

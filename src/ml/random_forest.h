@@ -1,0 +1,111 @@
+// CART decision trees + bagged random forest (§5.3.2's second naive model).
+// The forest classifies the *difference* of two plan vectors: label 1 means
+// "first plan faster". Feature importances (mean gini decrease) feed the
+// heuristic-model rule prioritization (§5.3's reverse engineering).
+#ifndef VEGAPLUS_ML_RANDOM_FOREST_H_
+#define VEGAPLUS_ML_RANDOM_FOREST_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "ml/ranksvm.h"  // PairExample
+
+namespace vegaplus {
+namespace ml {
+
+struct TreeOptions {
+  int max_depth = 8;
+  int min_samples_split = 4;
+  /// Features tried per split; <=0 means sqrt(dim).
+  int max_features = -1;
+  uint64_t seed = 7;
+};
+
+/// \brief Binary CART classifier over dense double vectors.
+class DecisionTree {
+ public:
+  explicit DecisionTree(TreeOptions options = {}) : options_(options) {}
+
+  void Train(const std::vector<std::vector<double>>& x, const std::vector<int>& y);
+
+  /// P(label == 1).
+  double PredictProbability(const std::vector<double>& x) const;
+  int Predict(const std::vector<double>& x) const {
+    return PredictProbability(x) >= 0.5 ? 1 : 0;
+  }
+
+  /// Accumulated gini decrease per feature (unnormalized).
+  const std::vector<double>& feature_importance() const { return importance_; }
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 == leaf
+    double threshold = 0;
+    double probability = 0.5;  // leaf: P(y==1)
+    int left = -1;
+    int right = -1;
+  };
+
+  int BuildNode(const std::vector<std::vector<double>>& x, const std::vector<int>& y,
+                std::vector<int>& indices, int depth, Rng* rng);
+
+  TreeOptions options_;
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+};
+
+struct ForestOptions {
+  int num_trees = 40;
+  TreeOptions tree;
+  uint64_t seed = 21;
+};
+
+/// \brief Bagged forest with majority vote.
+class RandomForest {
+ public:
+  explicit RandomForest(ForestOptions options = {}) : options_(options) {}
+
+  void Train(const std::vector<PairExample>& pairs);
+
+  /// P(first plan faster) = mean tree probability on (a - b).
+  double ProbabilityFaster(const std::vector<double>& a,
+                           const std::vector<double>& b) const;
+
+  /// -1 if a predicted faster, +1 otherwise.
+  int Compare(const std::vector<double>& a, const std::vector<double>& b) const {
+    return ProbabilityFaster(a, b) >= 0.5 ? -1 : 1;
+  }
+
+  /// Mean gini-decrease importance per feature, normalized to sum 1.
+  std::vector<double> FeatureImportance() const;
+
+ private:
+  ForestOptions options_;
+  std::vector<DecisionTree> trees_;
+  size_t dim_ = 0;
+};
+
+/// Fraction of pairs whose faster side the comparator identifies.
+template <typename Model>
+double PairwiseAccuracy(const Model& model, const std::vector<PairExample>& pairs) {
+  if (pairs.empty()) return 0;
+  size_t correct = 0;
+  for (const PairExample& p : pairs) {
+    int predicted = model.Compare(p.a, p.b);  // -1 == a faster
+    int actual = p.label == 1 ? -1 : 1;
+    if (predicted == actual) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(pairs.size());
+}
+
+/// Deterministic train/test split (shuffled by seed).
+void TrainTestSplit(const std::vector<PairExample>& all, double train_fraction,
+                    uint64_t seed, std::vector<PairExample>* train,
+                    std::vector<PairExample>* test);
+
+}  // namespace ml
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_ML_RANDOM_FOREST_H_

@@ -1,0 +1,68 @@
+#include "ml/ranksvm.h"
+
+#include <numeric>
+
+#include "common/random.h"
+
+namespace vegaplus {
+namespace ml {
+
+void RankSvm::Train(const std::vector<PairExample>& pairs) {
+  if (pairs.empty()) {
+    weights_.clear();
+    return;
+  }
+  const size_t dim = pairs[0].a.size();
+  weights_.assign(dim, 0.0);
+  Rng rng(options_.seed);
+  std::vector<size_t> order(pairs.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    // Decaying step size keeps late epochs from oscillating.
+    double lr = options_.learning_rate / (1.0 + 0.1 * epoch);
+    for (size_t idx : order) {
+      const PairExample& p = pairs[idx];
+      double margin = 0;
+      for (size_t f = 0; f < dim; ++f) margin += weights_[f] * (p.a[f] - p.b[f]);
+      double y = static_cast<double>(p.label);
+      // Subgradient of hinge + L2.
+      if (y * margin < 1.0) {
+        for (size_t f = 0; f < dim; ++f) {
+          weights_[f] += lr * (y * (p.a[f] - p.b[f]) - options_.l2 * weights_[f]);
+        }
+      } else {
+        for (size_t f = 0; f < dim; ++f) {
+          weights_[f] -= lr * options_.l2 * weights_[f];
+        }
+      }
+    }
+  }
+}
+
+double RankSvm::Margin(const std::vector<double>& a, const std::vector<double>& b) const {
+  double margin = 0;
+  for (size_t f = 0; f < weights_.size() && f < a.size(); ++f) {
+    margin += weights_[f] * (a[f] - b[f]);
+  }
+  return margin;
+}
+
+int RankSvm::Compare(const std::vector<double>& a, const std::vector<double>& b) const {
+  double m = Margin(a, b);
+  if (m > 0) return -1;  // a predicted faster
+  if (m < 0) return 1;
+  return 0;
+}
+
+double RankSvm::Cost(const std::vector<double>& v) const {
+  // Positive margin == "a faster", so cost decreases along +w.
+  double score = 0;
+  for (size_t f = 0; f < weights_.size() && f < v.size(); ++f) {
+    score += weights_[f] * v[f];
+  }
+  return -score;
+}
+
+}  // namespace ml
+}  // namespace vegaplus

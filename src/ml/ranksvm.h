@@ -1,0 +1,56 @@
+// Linear RankSVM (§5.3.2): pairwise hinge loss over plan-vector differences,
+// trained with SGD. After training the weight vector doubles as a linear
+// cost model: Cost(v) = -w·v, so the best of n plans is found in O(n)
+// instead of O(n^2) pairwise calls.
+#ifndef VEGAPLUS_ML_RANKSVM_H_
+#define VEGAPLUS_ML_RANKSVM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace vegaplus {
+namespace ml {
+
+/// \brief One training pair: two plan vectors and which one was faster.
+struct PairExample {
+  std::vector<double> a;
+  std::vector<double> b;
+  /// +1 when a was faster (lower latency) than b, -1 otherwise.
+  int label = 1;
+};
+
+struct RankSvmOptions {
+  int epochs = 40;
+  double learning_rate = 0.05;
+  double l2 = 1e-4;
+  uint64_t seed = 13;
+};
+
+/// \brief Linear pairwise ranking model.
+class RankSvm {
+ public:
+  explicit RankSvm(RankSvmOptions options = {}) : options_(options) {}
+
+  /// Fit on pairs; optimizes hinge loss max(0, 1 - y * w·(a - b)).
+  void Train(const std::vector<PairExample>& pairs);
+
+  /// Margin w·(a-b); positive predicts "a faster".
+  double Margin(const std::vector<double>& a, const std::vector<double>& b) const;
+
+  /// -1 if a predicted faster, +1 if b predicted faster, 0 on exact tie.
+  int Compare(const std::vector<double>& a, const std::vector<double>& b) const;
+
+  /// Linear cost extracted from the weights (lower = predicted faster).
+  double Cost(const std::vector<double>& v) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  RankSvmOptions options_;
+  std::vector<double> weights_;
+};
+
+}  // namespace ml
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_ML_RANKSVM_H_

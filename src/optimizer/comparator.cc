@@ -1,0 +1,135 @@
+#include "optimizer/comparator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "plan/encoder.h"
+
+namespace vegaplus {
+namespace optimizer {
+
+double PlanComparator::EpisodeCost(const std::vector<std::vector<double>>& all,
+                                   size_t index) const {
+  if (has_cost()) return Cost(all[index]);
+  // Fallback: negated win fraction in a full round robin.
+  if (all.size() < 2) return 0;
+  size_t wins = 0;
+  for (size_t j = 0; j < all.size(); ++j) {
+    if (j == index) continue;
+    if (Compare(all[index], all[j]) < 0) ++wins;
+  }
+  return -static_cast<double>(wins) / static_cast<double>(all.size() - 1);
+}
+
+double RandomForestComparator::EpisodeCost(const std::vector<std::vector<double>>& all,
+                                           size_t index) const {
+  // Confidence-weighted wins against up to 24 deterministic references: the
+  // forest's vote margin tracks how large the predicted gap is, which keeps
+  // consolidation magnitude-aware (unlike raw win counts).
+  if (all.size() < 2) return 0;
+  size_t stride = std::max<size_t>(1, all.size() / 24);
+  double total = 0;
+  size_t count = 0;
+  for (size_t j = 0; j < all.size(); j += stride) {
+    if (j == index) continue;
+    total += model_.ProbabilityFaster(all[index], all[j]);
+    ++count;
+  }
+  return count == 0 ? 0 : -(total / static_cast<double>(count));
+}
+
+int HeuristicComparator::Compare(const std::vector<double>& a,
+                                 const std::vector<double>& b) const {
+  const int card_vdt = plan::CardFeatureIndex("vdt");
+  const int count_agg = plan::CountFeatureIndex("aggregate");
+  const int count_vdt = plan::CountFeatureIndex("vdt");
+  const int count_sig = plan::CountFeatureIndex("vdt_signal");
+
+  // Rule 1: total fetched cardinality (normalized) smaller by at least alpha.
+  double da = a[static_cast<size_t>(card_vdt)];
+  double db = b[static_cast<size_t>(card_vdt)];
+  if (std::fabs(da - db) > alpha_) return da < db ? -1 : 1;
+
+  // Rule 2: prefer more aggregation on the client side.
+  double aa = a[static_cast<size_t>(count_agg)];
+  double ab = b[static_cast<size_t>(count_agg)];
+  if (aa != ab) return aa > ab ? -1 : 1;
+
+  // Rule 3: fewer round trips (data + signal VDTs).
+  double ra = a[static_cast<size_t>(count_vdt)] + a[static_cast<size_t>(count_sig)];
+  double rb = b[static_cast<size_t>(count_vdt)] + b[static_cast<size_t>(count_sig)];
+  if (ra != rb) return ra < rb ? -1 : 1;
+
+  // Rule 4: smaller total client-side cardinality.
+  const auto& types = plan::EncodedOpTypes();
+  double ca = 0, cb = 0;
+  for (const std::string& t : types) {
+    if (t == "vdt" || t == "vdt_signal") continue;
+    int idx = plan::CardFeatureIndex(t);
+    ca += a[static_cast<size_t>(idx)];
+    cb += b[static_cast<size_t>(idx)];
+  }
+  if (ca != cb) return ca < cb ? -1 : 1;
+  return 0;
+}
+
+double HeuristicComparator::EpisodeCost(const std::vector<std::vector<double>>& all,
+                                        size_t index) const {
+  // Pure win counting — intentionally magnitude-blind (§7.4).
+  if (all.size() < 2) return 0;
+  size_t wins = 0;
+  for (size_t j = 0; j < all.size(); ++j) {
+    if (j == index) continue;
+    if (Compare(all[index], all[j]) < 0) ++wins;
+  }
+  return -static_cast<double>(wins);
+}
+
+size_t SelectBestPlan(const PlanComparator& comparator,
+                      const std::vector<std::vector<double>>& vectors) {
+  if (vectors.empty()) return 0;
+  if (comparator.has_cost()) {
+    size_t best = 0;
+    double best_cost = comparator.Cost(vectors[0]);
+    for (size_t i = 1; i < vectors.size(); ++i) {
+      double c = comparator.Cost(vectors[i]);
+      if (c < best_cost) {
+        best_cost = c;
+        best = i;
+      }
+    }
+    return best;
+  }
+  // Full round robin, most wins (ties: earlier index).
+  std::vector<size_t> wins(vectors.size(), 0);
+  for (size_t i = 0; i < vectors.size(); ++i) {
+    for (size_t j = i + 1; j < vectors.size(); ++j) {
+      if (comparator.Compare(vectors[i], vectors[j]) <= 0) {
+        ++wins[i];
+      } else {
+        ++wins[j];
+      }
+    }
+  }
+  return static_cast<size_t>(
+      std::max_element(wins.begin(), wins.end()) - wins.begin());
+}
+
+size_t ConsolidateSession(const PlanComparator& comparator,
+                          const std::vector<EpisodeRecord>& episodes,
+                          const std::vector<double>& episode_weights) {
+  if (episodes.empty()) return 0;
+  const size_t num_plans = episodes[0].vectors.size();
+  std::vector<double> total(num_plans, 0.0);
+  for (size_t e = 0; e < episodes.size(); ++e) {
+    double w = e < episode_weights.size() ? episode_weights[e] : 1.0;
+    for (size_t p = 0; p < num_plans; ++p) {
+      total[p] += w * comparator.EpisodeCost(episodes[e].vectors, p);
+    }
+  }
+  return static_cast<size_t>(
+      std::min_element(total.begin(), total.end()) - total.begin());
+}
+
+}  // namespace optimizer
+}  // namespace vegaplus

@@ -1,0 +1,123 @@
+// Plan comparators (§5.3.2): naive learned models (RankSVM, random forest),
+// the rule-based heuristic model, and the random sanity-check model — plus
+// best-plan selection and session consolidation (§5.4).
+#ifndef VEGAPLUS_OPTIMIZER_COMPARATOR_H_
+#define VEGAPLUS_OPTIMIZER_COMPARATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "ml/random_forest.h"
+#include "ml/ranksvm.h"
+
+namespace vegaplus {
+namespace optimizer {
+
+/// \brief Pairwise plan comparator over encoded plan vectors.
+class PlanComparator {
+ public:
+  virtual ~PlanComparator() = default;
+  virtual std::string name() const = 0;
+
+  /// -1 if `a` is predicted faster than `b`, +1 otherwise (0 = tie).
+  virtual int Compare(const std::vector<double>& a,
+                      const std::vector<double>& b) const = 0;
+
+  /// True when the model exposes an additive cost (linear models).
+  virtual bool has_cost() const { return false; }
+  virtual double Cost(const std::vector<double>& /*v*/) const { return 0; }
+
+  /// Per-episode cost of candidate `index` among `all` vectors, used by
+  /// session consolidation. Cost models return Cost(v); vote-based models
+  /// return a (negated) win score.
+  virtual double EpisodeCost(const std::vector<std::vector<double>>& all,
+                             size_t index) const;
+};
+
+/// \brief RankSVM-backed naive model; linear weights double as a cost model.
+class RankSvmComparator : public PlanComparator {
+ public:
+  explicit RankSvmComparator(ml::RankSvm model) : model_(std::move(model)) {}
+  std::string name() const override { return "RankSVM"; }
+  int Compare(const std::vector<double>& a, const std::vector<double>& b) const override {
+    return model_.Compare(a, b);
+  }
+  bool has_cost() const override { return true; }
+  double Cost(const std::vector<double>& v) const override { return model_.Cost(v); }
+  const ml::RankSvm& model() const { return model_; }
+
+ private:
+  ml::RankSvm model_;
+};
+
+/// \brief Random-forest naive model; majority vote per pair, confidence-
+/// weighted wins against sampled references for consolidation.
+class RandomForestComparator : public PlanComparator {
+ public:
+  explicit RandomForestComparator(ml::RandomForest model) : model_(std::move(model)) {}
+  std::string name() const override { return "Random Forest"; }
+  int Compare(const std::vector<double>& a, const std::vector<double>& b) const override {
+    return model_.Compare(a, b);
+  }
+  double EpisodeCost(const std::vector<std::vector<double>>& all,
+                     size_t index) const override;
+  const ml::RandomForest& model() const { return model_; }
+
+ private:
+  ml::RandomForest model_;
+};
+
+/// \brief The rule-based heuristic model (§5.3.2), with rule priorities
+/// derived from what the naive models learn: (1) much smaller total VDT
+/// result cardinality wins; (2) more client-side aggregation wins; (3) fewer
+/// VDTs (round trips) wins; (4) smaller total client-side cardinality wins.
+class HeuristicComparator : public PlanComparator {
+ public:
+  explicit HeuristicComparator(double alpha = 0.1) : alpha_(alpha) {}
+  std::string name() const override { return "heuristic"; }
+  int Compare(const std::vector<double>& a, const std::vector<double>& b) const override;
+  /// Win-count scoring: magnitude-blind by design (the §7.4 failure mode).
+  double EpisodeCost(const std::vector<std::vector<double>>& all,
+                     size_t index) const override;
+
+ private:
+  double alpha_;
+};
+
+/// \brief Uniform random choice (the sanity-check baseline).
+class RandomComparator : public PlanComparator {
+ public:
+  explicit RandomComparator(uint64_t seed = 1234) : rng_(seed) {}
+  std::string name() const override { return "random"; }
+  int Compare(const std::vector<double>&, const std::vector<double>&) const override {
+    return rng_.NextBool() ? -1 : 1;
+  }
+
+ private:
+  mutable Rng rng_;
+};
+
+/// Pick the best plan among `vectors`: O(n) cost scan for cost models,
+/// full pairwise win counting otherwise.
+size_t SelectBestPlan(const PlanComparator& comparator,
+                      const std::vector<std::vector<double>>& vectors);
+
+/// \brief One episode's view of every candidate plan.
+struct EpisodeRecord {
+  std::vector<std::vector<double>> vectors;  // per candidate plan
+  std::vector<double> latencies_ms;          // ground-truth label per plan
+  bool is_initial = false;
+};
+
+/// Session consolidation (§5.4): argmin over plans of the weighted sum of
+/// per-episode costs. `episode_weights` defaults to all-ones.
+size_t ConsolidateSession(const PlanComparator& comparator,
+                          const std::vector<EpisodeRecord>& episodes,
+                          const std::vector<double>& episode_weights = {});
+
+}  // namespace optimizer
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_OPTIMIZER_COMPARATOR_H_

@@ -1,0 +1,66 @@
+#include "optimizer/trainer.h"
+
+namespace vegaplus {
+namespace optimizer {
+
+EpisodeCollector::EpisodeCollector(const spec::VegaSpec& spec, const sql::Engine* engine,
+                                   CollectorOptions options)
+    : options_(options), engine_(engine),
+      labeler_(spec, engine, options.latency, options.binary_encoding) {}
+
+Status EpisodeCollector::Start() {
+  VP_RETURN_IF_ERROR(labeler_.Start());
+  enumeration_ = plan::EnumeratePlans(labeler_.builder(), options_.max_plans,
+                                      options_.seed);
+  encoder_ = std::make_unique<plan::PlanEncoder>(labeler_.builder(), engine_);
+  return Status::OK();
+}
+
+Result<EpisodeRecord> EpisodeCollector::Collect() {
+  if (encoder_ == nullptr) return Status::InvalidArgument("collector: Start() first");
+  EpisodeRecord record;
+  std::set<std::string> updated = labeler_.UpdatedSignals();
+  record.is_initial = updated.empty();
+  record.vectors =
+      encoder_->EncodeEpisode(enumeration_.plans, labeler_.signals(), updated);
+  VP_ASSIGN_OR_RETURN(record.latencies_ms, labeler_.LabelEpisode(enumeration_.plans));
+  return record;
+}
+
+Status EpisodeCollector::ApplyInteraction(
+    const std::vector<runtime::SignalUpdate>& updates) {
+  return labeler_.ApplyInteraction(updates);
+}
+
+std::vector<ml::PairExample> MakePairs(const std::vector<EpisodeRecord>& episodes,
+                                       size_t max_pairs, uint64_t seed) {
+  // Count usable pairs, then reservoir-sample deterministically.
+  std::vector<ml::PairExample> out;
+  Rng rng(seed);
+  size_t seen = 0;
+  for (const EpisodeRecord& ep : episodes) {
+    const size_t n = ep.vectors.size();
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        double li = ep.latencies_ms[i];
+        double lj = ep.latencies_ms[j];
+        if (li == lj) continue;  // indistinguishable
+        ml::PairExample pair;
+        pair.a = ep.vectors[i];
+        pair.b = ep.vectors[j];
+        pair.label = li < lj ? 1 : -1;
+        if (out.size() < max_pairs) {
+          out.push_back(std::move(pair));
+        } else {
+          size_t k = static_cast<size_t>(rng.Next() % (seen + 1));
+          if (k < max_pairs) out[k] = std::move(pair);
+        }
+        ++seen;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace optimizer
+}  // namespace vegaplus

@@ -1,0 +1,63 @@
+// EpisodeCollector: orchestrates enumeration + encoding + labeling per
+// episode of a simulated session — the training-data pipeline of §5.3/§7.2.
+#ifndef VEGAPLUS_OPTIMIZER_TRAINER_H_
+#define VEGAPLUS_OPTIMIZER_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "optimizer/comparator.h"
+#include "optimizer/labeler.h"
+#include "plan/encoder.h"
+#include "plan/enumerator.h"
+
+namespace vegaplus {
+namespace optimizer {
+
+struct CollectorOptions {
+  /// Plan-space sampling cap (Table 1 still reports the true space size).
+  size_t max_plans = 256;
+  runtime::LatencyParams latency;
+  bool binary_encoding = true;
+  uint64_t seed = 11;
+};
+
+/// \brief Collects per-episode (vectors, labels) for every candidate plan.
+class EpisodeCollector {
+ public:
+  EpisodeCollector(const spec::VegaSpec& spec, const sql::Engine* engine,
+                   CollectorOptions options = {});
+
+  /// Enumerate plans and run the session's initial rendering.
+  Status Start();
+
+  /// Encode + label the current episode (initial right after Start()).
+  Result<EpisodeRecord> Collect();
+
+  /// Advance the session by one interaction.
+  Status ApplyInteraction(const std::vector<runtime::SignalUpdate>& updates);
+
+  const std::vector<rewrite::ExecutionPlan>& plans() const {
+    return enumeration_.plans;
+  }
+  const plan::EnumerationResult& enumeration() const { return enumeration_; }
+  const rewrite::PlanBuilder& builder() const { return labeler_.builder(); }
+
+ private:
+  CollectorOptions options_;
+  const sql::Engine* engine_;
+  SessionLabeler labeler_;
+  plan::EnumerationResult enumeration_;
+  std::unique_ptr<plan::PlanEncoder> encoder_;
+};
+
+/// Build pairwise training examples from episode records: one example per
+/// ordered pair (i < j) with distinguishable labels, subsampled to
+/// `max_pairs` deterministically.
+std::vector<ml::PairExample> MakePairs(const std::vector<EpisodeRecord>& episodes,
+                                       size_t max_pairs, uint64_t seed);
+
+}  // namespace optimizer
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_OPTIMIZER_TRAINER_H_

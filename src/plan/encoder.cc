@@ -1,0 +1,327 @@
+#include "plan/encoder.h"
+
+#include <algorithm>
+
+#include "spec/transform_factory.h"
+#include "sql/explain.h"
+#include "transforms/transforms.h"
+
+namespace vegaplus {
+namespace plan {
+
+namespace {
+
+// Per-entry static structure used by the encoder.
+struct EntryInfo {
+  int parent = -1;
+  std::vector<std::string> op_types;
+  std::vector<std::vector<std::string>> op_deps;   // signal reads per op
+  std::vector<std::string> extent_outputs;         // "" unless extent op
+  std::vector<expr::NodePtr> filter_predicates;    // null unless filter op
+  std::vector<transforms::BinOp::Params> bin_params;  // valid when type==bin
+  std::vector<std::vector<transforms::FieldRef>> groupbys;  // when aggregate
+  std::string root_table;
+};
+
+std::vector<EntryInfo> BuildEntryInfos(const spec::VegaSpec& spec) {
+  std::vector<EntryInfo> infos(spec.data.size());
+  for (size_t i = 0; i < spec.data.size(); ++i) {
+    const spec::DataSpec& d = spec.data[i];
+    EntryInfo& info = infos[i];
+    info.root_table = !d.table.empty() ? d.table : d.name;
+    if (!d.source.empty()) {
+      for (size_t j = 0; j < i; ++j) {
+        if (spec.data[j].name == d.source) info.parent = static_cast<int>(j);
+      }
+    }
+    for (const auto& ts : d.transforms) {
+      info.op_types.push_back(ts.type);
+      auto built = spec::BuildTransformOp(ts);
+      if (built.ok()) {
+        info.op_deps.push_back((*built)->signal_deps());
+        auto* extent = dynamic_cast<transforms::ExtentOp*>(built->get());
+        info.extent_outputs.push_back(extent != nullptr ? extent->output_signal() : "");
+        auto* filter = dynamic_cast<transforms::FilterOp*>(built->get());
+        info.filter_predicates.push_back(filter != nullptr ? filter->predicate()
+                                                           : nullptr);
+        auto* bin = dynamic_cast<transforms::BinOp*>(built->get());
+        info.bin_params.push_back(bin != nullptr ? bin->params()
+                                                 : transforms::BinOp::Params());
+        auto* agg = dynamic_cast<transforms::AggregateOp*>(built->get());
+        info.groupbys.push_back(agg != nullptr ? agg->params().groupby
+                                               : std::vector<transforms::FieldRef>());
+      } else {
+        info.op_deps.emplace_back();
+        info.extent_outputs.emplace_back();
+        info.filter_predicates.emplace_back(nullptr);
+        info.bin_params.emplace_back();
+        info.groupbys.emplace_back();
+      }
+    }
+  }
+  return infos;
+}
+
+// Which operators re-evaluate when `updated` signals change? Fixpoint over
+// signal-producing extents and data-edge propagation.
+std::vector<std::vector<bool>> ComputeReevaluation(
+    const std::vector<EntryInfo>& infos, const std::set<std::string>& updated_in) {
+  std::vector<std::vector<bool>> reeval(infos.size());
+  for (size_t e = 0; e < infos.size(); ++e) {
+    reeval[e].assign(infos[e].op_types.size(), false);
+  }
+  std::set<std::string> updated = updated_in;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t e = 0; e < infos.size(); ++e) {
+      const EntryInfo& info = infos[e];
+      bool upstream = false;
+      if (info.parent >= 0) {
+        const auto& parent_reeval = reeval[static_cast<size_t>(info.parent)];
+        upstream = std::any_of(parent_reeval.begin(), parent_reeval.end(),
+                               [](bool b) { return b; });
+      }
+      for (size_t t = 0; t < info.op_types.size(); ++t) {
+        bool dirty = upstream || reeval[e][t];
+        if (!dirty) {
+          for (const std::string& dep : info.op_deps[t]) {
+            if (updated.count(dep) > 0) {
+              dirty = true;
+              break;
+            }
+          }
+        }
+        if (dirty && !reeval[e][t]) {
+          reeval[e][t] = true;
+          changed = true;
+        }
+        if (reeval[e][t]) {
+          upstream = true;
+          if (!info.extent_outputs[t].empty() &&
+              updated.insert(info.extent_outputs[t]).second) {
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  return reeval;
+}
+
+double ResolveMaxbins(const transforms::BinOp::Params& p,
+                      const expr::SignalResolver& signals) {
+  if (!p.maxbins_signal.empty()) {
+    expr::EvalValue v;
+    if (signals.Lookup(p.maxbins_signal, &v) && !v.is_array() &&
+        v.scalar().is_numeric()) {
+      return std::max(1.0, v.scalar().AsDouble());
+    }
+  }
+  return std::max(1, p.maxbins);
+}
+
+}  // namespace
+
+const std::vector<std::string>& EncodedOpTypes() {
+  static const std::vector<std::string>* kTypes = new std::vector<std::string>{
+      "filter", "extent", "bin",      "aggregate", "collect",   "project",
+      "stack",  "timeunit", "formula", "vdt",       "vdt_signal"};
+  return *kTypes;
+}
+
+std::vector<std::string> FeatureNames() {
+  std::vector<std::string> names;
+  for (const std::string& t : EncodedOpTypes()) names.push_back("count_" + t);
+  for (const std::string& t : EncodedOpTypes()) names.push_back("card_" + t);
+  return names;
+}
+
+int CountFeatureIndex(const std::string& op_type) {
+  const auto& types = EncodedOpTypes();
+  for (size_t i = 0; i < types.size(); ++i) {
+    if (types[i] == op_type) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int CardFeatureIndex(const std::string& op_type) {
+  int idx = CountFeatureIndex(op_type);
+  return idx < 0 ? -1 : idx + static_cast<int>(EncodedOpTypes().size());
+}
+
+PlanEncoder::PlanEncoder(const rewrite::PlanBuilder& builder, const sql::Engine* engine)
+    : builder_(builder), engine_(engine) {}
+
+std::vector<std::vector<double>> PlanEncoder::EncodePlans(
+    const std::vector<rewrite::ExecutionPlan>& plans,
+    const expr::SignalResolver& signals) const {
+  return EncodeEpisode(plans, signals, {});
+}
+
+std::vector<std::vector<double>> PlanEncoder::EncodeEpisode(
+    const std::vector<rewrite::ExecutionPlan>& plans,
+    const expr::SignalResolver& signals, const std::set<std::string>& updated) const {
+  const spec::VegaSpec& spec = builder_.spec();
+  std::vector<EntryInfo> infos = BuildEntryInfos(spec);
+
+  const bool initial = updated.empty();
+  std::vector<std::vector<bool>> reeval;
+  if (initial) {
+    reeval.resize(infos.size());
+    for (size_t e = 0; e < infos.size(); ++e) {
+      reeval[e].assign(infos[e].op_types.size(), true);
+    }
+  } else {
+    reeval = ComputeReevaluation(infos, updated);
+  }
+
+  // Estimated cardinality after each transform of each entry
+  // (placement-independent).
+  std::vector<std::vector<double>> card_after(infos.size());
+  std::vector<double> entry_base(infos.size(), 0);
+  std::vector<double> entry_final(infos.size(), 0);
+  for (size_t e = 0; e < infos.size(); ++e) {
+    const EntryInfo& info = infos[e];
+    const data::TableStats* stats =
+        info.parent < 0 ? engine_->catalog().GetStats(info.root_table) : nullptr;
+    double rows = info.parent >= 0 ? entry_final[static_cast<size_t>(info.parent)]
+                                   : (stats != nullptr
+                                          ? static_cast<double>(stats->num_rows)
+                                          : 0.0);
+    entry_base[e] = rows;
+    // Root stats follow the entry chain for selectivity/grouping estimates.
+    const data::TableStats* root_stats = stats;
+    for (size_t j = e; infos[j].parent >= 0;) {
+      j = static_cast<size_t>(infos[j].parent);
+      root_stats = engine_->catalog().GetStats(infos[j].root_table);
+      if (infos[j].parent < 0) break;
+    }
+    card_after[e].resize(info.op_types.size());
+    for (size_t t = 0; t < info.op_types.size(); ++t) {
+      const std::string& type = info.op_types[t];
+      if (type == "filter" && info.filter_predicates[t]) {
+        rows *= sql::EstimateSelectivity(info.filter_predicates[t], root_stats);
+      } else if (type == "aggregate") {
+        double groups = 1;
+        for (const auto& g : info.groupbys[t]) {
+          double d = 20;
+          if (!g.is_signal() && root_stats != nullptr) {
+            const data::ColumnStats* cs = root_stats->Find(g.field);
+            if (cs != nullptr && cs->distinct_is_exact) {
+              d = static_cast<double>(std::max<size_t>(cs->distinct_count, 1));
+            } else if (g.field == "bin0" || g.field == "bin1") {
+              // Find the nearest preceding bin op for its maxbins.
+              for (size_t b = t; b-- > 0;) {
+                if (info.op_types[b] == "bin") {
+                  d = ResolveMaxbins(info.bin_params[b], signals);
+                  break;
+                }
+              }
+            } else if (g.field == "unit0" || g.field == "unit1") {
+              d = 36;  // months/weeks-scale buckets
+            }
+          }
+          groups *= d;
+        }
+        rows = std::min(rows, groups);
+      }
+      // bin/collect/project/stack/timeunit/formula/extent: cardinality
+      // preserved.
+      card_after[e][t] = rows;
+    }
+    entry_final[e] = rows;
+  }
+
+  // Fetch-needed per entry under each plan requires children splits.
+  std::vector<std::vector<int>> children(spec.data.size());
+  for (size_t e = 0; e < infos.size(); ++e) {
+    if (infos[e].parent >= 0) children[static_cast<size_t>(infos[e].parent)].push_back(
+        static_cast<int>(e));
+  }
+
+  const size_t num_types = EncodedOpTypes().size();
+  std::vector<std::vector<double>> vectors;
+  vectors.reserve(plans.size());
+  for (const auto& p : plans) {
+    std::vector<double> v(2 * num_types, 0.0);
+    auto bump = [&v](const std::string& type, double card) {
+      int ci = CountFeatureIndex(type);
+      if (ci < 0) return;
+      v[static_cast<size_t>(ci)] += 1;
+      v[static_cast<size_t>(CardFeatureIndex(type))] += card;
+    };
+    for (size_t e = 0; e < infos.size(); ++e) {
+      const EntryInfo& info = infos[e];
+      const int split = p.splits[e];
+      const int total = static_cast<int>(info.op_types.size());
+      // Does the prefix (incl. ancestor chain) re-evaluate this episode?
+      auto chain_reevals = [&](size_t entry, int upto) {
+        // ancestors fully included
+        for (size_t a = entry; infos[a].parent >= 0;) {
+          a = static_cast<size_t>(infos[a].parent);
+          for (bool b : reeval[a]) {
+            if (b) return true;
+          }
+        }
+        for (int t = 0; t < upto; ++t) {
+          if (reeval[entry][static_cast<size_t>(t)]) return true;
+        }
+        return false;
+      };
+
+      bool has_client_ops = split < total;
+      bool child_needs_client = false;
+      for (int c : children[e]) {
+        if (p.splits[static_cast<size_t>(c)] == 0) child_needs_client = true;
+      }
+      bool fetch_needed = builder_.reserved().count(spec.data[e].name) > 0 ||
+                          has_client_ops || child_needs_client || children[e].empty();
+
+      // Signal VDTs for extent ops in the prefix.
+      for (int t = 0; t < split; ++t) {
+        if (!info.extent_outputs[static_cast<size_t>(t)].empty() &&
+            (initial || chain_reevals(e, t + 1))) {
+          bump("vdt_signal", 1.0);
+        }
+      }
+      // The data VDT.
+      bool vdt_present = fetch_needed && (split > 0 || info.parent < 0);
+      if (vdt_present && (initial || chain_reevals(e, split))) {
+        double card = split > 0 ? card_after[e][static_cast<size_t>(split - 1)]
+                                : entry_base[e];
+        bump("vdt", card);
+      }
+      // Client operators.
+      for (int t = split; t < total; ++t) {
+        if (reeval[e][static_cast<size_t>(t)]) {
+          bump(info.op_types[static_cast<size_t>(t)],
+               card_after[e][static_cast<size_t>(t)]);
+        }
+      }
+    }
+    vectors.push_back(std::move(v));
+  }
+  NormalizeCardinalityFeatures(&vectors);
+  return vectors;
+}
+
+void NormalizeCardinalityFeatures(std::vector<std::vector<double>>* vectors) {
+  if (vectors->empty()) return;
+  const size_t num_types = EncodedOpTypes().size();
+  for (size_t f = num_types; f < 2 * num_types; ++f) {
+    double lo = (*vectors)[0][f];
+    double hi = lo;
+    for (const auto& v : *vectors) {
+      lo = std::min(lo, v[f]);
+      hi = std::max(hi, v[f]);
+    }
+    double span = hi - lo;
+    for (auto& v : *vectors) {
+      v[f] = span > 0 ? (v[f] - lo) / span : 0.0;
+    }
+  }
+}
+
+}  // namespace plan
+}  // namespace vegaplus

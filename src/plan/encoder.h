@@ -1,0 +1,63 @@
+// Plan encoding (§5.3.1): each execution plan becomes a feature vector of
+// per-operator-type counters plus per-type output-cardinality sums, with the
+// cardinality features min-max normalized across the candidate set.
+// Cardinalities are *estimates*: DBMS EXPLAIN-style estimation for VDT
+// queries, selectivity propagation for client operators — the optimizer
+// never executes candidate plans to encode them.
+#ifndef VEGAPLUS_PLAN_ENCODER_H_
+#define VEGAPLUS_PLAN_ENCODER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "plan/enumerator.h"
+#include "sql/engine.h"
+
+namespace vegaplus {
+namespace plan {
+
+/// Operator types tracked by the encoder, in feature order. "vdt" is the
+/// data-fetching VegaDBMSTransform; "vdt_signal" the extent side queries.
+const std::vector<std::string>& EncodedOpTypes();
+
+/// Feature names ("count_filter", "card_filter", ..., "count_vdt",
+/// "card_vdt", ...) for model inspection / heuristic extraction.
+std::vector<std::string> FeatureNames();
+
+/// Index helpers into a plan vector.
+int CountFeatureIndex(const std::string& op_type);
+int CardFeatureIndex(const std::string& op_type);
+
+/// \brief Encoder bound to one spec + engine (for table statistics).
+class PlanEncoder {
+ public:
+  PlanEncoder(const rewrite::PlanBuilder& builder, const sql::Engine* engine);
+
+  /// Encode all candidate plans for the current signal environment
+  /// (initial-rendering vectors). Cardinality features are min-max
+  /// normalized across the set.
+  std::vector<std::vector<double>> EncodePlans(
+      const std::vector<rewrite::ExecutionPlan>& plans,
+      const expr::SignalResolver& signals) const;
+
+  /// Episode-aware encoding (§5.4): only operators that re-evaluate when the
+  /// given signals update contribute to the vector. An empty `updated` set
+  /// means initial rendering (everything contributes).
+  std::vector<std::vector<double>> EncodeEpisode(
+      const std::vector<rewrite::ExecutionPlan>& plans,
+      const expr::SignalResolver& signals,
+      const std::set<std::string>& updated) const;
+
+ private:
+  const rewrite::PlanBuilder& builder_;
+  const sql::Engine* engine_;
+};
+
+/// Min-max normalize the cardinality features in-place across `vectors`.
+void NormalizeCardinalityFeatures(std::vector<std::vector<double>>* vectors);
+
+}  // namespace plan
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_PLAN_ENCODER_H_

@@ -1,0 +1,182 @@
+#include "plan/enumerator.h"
+
+#include <algorithm>
+
+namespace vegaplus {
+namespace plan {
+
+namespace {
+
+// Recursively assign splits entry by entry, pruning infeasible branches via
+// PlanBuilder::Validate-equivalent local checks (parent link + bounds).
+void Recurse(const rewrite::PlanBuilder& builder, size_t entry,
+             rewrite::ExecutionPlan* current,
+             const std::function<void(const rewrite::ExecutionPlan&)>& emit) {
+  const spec::VegaSpec& spec = builder.spec();
+  if (entry == spec.data.size()) {
+    emit(*current);
+    return;
+  }
+  const spec::DataSpec& d = spec.data[entry];
+  // Parent feasibility for split > 0.
+  bool parent_allows = true;
+  if (!d.source.empty()) {
+    for (size_t j = 0; j < entry; ++j) {
+      if (spec.data[j].name == d.source) {
+        bool fully = current->splits[j] == static_cast<int>(spec.data[j].transforms.size());
+        bool reserved = builder.reserved().count(d.source) > 0;
+        parent_allows = fully && !reserved;
+        break;
+      }
+    }
+  }
+  int max_split = parent_allows ? builder.max_splits()[entry] : 0;
+  for (int s = 0; s <= max_split; ++s) {
+    current->splits[entry] = s;
+    Recurse(builder, entry + 1, current, emit);
+  }
+  current->splits[entry] = 0;
+}
+
+}  // namespace
+
+EnumerationResult EnumeratePlans(const rewrite::PlanBuilder& builder, size_t max_plans,
+                                 uint64_t seed) {
+  EnumerationResult result;
+  rewrite::ExecutionPlan current;
+  current.splits.assign(builder.spec().data.size(), 0);
+
+  // Pass 1: count the space.
+  size_t count = 0;
+  Recurse(builder, 0, &current, [&count](const rewrite::ExecutionPlan&) { ++count; });
+  result.total_space = count;
+
+  if (count <= max_plans) {
+    result.plans.reserve(count);
+    Recurse(builder, 0, &current, [&result](const rewrite::ExecutionPlan& p) {
+      result.plans.push_back(p);
+    });
+    return result;
+  }
+
+  // Reservoir-sample max_plans of the space deterministically.
+  result.truncated = true;
+  Rng rng(seed);
+  size_t seen = 0;
+  result.plans.reserve(max_plans);
+  Recurse(builder, 0, &current,
+          [&](const rewrite::ExecutionPlan& p) {
+            if (result.plans.size() < max_plans) {
+              result.plans.push_back(p);
+            } else {
+              size_t j = static_cast<size_t>(rng.Next() % (seen + 1));
+              if (j < max_plans) result.plans[j] = p;
+            }
+            ++seen;
+          });
+  // Always keep the two anchor plans in the sample.
+  auto ensure = [&](const rewrite::ExecutionPlan& p) {
+    for (const auto& existing : result.plans) {
+      if (existing == p) return;
+    }
+    result.plans[rng.Index(result.plans.size())] = p;
+  };
+  ensure(builder.AllClientPlan());
+  ensure(builder.FullPushdownPlan());
+  return result;
+}
+
+EnumerationResult EnumeratePlansPruned(const rewrite::PlanBuilder& builder,
+                                       PruningStrategy strategy,
+                                       const sql::Engine* engine,
+                                       double cardinality_factor) {
+  if (strategy == PruningStrategy::kBoundary) {
+    // Per entry, keep only the boundary splits {0, max-feasible}; enumerate
+    // the (much smaller) product and keep feasible combinations.
+    EnumerationResult full = EnumeratePlans(builder);
+    EnumerationResult out;
+    out.total_space = full.total_space;
+    const auto& spec = builder.spec();
+    for (const auto& p : full.plans) {
+      bool boundary = true;
+      for (size_t e = 0; e < spec.data.size(); ++e) {
+        if (p.splits[e] != 0 && p.splits[e] != builder.max_splits()[e]) {
+          boundary = false;
+          break;
+        }
+      }
+      if (boundary) out.plans.push_back(p);
+    }
+    out.truncated = out.plans.size() < full.plans.size();
+    return out;
+  }
+
+  // kCardinalityThreshold: estimate each plan's total fetched cardinality
+  // from table statistics and drop anything beyond factor x the minimum.
+  EnumerationResult full = EnumeratePlans(builder);
+  if (engine == nullptr || full.plans.size() < 2) return full;
+  const auto& spec = builder.spec();
+  // Per-entry cardinality after each split (selectivity-free upper bound:
+  // root rows for raw / prefix outputs estimated via entry chain length).
+  std::vector<double> base_rows(spec.data.size(), 0);
+  for (size_t e = 0; e < spec.data.size(); ++e) {
+    const spec::DataSpec& d = spec.data[e];
+    if (!d.source.empty()) {
+      for (size_t j = 0; j < e; ++j) {
+        if (spec.data[j].name == d.source) base_rows[e] = base_rows[j];
+      }
+    } else {
+      const data::TableStats* stats =
+          engine->catalog().GetStats(!d.table.empty() ? d.table : d.name);
+      base_rows[e] = stats != nullptr ? static_cast<double>(stats->num_rows) : 0;
+    }
+  }
+  std::vector<std::vector<size_t>> children(spec.data.size());
+  for (size_t e = 0; e < spec.data.size(); ++e) {
+    if (spec.data[e].source.empty()) continue;
+    for (size_t j = 0; j < e; ++j) {
+      if (spec.data[j].name == spec.data[e].source) children[j].push_back(e);
+    }
+  }
+  auto plan_cardinality = [&](const rewrite::ExecutionPlan& p) {
+    double total = 0;
+    for (size_t e = 0; e < spec.data.size(); ++e) {
+      const int total_ops = static_cast<int>(spec.data[e].transforms.size());
+      // Aggregates crush cardinality; approximate: any aggregate inside the
+      // prefix caps the fetch at 1000 rows.
+      bool aggregated = false;
+      for (int t = 0; t < p.splits[e]; ++t) {
+        if (spec.data[e].transforms[static_cast<size_t>(t)].type == "aggregate") {
+          aggregated = true;
+        }
+      }
+      // Mirror PlanBuilder's fetch consolidation.
+      bool child_needs_client = false;
+      for (size_t c : children[e]) {
+        if (p.splits[c] == 0) child_needs_client = true;
+      }
+      bool fetches = builder.reserved().count(spec.data[e].name) > 0 ||
+                     p.splits[e] < total_ops || child_needs_client ||
+                     children[e].empty();
+      if (fetches) total += aggregated ? std::min(base_rows[e], 1000.0) : base_rows[e];
+    }
+    return total;
+  };
+  double best = plan_cardinality(full.plans[0]);
+  std::vector<double> cards(full.plans.size());
+  for (size_t i = 0; i < full.plans.size(); ++i) {
+    cards[i] = plan_cardinality(full.plans[i]);
+    best = std::min(best, cards[i]);
+  }
+  EnumerationResult out;
+  out.total_space = full.total_space;
+  for (size_t i = 0; i < full.plans.size(); ++i) {
+    if (cards[i] <= best * cardinality_factor) out.plans.push_back(full.plans[i]);
+  }
+  if (out.plans.empty()) out.plans.push_back(builder.FullPushdownPlan());
+  out.truncated = out.plans.size() < full.plans.size();
+  return out;
+}
+
+}  // namespace plan
+}  // namespace vegaplus

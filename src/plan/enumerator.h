@@ -1,0 +1,52 @@
+// Plan enumeration (§5.2): all valid client/server partitionings of the
+// dataflow. "In theory 2^n plans; in reality fewer" because splits are
+// constrained to rewritable prefixes and parent/child consistency.
+#ifndef VEGAPLUS_PLAN_ENUMERATOR_H_
+#define VEGAPLUS_PLAN_ENUMERATOR_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "rewrite/plan_builder.h"
+#include "sql/engine.h"
+
+namespace vegaplus {
+namespace plan {
+
+struct EnumerationResult {
+  std::vector<rewrite::ExecutionPlan> plans;
+  /// Exact size of the full space (even when `plans` was capped).
+  size_t total_space = 0;
+  bool truncated = false;
+};
+
+/// Enumerate every feasible plan. When the space exceeds `max_plans`, a
+/// deterministic uniform sample of `max_plans` plans is returned instead
+/// (always including the all-client and full-pushdown plans) and
+/// `truncated` is set.
+EnumerationResult EnumeratePlans(const rewrite::PlanBuilder& builder,
+                                 size_t max_plans = 100000, uint64_t seed = 17);
+
+/// Pruning strategies (§7.2's proposed future work, implemented here):
+enum class PruningStrategy {
+  /// Keep only boundary splits {0, max} per data entry — the "bottom-up
+  /// boundary pruning" idea: O(2^entries) instead of O(prod of prefixes).
+  kBoundary,
+  /// Drop plans whose total estimated fetched cardinality exceeds
+  /// `cardinality_factor` x the smallest candidate's (the paper's
+  /// "prune plans with output cardinality above a threshold").
+  kCardinalityThreshold,
+};
+
+/// Enumerate with pruning. For kCardinalityThreshold, `engine` supplies the
+/// statistics behind the cardinality estimates and `cardinality_factor`
+/// the tolerance (e.g. 8.0).
+EnumerationResult EnumeratePlansPruned(const rewrite::PlanBuilder& builder,
+                                       PruningStrategy strategy,
+                                       const sql::Engine* engine = nullptr,
+                                       double cardinality_factor = 8.0);
+
+}  // namespace plan
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_PLAN_ENUMERATOR_H_

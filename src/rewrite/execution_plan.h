@@ -1,0 +1,36 @@
+// ExecutionPlan: one way to partition a spec's dataflow between client and
+// server (§5.2). For every data entry, a split point: how many of its
+// leading transforms run as SQL on the DBMS; the rest run in the client
+// dataflow. "All operations upstream to the split point are executed on the
+// server, and all that are downstream should be on the client."
+#ifndef VEGAPLUS_REWRITE_EXECUTION_PLAN_H_
+#define VEGAPLUS_REWRITE_EXECUTION_PLAN_H_
+
+#include <string>
+#include <vector>
+
+namespace vegaplus {
+namespace rewrite {
+
+struct ExecutionPlan {
+  /// Parallel to VegaSpec::data: splits[i] = number of leading transforms of
+  /// entry i executed server-side.
+  std::vector<int> splits;
+
+  /// Stable identity string, e.g. "3|0|2".
+  std::string Key() const {
+    std::string key;
+    for (size_t i = 0; i < splits.size(); ++i) {
+      if (i > 0) key += '|';
+      key += std::to_string(splits[i]);
+    }
+    return key;
+  }
+
+  bool operator==(const ExecutionPlan& other) const { return splits == other.splits; }
+};
+
+}  // namespace rewrite
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_REWRITE_EXECUTION_PLAN_H_

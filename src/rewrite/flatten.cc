@@ -1,0 +1,152 @@
+#include "rewrite/flatten.h"
+
+#include <map>
+
+namespace vegaplus {
+namespace rewrite {
+
+namespace {
+
+using expr::Node;
+using expr::NodeKind;
+using expr::NodePtr;
+using sql::SelectItem;
+using sql::SelectStmt;
+
+bool IsColumnRef(const NodePtr& node, std::string* name) {
+  if (node && node->kind == NodeKind::kMember && node->a &&
+      node->a->kind == NodeKind::kIdentifier && node->a->name == "datum") {
+    *name = node->name;
+    return true;
+  }
+  return false;
+}
+
+// Sub is "SELECT * FROM X [WHERE c]" with nothing else?
+bool IsPassthroughFilter(const SelectStmt& sub) {
+  return sub.items.size() == 1 && sub.items[0].kind == SelectItem::Kind::kStar &&
+         sub.group_by.empty() && sub.having == nullptr && sub.order_by.empty() &&
+         sub.limit < 0 && sub.offset == 0;
+}
+
+// Sub is "SELECT *, e1 AS n1, ... FROM X" with nothing else? Collect the
+// computed items.
+bool IsProjectionExtension(const SelectStmt& sub,
+                           std::map<std::string, NodePtr>* computed) {
+  if (sub.where != nullptr || !sub.group_by.empty() || sub.having != nullptr ||
+      !sub.order_by.empty() || sub.limit >= 0 || sub.offset != 0) {
+    return false;
+  }
+  if (sub.items.empty() || sub.items[0].kind != SelectItem::Kind::kStar) return false;
+  for (size_t i = 1; i < sub.items.size(); ++i) {
+    const SelectItem& item = sub.items[i];
+    if (item.kind != SelectItem::Kind::kExpr || item.alias.empty()) return false;
+    (*computed)[item.alias] = item.expr;
+  }
+  return true;
+}
+
+void SubstituteInStmt(SelectStmt* stmt, const std::map<std::string, NodePtr>& bindings) {
+  auto subst = [&bindings](const NodePtr& e) {
+    NodePtr out = e;
+    for (const auto& [name, replacement] : bindings) {
+      out = SubstituteColumn(out, name, replacement);
+    }
+    return out;
+  };
+  for (SelectItem& item : stmt->items) {
+    if (item.expr) item.expr = subst(item.expr);
+    if (item.agg_arg) item.agg_arg = subst(item.agg_arg);
+    if (item.window.arg) item.window.arg = subst(item.window.arg);
+    for (auto& p : item.window.partition_by) p = subst(p);
+    for (auto& o : item.window.order_by) o.expr = subst(o.expr);
+  }
+  if (stmt->where) stmt->where = subst(stmt->where);
+  for (auto& g : stmt->group_by) g = subst(g);
+  if (stmt->having) stmt->having = subst(stmt->having);
+  for (auto& o : stmt->order_by) o.expr = subst(o.expr);
+}
+
+// Does the outer statement reference any column NOT produced by substituting
+// the computed items — i.e. does it use `*`? A SELECT * outer cannot inline a
+// projection extension without changing its output schema.
+bool OuterHasStar(const SelectStmt& stmt) {
+  for (const SelectItem& item : stmt.items) {
+    if (item.kind == SelectItem::Kind::kStar) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+expr::NodePtr SubstituteColumn(const NodePtr& node, const std::string& name,
+                               const NodePtr& replacement) {
+  if (!node) return node;
+  std::string col;
+  if (IsColumnRef(node, &col) && col == name) return replacement;
+  // Rebuild children when any changed.
+  auto copy = std::make_shared<Node>(*node);
+  bool changed = false;
+  auto visit = [&](const NodePtr& child) {
+    NodePtr out = SubstituteColumn(child, name, replacement);
+    if (out != child) changed = true;
+    return out;
+  };
+  copy->a = visit(node->a);
+  copy->b = visit(node->b);
+  copy->c = visit(node->c);
+  for (size_t i = 0; i < copy->args.size(); ++i) {
+    copy->args[i] = visit(node->args[i]);
+  }
+  return changed ? NodePtr(copy) : node;
+}
+
+std::shared_ptr<SelectStmt> CloneStmt(const SelectStmt& stmt) {
+  auto copy = std::make_shared<SelectStmt>(stmt);
+  if (stmt.from.subquery) {
+    copy->from.subquery = CloneStmt(*stmt.from.subquery);
+  }
+  return copy;
+}
+
+void FlattenStmt(SelectStmt* stmt) {
+  if (!stmt->from.subquery) return;
+  // Flatten the subquery first (bottom-up).
+  auto sub = CloneStmt(*stmt->from.subquery);
+  FlattenStmt(sub.get());
+  stmt->from.subquery = sub;
+
+  bool changed = true;
+  while (changed && stmt->from.subquery) {
+    changed = false;
+    const SelectStmt& inner = *stmt->from.subquery;
+
+    // R1: merge a pass-through filter subquery.
+    if (IsPassthroughFilter(inner)) {
+      sql::TableRef new_from = inner.from;
+      expr::NodePtr inner_where = inner.where;
+      if (inner_where) {
+        stmt->where = stmt->where
+                          ? Node::Binary(expr::BinaryOp::kAnd, inner_where, stmt->where)
+                          : inner_where;
+      }
+      stmt->from = new_from;
+      changed = true;
+      continue;
+    }
+
+    // R2: inline a projection-extension subquery (bin/formula/timeunit).
+    std::map<std::string, NodePtr> computed;
+    if (!OuterHasStar(*stmt) && IsProjectionExtension(inner, &computed) &&
+        !computed.empty()) {
+      sql::TableRef new_from = inner.from;
+      SubstituteInStmt(stmt, computed);
+      stmt->from = new_from;
+      changed = true;
+      continue;
+    }
+  }
+}
+
+}  // namespace rewrite
+}  // namespace vegaplus

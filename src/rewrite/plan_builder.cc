@@ -1,0 +1,199 @@
+#include "rewrite/plan_builder.h"
+
+#include "common/str_util.h"
+#include "rewrite/flatten.h"
+#include "spec/transform_factory.h"
+#include "transforms/transforms.h"
+
+namespace vegaplus {
+namespace rewrite {
+
+PlanBuilder::PlanBuilder(const spec::VegaSpec& spec) : spec_(spec) {
+  reserved_ = spec::ComputeClientReserved(spec_);
+  parent_.resize(spec_.data.size(), -1);
+  children_.resize(spec_.data.size());
+  max_splits_.resize(spec_.data.size(), 0);
+  for (size_t i = 0; i < spec_.data.size(); ++i) {
+    const spec::DataSpec& d = spec_.data[i];
+    max_splits_[i] = RewritablePrefixLength(d);
+    if (!d.source.empty()) {
+      for (size_t j = 0; j < i; ++j) {
+        if (spec_.data[j].name == d.source) {
+          parent_[i] = static_cast<int>(j);
+          children_[j].push_back(static_cast<int>(i));
+          break;
+        }
+      }
+    }
+  }
+}
+
+ExecutionPlan PlanBuilder::AllClientPlan() const {
+  ExecutionPlan plan;
+  plan.splits.assign(spec_.data.size(), 0);
+  return plan;
+}
+
+ExecutionPlan PlanBuilder::FullPushdownPlan() const {
+  ExecutionPlan plan;
+  plan.splits.assign(spec_.data.size(), 0);
+  for (size_t i = 0; i < spec_.data.size(); ++i) {
+    int p = parent_[i];
+    bool parent_ok =
+        p < 0 || (plan.splits[static_cast<size_t>(p)] ==
+                      static_cast<int>(spec_.data[static_cast<size_t>(p)].transforms.size()) &&
+                  reserved_.count(spec_.data[static_cast<size_t>(p)].name) == 0);
+    plan.splits[i] = parent_ok ? max_splits_[i] : 0;
+  }
+  return plan;
+}
+
+Status PlanBuilder::Validate(const ExecutionPlan& plan) const {
+  if (plan.splits.size() != spec_.data.size()) {
+    return Status::InvalidArgument(
+        StrFormat("plan has %zu splits for %zu data entries", plan.splits.size(),
+                  spec_.data.size()));
+  }
+  for (size_t i = 0; i < plan.splits.size(); ++i) {
+    int s = plan.splits[i];
+    if (s < 0 || s > max_splits_[i]) {
+      return Status::InvalidArgument(
+          StrFormat("entry '%s': split %d outside [0, %d]", spec_.data[i].name.c_str(),
+                    s, max_splits_[i]));
+    }
+    if (s > 0) {
+      int p = parent_[i];
+      if (p >= 0) {
+        const spec::DataSpec& parent = spec_.data[static_cast<size_t>(p)];
+        if (plan.splits[static_cast<size_t>(p)] !=
+            static_cast<int>(parent.transforms.size())) {
+          return Status::InvalidArgument("entry '" + spec_.data[i].name +
+                                         "': server split requires fully rewritten "
+                                         "parent '" + parent.name + "'");
+        }
+        if (reserved_.count(parent.name) > 0) {
+          return Status::InvalidArgument("entry '" + spec_.data[i].name +
+                                         "': parent '" + parent.name +
+                                         "' is reserved by dependency checking");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<PlanDataflow> PlanBuilder::Build(const ExecutionPlan& plan,
+                                        QueryService* service) const {
+  VP_RETURN_IF_ERROR(Validate(plan));
+  PlanDataflow out;
+  out.graph = std::make_unique<dataflow::Dataflow>();
+  dataflow::Dataflow& graph = *out.graph;
+
+  for (const auto& sig : spec_.signals) {
+    graph.DeclareSignal(sig.name, expr::EvalValue::FromJson(sig.init));
+  }
+
+  // Server pipelines of fully rewritten entries (for children to extend).
+  std::vector<ServerPipeline> pipelines(spec_.data.size());
+  std::vector<bool> fully_rewritten(spec_.data.size(), false);
+  std::map<std::string, dataflow::Operator*> client_tails;
+  int unique_counter = 0;
+
+  for (size_t i = 0; i < spec_.data.size(); ++i) {
+    const spec::DataSpec& d = spec_.data[i];
+    const int split = plan.splits[i];
+    const int total = static_cast<int>(d.transforms.size());
+
+    // Does anyone need this entry's output on the client?
+    bool has_client_ops = split < total;
+    bool child_needs_client = false;
+    for (int c : children_[i]) {
+      if (plan.splits[static_cast<size_t>(c)] == 0) child_needs_client = true;
+    }
+    bool is_leaf = children_[i].empty();
+    bool fetch_needed = reserved_.count(d.name) > 0 || has_client_ops ||
+                        child_needs_client || is_leaf;
+
+    // ---- Server part ----
+    ServerPipeline pipeline;
+    if (parent_[i] >= 0) {
+      pipeline = pipelines[static_cast<size_t>(parent_[i])];  // copy
+      if (pipeline.stmt) pipeline.stmt = CloneStmt(*pipeline.stmt);
+      pipeline.side_queries.clear();  // parent's side VDTs already created
+    } else {
+      pipeline = MakeTablePipeline(!d.table.empty() ? d.table : d.name);
+    }
+    if (split > 0 || parent_[i] < 0) {
+      for (int t = 0; t < split; ++t) {
+        VP_RETURN_IF_ERROR(ExtendPipeline(&pipeline, d.transforms[static_cast<size_t>(t)],
+                                          unique_counter++));
+      }
+      // Create signal VDTs for extent transforms inside the prefix.
+      for (auto& side : pipeline.side_queries) {
+        auto vdt = std::make_unique<SignalVdtOp>(side.sql_template, side.derived,
+                                                 service, side.output_signal);
+        dataflow::Operator* raw = graph.Add(std::move(vdt), nullptr);
+        raw->data_entry = d.name;
+        graph.RegisterSignalProducer(side.output_signal, raw);
+        out.vdts.push_back(raw);
+      }
+      pipeline.side_queries.clear();
+    }
+    if (split == total) {
+      fully_rewritten[i] = true;
+      pipelines[i] = pipeline;
+    }
+
+    // ---- Client part ----
+    dataflow::Operator* head = nullptr;
+    if (fetch_needed) {
+      if (parent_[i] >= 0 && split == 0) {
+        // Continue from the parent's client-side output.
+        auto it = client_tails.find(d.source);
+        if (it == client_tails.end()) {
+          return Status::InvalidArgument("plan build: entry '" + d.name +
+                                         "' needs client output of '" + d.source +
+                                         "' which was consolidated away");
+        }
+        head = graph.Add(std::make_unique<dataflow::RelayOp>(), it->second);
+      } else {
+        // Fetch the prefix output (split==0 on a root fetches raw data).
+        auto vdt = std::make_unique<VdtOp>(RenderPipelineSql(pipeline),
+                                           pipeline.derived, service);
+        head = graph.Add(std::move(vdt), nullptr);
+        out.vdts.push_back(head);
+      }
+      head->data_entry = d.name;
+
+      dataflow::Operator* prev = head;
+      for (int t = split; t < total; ++t) {
+        VP_ASSIGN_OR_RETURN(std::unique_ptr<dataflow::Operator> op,
+                            spec::BuildTransformOp(d.transforms[static_cast<size_t>(t)]));
+        dataflow::Operator* raw = graph.Add(std::move(op), prev);
+        raw->data_entry = d.name;
+        if (auto* extent = dynamic_cast<transforms::ExtentOp*>(raw)) {
+          graph.RegisterSignalProducer(extent->output_signal(), raw);
+        }
+        out.client_ops.push_back(raw);
+        prev = raw;
+      }
+      client_tails[d.name] = prev;
+      out.entry_tails[d.name] = prev;
+      prev->client_reserved = reserved_.count(d.name) > 0;
+    }
+
+    // ---- Placement metadata ----
+    for (int t = 0; t < total; ++t) {
+      OpPlacement p;
+      p.entry = d.name;
+      p.type = d.transforms[static_cast<size_t>(t)].type;
+      p.index = t;
+      p.on_server = t < split;
+      out.placements.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+}  // namespace rewrite
+}  // namespace vegaplus

@@ -1,0 +1,89 @@
+// PlanBuilder: turn (spec, execution plan) into a runnable dataflow with
+// VDTs for the server-side prefixes and ordinary transform operators for the
+// client-side remainders. Implements the enumeration constraints of §5.2:
+//  * split <= rewritable prefix length
+//  * a child entry can continue in SQL only if its parent entry is fully
+//    rewritten AND not client-reserved
+//  * entries whose output nobody needs on the client skip their data fetch
+//    (path consolidation: "avoid querying redundantly").
+#ifndef VEGAPLUS_REWRITE_PLAN_BUILDER_H_
+#define VEGAPLUS_REWRITE_PLAN_BUILDER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dataflow/dataflow.h"
+#include "rewrite/execution_plan.h"
+#include "rewrite/query_service.h"
+#include "rewrite/rewriter.h"
+#include "spec/compiler.h"
+#include "spec/spec.h"
+
+namespace vegaplus {
+namespace rewrite {
+
+/// \brief Placement of one declared transform under a plan (encoder input).
+struct OpPlacement {
+  std::string entry;
+  std::string type;    // transform type
+  int index = 0;       // position within the entry
+  bool on_server = false;
+};
+
+/// \brief A compiled, runnable plan.
+struct PlanDataflow {
+  std::unique_ptr<dataflow::Dataflow> graph;
+  /// All VDT operators (data + signal) in the graph.
+  std::vector<dataflow::Operator*> vdts;
+  /// Client-side transform operators (excludes sources/relays/VDTs).
+  std::vector<dataflow::Operator*> client_ops;
+  /// Tail operator per data entry (missing when the fetch was consolidated
+  /// away).
+  std::map<std::string, dataflow::Operator*> entry_tails;
+  /// Where each declared transform ended up.
+  std::vector<OpPlacement> placements;
+};
+
+/// \brief Validates and materializes execution plans for one spec.
+class PlanBuilder {
+ public:
+  explicit PlanBuilder(const spec::VegaSpec& spec);
+
+  const spec::VegaSpec& spec() const { return spec_; }
+
+  /// Rewritable prefix length per data entry (upper bound on splits).
+  const std::vector<int>& max_splits() const { return max_splits_; }
+
+  /// Entries reserved by dependency checking (must stay client-side).
+  const std::set<std::string>& reserved() const { return reserved_; }
+
+  /// The all-client plan (every split 0).
+  ExecutionPlan AllClientPlan() const;
+
+  /// The greediest pushdown plan (every split at its feasible maximum) —
+  /// also the VegaFusion-style baseline policy.
+  ExecutionPlan FullPushdownPlan() const;
+
+  /// Check feasibility of `plan` under the §5.2 constraints.
+  Status Validate(const ExecutionPlan& plan) const;
+
+  /// Build the dataflow for a valid plan. `service` handles VDT queries and
+  /// must outlive the returned dataflow.
+  Result<PlanDataflow> Build(const ExecutionPlan& plan, QueryService* service) const;
+
+ private:
+  /// Parent index per entry (-1 for roots).
+  std::vector<int> parent_;
+  std::vector<std::vector<int>> children_;
+  std::vector<int> max_splits_;
+  std::set<std::string> reserved_;
+  spec::VegaSpec spec_;
+};
+
+}  // namespace rewrite
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_REWRITE_PLAN_BUILDER_H_

@@ -1,0 +1,36 @@
+// QueryService: what a VDT talks to. The runtime module's Middleware
+// implements this (cache -> network -> DBMS); tests can stub it.
+#ifndef VEGAPLUS_REWRITE_QUERY_SERVICE_H_
+#define VEGAPLUS_REWRITE_QUERY_SERVICE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/table.h"
+
+namespace vegaplus {
+namespace rewrite {
+
+/// \brief Outcome of one query round trip, as observed by the client.
+struct QueryResponse {
+  data::TablePtr table;
+  /// Simulated end-to-end latency of this request (server + network +
+  /// decode), in milliseconds.
+  double latency_millis = 0;
+  /// Encoded payload size that crossed the wire.
+  size_t bytes = 0;
+  /// Which tier answered (client cache / middleware cache / DBMS).
+  enum class Source { kClientCache, kServerCache, kDbms } source = Source::kDbms;
+};
+
+/// \brief Interface VDTs use to run SQL "remotely".
+class QueryService {
+ public:
+  virtual ~QueryService() = default;
+  virtual Result<QueryResponse> Execute(const std::string& sql) = 0;
+};
+
+}  // namespace rewrite
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_REWRITE_QUERY_SERVICE_H_

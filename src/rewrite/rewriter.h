@@ -1,0 +1,60 @@
+// The query rewriter (§4): turns a prefix of a data entry's transform
+// pipeline into a nested SQL statement with signal holes and derived
+// parameters, batching consecutive transforms into one query and splitting
+// signal-producing transforms (extent) into separate side queries.
+#ifndef VEGAPLUS_REWRITE_REWRITER_H_
+#define VEGAPLUS_REWRITE_REWRITER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataflow/operator.h"
+#include "rewrite/vdt.h"
+#include "spec/spec.h"
+#include "sql/sql_ast.h"
+
+namespace vegaplus {
+namespace rewrite {
+
+/// \brief Accumulated server-side pipeline state while walking a transform
+/// prefix.
+struct ServerPipeline {
+  /// The data query so far (subquery-nested; flattened at render time).
+  std::shared_ptr<sql::SelectStmt> stmt;
+  /// Derived template parameters accumulated so far (bin step/start, ...).
+  std::vector<DerivedParam> derived;
+
+  struct SideQuery {
+    std::string sql_template;
+    std::vector<DerivedParam> derived;
+    std::string output_signal;
+  };
+  /// Signal queries produced by extent-type transforms in the prefix.
+  std::vector<SideQuery> side_queries;
+};
+
+/// Base pipeline for a root entry: SELECT * FROM table.
+ServerPipeline MakeTablePipeline(const std::string& table);
+
+/// Can this transform be rewritten to SQL? (false e.g. for filter predicates
+/// using functions with no SQL equivalent -> client fallback).
+bool IsRewritable(const spec::TransformSpec& ts);
+
+/// Longest rewritable prefix of a data entry's transform list.
+int RewritablePrefixLength(const spec::DataSpec& entry);
+
+/// Extend `pipeline` with one transform. `unique_id` must be distinct per
+/// call within a plan (derived-parameter hole naming).
+Status ExtendPipeline(ServerPipeline* pipeline, const spec::TransformSpec& ts,
+                      int unique_id);
+
+/// Render the pipeline's current data query (flattened) to SQL text with
+/// holes.
+std::string RenderPipelineSql(const ServerPipeline& pipeline);
+
+}  // namespace rewrite
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_REWRITE_REWRITER_H_

@@ -1,0 +1,112 @@
+#include "rewrite/vdt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "expr/sql_translator.h"
+
+namespace vegaplus {
+namespace rewrite {
+
+namespace {
+
+// Signal deps of a VDT = holes in its template + signals its derived params
+// read (the holes of derived params are the derived names themselves, which
+// are not real signals).
+std::vector<std::string> VdtSignalDeps(const std::string& sql_template,
+                                       const std::vector<DerivedParam>& derived) {
+  std::vector<std::string> deps;
+  auto add = [&deps](const std::string& name) {
+    if (std::find(deps.begin(), deps.end(), name) == deps.end()) deps.push_back(name);
+  };
+  std::vector<std::string> derived_names;
+  for (const DerivedParam& d : derived) {
+    derived_names.push_back(d.name);
+    for (const std::string& s : d.depends_on) add(s);
+  }
+  for (const std::string& hole : expr::CollectHoles(sql_template)) {
+    if (std::find(derived_names.begin(), derived_names.end(), hole) ==
+        derived_names.end()) {
+      add(hole);
+    }
+  }
+  return deps;
+}
+
+}  // namespace
+
+DerivedResolver::DerivedResolver(const expr::SignalResolver& base,
+                                 const std::vector<DerivedParam>& derived)
+    : base_(base), derived_(derived) {}
+
+Status DerivedResolver::Materialize() {
+  computed_.clear();
+  for (const DerivedParam& d : derived_) {
+    VP_ASSIGN_OR_RETURN(expr::EvalValue v, d.compute(base_));
+    computed_.emplace_back(d.name, std::move(v));
+  }
+  return Status::OK();
+}
+
+bool DerivedResolver::Lookup(const std::string& name, expr::EvalValue* out) const {
+  for (const auto& [n, v] : computed_) {
+    if (n == name) {
+      *out = v;
+      return true;
+    }
+  }
+  return base_.Lookup(name, out);
+}
+
+VdtOp::VdtOp(std::string sql_template, std::vector<DerivedParam> derived,
+             QueryService* service)
+    : Operator("vdt", VdtSignalDeps(sql_template, derived)),
+      sql_template_(std::move(sql_template)), derived_(std::move(derived)),
+      service_(service) {}
+
+Result<std::string> VdtOp::BuildQuery(const expr::SignalResolver& signals) {
+  DerivedResolver resolver(signals, derived_);
+  VP_RETURN_IF_ERROR(resolver.Materialize());
+  return expr::FillSqlHoles(sql_template_, resolver);
+}
+
+Result<dataflow::EvalResult> VdtOp::Evaluate(const data::TablePtr& /*input*/,
+                                             const expr::SignalResolver& signals) {
+  if (service_ == nullptr) return Status::InvalidArgument("vdt: no query service bound");
+  VP_ASSIGN_OR_RETURN(last_sql_, BuildQuery(signals));
+  VP_ASSIGN_OR_RETURN(QueryResponse response, service_->Execute(last_sql_));
+  dataflow::EvalResult result;
+  result.table = response.table;
+  // A VDT's own client-side work is negligible; the cost is the round trip.
+  result.rows_processed = 0;
+  result.external_millis = response.latency_millis;
+  return result;
+}
+
+SignalVdtOp::SignalVdtOp(std::string sql_template, std::vector<DerivedParam> derived,
+                         QueryService* service, std::string output_signal)
+    : VdtOp(std::move(sql_template), std::move(derived), service),
+      output_signal_(std::move(output_signal)) {
+  type_ = "vdt_signal";
+}
+
+Result<dataflow::EvalResult> SignalVdtOp::Evaluate(const data::TablePtr& input,
+                                                   const expr::SignalResolver& signals) {
+  VP_ASSIGN_OR_RETURN(dataflow::EvalResult result, VdtOp::Evaluate(input, signals));
+  if (!result.table || result.table->num_rows() < 1 ||
+      result.table->num_columns() < 2) {
+    return Status::RuntimeError("signal vdt: query did not return a [min, max] row");
+  }
+  double lo = result.table->column(0).NumericAt(0);
+  double hi = result.table->column(1).NumericAt(0);
+  if (std::isnan(lo)) lo = 0;
+  if (std::isnan(hi)) hi = lo + 1;
+  result.signal_writes.emplace_back(
+      output_signal_, expr::EvalValue::Array({data::Value::Double(lo),
+                                              data::Value::Double(hi)}));
+  result.table = nullptr;  // signal-only operator
+  return result;
+}
+
+}  // namespace rewrite
+}  // namespace vegaplus

@@ -1,0 +1,86 @@
+// VegaDBMSTransform (VDT): the custom dataflow operator that builds a SQL
+// query from its template + current signal values, ships it through the
+// middleware, and emits the result into the downstream dataflow (§4).
+#ifndef VEGAPLUS_REWRITE_VDT_H_
+#define VEGAPLUS_REWRITE_VDT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataflow/operator.h"
+#include "rewrite/query_service.h"
+
+namespace vegaplus {
+namespace rewrite {
+
+/// \brief A template parameter computed from signals at query-build time
+/// (e.g. bin step/start derived from the extent signal and maxbins).
+struct DerivedParam {
+  std::string name;  // hole name in the SQL template
+  std::function<Result<expr::EvalValue>(const expr::SignalResolver&)> compute;
+  /// Signals the computation reads (for dirty propagation).
+  std::vector<std::string> depends_on;
+};
+
+/// Overlay resolver: base signals plus computed derived params.
+class DerivedResolver : public expr::SignalResolver {
+ public:
+  DerivedResolver(const expr::SignalResolver& base,
+                  const std::vector<DerivedParam>& derived);
+  /// Eagerly compute all derived params; call before Lookup-based filling.
+  Status Materialize();
+  bool Lookup(const std::string& name, expr::EvalValue* out) const override;
+
+ private:
+  const expr::SignalResolver& base_;
+  const std::vector<DerivedParam>& derived_;
+  std::vector<std::pair<std::string, expr::EvalValue>> computed_;
+};
+
+/// \brief Data VDT: acts as a data *source* (takes no dataflow input); its
+/// tuples come from the DBMS.
+class VdtOp : public dataflow::Operator {
+ public:
+  VdtOp(std::string sql_template, std::vector<DerivedParam> derived,
+        QueryService* service);
+
+  Result<dataflow::EvalResult> Evaluate(const data::TablePtr& input,
+                                        const expr::SignalResolver& signals) override;
+
+  const std::string& sql_template() const { return sql_template_; }
+
+  /// The SQL text issued by the last evaluation (post hole-filling).
+  const std::string& last_sql() const { return last_sql_; }
+
+ protected:
+  Result<std::string> BuildQuery(const expr::SignalResolver& signals);
+
+  std::string sql_template_;
+  std::vector<DerivedParam> derived_;
+  QueryService* service_;
+  std::string last_sql_;
+};
+
+/// \brief Signal VDT: runs a scalar-producing query (extent) and publishes
+/// the result as a signal instead of tuples. Expects a single-row result
+/// whose first two columns are [min, max].
+class SignalVdtOp : public VdtOp {
+ public:
+  SignalVdtOp(std::string sql_template, std::vector<DerivedParam> derived,
+              QueryService* service, std::string output_signal);
+
+  Result<dataflow::EvalResult> Evaluate(const data::TablePtr& input,
+                                        const expr::SignalResolver& signals) override;
+
+  const std::string& output_signal() const { return output_signal_; }
+
+ private:
+  std::string output_signal_;
+};
+
+}  // namespace rewrite
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_REWRITE_VDT_H_

@@ -1,0 +1,35 @@
+#include "runtime/cache.h"
+
+namespace vegaplus {
+namespace runtime {
+
+bool QueryCache::Get(const std::string& sql, data::TablePtr* out) {
+  auto it = map_.find(sql);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  *out = it->second;
+  return true;
+}
+
+void QueryCache::Put(const std::string& sql, data::TablePtr table) {
+  if (capacity_ == 0 || !table) return;
+  if (table->num_rows() > max_result_rows_) return;  // size threshold
+  if (map_.count(sql) > 0) return;                   // avoid duplicate entries
+  while (map_.size() >= capacity_ && !fifo_.empty()) {
+    map_.erase(fifo_.front());
+    fifo_.pop_front();
+  }
+  map_.emplace(sql, std::move(table));
+  fifo_.push_back(sql);
+}
+
+void QueryCache::Clear() {
+  map_.clear();
+  fifo_.clear();
+}
+
+}  // namespace runtime
+}  // namespace vegaplus

@@ -1,0 +1,48 @@
+// Query-result cache (§5.5): an array of (SQL string -> result) entries with
+// FIFO replacement, duplicate suppression, and a result-size threshold so
+// oversized results are never cached.
+#ifndef VEGAPLUS_RUNTIME_CACHE_H_
+#define VEGAPLUS_RUNTIME_CACHE_H_
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "data/table.h"
+
+namespace vegaplus {
+namespace runtime {
+
+/// \brief FIFO query-result cache.
+class QueryCache {
+ public:
+  /// `capacity`: max entries; `max_result_rows`: results larger than this
+  /// are not stored (the paper's size threshold).
+  QueryCache(size_t capacity, size_t max_result_rows)
+      : capacity_(capacity), max_result_rows_(max_result_rows) {}
+
+  /// Lookup; counts a hit/miss.
+  bool Get(const std::string& sql, data::TablePtr* out);
+
+  /// Insert unless present, too large, or capacity 0. FIFO-evicts as needed.
+  void Put(const std::string& sql, data::TablePtr table);
+
+  void Clear();
+
+  size_t size() const { return map_.size(); }
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+ private:
+  size_t capacity_;
+  size_t max_result_rows_;
+  std::unordered_map<std::string, data::TablePtr> map_;
+  std::deque<std::string> fifo_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace runtime
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_RUNTIME_CACHE_H_

@@ -1,0 +1,59 @@
+// The deterministic latency model (DESIGN.md §1). Real rows flow through
+// real operators and real SQL; this model converts the measured *work*
+// (row touches, operators, encoded bytes, round trips) into simulated
+// milliseconds. Unit costs are calibrated to rough real-world throughputs:
+//   * native engine ~40M row-touches/s        (25 ns/row)
+//   * browser JS runtime ~8x slower           (200 ns/row)
+//   * LAN round trip 5 ms, ~100 MB/s effective bandwidth
+//   * JSON decode ~50 MB/s; binary decode ~1 GB/s; CSV parse ~20 MB/s
+// Determinism is what makes training labels and benchmark output
+// reproducible run-to-run.
+#ifndef VEGAPLUS_RUNTIME_LATENCY_MODEL_H_
+#define VEGAPLUS_RUNTIME_LATENCY_MODEL_H_
+
+#include <cstddef>
+
+namespace vegaplus {
+namespace runtime {
+
+struct LatencyParams {
+  // Compute.
+  double server_ns_per_row = 25.0;
+  double client_ns_per_row = 200.0;  // the paper's JS-vs-native asymmetry
+  double per_query_overhead_ms = 1.0;
+  double per_op_overhead_ms = 0.05;
+  // Network.
+  double round_trip_ms = 5.0;
+  double bandwidth_bytes_per_ms = 100000.0;  // ~100 MB/s
+  // Client-side decode of fetched results.
+  double json_decode_ns_per_byte = 20.0;
+  double binary_decode_ns_per_byte = 1.0;
+  // Pure-Vega baseline: loading + parsing the source CSV at init.
+  double csv_parse_ns_per_byte = 50.0;
+};
+
+/// Server execution time for `rows_processed` operator-row touches across
+/// `num_operators` plan nodes.
+inline double ServerComputeMillis(size_t rows_processed, int num_operators,
+                                  const LatencyParams& p) {
+  return p.per_query_overhead_ms + num_operators * p.per_op_overhead_ms +
+         rows_processed * p.server_ns_per_row * 1e-6;
+}
+
+/// Client dataflow time for `rows_processed` row touches across `ops`
+/// evaluated operators.
+inline double ClientComputeMillis(size_t rows_processed, int ops,
+                                  const LatencyParams& p) {
+  return ops * p.per_op_overhead_ms + rows_processed * p.client_ns_per_row * 1e-6;
+}
+
+/// One round trip moving `bytes` of encoded payload plus client decode.
+inline double TransferMillis(size_t bytes, bool binary, const LatencyParams& p) {
+  double decode = binary ? p.binary_decode_ns_per_byte : p.json_decode_ns_per_byte;
+  return p.round_trip_ms + bytes / p.bandwidth_bytes_per_ms + bytes * decode * 1e-6;
+}
+
+}  // namespace runtime
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_RUNTIME_LATENCY_MODEL_H_

@@ -1,0 +1,73 @@
+#include "runtime/middleware.h"
+
+#include <algorithm>
+
+#include "data/ipc.h"
+
+namespace vegaplus {
+namespace runtime {
+
+size_t EstimateEncodedBytes(const data::Table& table, bool binary, size_t sample_rows) {
+  const size_t n = table.num_rows();
+  if (n == 0) {
+    return binary ? data::SerializeBinary(table).size()
+                  : data::SerializeJsonRows(table).size();
+  }
+  if (n <= sample_rows) {
+    return binary ? data::SerializeBinary(table).size()
+                  : data::SerializeJsonRows(table).size();
+  }
+  data::TablePtr head = table.Head(sample_rows);
+  size_t sampled = binary ? data::SerializeBinary(*head).size()
+                          : data::SerializeJsonRows(*head).size();
+  return static_cast<size_t>(static_cast<double>(sampled) * static_cast<double>(n) /
+                             static_cast<double>(sample_rows));
+}
+
+Result<rewrite::QueryResponse> Middleware::Execute(const std::string& sql) {
+  ++stats_.queries;
+  rewrite::QueryResponse response;
+
+  // Tier 1: client cache — no network at all.
+  if (client_cache_.Get(sql, &response.table)) {
+    ++stats_.client_cache_hits;
+    response.latency_millis = 0.05;  // local dictionary lookup
+    response.bytes = 0;
+    response.source = rewrite::QueryResponse::Source::kClientCache;
+    stats_.total_latency_ms += response.latency_millis;
+    return response;
+  }
+
+  // Tier 2: middleware cache — round trip + transfer, no DBMS work.
+  if (server_cache_.Get(sql, &response.table)) {
+    ++stats_.server_cache_hits;
+    response.bytes = EstimateEncodedBytes(*response.table, options_.binary_encoding);
+    response.latency_millis =
+        TransferMillis(response.bytes, options_.binary_encoding, options_.latency);
+    response.source = rewrite::QueryResponse::Source::kServerCache;
+  } else {
+    // Tier 3: the DBMS.
+    auto result = engine_->Query(sql);
+    if (!result.ok()) {
+      return Status(result.status().code(), "middleware: " + result.status().message() +
+                                                " [" + sql + "]");
+    }
+    ++stats_.dbms_executions;
+    response.table = result->table;
+    response.bytes = EstimateEncodedBytes(*response.table, options_.binary_encoding);
+    response.latency_millis =
+        ServerComputeMillis(result->stats.rows_processed + result->stats.rows_scanned,
+                            result->stats.num_operators, options_.latency) +
+        TransferMillis(response.bytes, options_.binary_encoding, options_.latency);
+    response.source = rewrite::QueryResponse::Source::kDbms;
+    server_cache_.Put(sql, response.table);
+  }
+
+  client_cache_.Put(sql, response.table);
+  stats_.bytes_transferred += response.bytes;
+  stats_.total_latency_ms += response.latency_millis;
+  return response;
+}
+
+}  // namespace runtime
+}  // namespace vegaplus

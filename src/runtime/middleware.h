@@ -1,0 +1,78 @@
+// Middleware: the server-side layer between the client's VDTs and the DBMS
+// (Fig. 2). Resolution order per query: client cache -> middleware cache ->
+// DBMS (§5.5), charging simulated latency for whichever tiers are touched.
+// Result encoding (JSON vs columnar binary "Arrow") determines transfer and
+// decode cost (§4 "Efficient Transfers").
+#ifndef VEGAPLUS_RUNTIME_MIDDLEWARE_H_
+#define VEGAPLUS_RUNTIME_MIDDLEWARE_H_
+
+#include <string>
+
+#include "rewrite/query_service.h"
+#include "runtime/cache.h"
+#include "runtime/latency_model.h"
+#include "sql/engine.h"
+
+namespace vegaplus {
+namespace runtime {
+
+struct MiddlewareOptions {
+  /// Encode results as columnar binary (true, the Arrow path) or JSON rows.
+  bool binary_encoding = true;
+  bool enable_client_cache = true;
+  bool enable_server_cache = true;
+  size_t cache_capacity = 64;
+  /// Results with more rows than this are not cached (§5.5 size threshold).
+  size_t cache_max_result_rows = 200000;
+  LatencyParams latency;
+};
+
+/// Measure the encoded payload size of a result. Exact for small tables;
+/// sampled + extrapolated beyond `sample_rows` to keep harness runtimes
+/// bounded (documented substitution; proportions preserved).
+size_t EstimateEncodedBytes(const data::Table& table, bool binary,
+                            size_t sample_rows = 20000);
+
+/// \brief QueryService implementation: cache tiers + network + SQL engine.
+class Middleware : public rewrite::QueryService {
+ public:
+  Middleware(const sql::Engine* engine, MiddlewareOptions options)
+      : engine_(engine), options_(options),
+        client_cache_(options.enable_client_cache ? options.cache_capacity : 0,
+                      options.cache_max_result_rows),
+        server_cache_(options.enable_server_cache ? options.cache_capacity : 0,
+                      options.cache_max_result_rows) {}
+
+  Result<rewrite::QueryResponse> Execute(const std::string& sql) override;
+
+  struct Stats {
+    size_t queries = 0;
+    size_t client_cache_hits = 0;
+    size_t server_cache_hits = 0;
+    size_t dbms_executions = 0;
+    size_t bytes_transferred = 0;
+    double total_latency_ms = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+  /// Drop both cache tiers (e.g. between benchmark conditions).
+  void ClearCaches() {
+    client_cache_.Clear();
+    server_cache_.Clear();
+  }
+
+  const MiddlewareOptions& options() const { return options_; }
+
+ private:
+  const sql::Engine* engine_;
+  MiddlewareOptions options_;
+  QueryCache client_cache_;
+  QueryCache server_cache_;
+  Stats stats_;
+};
+
+}  // namespace runtime
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_RUNTIME_MIDDLEWARE_H_

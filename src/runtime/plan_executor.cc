@@ -1,0 +1,123 @@
+#include "runtime/plan_executor.h"
+
+#include <algorithm>
+
+#include "data/csv.h"
+
+namespace vegaplus {
+namespace runtime {
+
+PlanExecutor::PlanExecutor(const spec::VegaSpec& spec, const sql::Engine* engine,
+                           MiddlewareOptions options)
+    : builder_(spec), middleware_(engine, options) {}
+
+EpisodeCost PlanExecutor::CostOf(const dataflow::RunStats& stats) const {
+  EpisodeCost cost;
+  cost.ops_evaluated = stats.ops_evaluated;
+  cost.rows_processed = stats.rows_processed;
+  cost.client_ms = ClientComputeMillis(stats.rows_processed, stats.ops_evaluated,
+                                       middleware_.options().latency);
+  cost.external_ms = stats.external_millis;
+  cost.total_ms = cost.client_ms + cost.external_ms;
+  return cost;
+}
+
+Result<EpisodeCost> PlanExecutor::Initialize(const rewrite::ExecutionPlan& plan) {
+  VP_ASSIGN_OR_RETURN(plan_flow_, builder_.Build(plan, &middleware_));
+  initialized_ = true;
+  VP_ASSIGN_OR_RETURN(dataflow::RunStats stats, plan_flow_.graph->Run());
+  return CostOf(stats);
+}
+
+Result<EpisodeCost> PlanExecutor::Interact(const std::vector<SignalUpdate>& updates) {
+  if (!initialized_) return Status::InvalidArgument("plan executor: not initialized");
+  VP_ASSIGN_OR_RETURN(dataflow::RunStats stats, plan_flow_.graph->Update(updates));
+  return CostOf(stats);
+}
+
+data::TablePtr PlanExecutor::EntryOutput(const std::string& entry) const {
+  auto it = plan_flow_.entry_tails.find(entry);
+  return it == plan_flow_.entry_tails.end() ? nullptr : it->second->output;
+}
+
+// ---- Pure Vega baseline ----
+
+VegaBaselineExecutor::VegaBaselineExecutor(
+    const spec::VegaSpec& spec, const std::map<std::string, data::TablePtr>& tables,
+    LatencyParams latency)
+    : spec_(spec), tables_(tables), latency_(latency) {}
+
+EpisodeCost VegaBaselineExecutor::CostOf(const dataflow::RunStats& stats) const {
+  EpisodeCost cost;
+  cost.ops_evaluated = stats.ops_evaluated;
+  cost.rows_processed = stats.rows_processed;
+  cost.client_ms = ClientComputeMillis(stats.rows_processed, stats.ops_evaluated, latency_);
+  cost.external_ms = stats.external_millis;
+  cost.total_ms = cost.client_ms + cost.external_ms;
+  return cost;
+}
+
+Result<EpisodeCost> VegaBaselineExecutor::Initialize() {
+  VP_ASSIGN_OR_RETURN(compiled_, spec::CompileClientDataflow(spec_, tables_));
+  initialized_ = true;
+  VP_ASSIGN_OR_RETURN(dataflow::RunStats stats, compiled_.graph->Run());
+  EpisodeCost cost = CostOf(stats);
+  // Vega loads its source data from CSV on disk at initial rendering; charge
+  // parse cost on the (sampled) CSV byte size of every root table.
+  for (const auto& d : spec_.data) {
+    if (!d.source.empty()) continue;
+    auto it = tables_.find(!d.table.empty() ? d.table : d.name);
+    if (it == tables_.end()) continue;
+    const data::Table& t = *it->second;
+    size_t sample = std::min<size_t>(t.num_rows(), 20000);
+    size_t bytes;
+    if (sample == t.num_rows()) {
+      bytes = data::WriteCsvString(t).size();
+    } else {
+      size_t sampled = data::WriteCsvString(*t.Head(sample)).size();
+      bytes = static_cast<size_t>(static_cast<double>(sampled) *
+                                  static_cast<double>(t.num_rows()) /
+                                  static_cast<double>(sample));
+    }
+    cost.external_ms += bytes * latency_.csv_parse_ns_per_byte * 1e-6;
+  }
+  cost.total_ms = cost.client_ms + cost.external_ms;
+  return cost;
+}
+
+Result<EpisodeCost> VegaBaselineExecutor::Interact(
+    const std::vector<SignalUpdate>& updates) {
+  if (!initialized_) return Status::InvalidArgument("vega baseline: not initialized");
+  VP_ASSIGN_OR_RETURN(dataflow::RunStats stats, compiled_.graph->Update(updates));
+  return CostOf(stats);
+}
+
+data::TablePtr VegaBaselineExecutor::EntryOutput(const std::string& entry) const {
+  const spec::CompiledEntry* e = compiled_.FindEntry(entry);
+  return e != nullptr && e->tail != nullptr ? e->tail->output : nullptr;
+}
+
+// ---- VegaFusion-style baseline ----
+
+VegaFusionBaselineExecutor::VegaFusionBaselineExecutor(const spec::VegaSpec& spec,
+                                                       const sql::Engine* engine,
+                                                       MiddlewareOptions options)
+    : executor_(spec, engine, options) {
+  plan_ = executor_.builder().FullPushdownPlan();
+}
+
+Result<EpisodeCost> VegaFusionBaselineExecutor::Initialize() {
+  return executor_.Initialize(plan_);
+}
+
+Result<EpisodeCost> VegaFusionBaselineExecutor::Interact(
+    const std::vector<SignalUpdate>& updates) {
+  return executor_.Interact(updates);
+}
+
+data::TablePtr VegaFusionBaselineExecutor::EntryOutput(const std::string& entry) const {
+  return executor_.EntryOutput(entry);
+}
+
+}  // namespace runtime
+}  // namespace vegaplus

@@ -1,0 +1,101 @@
+// PlanExecutor: end-to-end execution of one spec under one execution plan —
+// initial rendering plus a sequence of interactions — with simulated
+// latencies. Also hosts the pure-Vega and VegaFusion-style baselines.
+#ifndef VEGAPLUS_RUNTIME_PLAN_EXECUTOR_H_
+#define VEGAPLUS_RUNTIME_PLAN_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rewrite/plan_builder.h"
+#include "runtime/middleware.h"
+#include "spec/compiler.h"
+
+namespace vegaplus {
+namespace runtime {
+
+/// \brief Simulated cost of one episode (initial rendering or one
+/// interaction).
+struct EpisodeCost {
+  double total_ms = 0;
+  double client_ms = 0;    // dataflow compute on the client
+  double external_ms = 0;  // VDT round trips (server + network + decode)
+  int ops_evaluated = 0;
+  size_t rows_processed = 0;
+};
+
+/// \brief One signal update (an interaction event).
+using SignalUpdate = std::pair<std::string, expr::EvalValue>;
+
+/// \brief Runs a (spec, plan) pair against an engine through a Middleware.
+class PlanExecutor {
+ public:
+  /// `engine` must outlive the executor.
+  PlanExecutor(const spec::VegaSpec& spec, const sql::Engine* engine,
+               MiddlewareOptions options);
+
+  /// Compile the plan's dataflow and run initial rendering.
+  Result<EpisodeCost> Initialize(const rewrite::ExecutionPlan& plan);
+
+  /// Apply one interaction to the running dataflow.
+  Result<EpisodeCost> Interact(const std::vector<SignalUpdate>& updates);
+
+  /// Output table of a data entry (null when consolidated server-side).
+  data::TablePtr EntryOutput(const std::string& entry) const;
+
+  Middleware& middleware() { return middleware_; }
+  const rewrite::PlanBuilder& builder() const { return builder_; }
+  dataflow::Dataflow* graph() { return plan_flow_.graph.get(); }
+
+ private:
+  EpisodeCost CostOf(const dataflow::RunStats& stats) const;
+
+  rewrite::PlanBuilder builder_;
+  Middleware middleware_;
+  rewrite::PlanDataflow plan_flow_;
+  bool initialized_ = false;
+};
+
+/// \brief Stock Vega baseline: everything client-side, data loaded from CSV
+/// at initial rendering (the paper's Vega condition).
+class VegaBaselineExecutor {
+ public:
+  VegaBaselineExecutor(const spec::VegaSpec& spec,
+                       const std::map<std::string, data::TablePtr>& tables,
+                       LatencyParams latency = {});
+
+  Result<EpisodeCost> Initialize();
+  Result<EpisodeCost> Interact(const std::vector<SignalUpdate>& updates);
+  data::TablePtr EntryOutput(const std::string& entry) const;
+
+ private:
+  EpisodeCost CostOf(const dataflow::RunStats& stats) const;
+
+  spec::VegaSpec spec_;
+  std::map<std::string, data::TablePtr> tables_;
+  LatencyParams latency_;
+  spec::CompiledDataflow compiled_;
+  bool initialized_ = false;
+};
+
+/// \brief VegaFusion-style baseline: greedy full pushdown of every supported
+/// transform to the server, middleware cache on, no plan optimization.
+class VegaFusionBaselineExecutor {
+ public:
+  VegaFusionBaselineExecutor(const spec::VegaSpec& spec, const sql::Engine* engine,
+                             MiddlewareOptions options);
+
+  Result<EpisodeCost> Initialize();
+  Result<EpisodeCost> Interact(const std::vector<SignalUpdate>& updates);
+  data::TablePtr EntryOutput(const std::string& entry) const;
+
+ private:
+  PlanExecutor executor_;
+  rewrite::ExecutionPlan plan_;
+};
+
+}  // namespace runtime
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_RUNTIME_PLAN_EXECUTOR_H_

@@ -1,0 +1,78 @@
+#include "spec/compiler.h"
+
+#include "spec/transform_factory.h"
+
+namespace vegaplus {
+namespace spec {
+
+std::set<std::string> ComputeClientReserved(const VegaSpec& spec) {
+  std::set<std::string> reserved;
+  for (const auto& s : spec.scales) {
+    if (!s.domain_data.empty()) reserved.insert(s.domain_data);
+  }
+  for (const auto& m : spec.marks) {
+    if (!m.from_data.empty()) reserved.insert(m.from_data);
+  }
+  return reserved;
+}
+
+Result<CompiledDataflow> CompileClientDataflow(
+    const VegaSpec& spec, const std::map<std::string, data::TablePtr>& tables) {
+  CompiledDataflow out;
+  out.graph = std::make_unique<dataflow::Dataflow>();
+  dataflow::Dataflow& graph = *out.graph;
+
+  for (const auto& sig : spec.signals) {
+    graph.DeclareSignal(sig.name, expr::EvalValue::FromJson(sig.init));
+  }
+
+  std::set<std::string> reserved = ComputeClientReserved(spec);
+  std::map<std::string, dataflow::Operator*> tails;
+
+  for (const auto& d : spec.data) {
+    CompiledEntry entry;
+    entry.name = d.name;
+
+    dataflow::Operator* head = nullptr;
+    if (!d.source.empty()) {
+      auto it = tails.find(d.source);
+      if (it == tails.end()) {
+        return Status::InvalidArgument("compile: data '" + d.name +
+                                       "' sources not-yet-defined entry '" + d.source +
+                                       "' (spec order must be topological)");
+      }
+      head = graph.Add(std::make_unique<dataflow::RelayOp>(), it->second);
+    } else {
+      std::string key = !d.table.empty() ? d.table : d.name;
+      auto it = tables.find(key);
+      if (it == tables.end()) {
+        return Status::KeyError("compile: no table bound for root entry '" + d.name +
+                                "' (key '" + key + "')");
+      }
+      head = graph.Add(std::make_unique<dataflow::TableSourceOp>(it->second), nullptr);
+    }
+    head->data_entry = d.name;
+    entry.head = head;
+
+    dataflow::Operator* prev = head;
+    for (const auto& ts : d.transforms) {
+      VP_ASSIGN_OR_RETURN(std::unique_ptr<dataflow::Operator> op, BuildTransformOp(ts));
+      dataflow::Operator* raw = graph.Add(std::move(op), prev);
+      raw->data_entry = d.name;
+      // Extent-style operators produce signals; register for rank ordering.
+      if (auto* extent = dynamic_cast<transforms::ExtentOp*>(raw)) {
+        graph.RegisterSignalProducer(extent->output_signal(), raw);
+      }
+      entry.transform_ops.push_back(raw);
+      prev = raw;
+    }
+    entry.tail = prev;
+    prev->client_reserved = reserved.count(d.name) > 0;
+    tails[d.name] = prev;
+    out.entries.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace spec
+}  // namespace vegaplus

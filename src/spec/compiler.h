@@ -1,0 +1,52 @@
+// Spec -> dataflow compilation (the all-client execution, i.e. what stock
+// Vega does). Plan-aware compilation with VDTs lives in src/rewrite.
+#ifndef VEGAPLUS_SPEC_COMPILER_H_
+#define VEGAPLUS_SPEC_COMPILER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dataflow/dataflow.h"
+#include "spec/spec.h"
+
+namespace vegaplus {
+namespace spec {
+
+/// \brief One compiled data entry: its operators in pipeline order.
+struct CompiledEntry {
+  std::string name;
+  dataflow::Operator* head = nullptr;  // source / relay feeding the pipeline
+  std::vector<dataflow::Operator*> transform_ops;
+  dataflow::Operator* tail = nullptr;  // output of the entry
+};
+
+/// \brief A compiled dataflow plus entry metadata.
+struct CompiledDataflow {
+  std::unique_ptr<dataflow::Dataflow> graph;
+  std::vector<CompiledEntry> entries;
+
+  const CompiledEntry* FindEntry(const std::string& name) const {
+    for (const auto& e : entries) {
+      if (e.name == name) return &e;
+    }
+    return nullptr;
+  }
+};
+
+/// Data entries whose outputs must be materialized on the client because
+/// other spec components (scales, marks) reference them (§5.2 "Data
+/// Dependency Checking").
+std::set<std::string> ComputeClientReserved(const VegaSpec& spec);
+
+/// Compile the all-client dataflow. Root entries take their tables from
+/// `tables` (keyed by the entry's `table` name, falling back to entry name).
+Result<CompiledDataflow> CompileClientDataflow(
+    const VegaSpec& spec, const std::map<std::string, data::TablePtr>& tables);
+
+}  // namespace spec
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_SPEC_COMPILER_H_

@@ -1,0 +1,228 @@
+#include "spec/spec.h"
+
+#include "json/json_parser.h"
+
+namespace vegaplus {
+namespace spec {
+
+const char* BindKindName(BindKind kind) {
+  switch (kind) {
+    case BindKind::kNone: return "none";
+    case BindKind::kRange: return "range";
+    case BindKind::kSelect: return "select";
+    case BindKind::kInterval: return "interval";
+    case BindKind::kPoint: return "point";
+  }
+  return "?";
+}
+
+namespace {
+
+BindKind BindKindFromName(const std::string& name) {
+  if (name == "range") return BindKind::kRange;
+  if (name == "select") return BindKind::kSelect;
+  if (name == "interval") return BindKind::kInterval;
+  if (name == "point") return BindKind::kPoint;
+  return BindKind::kNone;
+}
+
+Result<SignalSpec> ParseSignal(const json::Value& s) {
+  if (!s.is_object()) return Status::ParseError("spec: signal must be an object");
+  SignalSpec out;
+  out.name = s.GetString("name");
+  if (out.name.empty()) return Status::ParseError("spec: signal without name");
+  if (const json::Value* init = s.Find("value")) out.init = *init;
+  if (const json::Value* bind = s.Find("bind")) {
+    if (!bind->is_object()) return Status::ParseError("spec: bind must be an object");
+    out.bind = BindKindFromName(bind->GetString("input"));
+    out.bind_min = bind->GetDouble("min");
+    out.bind_max = bind->GetDouble("max");
+    out.bind_step = bind->GetDouble("step", 1);
+    out.bound_field = bind->GetString("field");
+    if (const json::Value* options = bind->Find("options")) {
+      if (options->is_array()) {
+        for (const auto& opt : options->array()) out.options.push_back(opt);
+      }
+    }
+  }
+  return out;
+}
+
+Result<DataSpec> ParseData(const json::Value& d) {
+  if (!d.is_object()) return Status::ParseError("spec: data entry must be an object");
+  DataSpec out;
+  out.name = d.GetString("name");
+  if (out.name.empty()) return Status::ParseError("spec: data entry without name");
+  out.source = d.GetString("source");
+  out.url = d.GetString("url");
+  out.table = d.GetString("table");
+  if (const json::Value* transforms = d.Find("transform")) {
+    if (!transforms->is_array()) {
+      return Status::ParseError("spec: transform must be an array");
+    }
+    for (const auto& t : transforms->array()) {
+      if (!t.is_object()) return Status::ParseError("spec: transform must be objects");
+      TransformSpec ts;
+      ts.type = t.GetString("type");
+      if (ts.type.empty()) return Status::ParseError("spec: transform without type");
+      ts.params = t;
+      out.transforms.push_back(std::move(ts));
+    }
+  }
+  return out;
+}
+
+Result<ScaleSpec> ParseScale(const json::Value& s) {
+  ScaleSpec out;
+  out.name = s.GetString("name");
+  if (const json::Value* domain = s.Find("domain")) {
+    if (domain->is_object()) {
+      out.domain_data = domain->GetString("data");
+      out.domain_field = domain->GetString("field");
+      out.domain_signal = domain->GetString("signal");
+    }
+  }
+  return out;
+}
+
+Result<MarkSpec> ParseMark(const json::Value& m) {
+  MarkSpec out;
+  out.type = m.GetString("type");
+  if (const json::Value* from = m.Find("from")) {
+    if (from->is_object()) out.from_data = from->GetString("data");
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<VegaSpec> ParseSpec(const json::Value& doc) {
+  if (!doc.is_object()) return Status::ParseError("spec: document must be an object");
+  VegaSpec spec;
+  spec.name = doc.GetString("name", "spec");
+  if (const json::Value* signals = doc.Find("signals")) {
+    for (const auto& s : signals->array()) {
+      VP_ASSIGN_OR_RETURN(SignalSpec sig, ParseSignal(s));
+      spec.signals.push_back(std::move(sig));
+    }
+  }
+  if (const json::Value* entries = doc.Find("data")) {
+    for (const auto& d : entries->array()) {
+      VP_ASSIGN_OR_RETURN(DataSpec data, ParseData(d));
+      spec.data.push_back(std::move(data));
+    }
+  }
+  if (const json::Value* scales = doc.Find("scales")) {
+    for (const auto& s : scales->array()) {
+      VP_ASSIGN_OR_RETURN(ScaleSpec scale, ParseScale(s));
+      spec.scales.push_back(std::move(scale));
+    }
+  }
+  if (const json::Value* marks = doc.Find("marks")) {
+    for (const auto& m : marks->array()) {
+      VP_ASSIGN_OR_RETURN(MarkSpec mark, ParseMark(m));
+      spec.marks.push_back(std::move(mark));
+    }
+  }
+  // Referential integrity: sources, scale domains and mark froms must name
+  // known data entries.
+  for (const auto& d : spec.data) {
+    if (!d.source.empty() && spec.FindData(d.source) == nullptr) {
+      return Status::ParseError("spec: data '" + d.name + "' sources unknown entry '" +
+                                d.source + "'");
+    }
+    if (d.source.empty() && d.table.empty() && d.url.empty()) {
+      return Status::ParseError("spec: root data '" + d.name +
+                                "' needs a table or url");
+    }
+  }
+  for (const auto& s : spec.scales) {
+    if (!s.domain_data.empty() && spec.FindData(s.domain_data) == nullptr) {
+      return Status::ParseError("spec: scale '" + s.name + "' references unknown data");
+    }
+  }
+  for (const auto& m : spec.marks) {
+    if (!m.from_data.empty() && spec.FindData(m.from_data) == nullptr) {
+      return Status::ParseError("spec: mark references unknown data '" + m.from_data +
+                                "'");
+    }
+  }
+  return spec;
+}
+
+Result<VegaSpec> ParseSpecText(const std::string& text) {
+  VP_ASSIGN_OR_RETURN(json::Value doc, json::Parse(text));
+  return ParseSpec(doc);
+}
+
+json::Value SpecToJson(const VegaSpec& spec) {
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("name", spec.name);
+  json::Value signals = json::Value::MakeArray();
+  for (const auto& s : spec.signals) {
+    json::Value sig = json::Value::MakeObject();
+    sig.Set("name", s.name);
+    if (!s.init.is_null()) sig.Set("value", s.init);
+    if (s.bind != BindKind::kNone) {
+      json::Value bind = json::Value::MakeObject();
+      bind.Set("input", BindKindName(s.bind));
+      if (s.bind == BindKind::kRange) {
+        bind.Set("min", s.bind_min);
+        bind.Set("max", s.bind_max);
+        bind.Set("step", s.bind_step);
+      }
+      if (!s.bound_field.empty()) bind.Set("field", s.bound_field);
+      if (!s.options.empty()) {
+        json::Value options = json::Value::MakeArray();
+        for (const auto& opt : s.options) options.Append(opt);
+        bind.Set("options", std::move(options));
+      }
+      sig.Set("bind", std::move(bind));
+    }
+    signals.Append(std::move(sig));
+  }
+  doc.Set("signals", std::move(signals));
+  json::Value data = json::Value::MakeArray();
+  for (const auto& d : spec.data) {
+    json::Value entry = json::Value::MakeObject();
+    entry.Set("name", d.name);
+    if (!d.source.empty()) entry.Set("source", d.source);
+    if (!d.table.empty()) entry.Set("table", d.table);
+    if (!d.url.empty()) entry.Set("url", d.url);
+    if (!d.transforms.empty()) {
+      json::Value transforms = json::Value::MakeArray();
+      for (const auto& t : d.transforms) transforms.Append(t.params);
+      entry.Set("transform", std::move(transforms));
+    }
+    data.Append(std::move(entry));
+  }
+  doc.Set("data", std::move(data));
+  json::Value scales = json::Value::MakeArray();
+  for (const auto& s : spec.scales) {
+    json::Value scale = json::Value::MakeObject();
+    scale.Set("name", s.name);
+    json::Value domain = json::Value::MakeObject();
+    if (!s.domain_data.empty()) domain.Set("data", s.domain_data);
+    if (!s.domain_field.empty()) domain.Set("field", s.domain_field);
+    if (!s.domain_signal.empty()) domain.Set("signal", s.domain_signal);
+    scale.Set("domain", std::move(domain));
+    scales.Append(std::move(scale));
+  }
+  doc.Set("scales", std::move(scales));
+  json::Value marks = json::Value::MakeArray();
+  for (const auto& m : spec.marks) {
+    json::Value mark = json::Value::MakeObject();
+    mark.Set("type", m.type);
+    if (!m.from_data.empty()) {
+      json::Value from = json::Value::MakeObject();
+      from.Set("data", m.from_data);
+      mark.Set("from", std::move(from));
+    }
+    marks.Append(std::move(mark));
+  }
+  doc.Set("marks", std::move(marks));
+  return doc;
+}
+
+}  // namespace spec
+}  // namespace vegaplus

@@ -1,0 +1,111 @@
+// The Vega specification model (the subset VegaPlus reasons about): signals
+// with input binds, the data pipeline (data entries with transform arrays),
+// and the scale/mark references used for data-dependency checking.
+#ifndef VEGAPLUS_SPEC_SPEC_H_
+#define VEGAPLUS_SPEC_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "json/json_value.h"
+
+namespace vegaplus {
+namespace spec {
+
+/// How a signal is bound to an input widget (drives workload simulation).
+enum class BindKind {
+  kNone,      // internal signal (e.g. extent outputs, brush state)
+  kRange,     // slider: numeric in [min, max] with step
+  kSelect,    // dropdown: one of options
+  kInterval,  // 2D brush / domain interval: [lo, hi] within a field's extent
+  kPoint,     // click selection: a categorical value or null (no filter)
+};
+
+const char* BindKindName(BindKind kind);
+
+struct SignalSpec {
+  std::string name;
+  json::Value init;  // initial value
+  BindKind bind = BindKind::kNone;
+  // kRange:
+  double bind_min = 0;
+  double bind_max = 0;
+  double bind_step = 1;
+  // kSelect / kPoint: candidate values; kInterval: the field whose extent
+  // bounds the interval.
+  std::vector<json::Value> options;
+  std::string bound_field;  // kInterval / kPoint: data field the widget covers
+};
+
+struct TransformSpec {
+  std::string type;     // "filter", "extent", "bin", ...
+  json::Value params;   // full transform object (includes "type")
+};
+
+struct DataSpec {
+  std::string name;
+  /// Upstream data entry ("" for roots).
+  std::string source;
+  /// Root entries: DBMS table backing this entry.
+  std::string table;
+  /// Root entries: CSV url/path (pure-Vega loading path).
+  std::string url;
+  std::vector<TransformSpec> transforms;
+};
+
+struct ScaleSpec {
+  std::string name;
+  std::string domain_data;   // data entry the domain reads ("" if none)
+  std::string domain_field;
+  std::string domain_signal;  // or a signal-driven domain
+};
+
+struct MarkSpec {
+  std::string type;       // "rect", "line", "area", "symbol", ...
+  std::string from_data;  // data entry rendered by this mark
+};
+
+/// \brief A parsed Vega specification.
+struct VegaSpec {
+  std::string name;
+  std::vector<SignalSpec> signals;
+  std::vector<DataSpec> data;
+  std::vector<ScaleSpec> scales;
+  std::vector<MarkSpec> marks;
+
+  const DataSpec* FindData(const std::string& name) const {
+    for (const auto& d : data) {
+      if (d.name == name) return &d;
+    }
+    return nullptr;
+  }
+  const SignalSpec* FindSignal(const std::string& name) const {
+    for (const auto& s : signals) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+
+  /// Total number of declared transform operators (Table 1's "# of
+  /// Operators").
+  size_t TotalOperators() const {
+    size_t n = 0;
+    for (const auto& d : data) n += d.transforms.size();
+    return n;
+  }
+};
+
+/// Parse a spec from its JSON document.
+Result<VegaSpec> ParseSpec(const json::Value& doc);
+
+/// Parse a spec from JSON text.
+Result<VegaSpec> ParseSpecText(const std::string& text);
+
+/// Serialize back to JSON (round-trips through ParseSpec).
+json::Value SpecToJson(const VegaSpec& spec);
+
+}  // namespace spec
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_SPEC_SPEC_H_

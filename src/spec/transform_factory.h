@@ -1,0 +1,26 @@
+// TransformSpec JSON -> dataflow operator instances.
+#ifndef VEGAPLUS_SPEC_TRANSFORM_FACTORY_H_
+#define VEGAPLUS_SPEC_TRANSFORM_FACTORY_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "dataflow/operator.h"
+#include "spec/spec.h"
+#include "transforms/transforms.h"
+
+namespace vegaplus {
+namespace spec {
+
+/// Parse a field parameter: a JSON string (fixed field) or {"signal": name}.
+Result<transforms::FieldRef> ParseFieldRef(const json::Value& v);
+
+/// Instantiate the dataflow operator for one transform spec. Supported
+/// types: filter, extent, bin, aggregate, collect, project, stack, timeunit,
+/// formula.
+Result<std::unique_ptr<dataflow::Operator>> BuildTransformOp(const TransformSpec& ts);
+
+}  // namespace spec
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_SPEC_TRANSFORM_FACTORY_H_

@@ -1,0 +1,36 @@
+#include "sql/catalog.h"
+
+namespace vegaplus {
+namespace sql {
+
+void Catalog::RegisterTable(const std::string& name, data::TablePtr table) {
+  Entry entry;
+  entry.stats = data::ComputeTableStats(*table);
+  entry.table = std::move(table);
+  tables_[name] = std::move(entry);
+}
+
+void Catalog::DropTable(const std::string& name) { tables_.erase(name); }
+
+Result<data::TablePtr> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::KeyError("catalog: unknown table '" + name + "'");
+  }
+  return it->second.table;
+}
+
+const data::TableStats* Catalog::GetStats(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second.stats;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, entry] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace sql
+}  // namespace vegaplus

@@ -1,0 +1,46 @@
+// Catalog: the named tables registered with the SQL engine, plus the
+// statistics the EXPLAIN estimator and the workload simulator consume.
+#ifndef VEGAPLUS_SQL_CATALOG_H_
+#define VEGAPLUS_SQL_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "data/stats.h"
+#include "data/table.h"
+
+namespace vegaplus {
+namespace sql {
+
+/// \brief Table registry with per-table statistics.
+class Catalog {
+ public:
+  /// Register (or replace) a table; computes stats with one full scan.
+  void RegisterTable(const std::string& name, data::TablePtr table);
+
+  /// Drop a table; no-op if absent.
+  void DropTable(const std::string& name);
+
+  bool HasTable(const std::string& name) const { return tables_.count(name) > 0; }
+
+  Result<data::TablePtr> GetTable(const std::string& name) const;
+
+  /// Stats for `name`; nullptr if unknown.
+  const data::TableStats* GetStats(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  struct Entry {
+    data::TablePtr table;
+    data::TableStats stats;
+  };
+  std::map<std::string, Entry> tables_;
+};
+
+}  // namespace sql
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_SQL_CATALOG_H_

@@ -1,0 +1,24 @@
+#include "sql/engine.h"
+
+namespace vegaplus {
+namespace sql {
+
+Result<QueryResult> Engine::Query(const std::string& sql_text) const {
+  VP_ASSIGN_OR_RETURN(SelectPtr stmt, ParseSql(sql_text));
+  return Execute(*stmt);
+}
+
+Result<QueryResult> Engine::Execute(const SelectStmt& stmt) const {
+  QueryResult result;
+  VP_ASSIGN_OR_RETURN(result.table, ExecuteSelect(stmt, catalog_, &result.stats));
+  lifetime_stats_.Add(result.stats);
+  return result;
+}
+
+Result<EstimatedPlan> Engine::Explain(const std::string& sql_text) const {
+  VP_ASSIGN_OR_RETURN(SelectPtr stmt, ParseSql(sql_text));
+  return EstimateSelect(*stmt, catalog_);
+}
+
+}  // namespace sql
+}  // namespace vegaplus

@@ -1,0 +1,54 @@
+// Engine: the embedded DBMS facade (the PostgreSQL/DuckDB stand-in).
+// Register tables, run SQL strings, ask for EXPLAIN estimates.
+#ifndef VEGAPLUS_SQL_ENGINE_H_
+#define VEGAPLUS_SQL_ENGINE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/catalog.h"
+#include "sql/executor.h"
+#include "sql/explain.h"
+#include "sql/sql_parser.h"
+
+namespace vegaplus {
+namespace sql {
+
+/// \brief Result of one query: the table plus the work counters the latency
+/// model converts to simulated server time.
+struct QueryResult {
+  data::TablePtr table;
+  ExecStats stats;
+};
+
+/// \brief Embedded SQL engine over the columnar table substrate.
+class Engine {
+ public:
+  /// Register (or replace) a base table.
+  void RegisterTable(const std::string& name, data::TablePtr table) {
+    catalog_.RegisterTable(name, std::move(table));
+  }
+
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Parse and execute one SELECT.
+  Result<QueryResult> Query(const std::string& sql_text) const;
+
+  /// Execute an already-parsed statement.
+  Result<QueryResult> Execute(const SelectStmt& stmt) const;
+
+  /// Parse and estimate one SELECT without executing (EXPLAIN).
+  Result<EstimatedPlan> Explain(const std::string& sql_text) const;
+
+  /// Cumulative work counters across every query this engine has run.
+  const ExecStats& lifetime_stats() const { return lifetime_stats_; }
+
+ private:
+  Catalog catalog_;
+  mutable ExecStats lifetime_stats_;
+};
+
+}  // namespace sql
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_SQL_ENGINE_H_

@@ -1,0 +1,520 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/str_util.h"
+#include "expr/evaluator.h"
+
+namespace vegaplus {
+namespace sql {
+
+namespace {
+
+using data::Column;
+using data::DataType;
+using data::Schema;
+using data::Table;
+using data::TablePtr;
+using data::Value;
+using expr::EvalContext;
+using expr::EvalValue;
+using expr::NodeKind;
+using expr::NodePtr;
+
+Value EvalScalar(const NodePtr& node, const Table& table, size_t row) {
+  EvalContext ctx;
+  ctx.table = &table;
+  ctx.row = row;
+  EvalValue v = expr::Evaluate(node, ctx);
+  return v.is_array() ? Value::Null() : v.scalar();
+}
+
+// ---- Group key hashing ----
+
+struct GroupKey {
+  std::vector<Value> values;
+
+  bool operator==(const GroupKey& other) const {
+    if (values.size() != other.values.size()) return false;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (values[i] != other.values[i]) return false;
+    }
+    return true;
+  }
+};
+
+struct GroupKeyHash {
+  size_t operator()(const GroupKey& k) const {
+    size_t h = 0x12345;
+    for (const Value& v : k.values) {
+      h = h * 1099511628211ull + v.Hash();
+    }
+    return h;
+  }
+};
+
+// ---- Aggregate accumulators ----
+
+struct AggState {
+  size_t count = 0;          // non-null (or all rows for COUNT(*))
+  double sum = 0;
+  double sum_sq = 0;
+  Value min = Value::Null();
+  Value max = Value::Null();
+  std::vector<double> values;  // median only
+
+  void Update(AggOp op, const Value& v, bool count_star) {
+    if (op == AggOp::kCount) {
+      if (count_star || !v.is_null()) ++count;
+      return;
+    }
+    if (v.is_null()) return;
+    ++count;
+    switch (op) {
+      case AggOp::kSum:
+      case AggOp::kAvg: {
+        sum += v.AsDouble();
+        break;
+      }
+      case AggOp::kStddev:
+      case AggOp::kVariance: {
+        double d = v.AsDouble();
+        sum += d;
+        sum_sq += d * d;
+        break;
+      }
+      case AggOp::kMedian:
+        values.push_back(v.AsDouble());
+        break;
+      case AggOp::kMin:
+        if (min.is_null() || v.Compare(min) < 0) min = v;
+        break;
+      case AggOp::kMax:
+        if (max.is_null() || v.Compare(max) > 0) max = v;
+        break;
+      case AggOp::kCount:
+        break;
+    }
+  }
+
+  Value Finish(AggOp op) {
+    switch (op) {
+      case AggOp::kCount:
+        return Value::Int(static_cast<int64_t>(count));
+      case AggOp::kSum:
+        return count == 0 ? Value::Null() : Value::Double(sum);
+      case AggOp::kAvg:
+        return count == 0 ? Value::Null() : Value::Double(sum / static_cast<double>(count));
+      case AggOp::kMin:
+        return min;
+      case AggOp::kMax:
+        return max;
+      case AggOp::kMedian: {
+        if (values.empty()) return Value::Null();
+        std::sort(values.begin(), values.end());
+        size_t n = values.size();
+        double med = (n % 2 == 1) ? values[n / 2]
+                                  : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+        return Value::Double(med);
+      }
+      case AggOp::kStddev:
+      case AggOp::kVariance: {
+        if (count < 2) return Value::Null();
+        double n = static_cast<double>(count);
+        double var = (sum_sq - sum * sum / n) / (n - 1);  // sample variance
+        if (var < 0) var = 0;
+        return Value::Double(op == AggOp::kVariance ? var : std::sqrt(var));
+      }
+    }
+    return Value::Null();
+  }
+};
+
+DataType AggResultType(AggOp op, const NodePtr& arg, const Schema& input) {
+  switch (op) {
+    case AggOp::kCount:
+      return DataType::kInt64;
+    case AggOp::kMin:
+    case AggOp::kMax:
+      return arg ? InferType(arg, input) : DataType::kFloat64;
+    default:
+      return DataType::kFloat64;
+  }
+}
+
+// Sort `order` (row index permutation) by the given keys, stably.
+void SortIndices(std::vector<int32_t>* order, const Table& table,
+                 const std::vector<OrderItem>& keys) {
+  // Precompute key values per row to avoid re-evaluating in the comparator.
+  std::vector<std::vector<Value>> key_values(keys.size());
+  for (size_t k = 0; k < keys.size(); ++k) {
+    key_values[k].resize(table.num_rows());
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      key_values[k][r] = EvalScalar(keys[k].expr, table, r);
+    }
+  }
+  std::stable_sort(order->begin(), order->end(), [&](int32_t a, int32_t b) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      int cmp = key_values[k][static_cast<size_t>(a)].Compare(
+          key_values[k][static_cast<size_t>(b)]);
+      if (keys[k].descending) cmp = -cmp;
+      if (cmp != 0) return cmp < 0;
+    }
+    return false;
+  });
+}
+
+}  // namespace
+
+data::DataType InferType(const NodePtr& node, const Schema& input) {
+  if (!node) return DataType::kFloat64;
+  switch (node->kind) {
+    case NodeKind::kLiteral:
+      return node->literal.is_null() ? DataType::kFloat64 : node->literal.type();
+    case NodeKind::kIdentifier:
+      return DataType::kFloat64;  // signal value; numeric in practice
+    case NodeKind::kMember: {
+      if (node->a && node->a->kind == NodeKind::kIdentifier && node->a->name == "datum") {
+        int idx = input.FieldIndex(node->name);
+        if (idx >= 0) return input.field(static_cast<size_t>(idx)).type;
+      }
+      return DataType::kFloat64;
+    }
+    case NodeKind::kIndex:
+      return DataType::kFloat64;
+    case NodeKind::kUnary:
+      return node->unary_op == expr::UnaryOp::kNot ? DataType::kBool : DataType::kFloat64;
+    case NodeKind::kBinary:
+      switch (node->binary_op) {
+        case expr::BinaryOp::kEq:
+        case expr::BinaryOp::kNeq:
+        case expr::BinaryOp::kLt:
+        case expr::BinaryOp::kLte:
+        case expr::BinaryOp::kGt:
+        case expr::BinaryOp::kGte:
+          return DataType::kBool;
+        case expr::BinaryOp::kAnd:
+        case expr::BinaryOp::kOr:
+          return DataType::kBool;
+        case expr::BinaryOp::kAdd: {
+          DataType a = InferType(node->a, input);
+          DataType b = InferType(node->b, input);
+          if (a == DataType::kString || b == DataType::kString) return DataType::kString;
+          return DataType::kFloat64;
+        }
+        default:
+          return DataType::kFloat64;
+      }
+    case NodeKind::kTernary:
+      return InferType(node->b, input);
+    case NodeKind::kCall: {
+      const std::string& fn = node->name;
+      if (fn == "isValid" || fn == "inrange") return DataType::kBool;
+      if (fn == "lower" || fn == "upper" || fn == "toString" || fn == "format" ||
+          fn == "timeFormat") {
+        return DataType::kString;
+      }
+      if (fn == "length" || fn == "year" || fn == "month" || fn == "date" ||
+          fn == "day" || fn == "hours" || fn == "minutes" || fn == "seconds" ||
+          fn == "indexof") {
+        return DataType::kInt64;
+      }
+      if (fn == "date_trunc" || fn == "date_unit_end") return DataType::kTimestamp;
+      if (fn == "if" && node->args.size() == 3) return InferType(node->args[1], input);
+      return DataType::kFloat64;
+    }
+    case NodeKind::kArray:
+      return DataType::kFloat64;
+  }
+  return DataType::kFloat64;
+}
+
+Result<TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
+                               ExecStats* stats) {
+  ExecStats local;
+
+  // ---- FROM ----
+  TablePtr input;
+  if (stmt.from.subquery) {
+    VP_ASSIGN_OR_RETURN(input, ExecuteSelect(*stmt.from.subquery, catalog, stats));
+  } else if (!stmt.from.table_name.empty()) {
+    VP_ASSIGN_OR_RETURN(input, catalog.GetTable(stmt.from.table_name));
+    local.rows_scanned += input->num_rows();
+  } else {
+    return Status::InvalidArgument("SQL exec: missing FROM source");
+  }
+  ++local.num_operators;
+
+  // Validate expressions up front (unknown functions etc).
+  for (const auto& item : stmt.items) {
+    if (item.expr) VP_RETURN_IF_ERROR(expr::Validate(item.expr));
+    if (item.agg_arg) VP_RETURN_IF_ERROR(expr::Validate(item.agg_arg));
+  }
+  if (stmt.where) VP_RETURN_IF_ERROR(expr::Validate(stmt.where));
+
+  // ---- WHERE ----
+  std::vector<int32_t> selection;
+  selection.reserve(input->num_rows());
+  if (stmt.where) {
+    ++local.num_operators;
+    local.rows_processed += input->num_rows();
+    for (size_t r = 0; r < input->num_rows(); ++r) {
+      EvalContext ctx;
+      ctx.table = input.get();
+      ctx.row = r;
+      if (expr::Evaluate(stmt.where, ctx).Truthy()) {
+        selection.push_back(static_cast<int32_t>(r));
+      }
+    }
+  } else {
+    for (size_t r = 0; r < input->num_rows(); ++r) {
+      selection.push_back(static_cast<int32_t>(r));
+    }
+  }
+
+  const bool has_aggregates =
+      !stmt.group_by.empty() ||
+      std::any_of(stmt.items.begin(), stmt.items.end(), [](const SelectItem& i) {
+        return i.kind == SelectItem::Kind::kAggregate;
+      });
+
+  TablePtr output;
+
+  if (has_aggregates) {
+    // ---- GROUP BY + aggregate ----
+    ++local.num_operators;
+    local.rows_processed += selection.size();
+
+    // Match plain expression items to group-by expressions by unparse text.
+    std::vector<std::string> group_texts;
+    group_texts.reserve(stmt.group_by.size());
+    for (const auto& g : stmt.group_by) group_texts.push_back(expr::ToString(g));
+
+    struct ItemPlan {
+      bool is_group_expr = false;
+      size_t group_index = 0;
+      size_t agg_index = 0;
+    };
+    std::vector<ItemPlan> item_plans(stmt.items.size());
+    std::vector<const SelectItem*> agg_items;
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      const SelectItem& item = stmt.items[i];
+      switch (item.kind) {
+        case SelectItem::Kind::kStar:
+          return Status::InvalidArgument("SQL exec: '*' not allowed with GROUP BY");
+        case SelectItem::Kind::kWindow:
+          return Status::InvalidArgument(
+              "SQL exec: window function not allowed with GROUP BY");
+        case SelectItem::Kind::kExpr: {
+          std::string text = expr::ToString(item.expr);
+          auto it = std::find(group_texts.begin(), group_texts.end(), text);
+          if (it == group_texts.end()) {
+            return Status::InvalidArgument(
+                "SQL exec: select item '" + text + "' is not in GROUP BY");
+          }
+          item_plans[i].is_group_expr = true;
+          item_plans[i].group_index = static_cast<size_t>(it - group_texts.begin());
+          break;
+        }
+        case SelectItem::Kind::kAggregate:
+          item_plans[i].agg_index = agg_items.size();
+          agg_items.push_back(&item);
+          break;
+      }
+    }
+
+    // Build groups in first-seen order.
+    std::unordered_map<GroupKey, size_t, GroupKeyHash> group_ids;
+    std::vector<GroupKey> group_keys;
+    std::vector<std::vector<AggState>> group_states;
+    for (int32_t r : selection) {
+      GroupKey key;
+      key.values.reserve(stmt.group_by.size());
+      for (const auto& g : stmt.group_by) {
+        key.values.push_back(EvalScalar(g, *input, static_cast<size_t>(r)));
+      }
+      auto [it, inserted] = group_ids.emplace(key, group_keys.size());
+      if (inserted) {
+        group_keys.push_back(std::move(key));
+        group_states.emplace_back(agg_items.size());
+      }
+      std::vector<AggState>& states = group_states[it->second];
+      for (size_t a = 0; a < agg_items.size(); ++a) {
+        const SelectItem* item = agg_items[a];
+        Value v = item->agg_arg
+                      ? EvalScalar(item->agg_arg, *input, static_cast<size_t>(r))
+                      : Value::Null();
+        states[a].Update(item->agg_op, v, /*count_star=*/item->agg_arg == nullptr);
+      }
+    }
+    // Pure aggregation over zero rows still yields one output row.
+    if (stmt.group_by.empty() && group_keys.empty()) {
+      group_keys.emplace_back();
+      group_states.emplace_back(agg_items.size());
+    }
+
+    // Build the output schema.
+    std::vector<data::Field> fields;
+    fields.reserve(stmt.items.size());
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      const SelectItem& item = stmt.items[i];
+      DataType t = item.kind == SelectItem::Kind::kAggregate
+                       ? AggResultType(item.agg_op, item.agg_arg, input->schema())
+                       : InferType(item.expr, input->schema());
+      fields.push_back({DeriveItemName(item, i), t});
+    }
+    data::TableBuilder builder((Schema(fields)));
+    builder.Reserve(group_keys.size());
+    for (size_t g = 0; g < group_keys.size(); ++g) {
+      std::vector<Value> row;
+      row.reserve(stmt.items.size());
+      for (size_t i = 0; i < stmt.items.size(); ++i) {
+        if (item_plans[i].is_group_expr) {
+          row.push_back(group_keys[g].values[item_plans[i].group_index]);
+        } else {
+          row.push_back(group_states[g][item_plans[i].agg_index].Finish(
+              stmt.items[i].agg_op));
+        }
+      }
+      builder.AppendRow(row);
+    }
+    output = builder.Build();
+
+    // ---- HAVING (references output column names) ----
+    if (stmt.having) {
+      VP_RETURN_IF_ERROR(expr::Validate(stmt.having));
+      ++local.num_operators;
+      local.rows_processed += output->num_rows();
+      std::vector<int32_t> keep;
+      for (size_t r = 0; r < output->num_rows(); ++r) {
+        EvalContext ctx;
+        ctx.table = output.get();
+        ctx.row = r;
+        if (expr::Evaluate(stmt.having, ctx).Truthy()) {
+          keep.push_back(static_cast<int32_t>(r));
+        }
+      }
+      output = output->Take(keep);
+    }
+  } else {
+    // ---- Projection (+ window functions) ----
+    ++local.num_operators;
+    local.rows_processed += selection.size();
+
+    TablePtr filtered = input->Take(selection);
+
+    std::vector<data::Field> fields;
+    std::vector<int> source_col;  // >=0: pass-through input column
+    std::vector<const SelectItem*> item_of_field;
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      const SelectItem& item = stmt.items[i];
+      if (item.kind == SelectItem::Kind::kStar) {
+        for (size_t c = 0; c < filtered->num_columns(); ++c) {
+          fields.push_back(filtered->schema().field(c));
+          source_col.push_back(static_cast<int>(c));
+          item_of_field.push_back(nullptr);
+        }
+        continue;
+      }
+      DataType t;
+      if (item.kind == SelectItem::Kind::kWindow) {
+        t = item.window.op == WindowOp::kRowNumber ? DataType::kInt64
+                                                   : DataType::kFloat64;
+      } else {
+        t = InferType(item.expr, filtered->schema());
+      }
+      fields.push_back({DeriveItemName(item, i), t});
+      source_col.push_back(-1);
+      item_of_field.push_back(&item);
+    }
+
+    const size_t n = filtered->num_rows();
+    std::vector<Column> columns;
+    columns.reserve(fields.size());
+    for (size_t f = 0; f < fields.size(); ++f) {
+      if (source_col[f] >= 0) {
+        columns.push_back(filtered->column(static_cast<size_t>(source_col[f])));
+        continue;
+      }
+      const SelectItem& item = *item_of_field[f];
+      Column col(fields[f].type);
+      col.Reserve(n);
+      if (item.kind == SelectItem::Kind::kExpr) {
+        for (size_t r = 0; r < n; ++r) {
+          col.Append(EvalScalar(item.expr, *filtered, r));
+        }
+      } else {
+        // Window function.
+        ++local.num_operators;
+        local.rows_processed += n;
+        // Partition rows.
+        std::unordered_map<GroupKey, std::vector<int32_t>, GroupKeyHash> parts;
+        std::vector<GroupKey> part_order;
+        for (size_t r = 0; r < n; ++r) {
+          GroupKey key;
+          key.values.reserve(item.window.partition_by.size());
+          for (const auto& p : item.window.partition_by) {
+            key.values.push_back(EvalScalar(p, *filtered, r));
+          }
+          auto [it, inserted] = parts.emplace(std::move(key), std::vector<int32_t>{});
+          it->second.push_back(static_cast<int32_t>(r));
+          if (inserted) part_order.push_back(it->first);
+        }
+        std::vector<Value> results(n, Value::Null());
+        for (const GroupKey& key : part_order) {
+          std::vector<int32_t>& rows = parts[key];
+          if (!item.window.order_by.empty()) {
+            SortIndices(&rows, *filtered, item.window.order_by);
+          }
+          double running = 0;
+          int64_t rank = 0;
+          for (int32_t r : rows) {
+            if (item.window.op == WindowOp::kRowNumber) {
+              results[static_cast<size_t>(r)] = Value::Int(++rank);
+            } else {
+              Value v = EvalScalar(item.window.arg, *filtered, static_cast<size_t>(r));
+              if (!v.is_null()) running += v.AsDouble();
+              results[static_cast<size_t>(r)] = Value::Double(running);
+            }
+          }
+        }
+        for (size_t r = 0; r < n; ++r) col.Append(results[r]);
+      }
+      columns.push_back(std::move(col));
+    }
+    output = std::make_shared<Table>(Schema(std::move(fields)), std::move(columns));
+  }
+
+  // ---- ORDER BY (against output columns) ----
+  if (!stmt.order_by.empty()) {
+    ++local.num_operators;
+    local.rows_processed += output->num_rows();
+    std::vector<int32_t> order(output->num_rows());
+    std::iota(order.begin(), order.end(), 0);
+    SortIndices(&order, *output, stmt.order_by);
+    output = output->Take(order);
+  }
+
+  // ---- LIMIT / OFFSET ----
+  if (stmt.limit >= 0 || stmt.offset > 0) {
+    ++local.num_operators;
+    size_t begin = std::min(static_cast<size_t>(stmt.offset), output->num_rows());
+    size_t end = stmt.limit < 0 ? output->num_rows()
+                                : std::min(begin + static_cast<size_t>(stmt.limit),
+                                           output->num_rows());
+    std::vector<int32_t> keep;
+    keep.reserve(end - begin);
+    for (size_t r = begin; r < end; ++r) keep.push_back(static_cast<int32_t>(r));
+    output = output->Take(keep);
+  }
+
+  local.rows_output = output->num_rows();
+  if (stats != nullptr) stats->Add(local);
+  return output;
+}
+
+}  // namespace sql
+}  // namespace vegaplus

@@ -1,0 +1,200 @@
+#include "sql/explain.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vegaplus {
+namespace sql {
+
+namespace {
+
+using expr::BinaryOp;
+using expr::NodeKind;
+using expr::NodePtr;
+
+// Default selectivities when statistics cannot decide (classic System-R
+// style constants).
+constexpr double kDefaultEq = 0.1;
+constexpr double kDefaultRange = 0.33;
+constexpr double kDefaultUnknown = 0.5;
+
+const data::ColumnStats* ColumnOf(const NodePtr& node, const data::TableStats* stats) {
+  if (stats == nullptr || !node) return nullptr;
+  if (node->kind == NodeKind::kMember && node->a &&
+      node->a->kind == NodeKind::kIdentifier && node->a->name == "datum") {
+    return stats->Find(node->name);
+  }
+  return nullptr;
+}
+
+bool LiteralValue(const NodePtr& node, double* out) {
+  if (node && node->kind == NodeKind::kLiteral && node->literal.is_numeric()) {
+    *out = node->literal.AsDouble();
+    return true;
+  }
+  return false;
+}
+
+double RangeSelectivity(const data::ColumnStats* cs, BinaryOp op, double bound) {
+  if (cs == nullptr || !cs->has_extent || cs->max <= cs->min) return kDefaultRange;
+  double frac = (bound - cs->min) / (cs->max - cs->min);
+  frac = std::clamp(frac, 0.0, 1.0);
+  switch (op) {
+    case BinaryOp::kLt:
+    case BinaryOp::kLte:
+      return frac;
+    case BinaryOp::kGt:
+    case BinaryOp::kGte:
+      return 1.0 - frac;
+    default:
+      return kDefaultRange;
+  }
+}
+
+}  // namespace
+
+double EstimateSelectivity(const NodePtr& predicate, const data::TableStats* stats) {
+  if (!predicate) return 1.0;
+  switch (predicate->kind) {
+    case NodeKind::kBinary: {
+      switch (predicate->binary_op) {
+        case BinaryOp::kAnd:
+          return EstimateSelectivity(predicate->a, stats) *
+                 EstimateSelectivity(predicate->b, stats);
+        case BinaryOp::kOr: {
+          double a = EstimateSelectivity(predicate->a, stats);
+          double b = EstimateSelectivity(predicate->b, stats);
+          return std::min(1.0, a + b - a * b);
+        }
+        case BinaryOp::kEq: {
+          const data::ColumnStats* cs = ColumnOf(predicate->a, stats);
+          if (cs == nullptr) cs = ColumnOf(predicate->b, stats);
+          if (cs != nullptr && cs->distinct_count > 0) {
+            return 1.0 / static_cast<double>(cs->distinct_count);
+          }
+          return kDefaultEq;
+        }
+        case BinaryOp::kNeq: {
+          const data::ColumnStats* cs = ColumnOf(predicate->a, stats);
+          if (cs != nullptr && cs->distinct_count > 0) {
+            return 1.0 - 1.0 / static_cast<double>(cs->distinct_count);
+          }
+          return 1.0 - kDefaultEq;
+        }
+        case BinaryOp::kLt:
+        case BinaryOp::kLte:
+        case BinaryOp::kGt:
+        case BinaryOp::kGte: {
+          const data::ColumnStats* cs = ColumnOf(predicate->a, stats);
+          double bound;
+          if (cs != nullptr && LiteralValue(predicate->b, &bound)) {
+            return RangeSelectivity(cs, predicate->binary_op, bound);
+          }
+          // column on the right: mirror the operator.
+          cs = ColumnOf(predicate->b, stats);
+          if (cs != nullptr && LiteralValue(predicate->a, &bound)) {
+            BinaryOp mirrored;
+            switch (predicate->binary_op) {
+              case BinaryOp::kLt: mirrored = BinaryOp::kGt; break;
+              case BinaryOp::kLte: mirrored = BinaryOp::kGte; break;
+              case BinaryOp::kGt: mirrored = BinaryOp::kLt; break;
+              default: mirrored = BinaryOp::kLte; break;
+            }
+            return RangeSelectivity(cs, mirrored, bound);
+          }
+          return kDefaultRange;
+        }
+        default:
+          return kDefaultUnknown;
+      }
+    }
+    case NodeKind::kUnary:
+      if (predicate->unary_op == expr::UnaryOp::kNot) {
+        return 1.0 - EstimateSelectivity(predicate->a, stats);
+      }
+      return kDefaultUnknown;
+    case NodeKind::kCall: {
+      if (predicate->name == "isValid") {
+        const data::ColumnStats* cs = ColumnOf(predicate->args.empty() ? nullptr
+                                                                       : predicate->args[0],
+                                               stats);
+        if (cs != nullptr && stats != nullptr && stats->num_rows > 0) {
+          return 1.0 - static_cast<double>(cs->null_count) /
+                           static_cast<double>(stats->num_rows);
+        }
+        return 0.9;
+      }
+      if (predicate->name == "inrange") return 0.25;
+      return kDefaultUnknown;
+    }
+    case NodeKind::kLiteral:
+      return predicate->literal.Truthy() ? 1.0 : 0.0;
+    default:
+      return kDefaultUnknown;
+  }
+}
+
+EstimatedPlan EstimateSelect(const SelectStmt& stmt, const Catalog& catalog) {
+  EstimatedPlan est;
+  const data::TableStats* stats = nullptr;
+  double input_rows = 0;
+  if (stmt.from.subquery) {
+    EstimatedPlan sub = EstimateSelect(*stmt.from.subquery, catalog);
+    est.input_rows = sub.input_rows;
+    est.cost += sub.cost;
+    input_rows = sub.output_rows;
+    // Statistics do not propagate through subqueries; fall back to defaults.
+  } else {
+    stats = catalog.GetStats(stmt.from.table_name);
+    input_rows = stats != nullptr ? static_cast<double>(stats->num_rows) : 0.0;
+    est.input_rows = input_rows;
+    est.cost += input_rows;  // scan
+  }
+
+  double rows = input_rows;
+  if (stmt.where) {
+    est.cost += rows;
+    rows *= EstimateSelectivity(stmt.where, stats);
+  }
+
+  const bool has_aggregates =
+      !stmt.group_by.empty() ||
+      std::any_of(stmt.items.begin(), stmt.items.end(), [](const SelectItem& i) {
+        return i.kind == SelectItem::Kind::kAggregate;
+      });
+
+  if (has_aggregates) {
+    est.cost += rows;  // hash-aggregate build
+    double groups = 1;
+    for (const auto& g : stmt.group_by) {
+      const data::ColumnStats* cs = ColumnOf(g, stats);
+      double d;
+      if (cs != nullptr && cs->distinct_is_exact) {
+        d = static_cast<double>(std::max<size_t>(cs->distinct_count, 1));
+      } else if (g->kind == NodeKind::kCall &&
+                 (g->name == "floor" || g->name == "date_trunc")) {
+        d = 50;  // binning expression: ~bins
+      } else {
+        d = 100;
+      }
+      groups *= d;
+    }
+    rows = std::min(rows, groups);
+    if (stmt.having) rows *= kDefaultUnknown;
+  }
+
+  for (const auto& item : stmt.items) {
+    if (item.kind == SelectItem::Kind::kWindow) est.cost += rows;
+  }
+  if (!stmt.order_by.empty() && rows > 1) {
+    est.cost += rows * std::log2(std::max(2.0, rows));
+  }
+  if (stmt.limit >= 0) rows = std::min(rows, static_cast<double>(stmt.limit));
+
+  est.output_rows = std::max(0.0, rows);
+  est.cost += est.output_rows;
+  return est;
+}
+
+}  // namespace sql
+}  // namespace vegaplus

@@ -1,0 +1,34 @@
+// EXPLAIN-style cardinality and cost estimation. The paper's optimizer
+// "leverages the DBMS explain command to estimate execution costs"; this is
+// that command for the embedded engine. Estimates flow into plan feature
+// vectors (anticipated execution costs / output cardinalities).
+#ifndef VEGAPLUS_SQL_EXPLAIN_H_
+#define VEGAPLUS_SQL_EXPLAIN_H_
+
+#include "common/result.h"
+#include "sql/catalog.h"
+#include "sql/sql_ast.h"
+
+namespace vegaplus {
+namespace sql {
+
+/// \brief Estimated execution profile of one statement.
+struct EstimatedPlan {
+  double input_rows = 0;   // rows scanned at the leaves
+  double output_rows = 0;  // estimated result cardinality
+  double cost = 0;         // abstract cost units (row touches)
+};
+
+/// Estimate `stmt`'s cardinality/cost from catalog statistics (never
+/// executes). Unknown tables estimate as empty.
+EstimatedPlan EstimateSelect(const SelectStmt& stmt, const Catalog& catalog);
+
+/// Estimate the selectivity in [0,1] of a predicate over a table with the
+/// given stats (nullptr stats -> generic defaults).
+double EstimateSelectivity(const expr::NodePtr& predicate,
+                           const data::TableStats* stats);
+
+}  // namespace sql
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_SQL_EXPLAIN_H_

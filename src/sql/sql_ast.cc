@@ -1,0 +1,145 @@
+#include "sql/sql_ast.h"
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "expr/sql_translator.h"
+
+namespace vegaplus {
+namespace sql {
+
+const char* AggOpName(AggOp op) {
+  switch (op) {
+    case AggOp::kCount: return "COUNT";
+    case AggOp::kSum: return "SUM";
+    case AggOp::kAvg: return "AVG";
+    case AggOp::kMin: return "MIN";
+    case AggOp::kMax: return "MAX";
+    case AggOp::kMedian: return "MEDIAN";
+    case AggOp::kStddev: return "STDDEV";
+    case AggOp::kVariance: return "VARIANCE";
+  }
+  return "?";
+}
+
+std::string ExprToSql(const expr::NodePtr& node) {
+  auto frag = expr::TranslateToSql(node);
+  // Parsed SQL expressions only contain translatable constructs; a failure
+  // here indicates a programmatically built expression using an
+  // untranslatable function, which is a caller bug.
+  VP_CHECK(frag.ok()) << "ExprToSql: " << frag.status().ToString() << " for "
+                      << expr::ToString(node);
+  return frag->text;
+}
+
+namespace {
+
+std::string ItemToSql(const SelectItem& item) {
+  std::string out;
+  switch (item.kind) {
+    case SelectItem::Kind::kStar:
+      return "*";
+    case SelectItem::Kind::kExpr:
+      out = ExprToSql(item.expr);
+      break;
+    case SelectItem::Kind::kAggregate:
+      out = std::string(AggOpName(item.agg_op)) + "(" +
+            (item.agg_arg ? ExprToSql(item.agg_arg) : "*") + ")";
+      break;
+    case SelectItem::Kind::kWindow: {
+      out = item.window.op == WindowOp::kRowNumber
+                ? "ROW_NUMBER()"
+                : "SUM(" + ExprToSql(item.window.arg) + ")";
+      out += " OVER (";
+      bool first = true;
+      if (!item.window.partition_by.empty()) {
+        out += "PARTITION BY ";
+        for (size_t i = 0; i < item.window.partition_by.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += ExprToSql(item.window.partition_by[i]);
+        }
+        first = false;
+      }
+      if (!item.window.order_by.empty()) {
+        if (!first) out += " ";
+        out += "ORDER BY ";
+        for (size_t i = 0; i < item.window.order_by.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += ExprToSql(item.window.order_by[i].expr);
+          if (item.window.order_by[i].descending) out += " DESC";
+        }
+      }
+      out += ")";
+      break;
+    }
+  }
+  if (!item.alias.empty()) {
+    out += " AS " + expr::QuoteIdentifier(item.alias);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToSql(const SelectStmt& stmt) {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ItemToSql(stmt.items[i]);
+  }
+  out += " FROM ";
+  if (stmt.from.subquery) {
+    out += "(" + ToSql(*stmt.from.subquery) + ")";
+    out += " AS " + (stmt.from.alias.empty() ? "t" : stmt.from.alias);
+  } else {
+    out += expr::QuoteIdentifier(stmt.from.table_name);
+    if (!stmt.from.alias.empty()) out += " AS " + stmt.from.alias;
+  }
+  if (stmt.where) out += " WHERE " + ExprToSql(stmt.where);
+  if (!stmt.group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ExprToSql(stmt.group_by[i]);
+    }
+  }
+  if (stmt.having) out += " HAVING " + ExprToSql(stmt.having);
+  if (!stmt.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ExprToSql(stmt.order_by[i].expr);
+      if (stmt.order_by[i].descending) out += " DESC";
+    }
+  }
+  if (stmt.limit >= 0) out += StrFormat(" LIMIT %lld", static_cast<long long>(stmt.limit));
+  if (stmt.offset > 0) out += StrFormat(" OFFSET %lld", static_cast<long long>(stmt.offset));
+  return out;
+}
+
+std::string DeriveItemName(const SelectItem& item, size_t position) {
+  if (!item.alias.empty()) return item.alias;
+  switch (item.kind) {
+    case SelectItem::Kind::kExpr:
+      if (item.expr && item.expr->kind == expr::NodeKind::kMember && item.expr->a &&
+          item.expr->a->kind == expr::NodeKind::kIdentifier &&
+          item.expr->a->name == "datum") {
+        return item.expr->name;
+      }
+      break;
+    case SelectItem::Kind::kAggregate: {
+      std::string base = ToLower(AggOpName(item.agg_op));
+      if (item.agg_arg && item.agg_arg->kind == expr::NodeKind::kMember) {
+        return base + "_" + item.agg_arg->name;
+      }
+      return base;
+    }
+    case SelectItem::Kind::kWindow:
+      return item.window.op == WindowOp::kRowNumber ? "row_number" : "win_sum";
+    case SelectItem::Kind::kStar:
+      break;
+  }
+  return StrFormat("col%zu", position);
+}
+
+}  // namespace sql
+}  // namespace vegaplus

@@ -1,0 +1,655 @@
+#include "sql/sql_parser.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "common/str_util.h"
+#include "expr/functions.h"
+
+namespace vegaplus {
+namespace sql {
+
+namespace {
+
+using expr::BinaryOp;
+using expr::Node;
+using expr::NodePtr;
+using expr::UnaryOp;
+
+enum class TokKind { kIdent, kQuotedIdent, kNumber, kString, kPunct, kEnd };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  double number = 0;
+};
+
+Status Tokenize(std::string_view text, std::vector<Token>* out) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && pos + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[pos + 1])))) {
+      size_t start = pos;
+      while (pos < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[pos])) || text[pos] == '.' ||
+              ((text[pos] == '+' || text[pos] == '-') &&
+               (text[pos - 1] == 'e' || text[pos - 1] == 'E')))) {
+        ++pos;
+      }
+      Token t{TokKind::kNumber, std::string(text.substr(start, pos - start)), 0};
+      if (!ParseDouble(t.text, &t.number)) {
+        return Status::ParseError("SQL: bad number '" + t.text + "'");
+      }
+      out->push_back(std::move(t));
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos;
+      while (pos < text.size() && (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+                                   text[pos] == '_')) {
+        ++pos;
+      }
+      out->push_back({TokKind::kIdent, std::string(text.substr(start, pos - start)), 0});
+    } else if (c == '\'') {
+      ++pos;
+      std::string s;
+      while (true) {
+        if (pos >= text.size()) return Status::ParseError("SQL: unterminated string");
+        if (text[pos] == '\'') {
+          if (pos + 1 < text.size() && text[pos + 1] == '\'') {
+            s.push_back('\'');
+            pos += 2;
+          } else {
+            ++pos;
+            break;
+          }
+        } else {
+          s.push_back(text[pos++]);
+        }
+      }
+      out->push_back({TokKind::kString, std::move(s), 0});
+    } else if (c == '"') {
+      ++pos;
+      std::string s;
+      while (true) {
+        if (pos >= text.size()) return Status::ParseError("SQL: unterminated identifier");
+        if (text[pos] == '"') {
+          if (pos + 1 < text.size() && text[pos + 1] == '"') {
+            s.push_back('"');
+            pos += 2;
+          } else {
+            ++pos;
+            break;
+          }
+        } else {
+          s.push_back(text[pos++]);
+        }
+      }
+      out->push_back({TokKind::kQuotedIdent, std::move(s), 0});
+    } else {
+      static const char* kTwo[] = {"<>", "!=", "<=", ">="};
+      std::string_view rest = text.substr(pos);
+      std::string match;
+      for (const char* p : kTwo) {
+        if (StartsWith(rest, p)) {
+          match = p;
+          break;
+        }
+      }
+      if (match.empty()) {
+        static const std::string kSingles = "+-*/%<>=(),.;";
+        if (kSingles.find(c) == std::string::npos) {
+          return Status::ParseError(StrFormat("SQL: unexpected character '%c'", c));
+        }
+        match = std::string(1, c);
+      }
+      pos += match.size();
+      out->push_back({TokKind::kPunct, std::move(match), 0});
+    }
+  }
+  out->push_back({TokKind::kEnd, "", 0});
+  return Status::OK();
+}
+
+// SQL function name -> expression-kernel function name.
+const std::unordered_map<std::string, std::string>& ScalarFunctionMap() {
+  static const auto* kMap = new std::unordered_map<std::string, std::string>{
+      {"ABS", "abs"},       {"CEIL", "ceil"},     {"CEILING", "ceil"},
+      {"FLOOR", "floor"},   {"ROUND", "round"},   {"SQRT", "sqrt"},
+      {"POW", "pow"},       {"POWER", "pow"},     {"EXP", "exp"},
+      {"LN", "log"},        {"LOG", "log"},       {"LEAST", "min"},
+      {"GREATEST", "max"},  {"LENGTH", "length"}, {"LOWER", "lower"},
+      {"UPPER", "upper"},   {"YEAR", "year"},     {"MONTH", "month"},
+      {"DAY", "date"},      {"DAYOFWEEK", "day"}, {"HOUR", "hours"},
+      {"MINUTE", "minutes"},{"SECOND", "seconds"},{"DATE_TRUNC", "date_trunc"},
+      {"DATE_UNIT_END", "date_unit_end"},
+  };
+  return *kMap;
+}
+
+bool LookupAggOp(const std::string& upper_name, AggOp* op) {
+  if (upper_name == "COUNT") *op = AggOp::kCount;
+  else if (upper_name == "SUM") *op = AggOp::kSum;
+  else if (upper_name == "AVG" || upper_name == "MEAN") *op = AggOp::kAvg;
+  else if (upper_name == "MIN") *op = AggOp::kMin;
+  else if (upper_name == "MAX") *op = AggOp::kMax;
+  else if (upper_name == "MEDIAN") *op = AggOp::kMedian;
+  else if (upper_name == "STDDEV" || upper_name == "STDEV") *op = AggOp::kStddev;
+  else if (upper_name == "VARIANCE") *op = AggOp::kVariance;
+  else return false;
+  return true;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectPtr> ParseStatement() {
+    SelectPtr stmt;
+    VP_RETURN_IF_ERROR(ParseSelect(&stmt));
+    MatchPunct(";");
+    if (Cur().kind != TokKind::kEnd) {
+      return Status::ParseError("SQL: trailing tokens at '" + Cur().text + "'");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Ahead(size_t n) const {
+    size_t i = pos_ + n;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  bool MatchPunct(std::string_view p) {
+    if (Cur().kind == TokKind::kPunct && Cur().text == p) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectPunct(std::string_view p) {
+    if (!MatchPunct(p)) {
+      return Status::ParseError(StrFormat("SQL: expected '%.*s', found '%s'",
+                                          static_cast<int>(p.size()), p.data(),
+                                          Cur().text.c_str()));
+    }
+    return Status::OK();
+  }
+
+  bool PeekKeyword(std::string_view kw) const {
+    return Cur().kind == TokKind::kIdent && EqualsIgnoreCase(Cur().text, kw);
+  }
+
+  bool MatchKeyword(std::string_view kw) {
+    if (PeekKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!MatchKeyword(kw)) {
+      return Status::ParseError(StrFormat("SQL: expected %.*s, found '%s'",
+                                          static_cast<int>(kw.size()), kw.data(),
+                                          Cur().text.c_str()));
+    }
+    return Status::OK();
+  }
+
+  // Keywords that terminate an aliasable element.
+  bool PeekTerminator() const {
+    if (Cur().kind == TokKind::kEnd) return true;
+    if (Cur().kind == TokKind::kPunct) return true;
+    static const char* kKw[] = {"FROM",  "WHERE", "GROUP", "HAVING", "ORDER",
+                                "LIMIT", "OFFSET", "AS",    "ASC",    "DESC",
+                                "AND",   "OR"};
+    for (const char* k : kKw) {
+      if (PeekKeyword(k)) return true;
+    }
+    return false;
+  }
+
+  Status ParseSelect(SelectPtr* out) {
+    auto stmt = std::make_shared<SelectStmt>();
+    VP_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    while (true) {
+      SelectItem item;
+      VP_RETURN_IF_ERROR(ParseSelectItem(&item));
+      stmt->items.push_back(std::move(item));
+      if (!MatchPunct(",")) break;
+    }
+    VP_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    VP_RETURN_IF_ERROR(ParseTableRef(&stmt->from));
+    if (MatchKeyword("WHERE")) {
+      VP_RETURN_IF_ERROR(ParseExpr(&stmt->where));
+    }
+    if (MatchKeyword("GROUP")) {
+      VP_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        NodePtr e;
+        VP_RETURN_IF_ERROR(ParseExpr(&e));
+        stmt->group_by.push_back(std::move(e));
+        if (!MatchPunct(",")) break;
+      }
+    }
+    if (MatchKeyword("HAVING")) {
+      VP_RETURN_IF_ERROR(ParseExpr(&stmt->having));
+    }
+    if (MatchKeyword("ORDER")) {
+      VP_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        OrderItem item;
+        VP_RETURN_IF_ERROR(ParseExpr(&item.expr));
+        if (MatchKeyword("DESC")) {
+          item.descending = true;
+        } else {
+          MatchKeyword("ASC");
+        }
+        stmt->order_by.push_back(std::move(item));
+        if (!MatchPunct(",")) break;
+      }
+    }
+    if (MatchKeyword("LIMIT")) {
+      if (Cur().kind != TokKind::kNumber) return Status::ParseError("SQL: LIMIT needs a number");
+      stmt->limit = static_cast<int64_t>(Cur().number);
+      ++pos_;
+    }
+    if (MatchKeyword("OFFSET")) {
+      if (Cur().kind != TokKind::kNumber) return Status::ParseError("SQL: OFFSET needs a number");
+      stmt->offset = static_cast<int64_t>(Cur().number);
+      ++pos_;
+    }
+    *out = std::move(stmt);
+    return Status::OK();
+  }
+
+  Status ParseSelectItem(SelectItem* item) {
+    if (MatchPunct("*")) {
+      item->kind = SelectItem::Kind::kStar;
+      return Status::OK();
+    }
+    // Aggregate / window function at the top of the item?
+    if (Cur().kind == TokKind::kIdent && Ahead(1).kind == TokKind::kPunct &&
+        Ahead(1).text == "(") {
+      std::string upper = ToUpper(Cur().text);
+      AggOp op;
+      if (upper == "ROW_NUMBER") {
+        pos_ += 2;
+        VP_RETURN_IF_ERROR(ExpectPunct(")"));
+        VP_RETURN_IF_ERROR(ExpectKeyword("OVER"));
+        item->kind = SelectItem::Kind::kWindow;
+        item->window.op = WindowOp::kRowNumber;
+        VP_RETURN_IF_ERROR(ParseWindowSpec(&item->window));
+        VP_RETURN_IF_ERROR(ParseAlias(&item->alias));
+        return Status::OK();
+      }
+      if (LookupAggOp(upper, &op)) {
+        pos_ += 2;
+        NodePtr arg;
+        if (MatchPunct("*")) {
+          if (op != AggOp::kCount) {
+            return Status::ParseError("SQL: '*' argument only valid for COUNT");
+          }
+        } else {
+          VP_RETURN_IF_ERROR(ParseExpr(&arg));
+        }
+        VP_RETURN_IF_ERROR(ExpectPunct(")"));
+        if (MatchKeyword("OVER")) {
+          if (op != AggOp::kSum) {
+            return Status::ParseError("SQL: only SUM(...) OVER is supported");
+          }
+          item->kind = SelectItem::Kind::kWindow;
+          item->window.op = WindowOp::kSum;
+          item->window.arg = arg;
+          VP_RETURN_IF_ERROR(ParseWindowSpec(&item->window));
+        } else {
+          item->kind = SelectItem::Kind::kAggregate;
+          item->agg_op = op;
+          item->agg_arg = arg;
+        }
+        VP_RETURN_IF_ERROR(ParseAlias(&item->alias));
+        return Status::OK();
+      }
+    }
+    item->kind = SelectItem::Kind::kExpr;
+    VP_RETURN_IF_ERROR(ParseExpr(&item->expr));
+    return ParseAlias(&item->alias);
+  }
+
+  Status ParseAlias(std::string* alias) {
+    if (MatchKeyword("AS")) {
+      if (Cur().kind != TokKind::kIdent && Cur().kind != TokKind::kQuotedIdent) {
+        return Status::ParseError("SQL: expected alias after AS");
+      }
+      *alias = Cur().text;
+      ++pos_;
+      return Status::OK();
+    }
+    // Bare alias (identifier that is not a clause keyword).
+    if ((Cur().kind == TokKind::kIdent && !PeekTerminator()) ||
+        Cur().kind == TokKind::kQuotedIdent) {
+      *alias = Cur().text;
+      ++pos_;
+    }
+    return Status::OK();
+  }
+
+  Status ParseWindowSpec(WindowSpec* win) {
+    VP_RETURN_IF_ERROR(ExpectPunct("("));
+    if (MatchKeyword("PARTITION")) {
+      VP_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        NodePtr e;
+        VP_RETURN_IF_ERROR(ParseExpr(&e));
+        win->partition_by.push_back(std::move(e));
+        if (!MatchPunct(",")) break;
+      }
+    }
+    if (MatchKeyword("ORDER")) {
+      VP_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        OrderItem item;
+        VP_RETURN_IF_ERROR(ParseExpr(&item.expr));
+        if (MatchKeyword("DESC")) {
+          item.descending = true;
+        } else {
+          MatchKeyword("ASC");
+        }
+        win->order_by.push_back(std::move(item));
+        if (!MatchPunct(",")) break;
+      }
+    }
+    return ExpectPunct(")");
+  }
+
+  Status ParseTableRef(TableRef* ref) {
+    if (MatchPunct("(")) {
+      SelectPtr sub;
+      VP_RETURN_IF_ERROR(ParseSelect(&sub));
+      VP_RETURN_IF_ERROR(ExpectPunct(")"));
+      ref->subquery = std::move(sub);
+    } else if (Cur().kind == TokKind::kIdent || Cur().kind == TokKind::kQuotedIdent) {
+      ref->table_name = Cur().text;
+      ++pos_;
+    } else {
+      return Status::ParseError("SQL: expected table name or subquery in FROM");
+    }
+    return ParseAlias(&ref->alias);
+  }
+
+  // ---- Expressions ----
+
+  Status ParseExpr(NodePtr* out) { return ParseOr(out); }
+
+  Status ParseOr(NodePtr* out) {
+    VP_RETURN_IF_ERROR(ParseAnd(out));
+    while (MatchKeyword("OR")) {
+      NodePtr rhs;
+      VP_RETURN_IF_ERROR(ParseAnd(&rhs));
+      *out = Node::Binary(BinaryOp::kOr, *out, rhs);
+    }
+    return Status::OK();
+  }
+
+  Status ParseAnd(NodePtr* out) {
+    VP_RETURN_IF_ERROR(ParseNot(out));
+    while (MatchKeyword("AND")) {
+      NodePtr rhs;
+      VP_RETURN_IF_ERROR(ParseNot(&rhs));
+      *out = Node::Binary(BinaryOp::kAnd, *out, rhs);
+    }
+    return Status::OK();
+  }
+
+  Status ParseNot(NodePtr* out) {
+    if (MatchKeyword("NOT")) {
+      NodePtr inner;
+      VP_RETURN_IF_ERROR(ParseNot(&inner));
+      *out = Node::Unary(UnaryOp::kNot, inner);
+      return Status::OK();
+    }
+    return ParsePredicate(out);
+  }
+
+  Status ParsePredicate(NodePtr* out) {
+    VP_RETURN_IF_ERROR(ParseAdditive(out));
+    // Comparison chain.
+    if (Cur().kind == TokKind::kPunct) {
+      BinaryOp op;
+      bool matched = true;
+      if (Cur().text == "=") op = BinaryOp::kEq;
+      else if (Cur().text == "<>" || Cur().text == "!=") op = BinaryOp::kNeq;
+      else if (Cur().text == "<") op = BinaryOp::kLt;
+      else if (Cur().text == "<=") op = BinaryOp::kLte;
+      else if (Cur().text == ">") op = BinaryOp::kGt;
+      else if (Cur().text == ">=") op = BinaryOp::kGte;
+      else matched = false;
+      if (matched) {
+        ++pos_;
+        NodePtr rhs;
+        VP_RETURN_IF_ERROR(ParseAdditive(&rhs));
+        *out = Node::Binary(op, *out, rhs);
+        return Status::OK();
+      }
+    }
+    if (PeekKeyword("IS")) {
+      ++pos_;
+      bool negated = MatchKeyword("NOT");
+      VP_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      NodePtr valid = Node::Call("isValid", {*out});
+      *out = negated ? valid : Node::Unary(UnaryOp::kNot, valid);
+      return Status::OK();
+    }
+    bool negated = false;
+    if (PeekKeyword("NOT") &&
+        (EqualsIgnoreCase(Ahead(1).text, "BETWEEN") ||
+         EqualsIgnoreCase(Ahead(1).text, "IN"))) {
+      negated = true;
+      ++pos_;
+    }
+    if (MatchKeyword("BETWEEN")) {
+      NodePtr lo, hi;
+      VP_RETURN_IF_ERROR(ParseAdditive(&lo));
+      VP_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      VP_RETURN_IF_ERROR(ParseAdditive(&hi));
+      NodePtr cond = Node::Binary(BinaryOp::kAnd,
+                                  Node::Binary(BinaryOp::kGte, *out, lo),
+                                  Node::Binary(BinaryOp::kLte, *out, hi));
+      *out = negated ? Node::Unary(UnaryOp::kNot, cond) : cond;
+      return Status::OK();
+    }
+    if (MatchKeyword("IN")) {
+      VP_RETURN_IF_ERROR(ExpectPunct("("));
+      NodePtr cond;
+      while (true) {
+        NodePtr item;
+        VP_RETURN_IF_ERROR(ParseAdditive(&item));
+        NodePtr eq = Node::Binary(BinaryOp::kEq, *out, item);
+        cond = cond ? Node::Binary(BinaryOp::kOr, cond, eq) : eq;
+        if (!MatchPunct(",")) break;
+      }
+      VP_RETURN_IF_ERROR(ExpectPunct(")"));
+      *out = negated ? Node::Unary(UnaryOp::kNot, cond) : cond;
+      return Status::OK();
+    }
+    return Status::OK();
+  }
+
+  Status ParseAdditive(NodePtr* out) {
+    VP_RETURN_IF_ERROR(ParseMultiplicative(out));
+    while (Cur().kind == TokKind::kPunct && (Cur().text == "+" || Cur().text == "-")) {
+      BinaryOp op = Cur().text == "+" ? BinaryOp::kAdd : BinaryOp::kSub;
+      ++pos_;
+      NodePtr rhs;
+      VP_RETURN_IF_ERROR(ParseMultiplicative(&rhs));
+      *out = Node::Binary(op, *out, rhs);
+    }
+    return Status::OK();
+  }
+
+  Status ParseMultiplicative(NodePtr* out) {
+    VP_RETURN_IF_ERROR(ParseUnary(out));
+    while (Cur().kind == TokKind::kPunct &&
+           (Cur().text == "*" || Cur().text == "/" || Cur().text == "%")) {
+      BinaryOp op = Cur().text == "*"   ? BinaryOp::kMul
+                    : Cur().text == "/" ? BinaryOp::kDiv
+                                        : BinaryOp::kMod;
+      ++pos_;
+      NodePtr rhs;
+      VP_RETURN_IF_ERROR(ParseUnary(&rhs));
+      *out = Node::Binary(op, *out, rhs);
+    }
+    return Status::OK();
+  }
+
+  Status ParseUnary(NodePtr* out) {
+    if (Cur().kind == TokKind::kPunct && Cur().text == "-") {
+      ++pos_;
+      NodePtr inner;
+      VP_RETURN_IF_ERROR(ParseUnary(&inner));
+      *out = Node::Unary(UnaryOp::kNeg, inner);
+      return Status::OK();
+    }
+    return ParsePrimary(out);
+  }
+
+  Status ParsePrimary(NodePtr* out) {
+    const Token& t = Cur();
+    switch (t.kind) {
+      case TokKind::kNumber:
+        *out = Node::Literal(data::Value::Double(t.number));
+        ++pos_;
+        return Status::OK();
+      case TokKind::kString:
+        *out = Node::Literal(data::Value::String(t.text));
+        ++pos_;
+        return Status::OK();
+      case TokKind::kQuotedIdent:
+        *out = Node::Member(Node::Identifier("datum"), t.text);
+        ++pos_;
+        return Status::OK();
+      case TokKind::kIdent: {
+        if (MatchKeyword("TRUE")) {
+          *out = Node::Literal(data::Value::Bool(true));
+          return Status::OK();
+        }
+        if (MatchKeyword("FALSE")) {
+          *out = Node::Literal(data::Value::Bool(false));
+          return Status::OK();
+        }
+        if (MatchKeyword("NULL")) {
+          *out = Node::Literal(data::Value::Null());
+          return Status::OK();
+        }
+        if (PeekKeyword("CASE")) return ParseCase(out);
+        // Function call?
+        if (Ahead(1).kind == TokKind::kPunct && Ahead(1).text == "(") {
+          std::string upper = ToUpper(t.text);
+          if (upper == "MOD") {
+            pos_ += 2;
+            NodePtr a, b;
+            VP_RETURN_IF_ERROR(ParseExpr(&a));
+            VP_RETURN_IF_ERROR(ExpectPunct(","));
+            VP_RETURN_IF_ERROR(ParseExpr(&b));
+            VP_RETURN_IF_ERROR(ExpectPunct(")"));
+            *out = Node::Binary(BinaryOp::kMod, a, b);
+            return Status::OK();
+          }
+          auto it = ScalarFunctionMap().find(upper);
+          if (it == ScalarFunctionMap().end()) {
+            AggOp dummy;
+            if (LookupAggOp(upper, &dummy)) {
+              return Status::ParseError("SQL: aggregate '" + t.text +
+                                        "' not allowed in scalar expression");
+            }
+            return Status::ParseError("SQL: unknown function '" + t.text + "'");
+          }
+          pos_ += 2;
+          std::vector<NodePtr> args;
+          if (!MatchPunct(")")) {
+            while (true) {
+              NodePtr arg;
+              VP_RETURN_IF_ERROR(ParseExpr(&arg));
+              args.push_back(std::move(arg));
+              if (MatchPunct(")")) break;
+              VP_RETURN_IF_ERROR(ExpectPunct(","));
+            }
+          }
+          *out = Node::Call(it->second, std::move(args));
+          return Status::OK();
+        }
+        // Column reference, possibly table-qualified (qualifier ignored:
+        // single-input queries only).
+        std::string name = t.text;
+        ++pos_;
+        if (MatchPunct(".")) {
+          if (Cur().kind != TokKind::kIdent && Cur().kind != TokKind::kQuotedIdent) {
+            return Status::ParseError("SQL: expected column after '.'");
+          }
+          name = Cur().text;
+          ++pos_;
+        }
+        *out = Node::Member(Node::Identifier("datum"), name);
+        return Status::OK();
+      }
+      case TokKind::kPunct:
+        if (t.text == "(") {
+          ++pos_;
+          VP_RETURN_IF_ERROR(ParseExpr(out));
+          return ExpectPunct(")");
+        }
+        return Status::ParseError("SQL: unexpected token '" + t.text + "'");
+      case TokKind::kEnd:
+        return Status::ParseError("SQL: unexpected end of statement");
+    }
+    return Status::ParseError("SQL: unreachable");
+  }
+
+  Status ParseCase(NodePtr* out) {
+    VP_RETURN_IF_ERROR(ExpectKeyword("CASE"));
+    struct Arm {
+      NodePtr cond, value;
+    };
+    std::vector<Arm> arms;
+    while (MatchKeyword("WHEN")) {
+      Arm arm;
+      VP_RETURN_IF_ERROR(ParseExpr(&arm.cond));
+      VP_RETURN_IF_ERROR(ExpectKeyword("THEN"));
+      VP_RETURN_IF_ERROR(ParseExpr(&arm.value));
+      arms.push_back(std::move(arm));
+    }
+    if (arms.empty()) return Status::ParseError("SQL: CASE without WHEN");
+    NodePtr else_value = Node::Literal(data::Value::Null());
+    if (MatchKeyword("ELSE")) {
+      VP_RETURN_IF_ERROR(ParseExpr(&else_value));
+    }
+    VP_RETURN_IF_ERROR(ExpectKeyword("END"));
+    NodePtr result = else_value;
+    for (auto it = arms.rbegin(); it != arms.rend(); ++it) {
+      result = Node::Ternary(it->cond, it->value, result);
+    }
+    *out = std::move(result);
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectPtr> ParseSql(std::string_view text) {
+  std::vector<Token> tokens;
+  VP_RETURN_IF_ERROR(Tokenize(text, &tokens));
+  return Parser(std::move(tokens)).ParseStatement();
+}
+
+}  // namespace sql
+}  // namespace vegaplus

@@ -1,0 +1,29 @@
+// SQL parser for the engine's dialect:
+//
+//   SELECT item [, item]*
+//   FROM table | (subquery) [AS alias]
+//   [WHERE expr] [GROUP BY expr_list] [HAVING expr]
+//   [ORDER BY expr [DESC] [, ...]] [LIMIT n [OFFSET m]]
+//
+// with aggregates COUNT/SUM/AVG/MIN/MAX/MEDIAN/STDDEV/VARIANCE, window
+// functions SUM(x) OVER (...) and ROW_NUMBER() OVER (...), CASE expressions,
+// IS [NOT] NULL, [NOT] BETWEEN, [NOT] IN (literals), and the scalar/date
+// function library shared with the Vega expression language.
+#ifndef VEGAPLUS_SQL_SQL_PARSER_H_
+#define VEGAPLUS_SQL_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "sql/sql_ast.h"
+
+namespace vegaplus {
+namespace sql {
+
+/// Parse one SELECT statement (optional trailing ';').
+Result<SelectPtr> ParseSql(std::string_view text);
+
+}  // namespace sql
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_SQL_SQL_PARSER_H_

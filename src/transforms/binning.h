@@ -1,0 +1,23 @@
+// Vega's "nice" binning: choose a human-friendly step ({1,2,5}x10^k) so the
+// bin count does not exceed maxbins. Shared by the client-side bin operator
+// and the SQL rewriter's query builder so both produce identical buckets.
+#ifndef VEGAPLUS_TRANSFORMS_BINNING_H_
+#define VEGAPLUS_TRANSFORMS_BINNING_H_
+
+namespace vegaplus {
+namespace transforms {
+
+struct Binning {
+  double start = 0;
+  double stop = 0;
+  double step = 1;
+};
+
+/// Compute nice bin boundaries for [lo, hi] with at most `maxbins` bins.
+/// Degenerate extents (hi <= lo) yield a single unit bin at lo.
+Binning ComputeBinning(double lo, double hi, int maxbins);
+
+}  // namespace transforms
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_TRANSFORMS_BINNING_H_

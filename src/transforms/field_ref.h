@@ -1,0 +1,47 @@
+// FieldRef: a transform parameter naming a data field, either fixed or bound
+// to a signal (e.g. the histogram template's field dropdown, Fig. 1).
+#ifndef VEGAPLUS_TRANSFORMS_FIELD_REF_H_
+#define VEGAPLUS_TRANSFORMS_FIELD_REF_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "expr/evaluator.h"
+
+namespace vegaplus {
+namespace transforms {
+
+struct FieldRef {
+  std::string field;   // fixed field name (when signal empty)
+  std::string signal;  // signal whose string value names the field
+
+  FieldRef() = default;
+  static FieldRef Fixed(std::string name) {
+    FieldRef f;
+    f.field = std::move(name);
+    return f;
+  }
+  static FieldRef Signal(std::string name) {
+    FieldRef f;
+    f.signal = std::move(name);
+    return f;
+  }
+
+  bool is_signal() const { return !signal.empty(); }
+
+  /// Resolve to a concrete field name under the current signal values.
+  Result<std::string> Resolve(const expr::SignalResolver& signals) const {
+    if (!is_signal()) return field;
+    expr::EvalValue v;
+    if (!signals.Lookup(signal, &v) || v.is_array() || !v.scalar().is_string()) {
+      return Status::KeyError("field ref: signal '" + signal +
+                              "' does not hold a field name");
+    }
+    return v.scalar().AsString();
+  }
+};
+
+}  // namespace transforms
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_TRANSFORMS_FIELD_REF_H_

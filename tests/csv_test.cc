@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+
+namespace vegaplus {
+namespace data {
+namespace {
+
+TEST(CsvTest, TypeInference) {
+  auto r = ReadCsvString("a,b,c,d\n1,2.5,hello,2001-02-03\n2,3,world,2001-03-04\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Table& t = **r;
+  EXPECT_EQ(t.schema().field(0).type, DataType::kInt64);
+  EXPECT_EQ(t.schema().field(1).type, DataType::kFloat64);
+  EXPECT_EQ(t.schema().field(2).type, DataType::kString);
+  EXPECT_EQ(t.schema().field(3).type, DataType::kTimestamp);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.ValueAt(0, "a"), Value::Int(1));
+  EXPECT_DOUBLE_EQ(t.ValueAt(1, "b").AsDouble(), 3.0);
+}
+
+TEST(CsvTest, IntWidensToFloat) {
+  auto r = ReadCsvString("x\n1\n2.5\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->schema().field(0).type, DataType::kFloat64);
+}
+
+TEST(CsvTest, MixedBecomesString) {
+  auto r = ReadCsvString("x\n1\nabc\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->schema().field(0).type, DataType::kString);
+  EXPECT_EQ((*r)->ValueAt(0, "x"), Value::String("1"));
+}
+
+TEST(CsvTest, NullTokens) {
+  auto r = ReadCsvString("x,y\n1,a\n,NA\nNULL,b\n");
+  ASSERT_TRUE(r.ok());
+  const Table& t = **r;
+  EXPECT_TRUE(t.ValueAt(1, "x").is_null());
+  EXPECT_TRUE(t.ValueAt(2, "x").is_null());
+  EXPECT_TRUE(t.ValueAt(1, "y").is_null());
+}
+
+TEST(CsvTest, QuotedFields) {
+  auto r = ReadCsvString("a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->ValueAt(0, "a"), Value::String("x,y"));
+  EXPECT_EQ((*r)->ValueAt(0, "b"), Value::String("he said \"hi\""));
+}
+
+TEST(CsvTest, CrLfHandling) {
+  auto r = ReadCsvString("a,b\r\n1,2\r\n3,4\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->num_rows(), 2u);
+  EXPECT_EQ((*r)->ValueAt(1, "b"), Value::Int(4));
+}
+
+TEST(CsvTest, RaggedRowFails) {
+  auto r = ReadCsvString("a,b\n1\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvTest, EmptyInputFails) {
+  EXPECT_FALSE(ReadCsvString("").ok());
+}
+
+TEST(CsvTest, RoundTrip) {
+  auto r = ReadCsvString("name,score,when\nalice,1.5,2020-05-06\nbo b,2,2021-07-08\n");
+  ASSERT_TRUE(r.ok());
+  std::string text = WriteCsvString(**r);
+  auto r2 = ReadCsvString(text);
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_TRUE((*r)->Equals(**r2));
+}
+
+TEST(TimestampTest, ParseDateOnly) {
+  int64_t ms = 0;
+  ASSERT_TRUE(ParseTimestamp("1970-01-01", &ms));
+  EXPECT_EQ(ms, 0);
+  ASSERT_TRUE(ParseTimestamp("1970-01-02", &ms));
+  EXPECT_EQ(ms, 86400000);
+}
+
+TEST(TimestampTest, ParseDateTime) {
+  int64_t ms = 0;
+  ASSERT_TRUE(ParseTimestamp("1970-01-01 01:00:00", &ms));
+  EXPECT_EQ(ms, 3600000);
+  ASSERT_TRUE(ParseTimestamp("1970-01-01T00:01:00", &ms));
+  EXPECT_EQ(ms, 60000);
+}
+
+TEST(TimestampTest, RejectsGarbage) {
+  int64_t ms = 0;
+  EXPECT_FALSE(ParseTimestamp("not-a-date", &ms));
+  EXPECT_FALSE(ParseTimestamp("2001-13-01", &ms));
+  EXPECT_FALSE(ParseTimestamp("2001-01-40", &ms));
+  EXPECT_FALSE(ParseTimestamp("", &ms));
+}
+
+TEST(TimestampTest, FormatRoundTrip) {
+  for (const char* s : {"2001-02-03 04:05:06", "1969-12-31 23:59:59",
+                        "2100-01-01 00:00:00", "1987-06-15 12:00:00"}) {
+    int64_t ms = 0;
+    ASSERT_TRUE(ParseTimestamp(s, &ms)) << s;
+    EXPECT_EQ(FormatTimestamp(ms), s);
+  }
+}
+
+TEST(TimestampTest, LeapYearDay) {
+  int64_t feb29 = 0, mar01 = 0;
+  ASSERT_TRUE(ParseTimestamp("2020-02-29", &feb29));
+  ASSERT_TRUE(ParseTimestamp("2020-03-01", &mar01));
+  EXPECT_EQ(mar01 - feb29, 86400000);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace vegaplus

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/column.h"
+#include "data/schema.h"
+#include "data/stats.h"
+#include "data/table.h"
+#include "data/value.h"
+
+namespace vegaplus {
+namespace data {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_EQ(Value::Int(7).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("s").AsString(), "s");
+  EXPECT_EQ(Value::Timestamp(1000).AsInt(), 1000);
+  EXPECT_TRUE(Value::Timestamp(1000).is_timestamp());
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value::Int(3), Value::Double(3.0));
+  EXPECT_NE(Value::Int(3), Value::Double(3.5));
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Double(3.0).Hash());
+}
+
+TEST(ValueTest, CompareOrdersNullsFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_GT(Value::Int(0).Compare(Value::Null()), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, CompareNumbersAndStrings) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::Double(2.5).Compare(Value::Int(2)), 0);
+  EXPECT_LT(Value::String("a").Compare(Value::String("b")), 0);
+  EXPECT_EQ(Value::String("a").Compare(Value::String("a")), 0);
+}
+
+TEST(ValueTest, Truthiness) {
+  EXPECT_FALSE(Value::Null().Truthy());
+  EXPECT_FALSE(Value::Int(0).Truthy());
+  EXPECT_FALSE(Value::Double(0.0).Truthy());
+  EXPECT_FALSE(Value::String("").Truthy());
+  EXPECT_TRUE(Value::Int(1).Truthy());
+  EXPECT_TRUE(Value::String("x").Truthy());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Int(-4).ToString(), "-4");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::String("ab").ToString(), "ab");
+}
+
+TEST(SchemaTest, FieldLookup) {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(schema.num_fields(), 2u);
+  EXPECT_EQ(schema.FieldIndex("a"), 0);
+  EXPECT_EQ(schema.FieldIndex("b"), 1);
+  EXPECT_EQ(schema.FieldIndex("c"), -1);
+  EXPECT_TRUE(schema.HasField("b"));
+}
+
+TEST(ColumnTest, AppendAndAccess) {
+  Column col(DataType::kInt64);
+  col.AppendInt(1);
+  col.AppendNull();
+  col.AppendInt(3);
+  EXPECT_EQ(col.length(), 3u);
+  EXPECT_EQ(col.null_count(), 1u);
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_EQ(col.IntAt(2), 3);
+  EXPECT_TRUE(col.ValueAt(1).is_null());
+  EXPECT_EQ(col.ValueAt(2), Value::Int(3));
+}
+
+TEST(ColumnTest, AppendCoercesNumerics) {
+  Column col(DataType::kFloat64);
+  col.Append(Value::Int(2));
+  col.Append(Value::Double(3.5));
+  EXPECT_DOUBLE_EQ(col.DoubleAt(0), 2.0);
+  EXPECT_DOUBLE_EQ(col.DoubleAt(1), 3.5);
+}
+
+TEST(ColumnTest, AppendIncompatibleBecomesNull) {
+  Column col(DataType::kInt64);
+  col.Append(Value::String("nope"));
+  EXPECT_TRUE(col.IsNull(0));
+}
+
+TEST(ColumnTest, StringColumnStringifiesNonStrings) {
+  Column col(DataType::kString);
+  col.Append(Value::Int(5));
+  EXPECT_EQ(col.StringAt(0), "5");
+}
+
+TEST(ColumnTest, TakeGathersAndKeepsNulls) {
+  Column col(DataType::kString);
+  col.AppendString("a");
+  col.AppendNull();
+  col.AppendString("c");
+  Column taken = col.Take({2, 1, 0, 2});
+  ASSERT_EQ(taken.length(), 4u);
+  EXPECT_EQ(taken.StringAt(0), "c");
+  EXPECT_TRUE(taken.IsNull(1));
+  EXPECT_EQ(taken.StringAt(2), "a");
+  EXPECT_EQ(taken.StringAt(3), "c");
+}
+
+TEST(ColumnTest, NumericAtNaNForNull) {
+  Column col(DataType::kInt64);
+  col.AppendNull();
+  EXPECT_TRUE(std::isnan(col.NumericAt(0)));
+}
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"score", DataType::kFloat64},
+                 {"name", DataType::kString}});
+}
+
+TEST(TableTest, BuildAndAccess) {
+  TablePtr t = MakeTable(TestSchema(), {
+                                           {Value::Int(1), Value::Double(0.5), Value::String("x")},
+                                           {Value::Int(2), Value::Null(), Value::String("y")},
+                                       });
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->num_columns(), 3u);
+  EXPECT_EQ(t->ValueAt(0, "id"), Value::Int(1));
+  EXPECT_TRUE(t->ValueAt(1, "score").is_null());
+  EXPECT_TRUE(t->ValueAt(0, "missing").is_null());
+  EXPECT_NE(t->ColumnByName("name"), nullptr);
+  EXPECT_EQ(t->ColumnByName("nope"), nullptr);
+}
+
+TEST(TableTest, TakeAndHead) {
+  TablePtr t = MakeTable(TestSchema(), {
+                                           {Value::Int(1), Value::Double(1), Value::String("a")},
+                                           {Value::Int(2), Value::Double(2), Value::String("b")},
+                                           {Value::Int(3), Value::Double(3), Value::String("c")},
+                                       });
+  TablePtr taken = t->Take({2, 0});
+  EXPECT_EQ(taken->num_rows(), 2u);
+  EXPECT_EQ(taken->ValueAt(0, "id"), Value::Int(3));
+  TablePtr head = t->Head(2);
+  EXPECT_EQ(head->num_rows(), 2u);
+  EXPECT_EQ(head->ValueAt(1, "id"), Value::Int(2));
+  EXPECT_EQ(t->Head(100)->num_rows(), 3u);
+}
+
+TEST(TableTest, Equals) {
+  auto rows = std::vector<std::vector<Value>>{
+      {Value::Int(1), Value::Double(1), Value::String("a")}};
+  TablePtr a = MakeTable(TestSchema(), rows);
+  TablePtr b = MakeTable(TestSchema(), rows);
+  TablePtr c = MakeTable(TestSchema(),
+                         {{Value::Int(2), Value::Double(1), Value::String("a")}});
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+}
+
+TEST(TableBuilderTest, EmptyTable) {
+  TablePtr t = EmptyTable(TestSchema());
+  EXPECT_EQ(t->num_rows(), 0u);
+  EXPECT_EQ(t->num_columns(), 3u);
+}
+
+TEST(StatsTest, NumericExtentAndNulls) {
+  Schema schema({{"v", DataType::kFloat64}});
+  TablePtr t = MakeTable(schema, {{Value::Double(3)},
+                                  {Value::Null()},
+                                  {Value::Double(-1)},
+                                  {Value::Double(7)}});
+  TableStats stats = ComputeTableStats(*t);
+  EXPECT_EQ(stats.num_rows, 4u);
+  const ColumnStats* cs = stats.Find("v");
+  ASSERT_NE(cs, nullptr);
+  EXPECT_EQ(cs->null_count, 1u);
+  ASSERT_TRUE(cs->has_extent);
+  EXPECT_DOUBLE_EQ(cs->min, -1);
+  EXPECT_DOUBLE_EQ(cs->max, 7);
+  EXPECT_EQ(cs->distinct_count, 3u);
+}
+
+TEST(StatsTest, CategoricalDomainInFirstSeenOrder) {
+  Schema schema({{"c", DataType::kString}});
+  TablePtr t = MakeTable(schema, {{Value::String("b")},
+                                  {Value::String("a")},
+                                  {Value::String("b")},
+                                  {Value::String("c")}});
+  TableStats stats = ComputeTableStats(*t);
+  const ColumnStats* cs = stats.Find("c");
+  ASSERT_NE(cs, nullptr);
+  EXPECT_TRUE(cs->distinct_is_exact);
+  ASSERT_EQ(cs->domain.size(), 3u);
+  EXPECT_EQ(cs->domain[0], Value::String("b"));
+  EXPECT_EQ(cs->domain[1], Value::String("a"));
+  EXPECT_EQ(cs->domain[2], Value::String("c"));
+}
+
+TEST(StatsTest, DistinctCapStopsTracking) {
+  Schema schema({{"v", DataType::kInt64}});
+  TableBuilder builder(schema);
+  for (int i = 0; i < 1000; ++i) builder.AppendRow({Value::Int(i)});
+  TableStats stats = ComputeTableStats(*builder.Build());
+  const ColumnStats* cs = stats.Find("v");
+  ASSERT_NE(cs, nullptr);
+  EXPECT_FALSE(cs->distinct_is_exact);
+  EXPECT_TRUE(cs->domain.empty());
+  EXPECT_GT(cs->distinct_count, kMaxTrackedDistinct);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace vegaplus

@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/csv.h"
+#include "dataflow/dataflow.h"
+#include "expr/parser.h"
+#include "transforms/binning.h"
+#include "transforms/transforms.h"
+
+namespace vegaplus {
+namespace dataflow {
+namespace {
+
+using data::DataType;
+using data::Schema;
+using data::TablePtr;
+using data::Value;
+using transforms::FieldRef;
+
+TablePtr SmallTable() {
+  Schema schema({{"v", DataType::kFloat64}, {"cat", DataType::kString}});
+  return data::MakeTable(schema, {{Value::Double(1), Value::String("a")},
+                                  {Value::Double(5), Value::String("b")},
+                                  {Value::Double(3), Value::String("a")},
+                                  {Value::Double(9), Value::String("b")},
+                                  {Value::Double(7), Value::String("a")}});
+}
+
+TEST(SignalRegistryTest, SetLookupStamp) {
+  SignalRegistry reg;
+  EXPECT_FALSE(reg.Has("x"));
+  reg.Set("x", expr::EvalValue::Number(4), 3);
+  EXPECT_TRUE(reg.Has("x"));
+  EXPECT_EQ(reg.StampOf("x"), 3);
+  EXPECT_EQ(reg.StampOf("missing"), -1);
+  expr::EvalValue v;
+  ASSERT_TRUE(reg.Lookup("x", &v));
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 4.0);
+}
+
+TEST(DataflowTest, InitialRunEvaluatesEverything) {
+  Dataflow flow;
+  auto* src = flow.Add(std::make_unique<TableSourceOp>(SmallTable()), nullptr);
+  auto pred = *expr::ParseExpression("datum.v > 2");
+  auto* filter = flow.Add(std::make_unique<transforms::FilterOp>(pred), src);
+  auto stats = flow.Run();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->ops_evaluated, 2);
+  ASSERT_NE(filter->output, nullptr);
+  EXPECT_EQ(filter->output->num_rows(), 4u);
+}
+
+TEST(DataflowTest, PartialReevaluationOnlyDownstream) {
+  Dataflow flow;
+  flow.DeclareSignal("threshold", expr::EvalValue::Number(2));
+  auto* src = flow.Add(std::make_unique<TableSourceOp>(SmallTable()), nullptr);
+  auto pred = *expr::ParseExpression("datum.v > threshold");
+  auto* filter = flow.Add(std::make_unique<transforms::FilterOp>(pred), src);
+  transforms::AggregateOp::Params agg_params;
+  agg_params.groupby = {FieldRef::Fixed("cat")};
+  agg_params.ops = {transforms::VegaAggOp::kCount};
+  agg_params.fields.resize(1);
+  auto* agg = flow.Add(std::make_unique<transforms::AggregateOp>(agg_params), filter);
+  ASSERT_TRUE(flow.Run().ok());
+  EXPECT_EQ(filter->output->num_rows(), 4u);
+
+  auto stats = flow.Update({{"threshold", expr::EvalValue::Number(6)}});
+  ASSERT_TRUE(stats.ok());
+  // Source must NOT re-evaluate; filter + aggregate must.
+  EXPECT_EQ(stats->ops_evaluated, 2);
+  EXPECT_EQ(filter->output->num_rows(), 2u);  // 7, 9
+  ASSERT_NE(agg->output, nullptr);
+  EXPECT_EQ(agg->output->num_rows(), 2u);  // groups a, b
+  EXPECT_LT(src->stamp, filter->stamp);
+}
+
+TEST(DataflowTest, NoOpUpdateEvaluatesNothing) {
+  Dataflow flow;
+  flow.DeclareSignal("unused", expr::EvalValue::Number(1));
+  auto* src = flow.Add(std::make_unique<TableSourceOp>(SmallTable()), nullptr);
+  (void)src;
+  ASSERT_TRUE(flow.Run().ok());
+  auto stats = flow.Update({{"unused", expr::EvalValue::Number(2)}});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->ops_evaluated, 0);
+}
+
+TEST(DataflowTest, SignalProducerOrdersConsumers) {
+  // bin consumes the signal produced by extent: extent must run first even
+  // though both are added in adversarial order via separate chains.
+  Dataflow flow;
+  flow.DeclareSignal("mb", expr::EvalValue::Number(10));
+  auto* src = flow.Add(std::make_unique<TableSourceOp>(SmallTable()), nullptr);
+  transforms::BinOp::Params bin_params;
+  bin_params.field = FieldRef::Fixed("v");
+  bin_params.extent_signal = "ext";
+  bin_params.maxbins_signal = "mb";
+  auto* bin = flow.Add(std::make_unique<transforms::BinOp>(bin_params), src);
+  auto* extent = flow.Add(
+      std::make_unique<transforms::ExtentOp>(FieldRef::Fixed("v"), "ext"), src);
+  flow.RegisterSignalProducer("ext", extent);
+  ASSERT_TRUE(flow.Run().ok());
+  EXPECT_GT(bin->rank, extent->rank);
+  ASSERT_NE(bin->output, nullptr);
+  EXPECT_TRUE(bin->output->schema().HasField("bin0"));
+}
+
+TEST(DataflowTest, CurrentOperatorsTracksLatestPass) {
+  Dataflow flow;
+  flow.DeclareSignal("t", expr::EvalValue::Number(0));
+  auto* src = flow.Add(std::make_unique<TableSourceOp>(SmallTable()), nullptr);
+  auto pred = *expr::ParseExpression("datum.v > t");
+  flow.Add(std::make_unique<transforms::FilterOp>(pred), src);
+  ASSERT_TRUE(flow.Run().ok());
+  EXPECT_EQ(flow.CurrentOperators().size(), 2u);
+  ASSERT_TRUE(flow.Update({{"t", expr::EvalValue::Number(4)}}).ok());
+  EXPECT_EQ(flow.CurrentOperators().size(), 1u);  // only the filter
+}
+
+// ---- Transform semantics ----
+
+class TransformTest : public ::testing::Test {
+ protected:
+  Result<TablePtr> RunOp(std::unique_ptr<Operator> op, TablePtr input,
+                         SignalRegistry* signals = nullptr) {
+    SignalRegistry local;
+    SignalRegistry* reg = signals != nullptr ? signals : &local;
+    auto result = op->Evaluate(input, *reg);
+    VP_RETURN_IF_ERROR(result.status());
+    for (auto& [name, value] : result->signal_writes) {
+      reg->Set(name, value, 1);
+      last_signals_.Set(name, value, 1);
+    }
+    return result->table;
+  }
+  SignalRegistry last_signals_;
+};
+
+TEST_F(TransformTest, FilterKeepsMatching) {
+  auto pred = *expr::ParseExpression("datum.cat == 'a'");
+  auto t = RunOp(std::make_unique<transforms::FilterOp>(pred), SmallTable());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->num_rows(), 3u);
+}
+
+TEST_F(TransformTest, FilterOnMissingInputFails) {
+  auto pred = *expr::ParseExpression("datum.v > 0");
+  transforms::FilterOp op(pred);
+  SignalRegistry reg;
+  EXPECT_FALSE(op.Evaluate(nullptr, reg).ok());
+}
+
+TEST_F(TransformTest, ExtentEmitsSignalAndPassesThrough) {
+  auto t = RunOp(std::make_unique<transforms::ExtentOp>(FieldRef::Fixed("v"), "e"),
+                 SmallTable());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->num_rows(), 5u);  // pass-through
+  expr::EvalValue e;
+  ASSERT_TRUE(last_signals_.Lookup("e", &e));
+  ASSERT_TRUE(e.is_array());
+  EXPECT_DOUBLE_EQ(e.array()[0].AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(e.array()[1].AsDouble(), 9.0);
+}
+
+TEST_F(TransformTest, BinAppendsBuckets) {
+  SignalRegistry signals;
+  signals.Set("e", expr::EvalValue::Array({Value::Double(0), Value::Double(10)}), 0);
+  transforms::BinOp::Params params;
+  params.field = FieldRef::Fixed("v");
+  params.extent_signal = "e";
+  params.maxbins = 5;
+  auto t = RunOp(std::make_unique<transforms::BinOp>(params), SmallTable(), &signals);
+  ASSERT_TRUE(t.ok()) << t.status();
+  const data::Table& table = **t;
+  ASSERT_TRUE(table.schema().HasField("bin0"));
+  ASSERT_TRUE(table.schema().HasField("bin1"));
+  // extent [0,10] maxbins 5 -> step 2.
+  EXPECT_DOUBLE_EQ(table.ValueAt(0, "bin0").AsDouble(), 0.0);   // v=1
+  EXPECT_DOUBLE_EQ(table.ValueAt(0, "bin1").AsDouble(), 2.0);
+  EXPECT_DOUBLE_EQ(table.ValueAt(3, "bin0").AsDouble(), 8.0);   // v=9
+}
+
+TEST_F(TransformTest, AggregateCountsAndMeans) {
+  transforms::AggregateOp::Params params;
+  params.groupby = {FieldRef::Fixed("cat")};
+  params.ops = {transforms::VegaAggOp::kCount, transforms::VegaAggOp::kMean};
+  params.fields = {FieldRef(), FieldRef::Fixed("v")};
+  params.as = {"count", "mean_v"};
+  auto t = RunOp(std::make_unique<transforms::AggregateOp>(params), SmallTable());
+  ASSERT_TRUE(t.ok()) << t.status();
+  const data::Table& table = **t;
+  ASSERT_EQ(table.num_rows(), 2u);
+  // First-seen group order: a then b.
+  EXPECT_EQ(table.ValueAt(0, "cat"), Value::String("a"));
+  EXPECT_EQ(table.ValueAt(0, "count"), Value::Int(3));
+  EXPECT_NEAR(table.ValueAt(0, "mean_v").AsDouble(), (1 + 3 + 7) / 3.0, 1e-12);
+  EXPECT_EQ(table.ValueAt(1, "count"), Value::Int(2));
+}
+
+TEST_F(TransformTest, CollectSorts) {
+  auto t = RunOp(std::make_unique<transforms::CollectOp>(
+                     std::vector<transforms::CollectOp::SortKey>{
+                         {FieldRef::Fixed("v"), /*descending=*/true}}),
+                 SmallTable());
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ((*t)->ValueAt(0, "v").AsDouble(), 9.0);
+  EXPECT_DOUBLE_EQ((*t)->ValueAt(4, "v").AsDouble(), 1.0);
+}
+
+TEST_F(TransformTest, ProjectSelectsAndRenames) {
+  auto t = RunOp(std::make_unique<transforms::ProjectOp>(
+                     std::vector<FieldRef>{FieldRef::Fixed("v")},
+                     std::vector<std::string>{"value"}),
+                 SmallTable());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->num_columns(), 1u);
+  EXPECT_EQ((*t)->schema().field(0).name, "value");
+}
+
+TEST_F(TransformTest, StackRunningSums) {
+  transforms::StackOp::Params params;
+  params.field = FieldRef::Fixed("v");
+  params.groupby = {FieldRef::Fixed("cat")};
+  params.sort = {{FieldRef::Fixed("v"), false}};
+  auto t = RunOp(std::make_unique<transforms::StackOp>(params), SmallTable());
+  ASSERT_TRUE(t.ok()) << t.status();
+  const data::Table& table = **t;
+  // Group a: values 1,3,7 sorted -> spans [0,1],[1,4],[4,11].
+  // Row 0 (v=1): y0=0,y1=1. Row 2 (v=3): y0=1,y1=4. Row 4 (v=7): y0=4,y1=11.
+  EXPECT_DOUBLE_EQ(table.ValueAt(0, "y0").AsDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(table.ValueAt(2, "y0").AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(table.ValueAt(4, "y1").AsDouble(), 11.0);
+  // Group b: 5 then 9.
+  EXPECT_DOUBLE_EQ(table.ValueAt(1, "y0").AsDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(table.ValueAt(3, "y1").AsDouble(), 14.0);
+}
+
+TEST_F(TransformTest, TimeunitTruncatesToMonth) {
+  Schema schema({{"ts", DataType::kTimestamp}});
+  int64_t feb3 = 0, feb1 = 0, mar1 = 0;
+  data::ParseTimestamp("2001-02-03 10:00:00", &feb3);
+  data::ParseTimestamp("2001-02-01", &feb1);
+  data::ParseTimestamp("2001-03-01", &mar1);
+  TablePtr input = data::MakeTable(schema, {{Value::Timestamp(feb3)}});
+  transforms::TimeunitOp::Params params;
+  params.field = FieldRef::Fixed("ts");
+  params.unit = "month";
+  auto t = RunOp(std::make_unique<transforms::TimeunitOp>(params), input);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->ValueAt(0, "unit0").AsInt(), feb1);
+  EXPECT_EQ((*t)->ValueAt(0, "unit1").AsInt(), mar1);
+}
+
+TEST_F(TransformTest, FormulaAppendsComputedColumn) {
+  auto e = *expr::ParseExpression("datum.v * 2 + 1");
+  auto t = RunOp(std::make_unique<transforms::FormulaOp>(e, "double"), SmallTable());
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ((*t)->ValueAt(1, "double").AsDouble(), 11.0);
+}
+
+TEST_F(TransformTest, DynamicFieldViaSignal) {
+  SignalRegistry signals;
+  signals.Set("fld", expr::EvalValue::String("v"), 0);
+  auto t = RunOp(std::make_unique<transforms::ExtentOp>(FieldRef::Signal("fld"), "e"),
+                 SmallTable(), &signals);
+  ASSERT_TRUE(t.ok());
+  expr::EvalValue e;
+  ASSERT_TRUE(last_signals_.Lookup("e", &e));
+  EXPECT_DOUBLE_EQ(e.array()[1].AsDouble(), 9.0);
+}
+
+// ---- Binning properties ----
+
+class BinningProperty : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(BinningProperty, NiceAndBounded) {
+  auto [lo, hi, maxbins] = GetParam();
+  transforms::Binning b = transforms::ComputeBinning(lo, hi, maxbins);
+  EXPECT_GT(b.step, 0);
+  EXPECT_LE(b.start, lo);
+  EXPECT_GE(b.stop, hi);
+  // Bin count within budget (+1: aligning start/stop to step multiples can
+  // add one bin, as in Vega's own nice binning).
+  double bins = (b.stop - b.start) / b.step;
+  EXPECT_LE(bins, maxbins + 1 + 1e-9);
+  // Step is {1,2,5}*10^k.
+  double mantissa = b.step / std::pow(10.0, std::floor(std::log10(b.step)));
+  EXPECT_TRUE(std::fabs(mantissa - 1) < 1e-9 || std::fabs(mantissa - 2) < 1e-9 ||
+              std::fabs(mantissa - 5) < 1e-9 || std::fabs(mantissa - 10) < 1e-9)
+      << "step=" << b.step;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BinningProperty,
+    ::testing::Values(std::make_tuple(0.0, 10.0, 5), std::make_tuple(0.0, 10.0, 7),
+                      std::make_tuple(-50.0, 50.0, 10), std::make_tuple(0.0, 1.0, 20),
+                      std::make_tuple(3.0, 1000000.0, 12),
+                      std::make_tuple(0.001, 0.009, 4), std::make_tuple(-3.0, -1.0, 3),
+                      std::make_tuple(5.0, 5.0, 10)));  // degenerate
+
+TEST(BinningTest, DegenerateExtent) {
+  transforms::Binning b = transforms::ComputeBinning(5.0, 5.0, 10);
+  EXPECT_DOUBLE_EQ(b.start, 5.0);
+  EXPECT_GT(b.stop, b.start);
+}
+
+}  // namespace
+}  // namespace dataflow
+}  // namespace vegaplus

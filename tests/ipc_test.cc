@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/ipc.h"
+
+namespace vegaplus {
+namespace data {
+namespace {
+
+TablePtr SampleTable() {
+  Schema schema({{"i", DataType::kInt64},
+                 {"f", DataType::kFloat64},
+                 {"s", DataType::kString},
+                 {"b", DataType::kBool},
+                 {"t", DataType::kTimestamp}});
+  return MakeTable(schema, {
+      {Value::Int(1), Value::Double(1.5), Value::String("a"), Value::Bool(true), Value::Timestamp(1000)},
+      {Value::Null(), Value::Null(), Value::Null(), Value::Null(), Value::Null()},
+      {Value::Int(-3), Value::Double(-2.25), Value::String("x,y\"z"), Value::Bool(false), Value::Timestamp(-5000)},
+  });
+}
+
+TEST(BinaryIpcTest, RoundTripAllTypes) {
+  TablePtr t = SampleTable();
+  std::string buf = SerializeBinary(*t);
+  auto r = DeserializeBinary(buf);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(t->Equals(**r));
+}
+
+TEST(BinaryIpcTest, EmptyTable) {
+  TablePtr t = EmptyTable(Schema({{"a", DataType::kInt64}}));
+  auto r = DeserializeBinary(SerializeBinary(*t));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->num_rows(), 0u);
+  EXPECT_EQ((*r)->num_columns(), 1u);
+}
+
+TEST(BinaryIpcTest, RejectsBadMagic) {
+  EXPECT_FALSE(DeserializeBinary("XXXXjunk").ok());
+  EXPECT_FALSE(DeserializeBinary("").ok());
+}
+
+TEST(BinaryIpcTest, RejectsTruncation) {
+  std::string buf = SerializeBinary(*SampleTable());
+  for (size_t cut : {size_t{4}, size_t{10}, buf.size() / 2}) {
+    EXPECT_FALSE(DeserializeBinary(buf.substr(0, cut)).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(JsonIpcTest, RoundTripSkipsNullCells) {
+  TablePtr t = SampleTable();
+  std::string text = SerializeJsonRows(*t);
+  auto r = DeserializeJsonRows(text);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Table& back = **r;
+  EXPECT_EQ(back.num_rows(), t->num_rows());
+  // Timestamps degrade to numbers over JSON; values must still agree.
+  EXPECT_EQ(back.ValueAt(0, "i"), Value::Int(1));
+  EXPECT_EQ(back.ValueAt(0, "s"), Value::String("a"));
+  EXPECT_TRUE(back.ValueAt(1, "i").is_null());
+  EXPECT_DOUBLE_EQ(back.ValueAt(2, "t").AsDouble(), -5000.0);
+}
+
+TEST(JsonIpcTest, BinaryIsSmallerOnWideNumericTables) {
+  // The premise of the paper's Arrow encoding choice: binary beats JSON.
+  Schema schema({{"a", DataType::kFloat64}, {"b", DataType::kFloat64}});
+  TableBuilder builder(schema);
+  Rng rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    builder.AppendRow({Value::Double(rng.NextDouble() * 12345.6789),
+                       Value::Double(rng.NextDouble())});
+  }
+  TablePtr t = builder.Build();
+  EXPECT_LT(SerializeBinary(*t).size(), SerializeJsonRows(*t).size());
+}
+
+TEST(JsonIpcTest, TableToJsonShape) {
+  json::Value rows = TableToJson(*SampleTable());
+  ASSERT_TRUE(rows.is_array());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(rows[0].GetDouble("f"), 1.5);
+  EXPECT_FALSE(rows[1].Has("f"));  // null cell omitted
+}
+
+TEST(JsonIpcTest, IntegerColumnsStayIntegral) {
+  Schema schema({{"n", DataType::kInt64}});
+  TablePtr t = MakeTable(schema, {{Value::Int(5)}, {Value::Int(9)}});
+  auto r = DeserializeJsonRows(SerializeJsonRows(*t));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->schema().field(0).type, DataType::kInt64);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace vegaplus

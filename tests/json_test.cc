@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "json/json_parser.h"
+#include "json/json_value.h"
+#include "json/json_writer.h"
+
+namespace vegaplus {
+namespace json {
+namespace {
+
+TEST(JsonValueTest, Construction) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(3.5).is_number());
+  EXPECT_TRUE(Value("hi").is_string());
+  EXPECT_TRUE(Value::MakeArray().is_array());
+  EXPECT_TRUE(Value::MakeObject().is_object());
+}
+
+TEST(JsonValueTest, ObjectPreservesInsertionOrder) {
+  Value obj = Value::MakeObject();
+  obj.Set("z", Value(1));
+  obj.Set("a", Value(2));
+  obj.Set("m", Value(3));
+  ASSERT_EQ(obj.members().size(), 3u);
+  EXPECT_EQ(obj.members()[0].first, "z");
+  EXPECT_EQ(obj.members()[1].first, "a");
+  EXPECT_EQ(obj.members()[2].first, "m");
+}
+
+TEST(JsonValueTest, SetReplacesExisting) {
+  Value obj = Value::MakeObject();
+  obj.Set("k", Value(1));
+  obj.Set("k", Value(2));
+  EXPECT_EQ(obj.size(), 1u);
+  EXPECT_EQ(obj.GetInt("k", -1), 2);
+}
+
+TEST(JsonValueTest, GettersWithDefaults) {
+  Value obj = Value::MakeObject();
+  obj.Set("s", Value("x"));
+  obj.Set("n", Value(4.5));
+  obj.Set("b", Value(true));
+  EXPECT_EQ(obj.GetString("s"), "x");
+  EXPECT_EQ(obj.GetString("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(obj.GetDouble("n"), 4.5);
+  EXPECT_EQ(obj.GetInt("n"), 4);
+  EXPECT_TRUE(obj.GetBool("b"));
+  EXPECT_FALSE(obj.GetBool("s", false));  // wrong type -> default
+}
+
+TEST(JsonParserTest, Scalars) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_TRUE(Parse("true")->AsBool());
+  EXPECT_FALSE(Parse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(Parse("3.25")->AsDouble(), 3.25);
+  EXPECT_DOUBLE_EQ(Parse("-4e2")->AsDouble(), -400.0);
+  EXPECT_EQ(Parse("\"abc\"")->AsString(), "abc");
+}
+
+TEST(JsonParserTest, NestedStructure) {
+  auto r = Parse(R"({"a": [1, 2, {"b": null}], "c": {"d": "e"}})");
+  ASSERT_TRUE(r.ok());
+  const Value& v = *r;
+  ASSERT_TRUE(v.is_object());
+  const Value* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->size(), 3u);
+  EXPECT_TRUE((*a)[2].Find("b")->is_null());
+  EXPECT_EQ(v.Find("c")->GetString("d"), "e");
+}
+
+TEST(JsonParserTest, StringEscapes) {
+  auto r = Parse(R"("a\"b\\c\ndA")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsString(), "a\"b\\c\ndA");
+}
+
+TEST(JsonParserTest, UnicodeEscapeMultibyte) {
+  auto r = Parse(R"("é")");  // é
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsString(), "\xc3\xa9");
+}
+
+TEST(JsonParserTest, Whitespace) {
+  auto r = Parse("  {  \"a\" :\n[ 1 ,  2 ]\t}  ");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Find("a")->size(), 2u);
+}
+
+TEST(JsonParserTest, EmptyContainers) {
+  EXPECT_EQ(Parse("[]")->size(), 0u);
+  EXPECT_EQ(Parse("{}")->size(), 0u);
+}
+
+TEST(JsonParserTest, Errors) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("{\"a\":}").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("tru").ok());
+  EXPECT_FALSE(Parse("1 2").ok());  // trailing tokens
+  EXPECT_FALSE(Parse("{a: 1}").ok());  // unquoted key
+}
+
+TEST(JsonWriterTest, RoundTrip) {
+  const std::string doc =
+      R"({"name":"histogram","signals":[{"name":"maxbins","value":10}],"ok":true,"n":null})";
+  auto parsed = Parse(doc);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(Write(*parsed), doc);
+}
+
+TEST(JsonWriterTest, EscapesControlCharacters) {
+  Value v("a\tb\x01");
+  EXPECT_EQ(Write(v), "\"a\\tb\\u0001\"");
+}
+
+TEST(JsonWriterTest, PrettyIsReparsable) {
+  auto parsed = Parse(R"({"a":[1,2],"b":{"c":true}})");
+  ASSERT_TRUE(parsed.ok());
+  auto reparsed = Parse(WritePretty(*parsed));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(*parsed == *reparsed);
+}
+
+TEST(JsonWriterTest, NumbersCompact) {
+  EXPECT_EQ(Write(Value(5.0)), "5");
+  EXPECT_EQ(Write(Value(2.5)), "2.5");
+}
+
+TEST(JsonEqualityTest, DeepEquality) {
+  auto a = Parse(R"({"x":[1,{"y":2}]})");
+  auto b = Parse(R"({"x":[1,{"y":2}]})");
+  auto c = Parse(R"({"x":[1,{"y":3}]})");
+  EXPECT_TRUE(*a == *b);
+  EXPECT_TRUE(*a != *c);
+}
+
+}  // namespace
+}  // namespace json
+}  // namespace vegaplus

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "ml/random_forest.h"
+#include "ml/ranksvm.h"
+
+namespace vegaplus {
+namespace ml {
+namespace {
+
+// Synthetic ranking problem: latency = 3*x0 + 1*x1 (+noise); a pair is
+// labeled by which side has lower latency.
+std::vector<PairExample> LinearPairs(size_t n, double noise, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PairExample> pairs;
+  pairs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> a{rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    std::vector<double> b{rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    double la = 3 * a[0] + a[1] + noise * rng.Normal();
+    double lb = 3 * b[0] + b[1] + noise * rng.Normal();
+    if (la == lb) continue;
+    pairs.push_back({a, b, la < lb ? 1 : -1});
+  }
+  return pairs;
+}
+
+// Non-linear problem: the winner is an XOR of the two feature differences —
+// representable by a depth-2 tree, provably not by any linear ranker.
+std::vector<PairExample> NonLinearPairs(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PairExample> pairs;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> a{rng.NextDouble(), rng.NextDouble()};
+    std::vector<double> b{rng.NextDouble(), rng.NextDouble()};
+    double d0 = a[0] - b[0];
+    double d1 = a[1] - b[1];
+    if (d0 == 0 || d1 == 0) continue;
+    pairs.push_back({a, b, (d0 > 0) != (d1 > 0) ? 1 : -1});
+  }
+  return pairs;
+}
+
+TEST(RankSvmTest, LearnsLinearRanking) {
+  auto train = LinearPairs(3000, 0.0, 1);
+  auto test = LinearPairs(800, 0.0, 2);
+  RankSvm model;
+  model.Train(train);
+  EXPECT_GT(PairwiseAccuracy(model, test), 0.95);
+}
+
+TEST(RankSvmTest, RobustToLabelNoise) {
+  auto train = LinearPairs(3000, 0.3, 3);
+  auto test = LinearPairs(800, 0.0, 4);
+  RankSvm model;
+  model.Train(train);
+  EXPECT_GT(PairwiseAccuracy(model, test), 0.85);
+}
+
+TEST(RankSvmTest, WeightsReflectFeatureImportance) {
+  auto train = LinearPairs(4000, 0.0, 5);
+  RankSvm model;
+  model.Train(train);
+  // Latency rises with x0 strongest; "faster" margin should weight x0
+  // most strongly (negatively, since higher x0 = slower).
+  ASSERT_EQ(model.weights().size(), 3u);
+  EXPECT_LT(model.weights()[0], 0);
+  EXPECT_GT(std::fabs(model.weights()[0]), std::fabs(model.weights()[1]));
+  EXPECT_GT(std::fabs(model.weights()[1]), std::fabs(model.weights()[2]) - 0.05);
+}
+
+TEST(RankSvmTest, CostConsistentWithCompare) {
+  auto train = LinearPairs(2000, 0.0, 6);
+  RankSvm model;
+  model.Train(train);
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> a{rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    std::vector<double> b{rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    int cmp = model.Compare(a, b);
+    if (cmp == 0) continue;
+    EXPECT_EQ(cmp < 0, model.Cost(a) < model.Cost(b));
+  }
+}
+
+TEST(RankSvmTest, DeterministicAcrossRuns) {
+  auto train = LinearPairs(500, 0.1, 8);
+  RankSvm m1, m2;
+  m1.Train(train);
+  m2.Train(train);
+  EXPECT_EQ(m1.weights(), m2.weights());
+}
+
+TEST(RankSvmTest, EmptyTrainingIsSafe) {
+  RankSvm model;
+  model.Train({});
+  EXPECT_EQ(model.Compare({1.0}, {2.0}), 0);
+}
+
+TEST(DecisionTreeTest, SeparatesSimpleThreshold) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    double v = rng.NextDouble();
+    x.push_back({v, rng.NextDouble()});
+    y.push_back(v > 0.5 ? 1 : 0);
+  }
+  DecisionTree tree;
+  tree.Train(x, y);
+  EXPECT_EQ(tree.Predict({0.9, 0.1}), 1);
+  EXPECT_EQ(tree.Predict({0.1, 0.9}), 0);
+  // Importance concentrated on feature 0.
+  EXPECT_GT(tree.feature_importance()[0], tree.feature_importance()[1]);
+}
+
+TEST(RandomForestTest, LearnsLinearRanking) {
+  auto train = LinearPairs(3000, 0.0, 10);
+  auto test = LinearPairs(800, 0.0, 11);
+  RandomForest model;
+  model.Train(train);
+  EXPECT_GT(PairwiseAccuracy(model, test), 0.9);
+}
+
+TEST(RandomForestTest, BeatsLinearModelOnNonLinearProblem) {
+  auto train = NonLinearPairs(4000, 12);
+  auto test = NonLinearPairs(1000, 13);
+  RandomForest forest;
+  forest.Train(train);
+  RankSvm svm;
+  svm.Train(train);
+  double forest_acc = PairwiseAccuracy(forest, test);
+  double svm_acc = PairwiseAccuracy(svm, test);
+  EXPECT_GT(forest_acc, svm_acc + 0.1)
+      << "forest " << forest_acc << " vs svm " << svm_acc;
+}
+
+TEST(RandomForestTest, ProbabilityOrdersByGap) {
+  auto train = LinearPairs(3000, 0.0, 14);
+  RandomForest model;
+  model.Train(train);
+  // A big latency gap should produce a more confident vote than a tiny one.
+  std::vector<double> slow{0.95, 0.9, 0.5};
+  std::vector<double> fast{0.05, 0.1, 0.5};
+  std::vector<double> near_fast{0.10, 0.12, 0.5};
+  EXPECT_GT(model.ProbabilityFaster(fast, slow), 0.9);
+  EXPECT_GT(model.ProbabilityFaster(fast, slow),
+            model.ProbabilityFaster(near_fast, fast));
+}
+
+TEST(RandomForestTest, FeatureImportanceSumsToOne) {
+  auto train = LinearPairs(1000, 0.0, 15);
+  RandomForest model;
+  model.Train(train);
+  auto importance = model.FeatureImportance();
+  double total = 0;
+  for (double v : importance) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(importance[0], importance[2]);
+}
+
+TEST(TrainTestSplitTest, PartitionsAndIsDeterministic) {
+  auto all = LinearPairs(100, 0.0, 16);
+  std::vector<PairExample> train1, test1, train2, test2;
+  TrainTestSplit(all, 0.6, 99, &train1, &test1);
+  TrainTestSplit(all, 0.6, 99, &train2, &test2);
+  EXPECT_EQ(train1.size(), static_cast<size_t>(0.6 * all.size()));
+  EXPECT_EQ(train1.size() + test1.size(), all.size());
+  ASSERT_EQ(train1.size(), train2.size());
+  for (size_t i = 0; i < train1.size(); ++i) {
+    EXPECT_EQ(train1[i].label, train2[i].label);
+  }
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace vegaplus

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "benchdata/templates.h"
+#include "benchdata/workload.h"
+#include "optimizer/comparator.h"
+#include "optimizer/labeler.h"
+#include "optimizer/trainer.h"
+#include "plan/encoder.h"
+
+namespace vegaplus {
+namespace optimizer {
+namespace {
+
+using benchdata::TemplateId;
+
+// A vector with the given (count_vdt, card_vdt, count_aggregate) features.
+std::vector<double> FakeVector(double vdt_count, double vdt_card, double agg_count) {
+  std::vector<double> v(2 * plan::EncodedOpTypes().size(), 0.0);
+  v[static_cast<size_t>(plan::CountFeatureIndex("vdt"))] = vdt_count;
+  v[static_cast<size_t>(plan::CardFeatureIndex("vdt"))] = vdt_card;
+  v[static_cast<size_t>(plan::CountFeatureIndex("aggregate"))] = agg_count;
+  return v;
+}
+
+TEST(HeuristicComparatorTest, RulePriorities) {
+  HeuristicComparator h(0.1);
+  // Rule 1: much smaller fetched cardinality wins.
+  EXPECT_LT(h.Compare(FakeVector(1, 0.1, 0), FakeVector(1, 0.9, 0)), 0);
+  EXPECT_GT(h.Compare(FakeVector(1, 0.9, 0), FakeVector(1, 0.1, 0)), 0);
+  // Within alpha: rule 2 (more client aggregation) decides.
+  EXPECT_LT(h.Compare(FakeVector(1, 0.50, 2), FakeVector(1, 0.55, 1)), 0);
+  // Tie on both: rule 3 (fewer round trips).
+  EXPECT_LT(h.Compare(FakeVector(1, 0.5, 1), FakeVector(3, 0.5, 1)), 0);
+  // Full tie.
+  EXPECT_EQ(h.Compare(FakeVector(1, 0.5, 1), FakeVector(1, 0.5, 1)), 0);
+}
+
+TEST(RandomComparatorTest, RoughlyBalanced) {
+  RandomComparator r(5);
+  int a_wins = 0;
+  auto va = FakeVector(1, 0.2, 1);
+  auto vb = FakeVector(2, 0.8, 0);
+  for (int i = 0; i < 1000; ++i) {
+    if (r.Compare(va, vb) < 0) ++a_wins;
+  }
+  EXPECT_GT(a_wins, 400);
+  EXPECT_LT(a_wins, 600);
+}
+
+TEST(SelectBestPlanTest, CostModelPicksArgmin) {
+  ml::RankSvm svm;
+  // Hand-crafted weights: only card_vdt matters, higher card -> slower.
+  std::vector<ml::PairExample> pairs;
+  for (double gap = 0.1; gap < 0.9; gap += 0.1) {
+    pairs.push_back({FakeVector(1, 0.0, 0), FakeVector(1, gap, 0), 1});
+  }
+  svm.Train(pairs);
+  RankSvmComparator comparator(std::move(svm));
+  std::vector<std::vector<double>> vectors{FakeVector(1, 0.9, 0), FakeVector(1, 0.1, 0),
+                                           FakeVector(1, 0.5, 0)};
+  EXPECT_EQ(SelectBestPlan(comparator, vectors), 1u);
+}
+
+TEST(ConsolidationTest, CostModelIsMagnitudeAware) {
+  // Two plans over three episodes. Plan 0 wins two cheap episodes narrowly;
+  // plan 1 wins one expensive episode massively. A cost model must pick
+  // plan 1; win counting (heuristic-style) picks plan 0 — the §7.4 story.
+  struct FixedCost : PlanComparator {
+    std::string name() const override { return "fixed"; }
+    int Compare(const std::vector<double>& a,
+                const std::vector<double>& b) const override {
+      return a[0] < b[0] ? -1 : (a[0] > b[0] ? 1 : 0);
+    }
+    bool has_cost() const override { return true; }
+    double Cost(const std::vector<double>& v) const override { return v[0]; }
+  };
+  struct WinCount : FixedCost {
+    bool has_cost() const override { return false; }
+    double EpisodeCost(const std::vector<std::vector<double>>& all,
+                       size_t index) const override {
+      size_t wins = 0;
+      for (size_t j = 0; j < all.size(); ++j) {
+        if (j != index && Compare(all[index], all[j]) < 0) ++wins;
+      }
+      return -static_cast<double>(wins);
+    }
+  };
+  std::vector<EpisodeRecord> episodes(3);
+  episodes[0].vectors = {{1.0}, {2.0}};      // plan0 wins by 1
+  episodes[1].vectors = {{1.0}, {2.0}};      // plan0 wins by 1
+  episodes[2].vectors = {{1000.0}, {10.0}};  // plan1 wins by 990
+  EXPECT_EQ(ConsolidateSession(FixedCost(), episodes), 1u);
+  EXPECT_EQ(ConsolidateSession(WinCount(), episodes), 0u);
+}
+
+TEST(ConsolidationTest, EpisodeWeightsApply) {
+  struct FixedCost : PlanComparator {
+    std::string name() const override { return "fixed"; }
+    int Compare(const std::vector<double>& a,
+                const std::vector<double>& b) const override {
+      return a[0] < b[0] ? -1 : 1;
+    }
+    bool has_cost() const override { return true; }
+    double Cost(const std::vector<double>& v) const override { return v[0]; }
+  };
+  std::vector<EpisodeRecord> episodes(2);
+  episodes[0].vectors = {{10.0}, {1.0}};  // plan1 better at init
+  episodes[1].vectors = {{1.0}, {5.0}};   // plan0 better at interaction
+  // Equal weights: totals 11 vs 6 -> plan 1.
+  EXPECT_EQ(ConsolidateSession(FixedCost(), episodes), 1u);
+  // Downweight initial rendering (§5.4): totals 1.1+1=2.1 vs 0.1+5=5.1 -> plan 0.
+  EXPECT_EQ(ConsolidateSession(FixedCost(), episodes, {0.1, 1.0}), 0u);
+}
+
+// ---- Labeler correctness: composed labels vs real execution ----
+
+TEST(SessionLabelerTest, LabelsMatchRealPlanExecution) {
+  auto bc = benchdata::MakeBenchCase(TemplateId::kInteractiveHistogram, "flights",
+                                     8000, 50);
+  ASSERT_TRUE(bc.ok());
+  sql::Engine engine;
+  engine.RegisterTable(bc->dataset.name, bc->dataset.table);
+
+  rewrite::PlanBuilder builder(bc->spec);
+  auto enumeration = plan::EnumeratePlans(builder);
+  SessionLabeler labeler(bc->spec, &engine);
+  ASSERT_TRUE(labeler.Start().ok());
+  auto labels = labeler.LabelEpisode(enumeration.plans);
+  ASSERT_TRUE(labels.ok()) << labels.status();
+
+  // Real executions with caches off (cold semantics, like the labels).
+  runtime::MiddlewareOptions cold;
+  cold.enable_client_cache = false;
+  cold.enable_server_cache = false;
+  for (size_t i = 0; i < enumeration.plans.size(); ++i) {
+    runtime::PlanExecutor executor(bc->spec, &engine, cold);
+    auto cost = executor.Initialize(enumeration.plans[i]);
+    ASSERT_TRUE(cost.ok());
+    double real = cost->total_ms;
+    double label = (*labels)[i];
+    EXPECT_NEAR(label, real, 0.25 * real + 2.0)
+        << "plan " << enumeration.plans[i].Key();
+  }
+  // Crucially, the *ranking* must agree on the extremes.
+  size_t label_best = static_cast<size_t>(
+      std::min_element(labels->begin(), labels->end()) - labels->begin());
+  runtime::PlanExecutor best_exec(bc->spec, &engine, cold);
+  auto best_cost = best_exec.Initialize(enumeration.plans[label_best]);
+  ASSERT_TRUE(best_cost.ok());
+  for (size_t i = 0; i < enumeration.plans.size(); ++i) {
+    if (i == label_best) continue;
+    runtime::PlanExecutor other(bc->spec, &engine, cold);
+    auto other_cost = other.Initialize(enumeration.plans[i]);
+    ASSERT_TRUE(other_cost.ok());
+    EXPECT_LE(best_cost->total_ms, other_cost->total_ms * 1.3);
+  }
+}
+
+TEST(SessionLabelerTest, InteractionEpisodesAreCheaperThanInitial) {
+  auto bc = benchdata::MakeBenchCase(TemplateId::kCrossfilter, "flights", 6000, 51);
+  ASSERT_TRUE(bc.ok());
+  sql::Engine engine;
+  engine.RegisterTable(bc->dataset.name, bc->dataset.table);
+  rewrite::PlanBuilder builder(bc->spec);
+  auto enumeration = plan::EnumeratePlans(builder, 64, 9);
+  SessionLabeler labeler(bc->spec, &engine);
+  ASSERT_TRUE(labeler.Start().ok());
+  auto initial = labeler.LabelEpisode(enumeration.plans);
+  ASSERT_TRUE(initial.ok());
+
+  benchdata::WorkloadGenerator workload(bc->spec, 13);
+  auto interaction = workload.Next();
+  ASSERT_TRUE(labeler.ApplyInteraction(interaction.updates).ok());
+  EXPECT_FALSE(labeler.UpdatedSignals().empty());
+  auto update = labeler.LabelEpisode(enumeration.plans);
+  ASSERT_TRUE(update.ok());
+
+  // A brush re-evaluates only the affected pipelines; gray layers stay put.
+  double init_mean = std::accumulate(initial->begin(), initial->end(), 0.0) /
+                     static_cast<double>(initial->size());
+  double update_mean = std::accumulate(update->begin(), update->end(), 0.0) /
+                       static_cast<double>(update->size());
+  EXPECT_LT(update_mean, init_mean);
+}
+
+TEST(EpisodeCollectorTest, VectorsAndLabelsAligned) {
+  auto bc = benchdata::MakeBenchCase(TemplateId::kInteractiveHistogram, "taxis",
+                                     5000, 52);
+  ASSERT_TRUE(bc.ok());
+  sql::Engine engine;
+  engine.RegisterTable(bc->dataset.name, bc->dataset.table);
+  EpisodeCollector collector(bc->spec, &engine);
+  ASSERT_TRUE(collector.Start().ok());
+  auto initial = collector.Collect();
+  ASSERT_TRUE(initial.ok()) << initial.status();
+  EXPECT_TRUE(initial->is_initial);
+  EXPECT_EQ(initial->vectors.size(), collector.plans().size());
+  EXPECT_EQ(initial->latencies_ms.size(), collector.plans().size());
+
+  benchdata::WorkloadGenerator workload(bc->spec, 3);
+  ASSERT_TRUE(collector.ApplyInteraction(workload.Next().updates).ok());
+  auto ep = collector.Collect();
+  ASSERT_TRUE(ep.ok());
+  EXPECT_FALSE(ep->is_initial);
+}
+
+TEST(EpisodeCollectorTest, TrainedModelsBeatRandom) {
+  // End-to-end §7.3 in miniature: collect episodes, train, measure accuracy.
+  auto bc = benchdata::MakeBenchCase(TemplateId::kOverviewDetail, "flights", 6000, 53);
+  ASSERT_TRUE(bc.ok());
+  sql::Engine engine;
+  engine.RegisterTable(bc->dataset.name, bc->dataset.table);
+  EpisodeCollector collector(bc->spec, &engine);
+  ASSERT_TRUE(collector.Start().ok());
+  std::vector<EpisodeRecord> episodes;
+  auto initial = collector.Collect();
+  ASSERT_TRUE(initial.ok());
+  episodes.push_back(*initial);
+  benchdata::WorkloadGenerator workload(bc->spec, 4);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(collector.ApplyInteraction(workload.Next().updates).ok());
+    auto ep = collector.Collect();
+    ASSERT_TRUE(ep.ok());
+    episodes.push_back(*ep);
+  }
+  auto pairs = MakePairs(episodes, 6000, 1);
+  ASSERT_GT(pairs.size(), 100u);
+  std::vector<ml::PairExample> train, test;
+  ml::TrainTestSplit(pairs, 0.6, 2, &train, &test);
+  ml::RankSvm svm;
+  svm.Train(train);
+  ml::RandomForest forest;
+  forest.Train(train);
+  double svm_acc = ml::PairwiseAccuracy(svm, test);
+  double forest_acc = ml::PairwiseAccuracy(forest, test);
+  EXPECT_GT(svm_acc, 0.62) << "RankSVM barely better than random";
+  EXPECT_GT(forest_acc, 0.68) << "forest barely better than random";
+}
+
+TEST(MakePairsTest, LabelsOrientedByLatency) {
+  EpisodeRecord ep;
+  ep.vectors = {{1.0}, {2.0}};
+  ep.latencies_ms = {10.0, 5.0};
+  auto pairs = MakePairs({ep}, 100, 1);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].label, -1);  // first plan slower
+  // Ties are dropped.
+  ep.latencies_ms = {7.0, 7.0};
+  EXPECT_TRUE(MakePairs({ep}, 100, 1).empty());
+}
+
+}  // namespace
+}  // namespace optimizer
+}  // namespace vegaplus

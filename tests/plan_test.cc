@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "benchdata/templates.h"
+#include "plan/encoder.h"
+#include "plan/enumerator.h"
+
+namespace vegaplus {
+namespace plan {
+namespace {
+
+using benchdata::TemplateId;
+
+TEST(FeatureLayoutTest, IndicesConsistent) {
+  auto names = FeatureNames();
+  EXPECT_EQ(names.size(), 2 * EncodedOpTypes().size());
+  for (const std::string& t : EncodedOpTypes()) {
+    int ci = CountFeatureIndex(t);
+    int di = CardFeatureIndex(t);
+    ASSERT_GE(ci, 0) << t;
+    ASSERT_GE(di, 0) << t;
+    EXPECT_EQ(names[static_cast<size_t>(ci)], "count_" + t);
+    EXPECT_EQ(names[static_cast<size_t>(di)], "card_" + t);
+  }
+  EXPECT_EQ(CountFeatureIndex("nope"), -1);
+  EXPECT_EQ(CardFeatureIndex("nope"), -1);
+}
+
+TEST(NormalizeTest, MinMaxToUnitRange) {
+  size_t n = EncodedOpTypes().size();
+  std::vector<std::vector<double>> vectors(3, std::vector<double>(2 * n, 0));
+  vectors[0][n] = 10;
+  vectors[1][n] = 20;
+  vectors[2][n] = 30;
+  NormalizeCardinalityFeatures(&vectors);
+  EXPECT_DOUBLE_EQ(vectors[0][n], 0.0);
+  EXPECT_DOUBLE_EQ(vectors[1][n], 0.5);
+  EXPECT_DOUBLE_EQ(vectors[2][n], 1.0);
+  // Count features untouched.
+  EXPECT_DOUBLE_EQ(vectors[0][0], 0.0);
+}
+
+class EncoderFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto bc = benchdata::MakeBenchCase(TemplateId::kInteractiveHistogram, "flights",
+                                       4000, 5);
+    ASSERT_TRUE(bc.ok());
+    bc_ = std::make_unique<benchdata::BenchCase>(*bc);
+    engine_.RegisterTable(bc_->dataset.name, bc_->dataset.table);
+    builder_ = std::make_unique<rewrite::PlanBuilder>(bc_->spec);
+    enumeration_ = EnumeratePlans(*builder_);
+    for (const auto& s : bc_->spec.signals) {
+      signals_.Set(s.name, expr::EvalValue::FromJson(s.init), 0);
+    }
+    // The bin transform reads the extent signal; give it a plausible value.
+    signals_.Set("x_extent",
+                 expr::EvalValue::Array({data::Value::Double(0),
+                                         data::Value::Double(100)}),
+                 0);
+  }
+  std::unique_ptr<benchdata::BenchCase> bc_;
+  sql::Engine engine_;
+  std::unique_ptr<rewrite::PlanBuilder> builder_;
+  EnumerationResult enumeration_;
+  dataflow::SignalRegistry signals_;
+};
+
+TEST_F(EncoderFixture, VectorsDiscriminatePlans) {
+  PlanEncoder encoder(*builder_, &engine_);
+  auto vectors = encoder.EncodePlans(enumeration_.plans, signals_);
+  ASSERT_EQ(vectors.size(), enumeration_.plans.size());
+  std::set<std::vector<double>> distinct(vectors.begin(), vectors.end());
+  EXPECT_EQ(distinct.size(), vectors.size()) << "plans must encode distinctly";
+}
+
+TEST_F(EncoderFixture, PushdownHasFewerClientOpsAndSmallerFetch) {
+  PlanEncoder encoder(*builder_, &engine_);
+  auto vectors = encoder.EncodePlans(enumeration_.plans, signals_);
+  size_t all_client = 0, pushdown = 0;
+  for (size_t i = 0; i < enumeration_.plans.size(); ++i) {
+    if (enumeration_.plans[i] == builder_->AllClientPlan()) all_client = i;
+    if (enumeration_.plans[i] == builder_->FullPushdownPlan()) pushdown = i;
+  }
+  int agg = CountFeatureIndex("aggregate");
+  int vdt_card = CardFeatureIndex("vdt");
+  EXPECT_GT(vectors[all_client][static_cast<size_t>(agg)],
+            vectors[pushdown][static_cast<size_t>(agg)]);
+  // All-client fetches raw rows (max normalized card); pushdown fetches the
+  // aggregated histogram (min).
+  EXPECT_DOUBLE_EQ(vectors[all_client][static_cast<size_t>(vdt_card)], 1.0);
+  EXPECT_DOUBLE_EQ(vectors[pushdown][static_cast<size_t>(vdt_card)], 0.0);
+}
+
+TEST_F(EncoderFixture, EpisodeVectorsShrinkForPartialUpdates) {
+  PlanEncoder encoder(*builder_, &engine_);
+  auto initial = encoder.EncodePlans(enumeration_.plans, signals_);
+  // maxbins touches bin+aggregate but not extent.
+  auto episode = encoder.EncodeEpisode(enumeration_.plans, signals_, {"maxbins"});
+  int sig_count = CountFeatureIndex("vdt_signal");
+  int ext_count = CountFeatureIndex("extent");
+  for (size_t i = 0; i < initial.size(); ++i) {
+    EXPECT_LE(episode[i][static_cast<size_t>(sig_count)],
+              initial[i][static_cast<size_t>(sig_count)]);
+    EXPECT_LE(episode[i][static_cast<size_t>(ext_count)],
+              initial[i][static_cast<size_t>(ext_count)]);
+  }
+  // The all-client plan's extent op must not re-evaluate on a maxbins move.
+  size_t all_client = 0;
+  for (size_t i = 0; i < enumeration_.plans.size(); ++i) {
+    if (enumeration_.plans[i] == builder_->AllClientPlan()) all_client = i;
+  }
+  EXPECT_DOUBLE_EQ(episode[all_client][static_cast<size_t>(ext_count)], 0.0);
+}
+
+TEST(EnumeratorTest, CountsMatchConstraints) {
+  auto bc = benchdata::MakeBenchCase(TemplateId::kInteractiveHistogram, "movies",
+                                     500, 2);
+  ASSERT_TRUE(bc.ok());
+  rewrite::PlanBuilder builder(bc->spec);
+  auto e = EnumeratePlans(builder);
+  // Histogram: source entry (0 transforms) x binned entry (3 rewritable) ->
+  // 4 plans.
+  EXPECT_EQ(e.total_space, 4u);
+  EXPECT_FALSE(e.truncated);
+  for (const auto& p : e.plans) {
+    EXPECT_TRUE(builder.Validate(p).ok()) << p.Key();
+  }
+}
+
+TEST(EnumeratorTest, SamplingKeepsAnchorsAndBound) {
+  auto bc = benchdata::MakeBenchCase(TemplateId::kCrossfilter, "flights", 500, 3);
+  ASSERT_TRUE(bc.ok());
+  rewrite::PlanBuilder builder(bc->spec);
+  auto e = EnumeratePlans(builder, 50, 7);
+  EXPECT_TRUE(e.truncated);
+  EXPECT_EQ(e.plans.size(), 50u);
+  EXPECT_GT(e.total_space, 50u);
+  bool has_client = false, has_pushdown = false;
+  for (const auto& p : e.plans) {
+    if (p == builder.AllClientPlan()) has_client = true;
+    if (p == builder.FullPushdownPlan()) has_pushdown = true;
+    EXPECT_TRUE(builder.Validate(p).ok());
+  }
+  EXPECT_TRUE(has_client);
+  EXPECT_TRUE(has_pushdown);
+}
+
+TEST(EnumeratorTest, ReservedParentBlocksChildRewrites) {
+  // Heatmap+Bar: both pipelines hang off an unreserved root, so splits flow;
+  // but a spec whose intermediate entry is scale-referenced pins children.
+  const char* spec_json = R"({
+    "data": [
+      {"name": "source", "table": "t"},
+      {"name": "mid", "source": "source", "transform": [
+        {"type": "filter", "expr": "datum.x > 0"}]},
+      {"name": "leaf", "source": "mid", "transform": [
+        {"type": "aggregate", "groupby": ["g"], "ops": ["count"],
+         "fields": [null], "as": ["count"]}]}
+    ],
+    "scales": [{"name": "s", "domain": {"data": "mid", "field": "x"}}],
+    "marks": [{"type": "rect", "from": {"data": "leaf"}}]
+  })";
+  auto parsed = spec::ParseSpecText(spec_json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  rewrite::PlanBuilder builder(*parsed);
+  auto e = EnumeratePlans(builder);
+  for (const auto& p : e.plans) {
+    // leaf (entry 2) must never rewrite: its parent 'mid' is reserved.
+    EXPECT_EQ(p.splits[2], 0) << p.Key();
+  }
+  // mid itself can still rewrite its filter.
+  EXPECT_EQ(e.total_space, 2u);
+}
+
+TEST(PruningTest, BoundaryKeepsEndpoints) {
+  auto bc = benchdata::MakeBenchCase(TemplateId::kOverviewDetail, "flights", 500, 4);
+  ASSERT_TRUE(bc.ok());
+  rewrite::PlanBuilder builder(bc->spec);
+  auto full = EnumeratePlans(builder);
+  auto pruned = EnumeratePlansPruned(builder, PruningStrategy::kBoundary);
+  EXPECT_LT(pruned.plans.size(), full.plans.size());
+  bool has_client = false, has_pushdown = false;
+  for (const auto& p : pruned.plans) {
+    if (p == builder.AllClientPlan()) has_client = true;
+    if (p == builder.FullPushdownPlan()) has_pushdown = true;
+    for (size_t e = 0; e < p.splits.size(); ++e) {
+      EXPECT_TRUE(p.splits[e] == 0 || p.splits[e] == builder.max_splits()[e]);
+    }
+  }
+  EXPECT_TRUE(has_client);
+  EXPECT_TRUE(has_pushdown);
+}
+
+TEST(PruningTest, CardinalityThresholdDropsRawFetchesAtScale) {
+  auto bc = benchdata::MakeBenchCase(TemplateId::kInteractiveHistogram, "flights",
+                                     20000, 5);
+  ASSERT_TRUE(bc.ok());
+  sql::Engine engine;
+  engine.RegisterTable(bc->dataset.name, bc->dataset.table);
+  rewrite::PlanBuilder builder(bc->spec);
+  auto pruned = EnumeratePlansPruned(builder, PruningStrategy::kCardinalityThreshold,
+                                     &engine, 2.0);
+  ASSERT_FALSE(pruned.plans.empty());
+  // The all-client plan fetches 20k raw rows; the pushdown plan fetches a
+  // ~10-row histogram — with factor 2 the raw fetch must be gone.
+  for (const auto& p : pruned.plans) {
+    EXPECT_FALSE(p == builder.AllClientPlan()) << p.Key();
+  }
+}
+
+}  // namespace
+}  // namespace plan
+}  // namespace vegaplus

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "benchdata/templates.h"
+#include "benchdata/workload.h"
+#include "runtime/cache.h"
+#include "runtime/middleware.h"
+#include "runtime/plan_executor.h"
+
+namespace vegaplus {
+namespace runtime {
+namespace {
+
+using benchdata::TemplateId;
+
+data::TablePtr TinyTable(int rows) {
+  data::Schema schema({{"v", data::DataType::kFloat64}});
+  data::TableBuilder builder(schema);
+  for (int i = 0; i < rows; ++i) builder.AppendRow({data::Value::Double(i)});
+  return builder.Build();
+}
+
+TEST(QueryCacheTest, HitMissAndFifoEviction) {
+  QueryCache cache(2, 1000);
+  data::TablePtr out;
+  EXPECT_FALSE(cache.Get("q1", &out));
+  cache.Put("q1", TinyTable(1));
+  cache.Put("q2", TinyTable(2));
+  EXPECT_TRUE(cache.Get("q1", &out));
+  cache.Put("q3", TinyTable(3));  // evicts q1 (FIFO, not LRU)
+  EXPECT_FALSE(cache.Get("q1", &out));
+  EXPECT_TRUE(cache.Get("q2", &out));
+  EXPECT_TRUE(cache.Get("q3", &out));
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(QueryCacheTest, SizeThresholdBlocksLargeResults) {
+  QueryCache cache(4, 10);
+  cache.Put("big", TinyTable(11));
+  data::TablePtr out;
+  EXPECT_FALSE(cache.Get("big", &out));
+  cache.Put("small", TinyTable(10));
+  EXPECT_TRUE(cache.Get("small", &out));
+}
+
+TEST(QueryCacheTest, DuplicatePutIgnored) {
+  QueryCache cache(2, 100);
+  cache.Put("q", TinyTable(1));
+  cache.Put("q", TinyTable(2));
+  data::TablePtr out;
+  ASSERT_TRUE(cache.Get("q", &out));
+  EXPECT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(QueryCacheTest, ZeroCapacityNeverStores) {
+  QueryCache cache(0, 100);
+  cache.Put("q", TinyTable(1));
+  data::TablePtr out;
+  EXPECT_FALSE(cache.Get("q", &out));
+}
+
+class MiddlewareTest : public ::testing::Test {
+ protected:
+  void SetUp() override { engine_.RegisterTable("t", TinyTable(500)); }
+  sql::Engine engine_;
+};
+
+TEST_F(MiddlewareTest, CacheTiersReduceLatency) {
+  Middleware mw(&engine_, {});
+  auto first = mw.Execute("SELECT * FROM t WHERE v < 100");
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->source, rewrite::QueryResponse::Source::kDbms);
+  auto second = mw.Execute("SELECT * FROM t WHERE v < 100");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->source, rewrite::QueryResponse::Source::kClientCache);
+  EXPECT_LT(second->latency_millis, first->latency_millis);
+  EXPECT_EQ(mw.stats().queries, 2u);
+  EXPECT_EQ(mw.stats().dbms_executions, 1u);
+  EXPECT_EQ(mw.stats().client_cache_hits, 1u);
+}
+
+TEST_F(MiddlewareTest, ServerCacheTierWhenClientCacheDisabled) {
+  MiddlewareOptions options;
+  options.enable_client_cache = false;
+  Middleware mw(&engine_, options);
+  ASSERT_TRUE(mw.Execute("SELECT COUNT(*) AS c FROM t").ok());
+  auto second = mw.Execute("SELECT COUNT(*) AS c FROM t");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->source, rewrite::QueryResponse::Source::kServerCache);
+  // Server hits still pay the round trip.
+  EXPECT_GE(second->latency_millis, mw.options().latency.round_trip_ms);
+}
+
+TEST_F(MiddlewareTest, BadSqlPropagatesError) {
+  Middleware mw(&engine_, {});
+  EXPECT_FALSE(mw.Execute("SELECT FROM WHERE").ok());
+  EXPECT_FALSE(mw.Execute("SELECT * FROM missing_table").ok());
+}
+
+TEST_F(MiddlewareTest, BinaryEncodingCheaperThanJson) {
+  MiddlewareOptions binary;
+  MiddlewareOptions json_opts;
+  json_opts.binary_encoding = false;
+  Middleware mw_bin(&engine_, binary);
+  Middleware mw_json(&engine_, json_opts);
+  auto b = mw_bin.Execute("SELECT * FROM t");
+  auto j = mw_json.Execute("SELECT * FROM t");
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(j.ok());
+  EXPECT_LT(b->bytes, j->bytes);
+  EXPECT_LT(b->latency_millis, j->latency_millis);
+}
+
+TEST(LatencyModelTest, Monotonicity) {
+  LatencyParams p;
+  EXPECT_GT(ServerComputeMillis(1000000, 3, p), ServerComputeMillis(1000, 3, p));
+  EXPECT_GT(ClientComputeMillis(1000, 2, p), ServerComputeMillis(1000, 2, p) -
+                                                 p.per_query_overhead_ms);
+  EXPECT_GT(TransferMillis(1 << 20, true, p), p.round_trip_ms);
+  EXPECT_GT(TransferMillis(1 << 20, false, p), TransferMillis(1 << 20, true, p));
+}
+
+TEST(BaselineTest, VegaFusionBeatsVegaAtScaleOnInit) {
+  auto bc = benchdata::MakeBenchCase(TemplateId::kInteractiveHistogram, "flights",
+                                     30000, 21);
+  ASSERT_TRUE(bc.ok());
+  sql::Engine engine;
+  engine.RegisterTable(bc->dataset.name, bc->dataset.table);
+  std::map<std::string, data::TablePtr> tables{{bc->dataset.name, bc->dataset.table}};
+
+  VegaBaselineExecutor vega(bc->spec, tables);
+  auto vega_init = vega.Initialize();
+  ASSERT_TRUE(vega_init.ok()) << vega_init.status();
+
+  VegaFusionBaselineExecutor fusion(bc->spec, &engine, {});
+  auto fusion_init = fusion.Initialize();
+  ASSERT_TRUE(fusion_init.ok()) << fusion_init.status();
+
+  // Histogram aggregates to a handful of rows server-side; full pushdown
+  // must beat shipping + binning 30k rows in the "browser".
+  EXPECT_LT(fusion_init->total_ms, vega_init->total_ms);
+}
+
+TEST(BaselineTest, BaselinesAgreeOnVisualizationData) {
+  auto bc = benchdata::MakeBenchCase(TemplateId::kOverviewDetail, "taxis", 4000, 33);
+  ASSERT_TRUE(bc.ok());
+  sql::Engine engine;
+  engine.RegisterTable(bc->dataset.name, bc->dataset.table);
+  std::map<std::string, data::TablePtr> tables{{bc->dataset.name, bc->dataset.table}};
+
+  VegaBaselineExecutor vega(bc->spec, tables);
+  ASSERT_TRUE(vega.Initialize().ok());
+  VegaFusionBaselineExecutor fusion(bc->spec, &engine, {});
+  ASSERT_TRUE(fusion.Initialize().ok());
+
+  benchdata::WorkloadGenerator workload(bc->spec, 5);
+  for (int i = 0; i < 4; ++i) {
+    auto interaction = workload.Next();
+    ASSERT_TRUE(vega.Interact(interaction.updates).ok()) << interaction.description;
+    ASSERT_TRUE(fusion.Interact(interaction.updates).ok()) << interaction.description;
+  }
+  for (const auto& m : bc->spec.marks) {
+    data::TablePtr a = vega.EntryOutput(m.from_data);
+    data::TablePtr b = fusion.EntryOutput(m.from_data);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->num_rows(), b->num_rows()) << m.from_data;
+  }
+}
+
+TEST(PlanExecutorTest, InteractBeforeInitializeFails) {
+  auto bc = benchdata::MakeBenchCase(TemplateId::kInteractiveHistogram, "movies", 500, 2);
+  ASSERT_TRUE(bc.ok());
+  sql::Engine engine;
+  engine.RegisterTable(bc->dataset.name, bc->dataset.table);
+  PlanExecutor executor(bc->spec, &engine, {});
+  EXPECT_FALSE(executor.Interact({{"maxbins", expr::EvalValue::Number(7)}}).ok());
+}
+
+TEST(PlanExecutorTest, CachesMakeRepeatInteractionsCheaper) {
+  auto bc = benchdata::MakeBenchCase(TemplateId::kInteractiveHistogram, "flights",
+                                     20000, 77);
+  ASSERT_TRUE(bc.ok());
+  sql::Engine engine;
+  engine.RegisterTable(bc->dataset.name, bc->dataset.table);
+  PlanExecutor executor(bc->spec, &engine, {});
+  rewrite::PlanBuilder builder(bc->spec);
+  ASSERT_TRUE(executor.Initialize(builder.FullPushdownPlan()).ok());
+  std::vector<SignalUpdate> u1{{"maxbins", expr::EvalValue::Number(30)}};
+  std::vector<SignalUpdate> u2{{"maxbins", expr::EvalValue::Number(10)}};
+  auto first = executor.Interact(u1);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(executor.Interact(u2).ok());
+  auto repeat = executor.Interact(u1);  // identical query -> client cache
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_LT(repeat->external_ms, first->external_ms);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace vegaplus

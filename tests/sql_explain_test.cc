@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "expr/parser.h"
+#include "sql/engine.h"
+
+namespace vegaplus {
+namespace sql {
+namespace {
+
+using data::DataType;
+using data::Schema;
+using data::Value;
+
+class SqlExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema schema({{"v", DataType::kFloat64}, {"cat", DataType::kString}});
+    data::TableBuilder builder(schema);
+    Rng rng(1);
+    const char* cats[] = {"a", "b", "c", "d"};
+    for (int i = 0; i < 10000; ++i) {
+      builder.AppendRow({Value::Double(rng.Uniform(0, 100)),
+                         Value::String(cats[rng.Index(4)])});
+    }
+    engine_.RegisterTable("t", builder.Build());
+  }
+
+  EstimatedPlan Explain(const std::string& sql) {
+    auto r = engine_.Explain(sql);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r.ok() ? *r : EstimatedPlan{};
+  }
+
+  Engine engine_;
+};
+
+TEST_F(SqlExplainTest, ScanEstimatesFullTable) {
+  EstimatedPlan est = Explain("SELECT * FROM t");
+  EXPECT_DOUBLE_EQ(est.input_rows, 10000.0);
+  EXPECT_DOUBLE_EQ(est.output_rows, 10000.0);
+}
+
+TEST_F(SqlExplainTest, RangeSelectivityUsesExtent) {
+  // v is uniform on [0,100]; WHERE v < 25 should estimate ~25%.
+  EstimatedPlan est = Explain("SELECT * FROM t WHERE v < 25");
+  EXPECT_NEAR(est.output_rows / est.input_rows, 0.25, 0.05);
+  EstimatedPlan rev = Explain("SELECT * FROM t WHERE 25 > v");
+  EXPECT_NEAR(rev.output_rows / rev.input_rows, 0.25, 0.05);
+}
+
+TEST_F(SqlExplainTest, EqualityUsesDistinctCount) {
+  EstimatedPlan est = Explain("SELECT * FROM t WHERE cat = 'a'");
+  EXPECT_NEAR(est.output_rows / est.input_rows, 0.25, 0.01);  // 4 distinct
+}
+
+TEST_F(SqlExplainTest, ConjunctionMultiplies) {
+  EstimatedPlan est = Explain("SELECT * FROM t WHERE v < 50 AND cat = 'a'");
+  EXPECT_NEAR(est.output_rows / est.input_rows, 0.5 * 0.25, 0.03);
+}
+
+TEST_F(SqlExplainTest, GroupByCategoricalEstimatesDistinct) {
+  EstimatedPlan est = Explain("SELECT cat, COUNT(*) AS c FROM t GROUP BY cat");
+  EXPECT_DOUBLE_EQ(est.output_rows, 4.0);
+}
+
+TEST_F(SqlExplainTest, LimitCaps) {
+  EstimatedPlan est = Explain("SELECT * FROM t LIMIT 7");
+  EXPECT_DOUBLE_EQ(est.output_rows, 7.0);
+}
+
+TEST_F(SqlExplainTest, UnknownTableEstimatesEmpty) {
+  EstimatedPlan est = Explain("SELECT * FROM missing");
+  EXPECT_DOUBLE_EQ(est.input_rows, 0.0);
+  EXPECT_DOUBLE_EQ(est.output_rows, 0.0);
+}
+
+TEST_F(SqlExplainTest, CostGrowsWithWork) {
+  double scan = Explain("SELECT * FROM t").cost;
+  double filtered = Explain("SELECT * FROM t WHERE v < 50").cost;
+  double grouped = Explain("SELECT cat, COUNT(*) AS c FROM t GROUP BY cat").cost;
+  double sorted = Explain("SELECT * FROM t ORDER BY v").cost;
+  EXPECT_GT(filtered, scan * 0.9);
+  EXPECT_GT(grouped, scan * 0.9);
+  EXPECT_GT(sorted, scan);  // sort adds n log n
+}
+
+TEST_F(SqlExplainTest, EstimateVsActualWithinFactor) {
+  // The estimator should be within ~2x of the truth on easy predicates
+  // (uniform data, single-column ranges).
+  const char* queries[] = {
+      "SELECT * FROM t WHERE v < 10",
+      "SELECT * FROM t WHERE v >= 90",
+      "SELECT * FROM t WHERE cat = 'b'",
+      "SELECT cat, COUNT(*) AS c FROM t GROUP BY cat",
+  };
+  for (const char* q : queries) {
+    auto actual = engine_.Query(q);
+    ASSERT_TRUE(actual.ok());
+    EstimatedPlan est = Explain(q);
+    double truth = static_cast<double>(actual->table->num_rows());
+    EXPECT_LE(est.output_rows, truth * 2 + 10) << q;
+    EXPECT_GE(est.output_rows, truth / 2 - 10) << q;
+  }
+}
+
+TEST(SelectivityTest, NotInverts) {
+  auto pred = *expr::ParseExpression("datum.x > 0");
+  auto not_pred = expr::Node::Unary(expr::UnaryOp::kNot, pred);
+  double s = EstimateSelectivity(pred, nullptr);
+  double ns = EstimateSelectivity(not_pred, nullptr);
+  EXPECT_NEAR(s + ns, 1.0, 1e-9);
+}
+
+TEST(SelectivityTest, OrUnion) {
+  auto pred = *expr::ParseExpression("datum.x > 0 || datum.y > 0");
+  double s = EstimateSelectivity(pred, nullptr);
+  EXPECT_GT(s, 0.33);
+  EXPECT_LE(s, 1.0);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace vegaplus

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "sql/sql_parser.h"
+
+namespace vegaplus {
+namespace sql {
+namespace {
+
+SelectPtr MustParse(const std::string& text) {
+  auto r = ParseSql(text);
+  EXPECT_TRUE(r.ok()) << r.status() << " for: " << text;
+  return r.ok() ? *r : nullptr;
+}
+
+TEST(SqlParserTest, MinimalSelect) {
+  SelectPtr s = MustParse("SELECT * FROM flights");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->items.size(), 1u);
+  EXPECT_EQ(s->items[0].kind, SelectItem::Kind::kStar);
+  EXPECT_EQ(s->from.table_name, "flights");
+}
+
+TEST(SqlParserTest, CaseInsensitiveKeywords) {
+  EXPECT_NE(MustParse("select * from t where x > 1 order by x desc limit 5"), nullptr);
+}
+
+TEST(SqlParserTest, ColumnsAndAliases) {
+  SelectPtr s = MustParse("SELECT a, b AS bee, a + 1 plus FROM t");
+  ASSERT_EQ(s->items.size(), 3u);
+  EXPECT_EQ(DeriveItemName(s->items[0], 0), "a");
+  EXPECT_EQ(DeriveItemName(s->items[1], 1), "bee");
+  EXPECT_EQ(DeriveItemName(s->items[2], 2), "plus");
+}
+
+TEST(SqlParserTest, Aggregates) {
+  SelectPtr s = MustParse(
+      "SELECT origin, COUNT(*) AS cnt, SUM(delay) AS total, AVG(delay), MIN(delay), "
+      "MAX(delay), MEDIAN(delay), STDDEV(delay) FROM flights GROUP BY origin");
+  ASSERT_EQ(s->items.size(), 8u);
+  EXPECT_EQ(s->items[1].kind, SelectItem::Kind::kAggregate);
+  EXPECT_EQ(s->items[1].agg_op, AggOp::kCount);
+  EXPECT_EQ(s->items[1].agg_arg, nullptr);
+  EXPECT_EQ(s->items[2].agg_op, AggOp::kSum);
+  EXPECT_EQ(s->items[7].agg_op, AggOp::kStddev);
+  ASSERT_EQ(s->group_by.size(), 1u);
+}
+
+TEST(SqlParserTest, AggregateNamesDerive) {
+  SelectPtr s = MustParse("SELECT COUNT(*), SUM(delay) FROM t");
+  EXPECT_EQ(DeriveItemName(s->items[0], 0), "count");
+  EXPECT_EQ(DeriveItemName(s->items[1], 1), "sum_delay");
+}
+
+TEST(SqlParserTest, WhereDesugaring) {
+  SelectPtr s = MustParse(
+      "SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b IS NOT NULL AND c IN ('x','y') "
+      "AND NOT d >= 2");
+  ASSERT_NE(s->where, nullptr);
+  // Round-trip through the unparser must preserve the desugared forms.
+  std::string sql = ToSql(*s);
+  EXPECT_NE(sql.find("a >= 1"), std::string::npos);
+  EXPECT_NE(sql.find("a <= 5"), std::string::npos);
+  EXPECT_NE(sql.find("b IS NOT NULL"), std::string::npos);
+  EXPECT_NE(sql.find("c = 'x'"), std::string::npos);
+  EXPECT_NE(sql.find("OR"), std::string::npos);
+}
+
+TEST(SqlParserTest, IsNullForms) {
+  SelectPtr s = MustParse("SELECT * FROM t WHERE a IS NULL");
+  std::string sql = ToSql(*s);
+  EXPECT_NE(sql.find("NOT (a IS NOT NULL)"), std::string::npos);
+}
+
+TEST(SqlParserTest, CaseExpression) {
+  SelectPtr s = MustParse(
+      "SELECT CASE WHEN x > 0 THEN 'pos' WHEN x < 0 THEN 'neg' ELSE 'zero' END AS sign "
+      "FROM t");
+  ASSERT_EQ(s->items.size(), 1u);
+  std::string sql = ToSql(*s);
+  EXPECT_NE(sql.find("CASE WHEN"), std::string::npos);
+  EXPECT_NE(sql.find("'zero'"), std::string::npos);
+}
+
+TEST(SqlParserTest, Subquery) {
+  SelectPtr s = MustParse(
+      "SELECT origin, COUNT(*) AS cnt FROM (SELECT * FROM flights WHERE delay > 10) "
+      "AS filtered GROUP BY origin");
+  ASSERT_NE(s->from.subquery, nullptr);
+  EXPECT_EQ(s->from.alias, "filtered");
+  EXPECT_EQ(s->from.subquery->from.table_name, "flights");
+}
+
+TEST(SqlParserTest, NestedSubqueries) {
+  SelectPtr s = MustParse(
+      "SELECT * FROM (SELECT * FROM (SELECT * FROM t) AS a) AS b LIMIT 3");
+  ASSERT_NE(s->from.subquery, nullptr);
+  ASSERT_NE(s->from.subquery->from.subquery, nullptr);
+  EXPECT_EQ(s->limit, 3);
+}
+
+TEST(SqlParserTest, WindowFunctions) {
+  SelectPtr s = MustParse(
+      "SELECT g, SUM(v) OVER (PARTITION BY g ORDER BY o) AS running, "
+      "ROW_NUMBER() OVER (ORDER BY o DESC) AS rn FROM t");
+  ASSERT_EQ(s->items.size(), 3u);
+  EXPECT_EQ(s->items[1].kind, SelectItem::Kind::kWindow);
+  EXPECT_EQ(s->items[1].window.op, WindowOp::kSum);
+  ASSERT_EQ(s->items[1].window.partition_by.size(), 1u);
+  ASSERT_EQ(s->items[1].window.order_by.size(), 1u);
+  EXPECT_EQ(s->items[2].window.op, WindowOp::kRowNumber);
+  EXPECT_TRUE(s->items[2].window.order_by[0].descending);
+}
+
+TEST(SqlParserTest, OrderLimitOffset) {
+  SelectPtr s = MustParse("SELECT * FROM t ORDER BY a, b DESC LIMIT 10 OFFSET 5");
+  ASSERT_EQ(s->order_by.size(), 2u);
+  EXPECT_FALSE(s->order_by[0].descending);
+  EXPECT_TRUE(s->order_by[1].descending);
+  EXPECT_EQ(s->limit, 10);
+  EXPECT_EQ(s->offset, 5);
+}
+
+TEST(SqlParserTest, QuotedIdentifiers) {
+  SelectPtr s = MustParse("SELECT \"weird col\" FROM \"my table\"");
+  EXPECT_EQ(s->from.table_name, "my table");
+  EXPECT_EQ(DeriveItemName(s->items[0], 0), "weird col");
+}
+
+TEST(SqlParserTest, FunctionsAndDateParts) {
+  SelectPtr s = MustParse(
+      "SELECT FLOOR((delay - 1) / 5) * 5 AS bin0, DATE_TRUNC('month', ts) AS m, "
+      "YEAR(ts) AS y FROM t");
+  ASSERT_EQ(s->items.size(), 3u);
+  std::string sql = ToSql(*s);
+  EXPECT_NE(sql.find("FLOOR"), std::string::npos);
+  EXPECT_NE(sql.find("DATE_TRUNC('month', ts)"), std::string::npos);
+  EXPECT_NE(sql.find("YEAR(ts)"), std::string::npos);
+}
+
+TEST(SqlParserTest, ModBothForms) {
+  EXPECT_NE(MustParse("SELECT a % 2 FROM t"), nullptr);
+  EXPECT_NE(MustParse("SELECT MOD(a, 2) FROM t"), nullptr);
+}
+
+TEST(SqlParserTest, Having) {
+  SelectPtr s = MustParse(
+      "SELECT origin, COUNT(*) AS cnt FROM t GROUP BY origin HAVING cnt > 5");
+  ASSERT_NE(s->having, nullptr);
+}
+
+TEST(SqlParserTest, Errors) {
+  EXPECT_FALSE(ParseSql("").ok());
+  EXPECT_FALSE(ParseSql("SELECT").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t GROUP BY").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t LIMIT x").ok());
+  EXPECT_FALSE(ParseSql("SELECT nosuchfunc(a) FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t extra garbage ;;").ok());
+  EXPECT_FALSE(ParseSql("SELECT AVG(*) FROM t").ok());  // '*' only for COUNT
+  EXPECT_FALSE(ParseSql("SELECT a FROM t WHERE SUM(a) > 1").ok());  // agg in scalar
+}
+
+TEST(SqlUnparseTest, RoundTripStability) {
+  const char* queries[] = {
+      "SELECT * FROM flights WHERE delay > 10",
+      "SELECT origin, COUNT(*) AS cnt FROM flights GROUP BY origin ORDER BY cnt DESC "
+      "LIMIT 10",
+      "SELECT FLOOR(delay / 5) * 5 AS bin0, COUNT(*) AS count FROM (SELECT * FROM "
+      "flights WHERE delay BETWEEN 0 AND 100) AS f GROUP BY FLOOR(delay / 5) * 5",
+      "SELECT g, SUM(v) OVER (PARTITION BY g ORDER BY o) AS run FROM t",
+  };
+  for (const char* q : queries) {
+    SelectPtr once = MustParse(q);
+    ASSERT_NE(once, nullptr);
+    std::string sql1 = ToSql(*once);
+    SelectPtr twice = MustParse(sql1);
+    ASSERT_NE(twice, nullptr) << sql1;
+    EXPECT_EQ(sql1, ToSql(*twice)) << "unparse not a fixed point for: " << q;
+  }
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace vegaplus
