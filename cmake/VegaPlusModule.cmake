@@ -1,0 +1,32 @@
+# Helper for declaring one static library per src/ subsystem.
+#
+#   vegaplus_add_module(<name>
+#     SOURCES <files...>
+#     [DEPS <other module names...>])
+#
+# Creates target vegaplus_<name> with alias vegaplus::<name>, exports the
+# repo-root `src/` include directory (headers are included as
+# "common/status.h" etc.), and links the listed module dependencies
+# PUBLIC so transitive includes resolve for consumers.
+function(vegaplus_add_module name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+
+  set(target vegaplus_${name})
+  add_library(${target} STATIC ${ARG_SOURCES})
+  add_library(vegaplus::${name} ALIAS ${target})
+
+  target_include_directories(${target} PUBLIC "${PROJECT_SOURCE_DIR}/src")
+  target_link_libraries(${target} PRIVATE vegaplus::options)
+
+  foreach(dep IN LISTS ARG_DEPS)
+    target_link_libraries(${target} PUBLIC vegaplus::${dep})
+  endforeach()
+endfunction()
+
+# Convenience: link an executable against modules + shared options.
+function(vegaplus_target_modules target)
+  target_link_libraries(${target} PRIVATE vegaplus::options)
+  foreach(dep IN LISTS ARGN)
+    target_link_libraries(${target} PRIVATE vegaplus::${dep})
+  endforeach()
+endfunction()
