@@ -11,7 +11,10 @@ using namespace vegaplus::bench;  // NOLINT
 
 int main() {
   BenchConfig config = LoadConfig();
+  BenchReporter reporter("ablation_client_speed");
+  reporter.RecordConfig(config);
   const size_t size = config.sizes[config.sizes.size() / 2];
+  reporter.AddMetric("size", json::Value(size));
   std::printf("=== Ablation: client-compute slowdown sweep "
               "(histogram, size=%zu) ===\n\n", size);
   std::printf("%12s %14s %14s %10s\n", "client ns/row", "all-client_ms",
@@ -25,6 +28,7 @@ int main() {
   rewrite::PlanBuilder builder(bc.spec);
 
   for (double ns : {25.0, 50.0, 100.0, 200.0, 400.0, 800.0}) {
+    StopWatch sweep_watch;
     double totals[2];
     rewrite::ExecutionPlan plans[2] = {builder.AllClientPlan(),
                                        builder.FullPushdownPlan()};
@@ -44,6 +48,13 @@ int main() {
     }
     std::printf("%12.0f %14.2f %14.2f %10s\n", ns, totals[0], totals[1],
                 totals[0] < totals[1] ? "client" : "server");
+    json::Value point = json::Value::MakeObject();
+    point.Set("client_ns_per_row", ns);
+    point.Set("all_client_ms", totals[0]);
+    point.Set("pushdown_ms", totals[1]);
+    reporter.AddMetric("ns_" + std::to_string(static_cast<int>(ns)), std::move(point));
+    reporter.AddPhase("sweep_ns_" + std::to_string(static_cast<int>(ns)),
+                      sweep_watch.ElapsedMillis());
   }
   std::printf("\n(the optimizer's value: neither side wins everywhere)\n");
   return 0;

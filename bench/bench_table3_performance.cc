@@ -10,6 +10,8 @@ using namespace vegaplus::bench;  // NOLINT
 
 int main() {
   BenchConfig config = LoadConfig();
+  BenchReporter reporter("table3_performance");
+  reporter.RecordConfig(config);
   std::printf("=== Table 3: picked-plan execution time vs optimal (ms) ===\n\n");
   std::printf("%-14s", "models");
   for (size_t size : config.sizes) std::printf(" %11zu", size);
@@ -18,6 +20,7 @@ int main() {
   // Picked-plan latency summed over templates, per model (+optimal row).
   std::vector<std::vector<double>> table(5, std::vector<double>(config.sizes.size(), 0));
   for (size_t si = 0; si < config.sizes.size(); ++si) {
+    StopWatch size_watch;
     for (benchdata::TemplateId id : benchdata::AllTemplates()) {
       BENCH_ASSIGN(auto run,
                    CollectTemplate(id, DatasetFor(id), config.sizes[si], config));
@@ -37,15 +40,20 @@ int main() {
       for (double v : ep.latencies_ms) best = std::min(best, v);
       table[4][si] += best;
     }
+    reporter.AddPhase("size_" + std::to_string(config.sizes[si]),
+                      size_watch.ElapsedMillis());
   }
 
   const char* names[] = {"RankSVM", "Random Forest", "heuristic", "random", "optimal"};
   for (int m = 0; m < 5; ++m) {
     std::printf("%-14s", names[m]);
+    json::Value row = json::Value::MakeArray();
     for (size_t si = 0; si < config.sizes.size(); ++si) {
       std::printf(" %11.2f", table[static_cast<size_t>(m)][si]);
+      row.Append(json::Value(table[static_cast<size_t>(m)][si]));
     }
     std::printf("\n");
+    reporter.AddMetric(names[m], std::move(row));
   }
   std::printf("\n(sums over the 7 templates; 'optimal' = exhaustive search)\n");
   return 0;

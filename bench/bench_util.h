@@ -8,14 +8,19 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "benchdata/templates.h"
 #include "benchdata/workload.h"
 #include "common/logging.h"
 #include "common/str_util.h"
+#include "common/timer.h"
+#include "json/json_value.h"
+#include "json/json_writer.h"
 #include "optimizer/comparator.h"
 #include "optimizer/trainer.h"
 
@@ -55,6 +60,80 @@ inline BenchConfig LoadConfig() {
   }
   return config;
 }
+
+/// \brief Machine-readable benchmark output: BENCH_<name>.json with the run
+/// config, per-phase wall-clock, and free-form result metrics, so the repo's
+/// perf trajectory is tracked across PRs (CI uploads these as artifacts).
+///
+/// Usage: construct at the top of main(), RecordConfig(), AddPhase()/
+/// AddMetric() as results land. The file is written on destruction (or an
+/// explicit Write()), into $VP_BENCH_JSON_DIR or the working directory.
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string name) : name_(std::move(name)) {
+    root_ = json::Value::MakeObject();
+    root_.Set("bench", name_);
+    phases_ = json::Value::MakeArray();
+    metrics_ = json::Value::MakeObject();
+  }
+  ~BenchReporter() { Write(); }
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  void RecordConfig(const BenchConfig& config) {
+    json::Value c = json::Value::MakeObject();
+    json::Value sizes = json::Value::MakeArray();
+    for (size_t s : config.sizes) sizes.Append(json::Value(s));
+    c.Set("sizes", std::move(sizes));
+    c.Set("sessions", config.sessions);
+    c.Set("interactions", config.interactions);
+    c.Set("max_plans", config.max_plans);
+    c.Set("seed", static_cast<size_t>(config.seed));
+    root_.Set("config", std::move(c));
+  }
+
+  /// Record one timed phase (wall-clock milliseconds), in run order.
+  void AddPhase(const std::string& phase, double wall_ms) {
+    json::Value p = json::Value::MakeObject();
+    p.Set("name", phase);
+    p.Set("wall_ms", wall_ms);
+    phases_.Append(std::move(p));
+  }
+
+  /// Record a free-form result metric (number, string, or nested object).
+  void AddMetric(const std::string& key, json::Value v) {
+    metrics_.Set(key, std::move(v));
+  }
+
+  void Write() {
+    if (written_) return;
+    written_ = true;
+    root_.Set("total_wall_ms", total_.ElapsedMillis());
+    root_.Set("phases", phases_);
+    root_.Set("metrics", metrics_);
+    std::string dir = ".";
+    if (const char* env = std::getenv("VP_BENCH_JSON_DIR"); env != nullptr && env[0]) {
+      dir = env;
+    }
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    out << json::WritePretty(root_) << "\n";
+    out.flush();
+    if (out.good()) {
+      std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "[bench] ERROR: failed to write %s\n", path.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  bool written_ = false;
+  StopWatch total_;
+  json::Value root_;
+  json::Value phases_;
+  json::Value metrics_;
+};
 
 /// Deterministic dataset choice per template (the paper randomly pairs
 /// templates with datasets; we rotate).

@@ -1,5 +1,6 @@
 #include "data/column.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace vegaplus {
@@ -11,9 +12,9 @@ double Column::NumericAt(size_t i) const {
     case DataType::kBool:
     case DataType::kInt64:
     case DataType::kTimestamp:
-      return static_cast<double>(ints_[i]);
+      return static_cast<double>(store_->ints[offset_ + i]);
     case DataType::kFloat64:
-      return doubles_[i];
+      return store_->doubles[offset_ + i];
     default:
       return std::nan("");
   }
@@ -23,13 +24,38 @@ Value Column::ValueAt(size_t i) const {
   if (IsNull(i)) return Value::Null();
   switch (type_) {
     case DataType::kNull: return Value::Null();
-    case DataType::kBool: return Value::Bool(ints_[i] != 0);
-    case DataType::kInt64: return Value::Int(ints_[i]);
-    case DataType::kTimestamp: return Value::Timestamp(ints_[i]);
-    case DataType::kFloat64: return Value::Double(doubles_[i]);
-    case DataType::kString: return Value::String(strings_[i]);
+    case DataType::kBool: return Value::Bool(store_->ints[offset_ + i] != 0);
+    case DataType::kInt64: return Value::Int(store_->ints[offset_ + i]);
+    case DataType::kTimestamp: return Value::Timestamp(store_->ints[offset_ + i]);
+    case DataType::kFloat64: return Value::Double(store_->doubles[offset_ + i]);
+    case DataType::kString: return Value::String(store_->strings[offset_ + i]);
   }
   return Value::Null();
+}
+
+void Column::EnsureMutable() {
+  if (store_.use_count() == 1 && offset_ == 0 &&
+      length_ == store_->validity.size()) {
+    return;
+  }
+  auto fresh = std::make_shared<Storage>();
+  const size_t begin = offset_;
+  const size_t end = offset_ + length_;
+  fresh->validity.assign(store_->validity.begin() + begin,
+                         store_->validity.begin() + end);
+  if (!store_->ints.empty()) {
+    fresh->ints.assign(store_->ints.begin() + begin, store_->ints.begin() + end);
+  }
+  if (!store_->doubles.empty()) {
+    fresh->doubles.assign(store_->doubles.begin() + begin,
+                          store_->doubles.begin() + end);
+  }
+  if (!store_->strings.empty()) {
+    fresh->strings.assign(store_->strings.begin() + begin,
+                          store_->strings.begin() + end);
+  }
+  store_ = std::move(fresh);
+  offset_ = 0;
 }
 
 void Column::Append(const Value& v) {
@@ -74,96 +100,166 @@ void Column::Append(const Value& v) {
 }
 
 void Column::AppendNull() {
-  validity_.push_back(0);
+  EnsureMutable();
+  store_->validity.push_back(0);
   ++null_count_;
+  ++length_;
   switch (type_) {
     case DataType::kBool:
     case DataType::kInt64:
     case DataType::kTimestamp:
-      ints_.push_back(0);
+      store_->ints.push_back(0);
       break;
     case DataType::kFloat64:
-      doubles_.push_back(0.0);
+      store_->doubles.push_back(0.0);
       break;
     case DataType::kString:
-      strings_.emplace_back();
+      store_->strings.emplace_back();
       break;
     case DataType::kNull:
-      ints_.push_back(0);
+      store_->ints.push_back(0);
       break;
   }
 }
 
 void Column::AppendBool(bool v) {
   VP_DCHECK(type_ == DataType::kBool);
-  validity_.push_back(1);
-  ints_.push_back(v ? 1 : 0);
+  EnsureMutable();
+  store_->validity.push_back(1);
+  store_->ints.push_back(v ? 1 : 0);
+  ++length_;
 }
 
 void Column::AppendInt(int64_t v) {
   VP_DCHECK(type_ == DataType::kInt64 || type_ == DataType::kTimestamp);
-  validity_.push_back(1);
-  ints_.push_back(v);
+  EnsureMutable();
+  store_->validity.push_back(1);
+  store_->ints.push_back(v);
+  ++length_;
 }
 
 void Column::AppendDouble(double v) {
   VP_DCHECK(type_ == DataType::kFloat64);
-  validity_.push_back(1);
-  doubles_.push_back(v);
+  EnsureMutable();
+  store_->validity.push_back(1);
+  store_->doubles.push_back(v);
+  ++length_;
 }
 
 void Column::AppendString(std::string v) {
   VP_DCHECK(type_ == DataType::kString);
-  validity_.push_back(1);
-  strings_.push_back(std::move(v));
+  EnsureMutable();
+  store_->validity.push_back(1);
+  store_->strings.push_back(std::move(v));
+  ++length_;
 }
 
 void Column::Reserve(size_t n) {
-  validity_.reserve(n);
+  EnsureMutable();
+  store_->validity.reserve(n);
   switch (type_) {
     case DataType::kBool:
     case DataType::kInt64:
     case DataType::kTimestamp:
     case DataType::kNull:
-      ints_.reserve(n);
+      store_->ints.reserve(n);
       break;
     case DataType::kFloat64:
-      doubles_.reserve(n);
+      store_->doubles.reserve(n);
       break;
     case DataType::kString:
-      strings_.reserve(n);
+      store_->strings.reserve(n);
       break;
   }
 }
 
-Column Column::Take(const std::vector<int32_t>& indices) const {
-  Column out(type_);
-  out.Reserve(indices.size());
-  for (int32_t idx : indices) {
-    size_t i = static_cast<size_t>(idx);
-    if (IsNull(i)) {
-      out.AppendNull();
-      continue;
+Column Column::FromDoubles(std::vector<double> values,
+                           std::vector<uint8_t> validity) {
+  VP_CHECK(validity.empty() || validity.size() == values.size())
+      << "validity/values length mismatch";
+  Column out(DataType::kFloat64);
+  Storage& s = *out.store_;
+  out.length_ = values.size();
+  if (validity.empty()) {
+    s.validity.assign(values.size(), 1);
+  } else {
+    size_t nulls = 0;
+    for (size_t i = 0; i < validity.size(); ++i) {
+      if (validity[i] == 0) {
+        ++nulls;
+        values[i] = 0.0;  // normalize the storage under null cells
+      } else {
+        validity[i] = 1;
+      }
     }
-    switch (type_) {
-      case DataType::kBool:
-        out.AppendBool(ints_[i] != 0);
-        break;
-      case DataType::kInt64:
-      case DataType::kTimestamp:
-        out.AppendInt(ints_[i]);
-        break;
-      case DataType::kFloat64:
-        out.AppendDouble(doubles_[i]);
-        break;
-      case DataType::kString:
-        out.AppendString(strings_[i]);
-        break;
-      case DataType::kNull:
-        out.AppendNull();
-        break;
+    out.null_count_ = nulls;
+    s.validity = std::move(validity);
+  }
+  s.doubles = std::move(values);
+  return out;
+}
+
+Column Column::Take(const std::vector<int32_t>& indices) const {
+  // Bulk gather straight against the storage arrays: no per-element
+  // mutability checks or appends on this hot path.
+  Column out(type_);
+  Storage& s = *out.store_;
+  const size_t m = indices.size();
+  out.length_ = m;
+  s.validity.resize(m);
+  const uint8_t* valid = store_->validity.data() + offset_;
+  size_t nulls = 0;
+  for (size_t j = 0; j < m; ++j) {
+    const uint8_t v = valid[static_cast<size_t>(indices[j])];
+    s.validity[j] = v;
+    nulls += v == 0;
+  }
+  out.null_count_ = nulls;
+  switch (type_) {
+    case DataType::kBool:
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+    case DataType::kNull: {
+      s.ints.resize(m);
+      const int64_t* src = store_->ints.data() + offset_;
+      for (size_t j = 0; j < m; ++j) {
+        s.ints[j] = src[static_cast<size_t>(indices[j])];
+      }
+      break;
+    }
+    case DataType::kFloat64: {
+      s.doubles.resize(m);
+      const double* src = store_->doubles.data() + offset_;
+      for (size_t j = 0; j < m; ++j) {
+        s.doubles[j] = src[static_cast<size_t>(indices[j])];
+      }
+      break;
+    }
+    case DataType::kString: {
+      s.strings.resize(m);
+      const std::string* src = store_->strings.data() + offset_;
+      for (size_t j = 0; j < m; ++j) {
+        if (s.validity[j]) s.strings[j] = src[static_cast<size_t>(indices[j])];
+      }
+      break;
     }
   }
+  return out;
+}
+
+Column Column::Slice(size_t offset, size_t len) const {
+  offset = std::min(offset, length_);
+  len = std::min(len, length_ - offset);
+  Column out(type_);
+  out.store_ = store_;
+  out.offset_ = offset_ + offset;
+  out.length_ = len;
+  size_t nulls = 0;
+  if (null_count_ > 0) {
+    const uint8_t* valid = store_->validity.data() + out.offset_;
+    for (size_t i = 0; i < len; ++i) nulls += valid[i] == 0;
+  }
+  out.null_count_ = nulls;
   return out;
 }
 

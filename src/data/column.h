@@ -1,9 +1,15 @@
 // Column: typed, nullable, append-only storage. Numeric types are stored in
 // native vectors (no boxing); Value is only materialized at cell access.
+//
+// Storage is held behind a shared_ptr so columns can be copied and sliced
+// without duplicating cell data: Slice() returns a view (offset + length)
+// over the same buffers, and plain Column copies share storage until one
+// side mutates (copy-on-write on the first Append after sharing).
 #ifndef VEGAPLUS_DATA_COLUMN_H_
 #define VEGAPLUS_DATA_COLUMN_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,19 +23,25 @@ namespace data {
 /// \brief A single column of a Table.
 class Column {
  public:
-  explicit Column(DataType type = DataType::kNull) : type_(type) {}
+  explicit Column(DataType type = DataType::kNull)
+      : type_(type), store_(std::make_shared<Storage>()) {}
+
+  /// Bulk construction: adopt `values` as a kFloat64 column. `validity` uses
+  /// 1 = present / 0 = null and must be empty (all valid) or values-sized.
+  static Column FromDoubles(std::vector<double> values,
+                            std::vector<uint8_t> validity);
 
   DataType type() const { return type_; }
-  size_t length() const { return validity_.size(); }
+  size_t length() const { return length_; }
 
-  bool IsNull(size_t i) const { return validity_[i] == 0; }
+  bool IsNull(size_t i) const { return store_->validity[offset_ + i] == 0; }
   size_t null_count() const { return null_count_; }
 
   // Typed accessors; caller must ensure the type matches and !IsNull(i).
-  bool BoolAt(size_t i) const { return ints_[i] != 0; }
-  int64_t IntAt(size_t i) const { return ints_[i]; }
-  double DoubleAt(size_t i) const { return doubles_[i]; }
-  const std::string& StringAt(size_t i) const { return strings_[i]; }
+  bool BoolAt(size_t i) const { return store_->ints[offset_ + i] != 0; }
+  int64_t IntAt(size_t i) const { return store_->ints[offset_ + i]; }
+  double DoubleAt(size_t i) const { return store_->doubles[offset_ + i]; }
+  const std::string& StringAt(size_t i) const { return store_->strings[offset_ + i]; }
 
   /// Numeric view of cell i (int/timestamp/bool widen to double); NaN if null
   /// or non-numeric.
@@ -54,20 +66,35 @@ class Column {
   /// Gather: new column containing rows [indices] in order.
   Column Take(const std::vector<int32_t>& indices) const;
 
-  /// Raw storage access for serialization paths.
-  const std::vector<int64_t>& ints() const { return ints_; }
-  const std::vector<double>& doubles() const { return doubles_; }
-  const std::vector<std::string>& strings() const { return strings_; }
-  const std::vector<uint8_t>& validity() const { return validity_; }
+  /// Zero-copy view of rows [offset, offset + len); shares cell storage with
+  /// this column. `offset`/`len` are clamped to the column length.
+  Column Slice(size_t offset, size_t len) const;
+
+  // Raw storage access for serialization and vectorized execution. Pointers
+  // are slice-aware (already offset) and cover length() entries; they stay
+  // valid while any column sharing the storage is alive.
+  const int64_t* ints_data() const { return store_->ints.data() + offset_; }
+  const double* doubles_data() const { return store_->doubles.data() + offset_; }
+  const std::string* strings_data() const { return store_->strings.data() + offset_; }
+  const uint8_t* validity_data() const { return store_->validity.data() + offset_; }
 
  private:
+  struct Storage {
+    std::vector<uint8_t> validity;  // 1 = present, 0 = null
+    // Exactly one of these is populated, chosen by the column type.
+    std::vector<int64_t> ints;          // kBool, kInt64, kTimestamp, kNull
+    std::vector<double> doubles;        // kFloat64
+    std::vector<std::string> strings;   // kString
+  };
+
+  /// Make the storage exclusively owned and un-sliced before a mutation.
+  void EnsureMutable();
+
   DataType type_;
-  std::vector<uint8_t> validity_;  // 1 = present, 0 = null
+  std::shared_ptr<Storage> store_;
+  size_t offset_ = 0;
+  size_t length_ = 0;
   size_t null_count_ = 0;
-  // Exactly one of these is populated, chosen by type_.
-  std::vector<int64_t> ints_;       // kBool, kInt64, kTimestamp
-  std::vector<double> doubles_;     // kFloat64
-  std::vector<std::string> strings_;  // kString
 };
 
 }  // namespace data

@@ -202,12 +202,12 @@ std::string SerializeBinary(const Table& table) {
       case DataType::kInt64:
       case DataType::kTimestamp: {
         PutU64(&out, n * 8);
-        out.append(reinterpret_cast<const char*>(col.ints().data()), n * 8);
+        out.append(reinterpret_cast<const char*>(col.ints_data()), n * 8);
         break;
       }
       case DataType::kFloat64: {
         PutU64(&out, n * 8);
-        out.append(reinterpret_cast<const char*>(col.doubles().data()), n * 8);
+        out.append(reinterpret_cast<const char*>(col.doubles_data()), n * 8);
         break;
       }
       case DataType::kString: {

@@ -38,12 +38,18 @@ TablePtr Table::Take(const std::vector<int32_t>& indices) const {
   return std::make_shared<Table>(schema_, std::move(cols));
 }
 
-TablePtr Table::Head(size_t n) const {
-  n = std::min(n, num_rows_);
-  std::vector<int32_t> idx(n);
-  for (size_t i = 0; i < n; ++i) idx[i] = static_cast<int32_t>(i);
-  return Take(idx);
+TablePtr Table::Slice(size_t offset, size_t len) const {
+  offset = std::min(offset, num_rows_);
+  len = std::min(len, num_rows_ - offset);
+  std::vector<Column> cols;
+  cols.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    cols.push_back(c.Slice(offset, len));
+  }
+  return std::make_shared<Table>(schema_, std::move(cols));
 }
+
+TablePtr Table::Head(size_t n) const { return Slice(0, n); }
 
 std::string Table::ToString(size_t max_rows) const {
   std::ostringstream os;

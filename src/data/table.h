@@ -39,7 +39,11 @@ class Table {
   /// Gather rows (in `indices` order) into a new table.
   TablePtr Take(const std::vector<int32_t>& indices) const;
 
-  /// First `n` rows.
+  /// Zero-copy view of rows [offset, offset + len): the sliced columns share
+  /// cell storage with this table (clamped to the table bounds).
+  TablePtr Slice(size_t offset, size_t len) const;
+
+  /// First `n` rows (zero-copy).
   TablePtr Head(size_t n) const;
 
   /// Human-readable preview (up to `max_rows` rows) for examples/debugging.

@@ -1,0 +1,1059 @@
+#include "expr/batch_eval.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "expr/functions.h"
+
+namespace vegaplus {
+namespace expr {
+
+namespace {
+
+using data::Column;
+using data::DataType;
+using data::Value;
+
+std::atomic<bool> g_vectorized_enabled{true};
+
+// ---- Vec cell helpers ----
+
+bool NumTruthy(double v) { return v != 0.0 && !std::isnan(v); }
+
+/// Hash one numeric value the way Value::Hash does (so typed and boxed key
+/// registers bucket identically), with NaN pinned to one bucket so grouping
+/// equality and hashing stay consistent.
+size_t NumHash(double d) {
+  if (std::isnan(d)) return 0x7FF8DEADu;
+  if (d == 0.0) d = 0.0;  // normalize -0.0
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(d));
+  bits *= 0xFF51AFD7ED558CCDull;
+  bits ^= bits >> 33;
+  return static_cast<size_t>(bits);
+}
+
+constexpr size_t kNullHash = 0x9E3779B9u;
+
+size_t KeyCellHash(const Vec& v, size_t i) {
+  switch (v.kind) {
+    case RegKind::kNum:
+      if (!v.ValidAt(i)) return kNullHash;
+      return NumHash(v.NumAt(i));
+    case RegKind::kBool:
+      return NumHash(v.BitAt(i) ? 1.0 : 0.0);
+    case RegKind::kStr: {
+      const std::string* s = v.StrAt(i);
+      return s == nullptr ? kNullHash : std::hash<std::string>{}(*s);
+    }
+    case RegKind::kBoxed:
+      return v.boxed[i].Hash();
+  }
+  return 0;
+}
+
+bool KeyCellEq(const Vec& v, size_t a, size_t b) {
+  switch (v.kind) {
+    case RegKind::kNum: {
+      bool va = v.ValidAt(a), vb = v.ValidAt(b);
+      if (va != vb) return false;
+      if (!va) return true;
+      double x = v.NumAt(a), y = v.NumAt(b);
+      return x == y || (std::isnan(x) && std::isnan(y));
+    }
+    case RegKind::kBool:
+      return v.BitAt(a) == v.BitAt(b);
+    case RegKind::kStr: {
+      const std::string* x = v.StrAt(a);
+      const std::string* y = v.StrAt(b);
+      if ((x == nullptr) != (y == nullptr)) return false;
+      return x == nullptr || *x == *y;
+    }
+    case RegKind::kBoxed:
+      return v.boxed[a] == v.boxed[b];
+  }
+  return false;
+}
+
+}  // namespace
+
+bool VectorizedEnabled() { return g_vectorized_enabled.load(std::memory_order_relaxed); }
+void SetVectorizedEnabled(bool enabled) {
+  g_vectorized_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Vec::TruthyAt(size_t i) const {
+  switch (kind) {
+    case RegKind::kNum:
+      return ValidAt(i) && NumTruthy(NumAt(i));
+    case RegKind::kBool:
+      return BitAt(i);
+    case RegKind::kStr: {
+      const std::string* s = StrAt(i);
+      return s != nullptr && !s->empty();
+    }
+    case RegKind::kBoxed:
+      return boxed[i].Truthy();
+  }
+  return false;
+}
+
+Value Vec::CellValue(size_t i) const {
+  switch (kind) {
+    case RegKind::kNum:
+      return ValidAt(i) ? Value::Double(NumAt(i)) : Value::Null();
+    case RegKind::kBool:
+      return Value::Bool(BitAt(i));
+    case RegKind::kStr: {
+      const std::string* s = StrAt(i);
+      return s == nullptr ? Value::Null() : Value::String(*s);
+    }
+    case RegKind::kBoxed:
+      return boxed[i];
+  }
+  return Value::Null();
+}
+
+void Vec::AppendCellTo(size_t i, Column* out) const {
+  switch (kind) {
+    case RegKind::kNum: {
+      if (!ValidAt(i)) {
+        out->AppendNull();
+        return;
+      }
+      double x = NumAt(i);
+      switch (out->type()) {
+        case DataType::kBool: out->AppendBool(x != 0.0); return;
+        case DataType::kInt64:
+        case DataType::kTimestamp: out->AppendInt(static_cast<int64_t>(x)); return;
+        case DataType::kFloat64: out->AppendDouble(x); return;
+        default: out->Append(Value::Double(x)); return;
+      }
+    }
+    case RegKind::kBool:
+      out->Append(Value::Bool(BitAt(i)));
+      return;
+    case RegKind::kStr: {
+      const std::string* s = StrAt(i);
+      if (s == nullptr) {
+        out->AppendNull();
+      } else if (out->type() == DataType::kString) {
+        out->AppendString(*s);
+      } else {
+        // Matches Column::Append(Value::String) into a non-string column.
+        out->AppendNull();
+      }
+      return;
+    }
+    case RegKind::kBoxed:
+      out->Append(boxed[i]);
+      return;
+  }
+}
+
+int Vec::CompareCells(size_t a, size_t b) const {
+  switch (kind) {
+    case RegKind::kNum: {
+      bool va = ValidAt(a), vb = ValidAt(b);
+      if (!va && !vb) return 0;
+      if (!va) return -1;
+      if (!vb) return 1;
+      double x = NumAt(a), y = NumAt(b);
+      if (x < y) return -1;
+      if (x > y) return 1;
+      return 0;
+    }
+    case RegKind::kBool: {
+      int x = BitAt(a) ? 1 : 0, y = BitAt(b) ? 1 : 0;
+      return x - y;
+    }
+    case RegKind::kStr: {
+      const std::string* x = StrAt(a);
+      const std::string* y = StrAt(b);
+      if (x == nullptr && y == nullptr) return 0;
+      if (x == nullptr) return -1;
+      if (y == nullptr) return 1;
+      return x->compare(*y) < 0 ? -1 : (*x == *y ? 0 : 1);
+    }
+    case RegKind::kBoxed:
+      return boxed[a].Compare(boxed[b]);
+  }
+  return 0;
+}
+
+Vec ColumnVec(const Column& col) {
+  Vec v;
+  const size_t n = col.length();
+  switch (col.type()) {
+    case DataType::kFloat64:
+      v.kind = RegKind::kNum;
+      v.num.assign(col.doubles_data(), col.doubles_data() + n);
+      break;
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+    case DataType::kBool: {
+      v.kind = RegKind::kNum;
+      v.num.resize(n);
+      const int64_t* ints = col.ints_data();
+      for (size_t i = 0; i < n; ++i) v.num[i] = static_cast<double>(ints[i]);
+      break;
+    }
+    case DataType::kString: {
+      v.kind = RegKind::kStr;
+      v.str.resize(n);
+      const std::string* strs = col.strings_data();
+      const uint8_t* valid = col.validity_data();
+      for (size_t i = 0; i < n; ++i) v.str[i] = valid[i] ? &strs[i] : nullptr;
+      return v;
+    }
+    case DataType::kNull:
+      v.kind = RegKind::kNum;
+      v.num.assign(n, 0.0);
+      v.valid.assign(n, 0);
+      return v;
+  }
+  if (col.null_count() > 0) {
+    v.valid.assign(col.validity_data(), col.validity_data() + n);
+  }
+  return v;
+}
+
+Vec BoxedVec(std::vector<Value> values) {
+  Vec v;
+  v.kind = RegKind::kBoxed;
+  v.boxed = std::move(values);
+  return v;
+}
+
+// ---- Program execution ----
+
+namespace {
+
+/// Length of the output register given the operand constness.
+size_t OutLen(bool all_const, size_t n) { return all_const ? 1 : n; }
+
+void KeepStrRefs(Vec* out, const Vec& src) {
+  if (src.str_store) out->str_refs.push_back(src.str_store);
+  out->str_refs.insert(out->str_refs.end(), src.str_refs.begin(), src.str_refs.end());
+}
+
+/// Raw pointer view of a numeric register: `stride` is 0 for broadcast
+/// constants, so `v[i * stride]` works uniformly and the compiler hoists the
+/// loop-invariant null checks instead of re-branching per element.
+struct NumView {
+  const double* v;
+  const uint8_t* valid;  // nullptr == all valid
+  size_t stride;
+};
+
+NumView View(const Vec& a) {
+  return {a.num.data(), a.valid.empty() ? nullptr : a.valid.data(),
+          a.is_const ? size_t{0} : size_t{1}};
+}
+
+template <typename F>
+Vec NumBin(const Vec& a, const Vec& b, size_t n, bool null_on_zero_rhs, F f) {
+  Vec out;
+  out.kind = RegKind::kNum;
+  out.is_const = a.is_const && b.is_const;
+  const size_t m = OutLen(out.is_const, n);
+  out.num.resize(m);
+  const NumView va = View(a), vb = View(b);
+  if (va.valid == nullptr && vb.valid == nullptr && !null_on_zero_rhs) {
+    double* o = out.num.data();
+    for (size_t i = 0; i < m; ++i) o[i] = f(va.v[i * va.stride], vb.v[i * vb.stride]);
+    return out;
+  }
+  out.valid.assign(m, 1);
+  uint8_t* ov = out.valid.data();
+  double* o = out.num.data();
+  for (size_t i = 0; i < m; ++i) {
+    if ((va.valid != nullptr && va.valid[i * va.stride] == 0) ||
+        (vb.valid != nullptr && vb.valid[i * vb.stride] == 0)) {
+      ov[i] = 0;
+      continue;
+    }
+    const double y = vb.v[i * vb.stride];
+    if (null_on_zero_rhs && y == 0) {
+      ov[i] = 0;
+      continue;
+    }
+    o[i] = f(va.v[i * va.stride], y);
+  }
+  return out;
+}
+
+template <typename F>
+Vec CmpNum(const Vec& a, const Vec& b, size_t n, F f) {
+  Vec out;
+  out.kind = RegKind::kBool;
+  out.is_const = a.is_const && b.is_const;
+  const size_t m = OutLen(out.is_const, n);
+  out.bits.resize(m);
+  const NumView va = View(a), vb = View(b);
+  uint8_t* o = out.bits.data();
+  if (va.valid == nullptr && vb.valid == nullptr) {
+    for (size_t i = 0; i < m; ++i) {
+      o[i] = f(va.v[i * va.stride], vb.v[i * vb.stride]) ? 1 : 0;
+    }
+  } else {
+    for (size_t i = 0; i < m; ++i) {
+      const bool ok = (va.valid == nullptr || va.valid[i * va.stride] != 0) &&
+                      (vb.valid == nullptr || vb.valid[i * vb.stride] != 0);
+      o[i] = ok && f(va.v[i * va.stride], vb.v[i * vb.stride]) ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+Vec EqNum(const Vec& a, const Vec& b, size_t n, bool negate) {
+  Vec out;
+  out.kind = RegKind::kBool;
+  out.is_const = a.is_const && b.is_const;
+  const size_t m = OutLen(out.is_const, n);
+  out.bits.resize(m);
+  const NumView va = View(a), vb = View(b);
+  uint8_t* o = out.bits.data();
+  for (size_t i = 0; i < m; ++i) {
+    const bool av = va.valid == nullptr || va.valid[i * va.stride] != 0;
+    const bool bv = vb.valid == nullptr || vb.valid[i * vb.stride] != 0;
+    bool eq;
+    if (!av || !bv) {
+      eq = !av && !bv;  // null == null is true, matching Value::Compare
+    } else {
+      const double x = va.v[i * va.stride], y = vb.v[i * vb.stride];
+      eq = !(x < y) && !(x > y);  // NaN quirk preserved from Value::Compare
+    }
+    o[i] = (eq != negate) ? 1 : 0;
+  }
+  return out;
+}
+
+/// f receives the strcmp-style result of comparing two non-null cells.
+template <typename F>
+Vec CmpStr(const Vec& a, const Vec& b, size_t n, F f) {
+  Vec out;
+  out.kind = RegKind::kBool;
+  out.is_const = a.is_const && b.is_const;
+  const size_t m = OutLen(out.is_const, n);
+  out.bits.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    const std::string* x = a.StrAt(i);
+    const std::string* y = b.StrAt(i);
+    out.bits[i] = (x != nullptr && y != nullptr && f(x->compare(*y))) ? 1 : 0;
+  }
+  return out;
+}
+
+Vec EqStr(const Vec& a, const Vec& b, size_t n, bool negate) {
+  Vec out;
+  out.kind = RegKind::kBool;
+  out.is_const = a.is_const && b.is_const;
+  const size_t m = OutLen(out.is_const, n);
+  out.bits.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    const std::string* x = a.StrAt(i);
+    const std::string* y = b.StrAt(i);
+    bool eq;
+    if (x == nullptr || y == nullptr) {
+      eq = x == nullptr && y == nullptr;
+    } else {
+      eq = *x == *y;
+    }
+    out.bits[i] = (eq != negate) ? 1 : 0;
+  }
+  return out;
+}
+
+Vec Concat(const Vec& a, const Vec& b, size_t n) {
+  Vec out;
+  out.kind = RegKind::kStr;
+  out.is_const = a.is_const && b.is_const;
+  const size_t m = OutLen(out.is_const, n);
+  out.str.resize(m, nullptr);
+  out.str_store = std::make_shared<std::vector<std::string>>();
+  out.str_store->reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    const std::string* x = a.StrAt(i);
+    const std::string* y = b.StrAt(i);
+    if (x == nullptr || y == nullptr) continue;  // null propagates
+    out.str_store->push_back(*x + *y);
+    out.str[i] = &out.str_store->back();
+  }
+  return out;
+}
+
+/// JS-style && / || value blend: pick_rhs_when_truthy selects which operand
+/// wins when `a` is truthy (rhs for &&, lhs for ||).
+Vec BlendNum(const Vec& a, const Vec& b, size_t n, bool pick_rhs_when_truthy) {
+  Vec out;
+  out.kind = RegKind::kNum;
+  out.is_const = a.is_const && b.is_const;
+  const size_t m = OutLen(out.is_const, n);
+  out.num.resize(m);
+  const NumView va = View(a), vb = View(b);
+  const bool need_valid = va.valid != nullptr || vb.valid != nullptr;
+  if (need_valid) out.valid.assign(m, 1);
+  for (size_t i = 0; i < m; ++i) {
+    const bool av = va.valid == nullptr || va.valid[i * va.stride] != 0;
+    const double x = va.v[i * va.stride];
+    const bool truthy_a = av && NumTruthy(x);
+    const NumView& src = truthy_a == pick_rhs_when_truthy ? vb : va;
+    const bool sv = src.valid == nullptr || src.valid[i * src.stride] != 0;
+    out.num[i] = sv ? src.v[i * src.stride] : 0;
+    if (need_valid) out.valid[i] = sv ? 1 : 0;
+  }
+  return out;
+}
+
+/// Per-row truthiness of a register (one kind branch per batch).
+std::vector<uint8_t> TruthyMask(const Vec& a, size_t m) {
+  std::vector<uint8_t> mask(m);
+  switch (a.kind) {
+    case RegKind::kBool: {
+      for (size_t i = 0; i < m; ++i) mask[i] = a.bits[a.is_const ? 0 : i];
+      break;
+    }
+    case RegKind::kNum: {
+      const NumView va = View(a);
+      for (size_t i = 0; i < m; ++i) {
+        const bool av = va.valid == nullptr || va.valid[i * va.stride] != 0;
+        mask[i] = av && NumTruthy(va.v[i * va.stride]) ? 1 : 0;
+      }
+      break;
+    }
+    case RegKind::kStr: {
+      for (size_t i = 0; i < m; ++i) {
+        const std::string* s = a.StrAt(i);
+        mask[i] = s != nullptr && !s->empty() ? 1 : 0;
+      }
+      break;
+    }
+    case RegKind::kBoxed: {
+      for (size_t i = 0; i < m; ++i) mask[i] = a.boxed[i].Truthy() ? 1 : 0;
+      break;
+    }
+  }
+  return mask;
+}
+
+Vec Select(const Vec& cond, const Vec& t, const Vec& e, size_t n) {
+  Vec out;
+  out.kind = t.kind;
+  out.is_const = cond.is_const && t.is_const && e.is_const;
+  const size_t m = OutLen(out.is_const, n);
+  const std::vector<uint8_t> mask = TruthyMask(cond, m);
+  switch (t.kind) {
+    case RegKind::kNum: {
+      out.num.resize(m);
+      const NumView vt = View(t), ve = View(e);
+      const bool need_valid = vt.valid != nullptr || ve.valid != nullptr;
+      if (need_valid) out.valid.assign(m, 1);
+      for (size_t i = 0; i < m; ++i) {
+        const NumView& src = mask[i] ? vt : ve;
+        const bool sv = src.valid == nullptr || src.valid[i * src.stride] != 0;
+        out.num[i] = sv ? src.v[i * src.stride] : 0;
+        if (need_valid) out.valid[i] = sv ? 1 : 0;
+      }
+      return out;
+    }
+    case RegKind::kBool: {
+      out.bits.resize(m);
+      for (size_t i = 0; i < m; ++i) {
+        out.bits[i] = (mask[i] ? t.BitAt(i) : e.BitAt(i)) ? 1 : 0;
+      }
+      return out;
+    }
+    case RegKind::kStr: {
+      out.str.resize(m);
+      for (size_t i = 0; i < m; ++i) {
+        out.str[i] = mask[i] ? t.StrAt(i) : e.StrAt(i);
+      }
+      KeepStrRefs(&out, t);
+      KeepStrRefs(&out, e);
+      return out;
+    }
+    case RegKind::kBoxed:
+      break;  // programs never produce boxed registers
+  }
+  VP_CHECK(false) << "vector select over unsupported register kind";
+  return out;
+}
+
+template <typename F>
+Vec NumUnary(const Vec& a, size_t n, F f) {
+  Vec out;
+  out.kind = RegKind::kNum;
+  out.is_const = a.is_const;
+  const size_t m = OutLen(out.is_const, n);
+  out.num.resize(m);
+  if (!a.valid.empty()) {
+    out.valid = a.valid;
+    for (size_t i = 0; i < m; ++i) {
+      if (out.valid[i]) out.num[i] = f(a.NumAt(i));
+    }
+  } else {
+    for (size_t i = 0; i < m; ++i) out.num[i] = f(a.NumAt(i));
+  }
+  return out;
+}
+
+Vec StrTransform(const Vec& a, size_t n, bool to_lower) {
+  Vec out;
+  out.kind = RegKind::kStr;
+  out.is_const = a.is_const;
+  const size_t m = OutLen(out.is_const, n);
+  out.str.resize(m, nullptr);
+  out.str_store = std::make_shared<std::vector<std::string>>();
+  out.str_store->reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    const std::string* s = a.StrAt(i);
+    if (s == nullptr) continue;
+    std::string t = *s;
+    for (char& c : t) {
+      c = static_cast<char>(to_lower ? std::tolower(static_cast<unsigned char>(c))
+                                     : std::toupper(static_cast<unsigned char>(c)));
+    }
+    out.str_store->push_back(std::move(t));
+    out.str[i] = &out.str_store->back();
+  }
+  return out;
+}
+
+double ApplyNum1(Num1Fn fn, double x) {
+  switch (fn) {
+    case Num1Fn::kAbs: return std::fabs(x);
+    case Num1Fn::kCeil: return std::ceil(x);
+    case Num1Fn::kFloor: return std::floor(x);
+    case Num1Fn::kRound: return std::round(x);
+    case Num1Fn::kSqrt: return std::sqrt(x);
+    case Num1Fn::kExp: return std::exp(x);
+    case Num1Fn::kLog: return std::log(x);
+  }
+  return x;
+}
+
+int64_t ApplyDatePart(DatePart part, int64_t millis) {
+  switch (part) {
+    case DatePart::kYear: return TsYear(millis);
+    case DatePart::kMonth: return TsMonth(millis);
+    case DatePart::kDate: return TsDayOfMonth(millis);
+    case DatePart::kDay: return TsDayOfWeek(millis);
+    case DatePart::kHours: return TsHour(millis);
+    case DatePart::kMinutes: return TsMinute(millis);
+    case DatePart::kSeconds: return TsSecond(millis);
+  }
+  return 0;
+}
+
+Vec MinMaxN(std::vector<Vec> args, size_t n, bool is_min) {
+  Vec out;
+  out.kind = RegKind::kNum;
+  out.is_const = true;
+  for (const Vec& a : args) out.is_const = out.is_const && a.is_const;
+  const size_t m = OutLen(out.is_const, n);
+  out.num.resize(m);
+  bool need_valid = false;
+  for (const Vec& a : args) need_valid = need_valid || !a.valid.empty();
+  if (need_valid) out.valid.assign(m, 1);
+  for (size_t i = 0; i < m; ++i) {
+    bool any_null = false;
+    // Fold from +/-infinity in argument order, like the scalar registry's
+    // min()/max() (so NaN arguments behave identically).
+    double best = is_min ? std::numeric_limits<double>::infinity()
+                         : -std::numeric_limits<double>::infinity();
+    for (const Vec& a : args) {
+      if (!a.ValidAt(i)) {
+        any_null = true;
+        break;
+      }
+      best = is_min ? std::min(best, a.NumAt(i)) : std::max(best, a.NumAt(i));
+    }
+    if (any_null) {
+      out.valid[i] = 0;
+    } else {
+      out.num[i] = best;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Vec BatchEvaluator::Run(const Program& p) const {
+  const size_t n = table_.num_rows();
+  std::vector<Vec> stack;
+  stack.reserve(8);
+  auto pop = [&stack]() {
+    Vec v = std::move(stack.back());
+    stack.pop_back();
+    return v;
+  };
+
+  for (const Instr& instr : p.code) {
+    switch (instr.op) {
+      case VecOp::kLoadCol:
+        stack.push_back(ColumnVec(table_.column(static_cast<size_t>(instr.imm))));
+        break;
+      case VecOp::kLoadNumConst: {
+        const Program::NumConst& c = p.num_consts[static_cast<size_t>(instr.imm)];
+        Vec v;
+        v.kind = RegKind::kNum;
+        v.is_const = true;
+        v.num.push_back(c.value);
+        if (c.is_null) v.valid.push_back(0);
+        stack.push_back(std::move(v));
+        break;
+      }
+      case VecOp::kLoadNullNum: {
+        Vec v;
+        v.kind = RegKind::kNum;
+        v.is_const = true;
+        v.num.push_back(0);
+        v.valid.push_back(0);
+        stack.push_back(std::move(v));
+        break;
+      }
+      case VecOp::kLoadBoolConst: {
+        Vec v;
+        v.kind = RegKind::kBool;
+        v.is_const = true;
+        v.bits.push_back(instr.imm ? 1 : 0);
+        stack.push_back(std::move(v));
+        break;
+      }
+      case VecOp::kLoadStrConst: {
+        // The register owns a copy of the constant so result Vecs never
+        // outlive-dangle into the Program's constant pool.
+        Vec v;
+        v.kind = RegKind::kStr;
+        v.is_const = true;
+        v.str_store = std::make_shared<std::vector<std::string>>(
+            1, p.str_consts[static_cast<size_t>(instr.imm)]);
+        v.str.push_back(&v.str_store->front());
+        stack.push_back(std::move(v));
+        break;
+      }
+      case VecOp::kAdd: {
+        Vec b = pop(), a = pop();
+        stack.push_back(NumBin(a, b, n, false, [](double x, double y) { return x + y; }));
+        break;
+      }
+      case VecOp::kSub: {
+        Vec b = pop(), a = pop();
+        stack.push_back(NumBin(a, b, n, false, [](double x, double y) { return x - y; }));
+        break;
+      }
+      case VecOp::kMul: {
+        Vec b = pop(), a = pop();
+        stack.push_back(NumBin(a, b, n, false, [](double x, double y) { return x * y; }));
+        break;
+      }
+      case VecOp::kDiv: {
+        Vec b = pop(), a = pop();
+        stack.push_back(NumBin(a, b, n, true, [](double x, double y) { return x / y; }));
+        break;
+      }
+      case VecOp::kMod: {
+        Vec b = pop(), a = pop();
+        stack.push_back(
+            NumBin(a, b, n, true, [](double x, double y) { return std::fmod(x, y); }));
+        break;
+      }
+      case VecOp::kLtNum: {
+        Vec b = pop(), a = pop();
+        stack.push_back(CmpNum(a, b, n, [](double x, double y) { return x < y; }));
+        break;
+      }
+      case VecOp::kLteNum: {
+        Vec b = pop(), a = pop();
+        stack.push_back(CmpNum(a, b, n, [](double x, double y) { return x <= y; }));
+        break;
+      }
+      case VecOp::kGtNum: {
+        Vec b = pop(), a = pop();
+        stack.push_back(CmpNum(a, b, n, [](double x, double y) { return x > y; }));
+        break;
+      }
+      case VecOp::kGteNum: {
+        Vec b = pop(), a = pop();
+        stack.push_back(CmpNum(a, b, n, [](double x, double y) { return x >= y; }));
+        break;
+      }
+      case VecOp::kEqNum: {
+        Vec b = pop(), a = pop();
+        stack.push_back(EqNum(a, b, n, /*negate=*/false));
+        break;
+      }
+      case VecOp::kNeqNum: {
+        Vec b = pop(), a = pop();
+        stack.push_back(EqNum(a, b, n, /*negate=*/true));
+        break;
+      }
+      case VecOp::kLtStr: {
+        Vec b = pop(), a = pop();
+        stack.push_back(CmpStr(a, b, n, [](int c) { return c < 0; }));
+        break;
+      }
+      case VecOp::kLteStr: {
+        Vec b = pop(), a = pop();
+        stack.push_back(CmpStr(a, b, n, [](int c) { return c <= 0; }));
+        break;
+      }
+      case VecOp::kGtStr: {
+        Vec b = pop(), a = pop();
+        stack.push_back(CmpStr(a, b, n, [](int c) { return c > 0; }));
+        break;
+      }
+      case VecOp::kGteStr: {
+        Vec b = pop(), a = pop();
+        stack.push_back(CmpStr(a, b, n, [](int c) { return c >= 0; }));
+        break;
+      }
+      case VecOp::kEqStr: {
+        Vec b = pop(), a = pop();
+        stack.push_back(EqStr(a, b, n, /*negate=*/false));
+        break;
+      }
+      case VecOp::kNeqStr: {
+        Vec b = pop(), a = pop();
+        stack.push_back(EqStr(a, b, n, /*negate=*/true));
+        break;
+      }
+      case VecOp::kConcat: {
+        Vec b = pop(), a = pop();
+        stack.push_back(Concat(a, b, n));
+        break;
+      }
+      case VecOp::kAndBool:
+      case VecOp::kOrBool: {
+        Vec b = pop(), a = pop();
+        Vec out;
+        out.kind = RegKind::kBool;
+        out.is_const = a.is_const && b.is_const;
+        const size_t m = OutLen(out.is_const, n);
+        out.bits.resize(m);
+        const uint8_t* pa = a.bits.data();
+        const uint8_t* pb = b.bits.data();
+        const size_t sa = a.is_const ? 0 : 1, sb = b.is_const ? 0 : 1;
+        uint8_t* o = out.bits.data();
+        if (instr.op == VecOp::kAndBool) {
+          for (size_t i = 0; i < m; ++i) o[i] = pa[i * sa] & pb[i * sb];
+        } else {
+          for (size_t i = 0; i < m; ++i) o[i] = pa[i * sa] | pb[i * sb];
+        }
+        stack.push_back(std::move(out));
+        break;
+      }
+      case VecOp::kAndNum: {
+        Vec b = pop(), a = pop();
+        stack.push_back(BlendNum(a, b, n, /*pick_rhs_when_truthy=*/true));
+        break;
+      }
+      case VecOp::kOrNum: {
+        Vec b = pop(), a = pop();
+        stack.push_back(BlendNum(a, b, n, /*pick_rhs_when_truthy=*/false));
+        break;
+      }
+      case VecOp::kNot: {
+        Vec a = pop();
+        Vec out;
+        out.kind = RegKind::kBool;
+        out.is_const = a.is_const;
+        const size_t m = OutLen(out.is_const, n);
+        out.bits = TruthyMask(a, m);
+        for (size_t i = 0; i < m; ++i) out.bits[i] ^= 1;
+        stack.push_back(std::move(out));
+        break;
+      }
+      case VecOp::kNegNum: {
+        Vec a = pop();
+        stack.push_back(NumUnary(a, n, [](double x) { return -x; }));
+        break;
+      }
+      case VecOp::kPlusNum: {
+        Vec a = pop();
+        stack.push_back(NumUnary(a, n, [](double x) { return x; }));
+        break;
+      }
+      case VecOp::kBoolToNum: {
+        Vec a = pop();
+        Vec out;
+        out.kind = RegKind::kNum;
+        out.is_const = a.is_const;
+        const size_t m = OutLen(out.is_const, n);
+        out.num.resize(m);
+        for (size_t i = 0; i < m; ++i) out.num[i] = a.BitAt(i) ? 1.0 : 0.0;
+        stack.push_back(std::move(out));
+        break;
+      }
+      case VecOp::kSelect: {
+        Vec e = pop(), t = pop(), c = pop();
+        stack.push_back(Select(c, t, e, n));
+        break;
+      }
+      case VecOp::kIsValid: {
+        Vec a = pop();
+        Vec out;
+        out.kind = RegKind::kBool;
+        out.is_const = a.is_const;
+        const size_t m = OutLen(out.is_const, n);
+        out.bits.resize(m);
+        for (size_t i = 0; i < m; ++i) out.bits[i] = a.ValidAt(i) ? 1 : 0;
+        stack.push_back(std::move(out));
+        break;
+      }
+      case VecOp::kCallNum1: {
+        Vec a = pop();
+        Num1Fn fn = static_cast<Num1Fn>(instr.imm);
+        stack.push_back(NumUnary(a, n, [fn](double x) { return ApplyNum1(fn, x); }));
+        break;
+      }
+      case VecOp::kCallPow: {
+        Vec b = pop(), a = pop();
+        stack.push_back(
+            NumBin(a, b, n, false, [](double x, double y) { return std::pow(x, y); }));
+        break;
+      }
+      case VecOp::kCallClamp: {
+        Vec hi = pop(), lo = pop(), x = pop();
+        Vec out;
+        out.kind = RegKind::kNum;
+        out.is_const = x.is_const && lo.is_const && hi.is_const;
+        const size_t m = OutLen(out.is_const, n);
+        out.num.resize(m);
+        const bool need_valid =
+            !x.valid.empty() || !lo.valid.empty() || !hi.valid.empty();
+        if (need_valid) out.valid.assign(m, 1);
+        for (size_t i = 0; i < m; ++i) {
+          if (!x.ValidAt(i) || !lo.ValidAt(i) || !hi.ValidAt(i)) {
+            out.valid[i] = 0;
+            continue;
+          }
+          out.num[i] = std::min(std::max(x.NumAt(i), lo.NumAt(i)), hi.NumAt(i));
+        }
+        stack.push_back(std::move(out));
+        break;
+      }
+      case VecOp::kCallMin:
+      case VecOp::kCallMax: {
+        const size_t k = static_cast<size_t>(instr.imm);
+        std::vector<Vec> args(k);
+        for (size_t j = k; j-- > 0;) args[j] = pop();
+        stack.push_back(MinMaxN(std::move(args), n, instr.op == VecOp::kCallMin));
+        break;
+      }
+      case VecOp::kCallDatePart: {
+        Vec a = pop();
+        DatePart part = static_cast<DatePart>(instr.imm);
+        stack.push_back(NumUnary(a, n, [part](double x) {
+          return static_cast<double>(ApplyDatePart(part, static_cast<int64_t>(x)));
+        }));
+        break;
+      }
+      case VecOp::kCallDateTrunc: {
+        Vec a = pop();
+        const std::string& unit = p.str_consts[static_cast<size_t>(instr.imm)];
+        stack.push_back(NumUnary(a, n, [&unit](double x) {
+          return static_cast<double>(TsTruncate(static_cast<int64_t>(x), unit));
+        }));
+        break;
+      }
+      case VecOp::kCallDateUnitEnd: {
+        Vec a = pop();
+        const std::string& unit = p.str_consts[static_cast<size_t>(instr.imm)];
+        stack.push_back(NumUnary(a, n, [&unit](double x) {
+          int64_t start = TsTruncate(static_cast<int64_t>(x), unit);
+          return static_cast<double>(start + TsUnitWidth(start, unit));
+        }));
+        break;
+      }
+      case VecOp::kCallLenStr: {
+        Vec a = pop();
+        Vec out;
+        out.kind = RegKind::kNum;
+        out.is_const = a.is_const;
+        const size_t m = OutLen(out.is_const, n);
+        out.num.resize(m);
+        out.valid.assign(m, 1);
+        for (size_t i = 0; i < m; ++i) {
+          const std::string* s = a.StrAt(i);
+          if (s == nullptr) {
+            out.valid[i] = 0;
+          } else {
+            out.num[i] = static_cast<double>(s->size());
+          }
+        }
+        stack.push_back(std::move(out));
+        break;
+      }
+      case VecOp::kCallLower: {
+        Vec a = pop();
+        stack.push_back(StrTransform(a, n, /*to_lower=*/true));
+        break;
+      }
+      case VecOp::kCallUpper: {
+        Vec a = pop();
+        stack.push_back(StrTransform(a, n, /*to_lower=*/false));
+        break;
+      }
+    }
+  }
+  VP_CHECK(stack.size() == 1) << "vector program left " << stack.size()
+                              << " registers on the stack";
+  return std::move(stack.back());
+}
+
+namespace {
+
+template <typename T>
+void FusedFilterLoop(const T* vals, const uint8_t* valid, size_t n, BinaryOp cmp,
+                     double c, std::vector<int32_t>* sel) {
+  auto push_if = [&](auto pred) {
+    for (size_t i = 0; i < n; ++i) {
+      if (valid != nullptr && valid[i] == 0) continue;
+      if (pred(static_cast<double>(vals[i]))) sel->push_back(static_cast<int32_t>(i));
+    }
+  };
+  switch (cmp) {
+    case BinaryOp::kLt: push_if([c](double x) { return x < c; }); return;
+    case BinaryOp::kLte: push_if([c](double x) { return x <= c; }); return;
+    case BinaryOp::kGt: push_if([c](double x) { return x > c; }); return;
+    case BinaryOp::kGte: push_if([c](double x) { return x >= c; }); return;
+    case BinaryOp::kEq: push_if([c](double x) { return !(x < c) && !(x > c); }); return;
+    case BinaryOp::kNeq:
+      // A null cell is != any non-null constant (Value::Compare orders nulls
+      // first), so null rows are included.
+      for (size_t i = 0; i < n; ++i) {
+        if (valid != nullptr && valid[i] == 0) {
+          sel->push_back(static_cast<int32_t>(i));
+          continue;
+        }
+        double x = static_cast<double>(vals[i]);
+        if (x < c || x > c) sel->push_back(static_cast<int32_t>(i));
+      }
+      return;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+void BatchEvaluator::RunFilter(const Program& p, std::vector<int32_t>* sel) const {
+  const size_t n = table_.num_rows();
+  if (p.fused) {
+    const Column& col = table_.column(static_cast<size_t>(p.fused_col));
+    const uint8_t* valid = col.null_count() > 0 ? col.validity_data() : nullptr;
+    switch (col.type()) {
+      case DataType::kFloat64:
+        FusedFilterLoop(col.doubles_data(), valid, n, p.fused_cmp, p.fused_const, sel);
+        return;
+      case DataType::kInt64:
+      case DataType::kTimestamp:
+      case DataType::kBool:
+        FusedFilterLoop(col.ints_data(), valid, n, p.fused_cmp, p.fused_const, sel);
+        return;
+      default:
+        break;  // kNull columns: fall through to the general path
+    }
+  }
+  Vec v = Run(p);
+  const std::vector<uint8_t> mask = TruthyMask(v, v.is_const ? 1 : n);
+  if (v.is_const) {
+    if (mask[0]) {
+      for (size_t i = 0; i < n; ++i) sel->push_back(static_cast<int32_t>(i));
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (mask[i]) sel->push_back(static_cast<int32_t>(i));
+  }
+}
+
+void BatchEvaluator::RunToColumn(const Program& p, Column* out) const {
+  const size_t n = table_.num_rows();
+  Vec v = Run(p);
+  // Fast path: adopt a freshly-computed float64 register's buffers wholesale.
+  if (v.kind == RegKind::kNum && out->type() == DataType::kFloat64 &&
+      !v.is_const && out->length() == 0) {
+    *out = Column::FromDoubles(std::move(v.num), std::move(v.valid));
+    return;
+  }
+  out->Reserve(out->length() + n);
+  for (size_t i = 0; i < n; ++i) v.AppendCellTo(i, out);
+}
+
+void BatchEvaluator::RunToValues(const Program& p, std::vector<Value>* out) const {
+  const size_t n = table_.num_rows();
+  Vec v = Run(p);
+  out->reserve(out->size() + n);
+  for (size_t i = 0; i < n; ++i) out->push_back(v.CellValue(i));
+}
+
+// ---- Grouping ----
+
+namespace {
+
+struct PosHash {
+  const std::vector<size_t>* hashes;
+  size_t operator()(uint32_t pos) const { return (*hashes)[pos]; }
+};
+
+struct PosEq {
+  const std::vector<const Vec*>* keys;
+  const std::vector<int32_t>* rows;
+  bool operator()(uint32_t a, uint32_t b) const {
+    const size_t ra = static_cast<size_t>((*rows)[a]);
+    const size_t rb = static_cast<size_t>((*rows)[b]);
+    for (const Vec* key : *keys) {
+      if (!KeyCellEq(*key, ra, rb)) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+GroupResult BuildGroups(const std::vector<const Vec*>& keys,
+                        const std::vector<int32_t>& rows) {
+  GroupResult result;
+  const size_t n = rows.size();
+  result.group_of.resize(n);
+  if (keys.empty()) {
+    if (n > 0) result.rep_rows.push_back(rows[0]);
+    return result;  // group_of already zero-initialized
+  }
+
+  std::vector<size_t> hashes(n);
+  for (size_t pos = 0; pos < n; ++pos) {
+    size_t h = 0x12345;
+    const size_t r = static_cast<size_t>(rows[pos]);
+    for (const Vec* key : keys) {
+      h = h * 1099511628211ull + KeyCellHash(*key, r);
+    }
+    hashes[pos] = h;
+  }
+
+  std::unordered_map<uint32_t, uint32_t, PosHash, PosEq> seen(
+      /*bucket_count=*/std::max<size_t>(16, n / 4), PosHash{&hashes},
+      PosEq{&keys, &rows});
+  for (size_t pos = 0; pos < n; ++pos) {
+    auto [it, inserted] = seen.try_emplace(static_cast<uint32_t>(pos),
+                                           static_cast<uint32_t>(result.rep_rows.size()));
+    if (inserted) result.rep_rows.push_back(rows[pos]);
+    result.group_of[pos] = it->second;
+  }
+  return result;
+}
+
+}  // namespace expr
+}  // namespace vegaplus

@@ -1,0 +1,123 @@
+// Column-at-a-time execution of compiled expression programs (see
+// compiler.h), plus the typed key helpers the SQL executor and transforms
+// use for grouping and sorting without boxing per-row Values.
+//
+// The contract with the scalar interpreter: for every program Compile()
+// accepts, running it over a batch produces exactly the values (and nulls)
+// that expr::Evaluate produces row by row. Anything Compile() rejects is
+// evaluated by the caller through the scalar interpreter — usually into a
+// kBoxed Vec so grouping/sorting code handles both paths uniformly.
+#ifndef VEGAPLUS_EXPR_BATCH_EVAL_H_
+#define VEGAPLUS_EXPR_BATCH_EVAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "expr/compiler.h"
+
+namespace vegaplus {
+namespace expr {
+
+/// Global kill switch (default on). Turned off by benchmarks to measure the
+/// scalar interpreter, and by tests to compare both paths.
+bool VectorizedEnabled();
+void SetVectorizedEnabled(bool enabled);
+
+/// \brief One vector register: a column-shaped batch of values of one kind.
+struct Vec {
+  RegKind kind = RegKind::kNum;
+  /// Broadcast constant: a single element stands for every row.
+  bool is_const = false;
+
+  // kNum: values + validity mask (empty mask == all valid).
+  std::vector<double> num;
+  std::vector<uint8_t> valid;
+  // kBool: 0/1, never null.
+  std::vector<uint8_t> bits;
+  // kStr: views; nullptr == null. `str_store` owns strings computed by or
+  // copied into this register (constants included); `str_refs` keeps operand
+  // stores alive through blends. Views into column storage stay valid
+  // because the caller holds the table for the register's lifetime; a
+  // register never references Program memory after Run() returns.
+  std::vector<const std::string*> str;
+  std::shared_ptr<std::vector<std::string>> str_store;
+  std::vector<std::shared_ptr<std::vector<std::string>>> str_refs;
+  // kBoxed: scalar-interpreter fallback values.
+  std::vector<data::Value> boxed;
+
+  bool ValidAt(size_t i) const {
+    size_t j = is_const ? 0 : i;
+    switch (kind) {
+      case RegKind::kNum: return valid.empty() || valid[j] != 0;
+      case RegKind::kBool: return true;
+      case RegKind::kStr: return str[j] != nullptr;
+      case RegKind::kBoxed: return !boxed[j].is_null();
+    }
+    return false;
+  }
+  double NumAt(size_t i) const { return num[is_const ? 0 : i]; }
+  bool BitAt(size_t i) const { return bits[is_const ? 0 : i] != 0; }
+  const std::string* StrAt(size_t i) const { return str[is_const ? 0 : i]; }
+
+  /// Truthiness of cell `i`, matching EvalValue::Truthy.
+  bool TruthyAt(size_t i) const;
+  /// Boxed view of cell `i` (numeric cells box as Double; hash/compare
+  /// equivalent to the scalar interpreter's typed Values).
+  data::Value CellValue(size_t i) const;
+  /// Append cell `i` to `out`, with Column::Append's coercions.
+  void AppendCellTo(size_t i, data::Column* out) const;
+  /// Value::Compare-compatible ordering between two cells of this register.
+  int CompareCells(size_t a, size_t b) const;
+};
+
+/// Typed view of a column as a register (numeric types widen to double;
+/// strings become views). Used for grouping/sorting on plain columns.
+Vec ColumnVec(const data::Column& col);
+
+/// Wrap scalar-interpreter results for the uniform key/sort paths.
+Vec BoxedVec(std::vector<data::Value> values);
+
+/// \brief Executes compiled programs over a table batch.
+class BatchEvaluator {
+ public:
+  explicit BatchEvaluator(const data::Table& table) : table_(table) {}
+
+  /// Execute and return the result register (one cell per table row).
+  Vec Run(const Program& p) const;
+
+  /// Append row indices with truthy results to `sel`, using the fused
+  /// column-compare fast path when the program has one.
+  void RunFilter(const Program& p, std::vector<int32_t>* sel) const;
+
+  /// Append every row's result to `out` (which uses its own type's
+  /// coercions, like the scalar path's Column::Append).
+  void RunToColumn(const Program& p, data::Column* out) const;
+
+  /// Box every row's result into `out`.
+  void RunToValues(const Program& p, std::vector<data::Value>* out) const;
+
+ private:
+  const data::Table& table_;
+};
+
+/// \brief Hash-grouping over typed key registers.
+struct GroupResult {
+  /// Group id per position in the `rows` span passed to BuildGroups.
+  std::vector<uint32_t> group_of;
+  /// First row (table row id) seen for each group, in first-seen order.
+  std::vector<int32_t> rep_rows;
+  size_t num_groups() const { return rep_rows.size(); }
+};
+
+/// Group `rows` (table row ids) by the tuple of key registers. Equality and
+/// first-seen group order match the scalar GroupKey path (Value::Compare
+/// semantics per cell). With no keys, all rows form one group.
+GroupResult BuildGroups(const std::vector<const Vec*>& keys,
+                        const std::vector<int32_t>& rows);
+
+}  // namespace expr
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_EXPR_BATCH_EVAL_H_

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
-#include <unordered_map>
 
 #include "common/str_util.h"
+#include "expr/batch_eval.h"
 #include "expr/evaluator.h"
 
 namespace vegaplus {
@@ -19,10 +19,14 @@ using data::Schema;
 using data::Table;
 using data::TablePtr;
 using data::Value;
+using expr::BatchEvaluator;
+using expr::Compiler;
 using expr::EvalContext;
 using expr::EvalValue;
 using expr::NodeKind;
 using expr::NodePtr;
+using expr::RegKind;
+using expr::Vec;
 
 Value EvalScalar(const NodePtr& node, const Table& table, size_t row) {
   EvalContext ctx;
@@ -32,29 +36,54 @@ Value EvalScalar(const NodePtr& node, const Table& table, size_t row) {
   return v.is_array() ? Value::Null() : v.scalar();
 }
 
-// ---- Group key hashing ----
-
-struct GroupKey {
+/// Evaluate `node` into one register indexed by table row id: vectorized
+/// over the whole batch when the expression compiles, boxed through the
+/// scalar interpreter otherwise. Used for group keys, sort keys, and
+/// aggregate arguments. When `rows` is non-null, the scalar fallback only
+/// evaluates those rows (cells outside stay null) so selective queries
+/// don't pay interpreter cost for filtered-out rows; the vectorized path
+/// always computes the full batch, which is cheaper than gathering.
+Vec EvalVec(const NodePtr& node, const Table& table,
+            const std::vector<int32_t>* rows = nullptr) {
+  if (expr::VectorizedEnabled()) {
+    if (auto program = Compiler::Compile(node, table.schema())) {
+      return BatchEvaluator(table).Run(*program);
+    }
+  }
+  if (rows != nullptr) {
+    std::vector<Value> values(table.num_rows());
+    for (int32_t r : *rows) {
+      values[static_cast<size_t>(r)] = EvalScalar(node, table, static_cast<size_t>(r));
+    }
+    return expr::BoxedVec(std::move(values));
+  }
   std::vector<Value> values;
-
-  bool operator==(const GroupKey& other) const {
-    if (values.size() != other.values.size()) return false;
-    for (size_t i = 0; i < values.size(); ++i) {
-      if (values[i] != other.values[i]) return false;
-    }
-    return true;
+  values.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    values.push_back(EvalScalar(node, table, r));
   }
-};
+  return expr::BoxedVec(std::move(values));
+}
 
-struct GroupKeyHash {
-  size_t operator()(const GroupKey& k) const {
-    size_t h = 0x12345;
-    for (const Value& v : k.values) {
-      h = h * 1099511628211ull + v.Hash();
+/// Append the row indices of `table` where `pred` is truthy: the vectorized
+/// path emits the selection vector directly (with the fused column-compare
+/// fast path when available).
+void FilterRows(const NodePtr& pred, const Table& table, std::vector<int32_t>* keep) {
+  if (expr::VectorizedEnabled()) {
+    if (auto program = Compiler::Compile(pred, table.schema())) {
+      BatchEvaluator(table).RunFilter(*program, keep);
+      return;
     }
-    return h;
   }
-};
+  EvalContext ctx;
+  ctx.table = &table;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    ctx.row = r;
+    if (expr::Evaluate(pred, ctx).Truthy()) {
+      keep->push_back(static_cast<int32_t>(r));
+    }
+  }
+}
 
 // ---- Aggregate accumulators ----
 
@@ -133,6 +162,90 @@ struct AggState {
   }
 };
 
+/// Accumulate one aggregate over the selected rows with a single typed
+/// branch per batch: the inner loops touch raw doubles, never a per-row
+/// Value. `arg` is the argument register over the full input table; `rows`
+/// are the selected table row ids; `group_of[pos]` is the group of
+/// `rows[pos]`.
+void AccumulateAgg(AggOp op, const Vec& arg, const std::vector<int32_t>& rows,
+                   const std::vector<uint32_t>& group_of, size_t agg_index,
+                   std::vector<std::vector<AggState>>* states) {
+  const size_t npos = rows.size();
+  auto state = [&](size_t pos) -> AggState& {
+    return (*states)[group_of[pos]][agg_index];
+  };
+
+  if (arg.kind == RegKind::kNum || arg.kind == RegKind::kBool) {
+    auto value_at = [&arg](size_t r) {
+      return arg.kind == RegKind::kBool ? (arg.BitAt(r) ? 1.0 : 0.0) : arg.NumAt(r);
+    };
+    switch (op) {
+      case AggOp::kCount:
+        for (size_t pos = 0; pos < npos; ++pos) {
+          if (arg.ValidAt(static_cast<size_t>(rows[pos]))) ++state(pos).count;
+        }
+        return;
+      case AggOp::kSum:
+      case AggOp::kAvg:
+        for (size_t pos = 0; pos < npos; ++pos) {
+          const size_t r = static_cast<size_t>(rows[pos]);
+          if (!arg.ValidAt(r)) continue;
+          AggState& st = state(pos);
+          st.sum += value_at(r);
+          ++st.count;
+        }
+        return;
+      case AggOp::kStddev:
+      case AggOp::kVariance:
+        for (size_t pos = 0; pos < npos; ++pos) {
+          const size_t r = static_cast<size_t>(rows[pos]);
+          if (!arg.ValidAt(r)) continue;
+          AggState& st = state(pos);
+          const double d = value_at(r);
+          st.sum += d;
+          st.sum_sq += d * d;
+          ++st.count;
+        }
+        return;
+      case AggOp::kMedian:
+        for (size_t pos = 0; pos < npos; ++pos) {
+          const size_t r = static_cast<size_t>(rows[pos]);
+          if (!arg.ValidAt(r)) continue;
+          AggState& st = state(pos);
+          st.values.push_back(value_at(r));
+          ++st.count;
+        }
+        return;
+      case AggOp::kMin:
+        for (size_t pos = 0; pos < npos; ++pos) {
+          const size_t r = static_cast<size_t>(rows[pos]);
+          if (!arg.ValidAt(r)) continue;
+          AggState& st = state(pos);
+          const double v = value_at(r);
+          if (st.min.is_null() || v < st.min.AsDouble()) st.min = Value::Double(v);
+        }
+        return;
+      case AggOp::kMax:
+        for (size_t pos = 0; pos < npos; ++pos) {
+          const size_t r = static_cast<size_t>(rows[pos]);
+          if (!arg.ValidAt(r)) continue;
+          AggState& st = state(pos);
+          const double v = value_at(r);
+          if (st.max.is_null() || v > st.max.AsDouble()) st.max = Value::Double(v);
+        }
+        return;
+    }
+    return;
+  }
+
+  // String / boxed-fallback arguments: per-row boxed update (identical to
+  // the scalar interpreter path).
+  for (size_t pos = 0; pos < npos; ++pos) {
+    state(pos).Update(op, arg.CellValue(static_cast<size_t>(rows[pos])),
+                      /*count_star=*/false);
+  }
+}
+
 DataType AggResultType(AggOp op, const NodePtr& arg, const Schema& input) {
   switch (op) {
     case AggOp::kCount:
@@ -145,21 +258,17 @@ DataType AggResultType(AggOp op, const NodePtr& arg, const Schema& input) {
   }
 }
 
-// Sort `order` (row index permutation) by the given keys, stably.
+// Sort `order` (row index permutation) by the given keys, stably. Keys are
+// evaluated once into typed registers; the comparator never boxes.
 void SortIndices(std::vector<int32_t>* order, const Table& table,
                  const std::vector<OrderItem>& keys) {
-  // Precompute key values per row to avoid re-evaluating in the comparator.
-  std::vector<std::vector<Value>> key_values(keys.size());
-  for (size_t k = 0; k < keys.size(); ++k) {
-    key_values[k].resize(table.num_rows());
-    for (size_t r = 0; r < table.num_rows(); ++r) {
-      key_values[k][r] = EvalScalar(keys[k].expr, table, r);
-    }
-  }
+  std::vector<Vec> key_vecs;
+  key_vecs.reserve(keys.size());
+  for (const OrderItem& k : keys) key_vecs.push_back(EvalVec(k.expr, table));
   std::stable_sort(order->begin(), order->end(), [&](int32_t a, int32_t b) {
     for (size_t k = 0; k < keys.size(); ++k) {
-      int cmp = key_values[k][static_cast<size_t>(a)].Compare(
-          key_values[k][static_cast<size_t>(b)]);
+      int cmp = key_vecs[k].CompareCells(static_cast<size_t>(a),
+                                         static_cast<size_t>(b));
       if (keys[k].descending) cmp = -cmp;
       if (cmp != 0) return cmp < 0;
     }
@@ -261,18 +370,10 @@ Result<TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
   if (stmt.where) {
     ++local.num_operators;
     local.rows_processed += input->num_rows();
-    for (size_t r = 0; r < input->num_rows(); ++r) {
-      EvalContext ctx;
-      ctx.table = input.get();
-      ctx.row = r;
-      if (expr::Evaluate(stmt.where, ctx).Truthy()) {
-        selection.push_back(static_cast<int32_t>(r));
-      }
-    }
+    FilterRows(stmt.where, *input, &selection);
   } else {
-    for (size_t r = 0; r < input->num_rows(); ++r) {
-      selection.push_back(static_cast<int32_t>(r));
-    }
+    selection.resize(input->num_rows());
+    std::iota(selection.begin(), selection.end(), 0);
   }
 
   const bool has_aggregates =
@@ -326,37 +427,40 @@ Result<TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
       }
     }
 
-    // Build groups in first-seen order.
-    std::unordered_map<GroupKey, size_t, GroupKeyHash> group_ids;
-    std::vector<GroupKey> group_keys;
-    std::vector<std::vector<AggState>> group_states;
-    for (int32_t r : selection) {
-      GroupKey key;
-      key.values.reserve(stmt.group_by.size());
-      for (const auto& g : stmt.group_by) {
-        key.values.push_back(EvalScalar(g, *input, static_cast<size_t>(r)));
-      }
-      auto [it, inserted] = group_ids.emplace(key, group_keys.size());
-      if (inserted) {
-        group_keys.push_back(std::move(key));
-        group_states.emplace_back(agg_items.size());
-      }
-      std::vector<AggState>& states = group_states[it->second];
-      for (size_t a = 0; a < agg_items.size(); ++a) {
-        const SelectItem* item = agg_items[a];
-        Value v = item->agg_arg
-                      ? EvalScalar(item->agg_arg, *input, static_cast<size_t>(r))
-                      : Value::Null();
-        states[a].Update(item->agg_op, v, /*count_star=*/item->agg_arg == nullptr);
-      }
+    // Evaluate group keys column-at-a-time over the full input (unselected
+    // rows are computed but never read), then hash-group the selection.
+    // Group keys live once, in the key registers; groups are ids plus one
+    // representative row each.
+    std::vector<Vec> key_vecs;
+    key_vecs.reserve(stmt.group_by.size());
+    for (const auto& g : stmt.group_by) {
+      key_vecs.push_back(EvalVec(g, *input, &selection));
     }
+    std::vector<const Vec*> key_ptrs;
+    key_ptrs.reserve(key_vecs.size());
+    for (const Vec& v : key_vecs) key_ptrs.push_back(&v);
+    expr::GroupResult groups = expr::BuildGroups(key_ptrs, selection);
+
+    size_t num_groups = groups.num_groups();
     // Pure aggregation over zero rows still yields one output row.
-    if (stmt.group_by.empty() && group_keys.empty()) {
-      group_keys.emplace_back();
-      group_states.emplace_back(agg_items.size());
+    if (stmt.group_by.empty() && num_groups == 0) num_groups = 1;
+
+    std::vector<std::vector<AggState>> group_states(
+        num_groups, std::vector<AggState>(agg_items.size()));
+    for (size_t a = 0; a < agg_items.size(); ++a) {
+      const SelectItem* item = agg_items[a];
+      if (item->agg_arg == nullptr) {
+        // COUNT(*): group cardinalities, no argument to evaluate.
+        for (size_t pos = 0; pos < selection.size(); ++pos) {
+          ++group_states[groups.group_of[pos]][a].count;
+        }
+        continue;
+      }
+      Vec arg = EvalVec(item->agg_arg, *input, &selection);
+      AccumulateAgg(item->agg_op, arg, selection, groups.group_of, a, &group_states);
     }
 
-    // Build the output schema.
+    // Build the output columns group-at-a-time.
     std::vector<data::Field> fields;
     fields.reserve(stmt.items.size());
     for (size_t i = 0; i < stmt.items.size(); ++i) {
@@ -366,22 +470,25 @@ Result<TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
                        : InferType(item.expr, input->schema());
       fields.push_back({DeriveItemName(item, i), t});
     }
-    data::TableBuilder builder((Schema(fields)));
-    builder.Reserve(group_keys.size());
-    for (size_t g = 0; g < group_keys.size(); ++g) {
-      std::vector<Value> row;
-      row.reserve(stmt.items.size());
-      for (size_t i = 0; i < stmt.items.size(); ++i) {
-        if (item_plans[i].is_group_expr) {
-          row.push_back(group_keys[g].values[item_plans[i].group_index]);
-        } else {
-          row.push_back(group_states[g][item_plans[i].agg_index].Finish(
+    std::vector<Column> columns;
+    columns.reserve(fields.size());
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      Column col(fields[i].type);
+      col.Reserve(num_groups);
+      if (item_plans[i].is_group_expr) {
+        const Vec& key = key_vecs[item_plans[i].group_index];
+        for (size_t g = 0; g < groups.num_groups(); ++g) {
+          key.AppendCellTo(static_cast<size_t>(groups.rep_rows[g]), &col);
+        }
+      } else {
+        for (size_t g = 0; g < num_groups; ++g) {
+          col.Append(group_states[g][item_plans[i].agg_index].Finish(
               stmt.items[i].agg_op));
         }
       }
-      builder.AppendRow(row);
+      columns.push_back(std::move(col));
     }
-    output = builder.Build();
+    output = std::make_shared<Table>(Schema(std::move(fields)), std::move(columns));
 
     // ---- HAVING (references output column names) ----
     if (stmt.having) {
@@ -389,14 +496,8 @@ Result<TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
       ++local.num_operators;
       local.rows_processed += output->num_rows();
       std::vector<int32_t> keep;
-      for (size_t r = 0; r < output->num_rows(); ++r) {
-        EvalContext ctx;
-        ctx.table = output.get();
-        ctx.row = r;
-        if (expr::Evaluate(stmt.having, ctx).Truthy()) {
-          keep.push_back(static_cast<int32_t>(r));
-        }
-      }
+      keep.reserve(output->num_rows());
+      FilterRows(stmt.having, *output, &keep);
       output = output->Take(keep);
     }
   } else {
@@ -404,7 +505,9 @@ Result<TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
     ++local.num_operators;
     local.rows_processed += selection.size();
 
-    TablePtr filtered = input->Take(selection);
+    TablePtr filtered = selection.size() == input->num_rows()
+                            ? input
+                            : input->Take(selection);
 
     std::vector<data::Field> fields;
     std::vector<int> source_col;  // >=0: pass-through input column
@@ -441,31 +544,48 @@ Result<TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
       }
       const SelectItem& item = *item_of_field[f];
       Column col(fields[f].type);
-      col.Reserve(n);
       if (item.kind == SelectItem::Kind::kExpr) {
-        for (size_t r = 0; r < n; ++r) {
-          col.Append(EvalScalar(item.expr, *filtered, r));
+        bool vectorized = false;
+        if (expr::VectorizedEnabled()) {
+          if (auto program = Compiler::Compile(item.expr, filtered->schema())) {
+            BatchEvaluator(*filtered).RunToColumn(*program, &col);
+            vectorized = true;
+          }
+        }
+        if (!vectorized) {
+          col.Reserve(n);
+          for (size_t r = 0; r < n; ++r) {
+            col.Append(EvalScalar(item.expr, *filtered, r));
+          }
         }
       } else {
         // Window function.
         ++local.num_operators;
         local.rows_processed += n;
-        // Partition rows.
-        std::unordered_map<GroupKey, std::vector<int32_t>, GroupKeyHash> parts;
-        std::vector<GroupKey> part_order;
-        for (size_t r = 0; r < n; ++r) {
-          GroupKey key;
-          key.values.reserve(item.window.partition_by.size());
-          for (const auto& p : item.window.partition_by) {
-            key.values.push_back(EvalScalar(p, *filtered, r));
-          }
-          auto [it, inserted] = parts.emplace(std::move(key), std::vector<int32_t>{});
-          it->second.push_back(static_cast<int32_t>(r));
-          if (inserted) part_order.push_back(it->first);
+        // Partition rows via the typed group index (single key store; the
+        // per-partition row lists are built off group ids, no re-hashing).
+        std::vector<Vec> part_vecs;
+        part_vecs.reserve(item.window.partition_by.size());
+        for (const auto& pexpr : item.window.partition_by) {
+          part_vecs.push_back(EvalVec(pexpr, *filtered));
+        }
+        std::vector<const Vec*> part_ptrs;
+        part_ptrs.reserve(part_vecs.size());
+        for (const Vec& v : part_vecs) part_ptrs.push_back(&v);
+        std::vector<int32_t> all_rows(n);
+        std::iota(all_rows.begin(), all_rows.end(), 0);
+        expr::GroupResult parts = expr::BuildGroups(part_ptrs, all_rows);
+        std::vector<std::vector<int32_t>> part_rows(parts.num_groups());
+        for (size_t pos = 0; pos < n; ++pos) {
+          part_rows[parts.group_of[pos]].push_back(static_cast<int32_t>(pos));
+        }
+
+        Vec arg_vec;
+        if (item.window.op != WindowOp::kRowNumber) {
+          arg_vec = EvalVec(item.window.arg, *filtered);
         }
         std::vector<Value> results(n, Value::Null());
-        for (const GroupKey& key : part_order) {
-          std::vector<int32_t>& rows = parts[key];
+        for (std::vector<int32_t>& rows : part_rows) {
           if (!item.window.order_by.empty()) {
             SortIndices(&rows, *filtered, item.window.order_by);
           }
@@ -475,12 +595,13 @@ Result<TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
             if (item.window.op == WindowOp::kRowNumber) {
               results[static_cast<size_t>(r)] = Value::Int(++rank);
             } else {
-              Value v = EvalScalar(item.window.arg, *filtered, static_cast<size_t>(r));
+              Value v = arg_vec.CellValue(static_cast<size_t>(r));
               if (!v.is_null()) running += v.AsDouble();
               results[static_cast<size_t>(r)] = Value::Double(running);
             }
           }
         }
+        col.Reserve(n);
         for (size_t r = 0; r < n; ++r) col.Append(results[r]);
       }
       columns.push_back(std::move(col));
@@ -505,10 +626,19 @@ Result<TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
     size_t end = stmt.limit < 0 ? output->num_rows()
                                 : std::min(begin + static_cast<size_t>(stmt.limit),
                                            output->num_rows());
-    std::vector<int32_t> keep;
-    keep.reserve(end - begin);
-    for (size_t r = begin; r < end; ++r) keep.push_back(static_cast<int32_t>(r));
-    output = output->Take(keep);
+    const size_t kept = end - begin;
+    if (kept * 2 >= output->num_rows()) {
+      // Zero-copy view; the discarded fraction of the backing storage is
+      // bounded, so pinning it (e.g. in the runtime query cache) is fine.
+      output = output->Slice(begin, kept);
+    } else {
+      // A small LIMIT over a large intermediate: compact so a cached result
+      // doesn't pin the whole pre-LIMIT table's storage.
+      std::vector<int32_t> keep;
+      keep.reserve(kept);
+      for (size_t r = begin; r < end; ++r) keep.push_back(static_cast<int32_t>(r));
+      output = output->Take(keep);
+    }
   }
 
   local.rows_output = output->num_rows();

@@ -1,7 +1,8 @@
 // SQL query execution: filter -> aggregate/project(+window) -> having ->
-// sort -> limit over the columnar table substrate. Row-at-a-time expression
-// evaluation through the shared expression kernel; columnar storage in and
-// out.
+// sort -> limit over the columnar table substrate. Expressions execute
+// column-at-a-time through the vectorized engine (expr::Compiler +
+// expr::BatchEvaluator) with a row-at-a-time scalar fallback for
+// expressions the compiler rejects; columnar storage in and out.
 #ifndef VEGAPLUS_SQL_EXECUTOR_H_
 #define VEGAPLUS_SQL_EXECUTOR_H_
 

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
-#include <unordered_map>
 
 #include "common/str_util.h"
+#include "expr/batch_eval.h"
+#include "expr/compiler.h"
 #include "expr/functions.h"
 #include "transforms/binning.h"
 
@@ -35,24 +36,35 @@ void AddSignalDep(std::vector<std::string>* deps, const std::string& name) {
   }
 }
 
-// Hashable group key over boxed values.
-struct Key {
-  std::vector<Value> values;
-  bool operator==(const Key& o) const {
-    if (values.size() != o.values.size()) return false;
-    for (size_t i = 0; i < values.size(); ++i) {
-      if (values[i] != o.values[i]) return false;
-    }
-    return true;
-  }
-};
-struct KeyHash {
-  size_t operator()(const Key& k) const {
-    size_t h = 0xABCDEF;
-    for (const Value& v : k.values) h = h * 1099511628211ull + v.Hash();
-    return h;
-  }
-};
+using expr::BatchEvaluator;
+using expr::Vec;
+
+/// Typed register over `col`, or a broadcast null register when the column
+/// is absent (the scalar paths treat missing fields as all-null).
+Vec ColumnOrNullVec(const Column* col) {
+  if (col != nullptr) return expr::ColumnVec(*col);
+  Vec v;
+  v.kind = expr::RegKind::kNum;
+  v.is_const = true;
+  v.num.push_back(0);
+  v.valid.push_back(0);
+  return v;
+}
+
+/// Group all rows of an n-row table by `key_cols` (missing columns group as
+/// null). Returns group ids per row plus one representative row per group.
+expr::GroupResult GroupByColumns(const std::vector<const Column*>& key_cols,
+                                 size_t n, std::vector<Vec>* key_vecs) {
+  key_vecs->clear();
+  key_vecs->reserve(key_cols.size());
+  for (const Column* c : key_cols) key_vecs->push_back(ColumnOrNullVec(c));
+  std::vector<const Vec*> ptrs;
+  ptrs.reserve(key_vecs->size());
+  for (const Vec& v : *key_vecs) ptrs.push_back(&v);
+  std::vector<int32_t> rows(n);
+  std::iota(rows.begin(), rows.end(), 0);
+  return expr::BuildGroups(ptrs, rows);
+}
 
 }  // namespace
 
@@ -94,13 +106,25 @@ Result<EvalResult> FilterOp::Evaluate(const TablePtr& input,
   VP_RETURN_IF_ERROR(expr::Validate(predicate_));
   std::vector<int32_t> keep;
   keep.reserve(input->num_rows());
-  expr::EvalContext ctx;
-  ctx.table = input.get();
-  ctx.signals = &signals;
-  for (size_t r = 0; r < input->num_rows(); ++r) {
-    ctx.row = r;
-    if (expr::Evaluate(predicate_, ctx).Truthy()) {
-      keep.push_back(static_cast<int32_t>(r));
+  bool vectorized = false;
+  if (expr::VectorizedEnabled()) {
+    // Signal-free predicates compile to a vector program (often the fused
+    // column-compare fast path); signal-dependent ones fall back to the
+    // scalar interpreter below.
+    if (auto program = expr::Compiler::Compile(predicate_, input->schema())) {
+      BatchEvaluator(*input).RunFilter(*program, &keep);
+      vectorized = true;
+    }
+  }
+  if (!vectorized) {
+    expr::EvalContext ctx;
+    ctx.table = input.get();
+    ctx.signals = &signals;
+    for (size_t r = 0; r < input->num_rows(); ++r) {
+      ctx.row = r;
+      if (expr::Evaluate(predicate_, ctx).Truthy()) {
+        keep.push_back(static_cast<int32_t>(r));
+      }
     }
   }
   EvalResult result;
@@ -325,49 +349,115 @@ Result<EvalResult> AggregateOp::Evaluate(const TablePtr& input,
     }
   }
 
-  std::unordered_map<Key, size_t, KeyHash> group_ids;
-  std::vector<Key> keys;
-  std::vector<std::vector<VegaAggState>> states;
-  for (size_t r = 0; r < input->num_rows(); ++r) {
-    Key key;
-    key.values.reserve(group_cols.size());
-    for (const Column* c : group_cols) {
-      key.values.push_back(c != nullptr ? c->ValueAt(r) : Value::Null());
+  // Hash-group all rows by the typed key registers (one pass, no boxing),
+  // then accumulate each aggregate with one typed branch per batch.
+  const size_t n = input->num_rows();
+  std::vector<Vec> key_vecs;
+  expr::GroupResult groups = GroupByColumns(group_cols, n, &key_vecs);
+  const size_t num_groups = groups.num_groups();
+
+  std::vector<size_t> group_sizes(num_groups, 0);
+  for (size_t r = 0; r < n; ++r) ++group_sizes[groups.group_of[r]];
+
+  std::vector<std::vector<VegaAggState>> states(
+      num_groups, std::vector<VegaAggState>(params_.ops.size()));
+  for (size_t a = 0; a < params_.ops.size(); ++a) {
+    const VegaAggOp op = params_.ops[a];
+    Vec arg = ColumnOrNullVec(measure_cols[a]);
+    if (arg.kind == expr::RegKind::kStr) {
+      // String measures (min/max over categories): boxed per-row updates.
+      for (size_t r = 0; r < n; ++r) {
+        states[groups.group_of[r]][a].Update(op, arg.CellValue(r));
+      }
+      continue;
     }
-    auto [it, inserted] = group_ids.emplace(key, keys.size());
-    if (inserted) {
-      keys.push_back(std::move(key));
-      states.emplace_back(params_.ops.size());
-    }
-    std::vector<VegaAggState>& ss = states[it->second];
-    for (size_t a = 0; a < params_.ops.size(); ++a) {
-      ss[a].Update(params_.ops[a],
-                   measure_cols[a] != nullptr ? measure_cols[a]->ValueAt(r)
-                                              : Value::Null());
+    // VegaAggState counts every row and every non-null value; the row count
+    // is just the group size.
+    for (size_t g = 0; g < num_groups; ++g) states[g][a].count = group_sizes[g];
+    switch (op) {
+      case VegaAggOp::kCount:
+        break;  // count preset above
+      case VegaAggOp::kValid:
+        for (size_t r = 0; r < n; ++r) {
+          if (arg.ValidAt(r)) ++states[groups.group_of[r]][a].valid;
+        }
+        break;
+      case VegaAggOp::kSum:
+      case VegaAggOp::kMean:
+        for (size_t r = 0; r < n; ++r) {
+          if (!arg.ValidAt(r)) continue;
+          VegaAggState& st = states[groups.group_of[r]][a];
+          st.sum += arg.NumAt(r);
+          ++st.valid;
+        }
+        break;
+      case VegaAggOp::kStdev:
+        for (size_t r = 0; r < n; ++r) {
+          if (!arg.ValidAt(r)) continue;
+          VegaAggState& st = states[groups.group_of[r]][a];
+          const double v = arg.NumAt(r);
+          st.sum += v;
+          st.sum_sq += v * v;
+          ++st.valid;
+        }
+        break;
+      case VegaAggOp::kMedian:
+        for (size_t r = 0; r < n; ++r) {
+          if (!arg.ValidAt(r)) continue;
+          VegaAggState& st = states[groups.group_of[r]][a];
+          st.values.push_back(arg.NumAt(r));
+          ++st.valid;
+        }
+        break;
+      case VegaAggOp::kMin:
+        for (size_t r = 0; r < n; ++r) {
+          if (!arg.ValidAt(r)) continue;
+          VegaAggState& st = states[groups.group_of[r]][a];
+          const double v = arg.NumAt(r);
+          if (st.min.is_null() || v < st.min.AsDouble()) st.min = Value::Double(v);
+          ++st.valid;
+        }
+        break;
+      case VegaAggOp::kMax:
+        for (size_t r = 0; r < n; ++r) {
+          if (!arg.ValidAt(r)) continue;
+          VegaAggState& st = states[groups.group_of[r]][a];
+          const double v = arg.NumAt(r);
+          if (st.max.is_null() || v > st.max.AsDouble()) st.max = Value::Double(v);
+          ++st.valid;
+        }
+        break;
     }
   }
 
+  // Group-key output columns gather the representative rows straight from
+  // the input columns (typed, zero boxing); aggregate columns append the
+  // finished values.
   std::vector<data::Field> fields;
+  std::vector<Column> columns;
   for (size_t i = 0; i < group_fields.size(); ++i) {
-    DataType t = group_cols[i] != nullptr ? group_cols[i]->type() : DataType::kString;
-    fields.push_back({group_fields[i], t});
+    if (group_cols[i] != nullptr) {
+      fields.push_back({group_fields[i], group_cols[i]->type()});
+      columns.push_back(group_cols[i]->Take(groups.rep_rows));
+    } else {
+      fields.push_back({group_fields[i], DataType::kString});
+      Column null_col(DataType::kString);
+      null_col.Reserve(num_groups);
+      for (size_t g = 0; g < num_groups; ++g) null_col.AppendNull();
+      columns.push_back(std::move(null_col));
+    }
   }
   for (size_t a = 0; a < params_.ops.size(); ++a) {
     fields.push_back({params_.as[a], VegaAggResultType(params_.ops[a], measure_cols[a])});
-  }
-  data::TableBuilder builder((Schema(fields)));
-  builder.Reserve(keys.size());
-  for (size_t g = 0; g < keys.size(); ++g) {
-    std::vector<Value> row;
-    row.reserve(fields.size());
-    for (const Value& v : keys[g].values) row.push_back(v);
-    for (size_t a = 0; a < params_.ops.size(); ++a) {
-      row.push_back(states[g][a].Finish(params_.ops[a]));
+    Column col(fields.back().type);
+    col.Reserve(num_groups);
+    for (size_t g = 0; g < num_groups; ++g) {
+      col.Append(states[g][a].Finish(params_.ops[a]));
     }
-    builder.AppendRow(row);
+    columns.push_back(std::move(col));
   }
   EvalResult result;
-  result.table = builder.Build();
+  result.table = std::make_shared<Table>(Schema(std::move(fields)), std::move(columns));
   result.rows_processed = input->num_rows();
   return result;
 }
@@ -382,19 +472,24 @@ CollectOp::CollectOp(std::vector<SortKey> keys)
 Result<EvalResult> CollectOp::Evaluate(const TablePtr& input,
                                        const expr::SignalResolver& signals) {
   if (!input) return Status::InvalidArgument("collect: missing input");
-  std::vector<const Column*> cols(keys_.size(), nullptr);
+  // Typed sort keys: one register per present key column, compared natively
+  // in the comparator instead of boxing two Values per probe.
+  std::vector<Vec> key_vecs;
+  std::vector<bool> key_desc;
   for (size_t i = 0; i < keys_.size(); ++i) {
     VP_ASSIGN_OR_RETURN(std::string f, keys_[i].field.Resolve(signals));
-    cols[i] = input->ColumnByName(f);
+    const Column* col = input->ColumnByName(f);
+    if (col == nullptr) continue;  // unknown fields never influence the order
+    key_vecs.push_back(expr::ColumnVec(*col));
+    key_desc.push_back(keys_[i].descending);
   }
   std::vector<int32_t> order(input->num_rows());
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
-    for (size_t i = 0; i < keys_.size(); ++i) {
-      if (cols[i] == nullptr) continue;
-      int cmp = cols[i]->ValueAt(static_cast<size_t>(a))
-                    .Compare(cols[i]->ValueAt(static_cast<size_t>(b)));
-      if (keys_[i].descending) cmp = -cmp;
+    for (size_t i = 0; i < key_vecs.size(); ++i) {
+      int cmp = key_vecs[i].CompareCells(static_cast<size_t>(a),
+                                         static_cast<size_t>(b));
+      if (key_desc[i]) cmp = -cmp;
       if (cmp != 0) return cmp < 0;
     }
     return false;
@@ -464,30 +559,32 @@ Result<EvalResult> StackOp::Evaluate(const TablePtr& input,
     sort_desc.push_back(k.descending);
   }
 
-  // Partition rows by group key, preserving first-seen partition order.
-  std::unordered_map<Key, std::vector<int32_t>, KeyHash> parts;
-  std::vector<const std::vector<int32_t>*> part_order;
-  std::vector<Key> part_keys;
-  for (size_t r = 0; r < input->num_rows(); ++r) {
-    Key key;
-    for (const Column* c : group_cols) {
-      key.values.push_back(c != nullptr ? c->ValueAt(r) : Value::Null());
-    }
-    auto [it, inserted] = parts.emplace(std::move(key), std::vector<int32_t>{});
-    it->second.push_back(static_cast<int32_t>(r));
-    if (inserted) part_keys.push_back(it->first);
+  // Partition rows via the typed group index, preserving first-seen
+  // partition order (keys are stored once, in the key registers).
+  const size_t n = input->num_rows();
+  std::vector<Vec> part_key_vecs;
+  expr::GroupResult groups = GroupByColumns(group_cols, n, &part_key_vecs);
+  std::vector<std::vector<int32_t>> part_rows(groups.num_groups());
+  for (size_t r = 0; r < n; ++r) {
+    part_rows[groups.group_of[r]].push_back(static_cast<int32_t>(r));
+  }
+
+  std::vector<Vec> sort_vecs;
+  std::vector<bool> sort_vec_desc;
+  for (size_t i = 0; i < sort_cols.size(); ++i) {
+    if (sort_cols[i] == nullptr) continue;
+    sort_vecs.push_back(expr::ColumnVec(*sort_cols[i]));
+    sort_vec_desc.push_back(sort_desc[i]);
   }
 
   std::vector<double> y0(input->num_rows(), 0), y1(input->num_rows(), 0);
-  for (const Key& key : part_keys) {
-    std::vector<int32_t>& rows = parts[key];
-    if (!sort_cols.empty()) {
+  for (std::vector<int32_t>& rows : part_rows) {
+    if (!sort_vecs.empty()) {
       std::stable_sort(rows.begin(), rows.end(), [&](int32_t a, int32_t b) {
-        for (size_t i = 0; i < sort_cols.size(); ++i) {
-          if (sort_cols[i] == nullptr) continue;
-          int cmp = sort_cols[i]->ValueAt(static_cast<size_t>(a))
-                        .Compare(sort_cols[i]->ValueAt(static_cast<size_t>(b)));
-          if (sort_desc[i]) cmp = -cmp;
+        for (size_t i = 0; i < sort_vecs.size(); ++i) {
+          int cmp = sort_vecs[i].CompareCells(static_cast<size_t>(a),
+                                              static_cast<size_t>(b));
+          if (sort_vec_desc[i]) cmp = -cmp;
           if (cmp != 0) return cmp < 0;
         }
         return false;
@@ -571,31 +668,50 @@ Result<EvalResult> FormulaOp::Evaluate(const TablePtr& input,
                                        const expr::SignalResolver& signals) {
   if (!input) return Status::InvalidArgument("formula: missing input");
   VP_RETURN_IF_ERROR(expr::Validate(expression_));
-  // Infer the output type from the first non-null evaluation.
-  expr::EvalContext ctx;
-  ctx.table = input.get();
-  ctx.signals = &signals;
-  std::vector<Value> values;
-  values.reserve(input->num_rows());
-  DataType type = DataType::kFloat64;
-  bool type_set = false;
-  for (size_t r = 0; r < input->num_rows(); ++r) {
-    ctx.row = r;
-    expr::EvalValue v = expr::Evaluate(expression_, ctx);
-    Value scalar = v.is_array() ? Value::Null() : v.scalar();
-    if (!type_set && !scalar.is_null()) {
-      type = scalar.type();
-      type_set = true;
+  Column out(DataType::kFloat64);
+  bool vectorized = false;
+  if (expr::VectorizedEnabled()) {
+    // Signal-free formulas execute column-at-a-time; the compiler's static
+    // result type replaces the scalar path's first-non-null inference.
+    if (auto program = expr::Compiler::Compile(expression_, input->schema())) {
+      DataType type;
+      switch (program->result_kind) {
+        case expr::RegKind::kStr: type = DataType::kString; break;
+        case expr::RegKind::kBool: type = DataType::kBool; break;
+        default: type = program->result_type; break;
+      }
+      out = Column(type);
+      BatchEvaluator(*input).RunToColumn(*program, &out);
+      vectorized = true;
     }
-    values.push_back(std::move(scalar));
+  }
+  if (!vectorized) {
+    // Infer the output type from the first non-null evaluation.
+    expr::EvalContext ctx;
+    ctx.table = input.get();
+    ctx.signals = &signals;
+    std::vector<Value> values;
+    values.reserve(input->num_rows());
+    DataType type = DataType::kFloat64;
+    bool type_set = false;
+    for (size_t r = 0; r < input->num_rows(); ++r) {
+      ctx.row = r;
+      expr::EvalValue v = expr::Evaluate(expression_, ctx);
+      Value scalar = v.is_array() ? Value::Null() : v.scalar();
+      if (!type_set && !scalar.is_null()) {
+        type = scalar.type();
+        type_set = true;
+      }
+      values.push_back(std::move(scalar));
+    }
+    out = Column(type);
+    out.Reserve(values.size());
+    for (const Value& v : values) out.Append(v);
   }
   std::vector<data::Field> fields(input->schema().fields());
-  fields.push_back({as_, type});
+  fields.push_back({as_, out.type()});
   std::vector<Column> columns;
   for (size_t c = 0; c < input->num_columns(); ++c) columns.push_back(input->column(c));
-  Column out(type);
-  out.Reserve(values.size());
-  for (const Value& v : values) out.Append(v);
   columns.push_back(std::move(out));
   EvalResult result;
   result.table = std::make_shared<Table>(Schema(std::move(fields)), std::move(columns));

@@ -155,6 +155,45 @@ TEST(TableTest, TakeAndHead) {
   EXPECT_EQ(t->Head(100)->num_rows(), 3u);
 }
 
+TEST(TableTest, SliceSharesStorageAndClamps) {
+  TablePtr t = MakeTable(TestSchema(), {
+                                           {Value::Int(1), Value::Double(1), Value::String("a")},
+                                           {Value::Int(2), Value::Null(), Value::String("b")},
+                                           {Value::Int(3), Value::Double(3), Value::String("c")},
+                                           {Value::Int(4), Value::Double(4), Value::String("d")},
+                                       });
+  TablePtr mid = t->Slice(1, 2);
+  EXPECT_EQ(mid->num_rows(), 2u);
+  EXPECT_EQ(mid->ValueAt(0, "id"), Value::Int(2));
+  EXPECT_EQ(mid->ValueAt(1, "name"), Value::String("c"));
+  EXPECT_TRUE(mid->ValueAt(0, "score").is_null());
+  EXPECT_EQ(mid->ColumnByName("score")->null_count(), 1u);
+  // Zero-copy: the sliced column reads from the parent's buffers.
+  EXPECT_EQ(mid->ColumnByName("id")->ints_data(),
+            t->ColumnByName("id")->ints_data() + 1);
+  // Clamping.
+  EXPECT_EQ(t->Slice(3, 10)->num_rows(), 1u);
+  EXPECT_EQ(t->Slice(9, 2)->num_rows(), 0u);
+  // Nested slices compose offsets.
+  TablePtr tail = mid->Slice(1, 1);
+  EXPECT_EQ(tail->ValueAt(0, "id"), Value::Int(3));
+}
+
+TEST(ColumnTest, SliceCopyOnWrite) {
+  Column col(DataType::kInt64);
+  for (int i = 0; i < 5; ++i) col.AppendInt(i);
+  Column view = col.Slice(1, 3);
+  ASSERT_EQ(view.length(), 3u);
+  EXPECT_EQ(view.IntAt(0), 1);
+  // Appending to a shared slice must not disturb the original column.
+  view.AppendInt(99);
+  ASSERT_EQ(view.length(), 4u);
+  EXPECT_EQ(view.IntAt(3), 99);
+  EXPECT_EQ(view.IntAt(0), 1);
+  ASSERT_EQ(col.length(), 5u);
+  EXPECT_EQ(col.IntAt(4), 4);
+}
+
 TEST(TableTest, Equals) {
   auto rows = std::vector<std::vector<Value>>{
       {Value::Int(1), Value::Double(1), Value::String("a")}};
