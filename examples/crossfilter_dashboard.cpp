@@ -46,7 +46,11 @@ int main() {
 
   runtime::VegaBaselineExecutor vega(bc->spec, tables);
   runtime::VegaFusionBaselineExecutor fusion(bc->spec, &engine, {});
-  runtime::PlanExecutor vegaplus(bc->spec, &engine, {});
+  // VegaPlus runs as one client session of a shared middleware — the same
+  // service instance could serve many dashboards concurrently.
+  auto middleware = std::make_shared<runtime::Middleware>(&engine,
+                                                          runtime::MiddlewareOptions{});
+  runtime::PlanExecutor vegaplus(bc->spec, middleware);
 
   auto vega_init = vega.Initialize();
   auto fusion_init = fusion.Initialize();
@@ -77,6 +81,10 @@ int main() {
                 rows_vega == rows_fusion && rows_fusion == rows_vp ? "(match)"
                                                                    : "(MISMATCH!)");
   }
-  std::printf("\n");
+  auto stats = vegaplus.session().stats();
+  std::printf("\n\nvegaplus session: %zu submitted, %zu client hits, %zu server hits, "
+              "%zu dbms, %zu cancelled\n",
+              stats.submitted, stats.client_cache_hits, stats.server_cache_hits,
+              stats.dbms_executions, stats.cancelled);
   return 0;
 }

@@ -22,6 +22,7 @@ enum class StatusCode : int {
   kNotImplemented = 6,
   kIOError = 7,
   kRuntimeError = 8,
+  kCancelled = 9,
 };
 
 /// \brief Outcome of an operation: OK, or an error code plus message.
@@ -63,6 +64,9 @@ class Status {
   static Status RuntimeError(std::string msg) {
     return Status(StatusCode::kRuntimeError, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -79,6 +83,7 @@ class Status {
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsRuntimeError() const { return code() == StatusCode::kRuntimeError; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// Human-readable "Code: message" string.
   std::string ToString() const {
@@ -97,6 +102,7 @@ class Status {
       case StatusCode::kNotImplemented: return "NotImplemented";
       case StatusCode::kIOError: return "IOError";
       case StatusCode::kRuntimeError: return "RuntimeError";
+      case StatusCode::kCancelled: return "Cancelled";
     }
     return "Unknown";
   }

@@ -92,40 +92,56 @@ Result<RunStats> Dataflow::Propagate(const std::vector<Operator*>& initially_dir
   std::vector<bool> dirty(operators_.size(), false);
   for (Operator* op : initially_dirty) dirty[static_cast<size_t>(op->id)] = true;
 
-  RunStats stats;
-  for (Operator* op : order) {
-    // Re-check signal stamps (a producer earlier in this pass may have
-    // written a signal this operator reads).
-    bool is_dirty = dirty[static_cast<size_t>(op->id)];
-    if (!is_dirty && op->input != nullptr && op->input->stamp > op->stamp) {
-      is_dirty = true;
+  // Re-check input/signal stamps (a producer earlier in this pass may have
+  // written a signal this operator reads).
+  auto is_dirty = [&](const Operator* op) {
+    if (dirty[static_cast<size_t>(op->id)]) return true;
+    if (op->input != nullptr && op->input->stamp > op->stamp) return true;
+    for (const std::string& sig : op->signal_deps()) {
+      if (signals_.StampOf(sig) > op->stamp) return true;
     }
-    if (!is_dirty) {
-      for (const std::string& sig : op->signal_deps()) {
-        if (signals_.StampOf(sig) > op->stamp) {
-          is_dirty = true;
-          break;
-        }
-      }
-    }
-    if (!is_dirty) continue;
+    return false;
+  };
 
-    data::TablePtr input = op->input != nullptr ? op->input->output : nullptr;
-    auto result = op->Evaluate(input, signals_);
-    if (!result.ok()) {
-      return Status(result.status().code(),
-                    "dataflow: operator '" + op->type() + "' (id " +
-                        std::to_string(op->id) + "): " + result.status().message());
+  // Evaluate rank by rank. Operators within one rank are independent by
+  // construction, so their external work (VDT queries) is prefetched —
+  // submitted asynchronously — before any of them is evaluated, and the wave
+  // is charged the *maximum* external latency of its members instead of the
+  // sum: k concurrent server round trips cost ~max, not k round trips.
+  RunStats stats;
+  size_t wave_start = 0;
+  while (wave_start < order.size()) {
+    size_t wave_end = wave_start;
+    const int rank = order[wave_start]->rank;
+    while (wave_end < order.size() && order[wave_end]->rank == rank) ++wave_end;
+
+    for (size_t i = wave_start; i < wave_end; ++i) {
+      if (is_dirty(order[i])) order[i]->Prefetch(signals_);
     }
-    op->output = result->table;
-    op->stamp = clock_;
-    for (auto& [name, value] : result->signal_writes) {
-      signals_.Set(name, std::move(value), clock_);
-      signal_producers_[name] = op;
+
+    double wave_external = 0;
+    for (size_t i = wave_start; i < wave_end; ++i) {
+      Operator* op = order[i];
+      if (!is_dirty(op)) continue;
+      data::TablePtr input = op->input != nullptr ? op->input->output : nullptr;
+      auto result = op->Evaluate(input, signals_);
+      if (!result.ok()) {
+        return Status(result.status().code(),
+                      "dataflow: operator '" + op->type() + "' (id " +
+                          std::to_string(op->id) + "): " + result.status().message());
+      }
+      op->output = result->table;
+      op->stamp = clock_;
+      for (auto& [name, value] : result->signal_writes) {
+        signals_.Set(name, std::move(value), clock_);
+        signal_producers_[name] = op;
+      }
+      ++stats.ops_evaluated;
+      stats.rows_processed += result->rows_processed;
+      wave_external = std::max(wave_external, result->external_millis);
     }
-    ++stats.ops_evaluated;
-    stats.rows_processed += result->rows_processed;
-    stats.external_millis += result->external_millis;
+    stats.external_millis += wave_external;
+    wave_start = wave_end;
   }
   return stats;
 }

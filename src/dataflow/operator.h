@@ -48,6 +48,15 @@ class Operator {
   virtual Result<EvalResult> Evaluate(const data::TablePtr& input,
                                       const expr::SignalResolver& signals) = 0;
 
+  /// Called by the dataflow before evaluating a wave of same-rank dirty
+  /// operators, so operators with external work (VDTs) can *submit* it
+  /// asynchronously; the following Evaluate() then awaits the result. All
+  /// prefetches of one wave are issued before any Evaluate, which is what
+  /// makes independent VDT round trips in one pulse overlap (cost ~max
+  /// instead of sum). Must be side-effect-free on the dataflow itself;
+  /// errors are deferred to Evaluate(). Default: no-op.
+  virtual void Prefetch(const expr::SignalResolver& signals) { (void)signals; }
+
   // ---- Graph wiring / runtime state (managed by Dataflow) ----
   int id = -1;
   Operator* input = nullptr;        // upstream data dependency (may be null)

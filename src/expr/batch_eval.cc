@@ -598,10 +598,38 @@ Vec BatchEvaluator::Run(const Program& p) const {
     return v;
   };
 
+  // CSE cache for columns the program loads repeatedly (p.reused_cols):
+  // widen each such column batch once per run; later loads copy the
+  // materialized register instead of re-running the typed widening loop,
+  // and the final load moves it out of the cache (no copy at all).
+  struct CachedCol {
+    int32_t col;
+    int32_t remaining;  // loads left, including the one being served
+    Vec vec;
+    bool materialized = false;
+  };
+  std::vector<CachedCol> col_cache;
+  col_cache.reserve(p.reused_cols.size());
+  for (const auto& [col, count] : p.reused_cols) {
+    col_cache.push_back(CachedCol{col, count, Vec{}, false});
+  }
+  auto load_col = [&](int32_t col) -> Vec {
+    for (CachedCol& c : col_cache) {
+      if (c.col != col) continue;
+      --c.remaining;
+      if (!c.materialized) {
+        c.vec = ColumnVec(table_.column(static_cast<size_t>(col)));
+        c.materialized = true;
+      }
+      return c.remaining == 0 ? std::move(c.vec) : c.vec;
+    }
+    return ColumnVec(table_.column(static_cast<size_t>(col)));
+  };
+
   for (const Instr& instr : p.code) {
     switch (instr.op) {
       case VecOp::kLoadCol:
-        stack.push_back(ColumnVec(table_.column(static_cast<size_t>(instr.imm))));
+        stack.push_back(load_col(instr.imm));
         break;
       case VecOp::kLoadNumConst: {
         const Program::NumConst& c = p.num_consts[static_cast<size_t>(instr.imm)];

@@ -412,6 +412,27 @@ void DetectFusedCompare(Program* p) {
   p->fused_const = c.value;
 }
 
+/// Compile-time CSE analysis: record columns loaded more than once (and how
+/// often) so the evaluator caches their registers per program run.
+void DetectReusedColumns(Program* p) {
+  std::vector<std::pair<int32_t, int32_t>> counts;
+  for (const Instr& instr : p->code) {
+    if (instr.op != VecOp::kLoadCol) continue;
+    bool found = false;
+    for (auto& [col, n] : counts) {
+      if (col == instr.imm) {
+        ++n;
+        found = true;
+        break;
+      }
+    }
+    if (!found) counts.emplace_back(instr.imm, 1);
+  }
+  for (const auto& entry : counts) {
+    if (entry.second >= 2) p->reused_cols.push_back(entry);
+  }
+}
+
 }  // namespace
 
 std::optional<Program> Compiler::Compile(const NodePtr& node,
@@ -423,6 +444,7 @@ std::optional<Program> Compiler::Compile(const NodePtr& node,
   program.result_kind = result->kind;
   program.result_type = result->type;
   DetectFusedCompare(&program);
+  DetectReusedColumns(&program);
   return program;
 }
 

@@ -110,6 +110,14 @@ struct Program {
   int32_t fused_col = -1;
   BinaryOp fused_cmp = BinaryOp::kLt;
   double fused_const = 0;
+
+  /// Common-subexpression elimination for column loads: (column, load count)
+  /// for every column that appears in two or more kLoadCol instructions
+  /// (compound predicates like `datum.a > x && datum.a < y` load `a`
+  /// repeatedly). The evaluator materializes each such column register once
+  /// per run and reuses it — copying for intermediate uses, moving on the
+  /// final one — instead of re-running the typed widening loop per load.
+  std::vector<std::pair<int32_t, int32_t>> reused_cols;
 };
 
 /// \brief Lowers expression trees to vector programs.

@@ -1,6 +1,7 @@
 #include "optimizer/labeler.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "expr/sql_translator.h"
 #include "rewrite/flatten.h"
@@ -76,6 +77,8 @@ Status SessionLabeler::BuildTemplates() {
       data_templates_[e][0].present = true;
       data_templates_[e][0].sql = rewrite::RenderPipelineSql(pipeline);
       data_templates_[e][0].derived = pipeline.derived;
+      data_templates_[e][0].deps =
+          rewrite::VdtSignalDeps(data_templates_[e][0].sql, pipeline.derived);
     }
 
     if (base_ok) {
@@ -89,12 +92,15 @@ Status SessionLabeler::BuildTemplates() {
           side.sql = pipeline.side_queries[side_seen].sql_template;
           side.derived = pipeline.side_queries[side_seen].derived;
           side.position = s - 1;
+          side.output_signal = pipeline.side_queries[side_seen].output_signal;
+          side.deps = rewrite::VdtSignalDeps(side.sql, side.derived);
           side_templates_[e].push_back(std::move(side));
         }
-        data_templates_[e][static_cast<size_t>(s)].present = true;
-        data_templates_[e][static_cast<size_t>(s)].sql =
-            rewrite::RenderPipelineSql(pipeline);
-        data_templates_[e][static_cast<size_t>(s)].derived = pipeline.derived;
+        DataTemplate& tpl = data_templates_[e][static_cast<size_t>(s)];
+        tpl.present = true;
+        tpl.sql = rewrite::RenderPipelineSql(pipeline);
+        tpl.derived = pipeline.derived;
+        tpl.deps = rewrite::VdtSignalDeps(tpl.sql, tpl.derived);
       }
       if (max_split == total) {
         full_pipelines[e] = pipeline;
@@ -190,11 +196,19 @@ Result<std::vector<double>> SessionLabeler::LabelEpisode(
     }
   }
 
-  // Stage costs, computed lazily per (entry, split).
+  // Stage costs, computed lazily per (entry, split). Kept per query (not
+  // summed): the executor submits independent queries of one pulse
+  // concurrently, so composition below charges max-per-wave, not the sum.
   const auto& registry = graph.signals();
+  struct PlanQuery {
+    double ms = 0;
+    const std::vector<std::string>* deps = nullptr;   // signals the query reads
+    const std::string* out_signal = nullptr;          // signal it writes (sides)
+  };
   struct StageCost {
-    double side_ms = 0;
-    double fetch_ms = 0;
+    std::vector<PlanQuery> sides;  // side queries executed this episode
+    bool fetch_present = false;
+    PlanQuery fetch;
   };
   std::vector<std::map<int, StageCost>> stage_cache(spec.data.size());
   auto server_cost = [&](size_t e, int split) -> Result<StageCost> {
@@ -208,7 +222,7 @@ Result<std::vector<double>> SessionLabeler::LabelEpisode(
       VP_RETURN_IF_ERROR(resolver.Materialize());
       VP_ASSIGN_OR_RETURN(std::string sql, expr::FillSqlHoles(side.sql, resolver));
       VP_ASSIGN_OR_RETURN(ColdQueryCosts::Cost c, cold_.Execute(sql));
-      cost.side_ms += c.latency_ms;
+      cost.sides.push_back(PlanQuery{c.latency_ms, &side.deps, &side.output_signal});
     }
     const DataTemplate& tpl = data_templates_[e][static_cast<size_t>(split)];
     if (tpl.present && (initial || ChainReevaluates(e, split))) {
@@ -216,16 +230,51 @@ Result<std::vector<double>> SessionLabeler::LabelEpisode(
       VP_RETURN_IF_ERROR(resolver.Materialize());
       VP_ASSIGN_OR_RETURN(std::string sql, expr::FillSqlHoles(tpl.sql, resolver));
       VP_ASSIGN_OR_RETURN(ColdQueryCosts::Cost c, cold_.Execute(sql));
-      cost.fetch_ms = c.latency_ms;
+      cost.fetch_present = true;
+      cost.fetch = PlanQuery{c.latency_ms, &tpl.deps, nullptr};
     }
     stage_cache[e].emplace(split, cost);
     return cost;
   };
 
+  // Mirror of the dataflow's rank grouping: queries level by produced-signal
+  // dependencies; each level (wave) runs concurrently and costs its maximum.
+  auto compose_waves = [](const std::vector<PlanQuery>& queries) {
+    std::map<std::string, size_t> producer;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (queries[i].out_signal != nullptr && !queries[i].out_signal->empty()) {
+        producer[*queries[i].out_signal] = i;
+      }
+    }
+    std::vector<int> level(queries.size(), -1);
+    std::function<int(size_t)> level_of = [&](size_t i) -> int {
+      if (level[i] >= 0) return level[i];
+      level[i] = 0;  // cycle guard (dependency cycles cannot occur in valid plans)
+      int l = 0;
+      for (const std::string& dep : *queries[i].deps) {
+        auto it = producer.find(dep);
+        if (it != producer.end() && it->second != i) {
+          l = std::max(l, level_of(it->second) + 1);
+        }
+      }
+      level[i] = l;
+      return l;
+    };
+    std::map<int, double> wave_max;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      double& slot = wave_max[level_of(i)];
+      slot = std::max(slot, queries[i].ms);
+    }
+    double total = 0;
+    for (const auto& [lvl, ms] : wave_max) total += ms;
+    return total;
+  };
+
   std::vector<double> labels;
   labels.reserve(plans.size());
   for (const auto& p : plans) {
-    double total_ms = 0;
+    double client_ms = 0;
+    std::vector<PlanQuery> queries;
     for (size_t e = 0; e < spec.data.size(); ++e) {
       const spec::DataSpec& d = spec.data[e];
       const int split = p.splits[e];
@@ -239,8 +288,8 @@ Result<std::vector<double>> SessionLabeler::LabelEpisode(
                           child_needs_client || children_[e].empty();
 
       VP_ASSIGN_OR_RETURN(StageCost sc, server_cost(e, split));
-      total_ms += sc.side_ms;
-      if (fetch_needed) total_ms += sc.fetch_ms;
+      queries.insert(queries.end(), sc.sides.begin(), sc.sides.end());
+      if (fetch_needed && sc.fetch_present) queries.push_back(sc.fetch);
 
       // Client suffix.
       size_t rows = 0;
@@ -252,9 +301,9 @@ Result<std::vector<double>> SessionLabeler::LabelEpisode(
           ++ops;
         }
       }
-      total_ms += runtime::ClientComputeMillis(rows, ops, latency_);
+      client_ms += runtime::ClientComputeMillis(rows, ops, latency_);
     }
-    labels.push_back(total_ms);
+    labels.push_back(client_ms + compose_waves(queries));
   }
   return labels;
 }

@@ -89,11 +89,15 @@ class SessionLabeler {
     bool present = false;
     std::string sql;
     std::vector<rewrite::DerivedParam> derived;
+    /// Signals the query reads (wave leveling, mirrors VDT dirty deps).
+    std::vector<std::string> deps;
   };
   struct SideTemplate {
     std::string sql;
     std::vector<rewrite::DerivedParam> derived;
     int position = 0;  // index of the extent transform within the entry
+    std::string output_signal;
+    std::vector<std::string> deps;
   };
 
   Status BuildTemplates();

@@ -132,6 +132,8 @@ Result<PlanDataflow> PlanBuilder::Build(const ExecutionPlan& plan,
       for (auto& side : pipeline.side_queries) {
         auto vdt = std::make_unique<SignalVdtOp>(side.sql_template, side.derived,
                                                  service, side.output_signal);
+        // Parse the template once, now — later evaluations only bind params.
+        VP_RETURN_IF_ERROR(vdt->EnsurePrepared());
         dataflow::Operator* raw = graph.Add(std::move(vdt), nullptr);
         raw->data_entry = d.name;
         graph.RegisterSignalProducer(side.output_signal, raw);
@@ -160,6 +162,7 @@ Result<PlanDataflow> PlanBuilder::Build(const ExecutionPlan& plan,
         // Fetch the prefix output (split==0 on a root fetches raw data).
         auto vdt = std::make_unique<VdtOp>(RenderPipelineSql(pipeline),
                                            pipeline.derived, service);
+        VP_RETURN_IF_ERROR(vdt->EnsurePrepared());
         head = graph.Add(std::move(vdt), nullptr);
         out.vdts.push_back(head);
       }

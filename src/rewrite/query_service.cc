@@ -1,0 +1,108 @@
+#include "rewrite/query_service.h"
+
+#include "expr/sql_translator.h"
+
+namespace vegaplus {
+namespace rewrite {
+
+Result<QueryResponse> QueryTicket::Await() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+  return response_;
+}
+
+bool QueryTicket::Cancel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (done_ || delivery_decided_) return false;
+  cancel_requested_ = true;
+  if (!executing_) {
+    // Never started: resolve right away so Await() does not block on a
+    // request no worker will ever pick up after the service drops it.
+    done_ = true;
+    response_ = Status::Cancelled("query superseded before execution");
+    cv_.notify_all();
+  }
+  return true;
+}
+
+bool QueryTicket::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+bool QueryTicket::cancel_requested() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cancel_requested_;
+}
+
+QueryTicketPtr QueryTicket::Ready(Result<QueryResponse> response, uint64_t generation) {
+  auto ticket = std::make_shared<QueryTicket>(generation);
+  ticket->done_ = true;
+  ticket->response_ = std::move(response);
+  return ticket;
+}
+
+bool QueryTicket::BeginExecution() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (done_ || cancel_requested_) return false;
+  executing_ = true;
+  return true;
+}
+
+bool QueryTicket::CommitDelivery() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (done_ || delivery_decided_) return false;
+  delivery_decided_ = true;
+  deliver_response_ = !cancel_requested_;
+  return deliver_response_;
+}
+
+void QueryTicket::Deliver(Result<QueryResponse> response) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (done_) return;
+  done_ = true;
+  // Without a prior CommitDelivery (convenience paths), decide here.
+  if (!delivery_decided_) deliver_response_ = !cancel_requested_;
+  response_ = deliver_response_
+                  ? std::move(response)
+                  : Result<QueryResponse>(Status::Cancelled("query superseded"));
+  cv_.notify_all();
+}
+
+QueryService::AdapterState& QueryService::adapter() {
+  std::lock_guard<std::mutex> lock(adapter_init_mu_);
+  if (!adapter_) adapter_ = std::make_unique<AdapterState>();
+  return *adapter_;
+}
+
+Result<PreparedHandle> QueryService::Prepare(const std::string& sql_template) {
+  AdapterState& state = adapter();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.by_text.find(sql_template);
+  if (it != state.by_text.end()) return it->second;
+  state.templates.push_back(sql_template);
+  PreparedHandle handle = static_cast<PreparedHandle>(state.templates.size());
+  state.by_text.emplace(sql_template, handle);
+  return handle;
+}
+
+QueryTicketPtr QueryService::Submit(const QueryRequest& request) {
+  AdapterState& state = adapter();
+  std::string sql_template;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (request.handle == 0 || request.handle > state.templates.size()) {
+      return QueryTicket::Ready(
+          Status::InvalidArgument("query service: unknown prepared handle"),
+          request.generation);
+    }
+    sql_template = state.templates[request.handle - 1];
+  }
+  ParamResolver resolver(request.params);
+  auto sql = expr::FillSqlHoles(sql_template, resolver);
+  if (!sql.ok()) return QueryTicket::Ready(sql.status(), request.generation);
+  return QueryTicket::Ready(Execute(*sql), request.generation);
+}
+
+}  // namespace rewrite
+}  // namespace vegaplus

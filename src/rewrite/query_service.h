@@ -1,12 +1,31 @@
-// QueryService: what a VDT talks to. The runtime module's Middleware
-// implements this (cache -> network -> DBMS); tests can stub it.
+// QueryService: what a VDT talks to. The runtime module's Middleware /
+// Session implement this (cache -> network -> DBMS); tests can stub it.
+//
+// The contract is session-oriented and asynchronous:
+//   * Prepare(template) parses the SQL template once and returns a
+//     PreparedHandle; the statement identity is formatting-insensitive.
+//   * Submit(QueryRequest{handle, params, generation}) returns a future-like
+//     QueryTicket immediately; Await() blocks for the response, Cancel()
+//     abandons it. A newer generation submitted for the same handle within a
+//     session supersedes (cancels) the older in-flight request.
+//   * Execute(sql) is the legacy blocking string path. Services only have to
+//     implement Execute: the base class provides Prepare/Submit adapters
+//     that fill the template's holes and run synchronously, so pre-session
+//     QueryService stubs keep working unchanged under the new callers.
 #ifndef VEGAPLUS_REWRITE_QUERY_SERVICE_H_
 #define VEGAPLUS_REWRITE_QUERY_SERVICE_H_
 
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "common/result.h"
 #include "data/table.h"
+#include "expr/evaluator.h"
 
 namespace vegaplus {
 namespace rewrite {
@@ -23,11 +42,147 @@ struct QueryResponse {
   enum class Source { kClientCache, kServerCache, kDbms } source = Source::kDbms;
 };
 
+/// Opaque id of a prepared statement within one QueryService (0 = invalid).
+using PreparedHandle = uint64_t;
+
+/// \brief One bound parameter of a Submit call.
+struct QueryParam {
+  std::string name;
+  expr::EvalValue value;
+
+  bool operator==(const QueryParam& other) const {
+    return name == other.name && value == other.value;
+  }
+  bool operator!=(const QueryParam& other) const { return !(*this == other); }
+};
+
+/// \brief An asynchronous query submission.
+struct QueryRequest {
+  PreparedHandle handle = 0;
+  std::vector<QueryParam> params;
+  /// Client-side interaction generation. Within one session, submitting a
+  /// newer generation for the same supersession scope cancels the older
+  /// in-flight request (its work is superseded; decoding it would be
+  /// wasted). Generation 0 opts out entirely (independent submissions).
+  uint64_t generation = 0;
+  /// Supersession scope: requests relate only when they come from the same
+  /// submitter (e.g. one VDT — distinct VDTs that happen to share a
+  /// deduplicated statement must not cancel each other). 0 scopes by
+  /// statement handle alone.
+  uint64_t client_id = 0;
+};
+
+/// \brief Future-like handle for one submitted query.
+///
+/// Thread-safe. Produced by QueryService::Submit; resolved by the service
+/// (possibly on a worker thread) via BeginExecution()/CommitDelivery()/
+/// Deliver().
+class QueryTicket {
+ public:
+  QueryTicket() = default;
+  explicit QueryTicket(uint64_t generation) : generation_(generation) {}
+
+  /// Block until the response (or error / cancellation) is available.
+  Result<QueryResponse> Await();
+
+  /// Request cancellation. A ticket cancelled before execution starts never
+  /// touches the DBMS; one cancelled mid-execution still resolves to
+  /// Status::Cancelled (the result is discarded, never delivered). Returns
+  /// false when the ticket had already completed.
+  bool Cancel();
+
+  bool done() const;
+  bool cancel_requested() const;
+  uint64_t generation() const { return generation_; }
+
+  // ---- Service-side API ----
+
+  /// Immediately resolved ticket (cache hits, synchronous adapters).
+  static std::shared_ptr<QueryTicket> Ready(Result<QueryResponse> response,
+                                            uint64_t generation = 0);
+
+  /// Mark the ticket as executing. Returns false when cancellation was
+  /// requested first — the service must then skip execution (the ticket
+  /// resolves to Cancelled).
+  bool BeginExecution();
+
+  /// Resolution is two-step so services can account for the outcome
+  /// *before* the awaiting client wakes up (stats must never lag a
+  /// delivered response):
+  ///
+  ///   bool delivered = ticket->CommitDelivery();  // freeze the outcome
+  ///   ... record stats for delivered / cancelled ...
+  ///   ticket->Deliver(std::move(response));       // publish + notify
+  ///
+  /// CommitDelivery returns false when a cancellation requested
+  /// mid-execution wins: Deliver will then publish Status::Cancelled
+  /// instead of the response. After CommitDelivery, Cancel() can no longer
+  /// change the outcome.
+  bool CommitDelivery();
+  void Deliver(Result<QueryResponse> response);
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  bool cancel_requested_ = false;
+  bool executing_ = false;
+  bool delivery_decided_ = false;
+  bool deliver_response_ = false;  // valid once delivery_decided_
+  uint64_t generation_ = 0;
+  Result<QueryResponse> response_{QueryResponse{}};
+};
+
+using QueryTicketPtr = std::shared_ptr<QueryTicket>;
+
 /// \brief Interface VDTs use to run SQL "remotely".
 class QueryService {
  public:
   virtual ~QueryService() = default;
+
+  /// Legacy blocking string path (kept for custom backends and tests).
   virtual Result<QueryResponse> Execute(const std::string& sql) = 0;
+
+  /// Parse `sql_template` once; returns a handle for Submit. The default
+  /// implementation registers the template text and lets Submit fill holes
+  /// synchronously through Execute (the thin sync adapter).
+  virtual Result<PreparedHandle> Prepare(const std::string& sql_template);
+
+  /// Submit a prepared query with bound parameters. The default
+  /// implementation executes synchronously and returns a resolved ticket.
+  virtual QueryTicketPtr Submit(const QueryRequest& request);
+
+ private:
+  // Sync-adapter state for services that only implement Execute();
+  // allocated lazily so full implementations (Middleware, Session) never
+  // pay for it.
+  struct AdapterState {
+    std::mutex mu;
+    std::vector<std::string> templates;
+    std::unordered_map<std::string, PreparedHandle> by_text;
+  };
+  AdapterState& adapter();
+  mutable std::mutex adapter_init_mu_;
+  mutable std::unique_ptr<AdapterState> adapter_;
+};
+
+/// Resolver view over a Submit call's bound parameters (also used by the
+/// sync adapter to fill template holes).
+class ParamResolver : public expr::SignalResolver {
+ public:
+  explicit ParamResolver(const std::vector<QueryParam>& params) : params_(params) {}
+  bool Lookup(const std::string& name, expr::EvalValue* out) const override {
+    for (const QueryParam& p : params_) {
+      if (p.name == name) {
+        *out = p.value;
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  const std::vector<QueryParam>& params_;
 };
 
 }  // namespace rewrite

@@ -1,14 +1,13 @@
 #include "rewrite/vdt.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "expr/sql_translator.h"
 
 namespace vegaplus {
 namespace rewrite {
-
-namespace {
 
 // Signal deps of a VDT = holes in its template + signals its derived params
 // read (the holes of derived params are the derived names themselves, which
@@ -32,8 +31,6 @@ std::vector<std::string> VdtSignalDeps(const std::string& sql_template,
   }
   return deps;
 }
-
-}  // namespace
 
 DerivedResolver::DerivedResolver(const expr::SignalResolver& base,
                                  const std::vector<DerivedParam>& derived)
@@ -62,19 +59,72 @@ VdtOp::VdtOp(std::string sql_template, std::vector<DerivedParam> derived,
              QueryService* service)
     : Operator("vdt", VdtSignalDeps(sql_template, derived)),
       sql_template_(std::move(sql_template)), derived_(std::move(derived)),
-      service_(service) {}
+      service_(service), param_names_(expr::CollectHoles(sql_template_)) {
+  static std::atomic<uint64_t> next_client_id{1};
+  client_id_ = next_client_id.fetch_add(1);
+}
 
-Result<std::string> VdtOp::BuildQuery(const expr::SignalResolver& signals) {
+Result<std::vector<QueryParam>> VdtOp::BuildParams(const expr::SignalResolver& signals) {
   DerivedResolver resolver(signals, derived_);
   VP_RETURN_IF_ERROR(resolver.Materialize());
+  std::vector<QueryParam> params;
+  params.reserve(param_names_.size());
+  for (const std::string& name : param_names_) {
+    expr::EvalValue value;
+    if (!resolver.Lookup(name, &value)) {
+      return Status::KeyError("vdt: unresolved signal '" + name + "'");
+    }
+    params.push_back(QueryParam{name, std::move(value)});
+  }
+  return params;
+}
+
+Status VdtOp::EnsurePrepared() {
+  if (service_ == nullptr) return Status::InvalidArgument("vdt: no query service bound");
+  if (handle_ == 0) {
+    VP_ASSIGN_OR_RETURN(handle_, service_->Prepare(sql_template_));
+  }
+  return Status::OK();
+}
+
+void VdtOp::Prefetch(const expr::SignalResolver& signals) {
+  if (service_ == nullptr || !EnsurePrepared().ok()) return;  // surfaced by Evaluate
+  auto params = BuildParams(signals);
+  if (!params.ok()) return;  // surfaced by Evaluate
+  if (pending_ != nullptr) {
+    if (pending_params_ == *params) return;  // already in flight
+    pending_->Cancel();
+  }
+  pending_params_ = std::move(*params);
+  pending_ =
+      service_->Submit(QueryRequest{handle_, pending_params_, ++generation_, client_id_});
+}
+
+Result<QueryResponse> VdtOp::Fetch(const expr::SignalResolver& signals) {
+  VP_RETURN_IF_ERROR(EnsurePrepared());
+  VP_ASSIGN_OR_RETURN(std::vector<QueryParam> params, BuildParams(signals));
+  QueryTicketPtr ticket;
+  if (pending_ != nullptr && pending_params_ == params) {
+    // Prefetched earlier in this wave with identical bindings.
+    ticket = std::move(pending_);
+  } else {
+    if (pending_ != nullptr) pending_->Cancel();  // stale prefetch: superseded
+    ticket = service_->Submit(QueryRequest{handle_, params, ++generation_, client_id_});
+  }
+  pending_ = nullptr;
+  last_params_ = std::move(params);
+  return ticket->Await();
+}
+
+Result<std::string> VdtOp::LastSql() const {
+  ParamResolver resolver(last_params_);
   return expr::FillSqlHoles(sql_template_, resolver);
 }
 
 Result<dataflow::EvalResult> VdtOp::Evaluate(const data::TablePtr& /*input*/,
                                              const expr::SignalResolver& signals) {
   if (service_ == nullptr) return Status::InvalidArgument("vdt: no query service bound");
-  VP_ASSIGN_OR_RETURN(last_sql_, BuildQuery(signals));
-  VP_ASSIGN_OR_RETURN(QueryResponse response, service_->Execute(last_sql_));
+  VP_ASSIGN_OR_RETURN(QueryResponse response, Fetch(signals));
   dataflow::EvalResult result;
   result.table = response.table;
   // A VDT's own client-side work is negligible; the cost is the round trip.

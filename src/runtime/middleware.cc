@@ -1,11 +1,20 @@
 #include "runtime/middleware.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "data/ipc.h"
+#include "expr/sql_translator.h"
 
 namespace vegaplus {
 namespace runtime {
+
+using rewrite::PreparedHandle;
+using rewrite::QueryParam;
+using rewrite::QueryRequest;
+using rewrite::QueryResponse;
+using rewrite::QueryTicket;
+using rewrite::QueryTicketPtr;
 
 size_t EstimateEncodedBytes(const data::Table& table, bool binary, size_t sample_rows) {
   const size_t n = table.num_rows();
@@ -24,49 +33,401 @@ size_t EstimateEncodedBytes(const data::Table& table, bool binary, size_t sample
                              static_cast<double>(sample_rows));
 }
 
-Result<rewrite::QueryResponse> Middleware::Execute(const std::string& sql) {
-  ++stats_.queries;
-  rewrite::QueryResponse response;
+// ---- Session ----
 
-  // Tier 1: client cache — no network at all.
-  if (client_cache_.Get(sql, &response.table)) {
-    ++stats_.client_cache_hits;
-    response.latency_millis = 0.05;  // local dictionary lookup
-    response.bytes = 0;
-    response.source = rewrite::QueryResponse::Source::kClientCache;
-    stats_.total_latency_ms += response.latency_millis;
-    return response;
+Session::Session(Middleware* owner, uint64_t id, size_t cache_capacity,
+                 size_t cache_max_result_rows)
+    : owner_(owner), id_(id), cache_(cache_capacity, cache_max_result_rows) {}
+
+Result<QueryResponse> Session::Execute(const std::string& sql) {
+  auto handle = Prepare(sql);
+  if (!handle.ok()) {
+    return Status(handle.status().code(),
+                  "middleware: " + handle.status().message() + " [" + sql + "]");
   }
+  QueryRequest request;
+  request.handle = *handle;
+  return Submit(request)->Await();
+}
 
-  // Tier 2: middleware cache — round trip + transfer, no DBMS work.
-  if (server_cache_.Get(sql, &response.table)) {
-    ++stats_.server_cache_hits;
-    response.bytes = EstimateEncodedBytes(*response.table, options_.binary_encoding);
-    response.latency_millis =
-        TransferMillis(response.bytes, options_.binary_encoding, options_.latency);
-    response.source = rewrite::QueryResponse::Source::kServerCache;
-  } else {
-    // Tier 3: the DBMS.
-    auto result = engine_->Query(sql);
-    if (!result.ok()) {
-      return Status(result.status().code(), "middleware: " + result.status().message() +
-                                                " [" + sql + "]");
+Result<PreparedHandle> Session::Prepare(const std::string& sql_template) {
+  return owner_->PrepareShared(sql_template);
+}
+
+QueryTicketPtr Session::Submit(const QueryRequest& request) {
+  sql::PreparedPtr stmt = owner_->StatementFor(request.handle);
+  if (!stmt) {
+    return QueryTicket::Ready(
+        Status::InvalidArgument("middleware: unknown prepared handle"),
+        request.generation);
+  }
+  std::string key = Middleware::CacheKeyFor(*stmt, request.params);
+  auto ticket = std::make_shared<QueryTicket>(request.generation);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+  }
+  owner_->RecordSubmitted();
+
+  // Supersession: a newer generation within the same scope makes the older
+  // in-flight request dead weight — cancel instead of decoding it. Sync
+  // Execute() calls (generation 0) neither supersede nor get superseded.
+  // Claiming the scope's slot is atomic with the generation comparison: if a
+  // concurrent submit with a newer generation won the race, this request is
+  // the superseded one and never runs.
+  if (request.generation > 0) {
+    const std::pair<uint64_t, PreparedHandle> scope{request.client_id, request.handle};
+    bool superseded_on_arrival = false;
+    rewrite::QueryTicketPtr displaced;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Occasional sweep so dead scopes (e.g. VDTs of discarded dataflows)
+      // do not accumulate for the session's lifetime.
+      if (last_ticket_.size() > 64) {
+        for (auto it = last_ticket_.begin(); it != last_ticket_.end();) {
+          it = it->second.expired() ? last_ticket_.erase(it) : std::next(it);
+        }
+      }
+      auto& slot = last_ticket_[scope];
+      rewrite::QueryTicketPtr prev = slot.lock();
+      if (prev && !prev->done() && prev->generation() > request.generation) {
+        superseded_on_arrival = true;
+      } else {
+        if (prev && prev->generation() < request.generation) displaced = std::move(prev);
+        slot = ticket;
+      }
     }
-    ++stats_.dbms_executions;
-    response.table = result->table;
-    response.bytes = EstimateEncodedBytes(*response.table, options_.binary_encoding);
-    response.latency_millis =
-        ServerComputeMillis(result->stats.rows_processed + result->stats.rows_scanned,
-                            result->stats.num_operators, options_.latency) +
-        TransferMillis(response.bytes, options_.binary_encoding, options_.latency);
-    response.source = rewrite::QueryResponse::Source::kDbms;
-    server_cache_.Put(sql, response.table);
+    // A displaced ticket that had not completed now resolves to Cancelled;
+    // its queued task accounts for the cancellation when the worker reaches
+    // it.
+    if (displaced) displaced->Cancel();
+    if (superseded_on_arrival) {
+      ticket->Cancel();
+      owner_->RecordCancelled(this);
+      return ticket;
+    }
   }
 
-  client_cache_.Put(sql, response.table);
-  stats_.bytes_transferred += response.bytes;
-  stats_.total_latency_ms += response.latency_millis;
-  return response;
+  // Tier 1: client cache — a local dictionary lookup, no network at all.
+  data::TablePtr cached;
+  if (CacheGet(key, &cached)) {
+    QueryResponse response;
+    response.table = std::move(cached);
+    response.latency_millis = 0.05;
+    response.bytes = 0;
+    response.source = QueryResponse::Source::kClientCache;
+    if (ticket->CommitDelivery()) {
+      owner_->RecordCompletion(this, response);
+    } else {
+      owner_->RecordCancelled(this);
+    }
+    ticket->Deliver(std::move(response));
+    return ticket;
+  }
+
+  owner_->pool_->Submit([owner = owner_, self = shared_from_this(), ticket, stmt,
+                         params = request.params, key = std::move(key)]() mutable {
+    owner->RunQueryTask(std::move(self), std::move(ticket), std::move(stmt),
+                        std::move(params), std::move(key));
+  });
+  return ticket;
+}
+
+Session::Stats Session::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Session::ClearCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.Clear();
+}
+
+bool Session::CacheGet(const std::string& key, data::TablePtr* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.Get(key, out);
+}
+
+void Session::CachePut(const std::string& key, data::TablePtr table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.Put(key, std::move(table));
+}
+
+// ---- Middleware ----
+
+Middleware::Middleware(const sql::Engine* engine, MiddlewareOptions options)
+    : engine_(engine), options_(std::move(options)),
+      server_cache_(options_.enable_server_cache ? options_.cache_capacity : 0,
+                    options_.cache_max_result_rows),
+      pool_(std::make_unique<WorkerPool>(options_.worker_threads)) {
+  default_session_ = CreateSession();
+}
+
+// Member destruction order does the work: pool_ is declared last, so the
+// workers drain before the registry, caches, and sessions above them die.
+Middleware::~Middleware() = default;
+
+std::shared_ptr<Session> Middleware::CreateSession() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t client_capacity = options_.enable_client_cache ? options_.cache_capacity : 0;
+  auto session = std::shared_ptr<Session>(new Session(
+      this, next_session_id_++, client_capacity, options_.cache_max_result_rows));
+  // Prune dead sessions while we are here (benchmarks create many).
+  sessions_.erase(std::remove_if(sessions_.begin(), sessions_.end(),
+                                 [](const std::weak_ptr<Session>& w) {
+                                   return w.expired();
+                                 }),
+                  sessions_.end());
+  sessions_.push_back(session);
+  ++stats_.sessions;
+  return session;
+}
+
+Result<QueryResponse> Middleware::Execute(const std::string& sql) {
+  return default_session_->Execute(sql);
+}
+
+Result<PreparedHandle> Middleware::Prepare(const std::string& sql_template) {
+  return PrepareShared(sql_template);
+}
+
+QueryTicketPtr Middleware::Submit(const QueryRequest& request) {
+  return default_session_->Submit(request);
+}
+
+Result<PreparedHandle> Middleware::PrepareShared(const std::string& sql_template) {
+  // Parse outside the lock; dedupe on the canonical (formatting-insensitive)
+  // form so equivalent templates share one statement and one cache keyspace.
+  VP_ASSIGN_OR_RETURN(sql::PreparedPtr stmt, sql::PrepareStatement(sql_template));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_canonical_.find(stmt->canonical_sql);
+  if (it != by_canonical_.end()) return it->second;
+  statements_.push_back(stmt);
+  PreparedHandle handle = static_cast<PreparedHandle>(statements_.size());
+  by_canonical_.emplace(stmt->canonical_sql, handle);
+  ++stats_.prepared_statements;
+  return handle;
+}
+
+sql::PreparedPtr Middleware::StatementFor(PreparedHandle handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (handle == 0 || handle > statements_.size()) return nullptr;
+  return statements_[handle - 1];
+}
+
+std::string Middleware::CacheKeyFor(const sql::PreparedStatement& stmt,
+                                    const std::vector<QueryParam>& params) {
+  std::string key = stmt.canonical_sql;
+  // One segment per declared parameter, in declaration order; values render
+  // as SQL literals, so the key is exact and independent of both SQL text
+  // formatting and the order params were passed in.
+  for (const std::string& name : stmt.params) {
+    key += '\x1f';
+    key += name;
+    key += '=';
+    const QueryParam* found = nullptr;
+    for (const QueryParam& p : params) {
+      if (p.name == name) {
+        found = &p;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      key += "<unbound>";
+    } else if (found->value.is_array()) {
+      key += '[';
+      for (size_t i = 0; i < found->value.array().size(); ++i) {
+        if (i > 0) key += ',';
+        key += expr::SqlLiteral(found->value.array()[i]);
+      }
+      key += ']';
+    } else {
+      key += expr::SqlLiteral(found->value.scalar());
+    }
+  }
+  return key;
+}
+
+// A follower parks its worker thread until the leader finishes — acceptable
+// at our pool sizes since duplicates collapse within one wave; a per-key
+// waiter list resolved in the leader's epilogue would free the thread if
+// pools grow large.
+void Middleware::EnterInFlight(const std::string& key) {
+  std::unique_lock<std::mutex> lock(flight_mu_);
+  flight_cv_.wait(lock, [&] { return in_flight_.count(key) == 0; });
+  in_flight_.insert(key);
+}
+
+void Middleware::LeaveInFlight(const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(flight_mu_);
+    in_flight_.erase(key);
+  }
+  flight_cv_.notify_all();
+}
+
+void Middleware::RunQueryTask(std::shared_ptr<Session> session, QueryTicketPtr ticket,
+                              sql::PreparedPtr stmt, std::vector<QueryParam> params,
+                              std::string key) {
+  if (!ticket->BeginExecution()) {
+    // Cancelled while queued: the ticket already resolved to Cancelled.
+    RecordCancelled(session.get());
+    return;
+  }
+
+  // Single-flight: identical concurrent queries execute once; followers wait
+  // and then resolve from the cache the leader filled.
+  EnterInFlight(key);
+
+  // Note: a same-session duplicate that completed while this task was
+  // queued resolves through the *server* cache below, not the session
+  // cache — at submit time the client did not have the result, so the
+  // modeled system still pays the round trip and transfer.
+  QueryResponse response;
+  bool from_dbms = false;
+  {
+    bool server_hit;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      server_hit = server_cache_.Get(key, &response.table);
+    }
+    if (server_hit) {
+      response.bytes = EstimateEncodedBytes(*response.table, options_.binary_encoding);
+      response.latency_millis =
+          TransferMillis(response.bytes, options_.binary_encoding, options_.latency);
+      response.source = QueryResponse::Source::kServerCache;
+    } else {
+      if (options_.before_dbms_execute) options_.before_dbms_execute(key);
+      rewrite::ParamResolver resolver(params);
+      auto result = engine_->ExecuteBound(*stmt, resolver);
+      if (!result.ok()) {
+        LeaveInFlight(key);
+        if (ticket->CommitDelivery()) {
+          RecordError(session.get());
+        } else {
+          RecordCancelled(session.get());
+        }
+        ticket->Deliver(Status(result.status().code(),
+                               "middleware: " + result.status().message() + " [" +
+                                   stmt->canonical_sql + "]"));
+        return;
+      }
+      from_dbms = true;
+      response.table = result->table;
+      response.bytes = EstimateEncodedBytes(*response.table, options_.binary_encoding);
+      response.latency_millis =
+          ServerComputeMillis(result->stats.rows_processed + result->stats.rows_scanned,
+                              result->stats.num_operators, options_.latency) +
+          TransferMillis(response.bytes, options_.binary_encoding, options_.latency);
+      response.source = QueryResponse::Source::kDbms;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        server_cache_.Put(key, response.table);
+      }
+    }
+    session->CachePut(key, response.table);
+  }
+  LeaveInFlight(key);
+
+  if (from_dbms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.dbms_executions;
+    std::lock_guard<std::mutex> slock(session->mu_);
+    ++session->stats_.dbms_executions;
+  }
+
+  if (ticket->CommitDelivery()) {
+    RecordCompletion(session.get(), response);
+  } else {
+    RecordCancelled(session.get());
+  }
+  ticket->Deliver(std::move(response));
+}
+
+void Middleware::RecordSubmitted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.submitted;
+}
+
+// dbms_executions is counted at execution time in RunQueryTask (the work
+// happened even when the delivery is later turned into a cancellation), so
+// completion recording only attributes the delivery tier.
+void Middleware::RecordCompletion(Session* session, const QueryResponse& response) {
+  auto bump = [&response](auto* stats) {
+    ++stats->queries;
+    switch (response.source) {
+      case QueryResponse::Source::kClientCache:
+        ++stats->client_cache_hits;
+        break;
+      case QueryResponse::Source::kServerCache:
+        ++stats->server_cache_hits;
+        break;
+      case QueryResponse::Source::kDbms:
+        break;  // counted at execution time
+    }
+    stats->bytes_transferred += response.bytes;
+    stats->total_latency_ms += response.latency_millis;
+  };
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bump(&stats_);
+  }
+  std::lock_guard<std::mutex> lock(session->mu_);
+  bump(&session->stats_);
+}
+
+void Middleware::RecordCancelled(Session* session) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.cancelled;
+  }
+  std::lock_guard<std::mutex> lock(session->mu_);
+  ++session->stats_.cancelled;
+}
+
+void Middleware::RecordError(Session* session) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.errors;
+  }
+  std::lock_guard<std::mutex> lock(session->mu_);
+  ++session->stats_.errors;
+}
+
+Middleware::Stats Middleware::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Middleware::ResetStats() {
+  std::vector<std::shared_ptr<Session>> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t sessions = stats_.sessions;
+    size_t prepared = stats_.prepared_statements;
+    stats_ = Stats();
+    stats_.sessions = sessions;
+    stats_.prepared_statements = prepared;
+    for (const auto& w : sessions_) {
+      if (auto s = w.lock()) live.push_back(std::move(s));
+    }
+  }
+  for (const auto& s : live) {
+    std::lock_guard<std::mutex> lock(s->mu_);
+    s->stats_ = Session::Stats();
+  }
+}
+
+void Middleware::ClearCaches() {
+  std::vector<std::shared_ptr<Session>> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    server_cache_.Clear();
+    for (const auto& w : sessions_) {
+      if (auto s = w.lock()) live.push_back(std::move(s));
+    }
+  }
+  for (const auto& s : live) s->ClearCache();
 }
 
 }  // namespace runtime

@@ -1,16 +1,35 @@
-// Middleware: the server-side layer between the client's VDTs and the DBMS
-// (Fig. 2). Resolution order per query: client cache -> middleware cache ->
-// DBMS (§5.5), charging simulated latency for whichever tiers are touched.
-// Result encoding (JSON vs columnar binary "Arrow") determines transfer and
-// decode cost (§4 "Efficient Transfers").
+// Middleware: the server-side layer between clients' VDTs and the DBMS
+// (Fig. 2). A single Middleware is a thread-safe shared service: it owns the
+// prepared-statement registry, the server-side result cache, and a worker
+// pool that executes DBMS work; each client obtains a Session carrying its
+// own client-side cache and stats. Resolution order per query: client cache
+// -> middleware cache -> DBMS (§5.5), charging simulated latency for
+// whichever tiers are touched. Result encoding (JSON vs columnar binary
+// "Arrow") determines transfer and decode cost (§4 "Efficient Transfers").
+//
+// Queries are keyed by (prepared statement, bound parameters) — exact,
+// cheap, and insensitive to SQL text formatting. Identical in-flight queries
+// are collapsed (single-flight), and a Submit with a newer generation for
+// the same statement within a session cancels the superseded in-flight
+// request instead of decoding it.
 #ifndef VEGAPLUS_RUNTIME_MIDDLEWARE_H_
 #define VEGAPLUS_RUNTIME_MIDDLEWARE_H_
 
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "rewrite/query_service.h"
 #include "runtime/cache.h"
 #include "runtime/latency_model.h"
+#include "runtime/worker_pool.h"
 #include "sql/engine.h"
 
 namespace vegaplus {
@@ -25,6 +44,12 @@ struct MiddlewareOptions {
   /// Results with more rows than this are not cached (§5.5 size threshold).
   size_t cache_max_result_rows = 200000;
   LatencyParams latency;
+  /// DBMS worker threads shared by all sessions.
+  size_t worker_threads = 4;
+  /// Test instrumentation: invoked by a worker right before DBMS execution
+  /// (after cache misses), with the query's cache key. Lets concurrency
+  /// tests gate execution deterministically. Null in production.
+  std::function<void(const std::string& cache_key)> before_dbms_execute;
 };
 
 /// Measure the encoded payload size of a result. Exact for small tables;
@@ -33,43 +58,160 @@ struct MiddlewareOptions {
 size_t EstimateEncodedBytes(const data::Table& table, bool binary,
                             size_t sample_rows = 20000);
 
-/// \brief QueryService implementation: cache tiers + network + SQL engine.
-class Middleware : public rewrite::QueryService {
- public:
-  Middleware(const sql::Engine* engine, MiddlewareOptions options)
-      : engine_(engine), options_(options),
-        client_cache_(options.enable_client_cache ? options.cache_capacity : 0,
-                      options.cache_max_result_rows),
-        server_cache_(options.enable_server_cache ? options.cache_capacity : 0,
-                      options.cache_max_result_rows) {}
+class Middleware;
 
+/// \brief One client's view of the shared Middleware: per-client cache,
+/// per-client stats, and the supersession scope for generations.
+///
+/// Created by Middleware::CreateSession(); must not outlive its Middleware.
+/// Thread-safe (a session may be driven from multiple threads, and workers
+/// touch its cache).
+class Session : public rewrite::QueryService,
+                public std::enable_shared_from_this<Session> {
+ public:
+  /// Legacy blocking path: prepare (formatting-insensitive), submit with no
+  /// parameters, await.
   Result<rewrite::QueryResponse> Execute(const std::string& sql) override;
 
+  /// Prepare against the middleware-wide statement registry; formatting
+  /// variants of one logical statement share a handle (and cache entries).
+  Result<rewrite::PreparedHandle> Prepare(const std::string& sql_template) override;
+
+  /// Asynchronous submission. Client-cache hits resolve immediately; misses
+  /// are executed on the middleware's worker pool. A request whose
+  /// generation exceeds the session's last in-flight request for the same
+  /// handle cancels that older request.
+  rewrite::QueryTicketPtr Submit(const rewrite::QueryRequest& request) override;
+
   struct Stats {
-    size_t queries = 0;
+    size_t submitted = 0;
+    size_t queries = 0;  // completed: client + server + dbms below
     size_t client_cache_hits = 0;
     size_t server_cache_hits = 0;
     size_t dbms_executions = 0;
+    size_t cancelled = 0;
+    size_t errors = 0;
     size_t bytes_transferred = 0;
     double total_latency_ms = 0;
   };
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  Stats stats() const;
 
-  /// Drop both cache tiers (e.g. between benchmark conditions).
-  void ClearCaches() {
-    client_cache_.Clear();
-    server_cache_.Clear();
-  }
+  uint64_t id() const { return id_; }
+
+  void ClearCache();
+
+ private:
+  friend class Middleware;
+  Session(Middleware* owner, uint64_t id, size_t cache_capacity,
+          size_t cache_max_result_rows);
+
+  bool CacheGet(const std::string& key, data::TablePtr* out);
+  void CachePut(const std::string& key, data::TablePtr table);
+
+  Middleware* owner_;
+  uint64_t id_;
+  mutable std::mutex mu_;
+  QueryCache cache_;
+  Stats stats_;
+  /// Latest live async ticket per supersession scope (client_id, handle).
+  /// weak_ptr: completed tickets (and their result tables) are not pinned —
+  /// an entry only matters while its request is in flight, when the worker
+  /// task's closure keeps the ticket alive.
+  std::map<std::pair<uint64_t, rewrite::PreparedHandle>,
+           std::weak_ptr<rewrite::QueryTicket>>
+      last_ticket_;
+};
+
+/// \brief The shared query service: statement registry + server cache +
+/// worker pool + session factory. Also implements QueryService directly
+/// through an implicit default session, so single-client callers and
+/// pre-session code keep working unchanged.
+class Middleware : public rewrite::QueryService {
+ public:
+  Middleware(const sql::Engine* engine, MiddlewareOptions options);
+  ~Middleware() override;
+
+  Middleware(const Middleware&) = delete;
+  Middleware& operator=(const Middleware&) = delete;
+
+  /// New client session (own cache, stats, and supersession scope).
+  std::shared_ptr<Session> CreateSession();
+
+  /// The implicit session behind the legacy single-client surface.
+  Session& default_session() { return *default_session_; }
+
+  // QueryService surface, routed through the default session.
+  Result<rewrite::QueryResponse> Execute(const std::string& sql) override;
+  Result<rewrite::PreparedHandle> Prepare(const std::string& sql_template) override;
+  rewrite::QueryTicketPtr Submit(const rewrite::QueryRequest& request) override;
+
+  /// Aggregate stats across every session of this middleware.
+  struct Stats {
+    size_t queries = 0;
+    size_t submitted = 0;
+    size_t client_cache_hits = 0;
+    size_t server_cache_hits = 0;
+    size_t dbms_executions = 0;
+    size_t cancelled = 0;
+    size_t errors = 0;
+    size_t prepared_statements = 0;
+    size_t sessions = 0;
+    size_t bytes_transferred = 0;
+    double total_latency_ms = 0;
+  };
+  Stats stats() const;
+  void ResetStats();
+
+  /// Drop the server cache tier and every live session's client cache
+  /// (e.g. between benchmark conditions).
+  void ClearCaches();
 
   const MiddlewareOptions& options() const { return options_; }
 
  private:
+  friend class Session;
+
+  Result<rewrite::PreparedHandle> PrepareShared(const std::string& sql_template);
+  sql::PreparedPtr StatementFor(rewrite::PreparedHandle handle) const;
+
+  /// (statement, bound params) -> canonical cache key.
+  static std::string CacheKeyFor(const sql::PreparedStatement& stmt,
+                                 const std::vector<rewrite::QueryParam>& params);
+
+  /// Worker-side execution of one submitted request.
+  void RunQueryTask(std::shared_ptr<Session> session, rewrite::QueryTicketPtr ticket,
+                    sql::PreparedPtr stmt, std::vector<rewrite::QueryParam> params,
+                    std::string key);
+
+  // Single-flight: serialize workers executing the same cache key.
+  void EnterInFlight(const std::string& key);
+  void LeaveInFlight(const std::string& key);
+
+  void RecordSubmitted();
+  void RecordCompletion(Session* session, const rewrite::QueryResponse& response);
+  void RecordCancelled(Session* session);
+  void RecordError(Session* session);
+
   const sql::Engine* engine_;
   MiddlewareOptions options_;
-  QueryCache client_cache_;
+
+  mutable std::mutex mu_;  // statements, server cache, stats, session list
+  std::vector<sql::PreparedPtr> statements_;
+  std::unordered_map<std::string, rewrite::PreparedHandle> by_canonical_;
   QueryCache server_cache_;
   Stats stats_;
+  std::vector<std::weak_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+
+  std::mutex flight_mu_;
+  std::condition_variable flight_cv_;
+  std::set<std::string> in_flight_;
+
+  std::shared_ptr<Session> default_session_;
+
+  /// Declared last: destroyed first, draining queued work while the
+  /// registry, caches, and sessions above are still alive.
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace runtime

@@ -9,21 +9,26 @@ namespace runtime {
 
 PlanExecutor::PlanExecutor(const spec::VegaSpec& spec, const sql::Engine* engine,
                            MiddlewareOptions options)
-    : builder_(spec), middleware_(engine, options) {}
+    : PlanExecutor(spec, std::make_shared<Middleware>(engine, std::move(options))) {}
+
+PlanExecutor::PlanExecutor(const spec::VegaSpec& spec,
+                           std::shared_ptr<Middleware> middleware)
+    : builder_(spec), middleware_(std::move(middleware)),
+      session_(middleware_->CreateSession()) {}
 
 EpisodeCost PlanExecutor::CostOf(const dataflow::RunStats& stats) const {
   EpisodeCost cost;
   cost.ops_evaluated = stats.ops_evaluated;
   cost.rows_processed = stats.rows_processed;
   cost.client_ms = ClientComputeMillis(stats.rows_processed, stats.ops_evaluated,
-                                       middleware_.options().latency);
+                                       middleware_->options().latency);
   cost.external_ms = stats.external_millis;
   cost.total_ms = cost.client_ms + cost.external_ms;
   return cost;
 }
 
 Result<EpisodeCost> PlanExecutor::Initialize(const rewrite::ExecutionPlan& plan) {
-  VP_ASSIGN_OR_RETURN(plan_flow_, builder_.Build(plan, &middleware_));
+  VP_ASSIGN_OR_RETURN(plan_flow_, builder_.Build(plan, session_.get()));
   initialized_ = true;
   VP_ASSIGN_OR_RETURN(dataflow::RunStats stats, plan_flow_.graph->Run());
   return CostOf(stats);

@@ -28,12 +28,19 @@ struct EpisodeCost {
 /// \brief One signal update (an interaction event).
 using SignalUpdate = std::pair<std::string, expr::EvalValue>;
 
-/// \brief Runs a (spec, plan) pair against an engine through a Middleware.
+/// \brief Runs a (spec, plan) pair against an engine through a Middleware
+/// session. Each executor is one client: it holds its own Session (client
+/// cache + stats) on a Middleware that may be private or shared with other
+/// executors (the multi-user server case).
 class PlanExecutor {
  public:
+  /// Convenience: executor with its own private Middleware.
   /// `engine` must outlive the executor.
   PlanExecutor(const spec::VegaSpec& spec, const sql::Engine* engine,
                MiddlewareOptions options);
+
+  /// Executor as one client of a shared Middleware (own session).
+  PlanExecutor(const spec::VegaSpec& spec, std::shared_ptr<Middleware> middleware);
 
   /// Compile the plan's dataflow and run initial rendering.
   Result<EpisodeCost> Initialize(const rewrite::ExecutionPlan& plan);
@@ -44,7 +51,8 @@ class PlanExecutor {
   /// Output table of a data entry (null when consolidated server-side).
   data::TablePtr EntryOutput(const std::string& entry) const;
 
-  Middleware& middleware() { return middleware_; }
+  Middleware& middleware() { return *middleware_; }
+  Session& session() { return *session_; }
   const rewrite::PlanBuilder& builder() const { return builder_; }
   dataflow::Dataflow* graph() { return plan_flow_.graph.get(); }
 
@@ -52,7 +60,8 @@ class PlanExecutor {
   EpisodeCost CostOf(const dataflow::RunStats& stats) const;
 
   rewrite::PlanBuilder builder_;
-  Middleware middleware_;
+  std::shared_ptr<Middleware> middleware_;
+  std::shared_ptr<Session> session_;
   rewrite::PlanDataflow plan_flow_;
   bool initialized_ = false;
 };

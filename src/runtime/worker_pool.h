@@ -1,0 +1,45 @@
+// A fixed-size worker pool for the middleware's DBMS work. Deliberately
+// minimal: FIFO task queue, no priorities, tasks drained on shutdown so a
+// submitted query's ticket is always resolved before the pool dies.
+#ifndef VEGAPLUS_RUNTIME_WORKER_POOL_H_
+#define VEGAPLUS_RUNTIME_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vegaplus {
+namespace runtime {
+
+class WorkerPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit WorkerPool(size_t threads);
+
+  /// Signals shutdown, runs every task still queued, joins all workers.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace runtime
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_RUNTIME_WORKER_POOL_H_

@@ -11,8 +11,17 @@ Result<QueryResult> Engine::Query(const std::string& sql_text) const {
 Result<QueryResult> Engine::Execute(const SelectStmt& stmt) const {
   QueryResult result;
   VP_ASSIGN_OR_RETURN(result.table, ExecuteSelect(stmt, catalog_, &result.stats));
-  lifetime_stats_.Add(result.stats);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    lifetime_stats_.Add(result.stats);
+  }
   return result;
+}
+
+Result<QueryResult> Engine::ExecuteBound(const PreparedStatement& prepared,
+                                         const expr::SignalResolver& params) const {
+  VP_ASSIGN_OR_RETURN(SelectPtr bound, BindStatement(*prepared.stmt, params));
+  return Execute(*bound);
 }
 
 Result<EstimatedPlan> Engine::Explain(const std::string& sql_text) const {

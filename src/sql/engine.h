@@ -3,12 +3,14 @@
 #ifndef VEGAPLUS_SQL_ENGINE_H_
 #define VEGAPLUS_SQL_ENGINE_H_
 
+#include <mutex>
 #include <string>
 
 #include "common/result.h"
 #include "sql/catalog.h"
 #include "sql/executor.h"
 #include "sql/explain.h"
+#include "sql/prepared.h"
 #include "sql/sql_parser.h"
 
 namespace vegaplus {
@@ -35,16 +37,35 @@ class Engine {
   Result<QueryResult> Query(const std::string& sql_text) const;
 
   /// Execute an already-parsed statement.
+  ///
+  /// Thread-safe against concurrent Execute calls (the middleware runs DBMS
+  /// work on a worker pool); RegisterTable must not race with execution.
   Result<QueryResult> Execute(const SelectStmt& stmt) const;
+
+  /// Parse a SQL template with ${...} parameter holes once; execute it many
+  /// times with ExecuteBound. Statement identity (PreparedStatement::
+  /// canonical_sql) is formatting-insensitive.
+  Result<PreparedPtr> Prepare(const std::string& sql_template) const {
+    return PrepareStatement(sql_template);
+  }
+
+  /// Bind `params` into `prepared` and execute — no SQL text is rendered or
+  /// parsed on this path.
+  Result<QueryResult> ExecuteBound(const PreparedStatement& prepared,
+                                   const expr::SignalResolver& params) const;
 
   /// Parse and estimate one SELECT without executing (EXPLAIN).
   Result<EstimatedPlan> Explain(const std::string& sql_text) const;
 
   /// Cumulative work counters across every query this engine has run.
-  const ExecStats& lifetime_stats() const { return lifetime_stats_; }
+  ExecStats lifetime_stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return lifetime_stats_;
+  }
 
  private:
   Catalog catalog_;
+  mutable std::mutex stats_mu_;
   mutable ExecStats lifetime_stats_;
 };
 

@@ -16,20 +16,29 @@ using expr::Node;
 using expr::NodePtr;
 using expr::UnaryOp;
 
-enum class TokKind { kIdent, kQuotedIdent, kNumber, kString, kPunct, kEnd };
+enum class TokKind { kIdent, kQuotedIdent, kNumber, kString, kPunct, kHole, kEnd };
 
 struct Token {
   TokKind kind;
-  std::string text;
+  std::string text;  // for kHole: the inner text, e.g. "brush[0]" or "field:id"
   double number = 0;
 };
 
-Status Tokenize(std::string_view text, std::vector<Token>* out) {
+Status Tokenize(std::string_view text, bool allow_holes, std::vector<Token>* out) {
   size_t pos = 0;
   while (pos < text.size()) {
     char c = text[pos];
     if (std::isspace(static_cast<unsigned char>(c))) {
       ++pos;
+      continue;
+    }
+    if (allow_holes && c == '$' && pos + 1 < text.size() && text[pos + 1] == '{') {
+      size_t end = text.find('}', pos);
+      if (end == std::string_view::npos) {
+        return Status::ParseError("SQL: unterminated template hole");
+      }
+      out->push_back({TokKind::kHole, std::string(text.substr(pos + 2, end - pos - 2)), 0});
+      pos = end + 1;
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(c)) ||
@@ -606,10 +615,54 @@ class Parser {
           return ExpectPunct(")");
         }
         return Status::ParseError("SQL: unexpected token '" + t.text + "'");
+      case TokKind::kHole:
+        return ParseHole(out);
       case TokKind::kEnd:
         return Status::ParseError("SQL: unexpected end of statement");
     }
     return Status::ParseError("SQL: unreachable");
+  }
+
+  // Template holes, lexed as one token. The produced AST shapes deliberately
+  // match what the rewriter builds for signal references, so templates and
+  // rewriter pipelines share one binding + unparse path:
+  //   ${name}     -> Identifier(name)          (scalar parameter)
+  //   ${name[i]}  -> Index(Identifier(name), i) (array-element parameter)
+  //   ${name:id}  -> __sigfield(name)           (parameter-named column)
+  Status ParseHole(NodePtr* out) {
+    std::string inner = Cur().text;
+    ++pos_;
+    bool as_identifier = false;
+    if (EndsWith(inner, ":id")) {
+      as_identifier = true;
+      inner = inner.substr(0, inner.size() - 3);
+    }
+    int64_t index = -1;
+    size_t bracket = inner.find('[');
+    if (bracket != std::string::npos) {
+      size_t close = inner.find(']', bracket);
+      if (close == std::string::npos ||
+          !ParseInt64(inner.substr(bracket + 1, close - bracket - 1), &index) ||
+          index < 0) {
+        return Status::ParseError("SQL: bad hole index in '${" + inner + "}'");
+      }
+      inner = inner.substr(0, bracket);
+    }
+    if (inner.empty()) return Status::ParseError("SQL: empty template hole");
+    if (as_identifier) {
+      if (index >= 0) {
+        return Status::ParseError("SQL: hole cannot be both indexed and :id");
+      }
+      *out = Node::Call("__sigfield", {Node::Identifier(inner)});
+      return Status::OK();
+    }
+    if (index >= 0) {
+      *out = Node::Index(Node::Identifier(inner),
+                         Node::Literal(data::Value::Double(static_cast<double>(index))));
+      return Status::OK();
+    }
+    *out = Node::Identifier(inner);
+    return Status::OK();
   }
 
   Status ParseCase(NodePtr* out) {
@@ -647,7 +700,13 @@ class Parser {
 
 Result<SelectPtr> ParseSql(std::string_view text) {
   std::vector<Token> tokens;
-  VP_RETURN_IF_ERROR(Tokenize(text, &tokens));
+  VP_RETURN_IF_ERROR(Tokenize(text, /*allow_holes=*/false, &tokens));
+  return Parser(std::move(tokens)).ParseStatement();
+}
+
+Result<SelectPtr> ParseSqlTemplate(std::string_view text) {
+  std::vector<Token> tokens;
+  VP_RETURN_IF_ERROR(Tokenize(text, /*allow_holes=*/true, &tokens));
   return Parser(std::move(tokens)).ParseStatement();
 }
 

@@ -23,6 +23,14 @@ namespace sql {
 /// Parse one SELECT statement (optional trailing ';').
 Result<SelectPtr> ParseSql(std::string_view text);
 
+/// Parse a SELECT *template*: like ParseSql, but additionally accepts
+/// ${name}, ${name[i]}, and ${name:id} parameter holes in expression
+/// positions. Holes become the same AST shapes the rewriter emits for signal
+/// references (bare identifier, indexed identifier, __sigfield call), so a
+/// parsed template round-trips through ToSql() back to hole syntax and can
+/// be bound to literals without reparsing (see sql/prepared.h).
+Result<SelectPtr> ParseSqlTemplate(std::string_view text);
+
 }  // namespace sql
 }  // namespace vegaplus
 

@@ -1,0 +1,313 @@
+// Concurrency tests for the shared Middleware: many sessions hammering one
+// service (mixed cache hits/misses/cancellations) with correctness and
+// coherent-stats assertions, plus deterministic cancellation-semantics tests
+// built on the before_dbms_execute gate. Registered under the `concurrency`
+// ctest label; CI runs them under TSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rewrite/vdt.h"
+#include "runtime/middleware.h"
+
+namespace vegaplus {
+namespace runtime {
+namespace {
+
+using rewrite::QueryRequest;
+using rewrite::QueryResponse;
+
+data::TablePtr CountingTable(int rows) {
+  data::Schema schema({{"v", data::DataType::kFloat64}});
+  data::TableBuilder builder(schema);
+  for (int i = 0; i < rows; ++i) builder.AppendRow({data::Value::Double(i)});
+  return builder.Build();
+}
+
+// Spin until the middleware has accounted for every submitted request
+// (cancellation bookkeeping happens when the worker dequeues the task, which
+// may be after the client observed the cancelled ticket).
+void AwaitQuiescence(const Middleware& mw) {
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < deadline) {
+    Middleware::Stats s = mw.stats();
+    if (s.queries + s.cancelled + s.errors >= s.submitted) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "middleware did not quiesce";
+}
+
+TEST(ConcurrencyTest, SharedMiddlewareStress) {
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 60;
+  constexpr int kDistinctCuts = 7;
+
+  sql::Engine engine;
+  engine.RegisterTable("t", CountingTable(500));
+  MiddlewareOptions options;
+  options.worker_threads = 4;
+  Middleware mw(&engine, options);
+
+  std::atomic<int> failures{0};
+  std::atomic<size_t> local_submits{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      auto session = mw.CreateSession();
+      auto handle = session->Prepare("SELECT COUNT(*) AS c FROM t WHERE v < ${cut}");
+      if (!handle.ok()) {
+        ++failures;
+        return;
+      }
+      uint64_t generation = 0;
+      for (int i = 0; i < kIterations; ++i) {
+        // Cuts cycle through a small set shared by all threads, so the mix
+        // covers client hits, server hits (first touch by another session),
+        // and misses.
+        double cut = 50.0 * (1 + (i + tid) % kDistinctCuts);
+        QueryRequest request;
+        request.handle = *handle;
+        request.params = {{"cut", expr::EvalValue::Number(cut)}};
+        request.generation = ++generation;
+        auto ticket = session->Submit(request);
+
+        rewrite::QueryTicketPtr superseding;
+        double superseding_cut = 0;
+        if (i % 4 == 3) {
+          // Immediately supersede: the first ticket either completed or got
+          // cancelled — both are valid outcomes, never a wrong table.
+          superseding_cut = 50.0 * (1 + (i + tid + 1) % kDistinctCuts);
+          QueryRequest newer = request;
+          newer.params = {{"cut", expr::EvalValue::Number(superseding_cut)}};
+          newer.generation = ++generation;
+          superseding = session->Submit(newer);
+          ++local_submits;
+        }
+        ++local_submits;
+
+        auto check = [&](Result<QueryResponse> response, double expected) {
+          if (!response.ok()) {
+            if (!response.status().IsCancelled()) ++failures;
+            return;
+          }
+          if (!response->table || response->table->num_rows() != 1 ||
+              response->table->column(0).NumericAt(0) != expected) {
+            ++failures;
+          }
+        };
+        check(ticket->Await(), cut);
+        if (superseding) check(superseding->Await(), superseding_cut);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  AwaitQuiescence(mw);
+
+  EXPECT_EQ(failures.load(), 0);
+  Middleware::Stats stats = mw.stats();
+  EXPECT_EQ(stats.submitted, local_submits.load());
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.queries + stats.cancelled, stats.submitted);
+  // Every delivered query came from exactly one tier; a DBMS execution whose
+  // ticket was cancelled mid-flight is counted in dbms_executions (the work
+  // happened) but not in queries (nothing was delivered).
+  size_t tiers =
+      stats.client_cache_hits + stats.server_cache_hits + stats.dbms_executions;
+  EXPECT_LE(stats.queries, tiers);
+  EXPECT_GE(stats.queries + stats.cancelled, tiers);
+  // Single-flight + caches: the DBMS ran each distinct query at most a
+  // handful of times, far fewer than the submissions.
+  EXPECT_LT(stats.dbms_executions, stats.submitted / 4);
+  EXPECT_GT(stats.client_cache_hits, 0u);
+  // One session per thread plus the default session.
+  EXPECT_EQ(stats.sessions, static_cast<size_t>(kThreads) + 1);
+}
+
+TEST(ConcurrencyTest, SupersededPendingTicketIsCancelledNotExecuted) {
+  sql::Engine engine;
+  engine.RegisterTable("t", CountingTable(100));
+
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+
+  MiddlewareOptions options;
+  options.worker_threads = 1;  // FIFO task order is deterministic
+  options.before_dbms_execute = [&](const std::string&) {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  };
+  Middleware mw(&engine, options);
+  auto session = mw.CreateSession();
+
+  auto blocker_handle = session->Prepare("SELECT COUNT(*) AS c FROM t");
+  auto handle = session->Prepare("SELECT COUNT(*) AS c FROM t WHERE v < ${cut}");
+  ASSERT_TRUE(blocker_handle.ok());
+  ASSERT_TRUE(handle.ok());
+
+  // Occupy the only worker; everything after this queues.
+  QueryRequest blocker;
+  blocker.handle = *blocker_handle;
+  auto blocker_ticket = session->Submit(blocker);
+
+  QueryRequest old_request;
+  old_request.handle = *handle;
+  old_request.params = {{"cut", expr::EvalValue::Number(10)}};
+  old_request.generation = 1;
+  auto old_ticket = session->Submit(old_request);
+
+  QueryRequest new_request;
+  new_request.handle = *handle;
+  new_request.params = {{"cut", expr::EvalValue::Number(20)}};
+  new_request.generation = 2;
+  auto new_ticket = session->Submit(new_request);
+
+  // The superseded ticket resolved to Cancelled before any execution.
+  EXPECT_TRUE(old_ticket->done());
+  auto old_response = old_ticket->Await();
+  ASSERT_FALSE(old_response.ok());
+  EXPECT_TRUE(old_response.status().IsCancelled()) << old_response.status();
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+
+  auto blocker_response = blocker_ticket->Await();
+  ASSERT_TRUE(blocker_response.ok()) << blocker_response.status();
+  auto new_response = new_ticket->Await();
+  ASSERT_TRUE(new_response.ok()) << new_response.status();
+  EXPECT_DOUBLE_EQ(new_response->table->column(0).NumericAt(0), 20.0);
+
+  AwaitQuiescence(mw);
+  Middleware::Stats stats = mw.stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  // Only the blocker and the superseding request touched the DBMS.
+  EXPECT_EQ(stats.dbms_executions, 2u);
+}
+
+// A superseded in-flight VDT query can never overwrite the newer result: a
+// fresh evaluation with changed signals cancels the stale prefetch and the
+// VDT's output reflects only the newest bindings.
+TEST(ConcurrencyTest, SupersededVdtPrefetchNeverOverwritesNewerResult) {
+  sql::Engine engine;
+  engine.RegisterTable("t", CountingTable(300));
+
+  // Hold any execution of the *stale* bindings (cut=100) until the newer
+  // evaluation has fully completed, so the stale query can never win by
+  // finishing first — the interesting interleaving is forced.
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool release_stale = false;
+
+  MiddlewareOptions options;
+  options.worker_threads = 2;
+  options.before_dbms_execute = [&](const std::string& key) {
+    if (key.find("cut=100") == std::string::npos) return;
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return release_stale; });
+  };
+  Middleware mw(&engine, options);
+  auto session = mw.CreateSession();
+
+  rewrite::VdtOp vdt("SELECT COUNT(*) AS c FROM t WHERE v < ${cut}", {},
+                     session.get());
+  expr::MapSignalResolver signals;
+  signals.Set("cut", expr::EvalValue::Number(100));
+  vdt.Prefetch(signals);  // in-flight query for cut=100
+
+  signals.Set("cut", expr::EvalValue::Number(200));
+  auto result = vdt.Evaluate(nullptr, signals);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_NE(result->table, nullptr);
+  EXPECT_DOUBLE_EQ(result->table->column(0).NumericAt(0), 200.0);
+  EXPECT_EQ(vdt.generation(), 2u);
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    release_stale = true;
+  }
+  gate_cv.notify_all();
+
+  AwaitQuiescence(mw);
+  Middleware::Stats stats = mw.stats();
+  // The stale prefetch was cancelled — whether it was still queued or
+  // already executing, it was never delivered as a result.
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.queries, 1u);
+}
+
+// Statement handles are deduplicated middleware-wide, so two distinct VDTs
+// can share one handle. Their generations are unrelated (per-VDT scope):
+// evaluating both in one wave must not cancel either, even when one VDT's
+// generation counter has drifted far ahead of the other's.
+TEST(ConcurrencyTest, SharedTemplateVdtsDoNotCancelEachOther) {
+  sql::Engine engine;
+  engine.RegisterTable("t", CountingTable(300));
+  Middleware mw(&engine, {});
+  auto session = mw.CreateSession();
+
+  const char* tmpl = "SELECT COUNT(*) AS c FROM t WHERE v < ${cut}";
+  rewrite::VdtOp a(tmpl, {}, session.get());
+  rewrite::VdtOp b(tmpl, {}, session.get());
+
+  expr::MapSignalResolver signals;
+  // Drift b's generation ahead of a's.
+  for (int i = 0; i < 3; ++i) {
+    signals.Set("cut", expr::EvalValue::Number(10 + i));
+    ASSERT_TRUE(b.Evaluate(nullptr, signals).ok());
+  }
+  ASSERT_GT(b.generation(), a.generation() + 1);
+
+  // One dataflow wave: both prefetch (a submits first with the lower
+  // generation), then both await.
+  signals.Set("cut", expr::EvalValue::Number(80));
+  a.Prefetch(signals);
+  b.Prefetch(signals);
+  auto ra = a.Evaluate(nullptr, signals);
+  auto rb = b.Evaluate(nullptr, signals);
+  ASSERT_TRUE(ra.ok()) << ra.status();
+  ASSERT_TRUE(rb.ok()) << rb.status();
+  EXPECT_DOUBLE_EQ(ra->table->column(0).NumericAt(0), 80.0);
+  EXPECT_DOUBLE_EQ(rb->table->column(0).NumericAt(0), 80.0);
+  AwaitQuiescence(mw);
+  EXPECT_EQ(mw.stats().cancelled, 0u);
+}
+
+// Destroying a middleware with queued work drains it: every ticket resolves.
+TEST(ConcurrencyTest, ShutdownResolvesOutstandingTickets) {
+  sql::Engine engine;
+  engine.RegisterTable("t", CountingTable(200));
+  std::vector<rewrite::QueryTicketPtr> tickets;
+  {
+    MiddlewareOptions options;
+    options.worker_threads = 2;
+    Middleware mw(&engine, options);
+    auto session = mw.CreateSession();
+    auto handle = session->Prepare("SELECT COUNT(*) AS c FROM t WHERE v < ${cut}");
+    ASSERT_TRUE(handle.ok());
+    for (int i = 1; i <= 16; ++i) {
+      QueryRequest request;
+      request.handle = *handle;
+      request.params = {{"cut", expr::EvalValue::Number(10.0 * i)}};
+      request.generation = 0;  // independent submissions, no supersession
+      tickets.push_back(session->Submit(request));
+    }
+  }  // ~Middleware drains the pool
+  for (const auto& ticket : tickets) {
+    EXPECT_TRUE(ticket->done());
+    auto response = ticket->Await();
+    EXPECT_TRUE(response.ok()) << response.status();
+  }
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace vegaplus

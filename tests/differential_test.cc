@@ -9,6 +9,7 @@
 #include "benchdata/datasets.h"
 #include "common/random.h"
 #include "common/str_util.h"
+#include "data/ipc.h"
 #include "dataflow/signal_registry.h"
 #include "expr/parser.h"
 #include "expr/sql_translator.h"
@@ -60,7 +61,7 @@ class DifferentialTest
       ASSERT_TRUE(rewrite::ExtendPipeline(&pipeline, ts, uid++).ok());
     }
 
-    // Server side.
+    // Server side (legacy path: fill holes as SQL text, parse, execute).
     std::string sql_template = rewrite::RenderPipelineSql(pipeline);
     rewrite::DerivedResolver resolver(*signals, pipeline.derived);
     ASSERT_TRUE(resolver.Materialize().ok());
@@ -68,6 +69,16 @@ class DifferentialTest
     ASSERT_TRUE(sql.ok()) << sql.status() << "\n" << sql_template;
     auto server = engine_.Query(*sql);
     ASSERT_TRUE(server.ok()) << server.status() << "\n" << *sql;
+
+    // Prepared path (parse template once, bind parameters into the AST) must
+    // be bit-identical to the legacy fill-and-parse path.
+    auto prepared = engine_.Prepare(sql_template);
+    ASSERT_TRUE(prepared.ok()) << prepared.status() << "\n" << sql_template;
+    auto bound = engine_.ExecuteBound(**prepared, resolver);
+    ASSERT_TRUE(bound.ok()) << bound.status() << "\n" << (*prepared)->canonical_sql;
+    EXPECT_TRUE(data::SerializeBinary(*bound->table) ==
+                data::SerializeBinary(*server->table))
+        << "prepared/legacy result mismatch\n" << *sql;
 
     EXPECT_EQ(client->num_rows(), server->table->num_rows()) << *sql;
     for (const std::string& col : check_columns) {

@@ -177,6 +177,32 @@ std::vector<std::string> BuildCorpus() {
   return corpus;
 }
 
+// Compile-time CSE: repeated loads of one column are detected, the cached
+// register is reused, and results stay identical to the scalar interpreter.
+TEST(ColumnCseTest, RepeatedLoadsDetectedAndEquivalent) {
+  TablePtr table = MakeRandomTable(11);
+  auto parsed =
+      expr::ParseExpression("datum.dd > 2 && datum.dd < 40 && datum.dd != 7");
+  ASSERT_TRUE(parsed.ok());
+  auto program = expr::Compiler::Compile(*parsed, table->schema());
+  ASSERT_TRUE(program.has_value());
+  int32_t dd = table->schema().FieldIndex("dd");
+  ASSERT_GE(dd, 0);
+  ASSERT_EQ(program->reused_cols.size(), 1u);
+  EXPECT_EQ(program->reused_cols[0].first, dd);
+  EXPECT_EQ(program->reused_cols[0].second, 3);
+
+  std::vector<Value> actual;
+  expr::BatchEvaluator(*table).RunToValues(*program, &actual);
+  expr::EvalContext ctx;
+  ctx.table = table.get();
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    ctx.row = r;
+    Value expected = expr::Evaluate(*parsed, ctx).scalar();
+    ASSERT_TRUE(SameCell(expected, actual[r])) << "row " << r;
+  }
+}
+
 class VectorEngineDiffTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(VectorEngineDiffTest, CorpusMatchesScalarInterpreter) {

@@ -2,6 +2,7 @@
 
 #include "benchdata/templates.h"
 #include "benchdata/workload.h"
+#include "rewrite/vdt.h"
 #include "runtime/cache.h"
 #include "runtime/middleware.h"
 #include "runtime/plan_executor.h"
@@ -96,6 +97,76 @@ TEST_F(MiddlewareTest, BadSqlPropagatesError) {
   Middleware mw(&engine_, {});
   EXPECT_FALSE(mw.Execute("SELECT FROM WHERE").ok());
   EXPECT_FALSE(mw.Execute("SELECT * FROM missing_table").ok());
+}
+
+// The cache is keyed on (prepared statement, bound params), not SQL text:
+// formatting variants of one logical query share a single cache entry.
+TEST_F(MiddlewareTest, FormattingVariantsShareCacheEntry) {
+  Middleware mw(&engine_, {});
+  auto first = mw.Execute("SELECT * FROM t WHERE v < 100");
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->source, rewrite::QueryResponse::Source::kDbms);
+  // Different whitespace, case, and parenthesization — same logical query.
+  auto second = mw.Execute("select  *\n FROM   t   WHERE  (v < 100)");
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second->source, rewrite::QueryResponse::Source::kClientCache);
+  EXPECT_EQ(mw.stats().dbms_executions, 1u);
+}
+
+TEST_F(MiddlewareTest, FormattingVariantTemplatesShareHandleAndCache) {
+  Middleware mw(&engine_, {});
+  auto h1 = mw.Prepare("SELECT COUNT(*) AS c FROM t WHERE v < ${cut}");
+  auto h2 = mw.Prepare("select COUNT( * ) AS c from t where (v < ${cut})");
+  ASSERT_TRUE(h1.ok()) << h1.status();
+  ASSERT_TRUE(h2.ok()) << h2.status();
+  EXPECT_EQ(*h1, *h2);
+
+  rewrite::QueryRequest request;
+  request.handle = *h1;
+  request.params = {{"cut", expr::EvalValue::Number(250)}};
+  auto a = mw.Submit(request)->Await();
+  ASSERT_TRUE(a.ok()) << a.status();
+  request.handle = *h2;
+  auto b = mw.Submit(request)->Await();
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ(b->source, rewrite::QueryResponse::Source::kClientCache);
+  // Different binding -> different cache key -> DBMS again.
+  request.params = {{"cut", expr::EvalValue::Number(300)}};
+  auto c = mw.Submit(request)->Await();
+  ASSERT_TRUE(c.ok()) << c.status();
+  EXPECT_EQ(c->source, rewrite::QueryResponse::Source::kDbms);
+  EXPECT_EQ(mw.stats().dbms_executions, 2u);
+}
+
+// A pre-session QueryService that only implements the blocking string API
+// still works under the new prepared/async callers via the base-class
+// adapter (Prepare registers the template, Submit fills holes + Execute).
+class StringOnlyService : public rewrite::QueryService {
+ public:
+  explicit StringOnlyService(Middleware* inner) : inner_(inner) {}
+  Result<rewrite::QueryResponse> Execute(const std::string& sql) override {
+    last_sql_ = sql;
+    return inner_->Execute(sql);
+  }
+  const std::string& last_sql() const { return last_sql_; }
+
+ private:
+  Middleware* inner_;
+  std::string last_sql_;
+};
+
+TEST_F(MiddlewareTest, LegacyStringServiceWorksThroughAdapter) {
+  Middleware mw(&engine_, {});
+  StringOnlyService legacy(&mw);
+  rewrite::VdtOp vdt("SELECT COUNT(*) AS c FROM t WHERE v < ${cut}", {}, &legacy);
+  expr::MapSignalResolver signals;
+  signals.Set("cut", expr::EvalValue::Number(42));
+  auto result = vdt.Evaluate(nullptr, signals);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(legacy.last_sql(), "SELECT COUNT(*) AS c FROM t WHERE v < 42");
+  ASSERT_NE(result->table, nullptr);
+  EXPECT_EQ(result->table->num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(result->table->column(0).NumericAt(0), 42.0);
 }
 
 TEST_F(MiddlewareTest, BinaryEncodingCheaperThanJson) {

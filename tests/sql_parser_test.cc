@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "sql/prepared.h"
 #include "sql/sql_parser.h"
 
 namespace vegaplus {
@@ -178,6 +179,70 @@ TEST(SqlUnparseTest, RoundTripStability) {
     ASSERT_NE(twice, nullptr) << sql1;
     EXPECT_EQ(sql1, ToSql(*twice)) << "unparse not a fixed point for: " << q;
   }
+}
+
+TEST(SqlTemplateTest, HolesParseAndRoundTrip) {
+  const char* templates[] = {
+      "SELECT * FROM t WHERE v < ${cut}",
+      "SELECT * FROM t WHERE v BETWEEN LEAST(${b[0]}, ${b[1]}) AND "
+      "GREATEST(${b[0]}, ${b[1]})",
+      "SELECT MIN(${field:id}) AS min0, MAX(${field:id}) AS max0 FROM t",
+      "SELECT FLOOR((v - ${start}) / ${step}) * ${step} + ${start} AS bin0, "
+      "COUNT(*) AS count FROM t GROUP BY FLOOR((v - ${start}) / ${step}) * "
+      "${step} + ${start}",
+  };
+  for (const char* text : templates) {
+    auto parsed = ParseSqlTemplate(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << " for: " << text;
+    // Holes survive unparsing, and unparsing is a fixed point.
+    std::string sql1 = ToSql(**parsed);
+    auto again = ParseSqlTemplate(sql1);
+    ASSERT_TRUE(again.ok()) << again.status() << " for: " << sql1;
+    EXPECT_EQ(sql1, ToSql(**again)) << text;
+  }
+  // Plain ParseSql still rejects hole syntax.
+  EXPECT_FALSE(ParseSql("SELECT * FROM t WHERE v < ${cut}").ok());
+}
+
+TEST(SqlTemplateTest, PrepareCollectsParamsAndNormalizesFormatting) {
+  auto a = PrepareStatement("SELECT * FROM t WHERE v < ${cut} AND ${b[0]} <= w");
+  ASSERT_TRUE(a.ok()) << a.status();
+  EXPECT_EQ((*a)->params, (std::vector<std::string>{"cut", "b"}));
+  auto b = PrepareStatement("select  *  from t  WHERE (v < ${cut}) AND (${b[0]} <= w)");
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ((*a)->canonical_sql, (*b)->canonical_sql);
+}
+
+TEST(SqlTemplateTest, TemplateErrors) {
+  EXPECT_FALSE(ParseSqlTemplate("SELECT * FROM t WHERE v < ${cut").ok());
+  EXPECT_FALSE(ParseSqlTemplate("SELECT * FROM t WHERE v < ${}").ok());
+  EXPECT_FALSE(ParseSqlTemplate("SELECT * FROM t WHERE v < ${b[x]}").ok());
+}
+
+TEST(SqlTemplateTest, BindMatchesFilledText) {
+  auto prepared = PrepareStatement(
+      "SELECT COUNT(*) AS c FROM t WHERE v BETWEEN ${b[0]} AND ${b[1]} AND "
+      "${f:id} <> ${name}");
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  expr::MapSignalResolver params;
+  params.Set("b", expr::EvalValue::Array(
+                      {data::Value::Double(2), data::Value::Double(9)}));
+  params.Set("f", expr::EvalValue::String("w"));
+  params.Set("name", expr::EvalValue::String("it's"));
+  auto bound = BindStatement(*(*prepared)->stmt, params);
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  EXPECT_EQ(ToSql(**bound),
+            "SELECT COUNT(*) AS c FROM t WHERE (((v >= 2) AND (v <= 9)) AND "
+            "(w <> 'it''s'))");
+
+  // Unresolved / mis-typed params fail like FillSqlHoles.
+  expr::MapSignalResolver missing;
+  EXPECT_FALSE(BindStatement(*(*prepared)->stmt, missing).ok());
+  expr::MapSignalResolver array_as_scalar;
+  array_as_scalar.Set("b", expr::EvalValue::Array({data::Value::Double(1)}));
+  array_as_scalar.Set("f", expr::EvalValue::Number(3));  // :id needs a string
+  array_as_scalar.Set("name", expr::EvalValue::String("x"));
+  EXPECT_FALSE(BindStatement(*(*prepared)->stmt, array_as_scalar).ok());
 }
 
 }  // namespace
