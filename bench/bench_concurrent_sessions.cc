@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/random.h"
 #include "runtime/middleware.h"
 
 using namespace vegaplus;         // NOLINT
@@ -119,6 +120,59 @@ int main() {
     row.Set("p95_ms", c.p95_ms);
     reporter.AddMetric("sessions_" + std::to_string(sessions), std::move(row));
     reporter.AddPhase("sessions_" + std::to_string(sessions), c.wall_ms);
+  }
+
+  // --- Server-cache admission policy: FIFO vs LRU under a skewed workload.
+  // One session replays an identical 90/10 hot/cold request stream against a
+  // server cache much smaller than the key universe; LRU keeps the hot set
+  // resident while FIFO cycles it out behind the cold scans.
+  std::printf("\n=== server-cache policy under skew (capacity 16, 8 hot / 64 cold keys) ===\n");
+  std::printf("%10s %12s %12s %10s\n", "policy", "queries", "server hits",
+              "hit rate");
+  double hit_rate[2] = {0, 0};
+  const runtime::QueryCache::Policy policies[2] = {
+      runtime::QueryCache::Policy::kFifo, runtime::QueryCache::Policy::kLru};
+  const char* policy_names[2] = {"fifo", "lru"};
+  for (int p = 0; p < 2; ++p) {
+    runtime::MiddlewareOptions options;
+    options.enable_client_cache = false;  // isolate the server tier
+    options.enable_server_cache = true;
+    options.cache_capacity = 16;
+    options.cache_policy = policies[p];
+    options.worker_threads = 2;
+    runtime::Middleware middleware(&engine, options);
+    auto session = middleware.CreateSession();
+    auto handle = session->Prepare("SELECT COUNT(*) AS n FROM flights WHERE " +
+                                   field + " < ${cut}");
+    if (!handle.ok()) Die(handle.status(), "Prepare");
+    Rng rng(config.seed);  // identical stream for both policies
+    const size_t kQueries = 4000;
+    for (size_t q = 0; q < kQueries; ++q) {
+      const size_t idx = rng.NextBool(0.9) ? rng.Index(8) : 8 + rng.Index(64);
+      rewrite::QueryRequest request;
+      request.handle = *handle;
+      request.params = {{"cut", expr::EvalValue::Number(static_cast<double>(idx))}};
+      auto response = session->Submit(request)->Await();
+      if (!response.ok()) Die(response.status(), "skewed workload");
+    }
+    auto stats = middleware.stats();
+    hit_rate[p] =
+        static_cast<double>(stats.server_cache_hits) / static_cast<double>(kQueries);
+    std::printf("%10s %12zu %12zu %9.1f%%\n", policy_names[p], kQueries,
+                stats.server_cache_hits, 100.0 * hit_rate[p]);
+    json::Value row = json::Value::MakeObject();
+    row.Set("queries", kQueries);
+    row.Set("server_cache_hits", stats.server_cache_hits);
+    row.Set("hit_rate", hit_rate[p]);
+    reporter.AddMetric(std::string("skew_policy_") + policy_names[p], std::move(row));
+  }
+  std::printf("LRU hit-rate delta over FIFO: %+.1f points\n",
+              100.0 * (hit_rate[1] - hit_rate[0]));
+  reporter.AddMetric("skew_lru_minus_fifo_hit_rate", json::Value(hit_rate[1] - hit_rate[0]));
+  if (hit_rate[1] < hit_rate[0]) {
+    std::fprintf(stderr, "GATE FAILED: LRU hit rate %.3f below FIFO %.3f under skew\n",
+                 hit_rate[1], hit_rate[0]);
+    return 1;
   }
 
   double scaling = results.back().throughput_qps / results.front().throughput_qps;

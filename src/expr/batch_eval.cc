@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "expr/functions.h"
 
 namespace vegaplus {
@@ -1007,9 +1008,7 @@ void BatchEvaluator::RunFilter(const Program& p, std::vector<int32_t>* sel) cons
   }
 }
 
-void BatchEvaluator::RunToColumn(const Program& p, Column* out) const {
-  const size_t n = table_.num_rows();
-  Vec v = Run(p);
+void VecToColumn(Vec v, size_t n, Column* out) {
   // Fast path: adopt a freshly-computed float64 register's buffers wholesale.
   if (v.kind == RegKind::kNum && out->type() == DataType::kFloat64 &&
       !v.is_const && out->length() == 0) {
@@ -1020,11 +1019,124 @@ void BatchEvaluator::RunToColumn(const Program& p, Column* out) const {
   for (size_t i = 0; i < n; ++i) v.AppendCellTo(i, out);
 }
 
+void BatchEvaluator::RunToColumn(const Program& p, Column* out) const {
+  VecToColumn(Run(p), table_.num_rows(), out);
+}
+
 void BatchEvaluator::RunToValues(const Program& p, std::vector<Value>* out) const {
   const size_t n = table_.num_rows();
   Vec v = Run(p);
   out->reserve(out->size() + n);
   for (size_t i = 0; i < n; ++i) out->push_back(v.CellValue(i));
+}
+
+// ---- Morsel-parallel execution ----
+
+namespace {
+
+/// True when a morsel decomposition is worth dispatching at all.
+bool MorselWorthIt(size_t num_morsels) {
+  return num_morsels > 1 && parallel::MorselParallelEnabled() &&
+         parallel::MorselParallelism() > 1;
+}
+
+/// Stitch per-morsel result registers (in morsel order) into one register of
+/// `n` rows. Registers are per-row containers, so concatenation in morsel
+/// order reproduces the full-batch register exactly. Constness is structural
+/// (a function of the program, not the data), so either every morsel is a
+/// broadcast constant — in which case the first stands for the whole batch —
+/// or none is.
+Vec ConcatVecs(std::vector<Vec> parts, size_t n) {
+  VP_CHECK(!parts.empty()) << "no morsel results to stitch";
+  if (parts[0].is_const) return std::move(parts[0]);
+  Vec out;
+  out.kind = parts[0].kind;
+  switch (out.kind) {
+    case RegKind::kNum: {
+      out.num.reserve(n);
+      bool need_valid = false;
+      for (const Vec& part : parts) need_valid = need_valid || !part.valid.empty();
+      if (need_valid) out.valid.reserve(n);
+      for (Vec& part : parts) {
+        out.num.insert(out.num.end(), part.num.begin(), part.num.end());
+        if (need_valid) {
+          if (part.valid.empty()) {
+            out.valid.insert(out.valid.end(), part.num.size(), 1);
+          } else {
+            out.valid.insert(out.valid.end(), part.valid.begin(), part.valid.end());
+          }
+        }
+      }
+      return out;
+    }
+    case RegKind::kBool: {
+      out.bits.reserve(n);
+      for (Vec& part : parts) {
+        out.bits.insert(out.bits.end(), part.bits.begin(), part.bits.end());
+      }
+      return out;
+    }
+    case RegKind::kStr: {
+      // Views into column storage stay valid because the slices share the
+      // caller's table storage; stores owning computed strings move into
+      // str_refs so the stitched register keeps them alive.
+      out.str.reserve(n);
+      for (Vec& part : parts) {
+        out.str.insert(out.str.end(), part.str.begin(), part.str.end());
+        if (part.str_store) out.str_refs.push_back(std::move(part.str_store));
+        out.str_refs.insert(out.str_refs.end(),
+                            std::make_move_iterator(part.str_refs.begin()),
+                            std::make_move_iterator(part.str_refs.end()));
+      }
+      return out;
+    }
+    case RegKind::kBoxed: {
+      out.boxed.reserve(n);
+      for (Vec& part : parts) {
+        out.boxed.insert(out.boxed.end(), std::make_move_iterator(part.boxed.begin()),
+                         std::make_move_iterator(part.boxed.end()));
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Vec RunMorselParallel(const data::Table& table, const Program& p) {
+  const size_t n = table.num_rows();
+  const std::vector<parallel::Range> morsels = parallel::MorselRanges(n);
+  if (!MorselWorthIt(morsels.size())) return BatchEvaluator(table).Run(p);
+  std::vector<Vec> parts(morsels.size());
+  parallel::ParallelFor(morsels.size(), [&](size_t m) {
+    data::TablePtr slice = table.Slice(morsels[m].begin, morsels[m].size());
+    parts[m] = BatchEvaluator(*slice).Run(p);
+  });
+  return ConcatVecs(std::move(parts), n);
+}
+
+void RunFilterMorselParallel(const data::Table& table, const Program& p,
+                             std::vector<int32_t>* sel) {
+  const std::vector<parallel::Range> morsels = parallel::MorselRanges(table.num_rows());
+  if (!MorselWorthIt(morsels.size())) {
+    BatchEvaluator(table).RunFilter(p, sel);
+    return;
+  }
+  std::vector<std::vector<int32_t>> parts(morsels.size());
+  parallel::ParallelFor(morsels.size(), [&](size_t m) {
+    data::TablePtr slice = table.Slice(morsels[m].begin, morsels[m].size());
+    BatchEvaluator(*slice).RunFilter(p, &parts[m]);
+    // Slice-local row ids -> table row ids.
+    const int32_t offset = static_cast<int32_t>(morsels[m].begin);
+    for (int32_t& r : parts[m]) r += offset;
+  });
+  // Ordered stitch: morsel order == ascending row order, exactly the
+  // sequential selection vector.
+  size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  sel->reserve(sel->size() + total);
+  for (const auto& part : parts) sel->insert(sel->end(), part.begin(), part.end());
 }
 
 // ---- Grouping ----
@@ -1061,25 +1173,73 @@ GroupResult BuildGroups(const std::vector<const Vec*>& keys,
     return result;  // group_of already zero-initialized
   }
 
+  const std::vector<parallel::Range> chunks = parallel::MorselRanges(n);
+
   std::vector<size_t> hashes(n);
-  for (size_t pos = 0; pos < n; ++pos) {
-    size_t h = 0x12345;
-    const size_t r = static_cast<size_t>(rows[pos]);
-    for (const Vec* key : keys) {
-      h = h * 1099511628211ull + KeyCellHash(*key, r);
+  parallel::ParallelFor(chunks.size(), [&](size_t c) {
+    for (size_t pos = chunks[c].begin; pos < chunks[c].end; ++pos) {
+      size_t h = 0x12345;
+      const size_t r = static_cast<size_t>(rows[pos]);
+      for (const Vec* key : keys) {
+        h = h * 1099511628211ull + KeyCellHash(*key, r);
+      }
+      hashes[pos] = h;
     }
-    hashes[pos] = h;
+  });
+
+  if (!MorselWorthIt(chunks.size())) {
+    std::unordered_map<uint32_t, uint32_t, PosHash, PosEq> seen(
+        /*bucket_count=*/std::max<size_t>(16, n / 4), PosHash{&hashes},
+        PosEq{&keys, &rows});
+    for (size_t pos = 0; pos < n; ++pos) {
+      auto [it, inserted] = seen.try_emplace(
+          static_cast<uint32_t>(pos), static_cast<uint32_t>(result.rep_rows.size()));
+      if (inserted) result.rep_rows.push_back(rows[pos]);
+      result.group_of[pos] = it->second;
+    }
+    return result;
   }
 
-  std::unordered_map<uint32_t, uint32_t, PosHash, PosEq> seen(
+  // Parallel path: each worker hash-groups one chunk of positions into a
+  // local table (group_of holds chunk-local ids, reps in chunk-first-seen
+  // order), then the chunk tables merge sequentially in chunk order.
+  // Iterating chunks in order and each chunk's reps in local first-seen
+  // order visits every group exactly at its global first occurrence, so the
+  // assigned global ids and representative rows are identical to the
+  // sequential scan.
+  std::vector<std::vector<uint32_t>> chunk_reps(chunks.size());
+  parallel::ParallelFor(chunks.size(), [&](size_t c) {
+    std::unordered_map<uint32_t, uint32_t, PosHash, PosEq> seen(
+        /*bucket_count=*/std::max<size_t>(16, chunks[c].size() / 4),
+        PosHash{&hashes}, PosEq{&keys, &rows});
+    std::vector<uint32_t>& reps = chunk_reps[c];
+    for (size_t pos = chunks[c].begin; pos < chunks[c].end; ++pos) {
+      auto [it, inserted] = seen.try_emplace(static_cast<uint32_t>(pos),
+                                             static_cast<uint32_t>(reps.size()));
+      if (inserted) reps.push_back(static_cast<uint32_t>(pos));
+      result.group_of[pos] = it->second;
+    }
+  });
+
+  std::unordered_map<uint32_t, uint32_t, PosHash, PosEq> global(
       /*bucket_count=*/std::max<size_t>(16, n / 4), PosHash{&hashes},
       PosEq{&keys, &rows});
-  for (size_t pos = 0; pos < n; ++pos) {
-    auto [it, inserted] = seen.try_emplace(static_cast<uint32_t>(pos),
-                                           static_cast<uint32_t>(result.rep_rows.size()));
-    if (inserted) result.rep_rows.push_back(rows[pos]);
-    result.group_of[pos] = it->second;
+  std::vector<std::vector<uint32_t>> remap(chunks.size());
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    remap[c].resize(chunk_reps[c].size());
+    for (size_t k = 0; k < chunk_reps[c].size(); ++k) {
+      const uint32_t pos = chunk_reps[c][k];
+      auto [it, inserted] =
+          global.try_emplace(pos, static_cast<uint32_t>(result.rep_rows.size()));
+      if (inserted) result.rep_rows.push_back(rows[pos]);
+      remap[c][k] = it->second;
+    }
   }
+  parallel::ParallelFor(chunks.size(), [&](size_t c) {
+    for (size_t pos = chunks[c].begin; pos < chunks[c].end; ++pos) {
+      result.group_of[pos] = remap[c][result.group_of[pos]];
+    }
+  });
   return result;
 }
 

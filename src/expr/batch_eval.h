@@ -79,6 +79,11 @@ Vec ColumnVec(const data::Column& col);
 /// Wrap scalar-interpreter results for the uniform key/sort paths.
 Vec BoxedVec(std::vector<data::Value> values);
 
+/// Append every cell of `v` (a register of `n` rows) to `out`, adopting the
+/// buffers wholesale for fresh float64 targets. Shared by RunToColumn and
+/// the morsel-parallel projection paths so both produce identical columns.
+void VecToColumn(Vec v, size_t n, data::Column* out);
+
 /// \brief Executes compiled programs over a table batch.
 class BatchEvaluator {
  public:
@@ -102,6 +107,18 @@ class BatchEvaluator {
   const data::Table& table_;
 };
 
+/// Morsel-parallel equivalents of BatchEvaluator::Run / RunFilter: the table
+/// is split into MorselRows()-sized zero-copy slices (Table::Slice), each
+/// slice is executed by a per-worker BatchEvaluator on the shared morsel
+/// pool (common/parallel.h), and the per-morsel registers / selection
+/// vectors are stitched back together in morsel order. Every program op is
+/// elementwise, so the stitched result is bit-identical to a single
+/// full-batch run; single-morsel inputs and the kill-switch path go through
+/// BatchEvaluator directly.
+Vec RunMorselParallel(const data::Table& table, const Program& p);
+void RunFilterMorselParallel(const data::Table& table, const Program& p,
+                             std::vector<int32_t>* sel);
+
 /// \brief Hash-grouping over typed key registers.
 struct GroupResult {
   /// Group id per position in the `rows` span passed to BuildGroups.
@@ -114,6 +131,12 @@ struct GroupResult {
 /// Group `rows` (table row ids) by the tuple of key registers. Equality and
 /// first-seen group order match the scalar GroupKey path (Value::Compare
 /// semantics per cell). With no keys, all rows form one group.
+///
+/// Large inputs group morsel-parallel: each worker hash-groups one chunk of
+/// positions locally, and the per-chunk tables are merged in chunk order —
+/// group ids, representative rows, and group_of come out identical to the
+/// sequential first-seen scan for any thread count (and with the kill
+/// switch off).
 GroupResult BuildGroups(const std::vector<const Vec*>& keys,
                         const std::vector<int32_t>& rows);
 

@@ -10,25 +10,35 @@ bool QueryCache::Get(const std::string& sql, data::TablePtr* out) {
     return false;
   }
   ++hits_;
-  *out = it->second;
+  if (policy_ == Policy::kLru && it->second != order_.begin()) {
+    order_.splice(order_.begin(), order_, it->second);
+  }
+  *out = it->second->second;
   return true;
 }
 
 void QueryCache::Put(const std::string& sql, data::TablePtr table) {
   if (capacity_ == 0 || !table) return;
   if (table->num_rows() > max_result_rows_) return;  // size threshold
-  if (map_.count(sql) > 0) return;                   // avoid duplicate entries
-  while (map_.size() >= capacity_ && !fifo_.empty()) {
-    map_.erase(fifo_.front());
-    fifo_.pop_front();
+  auto it = map_.find(sql);
+  if (it != map_.end()) {
+    // Keep the stored table (duplicate suppression), but a re-Put is a use.
+    if (policy_ == Policy::kLru && it->second != order_.begin()) {
+      order_.splice(order_.begin(), order_, it->second);
+    }
+    return;
   }
-  map_.emplace(sql, std::move(table));
-  fifo_.push_back(sql);
+  while (map_.size() >= capacity_ && !order_.empty()) {
+    map_.erase(order_.back().first);
+    order_.pop_back();
+  }
+  order_.emplace_front(sql, std::move(table));
+  map_.emplace(sql, order_.begin());
 }
 
 void QueryCache::Clear() {
   map_.clear();
-  fifo_.clear();
+  order_.clear();
 }
 
 }  // namespace runtime

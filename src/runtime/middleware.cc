@@ -36,22 +36,29 @@ size_t EstimateEncodedBytes(const data::Table& table, bool binary, size_t sample
 // ---- Session ----
 
 Session::Session(Middleware* owner, uint64_t id, size_t cache_capacity,
-                 size_t cache_max_result_rows)
-    : owner_(owner), id_(id), cache_(cache_capacity, cache_max_result_rows) {}
+                 size_t cache_max_result_rows, QueryCache::Policy cache_policy)
+    : owner_(owner), id_(id),
+      cache_(cache_capacity, cache_max_result_rows, cache_policy) {}
 
 Result<QueryResponse> Session::Execute(const std::string& sql) {
-  auto handle = Prepare(sql);
+  // Transient registration: ad-hoc literal-inlined SQL must not pin a
+  // registry entry forever (legacy clients issue unbounded distinct
+  // strings). The transient reference keeps the statement resolvable until
+  // this call's submission finishes, then the entry becomes evictable.
+  auto handle = owner_->PrepareShared(sql, /*pin=*/false);
   if (!handle.ok()) {
     return Status(handle.status().code(),
                   "middleware: " + handle.status().message() + " [" + sql + "]");
   }
   QueryRequest request;
   request.handle = *handle;
-  return Submit(request)->Await();
+  Result<QueryResponse> response = Submit(request)->Await();
+  owner_->ReleaseTransient(*handle);
+  return response;
 }
 
 Result<PreparedHandle> Session::Prepare(const std::string& sql_template) {
-  return owner_->PrepareShared(sql_template);
+  return owner_->PrepareShared(sql_template, /*pin=*/true);
 }
 
 QueryTicketPtr Session::Submit(const QueryRequest& request) {
@@ -125,11 +132,18 @@ QueryTicketPtr Session::Submit(const QueryRequest& request) {
     return ticket;
   }
 
-  owner_->pool_->Submit([owner = owner_, self = shared_from_this(), ticket, stmt,
-                         params = request.params, key = std::move(key)]() mutable {
-    owner->RunQueryTask(std::move(self), std::move(ticket), std::move(stmt),
-                        std::move(params), std::move(key));
-  });
+  const bool accepted = owner_->pool_->Submit(
+      [owner = owner_, self = shared_from_this(), ticket, stmt,
+       params = request.params, key = std::move(key)]() mutable {
+        owner->RunQueryTask(std::move(self), std::move(ticket), std::move(stmt),
+                            std::move(params), std::move(key));
+      });
+  if (!accepted) {
+    // Pool already shutting down: no worker will ever run the task, so the
+    // ticket must resolve here — otherwise Await would hang forever.
+    ticket->Cancel();
+    owner_->RecordCancelled(this);
+  }
   return ticket;
 }
 
@@ -158,7 +172,7 @@ void Session::CachePut(const std::string& key, data::TablePtr table) {
 Middleware::Middleware(const sql::Engine* engine, MiddlewareOptions options)
     : engine_(engine), options_(std::move(options)),
       server_cache_(options_.enable_server_cache ? options_.cache_capacity : 0,
-                    options_.cache_max_result_rows),
+                    options_.cache_max_result_rows, options_.cache_policy),
       pool_(std::make_unique<WorkerPool>(options_.worker_threads)) {
   default_session_ = CreateSession();
 }
@@ -167,11 +181,14 @@ Middleware::Middleware(const sql::Engine* engine, MiddlewareOptions options)
 // workers drain before the registry, caches, and sessions above them die.
 Middleware::~Middleware() = default;
 
+void Middleware::Shutdown() { pool_->Shutdown(); }
+
 std::shared_ptr<Session> Middleware::CreateSession() {
   std::lock_guard<std::mutex> lock(mu_);
   size_t client_capacity = options_.enable_client_cache ? options_.cache_capacity : 0;
-  auto session = std::shared_ptr<Session>(new Session(
-      this, next_session_id_++, client_capacity, options_.cache_max_result_rows));
+  auto session = std::shared_ptr<Session>(
+      new Session(this, next_session_id_++, client_capacity,
+                  options_.cache_max_result_rows, options_.cache_policy));
   // Prune dead sessions while we are here (benchmarks create many).
   sessions_.erase(std::remove_if(sessions_.begin(), sessions_.end(),
                                  [](const std::weak_ptr<Session>& w) {
@@ -188,31 +205,83 @@ Result<QueryResponse> Middleware::Execute(const std::string& sql) {
 }
 
 Result<PreparedHandle> Middleware::Prepare(const std::string& sql_template) {
-  return PrepareShared(sql_template);
+  return PrepareShared(sql_template, /*pin=*/true);
 }
 
 QueryTicketPtr Middleware::Submit(const QueryRequest& request) {
   return default_session_->Submit(request);
 }
 
-Result<PreparedHandle> Middleware::PrepareShared(const std::string& sql_template) {
+Result<PreparedHandle> Middleware::PrepareShared(const std::string& sql_template,
+                                                 bool pin) {
   // Parse outside the lock; dedupe on the canonical (formatting-insensitive)
   // form so equivalent templates share one statement and one cache keyspace.
   VP_ASSIGN_OR_RETURN(sql::PreparedPtr stmt, sql::PrepareStatement(sql_template));
   std::lock_guard<std::mutex> lock(mu_);
   auto it = by_canonical_.find(stmt->canonical_sql);
-  if (it != by_canonical_.end()) return it->second;
-  statements_.push_back(stmt);
-  PreparedHandle handle = static_cast<PreparedHandle>(statements_.size());
-  by_canonical_.emplace(stmt->canonical_sql, handle);
+  if (it != by_canonical_.end()) {
+    StatementEntry& entry = statements_[it->second];
+    if (pin && !entry.pinned) {
+      entry.pinned = true;
+      statement_lru_.erase(entry.lru_it);  // pinned: never a victim again
+    } else if (!entry.pinned) {
+      statement_lru_.splice(statement_lru_.begin(), statement_lru_, entry.lru_it);
+    }
+    if (!pin) ++entry.transient_uses;
+    return it->second;
+  }
+  const PreparedHandle handle = next_handle_++;
+  StatementEntry entry;
+  entry.stmt = std::move(stmt);
+  entry.pinned = pin;
+  entry.transient_uses = pin ? 0 : 1;
+  if (!pin) {
+    statement_lru_.push_front(handle);
+    entry.lru_it = statement_lru_.begin();
+  }
+  by_canonical_.emplace(entry.stmt->canonical_sql, handle);
+  statements_.emplace(handle, std::move(entry));
   ++stats_.prepared_statements;
+  EvictStatementsLocked();
   return handle;
+}
+
+void Middleware::ReleaseTransient(PreparedHandle handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = statements_.find(handle);
+  if (it == statements_.end()) return;
+  if (it->second.transient_uses > 0) --it->second.transient_uses;
+  EvictStatementsLocked();
+}
+
+// LRU eviction of unreferenced canonical statements, walking the order list
+// from its cold end. Pinned entries (public Prepare handles, finitely many
+// templates by design) are not in the list at all, and entries with an
+// in-flight transient use are skipped, so live handles keep resolving;
+// everything else — the ad-hoc Execute churn — is bounded by the cap.
+void Middleware::EvictStatementsLocked() {
+  const size_t cap = options_.max_prepared_statements;
+  if (cap == 0) return;
+  auto it = statement_lru_.end();
+  while (statements_.size() > cap && it != statement_lru_.begin()) {
+    --it;
+    auto entry = statements_.find(*it);
+    if (entry->second.transient_uses > 0) continue;  // in flight: skip
+    by_canonical_.erase(entry->second.stmt->canonical_sql);
+    statements_.erase(entry);
+    it = statement_lru_.erase(it);  // next loop steps back past the gap
+  }
+}
+
+size_t Middleware::registry_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return statements_.size();
 }
 
 sql::PreparedPtr Middleware::StatementFor(PreparedHandle handle) const {
   std::lock_guard<std::mutex> lock(mu_);
-  if (handle == 0 || handle > statements_.size()) return nullptr;
-  return statements_[handle - 1];
+  auto it = statements_.find(handle);
+  return it == statements_.end() ? nullptr : it->second.stmt;
 }
 
 std::string Middleware::CacheKeyFor(const sql::PreparedStatement& stmt,

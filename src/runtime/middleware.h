@@ -17,6 +17,7 @@
 
 #include <condition_variable>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -43,9 +44,20 @@ struct MiddlewareOptions {
   size_t cache_capacity = 64;
   /// Results with more rows than this are not cached (§5.5 size threshold).
   size_t cache_max_result_rows = 200000;
+  /// Replacement policy of the server cache tier (client caches are small
+  /// and per-session; they use the same policy). LRU beats FIFO under
+  /// skewed multi-tenant workloads; FIFO is kept for ablations.
+  QueryCache::Policy cache_policy = QueryCache::Policy::kLru;
   LatencyParams latency;
   /// DBMS worker threads shared by all sessions.
   size_t worker_threads = 4;
+  /// Bound on the prepared-statement registry (0 = unbounded). Unreferenced
+  /// statements — ad-hoc literal-inlined SQL from legacy Session::Execute
+  /// clients — are LRU-evicted past this cap. Statements prepared through
+  /// the public Prepare() surface are pinned (their handles stay live
+  /// forever), so parameterized dashboards are never evicted; the cap
+  /// applies to the churn.
+  size_t max_prepared_statements = 256;
   /// Test instrumentation: invoked by a worker right before DBMS execution
   /// (after cache misses), with the query's cache key. Lets concurrency
   /// tests gate execution deterministically. Null in production.
@@ -103,7 +115,7 @@ class Session : public rewrite::QueryService,
  private:
   friend class Middleware;
   Session(Middleware* owner, uint64_t id, size_t cache_capacity,
-          size_t cache_max_result_rows);
+          size_t cache_max_result_rows, QueryCache::Policy cache_policy);
 
   bool CacheGet(const std::string& key, data::TablePtr* out);
   void CachePut(const std::string& key, data::TablePtr table);
@@ -133,6 +145,13 @@ class Middleware : public rewrite::QueryService {
 
   Middleware(const Middleware&) = delete;
   Middleware& operator=(const Middleware&) = delete;
+
+  /// Stop the worker pool: drains queued work, joins the workers. The
+  /// destructor calls this; tests call it directly to exercise the
+  /// submit/shutdown race. After (or racing with) Shutdown, a Submit whose
+  /// task the pool rejects resolves its ticket as Status::Cancelled instead
+  /// of leaving Await blocked on a task no worker will ever run.
+  void Shutdown();
 
   /// New client session (own cache, stats, and supersession scope).
   std::shared_ptr<Session> CreateSession();
@@ -166,12 +185,26 @@ class Middleware : public rewrite::QueryService {
   /// (e.g. between benchmark conditions).
   void ClearCaches();
 
+  /// Statements currently resident in the registry (pinned + evictable).
+  /// Bounded by max_prepared_statements plus the pinned set, regardless of
+  /// how many distinct ad-hoc strings have passed through Execute.
+  size_t registry_size() const;
+
   const MiddlewareOptions& options() const { return options_; }
 
  private:
   friend class Session;
 
-  Result<rewrite::PreparedHandle> PrepareShared(const std::string& sql_template);
+  /// Register (or find) the canonical statement for `sql_template`.
+  /// `pin` marks the handle as externally held (public Prepare): pinned
+  /// entries are never evicted, so live handles keep working. Unpinned
+  /// callers get a transient reference they must drop via
+  /// ReleaseTransient() once their submission has resolved.
+  Result<rewrite::PreparedHandle> PrepareShared(const std::string& sql_template,
+                                                bool pin);
+  void ReleaseTransient(rewrite::PreparedHandle handle);
+  /// LRU-evict unreferenced statements down to the cap. Requires mu_.
+  void EvictStatementsLocked();
   sql::PreparedPtr StatementFor(rewrite::PreparedHandle handle) const;
 
   /// (statement, bound params) -> canonical cache key.
@@ -195,9 +228,26 @@ class Middleware : public rewrite::QueryService {
   const sql::Engine* engine_;
   MiddlewareOptions options_;
 
+  /// One registered canonical statement. Handles are monotonically
+  /// increasing and never reused, so eviction can never make an old handle
+  /// silently resolve to a different statement — a dead handle fails loudly.
+  struct StatementEntry {
+    sql::PreparedPtr stmt;
+    bool pinned = false;        // handed out via public Prepare; never evicted
+    size_t transient_uses = 0;  // in-flight legacy Execute calls
+    /// Position in statement_lru_ (unpinned entries only; pinned entries
+    /// leave the order list, they can never be victims).
+    std::list<rewrite::PreparedHandle>::iterator lru_it;
+  };
+
   mutable std::mutex mu_;  // statements, server cache, stats, session list
-  std::vector<sql::PreparedPtr> statements_;
+  std::unordered_map<rewrite::PreparedHandle, StatementEntry> statements_;
   std::unordered_map<std::string, rewrite::PreparedHandle> by_canonical_;
+  /// Unpinned statements, most recently used first; eviction walks from the
+  /// back (skipping in-flight transient uses), so finding a victim is O(1)
+  /// amortized instead of scanning the registry.
+  std::list<rewrite::PreparedHandle> statement_lru_;
+  rewrite::PreparedHandle next_handle_ = 1;
   QueryCache server_cache_;
   Stats stats_;
   std::vector<std::weak_ptr<Session>> sessions_;

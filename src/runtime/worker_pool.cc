@@ -13,21 +13,34 @@ WorkerPool::WorkerPool(size_t threads) {
   }
 }
 
-WorkerPool::~WorkerPool() {
+WorkerPool::~WorkerPool() { Shutdown(); }
+
+void WorkerPool::Shutdown() {
+  // Serialized: a concurrent (or repeated) Shutdown blocks until the first
+  // one has fully joined, so the destructor can never free the pool while
+  // another caller is still mid-join.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  if (joined_) return;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
   for (std::thread& w : workers_) w.join();
+  joined_ = true;
 }
 
-void WorkerPool::Submit(std::function<void()> task) {
+bool WorkerPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Once stopping_ is set the workers may already have drained the queue
+    // and returned; a task enqueued now would never run and its ticket's
+    // Await would block forever. Reject so the caller can resolve it.
+    if (stopping_) return false;
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
+  return true;
 }
 
 void WorkerPool::WorkerLoop() {

@@ -1,6 +1,17 @@
 // A fixed-size worker pool for the middleware's DBMS work. Deliberately
 // minimal: FIFO task queue, no priorities, tasks drained on shutdown so a
 // submitted query's ticket is always resolved before the pool dies.
+//
+// DBMS tasks may themselves fan work out across the shared *morsel* executor
+// (common/parallel.h) when a query executes morsel-parallel. The two pools
+// cannot deadlock each other: a DBMS worker inside ParallelFor always
+// participates in its own morsel work (it never parks waiting for a free
+// morsel thread), and morsel tasks never submit DBMS work.
+//
+// Submit() after (or racing with) Shutdown() is *rejected*, not silently
+// enqueued: a task accepted by a pool whose workers have already drained
+// would never run, and the ticket awaiting it would hang forever. Callers
+// must check the return value and resolve their ticket as cancelled.
 #ifndef VEGAPLUS_RUNTIME_WORKER_POOL_H_
 #define VEGAPLUS_RUNTIME_WORKER_POOL_H_
 
@@ -19,13 +30,20 @@ class WorkerPool {
   /// Spawns `threads` workers (at least 1).
   explicit WorkerPool(size_t threads);
 
-  /// Signals shutdown, runs every task still queued, joins all workers.
+  /// Calls Shutdown().
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
-  void Submit(std::function<void()> task);
+  /// Enqueue `task`. Returns false — and does not enqueue — once shutdown
+  /// has begun; the caller owns resolving whatever awaited the task.
+  bool Submit(std::function<void()> task);
+
+  /// Signals shutdown, runs every task still queued, joins all workers.
+  /// Idempotent; safe to call concurrently with Submit (the loser of the
+  /// race is rejected).
+  void Shutdown();
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -37,6 +55,9 @@ class WorkerPool {
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+
+  std::mutex shutdown_mu_;  // serializes Shutdown; held across the join
+  bool joined_ = false;     // guarded by shutdown_mu_
 };
 
 }  // namespace runtime

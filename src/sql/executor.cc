@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/parallel.h"
 #include "common/str_util.h"
 #include "expr/batch_eval.h"
 #include "expr/evaluator.h"
@@ -47,7 +48,7 @@ Vec EvalVec(const NodePtr& node, const Table& table,
             const std::vector<int32_t>* rows = nullptr) {
   if (expr::VectorizedEnabled()) {
     if (auto program = Compiler::Compile(node, table.schema())) {
-      return BatchEvaluator(table).Run(*program);
+      return expr::RunMorselParallel(table, *program);
     }
   }
   if (rows != nullptr) {
@@ -71,7 +72,7 @@ Vec EvalVec(const NodePtr& node, const Table& table,
 void FilterRows(const NodePtr& pred, const Table& table, std::vector<int32_t>* keep) {
   if (expr::VectorizedEnabled()) {
     if (auto program = Compiler::Compile(pred, table.schema())) {
-      BatchEvaluator(table).RunFilter(*program, keep);
+      expr::RunFilterMorselParallel(table, *program, keep);
       return;
     }
   }
@@ -129,6 +130,44 @@ struct AggState {
     }
   }
 
+  /// Fold `other` (a later chunk of the same group's rows) into this state.
+  /// Chunks are merged in position order, so `values` concatenation keeps
+  /// selection order and min/max keep the first occurrence on ties (the
+  /// strict Compare mirrors the per-row update loops, including their
+  /// NaN-never-replaces behavior, since Value::Compare treats NaN as equal
+  /// to everything). Sums merge by adding per-chunk partials; chunk
+  /// boundaries are fixed by AggChunkSize, never by the thread count, so
+  /// the float rounding is identical at any parallelism.
+  void Merge(AggOp op, AggState&& other) {
+    count += other.count;
+    switch (op) {
+      case AggOp::kCount:
+        break;
+      case AggOp::kSum:
+      case AggOp::kAvg:
+        sum += other.sum;
+        break;
+      case AggOp::kStddev:
+      case AggOp::kVariance:
+        sum += other.sum;
+        sum_sq += other.sum_sq;
+        break;
+      case AggOp::kMedian:
+        values.insert(values.end(), other.values.begin(), other.values.end());
+        break;
+      case AggOp::kMin:
+        if (!other.min.is_null() && (min.is_null() || other.min.Compare(min) < 0)) {
+          min = std::move(other.min);
+        }
+        break;
+      case AggOp::kMax:
+        if (!other.max.is_null() && (max.is_null() || other.max.Compare(max) > 0)) {
+          max = std::move(other.max);
+        }
+        break;
+    }
+  }
+
   Value Finish(AggOp op) {
     switch (op) {
       case AggOp::kCount:
@@ -162,18 +201,18 @@ struct AggState {
   }
 };
 
-/// Accumulate one aggregate over the selected rows with a single typed
-/// branch per batch: the inner loops touch raw doubles, never a per-row
-/// Value. `arg` is the argument register over the full input table; `rows`
-/// are the selected table row ids; `group_of[pos]` is the group of
-/// `rows[pos]`.
+/// Accumulate one aggregate over the selected positions in `span` with a
+/// single typed branch per chunk: the inner loops touch raw doubles, never a
+/// per-row Value. `arg` is the argument register over the full input table;
+/// `rows` are the selected table row ids; `group_of[pos]` is the group of
+/// `rows[pos]`; `states` holds one state per group. Callers run one
+/// invocation per chunk (possibly in parallel, each with its own `states`)
+/// and merge the chunk states in position order.
 void AccumulateAgg(AggOp op, const Vec& arg, const std::vector<int32_t>& rows,
-                   const std::vector<uint32_t>& group_of, size_t agg_index,
-                   std::vector<std::vector<AggState>>* states) {
-  const size_t npos = rows.size();
-  auto state = [&](size_t pos) -> AggState& {
-    return (*states)[group_of[pos]][agg_index];
-  };
+                   const std::vector<uint32_t>& group_of, parallel::Range span,
+                   std::vector<AggState>* states) {
+  const size_t npos = span.end;
+  auto state = [&](size_t pos) -> AggState& { return (*states)[group_of[pos]]; };
 
   if (arg.kind == RegKind::kNum || arg.kind == RegKind::kBool) {
     auto value_at = [&arg](size_t r) {
@@ -181,13 +220,13 @@ void AccumulateAgg(AggOp op, const Vec& arg, const std::vector<int32_t>& rows,
     };
     switch (op) {
       case AggOp::kCount:
-        for (size_t pos = 0; pos < npos; ++pos) {
+        for (size_t pos = span.begin; pos < npos; ++pos) {
           if (arg.ValidAt(static_cast<size_t>(rows[pos]))) ++state(pos).count;
         }
         return;
       case AggOp::kSum:
       case AggOp::kAvg:
-        for (size_t pos = 0; pos < npos; ++pos) {
+        for (size_t pos = span.begin; pos < npos; ++pos) {
           const size_t r = static_cast<size_t>(rows[pos]);
           if (!arg.ValidAt(r)) continue;
           AggState& st = state(pos);
@@ -197,7 +236,7 @@ void AccumulateAgg(AggOp op, const Vec& arg, const std::vector<int32_t>& rows,
         return;
       case AggOp::kStddev:
       case AggOp::kVariance:
-        for (size_t pos = 0; pos < npos; ++pos) {
+        for (size_t pos = span.begin; pos < npos; ++pos) {
           const size_t r = static_cast<size_t>(rows[pos]);
           if (!arg.ValidAt(r)) continue;
           AggState& st = state(pos);
@@ -208,7 +247,7 @@ void AccumulateAgg(AggOp op, const Vec& arg, const std::vector<int32_t>& rows,
         }
         return;
       case AggOp::kMedian:
-        for (size_t pos = 0; pos < npos; ++pos) {
+        for (size_t pos = span.begin; pos < npos; ++pos) {
           const size_t r = static_cast<size_t>(rows[pos]);
           if (!arg.ValidAt(r)) continue;
           AggState& st = state(pos);
@@ -217,7 +256,7 @@ void AccumulateAgg(AggOp op, const Vec& arg, const std::vector<int32_t>& rows,
         }
         return;
       case AggOp::kMin:
-        for (size_t pos = 0; pos < npos; ++pos) {
+        for (size_t pos = span.begin; pos < npos; ++pos) {
           const size_t r = static_cast<size_t>(rows[pos]);
           if (!arg.ValidAt(r)) continue;
           AggState& st = state(pos);
@@ -226,7 +265,7 @@ void AccumulateAgg(AggOp op, const Vec& arg, const std::vector<int32_t>& rows,
         }
         return;
       case AggOp::kMax:
-        for (size_t pos = 0; pos < npos; ++pos) {
+        for (size_t pos = span.begin; pos < npos; ++pos) {
           const size_t r = static_cast<size_t>(rows[pos]);
           if (!arg.ValidAt(r)) continue;
           AggState& st = state(pos);
@@ -240,7 +279,7 @@ void AccumulateAgg(AggOp op, const Vec& arg, const std::vector<int32_t>& rows,
 
   // String / boxed-fallback arguments: per-row boxed update (identical to
   // the scalar interpreter path).
-  for (size_t pos = 0; pos < npos; ++pos) {
+  for (size_t pos = span.begin; pos < npos; ++pos) {
     state(pos).Update(op, arg.CellValue(static_cast<size_t>(rows[pos])),
                       /*count_star=*/false);
   }
@@ -445,19 +484,45 @@ Result<TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
     // Pure aggregation over zero rows still yields one output row.
     if (stmt.group_by.empty() && num_groups == 0) num_groups = 1;
 
+    // Chunked accumulation: each chunk of selection positions fills its own
+    // partial states and the partials merge in chunk order. Chunk boundaries
+    // come from AggChunkSize — a function of the data shape only, never the
+    // thread count or the kill switch — so the merged result is bit-identical
+    // whether the chunks run sequentially or across the morsel pool. One
+    // aggregate at a time, so exactly one full-table argument register is
+    // live (the boundaries are shared by every aggregate, so the per-agg
+    // merge order changes nothing).
+    const size_t chunk_rows = parallel::AggChunkSize(
+        selection.size(), num_groups * std::max<size_t>(1, agg_items.size()));
+    const std::vector<parallel::Range> chunks =
+        parallel::SplitRanges(selection.size(), chunk_rows);
     std::vector<std::vector<AggState>> group_states(
         num_groups, std::vector<AggState>(agg_items.size()));
     for (size_t a = 0; a < agg_items.size(); ++a) {
       const SelectItem* item = agg_items[a];
-      if (item->agg_arg == nullptr) {
-        // COUNT(*): group cardinalities, no argument to evaluate.
-        for (size_t pos = 0; pos < selection.size(); ++pos) {
-          ++group_states[groups.group_of[pos]][a].count;
-        }
-        continue;
+      Vec arg;
+      if (item->agg_arg != nullptr) {
+        arg = EvalVec(item->agg_arg, *input, &selection);
       }
-      Vec arg = EvalVec(item->agg_arg, *input, &selection);
-      AccumulateAgg(item->agg_op, arg, selection, groups.group_of, a, &group_states);
+      std::vector<std::vector<AggState>> chunk_states(chunks.size());
+      parallel::ParallelFor(chunks.size(), [&](size_t c) {
+        std::vector<AggState>& states = chunk_states[c];
+        states.assign(num_groups, AggState());
+        if (item->agg_arg == nullptr) {
+          // COUNT(*): group cardinalities, no argument to evaluate.
+          for (size_t pos = chunks[c].begin; pos < chunks[c].end; ++pos) {
+            ++states[groups.group_of[pos]].count;
+          }
+          return;
+        }
+        AccumulateAgg(item->agg_op, arg, selection, groups.group_of, chunks[c],
+                      &states);
+      });
+      for (size_t c = 0; c < chunks.size(); ++c) {
+        for (size_t g = 0; g < num_groups; ++g) {
+          group_states[g][a].Merge(item->agg_op, std::move(chunk_states[c][g]));
+        }
+      }
     }
 
     // Build the output columns group-at-a-time.
@@ -548,7 +613,9 @@ Result<TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
         bool vectorized = false;
         if (expr::VectorizedEnabled()) {
           if (auto program = Compiler::Compile(item.expr, filtered->schema())) {
-            BatchEvaluator(*filtered).RunToColumn(*program, &col);
+            // Morsel-parallel projection: compute the register across the
+            // pool, then build the column once (identical to RunToColumn).
+            expr::VecToColumn(expr::RunMorselParallel(*filtered, *program), n, &col);
             vectorized = true;
           }
         }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/parallel.h"
 #include "common/str_util.h"
 #include "expr/batch_eval.h"
 #include "expr/compiler.h"
@@ -109,10 +110,10 @@ Result<EvalResult> FilterOp::Evaluate(const TablePtr& input,
   bool vectorized = false;
   if (expr::VectorizedEnabled()) {
     // Signal-free predicates compile to a vector program (often the fused
-    // column-compare fast path); signal-dependent ones fall back to the
-    // scalar interpreter below.
+    // column-compare fast path) and filter morsel-parallel; signal-dependent
+    // ones fall back to the scalar interpreter below.
     if (auto program = expr::Compiler::Compile(predicate_, input->schema())) {
-      BatchEvaluator(*input).RunFilter(*program, &keep);
+      expr::RunFilterMorselParallel(*input, *program, &keep);
       vectorized = true;
     }
   }
@@ -269,6 +270,40 @@ struct VegaAggState {
     }
   }
 
+  /// Fold `other` (a later chunk of the same group's rows) into this state.
+  /// Mirrors sql::AggState::Merge: chunks merge in row order, with chunk
+  /// boundaries fixed by AggChunkSize (independent of thread count and of
+  /// the morsel kill switch), so results are identical at any parallelism.
+  void Merge(VegaAggOp op, VegaAggState&& other) {
+    count += other.count;
+    valid += other.valid;
+    switch (op) {
+      case VegaAggOp::kSum:
+      case VegaAggOp::kMean:
+        sum += other.sum;
+        break;
+      case VegaAggOp::kStdev:
+        sum += other.sum;
+        sum_sq += other.sum_sq;
+        break;
+      case VegaAggOp::kMedian:
+        values.insert(values.end(), other.values.begin(), other.values.end());
+        break;
+      case VegaAggOp::kMin:
+        if (!other.min.is_null() && (min.is_null() || other.min.Compare(min) < 0)) {
+          min = std::move(other.min);
+        }
+        break;
+      case VegaAggOp::kMax:
+        if (!other.max.is_null() && (max.is_null() || other.max.Compare(max) > 0)) {
+          max = std::move(other.max);
+        }
+        break;
+      default:
+        break;  // count/valid already folded
+    }
+  }
+
   Value Finish(VegaAggOp op) {
     switch (op) {
       case VegaAggOp::kCount: return Value::Int(static_cast<int64_t>(count));
@@ -356,77 +391,101 @@ Result<EvalResult> AggregateOp::Evaluate(const TablePtr& input,
   expr::GroupResult groups = GroupByColumns(group_cols, n, &key_vecs);
   const size_t num_groups = groups.num_groups();
 
-  std::vector<size_t> group_sizes(num_groups, 0);
-  for (size_t r = 0; r < n; ++r) ++group_sizes[groups.group_of[r]];
-
+  // Chunked accumulation, mirroring the SQL executor: each chunk of rows
+  // fills its own partial states (possibly across the morsel pool) and the
+  // partials merge in chunk order. Chunk boundaries depend only on the data
+  // shape, so the merged result is identical at any parallelism and with
+  // the kill switch off. One measure at a time, so exactly one widened
+  // column register is live.
+  const size_t chunk_rows = parallel::AggChunkSize(
+      n, num_groups * std::max<size_t>(1, params_.ops.size()));
+  const std::vector<parallel::Range> chunks = parallel::SplitRanges(n, chunk_rows);
+  // VegaAggState counts every row; the row count is the chunk-local group
+  // size, computed once and shared by every numeric measure.
+  std::vector<std::vector<size_t>> chunk_sizes(chunks.size());
+  parallel::ParallelFor(chunks.size(), [&](size_t c) {
+    chunk_sizes[c].assign(num_groups, 0);
+    for (size_t r = chunks[c].begin; r < chunks[c].end; ++r) {
+      ++chunk_sizes[c][groups.group_of[r]];
+    }
+  });
   std::vector<std::vector<VegaAggState>> states(
       num_groups, std::vector<VegaAggState>(params_.ops.size()));
   for (size_t a = 0; a < params_.ops.size(); ++a) {
     const VegaAggOp op = params_.ops[a];
-    Vec arg = ColumnOrNullVec(measure_cols[a]);
-    if (arg.kind == expr::RegKind::kStr) {
-      // String measures (min/max over categories): boxed per-row updates.
-      for (size_t r = 0; r < n; ++r) {
-        states[groups.group_of[r]][a].Update(op, arg.CellValue(r));
+    const Vec arg = ColumnOrNullVec(measure_cols[a]);
+    std::vector<std::vector<VegaAggState>> chunk_states(chunks.size());
+    parallel::ParallelFor(chunks.size(), [&](size_t c) {
+      std::vector<VegaAggState>& st_c = chunk_states[c];
+      st_c.assign(num_groups, VegaAggState());
+      const size_t begin = chunks[c].begin, end = chunks[c].end;
+      if (arg.kind == expr::RegKind::kStr) {
+        // String measures (min/max over categories): boxed per-row updates.
+        for (size_t r = begin; r < end; ++r) {
+          st_c[groups.group_of[r]].Update(op, arg.CellValue(r));
+        }
+        return;
       }
-      continue;
-    }
-    // VegaAggState counts every row and every non-null value; the row count
-    // is just the group size.
-    for (size_t g = 0; g < num_groups; ++g) states[g][a].count = group_sizes[g];
-    switch (op) {
-      case VegaAggOp::kCount:
-        break;  // count preset above
-      case VegaAggOp::kValid:
-        for (size_t r = 0; r < n; ++r) {
-          if (arg.ValidAt(r)) ++states[groups.group_of[r]][a].valid;
-        }
-        break;
-      case VegaAggOp::kSum:
-      case VegaAggOp::kMean:
-        for (size_t r = 0; r < n; ++r) {
-          if (!arg.ValidAt(r)) continue;
-          VegaAggState& st = states[groups.group_of[r]][a];
-          st.sum += arg.NumAt(r);
-          ++st.valid;
-        }
-        break;
-      case VegaAggOp::kStdev:
-        for (size_t r = 0; r < n; ++r) {
-          if (!arg.ValidAt(r)) continue;
-          VegaAggState& st = states[groups.group_of[r]][a];
-          const double v = arg.NumAt(r);
-          st.sum += v;
-          st.sum_sq += v * v;
-          ++st.valid;
-        }
-        break;
-      case VegaAggOp::kMedian:
-        for (size_t r = 0; r < n; ++r) {
-          if (!arg.ValidAt(r)) continue;
-          VegaAggState& st = states[groups.group_of[r]][a];
-          st.values.push_back(arg.NumAt(r));
-          ++st.valid;
-        }
-        break;
-      case VegaAggOp::kMin:
-        for (size_t r = 0; r < n; ++r) {
-          if (!arg.ValidAt(r)) continue;
-          VegaAggState& st = states[groups.group_of[r]][a];
-          const double v = arg.NumAt(r);
-          if (st.min.is_null() || v < st.min.AsDouble()) st.min = Value::Double(v);
-          ++st.valid;
-        }
-        break;
-      case VegaAggOp::kMax:
-        for (size_t r = 0; r < n; ++r) {
-          if (!arg.ValidAt(r)) continue;
-          VegaAggState& st = states[groups.group_of[r]][a];
-          const double v = arg.NumAt(r);
-          if (st.max.is_null() || v > st.max.AsDouble()) st.max = Value::Double(v);
-          ++st.valid;
-        }
-        break;
+      for (size_t g = 0; g < num_groups; ++g) st_c[g].count = chunk_sizes[c][g];
+      switch (op) {
+        case VegaAggOp::kCount:
+          break;  // count preset above
+        case VegaAggOp::kValid:
+          for (size_t r = begin; r < end; ++r) {
+            if (arg.ValidAt(r)) ++st_c[groups.group_of[r]].valid;
+          }
+          break;
+        case VegaAggOp::kSum:
+        case VegaAggOp::kMean:
+          for (size_t r = begin; r < end; ++r) {
+            if (!arg.ValidAt(r)) continue;
+            VegaAggState& st = st_c[groups.group_of[r]];
+            st.sum += arg.NumAt(r);
+            ++st.valid;
+          }
+          break;
+        case VegaAggOp::kStdev:
+          for (size_t r = begin; r < end; ++r) {
+            if (!arg.ValidAt(r)) continue;
+            VegaAggState& st = st_c[groups.group_of[r]];
+            const double v = arg.NumAt(r);
+            st.sum += v;
+            st.sum_sq += v * v;
+            ++st.valid;
+          }
+          break;
+        case VegaAggOp::kMedian:
+          for (size_t r = begin; r < end; ++r) {
+            if (!arg.ValidAt(r)) continue;
+            VegaAggState& st = st_c[groups.group_of[r]];
+            st.values.push_back(arg.NumAt(r));
+            ++st.valid;
+          }
+          break;
+        case VegaAggOp::kMin:
+          for (size_t r = begin; r < end; ++r) {
+            if (!arg.ValidAt(r)) continue;
+            VegaAggState& st = st_c[groups.group_of[r]];
+            const double v = arg.NumAt(r);
+            if (st.min.is_null() || v < st.min.AsDouble()) st.min = Value::Double(v);
+            ++st.valid;
+          }
+          break;
+        case VegaAggOp::kMax:
+          for (size_t r = begin; r < end; ++r) {
+            if (!arg.ValidAt(r)) continue;
+            VegaAggState& st = st_c[groups.group_of[r]];
+            const double v = arg.NumAt(r);
+            if (st.max.is_null() || v > st.max.AsDouble()) st.max = Value::Double(v);
+            ++st.valid;
+          }
+          break;
+      }
+    });
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      for (size_t g = 0; g < num_groups; ++g) {
+        states[g][a].Merge(op, std::move(chunk_states[c][g]));
+      }
     }
   }
 
@@ -681,7 +740,8 @@ Result<EvalResult> FormulaOp::Evaluate(const TablePtr& input,
         default: type = program->result_type; break;
       }
       out = Column(type);
-      BatchEvaluator(*input).RunToColumn(*program, &out);
+      expr::VecToColumn(expr::RunMorselParallel(*input, *program),
+                        input->num_rows(), &out);
       vectorized = true;
     }
   }

@@ -308,6 +308,94 @@ TEST(ConcurrencyTest, ShutdownResolvesOutstandingTickets) {
   }
 }
 
+// Regression: Submit after the pool has shut down used to enqueue a task no
+// worker would ever run, so the corresponding Await blocked forever. The
+// pool now rejects the task and the middleware resolves the ticket as
+// Status::Cancelled.
+TEST(ConcurrencyTest, SubmitAfterShutdownResolvesCancelledInsteadOfHanging) {
+  sql::Engine engine;
+  engine.RegisterTable("t", CountingTable(100));
+  MiddlewareOptions options;
+  options.worker_threads = 2;
+  options.enable_client_cache = false;  // force the pool path
+  Middleware mw(&engine, options);
+  auto session = mw.CreateSession();
+  auto handle = session->Prepare("SELECT COUNT(*) AS c FROM t WHERE v < ${cut}");
+  ASSERT_TRUE(handle.ok());
+
+  mw.Shutdown();
+
+  QueryRequest request;
+  request.handle = *handle;
+  request.params = {{"cut", expr::EvalValue::Number(10)}};
+  auto ticket = session->Submit(request);
+  ASSERT_TRUE(ticket->done());  // resolved immediately, no worker involved
+  auto response = ticket->Await();
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsCancelled()) << response.status();
+
+  AwaitQuiescence(mw);
+  Middleware::Stats stats = mw.stats();
+  EXPECT_EQ(stats.queries + stats.cancelled + stats.errors, stats.submitted);
+}
+
+// Submits racing ~Middleware's drain: every ticket must resolve — executed,
+// or cancelled by the shutdown rejection — never hang. (The submitting
+// threads are joined before the middleware dies; only the *pool* shutdown
+// races the submits, via Shutdown().)
+TEST(ConcurrencyTest, SubmitRacingShutdownNeverLeavesTicketUnresolved) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  sql::Engine engine;
+  engine.RegisterTable("t", CountingTable(200));
+  MiddlewareOptions options;
+  options.worker_threads = 2;
+  options.enable_client_cache = false;
+  options.enable_server_cache = false;
+  Middleware mw(&engine, options);
+
+  std::vector<std::vector<rewrite::QueryTicketPtr>> tickets(kThreads);
+  std::atomic<int> started{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      auto session = mw.CreateSession();
+      auto handle = session->Prepare("SELECT COUNT(*) AS c FROM t WHERE v < ${cut}");
+      ASSERT_TRUE(handle.ok());
+      ++started;
+      for (int i = 0; i < kPerThread; ++i) {
+        QueryRequest request;
+        request.handle = *handle;
+        request.params = {{"cut", expr::EvalValue::Number(
+                                      static_cast<double>(tid * 1000 + i))}};
+        tickets[tid].push_back(session->Submit(request));
+      }
+    });
+  }
+  while (started.load() < kThreads) std::this_thread::yield();
+  mw.Shutdown();  // races the submit loops
+  for (auto& t : threads) t.join();
+
+  size_t ok = 0, cancelled = 0;
+  for (const auto& per_thread : tickets) {
+    for (const auto& ticket : per_thread) {
+      auto response = ticket->Await();  // regression: used to hang here
+      if (response.ok()) {
+        ++ok;
+      } else {
+        ASSERT_TRUE(response.status().IsCancelled()) << response.status();
+        ++cancelled;
+      }
+    }
+  }
+  EXPECT_EQ(ok + cancelled, static_cast<size_t>(kThreads * kPerThread));
+  AwaitQuiescence(mw);
+  Middleware::Stats stats = mw.stats();
+  EXPECT_EQ(stats.queries + stats.cancelled + stats.errors, stats.submitted);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
 }  // namespace
 }  // namespace runtime
 }  // namespace vegaplus

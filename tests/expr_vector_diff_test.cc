@@ -11,170 +11,26 @@
 #include <string>
 #include <vector>
 
-#include "common/random.h"
 #include "data/table.h"
 #include "expr/batch_eval.h"
 #include "expr/compiler.h"
 #include "expr/evaluator.h"
 #include "expr/parser.h"
+#include "expr_corpus_test_util.h"
 #include "sql/engine.h"
 
 namespace vegaplus {
 namespace {
 
-using data::Column;
-using data::DataType;
-using data::Schema;
 using data::TablePtr;
 using data::Value;
+using testutil::BuildExprCorpus;
+using testutil::SameCell;
 
 constexpr size_t kRows = 400;
 
 TablePtr MakeRandomTable(uint64_t seed) {
-  Rng rng(seed);
-  Column dd(DataType::kFloat64);   // doubles with nulls and a few NaNs
-  Column ii(DataType::kInt64);     // ints with nulls
-  Column bb(DataType::kBool);      // bools with nulls
-  Column ss(DataType::kString);    // short strings with nulls and empties
-  Column tt(DataType::kTimestamp); // timestamps with nulls
-  const char* words[] = {"", "a", "mid", "zebra", "Mixed", "mid"};
-  for (size_t r = 0; r < kRows; ++r) {
-    if (rng.NextBool(0.1)) {
-      dd.AppendNull();
-    } else if (rng.NextBool(0.05)) {
-      dd.AppendDouble(std::nan(""));
-    } else {
-      dd.AppendDouble(rng.Uniform(-50, 50));
-    }
-    if (rng.NextBool(0.1)) {
-      ii.AppendNull();
-    } else {
-      ii.AppendInt(rng.UniformInt(-20, 20));
-    }
-    if (rng.NextBool(0.1)) {
-      bb.AppendNull();
-    } else {
-      bb.AppendBool(rng.NextBool());
-    }
-    if (rng.NextBool(0.1)) {
-      ss.AppendNull();
-    } else {
-      ss.AppendString(words[rng.Index(6)]);
-    }
-    if (rng.NextBool(0.1)) {
-      tt.AppendNull();
-    } else {
-      tt.AppendInt(946684800000LL + rng.UniformInt(0, 4LL * 365 * 86400000LL));
-    }
-  }
-  std::vector<Column> cols;
-  cols.push_back(std::move(dd));
-  cols.push_back(std::move(ii));
-  cols.push_back(std::move(bb));
-  cols.push_back(std::move(ss));
-  cols.push_back(std::move(tt));
-  return std::make_shared<data::Table>(Schema({{"dd", DataType::kFloat64},
-                                               {"ii", DataType::kInt64},
-                                               {"bb", DataType::kBool},
-                                               {"ss", DataType::kString},
-                                               {"tt", DataType::kTimestamp}}),
-                                       std::move(cols));
-}
-
-/// Same value modulo boxing: the vectorized engine widens numerics to
-/// double, which is exactly what the interpreter's arithmetic/comparison/
-/// hash/compare semantics see (Value::AsDouble everywhere).
-bool SameCell(const Value& a, const Value& b) {
-  if (a.is_null() || b.is_null()) return a.is_null() == b.is_null();
-  if (a.is_string() || b.is_string()) {
-    return a.is_string() && b.is_string() && a.AsString() == b.AsString();
-  }
-  const double x = a.AsDouble(), y = b.AsDouble();
-  return x == y || (std::isnan(x) && std::isnan(y));
-}
-
-/// The operand pool: every column, a missing field, and literals of each
-/// type (including null) so operator null/type handling is fully exercised.
-const std::vector<std::string>& Operands() {
-  static const std::vector<std::string> kOperands = {
-      "datum.dd", "datum.ii", "datum.bb", "datum.ss",  "datum.tt",
-      "datum.nope", "2.5",    "0",        "null",      "'mid'",
-      "true",     "false",
-  };
-  return kOperands;
-}
-
-std::vector<std::string> BuildCorpus() {
-  std::vector<std::string> corpus;
-  const char* binary_ops[] = {"+", "-", "*",  "/",  "%",  "==",
-                              "!=", "<", "<=", ">",  ">=", "&&",
-                              "||"};
-  for (const std::string& a : Operands()) {
-    for (const std::string& b : Operands()) {
-      for (const char* op : binary_ops) {
-        corpus.push_back(a + " " + op + " " + b);
-      }
-    }
-  }
-  for (const std::string& a : Operands()) {
-    corpus.push_back("-(" + a + ")");
-    corpus.push_back("!(" + a + ")");
-    corpus.push_back("+(" + a + ")");
-    corpus.push_back("isValid(" + a + ")");
-  }
-  // Ternaries, including branch-type promotion and fallback-worthy mixes.
-  for (const std::string& c : {"datum.bb", "datum.dd > 0", "datum.ss"}) {
-    corpus.push_back(c + " ? datum.dd : datum.ii");
-    corpus.push_back(c + " ? datum.dd : null");
-    corpus.push_back(c + " ? datum.ii > 0 : datum.dd");
-    corpus.push_back(c + " ? datum.ss : 'other'");
-    corpus.push_back(c + " ? datum.ss : datum.dd");  // string/num mix: fallback
-  }
-  // Calls over numeric, null, and string arguments.
-  for (const char* fn : {"abs", "ceil", "floor", "round", "sqrt", "exp", "log"}) {
-    corpus.push_back(std::string(fn) + "(datum.dd)");
-    corpus.push_back(std::string(fn) + "(datum.ii / 3)");
-  }
-  for (const char* fn :
-       {"year", "month", "date", "day", "hours", "minutes", "seconds"}) {
-    corpus.push_back(std::string(fn) + "(datum.tt)");
-    corpus.push_back(std::string(fn) + "(datum.dd)");
-  }
-  corpus.insert(corpus.end(), {
-      "pow(datum.dd, 2)",
-      "pow(datum.ii, datum.dd / 10)",
-      "clamp(datum.dd, -10, 10)",
-      "clamp(datum.dd, datum.ii, 30)",
-      "min(datum.dd, datum.ii)",
-      "max(datum.dd, datum.ii, 0)",
-      "min(datum.dd)",
-      "toNumber(datum.ii)",
-      "toNumber(datum.ss)",  // string parsing: fallback
-      "time(datum.tt)",
-      "length(datum.ss)",
-      "lower(datum.ss)",
-      "upper(datum.ss)",
-      "upper(datum.ss) == 'MID'",
-      "date_trunc('month', datum.tt)",
-      "date_unit_end('month', datum.tt)",
-      "if(datum.bb, datum.dd, datum.ii)",
-      // Known scalar-only constructs (arrays, signals, untranslatable fns):
-      // the compiler must reject these, not miscompile them.
-      "inrange(datum.dd, [0, 10])",
-      "[datum.dd, datum.ii][1]",
-      "indexof(datum.ss, 'i')",
-      "format(datum.dd, '.2f')",
-      "span([datum.ii, datum.dd])",
-      "some_signal + datum.dd",
-      // Deeply nested compounds.
-      "(datum.dd * 2 + datum.ii / 7) > 3 && !(datum.bb) || datum.ii % 5 == 1",
-      "((datum.dd + datum.ii) * (datum.dd - datum.ii)) / (datum.ii % 9 + 1)",
-      "datum.ss + '_' + datum.ss",
-      "datum.ss < 'mid' || datum.ss >= 'z'",
-      "-datum.dd * +datum.ii - -3",
-      "abs(datum.dd) > 10 ? floor(datum.dd / 10) : ceil(datum.dd * 2)",
-  });
-  return corpus;
+  return testutil::MakeRandomExprTable(seed, kRows);
 }
 
 // Compile-time CSE: repeated loads of one column are detected, the cached
@@ -208,7 +64,7 @@ class VectorEngineDiffTest : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(VectorEngineDiffTest, CorpusMatchesScalarInterpreter) {
   TablePtr table = MakeRandomTable(GetParam());
   size_t compiled = 0, fallback = 0;
-  for (const std::string& text : BuildCorpus()) {
+  for (const std::string& text : BuildExprCorpus()) {
     auto parsed = expr::ParseExpression(text);
     ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.status();
     auto program = expr::Compiler::Compile(*parsed, table->schema());

@@ -21,18 +21,38 @@ data::TablePtr TinyTable(int rows) {
 }
 
 TEST(QueryCacheTest, HitMissAndFifoEviction) {
-  QueryCache cache(2, 1000);
+  QueryCache cache(2, 1000, QueryCache::Policy::kFifo);
   data::TablePtr out;
   EXPECT_FALSE(cache.Get("q1", &out));
   cache.Put("q1", TinyTable(1));
   cache.Put("q2", TinyTable(2));
   EXPECT_TRUE(cache.Get("q1", &out));
-  cache.Put("q3", TinyTable(3));  // evicts q1 (FIFO, not LRU)
+  cache.Put("q3", TinyTable(3));  // evicts q1 (FIFO ignores the Get)
   EXPECT_FALSE(cache.Get("q1", &out));
   EXPECT_TRUE(cache.Get("q2", &out));
   EXPECT_TRUE(cache.Get("q3", &out));
   EXPECT_EQ(cache.hits(), 3u);
   EXPECT_EQ(cache.misses(), 2u);
+}
+
+// The default policy is LRU: a Get promotes the entry, so the least
+// recently *used* entry is evicted, not the oldest inserted.
+TEST(QueryCacheTest, LruPromotionOnGet) {
+  QueryCache cache(2, 1000);
+  data::TablePtr out;
+  cache.Put("q1", TinyTable(1));
+  cache.Put("q2", TinyTable(2));
+  EXPECT_TRUE(cache.Get("q1", &out));  // promote q1 over q2
+  cache.Put("q3", TinyTable(3));       // evicts q2, not q1
+  EXPECT_TRUE(cache.Get("q1", &out));
+  EXPECT_FALSE(cache.Get("q2", &out));
+  EXPECT_TRUE(cache.Get("q3", &out));
+  // A duplicate Put is a use too.
+  cache.Put("q1", TinyTable(9));       // promotes q1 (stored table unchanged)
+  cache.Put("q4", TinyTable(4));       // evicts q3
+  ASSERT_TRUE(cache.Get("q1", &out));
+  EXPECT_EQ(out->num_rows(), 1u);
+  EXPECT_FALSE(cache.Get("q3", &out));
 }
 
 TEST(QueryCacheTest, SizeThresholdBlocksLargeResults) {
@@ -167,6 +187,46 @@ TEST_F(MiddlewareTest, LegacyStringServiceWorksThroughAdapter) {
   ASSERT_NE(result->table, nullptr);
   EXPECT_EQ(result->table->num_rows(), 1u);
   EXPECT_DOUBLE_EQ(result->table->column(0).NumericAt(0), 42.0);
+}
+
+// Regression (ROADMAP "Bounded prepared-statement registry"): legacy
+// Session::Execute clients issuing distinct literal-inlined SQL used to grow
+// the registry without bound. Ad-hoc statements are now transient and
+// LRU-evicted past the cap, while handles from the public Prepare surface
+// are pinned and keep working through arbitrary churn.
+TEST_F(MiddlewareTest, StatementRegistryBoundedUnderAdHocChurn) {
+  MiddlewareOptions options;
+  options.max_prepared_statements = 32;
+  // Small caches so result caching is irrelevant to the registry behavior.
+  options.cache_capacity = 4;
+  Middleware mw(&engine_, options);
+  auto session = mw.CreateSession();
+
+  // A long-lived parameterized dashboard statement, prepared up front.
+  auto pinned = session->Prepare("SELECT COUNT(*) AS c FROM t WHERE v < ${cut}");
+  ASSERT_TRUE(pinned.ok()) << pinned.status();
+
+  for (int i = 0; i < 10000; ++i) {
+    auto response =
+        session->Execute("SELECT COUNT(*) AS c FROM t WHERE v < " + std::to_string(i));
+    ASSERT_TRUE(response.ok()) << response.status();
+    ASSERT_EQ(response->table->num_rows(), 1u);
+  }
+  EXPECT_LE(mw.registry_size(), options.max_prepared_statements);
+  EXPECT_EQ(mw.stats().prepared_statements, 10001u);  // cumulative, distinct
+
+  // The pinned handle survived 10k evictions' worth of churn.
+  rewrite::QueryRequest request;
+  request.handle = *pinned;
+  request.params = {{"cut", expr::EvalValue::Number(123)}};
+  auto response = mw.Submit(request)->Await();
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_DOUBLE_EQ(response->table->column(0).NumericAt(0), 123.0);
+
+  // Re-preparing a formatting variant still dedupes onto the pinned handle.
+  auto again = session->Prepare("select COUNT( * ) AS c from t where (v < ${cut})");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *pinned);
 }
 
 TEST_F(MiddlewareTest, BinaryEncodingCheaperThanJson) {
