@@ -8,6 +8,12 @@
 // The PR gate is >=5x on filter/projection/group-by; set VP_REQUIRE_SPEEDUP
 // to make the binary exit non-zero below that bar.
 //
+// String workloads (equality filter, group-by, sort over a 100-distinct
+// category column) additionally compare dictionary-encoded columns against
+// the flat kill-switch baseline (data::SetDictionaryEncodingEnabled(false)),
+// both running the vectorized engine; VP_REQUIRE_DICT_SPEEDUP gates the
+// dictionary win (>=4x on string filter + group-by at 1M rows).
+//
 // Rows default to 1,000,000; VP_SIZES=<n> overrides (the largest entry is
 // used), which is how bench-smoke keeps CI runs short.
 #include <cstdio>
@@ -46,7 +52,7 @@ data::TablePtr MakeWideTable(size_t rows, uint64_t seed) {
       d.AppendDouble(rng.Uniform(0, 1000));
     }
     i.AppendInt(rng.UniformInt(0, 999));
-    s.AppendString("cat_" + std::to_string(rng.Index(50)));
+    s.AppendString("cat_" + std::to_string(rng.Index(100)));
     t.AppendInt(1577836800000LL + rng.UniformInt(0, 365LL * 86400000LL));
   }
   std::vector<data::Column> cols;
@@ -154,6 +160,43 @@ Comparison CompareProjection(const data::Table& table, const char* text) {
   return c;
 }
 
+/// Same engine query under both string encodings: `flat` registered a table
+/// built with the dictionary kill switch off, `dict` the default build.
+/// Both runs use the vectorized engine; the speedup isolates the encoding.
+Comparison CompareEncoding(const sql::Engine& dict_engine,
+                           const sql::Engine& flat_engine, const char* sql) {
+  size_t dict_rows = 0, flat_rows = 0;
+  Comparison c;
+  c.scalar_ms = TimeMs([&] {
+    auto result = flat_engine.Query(sql);
+    if (!result.ok()) Die(result.status(), sql);
+    flat_rows = result->table->num_rows();
+  });
+  c.vector_ms = TimeMs([&] {
+    auto result = dict_engine.Query(sql);
+    if (!result.ok()) Die(result.status(), sql);
+    dict_rows = result->table->num_rows();
+  });
+  if (dict_rows != flat_rows) {
+    Die(Status::RuntimeError(StrFormat("encoding mismatch: %zu vs %zu rows", dict_rows,
+                                   flat_rows)),
+        sql);
+  }
+  return c;
+}
+
+void ReportEncoding(BenchReporter* reporter, const char* name, const Comparison& c) {
+  std::printf("%-18s %12.2f %12.2f %9.1fx\n", name, c.scalar_ms, c.vector_ms,
+              c.speedup());
+  json::Value m = json::Value::MakeObject();
+  m.Set("flat_ms", c.scalar_ms);
+  m.Set("dict_ms", c.vector_ms);
+  m.Set("speedup", c.speedup());
+  reporter->AddMetric(name, std::move(m));
+  reporter->AddPhase(std::string(name) + "_flat", c.scalar_ms);
+  reporter->AddPhase(std::string(name) + "_dict", c.vector_ms);
+}
+
 Comparison CompareQuery(const sql::Engine& engine, const char* sql) {
   size_t scalar_rows = 0, vector_rows = 0;
   Comparison c;
@@ -191,9 +234,17 @@ int main() {
   reporter.AddMetric("rows", json::Value(rows));
 
   std::printf("=== Micro: vectorized expression engine (rows=%zu) ===\n\n", rows);
+  data::SetDictionaryEncodingEnabled(true);
   data::TablePtr table = MakeWideTable(rows, config.seed);
   sql::Engine engine;
   engine.RegisterTable("t", table);
+  // Flat twin (same cells, dictionary kill switch off) for the encoding
+  // comparisons.
+  data::SetDictionaryEncodingEnabled(false);
+  data::TablePtr flat_table = MakeWideTable(rows, config.seed);
+  data::SetDictionaryEncodingEnabled(true);
+  sql::Engine flat_engine;
+  flat_engine.RegisterTable("t", flat_table);
 
   std::printf("%-18s %12s %12s %10s\n", "workload", "scalar_ms", "vector_ms",
               "speedup");
@@ -221,17 +272,47 @@ int main() {
       engine, "SELECT i, d FROM t WHERE d > 900 ORDER BY d DESC LIMIT 100");
   Report(&reporter, "order_by", order_by);
 
+  std::printf("\n%-18s %12s %12s %10s\n", "string workload", "flat_ms", "dict_ms",
+              "speedup");
+
+  Comparison str_filter = CompareEncoding(
+      engine, flat_engine, "SELECT COUNT(*) AS n FROM t WHERE s = 'cat_7'");
+  ReportEncoding(&reporter, "str_filter_eq", str_filter);
+
+  Comparison str_group_by = CompareEncoding(
+      engine, flat_engine,
+      "SELECT s, COUNT(*) AS n, SUM(d) AS sd FROM t GROUP BY s");
+  ReportEncoding(&reporter, "str_group_by", str_group_by);
+
+  Comparison str_sort = CompareEncoding(
+      engine, flat_engine, "SELECT s, d FROM t ORDER BY s DESC, d LIMIT 100");
+  ReportEncoding(&reporter, "str_sort", str_sort);
+
   const double gate = std::min(
       {filter_fused.speedup(), filter_compound.speedup(), projection.speedup(),
        group_by.speedup()});
   std::printf("\nminimum gated speedup (filter/projection/group-by): %.1fx\n", gate);
   reporter.AddMetric("min_gated_speedup", json::Value(gate));
 
+  const double dict_gate = std::min(str_filter.speedup(), str_group_by.speedup());
+  std::printf("minimum gated dictionary speedup (str filter/group-by): %.1fx\n",
+              dict_gate);
+  reporter.AddMetric("min_dict_speedup", json::Value(dict_gate));
+
   if (const char* env = std::getenv("VP_REQUIRE_SPEEDUP"); env != nullptr && env[0]) {
     double required = std::atof(env);
     if (gate < required) {
       std::fprintf(stderr, "FAIL: speedup %.1fx below required %.1fx\n", gate,
                    required);
+      return 1;
+    }
+  }
+  if (const char* env = std::getenv("VP_REQUIRE_DICT_SPEEDUP");
+      env != nullptr && env[0]) {
+    double required = std::atof(env);
+    if (dict_gate < required) {
+      std::fprintf(stderr, "FAIL: dictionary speedup %.1fx below required %.1fx\n",
+                   dict_gate, required);
       return 1;
     }
   }

@@ -1,10 +1,25 @@
 #include "data/column.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 namespace vegaplus {
 namespace data {
+
+namespace {
+
+std::atomic<bool> g_dict_encoding_enabled{true};
+
+}  // namespace
+
+bool DictionaryEncodingEnabled() {
+  return g_dict_encoding_enabled.load(std::memory_order_relaxed);
+}
+
+void SetDictionaryEncodingEnabled(bool enabled) {
+  g_dict_encoding_enabled.store(enabled, std::memory_order_relaxed);
+}
 
 double Column::NumericAt(size_t i) const {
   if (IsNull(i)) return std::nan("");
@@ -28,7 +43,7 @@ Value Column::ValueAt(size_t i) const {
     case DataType::kInt64: return Value::Int(store_->ints[offset_ + i]);
     case DataType::kTimestamp: return Value::Timestamp(store_->ints[offset_ + i]);
     case DataType::kFloat64: return Value::Double(store_->doubles[offset_ + i]);
-    case DataType::kString: return Value::String(store_->strings[offset_ + i]);
+    case DataType::kString: return Value::String(StringAt(i));
   }
   return Value::Null();
 }
@@ -54,8 +69,27 @@ void Column::EnsureMutable() {
     fresh->strings.assign(store_->strings.begin() + begin,
                           store_->strings.begin() + end);
   }
+  if (store_->dict != nullptr) {
+    // Codes copy per column; the dictionary itself stays shared (appends of
+    // new unique strings clone it first, see DictCode).
+    fresh->dict = store_->dict;
+    fresh->codes.assign(store_->codes.begin() + begin,
+                        store_->codes.begin() + end);
+  }
   store_ = std::move(fresh);
   offset_ = 0;
+}
+
+int32_t Column::DictCode(std::string v) {
+  std::shared_ptr<StringDictionary>& dict = store_->dict;
+  const int32_t found = dict->Find(v);
+  if (found >= 0) return found;
+  if (dict.use_count() > 1) {
+    // The dictionary is shared with sibling columns (Take/Slice results) or
+    // live registers; clone before adding so their view never changes.
+    dict = std::make_shared<StringDictionary>(*dict);
+  }
+  return dict->Intern(std::move(v));
 }
 
 void Column::Append(const Value& v) {
@@ -114,7 +148,15 @@ void Column::AppendNull() {
       store_->doubles.push_back(0.0);
       break;
     case DataType::kString:
-      store_->strings.emplace_back();
+      // An empty string column commits to a form at its first append.
+      if (store_->dict == nullptr && length_ == 1 && DictionaryEncodingEnabled()) {
+        store_->dict = std::make_shared<StringDictionary>();
+      }
+      if (store_->dict != nullptr) {
+        store_->codes.push_back(-1);
+      } else {
+        store_->strings.emplace_back();
+      }
       break;
     case DataType::kNull:
       store_->ints.push_back(0);
@@ -150,8 +192,16 @@ void Column::AppendString(std::string v) {
   VP_DCHECK(type_ == DataType::kString);
   EnsureMutable();
   store_->validity.push_back(1);
-  store_->strings.push_back(std::move(v));
   ++length_;
+  // An empty string column commits to a form at its first append.
+  if (store_->dict == nullptr && length_ == 1 && DictionaryEncodingEnabled()) {
+    store_->dict = std::make_shared<StringDictionary>();
+  }
+  if (store_->dict != nullptr) {
+    store_->codes.push_back(DictCode(std::move(v)));
+  } else {
+    store_->strings.push_back(std::move(v));
+  }
 }
 
 void Column::Reserve(size_t n) {
@@ -168,7 +218,12 @@ void Column::Reserve(size_t n) {
       store_->doubles.reserve(n);
       break;
     case DataType::kString:
-      store_->strings.reserve(n);
+      if (store_->dict != nullptr ||
+          (length_ == 0 && DictionaryEncodingEnabled())) {
+        store_->codes.reserve(n);
+      } else {
+        store_->strings.reserve(n);
+      }
       break;
   }
 }
@@ -197,6 +252,83 @@ Column Column::FromDoubles(std::vector<double> values,
   }
   s.doubles = std::move(values);
   return out;
+}
+
+Column Column::FromStrings(std::vector<std::string> values,
+                           std::vector<uint8_t> validity) {
+  VP_CHECK(validity.empty() || validity.size() == values.size())
+      << "validity/values length mismatch";
+  Column out(DataType::kString);
+  Storage& s = *out.store_;
+  out.length_ = values.size();
+  if (validity.empty()) {
+    s.validity.assign(values.size(), 1);
+  } else {
+    size_t nulls = 0;
+    for (size_t i = 0; i < validity.size(); ++i) {
+      if (validity[i] == 0) {
+        ++nulls;
+        values[i].clear();  // normalize the storage under null cells
+      } else {
+        validity[i] = 1;
+      }
+    }
+    out.null_count_ = nulls;
+    s.validity = std::move(validity);
+  }
+  s.strings = std::move(values);
+  return out;
+}
+
+Column Column::FromDictionary(DictPtr dict, std::vector<int32_t> codes) {
+  VP_CHECK(dict != nullptr) << "FromDictionary: null dictionary";
+  Column out(DataType::kString);
+  Storage& s = *out.store_;
+  out.length_ = codes.size();
+  s.validity.resize(codes.size());
+  size_t nulls = 0;
+  for (size_t i = 0; i < codes.size(); ++i) {
+    VP_DCHECK(codes[i] >= -1 &&
+              codes[i] < static_cast<int32_t>(dict->values.size()))
+        << "FromDictionary: code out of range";
+    const bool valid = codes[i] >= 0;
+    s.validity[i] = valid ? 1 : 0;
+    nulls += valid ? 0 : 1;
+  }
+  out.null_count_ = nulls;
+  // Dictionaries are created mutable by columns and only ever mutated under
+  // the copy-on-write rule in DictCode, so adopting a shared const view is
+  // safe: any later new-string append sees use_count > 1 and clones.
+  s.dict = std::const_pointer_cast<StringDictionary>(std::move(dict));
+  s.codes = std::move(codes);
+  return out;
+}
+
+Column Column::EncodeDictionary() const {
+  if (type_ != DataType::kString || dict_encoded()) return *this;
+  auto dict = std::make_shared<StringDictionary>();
+  std::vector<int32_t> codes(length_);
+  const std::string* src = store_->strings.data() + offset_;
+  const uint8_t* valid = store_->validity.data() + offset_;
+  for (size_t i = 0; i < length_; ++i) {
+    codes[i] = valid[i] == 0 ? -1 : dict->Intern(src[i]);
+  }
+  return FromDictionary(std::move(dict), std::move(codes));
+}
+
+Column Column::DecodeFlat() const {
+  if (type_ != DataType::kString || !dict_encoded()) return *this;
+  std::vector<std::string> values(length_);
+  std::vector<uint8_t> validity(length_);
+  const int32_t* codes = codes_data();
+  const std::vector<std::string>& dict = store_->dict->values;
+  for (size_t i = 0; i < length_; ++i) {
+    if (codes[i] >= 0) {
+      values[i] = dict[static_cast<size_t>(codes[i])];
+      validity[i] = 1;
+    }
+  }
+  return FromStrings(std::move(values), std::move(validity));
 }
 
 Column Column::Take(const std::vector<int32_t>& indices) const {
@@ -236,6 +368,16 @@ Column Column::Take(const std::vector<int32_t>& indices) const {
       break;
     }
     case DataType::kString: {
+      if (store_->dict != nullptr) {
+        // Integer gather + shared dictionary: no strings touched at all.
+        s.dict = store_->dict;
+        s.codes.resize(m);
+        const int32_t* src = store_->codes.data() + offset_;
+        for (size_t j = 0; j < m; ++j) {
+          s.codes[j] = src[static_cast<size_t>(indices[j])];
+        }
+        break;
+      }
       s.strings.resize(m);
       const std::string* src = store_->strings.data() + offset_;
       for (size_t j = 0; j < m; ++j) {
@@ -261,6 +403,21 @@ Column Column::Slice(size_t offset, size_t len) const {
   }
   out.null_count_ = nulls;
   return out;
+}
+
+std::shared_ptr<std::vector<double>> Column::shared_doubles() const {
+  if (!FullRange() || store_->doubles.size() != length_) return nullptr;
+  return std::shared_ptr<std::vector<double>>(store_, &store_->doubles);
+}
+
+std::shared_ptr<std::vector<uint8_t>> Column::shared_validity() const {
+  if (!FullRange()) return nullptr;
+  return std::shared_ptr<std::vector<uint8_t>>(store_, &store_->validity);
+}
+
+std::shared_ptr<std::vector<int32_t>> Column::shared_codes() const {
+  if (!FullRange() || store_->codes.size() != length_) return nullptr;
+  return std::shared_ptr<std::vector<int32_t>>(store_, &store_->codes);
 }
 
 }  // namespace data

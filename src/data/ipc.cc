@@ -12,7 +12,10 @@ namespace data {
 
 namespace {
 
-constexpr char kMagic[4] = {'V', 'P', 'T', '1'};
+// Bumped to 2 when string columns gained the per-column encoding tag
+// (dictionary vs flat): an old-format payload is rejected cleanly at the
+// magic check instead of misparsing the tag byte.
+constexpr char kMagic[4] = {'V', 'P', 'T', '2'};
 
 void PutU32(std::string* out, uint32_t v) {
   char buf[4];
@@ -211,7 +214,52 @@ std::string SerializeBinary(const Table& table) {
         break;
       }
       case DataType::kString: {
-        // Offsets + concatenated bytes.
+        // One encoding tag per string column: 1 = dictionary (unique strings
+        // once + int32 codes per row), 0 = flat (offsets + concatenated
+        // bytes). Low-cardinality columns shrink to roughly
+        // 4 bytes/row + the dictionary.
+        if (col.dict_encoded()) {
+          out.push_back(1);
+          // Compact to the referenced entries: filtered/sliced results share
+          // their source's full dictionary, and shipping unreferenced
+          // strings would blow a 10-row response up to the base table's
+          // cardinality. Codes are remapped in first-use order.
+          const std::vector<std::string>& dict = col.dict().values;
+          const int32_t* codes = col.codes_data();
+          std::vector<int32_t> new_of_old(dict.size(), -1);
+          std::vector<uint32_t> used;  // old codes, in first-use order
+          std::vector<int32_t> remapped(n);
+          for (size_t r = 0; r < n; ++r) {
+            const int32_t c = codes[r];
+            if (c < 0) {
+              remapped[r] = -1;
+              continue;
+            }
+            int32_t& nc = new_of_old[static_cast<size_t>(c)];
+            if (nc < 0) {
+              nc = static_cast<int32_t>(used.size());
+              used.push_back(static_cast<uint32_t>(c));
+            }
+            remapped[r] = nc;
+          }
+          PutU32(&out, static_cast<uint32_t>(used.size()));
+          std::string bytes;
+          std::vector<uint32_t> offsets;
+          offsets.reserve(used.size() + 1);
+          offsets.push_back(0);
+          for (uint32_t old_code : used) {
+            bytes.append(dict[old_code]);
+            offsets.push_back(static_cast<uint32_t>(bytes.size()));
+          }
+          PutU64(&out, offsets.size() * 4);
+          out.append(reinterpret_cast<const char*>(offsets.data()),
+                     offsets.size() * 4);
+          PutString(&out, bytes);
+          PutU64(&out, n * 4);
+          out.append(reinterpret_cast<const char*>(remapped.data()), n * 4);
+          break;
+        }
+        out.push_back(0);
         std::string bytes;
         std::vector<uint32_t> offsets;
         offsets.reserve(n + 1);
@@ -312,6 +360,57 @@ Result<TablePtr> DeserializeBinary(const std::string& buffer) {
         break;
       }
       case DataType::kString: {
+        if (pos >= buffer.size()) return Status::ParseError("truncated encoding tag");
+        const uint8_t encoding = static_cast<uint8_t>(buffer[pos++]);
+        if (encoding == 1) {
+          // Dictionary form: unique strings, then int32 codes per row. The
+          // column is reconstructed dictionary-encoded regardless of the
+          // kill switch (the payload dictates the physical form).
+          uint32_t dict_size;
+          if (!GetU32(buffer, &pos, &dict_size)) {
+            return Status::ParseError("truncated dictionary size");
+          }
+          uint64_t len;
+          if (!GetU64(buffer, &pos, &len) || pos + len > buffer.size() ||
+              len != (static_cast<uint64_t>(dict_size) + 1) * 4) {
+            return Status::ParseError("truncated dictionary offsets");
+          }
+          std::vector<uint32_t> offsets(dict_size + 1);
+          std::memcpy(offsets.data(), buffer.data() + pos, len);
+          pos += len;
+          std::string bytes;
+          if (!GetString(buffer, &pos, &bytes)) {
+            return Status::ParseError("truncated dictionary bytes");
+          }
+          auto dict = std::make_shared<StringDictionary>();
+          dict->values.reserve(dict_size);
+          for (uint32_t d = 0; d < dict_size; ++d) {
+            if (offsets[d] > offsets[d + 1] || offsets[d + 1] > bytes.size()) {
+              return Status::ParseError("bad dictionary offsets");
+            }
+            dict->Intern(bytes.substr(offsets[d], offsets[d + 1] - offsets[d]));
+          }
+          if (dict->values.size() != dict_size) {
+            return Status::ParseError("duplicate dictionary entries");
+          }
+          if (!GetU64(buffer, &pos, &len) || pos + len > buffer.size() ||
+              len != n * 4) {
+            return Status::ParseError("truncated codes");
+          }
+          std::vector<int32_t> codes(n);
+          std::memcpy(codes.data(), buffer.data() + pos, len);
+          pos += len;
+          for (size_t r = 0; r < n; ++r) {
+            const bool valid = is_valid(r);
+            if (valid != (codes[r] >= 0) ||
+                codes[r] >= static_cast<int32_t>(dict_size)) {
+              return Status::ParseError("code/validity mismatch");
+            }
+          }
+          col = Column::FromDictionary(std::move(dict), std::move(codes));
+          break;
+        }
+        if (encoding != 0) return Status::ParseError("unknown string encoding");
         uint64_t len;
         if (!GetU64(buffer, &pos, &len) || pos + len > buffer.size() ||
             len != (n + 1) * 4) {
@@ -322,13 +421,16 @@ Result<TablePtr> DeserializeBinary(const std::string& buffer) {
         pos += len;
         std::string bytes;
         if (!GetString(buffer, &pos, &bytes)) return Status::ParseError("truncated strings");
+        // Rebuild flat (the payload dictates the form, not the switch).
+        std::vector<std::string> values(n);
+        std::vector<uint8_t> validity(n);
         for (size_t r = 0; r < n; ++r) {
-          if (!is_valid(r)) {
-            col.AppendNull();
-          } else {
-            col.AppendString(bytes.substr(offsets[r], offsets[r + 1] - offsets[r]));
+          if (is_valid(r)) {
+            validity[r] = 1;
+            values[r].assign(bytes, offsets[r], offsets[r + 1] - offsets[r]);
           }
         }
+        col = Column::FromStrings(std::move(values), std::move(validity));
         break;
       }
       case DataType::kNull: {

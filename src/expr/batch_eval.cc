@@ -7,6 +7,7 @@
 #include <cstring>
 #include <functional>
 #include <limits>
+#include <numeric>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -42,6 +43,16 @@ size_t NumHash(double d) {
   return static_cast<size_t>(bits);
 }
 
+/// Hash of a dictionary code. Only bucketing depends on this (group ids come
+/// from the first-seen scan order), so it need not match the flat-string
+/// hash — it just has to be consistent within one register.
+size_t CodeHash(int32_t c) {
+  uint64_t bits = static_cast<uint64_t>(static_cast<uint32_t>(c));
+  bits *= 0xFF51AFD7ED558CCDull;
+  bits ^= bits >> 33;
+  return static_cast<size_t>(bits);
+}
+
 constexpr size_t kNullHash = 0x9E3779B9u;
 
 size_t KeyCellHash(const Vec& v, size_t i) {
@@ -52,6 +63,12 @@ size_t KeyCellHash(const Vec& v, size_t i) {
     case RegKind::kBool:
       return NumHash(v.BitAt(i) ? 1.0 : 0.0);
     case RegKind::kStr: {
+      if (v.dict) {
+        // Code-backed keys hash the int32 code: one multiply instead of a
+        // string walk. Equal strings share a code within a dictionary.
+        const int32_t c = v.CodeAt(i);
+        return c < 0 ? kNullHash : CodeHash(c);
+      }
       const std::string* s = v.StrAt(i);
       return s == nullptr ? kNullHash : std::hash<std::string>{}(*s);
     }
@@ -73,6 +90,9 @@ bool KeyCellEq(const Vec& v, size_t a, size_t b) {
     case RegKind::kBool:
       return v.BitAt(a) == v.BitAt(b);
     case RegKind::kStr: {
+      // Within one register both cells share the dictionary, so equal codes
+      // are equal strings and vice versa (-1 == -1 covers null == null).
+      if (v.dict) return v.CodeAt(a) == v.CodeAt(b);
       const std::string* x = v.StrAt(a);
       const std::string* y = v.StrAt(b);
       if ((x == nullptr) != (y == nullptr)) return false;
@@ -177,6 +197,14 @@ int Vec::CompareCells(size_t a, size_t b) const {
       return x - y;
     }
     case RegKind::kStr: {
+      if (dict && dict_ranks) {
+        // One int compare per probe: ranks order the dictionary by string,
+        // nulls (-1) first — exactly the pointer path's null-then-compare.
+        const int32_t ca = CodeAt(a), cb = CodeAt(b);
+        const int32_t ra = ca < 0 ? -1 : (*dict_ranks)[static_cast<size_t>(ca)];
+        const int32_t rb = cb < 0 ? -1 : (*dict_ranks)[static_cast<size_t>(cb)];
+        return ra < rb ? -1 : (ra == rb ? 0 : 1);
+      }
       const std::string* x = StrAt(a);
       const std::string* y = StrAt(b);
       if (x == nullptr && y == nullptr) return 0;
@@ -190,29 +218,63 @@ int Vec::CompareCells(size_t a, size_t b) const {
   return 0;
 }
 
+void Vec::BuildDictRanks() {
+  if (kind != RegKind::kStr || !dict || dict_ranks) return;
+  const std::vector<std::string>& values = dict->values;
+  std::vector<int32_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&values](int32_t a, int32_t b) {
+    return values[static_cast<size_t>(a)] < values[static_cast<size_t>(b)];
+  });
+  std::vector<int32_t> ranks(values.size());
+  for (size_t k = 0; k < order.size(); ++k) {
+    ranks[static_cast<size_t>(order[k])] = static_cast<int32_t>(k);
+  }
+  dict_ranks = std::make_shared<const std::vector<int32_t>>(std::move(ranks));
+}
+
 Vec ColumnVec(const Column& col) {
   Vec v;
   const size_t n = col.length();
   switch (col.type()) {
     case DataType::kFloat64:
       v.kind = RegKind::kNum;
-      v.num.assign(col.doubles_data(), col.doubles_data() + n);
+      if (auto shared = col.shared_doubles()) {
+        // Full-range column: alias the storage, no copy. The column's own
+        // copy-on-write keeps the alias stable across later appends.
+        v.num = CowVec<double>::Adopt(std::move(shared));
+      } else {
+        v.num.assign(col.doubles_data(), col.doubles_data() + n);
+      }
       break;
     case DataType::kInt64:
     case DataType::kTimestamp:
     case DataType::kBool: {
       v.kind = RegKind::kNum;
       v.num.resize(n);
+      double* out = v.num.data();
       const int64_t* ints = col.ints_data();
-      for (size_t i = 0; i < n; ++i) v.num[i] = static_cast<double>(ints[i]);
+      for (size_t i = 0; i < n; ++i) out[i] = static_cast<double>(ints[i]);
       break;
     }
     case DataType::kString: {
       v.kind = RegKind::kStr;
+      if (col.dict_encoded()) {
+        // Code-backed register: the dictionary is shared and the codes are
+        // aliased (full-range) or copied as int32s — strings never touched.
+        v.dict = col.dict_shared();
+        if (auto shared = col.shared_codes()) {
+          v.codes = CowVec<int32_t>::Adopt(std::move(shared));
+        } else {
+          v.codes.assign(col.codes_data(), col.codes_data() + n);
+        }
+        return v;
+      }
       v.str.resize(n);
+      const std::string** out = v.str.data();
       const std::string* strs = col.strings_data();
       const uint8_t* valid = col.validity_data();
-      for (size_t i = 0; i < n; ++i) v.str[i] = valid[i] ? &strs[i] : nullptr;
+      for (size_t i = 0; i < n; ++i) out[i] = valid[i] ? &strs[i] : nullptr;
       return v;
     }
     case DataType::kNull:
@@ -222,7 +284,11 @@ Vec ColumnVec(const Column& col) {
       return v;
   }
   if (col.null_count() > 0) {
-    v.valid.assign(col.validity_data(), col.validity_data() + n);
+    if (auto shared = col.shared_validity()) {
+      v.valid = CowVec<uint8_t>::Adopt(std::move(shared));
+    } else {
+      v.valid.assign(col.validity_data(), col.validity_data() + n);
+    }
   }
   return v;
 }
@@ -243,6 +309,7 @@ size_t OutLen(bool all_const, size_t n) { return all_const ? 1 : n; }
 
 void KeepStrRefs(Vec* out, const Vec& src) {
   if (src.str_store) out->str_refs.push_back(src.str_store);
+  if (src.dict) out->str_refs.push_back(src.dict);
   out->str_refs.insert(out->str_refs.end(), src.str_refs.begin(), src.str_refs.end());
 }
 
@@ -346,12 +413,20 @@ Vec CmpStr(const Vec& a, const Vec& b, size_t n, F f) {
   out.is_const = a.is_const && b.is_const;
   const size_t m = OutLen(out.is_const, n);
   out.bits.resize(m);
+  uint8_t* o = out.bits.data();
   for (size_t i = 0; i < m; ++i) {
     const std::string* x = a.StrAt(i);
     const std::string* y = b.StrAt(i);
-    out.bits[i] = (x != nullptr && y != nullptr && f(x->compare(*y))) ? 1 : 0;
+    o[i] = (x != nullptr && y != nullptr && f(x->compare(*y))) ? 1 : 0;
   }
   return out;
+}
+
+/// Code of `s` in `dict`, or -2 when absent (distinct from -1 == null so a
+/// missing constant matches no row, including null rows).
+int32_t DictCodeOf(const data::StringDictionary& dict, const std::string& s) {
+  const int32_t c = dict.Find(s);
+  return c < 0 ? -2 : c;
 }
 
 Vec EqStr(const Vec& a, const Vec& b, size_t n, bool negate) {
@@ -360,6 +435,36 @@ Vec EqStr(const Vec& a, const Vec& b, size_t n, bool negate) {
   out.is_const = a.is_const && b.is_const;
   const size_t m = OutLen(out.is_const, n);
   out.bits.resize(m);
+  uint8_t* o = out.bits.data();
+  // Code fast path 1: both operands share one dictionary — equal codes are
+  // equal strings (and -1 == -1 covers null == null).
+  if (a.dict && b.dict && a.dict.get() == b.dict.get()) {
+    for (size_t i = 0; i < m; ++i) {
+      o[i] = ((a.CodeAt(i) == b.CodeAt(i)) != negate) ? 1 : 0;
+    }
+    return out;
+  }
+  // Code fast path 2: a code-backed register against a broadcast constant.
+  // The constant is resolved to a code once; the loop is one int compare per
+  // row (the `field == 'const'` shape of every categorical brush filter).
+  const Vec* dv = nullptr;
+  const Vec* cv = nullptr;
+  if (a.dict && !a.is_const && b.is_const) {
+    dv = &a;
+    cv = &b;
+  } else if (b.dict && !b.is_const && a.is_const) {
+    dv = &b;
+    cv = &a;
+  }
+  if (dv != nullptr) {
+    const std::string* s = cv->StrAt(0);
+    const int32_t code = s == nullptr ? -1 : DictCodeOf(*dv->dict, *s);
+    const int32_t* codes = dv->codes.data();
+    for (size_t i = 0; i < m; ++i) {
+      o[i] = ((codes[i] == code) != negate) ? 1 : 0;
+    }
+    return out;
+  }
   for (size_t i = 0; i < m; ++i) {
     const std::string* x = a.StrAt(i);
     const std::string* y = b.StrAt(i);
@@ -369,7 +474,7 @@ Vec EqStr(const Vec& a, const Vec& b, size_t n, bool negate) {
     } else {
       eq = *x == *y;
     }
-    out.bits[i] = (eq != negate) ? 1 : 0;
+    o[i] = (eq != negate) ? 1 : 0;
   }
   return out;
 }
@@ -380,6 +485,7 @@ Vec Concat(const Vec& a, const Vec& b, size_t n) {
   out.is_const = a.is_const && b.is_const;
   const size_t m = OutLen(out.is_const, n);
   out.str.resize(m, nullptr);
+  const std::string** os = out.str.data();
   out.str_store = std::make_shared<std::vector<std::string>>();
   out.str_store->reserve(m);
   for (size_t i = 0; i < m; ++i) {
@@ -387,7 +493,7 @@ Vec Concat(const Vec& a, const Vec& b, size_t n) {
     const std::string* y = b.StrAt(i);
     if (x == nullptr || y == nullptr) continue;  // null propagates
     out.str_store->push_back(*x + *y);
-    out.str[i] = &out.str_store->back();
+    os[i] = &out.str_store->back();
   }
   return out;
 }
@@ -400,17 +506,22 @@ Vec BlendNum(const Vec& a, const Vec& b, size_t n, bool pick_rhs_when_truthy) {
   out.is_const = a.is_const && b.is_const;
   const size_t m = OutLen(out.is_const, n);
   out.num.resize(m);
+  double* onum = out.num.data();
   const NumView va = View(a), vb = View(b);
   const bool need_valid = va.valid != nullptr || vb.valid != nullptr;
-  if (need_valid) out.valid.assign(m, 1);
+  uint8_t* ovalid = nullptr;
+  if (need_valid) {
+    out.valid.assign(m, 1);
+    ovalid = out.valid.data();
+  }
   for (size_t i = 0; i < m; ++i) {
     const bool av = va.valid == nullptr || va.valid[i * va.stride] != 0;
     const double x = va.v[i * va.stride];
     const bool truthy_a = av && NumTruthy(x);
     const NumView& src = truthy_a == pick_rhs_when_truthy ? vb : va;
     const bool sv = src.valid == nullptr || src.valid[i * src.stride] != 0;
-    out.num[i] = sv ? src.v[i * src.stride] : 0;
-    if (need_valid) out.valid[i] = sv ? 1 : 0;
+    onum[i] = sv ? src.v[i * src.stride] : 0;
+    if (need_valid) ovalid[i] = sv ? 1 : 0;
   }
   return out;
 }
@@ -455,28 +566,37 @@ Vec Select(const Vec& cond, const Vec& t, const Vec& e, size_t n) {
   switch (t.kind) {
     case RegKind::kNum: {
       out.num.resize(m);
+      double* onum = out.num.data();
       const NumView vt = View(t), ve = View(e);
       const bool need_valid = vt.valid != nullptr || ve.valid != nullptr;
-      if (need_valid) out.valid.assign(m, 1);
+      uint8_t* ovalid = nullptr;
+      if (need_valid) {
+        out.valid.assign(m, 1);
+        ovalid = out.valid.data();
+      }
       for (size_t i = 0; i < m; ++i) {
         const NumView& src = mask[i] ? vt : ve;
         const bool sv = src.valid == nullptr || src.valid[i * src.stride] != 0;
-        out.num[i] = sv ? src.v[i * src.stride] : 0;
-        if (need_valid) out.valid[i] = sv ? 1 : 0;
+        onum[i] = sv ? src.v[i * src.stride] : 0;
+        if (need_valid) ovalid[i] = sv ? 1 : 0;
       }
       return out;
     }
     case RegKind::kBool: {
       out.bits.resize(m);
+      uint8_t* o = out.bits.data();
       for (size_t i = 0; i < m; ++i) {
-        out.bits[i] = (mask[i] ? t.BitAt(i) : e.BitAt(i)) ? 1 : 0;
+        o[i] = (mask[i] ? t.BitAt(i) : e.BitAt(i)) ? 1 : 0;
       }
       return out;
     }
     case RegKind::kStr: {
+      // Blends resolve to pointer views (into operand stores, dictionaries,
+      // or column storage); str_refs keeps the owners alive.
       out.str.resize(m);
+      const std::string** os = out.str.data();
       for (size_t i = 0; i < m; ++i) {
-        out.str[i] = mask[i] ? t.StrAt(i) : e.StrAt(i);
+        os[i] = mask[i] ? t.StrAt(i) : e.StrAt(i);
       }
       KeepStrRefs(&out, t);
       KeepStrRefs(&out, e);
@@ -496,13 +616,17 @@ Vec NumUnary(const Vec& a, size_t n, F f) {
   out.is_const = a.is_const;
   const size_t m = OutLen(out.is_const, n);
   out.num.resize(m);
-  if (!a.valid.empty()) {
+  double* o = out.num.data();
+  const NumView va = View(a);
+  if (va.valid != nullptr) {
+    // Shared validity copy (refcount bump); reads go through the operand so
+    // the copy is never detached.
     out.valid = a.valid;
     for (size_t i = 0; i < m; ++i) {
-      if (out.valid[i]) out.num[i] = f(a.NumAt(i));
+      if (va.valid[i * va.stride]) o[i] = f(va.v[i * va.stride]);
     }
   } else {
-    for (size_t i = 0; i < m; ++i) out.num[i] = f(a.NumAt(i));
+    for (size_t i = 0; i < m; ++i) o[i] = f(va.v[i * va.stride]);
   }
   return out;
 }
@@ -513,6 +637,7 @@ Vec StrTransform(const Vec& a, size_t n, bool to_lower) {
   out.is_const = a.is_const;
   const size_t m = OutLen(out.is_const, n);
   out.str.resize(m, nullptr);
+  const std::string** os = out.str.data();
   out.str_store = std::make_shared<std::vector<std::string>>();
   out.str_store->reserve(m);
   for (size_t i = 0; i < m; ++i) {
@@ -524,7 +649,7 @@ Vec StrTransform(const Vec& a, size_t n, bool to_lower) {
                                      : std::toupper(static_cast<unsigned char>(c)));
     }
     out.str_store->push_back(std::move(t));
-    out.str[i] = &out.str_store->back();
+    os[i] = &out.str_store->back();
   }
   return out;
 }
@@ -562,9 +687,14 @@ Vec MinMaxN(std::vector<Vec> args, size_t n, bool is_min) {
   for (const Vec& a : args) out.is_const = out.is_const && a.is_const;
   const size_t m = OutLen(out.is_const, n);
   out.num.resize(m);
+  double* onum = out.num.data();
   bool need_valid = false;
   for (const Vec& a : args) need_valid = need_valid || !a.valid.empty();
-  if (need_valid) out.valid.assign(m, 1);
+  uint8_t* ovalid = nullptr;
+  if (need_valid) {
+    out.valid.assign(m, 1);
+    ovalid = out.valid.data();
+  }
   for (size_t i = 0; i < m; ++i) {
     bool any_null = false;
     // Fold from +/-infinity in argument order, like the scalar registry's
@@ -579,9 +709,9 @@ Vec MinMaxN(std::vector<Vec> args, size_t n, bool is_min) {
       best = is_min ? std::min(best, a.NumAt(i)) : std::max(best, a.NumAt(i));
     }
     if (any_null) {
-      out.valid[i] = 0;
+      ovalid[i] = 0;
     } else {
-      out.num[i] = best;
+      onum[i] = best;
     }
   }
   return out;
@@ -600,9 +730,9 @@ Vec BatchEvaluator::Run(const Program& p) const {
   };
 
   // CSE cache for columns the program loads repeatedly (p.reused_cols):
-  // widen each such column batch once per run; later loads copy the
-  // materialized register instead of re-running the typed widening loop,
-  // and the final load moves it out of the cache (no copy at all).
+  // widen each such column batch once per run. Register buffers are shared
+  // copy-on-write (CowVec), so every later load is a refcount bump — no
+  // element copies — and the final load moves the register out wholesale.
   struct CachedCol {
     int32_t col;
     int32_t remaining;  // loads left, including the one being served
@@ -799,7 +929,8 @@ Vec BatchEvaluator::Run(const Program& p) const {
         out.is_const = a.is_const;
         const size_t m = OutLen(out.is_const, n);
         out.bits = TruthyMask(a, m);
-        for (size_t i = 0; i < m; ++i) out.bits[i] ^= 1;
+        uint8_t* o = out.bits.data();
+        for (size_t i = 0; i < m; ++i) o[i] ^= 1;
         stack.push_back(std::move(out));
         break;
       }
@@ -820,7 +951,8 @@ Vec BatchEvaluator::Run(const Program& p) const {
         out.is_const = a.is_const;
         const size_t m = OutLen(out.is_const, n);
         out.num.resize(m);
-        for (size_t i = 0; i < m; ++i) out.num[i] = a.BitAt(i) ? 1.0 : 0.0;
+        double* o = out.num.data();
+        for (size_t i = 0; i < m; ++i) o[i] = a.BitAt(i) ? 1.0 : 0.0;
         stack.push_back(std::move(out));
         break;
       }
@@ -836,7 +968,8 @@ Vec BatchEvaluator::Run(const Program& p) const {
         out.is_const = a.is_const;
         const size_t m = OutLen(out.is_const, n);
         out.bits.resize(m);
-        for (size_t i = 0; i < m; ++i) out.bits[i] = a.ValidAt(i) ? 1 : 0;
+        uint8_t* o = out.bits.data();
+        for (size_t i = 0; i < m; ++i) o[i] = a.ValidAt(i) ? 1 : 0;
         stack.push_back(std::move(out));
         break;
       }
@@ -859,15 +992,20 @@ Vec BatchEvaluator::Run(const Program& p) const {
         out.is_const = x.is_const && lo.is_const && hi.is_const;
         const size_t m = OutLen(out.is_const, n);
         out.num.resize(m);
+        double* onum = out.num.data();
         const bool need_valid =
             !x.valid.empty() || !lo.valid.empty() || !hi.valid.empty();
-        if (need_valid) out.valid.assign(m, 1);
+        uint8_t* ovalid = nullptr;
+        if (need_valid) {
+          out.valid.assign(m, 1);
+          ovalid = out.valid.data();
+        }
         for (size_t i = 0; i < m; ++i) {
           if (!x.ValidAt(i) || !lo.ValidAt(i) || !hi.ValidAt(i)) {
-            out.valid[i] = 0;
+            ovalid[i] = 0;
             continue;
           }
-          out.num[i] = std::min(std::max(x.NumAt(i), lo.NumAt(i)), hi.NumAt(i));
+          onum[i] = std::min(std::max(x.NumAt(i), lo.NumAt(i)), hi.NumAt(i));
         }
         stack.push_back(std::move(out));
         break;
@@ -912,13 +1050,15 @@ Vec BatchEvaluator::Run(const Program& p) const {
         out.is_const = a.is_const;
         const size_t m = OutLen(out.is_const, n);
         out.num.resize(m);
+        double* onum = out.num.data();
         out.valid.assign(m, 1);
+        uint8_t* ovalid = out.valid.data();
         for (size_t i = 0; i < m; ++i) {
           const std::string* s = a.StrAt(i);
           if (s == nullptr) {
-            out.valid[i] = 0;
+            ovalid[i] = 0;
           } else {
-            out.num[i] = static_cast<double>(s->size());
+            onum[i] = static_cast<double>(s->size());
           }
         }
         stack.push_back(std::move(out));
@@ -941,8 +1081,79 @@ Vec BatchEvaluator::Run(const Program& p) const {
   return std::move(stack.back());
 }
 
+// ---- Fused predicate filtering ----
+
 namespace {
 
+/// Per-batch compiled state of one fused conjunct: raw column pointers plus
+/// the resolved constant. String constants against dictionary columns
+/// resolve to a code once here, so the row loop is one int32 compare.
+struct PredState {
+  enum class Kind { kDouble, kInt64, kStrCode, kStrFlat };
+  Kind kind = Kind::kDouble;
+  BinaryOp cmp = BinaryOp::kLt;
+  const uint8_t* valid = nullptr;  // nullptr == no nulls
+  // kDouble / kInt64
+  const double* d = nullptr;
+  const int64_t* i64 = nullptr;
+  double c = 0;
+  // kStrCode
+  const int32_t* codes = nullptr;
+  int32_t code = -2;
+  // kStrFlat
+  const std::string* strs = nullptr;
+  const std::string* sconst = nullptr;
+};
+
+/// Resolve every conjunct against the batch's columns. Returns false when a
+/// conjunct cannot take the fused path (kNull columns, type drift) and the
+/// caller must run the general register path.
+bool PreparePreds(const Program& p, const data::Table& table,
+                  std::vector<PredState>* out) {
+  out->reserve(p.fused_preds.size());
+  for (const Program::FusedPred& fp : p.fused_preds) {
+    const Column& col = table.column(static_cast<size_t>(fp.col));
+    PredState s;
+    s.cmp = fp.cmp;
+    s.valid = col.null_count() > 0 ? col.validity_data() : nullptr;
+    if (fp.is_str) {
+      if (col.type() != DataType::kString) return false;
+      const std::string& cst = p.str_consts[static_cast<size_t>(fp.str_const)];
+      if (col.dict_encoded()) {
+        s.kind = PredState::Kind::kStrCode;
+        s.codes = col.codes_data();
+        s.code = DictCodeOf(col.dict(), cst);
+      } else {
+        s.kind = PredState::Kind::kStrFlat;
+        s.strs = col.strings_data();
+        s.sconst = &cst;
+      }
+      out->push_back(s);
+      continue;
+    }
+    switch (col.type()) {
+      case DataType::kFloat64:
+        s.kind = PredState::Kind::kDouble;
+        s.d = col.doubles_data();
+        break;
+      case DataType::kInt64:
+      case DataType::kTimestamp:
+      case DataType::kBool:
+        s.kind = PredState::Kind::kInt64;
+        s.i64 = col.ints_data();
+        break;
+      default:
+        return false;  // kNull columns: general path
+    }
+    s.c = fp.num_const;
+    out->push_back(s);
+  }
+  return true;
+}
+
+/// Append selected row ids for a numeric conjunct over [0, n) — the same
+/// semantics as EqNum/CmpNum against a non-null constant: null rows fail
+/// every compare except !=, and NaN rows pass == (Value::Compare quirk).
 template <typename T>
 void FusedFilterLoop(const T* vals, const uint8_t* valid, size_t n, BinaryOp cmp,
                      double c, std::vector<int32_t>* sel) {
@@ -975,24 +1186,143 @@ void FusedFilterLoop(const T* vals, const uint8_t* valid, size_t n, BinaryOp cmp
   }
 }
 
+/// Append selected row ids for a string ==/!= conjunct over a dictionary
+/// column: one int32 compare per row. Null rows carry code -1 and the
+/// constant's code is >= 0 or -2 (absent), so == excludes nulls and !=
+/// includes them — exactly EqStr's semantics.
+void FusedStrCodeLoop(const int32_t* codes, size_t n, BinaryOp cmp, int32_t code,
+                      std::vector<int32_t>* sel) {
+  if (cmp == BinaryOp::kEq) {
+    for (size_t i = 0; i < n; ++i) {
+      if (codes[i] == code) sel->push_back(static_cast<int32_t>(i));
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      if (codes[i] != code) sel->push_back(static_cast<int32_t>(i));
+    }
+  }
+}
+
+/// Flat-string ==/!= conjunct (the kill-switch baseline): one string
+/// compare per row.
+void FusedStrFlatLoop(const std::string* strs, const uint8_t* valid, size_t n,
+                      BinaryOp cmp, const std::string& c,
+                      std::vector<int32_t>* sel) {
+  const bool negate = cmp == BinaryOp::kNeq;
+  for (size_t i = 0; i < n; ++i) {
+    const bool is_null = valid != nullptr && valid[i] == 0;
+    const bool eq = !is_null && strs[i] == c;
+    if (eq != negate) sel->push_back(static_cast<int32_t>(i));
+  }
+}
+
+void FirstPredSelect(const PredState& s, size_t n, std::vector<int32_t>* sel) {
+  switch (s.kind) {
+    case PredState::Kind::kDouble:
+      FusedFilterLoop(s.d, s.valid, n, s.cmp, s.c, sel);
+      return;
+    case PredState::Kind::kInt64:
+      FusedFilterLoop(s.i64, s.valid, n, s.cmp, s.c, sel);
+      return;
+    case PredState::Kind::kStrCode:
+      FusedStrCodeLoop(s.codes, n, s.cmp, s.code, sel);
+      return;
+    case PredState::Kind::kStrFlat:
+      FusedStrFlatLoop(s.strs, s.valid, n, s.cmp, *s.sconst, sel);
+      return;
+  }
+}
+
+/// Compact (*sel)[base..] in place, keeping rows that pass the conjunct —
+/// candidate-list refinement, so an AND chain is one shrinking selection
+/// instead of per-conjunct bool registers plus a blend.
+template <typename T>
+void RefineNum(const T* vals, const uint8_t* valid, BinaryOp cmp, double c,
+               std::vector<int32_t>* sel, size_t base) {
+  auto keep_if = [&](auto pred) {
+    size_t w = base;
+    for (size_t j = base; j < sel->size(); ++j) {
+      const size_t r = static_cast<size_t>((*sel)[j]);
+      const bool is_null = valid != nullptr && valid[r] == 0;
+      if (!is_null && pred(static_cast<double>(vals[r]))) {
+        (*sel)[w++] = (*sel)[j];
+      }
+    }
+    sel->resize(w);
+  };
+  switch (cmp) {
+    case BinaryOp::kLt: keep_if([c](double x) { return x < c; }); return;
+    case BinaryOp::kLte: keep_if([c](double x) { return x <= c; }); return;
+    case BinaryOp::kGt: keep_if([c](double x) { return x > c; }); return;
+    case BinaryOp::kGte: keep_if([c](double x) { return x >= c; }); return;
+    case BinaryOp::kEq: keep_if([c](double x) { return !(x < c) && !(x > c); }); return;
+    case BinaryOp::kNeq: {
+      size_t w = base;
+      for (size_t j = base; j < sel->size(); ++j) {
+        const size_t r = static_cast<size_t>((*sel)[j]);
+        if (valid != nullptr && valid[r] == 0) {
+          (*sel)[w++] = (*sel)[j];  // null != const: kept
+          continue;
+        }
+        const double x = static_cast<double>(vals[r]);
+        if (x < c || x > c) (*sel)[w++] = (*sel)[j];
+      }
+      sel->resize(w);
+      return;
+    }
+    default:
+      break;
+  }
+}
+
+void RefinePred(const PredState& s, std::vector<int32_t>* sel, size_t base) {
+  switch (s.kind) {
+    case PredState::Kind::kDouble:
+      RefineNum(s.d, s.valid, s.cmp, s.c, sel, base);
+      return;
+    case PredState::Kind::kInt64:
+      RefineNum(s.i64, s.valid, s.cmp, s.c, sel, base);
+      return;
+    case PredState::Kind::kStrCode: {
+      const bool negate = s.cmp == BinaryOp::kNeq;
+      size_t w = base;
+      for (size_t j = base; j < sel->size(); ++j) {
+        const size_t r = static_cast<size_t>((*sel)[j]);
+        if ((s.codes[r] == s.code) != negate) (*sel)[w++] = (*sel)[j];
+      }
+      sel->resize(w);
+      return;
+    }
+    case PredState::Kind::kStrFlat: {
+      const bool negate = s.cmp == BinaryOp::kNeq;
+      size_t w = base;
+      for (size_t j = base; j < sel->size(); ++j) {
+        const size_t r = static_cast<size_t>((*sel)[j]);
+        const bool is_null = s.valid != nullptr && s.valid[r] == 0;
+        const bool eq = !is_null && s.strs[r] == *s.sconst;
+        if (eq != negate) (*sel)[w++] = (*sel)[j];
+      }
+      sel->resize(w);
+      return;
+    }
+  }
+}
+
 }  // namespace
 
 void BatchEvaluator::RunFilter(const Program& p, std::vector<int32_t>* sel) const {
   const size_t n = table_.num_rows();
-  if (p.fused) {
-    const Column& col = table_.column(static_cast<size_t>(p.fused_col));
-    const uint8_t* valid = col.null_count() > 0 ? col.validity_data() : nullptr;
-    switch (col.type()) {
-      case DataType::kFloat64:
-        FusedFilterLoop(col.doubles_data(), valid, n, p.fused_cmp, p.fused_const, sel);
-        return;
-      case DataType::kInt64:
-      case DataType::kTimestamp:
-      case DataType::kBool:
-        FusedFilterLoop(col.ints_data(), valid, n, p.fused_cmp, p.fused_const, sel);
-        return;
-      default:
-        break;  // kNull columns: fall through to the general path
+  if (!p.fused_preds.empty()) {
+    std::vector<PredState> preds;
+    if (PreparePreds(p, table_, &preds)) {
+      // One selection loop for the first conjunct, then in-place candidate
+      // refinement for the rest — no bool registers, no second full pass.
+      const size_t base = sel->size();
+      FirstPredSelect(preds[0], n, sel);
+      for (size_t k = 1; k < preds.size(); ++k) {
+        RefinePred(preds[k], sel, base);
+      }
+      return;
     }
   }
   Vec v = Run(p);
@@ -1009,10 +1339,18 @@ void BatchEvaluator::RunFilter(const Program& p, std::vector<int32_t>* sel) cons
 }
 
 void VecToColumn(Vec v, size_t n, Column* out) {
-  // Fast path: adopt a freshly-computed float64 register's buffers wholesale.
+  // Fast path: adopt a freshly-computed float64 register's buffers wholesale
+  // (a copy only when the buffers alias shared column storage).
   if (v.kind == RegKind::kNum && out->type() == DataType::kFloat64 &&
       !v.is_const && out->length() == 0) {
-    *out = Column::FromDoubles(std::move(v.num), std::move(v.valid));
+    *out = Column::FromDoubles(std::move(v.num).take(), std::move(v.valid).take());
+    return;
+  }
+  // Dictionary passthrough: a code-backed register becomes a dictionary
+  // column sharing the same dictionary — no per-row hashing or appends.
+  if (v.kind == RegKind::kStr && v.dict && !v.is_const &&
+      out->type() == DataType::kString && out->length() == 0) {
+    *out = Column::FromDictionary(v.dict, std::move(v.codes).take());
     return;
   }
   out->Reserve(out->length() + n);
@@ -1045,7 +1383,9 @@ bool MorselWorthIt(size_t num_morsels) {
 /// order reproduces the full-batch register exactly. Constness is structural
 /// (a function of the program, not the data), so either every morsel is a
 /// broadcast constant — in which case the first stands for the whole batch —
-/// or none is.
+/// or none is. Code-backed string parts share their source column's
+/// dictionary (slices of one table), so their codes concatenate under it;
+/// a mixed-form input falls back to pointer views.
 Vec ConcatVecs(std::vector<Vec> parts, size_t n) {
   VP_CHECK(!parts.empty()) << "no morsel results to stitch";
   if (parts[0].is_const) return std::move(parts[0]);
@@ -1058,31 +1398,47 @@ Vec ConcatVecs(std::vector<Vec> parts, size_t n) {
       for (const Vec& part : parts) need_valid = need_valid || !part.valid.empty();
       if (need_valid) out.valid.reserve(n);
       for (Vec& part : parts) {
-        out.num.insert(out.num.end(), part.num.begin(), part.num.end());
+        const size_t rows = part.num.size();
         if (need_valid) {
           if (part.valid.empty()) {
-            out.valid.insert(out.valid.end(), part.num.size(), 1);
+            out.valid.append(rows, 1);
           } else {
-            out.valid.insert(out.valid.end(), part.valid.begin(), part.valid.end());
+            out.valid.append(std::move(part.valid));
           }
         }
+        out.num.append(std::move(part.num));
       }
       return out;
     }
     case RegKind::kBool: {
       out.bits.reserve(n);
-      for (Vec& part : parts) {
-        out.bits.insert(out.bits.end(), part.bits.begin(), part.bits.end());
-      }
+      for (Vec& part : parts) out.bits.append(std::move(part.bits));
       return out;
     }
     case RegKind::kStr: {
-      // Views into column storage stay valid because the slices share the
-      // caller's table storage; stores owning computed strings move into
-      // str_refs so the stitched register keeps them alive.
+      bool all_same_dict = parts[0].dict != nullptr;
+      for (const Vec& part : parts) {
+        all_same_dict = all_same_dict && part.dict.get() == parts[0].dict.get();
+      }
+      if (all_same_dict) {
+        out.dict = parts[0].dict;
+        out.codes.reserve(n);
+        for (Vec& part : parts) out.codes.append(std::move(part.codes));
+        return out;
+      }
+      // Pointer views into column storage stay valid because the slices
+      // share the caller's table storage; stores and dictionaries owning
+      // cell strings move into str_refs so the stitched register keeps them
+      // alive. Code-backed parts degrade to views through their dictionary.
       out.str.reserve(n);
       for (Vec& part : parts) {
-        out.str.insert(out.str.end(), part.str.begin(), part.str.end());
+        if (part.dict) {
+          const size_t rows = part.codes.size();
+          for (size_t i = 0; i < rows; ++i) out.str.push_back(part.StrAt(i));
+          out.str_refs.push_back(std::move(part.dict));
+          continue;
+        }
+        out.str.append(std::move(part.str));
         if (part.str_store) out.str_refs.push_back(std::move(part.str_store));
         out.str_refs.insert(out.str_refs.end(),
                             std::make_move_iterator(part.str_refs.begin()),
@@ -1092,10 +1448,7 @@ Vec ConcatVecs(std::vector<Vec> parts, size_t n) {
     }
     case RegKind::kBoxed: {
       out.boxed.reserve(n);
-      for (Vec& part : parts) {
-        out.boxed.insert(out.boxed.end(), std::make_move_iterator(part.boxed.begin()),
-                         std::make_move_iterator(part.boxed.end()));
-      }
+      for (Vec& part : parts) out.boxed.append(std::move(part.boxed));
       return out;
     }
   }
@@ -1161,6 +1514,80 @@ struct PosEq {
   }
 };
 
+constexpr uint32_t kNoGroup = 0xFFFFFFFFu;
+
+/// Dense-code grouping for a single code-backed key: the dictionary bounds
+/// the key domain, so `code -> group id` is a direct array lookup — no hash
+/// map, no hashing pass. Slot 0 holds null (code -1). First-seen group order
+/// is a property of the scan (and, in the parallel branch, of the chunk
+/// merge), so the result is identical to the generic hash path and to the
+/// flat-string path for the same cell values.
+GroupResult BuildGroupsByCodes(const Vec& key, const std::vector<int32_t>& rows,
+                               const std::vector<parallel::Range>& chunks) {
+  GroupResult result;
+  const size_t n = rows.size();
+  result.group_of.resize(n);
+  const int32_t* codes = key.codes.data();
+  const size_t slots = key.dict->values.size() + 1;
+
+  if (!MorselWorthIt(chunks.size())) {
+    std::vector<uint32_t> gid_of_code(slots, kNoGroup);
+    for (size_t pos = 0; pos < n; ++pos) {
+      const size_t slot =
+          static_cast<size_t>(codes[static_cast<size_t>(rows[pos])] + 1);
+      uint32_t& gid = gid_of_code[slot];
+      if (gid == kNoGroup) {
+        gid = static_cast<uint32_t>(result.rep_rows.size());
+        result.rep_rows.push_back(rows[pos]);
+      }
+      result.group_of[pos] = gid;
+    }
+    return result;
+  }
+
+  // Parallel: chunk-local dense tables, merged in chunk order — the same
+  // merge shape (and therefore the same group ids) as the generic path.
+  std::vector<std::vector<uint32_t>> chunk_gid(
+      chunks.size(), std::vector<uint32_t>(slots, kNoGroup));
+  std::vector<std::vector<uint32_t>> chunk_reps(chunks.size());
+  parallel::ParallelFor(chunks.size(), [&](size_t c) {
+    std::vector<uint32_t>& gid_of_code = chunk_gid[c];
+    std::vector<uint32_t>& reps = chunk_reps[c];
+    for (size_t pos = chunks[c].begin; pos < chunks[c].end; ++pos) {
+      const size_t slot =
+          static_cast<size_t>(codes[static_cast<size_t>(rows[pos])] + 1);
+      uint32_t& gid = gid_of_code[slot];
+      if (gid == kNoGroup) {
+        gid = static_cast<uint32_t>(reps.size());
+        reps.push_back(static_cast<uint32_t>(pos));
+      }
+      result.group_of[pos] = gid;
+    }
+  });
+  std::vector<uint32_t> global_gid(slots, kNoGroup);
+  std::vector<std::vector<uint32_t>> remap(chunks.size());
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    remap[c].resize(chunk_reps[c].size());
+    for (size_t k = 0; k < chunk_reps[c].size(); ++k) {
+      const uint32_t pos = chunk_reps[c][k];
+      const size_t slot =
+          static_cast<size_t>(codes[static_cast<size_t>(rows[pos])] + 1);
+      uint32_t& gid = global_gid[slot];
+      if (gid == kNoGroup) {
+        gid = static_cast<uint32_t>(result.rep_rows.size());
+        result.rep_rows.push_back(rows[pos]);
+      }
+      remap[c][k] = gid;
+    }
+  }
+  parallel::ParallelFor(chunks.size(), [&](size_t c) {
+    for (size_t pos = chunks[c].begin; pos < chunks[c].end; ++pos) {
+      result.group_of[pos] = remap[c][result.group_of[pos]];
+    }
+  });
+  return result;
+}
+
 }  // namespace
 
 GroupResult BuildGroups(const std::vector<const Vec*>& keys,
@@ -1174,6 +1601,19 @@ GroupResult BuildGroups(const std::vector<const Vec*>& keys,
   }
 
   const std::vector<parallel::Range> chunks = parallel::MorselRanges(n);
+
+  // Single code-backed key: group by direct code lookup instead of a hash
+  // map (unless the dictionary vastly outnumbers the rows — a slice sharing
+  // a huge dictionary — where the dense tables would cost more than they
+  // save).
+  if (keys.size() == 1 && keys[0]->kind == RegKind::kStr && keys[0]->dict &&
+      !keys[0]->is_const) {
+    const size_t slots = keys[0]->dict->values.size() + 1;
+    const size_t tables = MorselWorthIt(chunks.size()) ? chunks.size() + 1 : 1;
+    if (slots * tables <= 4 * n + 4096) {
+      return BuildGroupsByCodes(*keys[0], rows, chunks);
+    }
+  }
 
   std::vector<size_t> hashes(n);
   parallel::ParallelFor(chunks.size(), [&](size_t c) {

@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "data/table.h"
@@ -25,6 +26,123 @@ namespace expr {
 bool VectorizedEnabled();
 void SetVectorizedEnabled(bool enabled);
 
+/// \brief Shared, copy-on-write buffer backing one register array.
+///
+/// Copying a CowVec bumps a refcount instead of copying elements, so passing
+/// registers around — the column-load CSE cache, broadcast reuse, key
+/// registers handed to grouping — is free. The first mutation through a
+/// non-const accessor detaches (clones) iff the buffer is shared; freshly
+/// built buffers are unique, so construction-time writes never copy.
+/// Registers can also alias column storage directly (see ColumnVec): the
+/// alias holds the column's storage refcount, and the column's own
+/// copy-on-write keeps the alias stable across later appends.
+template <typename T>
+class CowVec {
+ public:
+  CowVec() = default;
+  explicit CowVec(std::vector<T> v)
+      : buf_(std::make_shared<std::vector<T>>(std::move(v))) {}
+  /// Adopt an externally shared buffer (e.g. an aliasing view of column
+  /// storage). Mutations detach, never write through.
+  static CowVec Adopt(std::shared_ptr<std::vector<T>> buf) {
+    CowVec v;
+    v.buf_ = std::move(buf);
+    return v;
+  }
+
+  CowVec& operator=(std::vector<T> v) {
+    buf_ = std::make_shared<std::vector<T>>(std::move(v));
+    return *this;
+  }
+
+  size_t size() const { return buf_ ? buf_->size() : 0; }
+  bool empty() const { return size() == 0; }
+
+  const T* data() const { return buf_ ? buf_->data() : nullptr; }
+  T* data() {
+    Detach();
+    return buf_->data();
+  }
+
+  const T& operator[](size_t i) const { return (*buf_)[i]; }
+  T& operator[](size_t i) {
+    Detach();
+    return (*buf_)[i];
+  }
+  const T& back() const { return buf_->back(); }
+
+  void reserve(size_t n) {
+    Detach();
+    buf_->reserve(n);
+  }
+  void resize(size_t n) {
+    Detach();
+    buf_->resize(n);
+  }
+  void resize(size_t n, const T& v) {
+    Detach();
+    buf_->resize(n, v);
+  }
+  void assign(size_t n, const T& v) {
+    Detach();
+    buf_->assign(n, v);
+  }
+  template <typename It>
+  void assign(It first, It last) {
+    Detach();
+    buf_->assign(first, last);
+  }
+  void push_back(T v) {
+    Detach();
+    buf_->push_back(std::move(v));
+  }
+  /// Append another register's contents (concatenation during morsel
+  /// stitching).
+  void append(const CowVec& other) {
+    if (other.empty()) return;
+    Detach();
+    buf_->insert(buf_->end(), other.buf_->begin(), other.buf_->end());
+  }
+  void append(CowVec&& other) {
+    if (other.empty()) return;
+    // Steal only when no buffer exists at all — an empty buffer may carry
+    // capacity a caller just reserved for the full concatenation.
+    if (!buf_ && other.buf_.use_count() == 1) {
+      buf_ = std::move(other.buf_);
+      return;
+    }
+    Detach();
+    if (other.buf_.use_count() == 1) {
+      buf_->insert(buf_->end(), std::make_move_iterator(other.buf_->begin()),
+                   std::make_move_iterator(other.buf_->end()));
+    } else {
+      buf_->insert(buf_->end(), other.buf_->begin(), other.buf_->end());
+    }
+  }
+  void append(size_t n, const T& v) {
+    Detach();
+    buf_->insert(buf_->end(), n, v);
+  }
+
+  /// Move the elements out (adopting the buffer when uniquely owned).
+  std::vector<T> take() && {
+    if (!buf_) return {};
+    if (buf_.use_count() == 1) return std::move(*buf_);
+    return *buf_;
+  }
+
+ private:
+  void Detach() {
+    if (!buf_) {
+      buf_ = std::make_shared<std::vector<T>>();
+    } else if (buf_.use_count() > 1) {
+      buf_ = std::make_shared<std::vector<T>>(*buf_);
+    }
+  }
+
+  std::shared_ptr<std::vector<T>> buf_;
+};
+
 /// \brief One vector register: a column-shaped batch of values of one kind.
 struct Vec {
   RegKind kind = RegKind::kNum;
@@ -32,34 +150,54 @@ struct Vec {
   bool is_const = false;
 
   // kNum: values + validity mask (empty mask == all valid).
-  std::vector<double> num;
-  std::vector<uint8_t> valid;
+  CowVec<double> num;
+  CowVec<uint8_t> valid;
   // kBool: 0/1, never null.
-  std::vector<uint8_t> bits;
-  // kStr: views; nullptr == null. `str_store` owns strings computed by or
-  // copied into this register (constants included); `str_refs` keeps operand
-  // stores alive through blends. Views into column storage stay valid
-  // because the caller holds the table for the register's lifetime; a
-  // register never references Program memory after Run() returns.
-  std::vector<const std::string*> str;
+  CowVec<uint8_t> bits;
+  // kStr comes in two physical forms with identical observable behavior:
+  //  - pointer views: `str[i]` points at the cell's string (nullptr == null).
+  //    `str_store` owns strings computed by or copied into this register
+  //    (constants included); `str_refs` keeps operand stores and operand
+  //    dictionaries alive through blends. Views into column storage stay
+  //    valid because the caller holds the table for the register's lifetime;
+  //    a register never references Program memory after Run() returns.
+  //  - code-backed (dictionary columns): `dict` is set and `codes[i]`
+  //    indexes dict's entries (-1 == null); `str` stays empty. Grouping,
+  //    equality, and (rank-assisted) sorting run on the int32 codes.
+  CowVec<const std::string*> str;
   std::shared_ptr<std::vector<std::string>> str_store;
-  std::vector<std::shared_ptr<std::vector<std::string>>> str_refs;
+  /// Type-erased lifetime anchors: operand stores and dictionaries whose
+  /// strings this register's pointer views reference.
+  std::vector<std::shared_ptr<const void>> str_refs;
+  data::DictPtr dict;
+  CowVec<int32_t> codes;
+  /// Sort ranks per dictionary code (see BuildDictRanks); empty until built.
+  std::shared_ptr<const std::vector<int32_t>> dict_ranks;
   // kBoxed: scalar-interpreter fallback values.
-  std::vector<data::Value> boxed;
+  CowVec<data::Value> boxed;
 
   bool ValidAt(size_t i) const {
     size_t j = is_const ? 0 : i;
     switch (kind) {
       case RegKind::kNum: return valid.empty() || valid[j] != 0;
       case RegKind::kBool: return true;
-      case RegKind::kStr: return str[j] != nullptr;
+      case RegKind::kStr: return dict ? codes[j] >= 0 : str[j] != nullptr;
       case RegKind::kBoxed: return !boxed[j].is_null();
     }
     return false;
   }
   double NumAt(size_t i) const { return num[is_const ? 0 : i]; }
   bool BitAt(size_t i) const { return bits[is_const ? 0 : i] != 0; }
-  const std::string* StrAt(size_t i) const { return str[is_const ? 0 : i]; }
+  const std::string* StrAt(size_t i) const {
+    const size_t j = is_const ? 0 : i;
+    if (dict) {
+      const int32_t c = codes[j];
+      return c < 0 ? nullptr : &dict->values[static_cast<size_t>(c)];
+    }
+    return str[j];
+  }
+  /// Dictionary code of cell `i` (code-backed kStr only; -1 == null).
+  int32_t CodeAt(size_t i) const { return codes[is_const ? 0 : i]; }
 
   /// Truthiness of cell `i`, matching EvalValue::Truthy.
   bool TruthyAt(size_t i) const;
@@ -70,18 +208,28 @@ struct Vec {
   void AppendCellTo(size_t i, data::Column* out) const;
   /// Value::Compare-compatible ordering between two cells of this register.
   int CompareCells(size_t a, size_t b) const;
+
+  /// Precompute the dictionary permutation for a code-backed register so
+  /// CompareCells orders by one int compare per probe instead of a string
+  /// compare. O(dict size * log) once; a no-op for other registers. Sort
+  /// paths call this before comparator loops.
+  void BuildDictRanks();
 };
 
 /// Typed view of a column as a register (numeric types widen to double;
-/// strings become views). Used for grouping/sorting on plain columns.
+/// strings become views or shared dictionary codes). Full-range float64 and
+/// dictionary columns are aliased, not copied. Used for grouping/sorting on
+/// plain columns.
 Vec ColumnVec(const data::Column& col);
 
 /// Wrap scalar-interpreter results for the uniform key/sort paths.
 Vec BoxedVec(std::vector<data::Value> values);
 
 /// Append every cell of `v` (a register of `n` rows) to `out`, adopting the
-/// buffers wholesale for fresh float64 targets. Shared by RunToColumn and
-/// the morsel-parallel projection paths so both produce identical columns.
+/// buffers wholesale for fresh float64 targets and fresh string targets fed
+/// by a code-backed register (dictionary passthrough). Shared by RunToColumn
+/// and the morsel-parallel projection paths so both produce identical
+/// columns.
 void VecToColumn(Vec v, size_t n, data::Column* out);
 
 /// \brief Executes compiled programs over a table batch.
@@ -93,7 +241,9 @@ class BatchEvaluator {
   Vec Run(const Program& p) const;
 
   /// Append row indices with truthy results to `sel`, using the fused
-  /// column-compare fast path when the program has one.
+  /// predicate fast path (a conjunction of column-vs-constant compares
+  /// evaluated in one selection loop, with dictionary equality compiled to
+  /// an int32 compare) when the program has one.
   void RunFilter(const Program& p, std::vector<int32_t>* sel) const;
 
   /// Append every row's result to `out` (which uses its own type's
@@ -130,7 +280,10 @@ struct GroupResult {
 
 /// Group `rows` (table row ids) by the tuple of key registers. Equality and
 /// first-seen group order match the scalar GroupKey path (Value::Compare
-/// semantics per cell). With no keys, all rows form one group.
+/// semantics per cell). With no keys, all rows form one group. Code-backed
+/// string keys hash and compare their int32 codes — group ids and
+/// representative order depend only on the first-seen scan, so the result is
+/// identical to the flat-string path.
 ///
 /// Large inputs group morsel-parallel: each worker hash-groups one chunk of
 /// positions locally, and the per-chunk tables are merged in chunk order —

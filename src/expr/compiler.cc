@@ -348,6 +348,15 @@ std::optional<RegInfo> CompilerImpl::Emit(const NodePtr& node,
         out->push_back({VecOp::kNot, 0});
         return RegInfo{RegKind::kBool, DataType::kBool};
       }
+      // Fold negated numeric literals into one constant, so `x > -20`
+      // keeps the three-instruction shape the fused-predicate detector
+      // (and the broadcast-constant machinery) recognizes.
+      if (node->unary_op == UnaryOp::kNeg && node->a &&
+          node->a->kind == NodeKind::kLiteral && node->a->literal.is_numeric()) {
+        out->push_back(
+            {VecOp::kLoadNumConst, AddNumConst(-node->a->literal.AsDouble(), false)});
+        return RegInfo{RegKind::kNum, DataType::kFloat64};
+      }
       if (!EmitNum(node->a, out)) return std::nullopt;
       out->push_back({node->unary_op == UnaryOp::kNeg ? VecOp::kNegNum
                                                       : VecOp::kPlusNum,
@@ -367,15 +376,16 @@ std::optional<RegInfo> CompilerImpl::Emit(const NodePtr& node,
   return std::nullopt;
 }
 
-/// Detect the `column <cmp> constant` shape (in either operand order) and
-/// record it so RunFilter can emit a selection vector straight off the
-/// column storage.
-void DetectFusedCompare(Program* p) {
-  if (p->code.size() != 3) return;
-  const Instr& a = p->code[0];
-  const Instr& b = p->code[1];
-  const Instr& cmp = p->code[2];
+/// Match a `column <cmp> constant` compare (in either operand order) at
+/// code[i..i+2]. Numeric compares accept any of the six operators against a
+/// non-null constant; string compares accept ==/!= against a literal.
+bool MatchFusedCompare(const Program& p, size_t i, Program::FusedPred* out) {
+  if (i + 2 >= p.code.size()) return false;
+  const Instr& a = p.code[i];
+  const Instr& b = p.code[i + 1];
+  const Instr& cmp = p.code[i + 2];
   BinaryOp op;
+  bool is_str = false;
   switch (cmp.op) {
     case VecOp::kLtNum: op = BinaryOp::kLt; break;
     case VecOp::kLteNum: op = BinaryOp::kLte; break;
@@ -383,14 +393,17 @@ void DetectFusedCompare(Program* p) {
     case VecOp::kGteNum: op = BinaryOp::kGte; break;
     case VecOp::kEqNum: op = BinaryOp::kEq; break;
     case VecOp::kNeqNum: op = BinaryOp::kNeq; break;
-    default: return;
+    case VecOp::kEqStr: op = BinaryOp::kEq; is_str = true; break;
+    case VecOp::kNeqStr: op = BinaryOp::kNeq; is_str = true; break;
+    default: return false;
   }
+  const VecOp const_op = is_str ? VecOp::kLoadStrConst : VecOp::kLoadNumConst;
   const Instr* col = nullptr;
   const Instr* cst = nullptr;
-  if (a.op == VecOp::kLoadCol && b.op == VecOp::kLoadNumConst) {
+  if (a.op == VecOp::kLoadCol && b.op == const_op) {
     col = &a;
     cst = &b;
-  } else if (a.op == VecOp::kLoadNumConst && b.op == VecOp::kLoadCol) {
+  } else if (a.op == const_op && b.op == VecOp::kLoadCol) {
     col = &b;
     cst = &a;
     // Mirror the comparison so the column sits on the left.
@@ -402,14 +415,46 @@ void DetectFusedCompare(Program* p) {
       default: break;  // ==/!= are symmetric
     }
   } else {
-    return;
+    return false;
   }
-  const Program::NumConst& c = p->num_consts[static_cast<size_t>(cst->imm)];
-  if (c.is_null) return;  // null comparisons keep the general path
-  p->fused = true;
-  p->fused_col = col->imm;
-  p->fused_cmp = op;
-  p->fused_const = c.value;
+  out->col = col->imm;
+  out->cmp = op;
+  out->is_str = is_str;
+  if (is_str) {
+    out->str_const = cst->imm;
+  } else {
+    const Program::NumConst& c = p.num_consts[static_cast<size_t>(cst->imm)];
+    if (c.is_null) return false;  // null comparisons keep the general path
+    out->num_const = c.value;
+  }
+  return true;
+}
+
+/// Detect programs that are a pure AND-tree of `column <cmp> constant`
+/// compares — `a > x`, `a > x && b < y && s == 'k'`, any association — and
+/// record the conjunct list so RunFilter emits one selection loop over the
+/// column storage instead of per-conjunct bool registers plus blends.
+void DetectFusedPredicates(Program* p) {
+  std::vector<Program::FusedPred> preds;
+  size_t bools_on_stack = 0;
+  size_t i = 0;
+  while (i < p->code.size()) {
+    Program::FusedPred pred;
+    if (MatchFusedCompare(*p, i, &pred)) {
+      preds.push_back(pred);
+      ++bools_on_stack;
+      i += 3;
+      continue;
+    }
+    if (p->code[i].op == VecOp::kAndBool && bools_on_stack >= 2) {
+      --bools_on_stack;
+      ++i;
+      continue;
+    }
+    return;  // anything else: not a fused conjunction
+  }
+  if (bools_on_stack != 1 || preds.empty()) return;
+  p->fused_preds = std::move(preds);
 }
 
 /// Compile-time CSE analysis: record columns loaded more than once (and how
@@ -443,7 +488,7 @@ std::optional<Program> Compiler::Compile(const NodePtr& node,
   if (!result) return std::nullopt;
   program.result_kind = result->kind;
   program.result_type = result->type;
-  DetectFusedCompare(&program);
+  DetectFusedPredicates(&program);
   DetectReusedColumns(&program);
   return program;
 }

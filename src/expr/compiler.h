@@ -86,8 +86,8 @@ struct Instr {
 };
 
 /// \brief A compiled expression: postfix code plus constant pools, and an
-/// optional fused `column <cmp> constant` fast path that lets the filter
-/// executor emit a selection vector without materializing any register.
+/// optional fused predicate fast path that lets the filter executor emit a
+/// selection vector without materializing any register.
 struct Program {
   struct NumConst {
     double value = 0;
@@ -103,13 +103,23 @@ struct Program {
   /// type; arithmetic is kFloat64; date_trunc is kTimestamp; ...).
   data::DataType result_type = data::DataType::kFloat64;
 
-  // Fused predicate fast path: the whole program is `column <cmp> constant`
-  // over a numeric column with a non-null constant (normalized so the column
-  // is on the left-hand side).
-  bool fused = false;
-  int32_t fused_col = -1;
-  BinaryOp fused_cmp = BinaryOp::kLt;
-  double fused_const = 0;
+  /// One conjunct of the fused predicate fast path: `column <cmp> constant`
+  /// (normalized so the column is on the left-hand side). Numeric conjuncts
+  /// carry a non-null double constant; string conjuncts (==/!= only) carry a
+  /// str_consts index — against a dictionary-encoded column the constant is
+  /// looked up once per batch and the row loop compares int32 codes.
+  struct FusedPred {
+    int32_t col = -1;
+    BinaryOp cmp = BinaryOp::kLt;
+    bool is_str = false;
+    double num_const = 0;
+    int32_t str_const = -1;  // index into str_consts (is_str only)
+  };
+
+  /// Non-empty when the whole program is an AND-tree of FusedPreds: the
+  /// filter executor evaluates all conjuncts in one selection loop instead
+  /// of materializing per-conjunct bool registers and blending them.
+  std::vector<FusedPred> fused_preds;
 
   /// Common-subexpression elimination for column loads: (column, load count)
   /// for every column that appears in two or more kLoadCol instructions

@@ -221,10 +221,13 @@ Result<PreparedHandle> Middleware::PrepareShared(const std::string& sql_template
   auto it = by_canonical_.find(stmt->canonical_sql);
   if (it != by_canonical_.end()) {
     StatementEntry& entry = statements_[it->second];
-    if (pin && !entry.pinned) {
-      entry.pinned = true;
-      statement_lru_.erase(entry.lru_it);  // pinned: never a victim again
-    } else if (!entry.pinned) {
+    if (pin) {
+      // Pins stack: deduped Prepares from independent clients each hold
+      // one, so no single Release can strand the others.
+      if (entry.pin_count++ == 0) {
+        statement_lru_.erase(entry.lru_it);  // pinned: not a victim
+      }
+    } else if (entry.pin_count == 0) {
       statement_lru_.splice(statement_lru_.begin(), statement_lru_, entry.lru_it);
     }
     if (!pin) ++entry.transient_uses;
@@ -233,7 +236,7 @@ Result<PreparedHandle> Middleware::PrepareShared(const std::string& sql_template
   const PreparedHandle handle = next_handle_++;
   StatementEntry entry;
   entry.stmt = std::move(stmt);
-  entry.pinned = pin;
+  entry.pin_count = pin ? 1 : 0;
   entry.transient_uses = pin ? 0 : 1;
   if (!pin) {
     statement_lru_.push_front(handle);
@@ -244,6 +247,18 @@ Result<PreparedHandle> Middleware::PrepareShared(const std::string& sql_template
   ++stats_.prepared_statements;
   EvictStatementsLocked();
   return handle;
+}
+
+void Middleware::Release(PreparedHandle handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = statements_.find(handle);
+  if (it == statements_.end() || it->second.pin_count == 0) return;
+  if (--it->second.pin_count > 0) return;  // other Prepare holders remain
+  // Most-recently-used position: the statement was live until just now, so
+  // it outlasts colder ad-hoc churn before becoming a victim.
+  statement_lru_.push_front(handle);
+  it->second.lru_it = statement_lru_.begin();
+  EvictStatementsLocked();
 }
 
 void Middleware::ReleaseTransient(PreparedHandle handle) {

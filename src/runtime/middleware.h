@@ -164,6 +164,19 @@ class Middleware : public rewrite::QueryService {
   Result<rewrite::PreparedHandle> Prepare(const std::string& sql_template) override;
   rewrite::QueryTicketPtr Submit(const rewrite::QueryRequest& request) override;
 
+  /// Drop one pin from a handle obtained from the public Prepare() surface.
+  /// Pins are counted: every Prepare() of the same canonical statement
+  /// (formatting variants dedupe onto one handle) adds a pin, so one
+  /// client's Release never invalidates another client's live handle. When
+  /// the last pin drops, the statement stays resolvable for now but rejoins
+  /// the LRU order and may be evicted once the registry exceeds its cap —
+  /// after which the handle fails loudly (handles are never reused, so it
+  /// can never silently rebind to a different statement). Long-lived
+  /// clients call this when a dashboard retires a template so the bounded
+  /// registry can reclaim the slot. Unknown or already-unpinned handles are
+  /// a no-op.
+  void Release(rewrite::PreparedHandle handle);
+
   /// Aggregate stats across every session of this middleware.
   struct Stats {
     size_t queries = 0;
@@ -233,7 +246,9 @@ class Middleware : public rewrite::QueryService {
   /// silently resolve to a different statement — a dead handle fails loudly.
   struct StatementEntry {
     sql::PreparedPtr stmt;
-    bool pinned = false;        // handed out via public Prepare; never evicted
+    /// Outstanding public Prepare() pins (deduped Prepares stack); entries
+    /// with pins are never evicted. Release() drops one pin.
+    size_t pin_count = 0;
     size_t transient_uses = 0;  // in-flight legacy Execute calls
     /// Position in statement_lru_ (unpinned entries only; pinned entries
     /// leave the order list, they can never be victims).

@@ -298,12 +298,15 @@ DataType AggResultType(AggOp op, const NodePtr& arg, const Schema& input) {
 }
 
 // Sort `order` (row index permutation) by the given keys, stably. Keys are
-// evaluated once into typed registers; the comparator never boxes.
+// evaluated once into typed registers; the comparator never boxes, and
+// code-backed string keys order by a precomputed dictionary permutation (one
+// int compare per probe instead of a string compare).
 void SortIndices(std::vector<int32_t>* order, const Table& table,
                  const std::vector<OrderItem>& keys) {
   std::vector<Vec> key_vecs;
   key_vecs.reserve(keys.size());
   for (const OrderItem& k : keys) key_vecs.push_back(EvalVec(k.expr, table));
+  for (Vec& v : key_vecs) v.BuildDictRanks();
   std::stable_sort(order->begin(), order->end(), [&](int32_t a, int32_t b) {
     for (size_t k = 0; k < keys.size(); ++k) {
       int cmp = key_vecs[k].CompareCells(static_cast<size_t>(a),

@@ -532,7 +532,8 @@ Result<EvalResult> CollectOp::Evaluate(const TablePtr& input,
                                        const expr::SignalResolver& signals) {
   if (!input) return Status::InvalidArgument("collect: missing input");
   // Typed sort keys: one register per present key column, compared natively
-  // in the comparator instead of boxing two Values per probe.
+  // in the comparator instead of boxing two Values per probe; dictionary
+  // columns order by their precomputed rank permutation.
   std::vector<Vec> key_vecs;
   std::vector<bool> key_desc;
   for (size_t i = 0; i < keys_.size(); ++i) {
@@ -540,6 +541,7 @@ Result<EvalResult> CollectOp::Evaluate(const TablePtr& input,
     const Column* col = input->ColumnByName(f);
     if (col == nullptr) continue;  // unknown fields never influence the order
     key_vecs.push_back(expr::ColumnVec(*col));
+    key_vecs.back().BuildDictRanks();
     key_desc.push_back(keys_[i].descending);
   }
   std::vector<int32_t> order(input->num_rows());
@@ -633,6 +635,7 @@ Result<EvalResult> StackOp::Evaluate(const TablePtr& input,
   for (size_t i = 0; i < sort_cols.size(); ++i) {
     if (sort_cols[i] == nullptr) continue;
     sort_vecs.push_back(expr::ColumnVec(*sort_cols[i]));
+    sort_vecs.back().BuildDictRanks();
     sort_vec_desc.push_back(sort_desc[i]);
   }
 

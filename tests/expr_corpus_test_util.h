@@ -18,7 +18,12 @@ namespace vegaplus {
 namespace testutil {
 
 /// Random table with doubles (nulls + NaNs), ints, bools, short strings
-/// (nulls + empties), and timestamps (nulls).
+/// (nulls + empties), timestamps (nulls), a low-cardinality category column
+/// (`sc`, 12 distinct + nulls — the dictionary-encoding sweet spot), and a
+/// high-cardinality string column (`sh`, mostly unique + nulls — the
+/// dictionary worst case). String columns take whatever physical form the
+/// data::SetDictionaryEncodingEnabled switch dictates at build time, so the
+/// same call builds the dictionary-encoded table and the flat twin.
 inline data::TablePtr MakeRandomExprTable(uint64_t seed, size_t rows) {
   using data::Column;
   using data::DataType;
@@ -28,6 +33,8 @@ inline data::TablePtr MakeRandomExprTable(uint64_t seed, size_t rows) {
   Column bb(DataType::kBool);
   Column ss(DataType::kString);
   Column tt(DataType::kTimestamp);
+  Column sc(DataType::kString);
+  Column sh(DataType::kString);
   const char* words[] = {"", "a", "mid", "zebra", "Mixed", "mid"};
   for (size_t r = 0; r < rows; ++r) {
     if (rng.NextBool(0.1)) {
@@ -57,6 +64,16 @@ inline data::TablePtr MakeRandomExprTable(uint64_t seed, size_t rows) {
     } else {
       tt.AppendInt(946684800000LL + rng.UniformInt(0, 4LL * 365 * 86400000LL));
     }
+    if (rng.NextBool(0.1)) {
+      sc.AppendNull();
+    } else {
+      sc.AppendString("cat_" + std::to_string(rng.Index(12)));
+    }
+    if (rng.NextBool(0.1)) {
+      sh.AppendNull();
+    } else {
+      sh.AppendString("id_" + std::to_string(rng.UniformInt(0, 1 << 30)));
+    }
   }
   std::vector<Column> cols;
   cols.push_back(std::move(dd));
@@ -64,12 +81,16 @@ inline data::TablePtr MakeRandomExprTable(uint64_t seed, size_t rows) {
   cols.push_back(std::move(bb));
   cols.push_back(std::move(ss));
   cols.push_back(std::move(tt));
+  cols.push_back(std::move(sc));
+  cols.push_back(std::move(sh));
   return std::make_shared<data::Table>(
       data::Schema({{"dd", DataType::kFloat64},
                     {"ii", DataType::kInt64},
                     {"bb", DataType::kBool},
                     {"ss", DataType::kString},
-                    {"tt", DataType::kTimestamp}}),
+                    {"tt", DataType::kTimestamp},
+                    {"sc", DataType::kString},
+                    {"sh", DataType::kString}}),
       std::move(cols));
 }
 
@@ -91,7 +112,7 @@ inline const std::vector<std::string>& ExprOperands() {
   static const std::vector<std::string> kOperands = {
       "datum.dd", "datum.ii", "datum.bb", "datum.ss",  "datum.tt",
       "datum.nope", "2.5",    "0",        "null",      "'mid'",
-      "true",     "false",
+      "true",     "false",    "datum.sc", "'cat_3'",
   };
   return kOperands;
 }
@@ -169,6 +190,24 @@ inline std::vector<std::string> BuildExprCorpus() {
       "datum.ss < 'mid' || datum.ss >= 'z'",
       "-datum.dd * +datum.ii - -3",
       "abs(datum.dd) > 10 ? floor(datum.dd / 10) : ceil(datum.dd * 2)",
+      // Dictionary-relevant shapes: category equality (the code-compare fast
+      // path), cross-column string compares (distinct dictionaries),
+      // high-cardinality references, and fused conjunctions mixing numeric
+      // and string conjuncts.
+      "datum.sc == 'cat_3'",
+      "datum.sc != 'cat_3'",
+      "datum.sc == 'not_in_dict'",
+      "datum.sc != 'not_in_dict'",
+      "datum.sc == datum.ss",
+      "datum.sc == datum.sh",
+      "datum.sh == 'id_1'",
+      "datum.sc < 'cat_5'",
+      "upper(datum.sc)",
+      "length(datum.sh)",
+      "datum.bb ? datum.sc : datum.sh",
+      "datum.dd > 0 && datum.sc == 'cat_1'",
+      "datum.sc == 'cat_1' && datum.ii < 5 && datum.dd > -10",
+      "datum.sc != 'cat_2' && datum.sh == 'id_1'",
   });
   return corpus;
 }

@@ -87,12 +87,14 @@ TEST_P(VectorEngineDiffTest, CorpusMatchesScalarInterpreter) {
           << " vector=" << actual[r].ToString();
     }
   }
-  // Most of the corpus is vectorizable (the string/numeric mixes and array
-  // expressions legitimately fall back); a compiler regression that rejects
-  // everything should fail loudly, not silently shift the whole suite onto
-  // the fallback path.
-  EXPECT_GT(compiled, fallback * 2) << compiled << " compiled, " << fallback
-                                    << " fell back";
+  // Most of the corpus is vectorizable (the string/numeric mixes — heavily
+  // represented since the string operands joined the operand pool — and
+  // array expressions legitimately fall back); a compiler regression that
+  // rejects everything should fail loudly, not silently shift the whole
+  // suite onto the fallback path.
+  EXPECT_GT(compiled, fallback) << compiled << " compiled, " << fallback
+                                << " fell back";
+  EXPECT_GT(compiled, 1000u);
 }
 
 TEST_P(VectorEngineDiffTest, FilterSelectionsMatchScalarTruthiness) {

@@ -229,6 +229,97 @@ TEST_F(MiddlewareTest, StatementRegistryBoundedUnderAdHocChurn) {
   EXPECT_EQ(*again, *pinned);
 }
 
+// Regression (ROADMAP "explicit Release(handle) surface"): a released public
+// Prepare handle no longer pins its statement — ad-hoc churn can evict it,
+// after which the handle fails loudly instead of silently rebinding — while
+// an unreleased handle keeps working through the same churn.
+TEST_F(MiddlewareTest, ReleasedHandleUnpinsAndLiveHandleNeverRebinds) {
+  MiddlewareOptions options;
+  options.max_prepared_statements = 16;
+  options.cache_capacity = 4;
+  Middleware mw(&engine_, options);
+  auto session = mw.CreateSession();
+
+  auto released = session->Prepare("SELECT COUNT(*) AS c FROM t WHERE v < ${cut}");
+  auto kept = session->Prepare("SELECT SUM(v) AS s FROM t WHERE v < ${cut}");
+  ASSERT_TRUE(released.ok()) << released.status();
+  ASSERT_TRUE(kept.ok()) << kept.status();
+
+  // Releasing while the registry is under its cap: the statement stays
+  // resident, so the handle still resolves.
+  mw.Release(*released);
+  rewrite::QueryRequest request;
+  request.handle = *released;
+  request.params = {{"cut", expr::EvalValue::Number(7)}};
+  auto before = mw.Submit(request)->Await();
+  ASSERT_TRUE(before.ok()) << before.status();
+  EXPECT_DOUBLE_EQ(before->table->column(0).NumericAt(0), 7.0);
+
+  // Churn well past the cap: the released entry is now evictable and goes.
+  for (int i = 0; i < 200; ++i) {
+    auto response =
+        session->Execute("SELECT COUNT(*) AS c FROM t WHERE v < " + std::to_string(i));
+    ASSERT_TRUE(response.ok()) << response.status();
+  }
+  EXPECT_LE(mw.registry_size(), options.max_prepared_statements + 1);  // +1 pinned
+
+  auto after = mw.Submit(request)->Await();
+  EXPECT_FALSE(after.ok());  // dead handle fails loudly, never rebinds
+
+  // The unreleased handle survived the same churn untouched.
+  request.handle = *kept;
+  auto live = mw.Submit(request)->Await();
+  ASSERT_TRUE(live.ok()) << live.status();
+
+  // Releasing an unknown/already-released handle is a harmless no-op.
+  mw.Release(*released);
+  mw.Release(999999);
+
+  // Re-preparing the released template registers it afresh under a new
+  // handle (handles are never reused).
+  auto reprepared = session->Prepare("SELECT COUNT(*) AS c FROM t WHERE v < ${cut}");
+  ASSERT_TRUE(reprepared.ok());
+  EXPECT_NE(*reprepared, *released);
+}
+
+// Pins stack: formatting variants of one template dedupe onto a single
+// handle, and one client's Release must not strand the other client's live
+// handle — only the last Release unpins.
+TEST_F(MiddlewareTest, DedupedPrepareSurvivesOneRelease) {
+  MiddlewareOptions options;
+  options.max_prepared_statements = 8;
+  options.cache_capacity = 4;
+  Middleware mw(&engine_, options);
+  auto session = mw.CreateSession();
+
+  auto a = session->Prepare("SELECT COUNT(*) AS c FROM t WHERE v < ${cut}");
+  auto b = session->Prepare("select COUNT( * ) AS c from t where (v < ${cut})");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(*a, *b);  // deduped: two pins on one entry
+
+  auto churn = [&] {
+    for (int i = 0; i < 100; ++i) {
+      auto response = session->Execute("SELECT COUNT(*) AS c FROM t WHERE v < " +
+                                       std::to_string(i));
+      ASSERT_TRUE(response.ok()) << response.status();
+    }
+  };
+  rewrite::QueryRequest request;
+  request.handle = *a;
+  request.params = {{"cut", expr::EvalValue::Number(5)}};
+
+  mw.Release(*a);  // one of two pins: still pinned
+  churn();
+  auto still_live = mw.Submit(request)->Await();
+  ASSERT_TRUE(still_live.ok()) << still_live.status();
+
+  mw.Release(*b);  // last pin: now evictable
+  churn();
+  auto dead = mw.Submit(request)->Await();
+  EXPECT_FALSE(dead.ok());
+}
+
 TEST_F(MiddlewareTest, BinaryEncodingCheaperThanJson) {
   MiddlewareOptions binary;
   MiddlewareOptions json_opts;
