@@ -5,9 +5,9 @@
 //   * the session-oriented async query service (Prepare -> Submit -> ticket)
 //     that VDTs speak to the middleware, and
 //   * a custom rewrite::QueryService (here: a tracing decorator) plugged
-//     under the VDTs. The decorator only implements the legacy blocking
-//     Execute(sql); the base-class adapter makes it work unchanged under the
-//     prepared/async callers.
+//     under the VDTs. Services implement the session API (Prepare/Submit);
+//     the legacy blocking Execute(sql) is a deprecated base-class shim over
+//     that same pair.
 //
 // Build & run:  ./build/examples/custom_backend
 #include <cstdio>
@@ -19,26 +19,38 @@
 
 using namespace vegaplus;  // NOLINT
 
-// A QueryService decorator that logs every SQL statement the VDTs issue —
-// the seam where PostgreSQL/DuckDB/HeavyDB adapters would live. Note it only
-// overrides the blocking string API; Prepare/Submit calls from the new VDTs
-// are routed through it by the QueryService sync adapter.
+// A QueryService decorator that logs every statement the VDTs prepare and
+// every submission they make — the seam where PostgreSQL/DuckDB/HeavyDB
+// adapters would live. It implements the session API (Prepare/Submit) and
+// forwards to the wrapped service; awaiting the forwarded ticket before
+// returning keeps the trace ordered without changing the async contract.
 class TracingService : public rewrite::QueryService {
  public:
   explicit TracingService(rewrite::QueryService* inner) : inner_(inner) {}
 
-  Result<rewrite::QueryResponse> Execute(const std::string& sql) override {
-    std::printf("  [SQL->backend] %s\n", sql.c_str());
-    auto response = inner_->Execute(sql);
+  Result<rewrite::PreparedHandle> Prepare(const std::string& sql_template) override {
+    std::printf("  [prepare->backend] %s\n", sql_template.c_str());
+    return inner_->Prepare(sql_template);
+  }
+
+  rewrite::QueryTicketPtr Submit(const rewrite::QueryRequest& request) override {
+    std::printf("  [submit->backend] handle=%llu params=%zu\n",
+                static_cast<unsigned long long>(request.handle),
+                request.params.size());
+    auto ticket = inner_->Submit(request);
+    auto response = ticket->Await();
     if (response.ok()) {
       std::printf("  [backend->client] %zu rows, %zu bytes, %.2f ms (%s)\n",
                   response->table->num_rows(), response->bytes,
                   response->latency_millis,
                   response->source == rewrite::QueryResponse::Source::kDbms
                       ? "dbms"
-                      : "cache");
+                      : response->source ==
+                                rewrite::QueryResponse::Source::kTileStore
+                            ? "tiles"
+                            : "cache");
     }
-    return response;
+    return ticket;
   }
 
  private:

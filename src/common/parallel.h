@@ -32,6 +32,11 @@ namespace parallel {
 
 /// Global kill switch (default on). With parallelism disabled, ParallelFor
 /// runs tasks inline on the calling thread in index order.
+///
+/// The morsel knobs below are deprecated as a public configuration surface:
+/// prefer runtime::EngineConfig (runtime/engine_config.h), which snapshots
+/// and applies every process-wide switch coherently. These free functions
+/// remain the storage owners.
 bool MorselParallelEnabled();
 void SetMorselParallelEnabled(bool enabled);
 

@@ -37,6 +37,11 @@ namespace data {
 /// the flat representation. Existing columns keep whatever form they have —
 /// execution paths branch on the column, not the switch — so differential
 /// tests can compare dictionary and flat pipelines end to end.
+///
+/// Deprecated as a public configuration surface: prefer
+/// runtime::EngineConfig (runtime/engine_config.h), which snapshots and
+/// applies every process-wide switch coherently. This pair remains the
+/// storage owner.
 bool DictionaryEncodingEnabled();
 void SetDictionaryEncodingEnabled(bool enabled);
 

@@ -443,5 +443,35 @@ Result<TablePtr> DeserializeBinary(const std::string& buffer) {
   return TablePtr(std::make_shared<Table>(Schema(std::move(fields)), std::move(columns)));
 }
 
+std::string SerializeEnvelope(const std::string& kind, const std::string& meta,
+                              const Table& table) {
+  std::string out;
+  out.append("VPE1", 4);
+  PutString(&out, kind);
+  PutString(&out, meta);
+  std::string body = SerializeBinary(table);
+  PutU64(&out, body.size());
+  out.append(body);
+  return out;
+}
+
+Result<Envelope> DeserializeEnvelope(const std::string& buffer) {
+  if (buffer.size() < 4 || buffer.compare(0, 4, "VPE1") != 0) {
+    return Status::InvalidArgument("ipc: bad envelope magic");
+  }
+  size_t pos = 4;
+  Envelope env;
+  if (!GetString(buffer, &pos, &env.kind) ||
+      !GetString(buffer, &pos, &env.meta)) {
+    return Status::InvalidArgument("ipc: truncated envelope header");
+  }
+  uint64_t body_size;
+  if (!GetU64(buffer, &pos, &body_size) || pos + body_size > buffer.size()) {
+    return Status::InvalidArgument("ipc: truncated envelope body");
+  }
+  VP_ASSIGN_OR_RETURN(env.table, DeserializeBinary(buffer.substr(pos, body_size)));
+  return env;
+}
+
 }  // namespace data
 }  // namespace vegaplus

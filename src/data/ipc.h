@@ -43,6 +43,29 @@ std::string SerializeBinary(const Table& table);
 /// Decode a columnar binary buffer produced by SerializeBinary.
 Result<TablePtr> DeserializeBinary(const std::string& buffer);
 
+// ---- Tagged envelope ----
+//
+// Non-result payloads (aggregation tiles, future plan fragments) ride the
+// same dict-aware columnar binary encoding, wrapped in a small envelope
+// that carries a payload kind tag plus an opaque metadata string (typically
+// JSON). Magic "VPE1".
+
+struct Envelope {
+  /// Payload kind, e.g. "TILE" for a tile-store level.
+  std::string kind;
+  /// Opaque metadata the producer needs alongside the table (e.g. bin
+  /// start/step). Not interpreted by the codec.
+  std::string meta;
+  TablePtr table;
+};
+
+/// Wrap `table` (encoded via SerializeBinary) with a kind tag and metadata.
+std::string SerializeEnvelope(const std::string& kind, const std::string& meta,
+                              const Table& table);
+
+/// Decode an envelope produced by SerializeEnvelope.
+Result<Envelope> DeserializeEnvelope(const std::string& buffer);
+
 }  // namespace data
 }  // namespace vegaplus
 

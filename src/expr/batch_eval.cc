@@ -1683,5 +1683,79 @@ GroupResult BuildGroups(const std::vector<const Vec*>& keys,
   return result;
 }
 
+// ---- Per-bin accumulation kernels ----
+
+bool ComputeBinIndices(const Vec& values, double start, double step,
+                       size_t num_bins, parallel::Range span, int32_t* bin_of) {
+  for (size_t i = span.begin; i < span.end; ++i) {
+    if (!values.ValidAt(i)) {
+      bin_of[i] = static_cast<int32_t>(num_bins);
+      continue;
+    }
+    const double v = values.kind == RegKind::kBool
+                         ? (values.BitAt(i) ? 1.0 : 0.0)
+                         : values.NumAt(i);
+    if (!std::isfinite(v)) return false;
+    const double k = std::floor((v - start) / step);
+    if (!(k >= 0.0) || k >= static_cast<double>(num_bins)) return false;
+    bin_of[i] = static_cast<int32_t>(k);
+  }
+  return true;
+}
+
+void AccumulateBinRows(const int32_t* bin_of, parallel::Range span,
+                       std::vector<int64_t>* rows,
+                       std::vector<int64_t>* first_row) {
+  for (size_t i = span.begin; i < span.end; ++i) {
+    const size_t b = static_cast<size_t>(bin_of[i]);
+    ++(*rows)[b];
+    if ((*first_row)[b] < 0) (*first_row)[b] = static_cast<int64_t>(i);
+  }
+}
+
+void BinAggSlots::Resize(size_t slots) {
+  count.assign(slots, 0);
+  sum.assign(slots, 0.0);
+  min.assign(slots, 0.0);
+  max.assign(slots, 0.0);
+}
+
+void BinAggSlots::MergeFrom(const BinAggSlots& other) {
+  for (size_t b = 0; b < count.size(); ++b) {
+    if (other.count[b] == 0) continue;
+    if (count[b] == 0) {
+      min[b] = other.min[b];
+      max[b] = other.max[b];
+    } else {
+      // Strict compares, so the earlier chunk's extremum wins ties and a
+      // NaN extremum is never displaced — exactly AggState::Merge.
+      if (other.min[b] < min[b]) min[b] = other.min[b];
+      if (other.max[b] > max[b]) max[b] = other.max[b];
+    }
+    sum[b] += other.sum[b];
+    count[b] += other.count[b];
+  }
+}
+
+void AccumulateBinAggs(const Vec& values, const int32_t* bin_of,
+                       parallel::Range span, BinAggSlots* slots) {
+  for (size_t i = span.begin; i < span.end; ++i) {
+    if (!values.ValidAt(i)) continue;
+    const size_t b = static_cast<size_t>(bin_of[i]);
+    const double v = values.kind == RegKind::kBool
+                         ? (values.BitAt(i) ? 1.0 : 0.0)
+                         : values.NumAt(i);
+    if (slots->count[b] == 0) {
+      slots->min[b] = v;
+      slots->max[b] = v;
+    } else {
+      if (v < slots->min[b]) slots->min[b] = v;
+      if (v > slots->max[b]) slots->max[b] = v;
+    }
+    slots->sum[b] += v;
+    ++slots->count[b];
+  }
+}
+
 }  // namespace expr
 }  // namespace vegaplus

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/parallel.h"
 #include "data/table.h"
 #include "expr/compiler.h"
 
@@ -23,6 +24,11 @@ namespace expr {
 
 /// Global kill switch (default on). Turned off by benchmarks to measure the
 /// scalar interpreter, and by tests to compare both paths.
+///
+/// Deprecated as a public configuration surface: new call sites should read
+/// and write this through runtime::EngineConfig (engine_config.h), which
+/// snapshots and applies every process-wide switch coherently. This pair
+/// remains the storage owner.
 bool VectorizedEnabled();
 void SetVectorizedEnabled(bool enabled);
 
@@ -292,6 +298,55 @@ struct GroupResult {
 /// switch off).
 GroupResult BuildGroups(const std::vector<const Vec*>& keys,
                         const std::vector<int32_t>& rows);
+
+// ---- Per-bin accumulation kernels (tile builds) ----
+//
+// The tile store precomputes, per zoom level, one slot per bin holding
+// COUNT(*) plus per-measure count/sum/min/max. These kernels are its morsel
+// inner loops: the caller runs one invocation per chunk (possibly in
+// parallel, each chunk into its own slots) and merges chunk results in
+// chunk order. Null handling and min/max update rules mirror the executor's
+// AccumulateAgg exactly — null cells are skipped, min/max initialize on the
+// first valid value and a NaN never replaces an existing extremum — so a
+// tile answer reproduces the base GROUP BY cell for cell.
+
+/// Map rows of a numeric register onto bin indices over `span`:
+///   k = (int64)floor((v - start) / step)
+/// using the same IEEE double ops as the rewriter's bin expression, so
+/// `start + k * step` bit-matches the query's computed bin floor for every
+/// row of the bin. Null rows map to slot `num_bins` (the null bin). Returns
+/// false when any value is non-finite or lands outside [0, num_bins) — the
+/// level cannot serve queries bit-identically and must be discarded.
+bool ComputeBinIndices(const Vec& values, double start, double step,
+                       size_t num_bins, parallel::Range span, int32_t* bin_of);
+
+/// Per-bin COUNT(*) and first-seen row id (-1 = empty) over `span`,
+/// accumulated into `rows`/`first_row` (both sized num_bins + 1, the last
+/// slot being the null bin). Chunk merging is the caller's: first_row
+/// merges by minimum, rows by sum.
+void AccumulateBinRows(const int32_t* bin_of, parallel::Range span,
+                       std::vector<int64_t>* rows,
+                       std::vector<int64_t>* first_row);
+
+/// Per-bin aggregate slots of one measure column.
+struct BinAggSlots {
+  std::vector<int64_t> count;  // valid (non-null) cells per bin
+  std::vector<double> sum;
+  std::vector<double> min;  // meaningful iff count > 0
+  std::vector<double> max;
+
+  void Resize(size_t slots);
+  /// Fold `other` (a later chunk of the same bins) into this; callers merge
+  /// in chunk order so float sums are deterministic.
+  void MergeFrom(const BinAggSlots& other);
+};
+
+/// Accumulate one measure register into per-bin slots for rows in `span`.
+/// Numeric and bool registers use the typed fast path (bools as 1.0/0.0);
+/// other register kinds are unsupported for tiles and asserted against by
+/// the caller's column selection.
+void AccumulateBinAggs(const Vec& values, const int32_t* bin_of,
+                       parallel::Range span, BinAggSlots* slots);
 
 }  // namespace expr
 }  // namespace vegaplus

@@ -1,7 +1,5 @@
 #include "rewrite/query_service.h"
 
-#include "expr/sql_translator.h"
-
 namespace vegaplus {
 namespace rewrite {
 
@@ -69,39 +67,17 @@ void QueryTicket::Deliver(Result<QueryResponse> response) {
   cv_.notify_all();
 }
 
-QueryService::AdapterState& QueryService::adapter() {
-  std::lock_guard<std::mutex> lock(adapter_init_mu_);
-  if (!adapter_) adapter_ = std::make_unique<AdapterState>();
-  return *adapter_;
-}
-
-Result<PreparedHandle> QueryService::Prepare(const std::string& sql_template) {
-  AdapterState& state = adapter();
-  std::lock_guard<std::mutex> lock(state.mu);
-  auto it = state.by_text.find(sql_template);
-  if (it != state.by_text.end()) return it->second;
-  state.templates.push_back(sql_template);
-  PreparedHandle handle = static_cast<PreparedHandle>(state.templates.size());
-  state.by_text.emplace(sql_template, handle);
-  return handle;
-}
-
-QueryTicketPtr QueryService::Submit(const QueryRequest& request) {
-  AdapterState& state = adapter();
-  std::string sql_template;
-  {
-    std::lock_guard<std::mutex> lock(state.mu);
-    if (request.handle == 0 || request.handle > state.templates.size()) {
-      return QueryTicket::Ready(
-          Status::InvalidArgument("query service: unknown prepared handle"),
-          request.generation);
-    }
-    sql_template = state.templates[request.handle - 1];
+Result<QueryResponse> QueryService::Execute(const std::string& sql) {
+  // Deprecated shim: one front door. The string is prepared as a
+  // parameterless template and pushed through the async path synchronously.
+  VP_ASSIGN_OR_RETURN(PreparedHandle handle, Prepare(sql));
+  QueryRequest request;
+  request.handle = handle;
+  QueryTicketPtr ticket = Submit(request);
+  if (!ticket) {
+    return Status::RuntimeError("query service: Submit returned no ticket");
   }
-  ParamResolver resolver(request.params);
-  auto sql = expr::FillSqlHoles(sql_template, resolver);
-  if (!sql.ok()) return QueryTicket::Ready(sql.status(), request.generation);
-  return QueryTicket::Ready(Execute(*sql), request.generation);
+  return ticket->Await();
 }
 
 }  // namespace rewrite

@@ -8,10 +8,10 @@
 //     QueryTicket immediately; Await() blocks for the response, Cancel()
 //     abandons it. A newer generation submitted for the same handle within a
 //     session supersedes (cancels) the older in-flight request.
-//   * Execute(sql) is the legacy blocking string path. Services only have to
-//     implement Execute: the base class provides Prepare/Submit adapters
-//     that fill the template's holes and run synchronously, so pre-session
-//     QueryService stubs keep working unchanged under the new callers.
+//   * Execute(sql) is the retired legacy string path: a deprecated shim that
+//     forwards through Prepare + Submit + Await. Implementations provide
+//     Prepare/Submit; there is no synchronous execution path of its own
+//     anymore.
 #ifndef VEGAPLUS_REWRITE_QUERY_SERVICE_H_
 #define VEGAPLUS_REWRITE_QUERY_SERVICE_H_
 
@@ -20,7 +20,6 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -38,8 +37,14 @@ struct QueryResponse {
   double latency_millis = 0;
   /// Encoded payload size that crossed the wire.
   size_t bytes = 0;
-  /// Which tier answered (client cache / middleware cache / DBMS).
-  enum class Source { kClientCache, kServerCache, kDbms } source = Source::kDbms;
+  /// Which tier answered (client cache / middleware cache / middleware tile
+  /// store / DBMS).
+  enum class Source {
+    kClientCache,
+    kServerCache,
+    kTileStore,
+    kDbms
+  } source = Source::kDbms;
 };
 
 /// Opaque id of a prepared statement within one QueryService (0 = invalid).
@@ -136,38 +141,36 @@ class QueryTicket {
 using QueryTicketPtr = std::shared_ptr<QueryTicket>;
 
 /// \brief Interface VDTs use to run SQL "remotely".
+///
+/// Implementations provide the session API: Prepare (parse a SQL template
+/// once, return a handle) and Submit (bind parameters, return a ticket).
+/// The former pure-virtual Execute(sql) contract — and the base-class sync
+/// adapter that let a service implement only Execute — is retired; Execute
+/// survives only as a deprecated shim over the session API.
 class QueryService {
  public:
   virtual ~QueryService() = default;
 
-  /// Legacy blocking string path (kept for custom backends and tests).
-  virtual Result<QueryResponse> Execute(const std::string& sql) = 0;
+  /// Parse `sql_template` once; returns a handle for Submit. Statement
+  /// identity should be formatting-insensitive where the implementation can
+  /// afford it (the runtime Middleware canonicalizes the parsed AST).
+  virtual Result<PreparedHandle> Prepare(const std::string& sql_template) = 0;
 
-  /// Parse `sql_template` once; returns a handle for Submit. The default
-  /// implementation registers the template text and lets Submit fill holes
-  /// synchronously through Execute (the thin sync adapter).
-  virtual Result<PreparedHandle> Prepare(const std::string& sql_template);
+  /// Submit a prepared query with bound parameters; returns a future-like
+  /// ticket immediately. Implementations are free to resolve it
+  /// synchronously (QueryTicket::Ready).
+  virtual QueryTicketPtr Submit(const QueryRequest& request) = 0;
 
-  /// Submit a prepared query with bound parameters. The default
-  /// implementation executes synchronously and returns a resolved ticket.
-  virtual QueryTicketPtr Submit(const QueryRequest& request);
-
- private:
-  // Sync-adapter state for services that only implement Execute();
-  // allocated lazily so full implementations (Middleware, Session) never
-  // pay for it.
-  struct AdapterState {
-    std::mutex mu;
-    std::vector<std::string> templates;
-    std::unordered_map<std::string, PreparedHandle> by_text;
-  };
-  AdapterState& adapter();
-  mutable std::mutex adapter_init_mu_;
-  mutable std::unique_ptr<AdapterState> adapter_;
+  /// DEPRECATED legacy blocking string path. The default forwards through
+  /// the session API — Prepare(sql), Submit with no parameters, Await — so
+  /// every execution flows through the one asynchronous front door.
+  /// Overrides may adjust shim bookkeeping (runtime::Session releases its
+  /// transient statement pin) but must not reintroduce a second execution
+  /// path. New callers should use Prepare/Submit directly.
+  virtual Result<QueryResponse> Execute(const std::string& sql);
 };
 
-/// Resolver view over a Submit call's bound parameters (also used by the
-/// sync adapter to fill template holes).
+/// Resolver view over a Submit call's bound parameters.
 class ParamResolver : public expr::SignalResolver {
  public:
   explicit ParamResolver(const std::vector<QueryParam>& params) : params_(params) {}

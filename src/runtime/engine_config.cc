@@ -1,0 +1,32 @@
+#include "runtime/engine_config.h"
+
+#include "common/parallel.h"
+#include "data/column.h"
+#include "expr/batch_eval.h"
+#include "tiles/tile_store.h"
+
+namespace vegaplus {
+namespace runtime {
+
+EngineConfig EngineConfig::Current() {
+  EngineConfig cfg;
+  cfg.vectorized = expr::VectorizedEnabled();
+  cfg.dictionary_encoding = data::DictionaryEncodingEnabled();
+  cfg.morsel_parallel = parallel::MorselParallelEnabled();
+  cfg.morsel_threads = parallel::MorselParallelism();
+  cfg.morsel_rows = parallel::MorselRows();
+  cfg.tile_serving = tiles::TileServingEnabled();
+  return cfg;
+}
+
+void EngineConfig::Apply() const {
+  expr::SetVectorizedEnabled(vectorized);
+  data::SetDictionaryEncodingEnabled(dictionary_encoding);
+  parallel::SetMorselParallelEnabled(morsel_parallel);
+  parallel::SetMorselParallelism(morsel_threads);
+  parallel::SetMorselRows(morsel_rows);
+  tiles::SetTileServingEnabled(tile_serving);
+}
+
+}  // namespace runtime
+}  // namespace vegaplus

@@ -1,0 +1,69 @@
+// One struct for every process-wide execution switch. Historically each layer
+// grew its own free-function toggle (expr::SetVectorizedEnabled,
+// data::SetDictionaryEncodingEnabled, parallel::SetMorselParallelEnabled and
+// the morsel knobs, tiles::SetTileServingEnabled); callers that wanted a
+// coherent configuration had to call five setters in the right order and had
+// no way to read the state back atomically. EngineConfig is the consolidated
+// front door:
+//
+//   * EngineConfig::Current() snapshots every switch.
+//   * cfg.Apply() writes every switch (the per-layer setters stay as the
+//     storage owners, so layering is unchanged: data/expr/common never see
+//     runtime).
+//   * Middleware snapshots one EngineConfig at construction
+//     (MiddlewareOptions::engine_config overrides the ambient values) and
+//     exposes it via Middleware::engine_config(); middleware-side features
+//     such as tile serving are gated on the snapshot, not the live globals.
+//
+// The old per-layer free functions remain valid but are deprecated as a
+// public configuration surface — new call sites should go through
+// EngineConfig.
+#ifndef VEGAPLUS_RUNTIME_ENGINE_CONFIG_H_
+#define VEGAPLUS_RUNTIME_ENGINE_CONFIG_H_
+
+#include <cstddef>
+
+namespace vegaplus {
+namespace runtime {
+
+struct EngineConfig {
+  /// Column-at-a-time compiled expression evaluation (expr::Compiler).
+  bool vectorized = true;
+  /// Dictionary encoding for string columns loaded from CSV/JSON.
+  bool dictionary_encoding = true;
+  /// Morsel-driven parallelism across the shared worker pool.
+  bool morsel_parallel = true;
+  /// Worker count for morsel execution. 0 = hardware concurrency.
+  size_t morsel_threads = 0;
+  /// Rows per morsel for table-shaped work.
+  size_t morsel_rows = 16384;
+  /// Middleware-side multi-resolution tile serving for bin+aggregate shapes.
+  bool tile_serving = true;
+
+  /// Snapshot the live process-wide switches.
+  static EngineConfig Current();
+
+  /// Write every switch back to the owning layer.
+  void Apply() const;
+};
+
+/// RAII guard: applies `cfg` on construction, restores the previous
+/// process-wide state on destruction. Test-oriented.
+class ScopedEngineConfig {
+ public:
+  explicit ScopedEngineConfig(const EngineConfig& cfg)
+      : saved_(EngineConfig::Current()) {
+    cfg.Apply();
+  }
+  ~ScopedEngineConfig() { saved_.Apply(); }
+  ScopedEngineConfig(const ScopedEngineConfig&) = delete;
+  ScopedEngineConfig& operator=(const ScopedEngineConfig&) = delete;
+
+ private:
+  EngineConfig saved_;
+};
+
+}  // namespace runtime
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_RUNTIME_ENGINE_CONFIG_H_

@@ -171,9 +171,13 @@ void Session::CachePut(const std::string& key, data::TablePtr table) {
 
 Middleware::Middleware(const sql::Engine* engine, MiddlewareOptions options)
     : engine_(engine), options_(std::move(options)),
+      engine_config_(options_.engine_config.value_or(EngineConfig::Current())),
       server_cache_(options_.enable_server_cache ? options_.cache_capacity : 0,
                     options_.cache_max_result_rows, options_.cache_policy),
       pool_(std::make_unique<WorkerPool>(options_.worker_threads)) {
+  if (engine_config_.tile_serving) {
+    tile_store_ = std::make_unique<tiles::TileStore>(engine_, options_.tile_options);
+  }
   default_session_ = CreateSession();
 }
 
@@ -381,29 +385,53 @@ void Middleware::RunQueryTask(std::shared_ptr<Session> session, QueryTicketPtr t
           TransferMillis(response.bytes, options_.binary_encoding, options_.latency);
       response.source = QueryResponse::Source::kServerCache;
     } else {
-      if (options_.before_dbms_execute) options_.before_dbms_execute(key);
+      // Bind once; the tile probe and the DBMS both consume the bound AST,
+      // so parameter resolution cost (and errors) are shared. Splitting
+      // ExecuteBound into Bind + Execute is behavior-preserving: that is
+      // exactly its implementation.
       rewrite::ParamResolver resolver(params);
-      auto result = engine_->ExecuteBound(*stmt, resolver);
-      if (!result.ok()) {
+      auto deliver_error = [&](const Status& st) {
         LeaveInFlight(key);
         if (ticket->CommitDelivery()) {
           RecordError(session.get());
         } else {
           RecordCancelled(session.get());
         }
-        ticket->Deliver(Status(result.status().code(),
-                               "middleware: " + result.status().message() + " [" +
-                                   stmt->canonical_sql + "]"));
+        ticket->Deliver(Status(st.code(), "middleware: " + st.message() + " [" +
+                                              stmt->canonical_sql + "]"));
+      };
+      auto bound = sql::BindStatement(*stmt->stmt, resolver);
+      if (!bound.ok()) {
+        deliver_error(bound.status());
         return;
       }
-      from_dbms = true;
-      response.table = result->table;
-      response.bytes = EstimateEncodedBytes(*response.table, options_.binary_encoding);
-      response.latency_millis =
-          ServerComputeMillis(result->stats.rows_processed + result->stats.rows_scanned,
-                              result->stats.num_operators, options_.latency) +
-          TransferMillis(response.bytes, options_.binary_encoding, options_.latency);
-      response.source = QueryResponse::Source::kDbms;
+      std::optional<tiles::TileAnswer> tile;
+      if (tile_store_ != nullptr) tile = tile_store_->TryAnswer(**bound);
+      if (tile.has_value()) {
+        // Served from the precomputed aggregation tree: the server touches
+        // `bins_touched` slots instead of scanning base rows.
+        response.table = tile->table;
+        response.bytes = EstimateEncodedBytes(*response.table, options_.binary_encoding);
+        response.latency_millis =
+            ServerComputeMillis(tile->bins_touched, 1, options_.latency) +
+            TransferMillis(response.bytes, options_.binary_encoding, options_.latency);
+        response.source = QueryResponse::Source::kTileStore;
+      } else {
+        if (options_.before_dbms_execute) options_.before_dbms_execute(key);
+        auto result = engine_->Execute(**bound);
+        if (!result.ok()) {
+          deliver_error(result.status());
+          return;
+        }
+        from_dbms = true;
+        response.table = result->table;
+        response.bytes = EstimateEncodedBytes(*response.table, options_.binary_encoding);
+        response.latency_millis =
+            ServerComputeMillis(result->stats.rows_processed + result->stats.rows_scanned,
+                                result->stats.num_operators, options_.latency) +
+            TransferMillis(response.bytes, options_.binary_encoding, options_.latency);
+        response.source = QueryResponse::Source::kDbms;
+      }
       {
         std::lock_guard<std::mutex> lock(mu_);
         server_cache_.Put(key, response.table);
@@ -445,6 +473,9 @@ void Middleware::RecordCompletion(Session* session, const QueryResponse& respons
         break;
       case QueryResponse::Source::kServerCache:
         ++stats->server_cache_hits;
+        break;
+      case QueryResponse::Source::kTileStore:
+        ++stats->tile_hits;
         break;
       case QueryResponse::Source::kDbms:
         break;  // counted at execution time

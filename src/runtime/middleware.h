@@ -12,6 +12,11 @@
 // are collapsed (single-flight), and a Submit with a newer generation for
 // the same statement within a session cancels the superseded in-flight
 // request instead of decoding it.
+//
+// The middleware also hosts a cross-session tile store: bin+aggregate
+// shapes are answered from precomputed multi-resolution aggregation trees
+// when coverage is exact (see tiles/tile_store.h), skipping the DBMS scan
+// entirely. Tile hits fill both cache tiers like any other result.
 #ifndef VEGAPLUS_RUNTIME_MIDDLEWARE_H_
 #define VEGAPLUS_RUNTIME_MIDDLEWARE_H_
 
@@ -21,6 +26,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -28,6 +34,8 @@
 #include <vector>
 
 #include "rewrite/query_service.h"
+#include "runtime/engine_config.h"
+#include "tiles/tile_store.h"
 #include "runtime/cache.h"
 #include "runtime/latency_model.h"
 #include "runtime/worker_pool.h"
@@ -59,9 +67,17 @@ struct MiddlewareOptions {
   /// applies to the churn.
   size_t max_prepared_statements = 256;
   /// Test instrumentation: invoked by a worker right before DBMS execution
-  /// (after cache misses), with the query's cache key. Lets concurrency
-  /// tests gate execution deterministically. Null in production.
+  /// (after cache and tile misses), with the query's cache key. Lets
+  /// concurrency tests gate execution deterministically. Null in production.
   std::function<void(const std::string& cache_key)> before_dbms_execute;
+  /// Engine feature snapshot this middleware runs with. Unset means
+  /// "snapshot the ambient process-wide configuration at construction".
+  /// The snapshot decides middleware-owned features (tile serving);
+  /// process-global toggles (vectorization, morsels, dictionaries) remain
+  /// ambient — use ScopedEngineConfig to pin them for a scope.
+  std::optional<EngineConfig> engine_config;
+  /// Tile store tuning (used only when the snapshot enables tile serving).
+  tiles::TileStoreOptions tile_options;
 };
 
 /// Measure the encoded payload size of a result. Exact for small tables;
@@ -97,9 +113,10 @@ class Session : public rewrite::QueryService,
 
   struct Stats {
     size_t submitted = 0;
-    size_t queries = 0;  // completed: client + server + dbms below
+    size_t queries = 0;  // completed: client + server + tiles + dbms below
     size_t client_cache_hits = 0;
     size_t server_cache_hits = 0;
+    size_t tile_hits = 0;
     size_t dbms_executions = 0;
     size_t cancelled = 0;
     size_t errors = 0;
@@ -183,6 +200,7 @@ class Middleware : public rewrite::QueryService {
     size_t submitted = 0;
     size_t client_cache_hits = 0;
     size_t server_cache_hits = 0;
+    size_t tile_hits = 0;
     size_t dbms_executions = 0;
     size_t cancelled = 0;
     size_t errors = 0;
@@ -204,6 +222,12 @@ class Middleware : public rewrite::QueryService {
   size_t registry_size() const;
 
   const MiddlewareOptions& options() const { return options_; }
+
+  /// The engine feature snapshot taken at construction.
+  const EngineConfig& engine_config() const { return engine_config_; }
+
+  /// The shared tile tier, or nullptr when the snapshot disabled it.
+  tiles::TileStore* tile_store() const { return tile_store_.get(); }
 
  private:
   friend class Session;
@@ -240,6 +264,10 @@ class Middleware : public rewrite::QueryService {
 
   const sql::Engine* engine_;
   MiddlewareOptions options_;
+  EngineConfig engine_config_;
+  /// Cross-session tile tier (created iff engine_config_.tile_serving).
+  /// Internally synchronized; safe to probe from any worker.
+  std::unique_ptr<tiles::TileStore> tile_store_;
 
   /// One registered canonical statement. Handles are monotonically
   /// increasing and never reused, so eviction can never make an old handle

@@ -285,6 +285,31 @@ void AccumulateAgg(AggOp op, const Vec& arg, const std::vector<int32_t>& rows,
   }
 }
 
+/// Whether `node` reads the input table only through direct `datum.<name>`
+/// member access, collecting the referenced column names (deduped,
+/// first-seen order). Bare `datum` or computed `datum[expr]` access could
+/// touch arbitrary columns, so they disqualify the caller's gathered
+/// (filter-fused) group-by path.
+bool CollectProjectedColumns(const NodePtr& node, std::vector<std::string>* cols) {
+  if (node == nullptr) return true;
+  if (node->kind == expr::NodeKind::kMember && node->a != nullptr &&
+      node->a->kind == expr::NodeKind::kIdentifier && node->a->name == "datum") {
+    if (std::find(cols->begin(), cols->end(), node->name) == cols->end()) {
+      cols->push_back(node->name);
+    }
+    return true;
+  }
+  if (node->kind == expr::NodeKind::kIdentifier) return node->name != "datum";
+  if (node->kind == expr::NodeKind::kIndex) return false;
+  bool ok = CollectProjectedColumns(node->a, cols) &&
+            CollectProjectedColumns(node->b, cols) &&
+            CollectProjectedColumns(node->c, cols);
+  for (const NodePtr& arg : node->args) {
+    ok = ok && CollectProjectedColumns(arg, cols);
+  }
+  return ok;
+}
+
 DataType AggResultType(AggOp op, const NodePtr& arg, const Schema& input) {
   switch (op) {
     case AggOp::kCount:
@@ -469,19 +494,66 @@ Result<TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
       }
     }
 
-    // Evaluate group keys column-at-a-time over the full input (unselected
-    // rows are computed but never read), then hash-group the selection.
-    // Group keys live once, in the key registers; groups are ids plus one
-    // representative row each.
+    // Filter fusion: when WHERE kept a minority of rows and every group key
+    // and aggregate argument reads the table only through direct
+    // `datum.<col>` access, gather just the referenced columns at the
+    // selected rows and evaluate keys/arguments over that narrow compacted
+    // table, instead of computing full-batch key registers over mostly
+    // filtered-out rows. Bit-identical to the unfused path: Column::Take
+    // copies cells exactly (dictionaries shared), first-seen group order
+    // equals selection order either way, and the aggregate chunk boundaries
+    // depend only on the selection size, which is unchanged.
+    TablePtr gathered;
+    std::vector<int32_t> positions;  // iota over gathered rows
+    const Table* key_input = input.get();
+    // Positions into group_of/chunks map to rows of `key_input` through
+    // this: table row ids when unfused, the identity when fused.
+    const std::vector<int32_t>* acc_rows = &selection;
+    if (stmt.where && selection.size() * 2 < input->num_rows()) {
+      std::vector<std::string> cols;
+      bool projectable = true;
+      for (const auto& g : stmt.group_by) {
+        projectable = projectable && CollectProjectedColumns(g, &cols);
+      }
+      for (const SelectItem* item : agg_items) {
+        if (item->agg_arg) {
+          projectable = projectable && CollectProjectedColumns(item->agg_arg, &cols);
+        }
+      }
+      if (projectable) {
+        std::vector<data::Field> gfields;
+        std::vector<data::Column> gcols;
+        for (const std::string& name : cols) {
+          int idx = input->schema().FieldIndex(name);
+          // Referenced-but-absent columns evaluate to null against either
+          // schema; skip them.
+          if (idx < 0) continue;
+          gfields.push_back(input->schema().field(static_cast<size_t>(idx)));
+          gcols.push_back(input->column(static_cast<size_t>(idx)).Take(selection));
+        }
+        gathered = std::make_shared<Table>(Schema(std::move(gfields)),
+                                           std::move(gcols));
+        positions.resize(selection.size());
+        std::iota(positions.begin(), positions.end(), 0);
+        key_input = gathered.get();
+        acc_rows = &positions;
+      }
+    }
+
+    // Evaluate group keys column-at-a-time (over the gathered table when
+    // fused, else over the full input — unselected rows are computed but
+    // never read), then hash-group the selection. Group keys live once, in
+    // the key registers; groups are ids plus one representative row each.
     std::vector<Vec> key_vecs;
     key_vecs.reserve(stmt.group_by.size());
     for (const auto& g : stmt.group_by) {
-      key_vecs.push_back(EvalVec(g, *input, &selection));
+      key_vecs.push_back(
+          EvalVec(g, *key_input, gathered ? nullptr : &selection));
     }
     std::vector<const Vec*> key_ptrs;
     key_ptrs.reserve(key_vecs.size());
     for (const Vec& v : key_vecs) key_ptrs.push_back(&v);
-    expr::GroupResult groups = expr::BuildGroups(key_ptrs, selection);
+    expr::GroupResult groups = expr::BuildGroups(key_ptrs, *acc_rows);
 
     size_t num_groups = groups.num_groups();
     // Pure aggregation over zero rows still yields one output row.
@@ -505,7 +577,7 @@ Result<TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
       const SelectItem* item = agg_items[a];
       Vec arg;
       if (item->agg_arg != nullptr) {
-        arg = EvalVec(item->agg_arg, *input, &selection);
+        arg = EvalVec(item->agg_arg, *key_input, gathered ? nullptr : &selection);
       }
       std::vector<std::vector<AggState>> chunk_states(chunks.size());
       parallel::ParallelFor(chunks.size(), [&](size_t c) {
@@ -518,7 +590,7 @@ Result<TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
           }
           return;
         }
-        AccumulateAgg(item->agg_op, arg, selection, groups.group_of, chunks[c],
+        AccumulateAgg(item->agg_op, arg, *acc_rows, groups.group_of, chunks[c],
                       &states);
       });
       for (size_t c = 0; c < chunks.size(); ++c) {

@@ -1,0 +1,510 @@
+#include "tiles/tile_store.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "common/parallel.h"
+#include "expr/ast.h"
+#include "rewrite/tile_shape.h"
+#include "sql/engine.h"
+#include "transforms/binning.h"
+
+namespace vegaplus {
+namespace tiles {
+
+namespace {
+
+using data::Column;
+using data::DataType;
+using data::Table;
+using data::TablePtr;
+using data::Value;
+using expr::BinAggSlots;
+using expr::RegKind;
+using expr::Vec;
+using rewrite::TileShape;
+using sql::AggOp;
+using sql::SelectItem;
+using sql::SelectStmt;
+
+std::atomic<bool> g_tile_serving{true};
+
+std::string TreeKey(const std::string& table, const std::string& column,
+                    bool categorical) {
+  std::string key = table;
+  key.push_back('\0');
+  key += column;
+  key += categorical ? "#cat" : "#num";
+  return key;
+}
+
+/// Mirror of the executor's AggResultType for the shapes tiles cover:
+/// COUNT is int64, MIN/MAX keep the argument column's type, SUM/AVG widen
+/// to float64. The Value cells appended below then coerce exactly like the
+/// executor's AggState::Finish output does.
+DataType TileAggType(const TileShape::Item& item, const data::Schema& schema) {
+  switch (item.op) {
+    case AggOp::kCount:
+      return DataType::kInt64;
+    case AggOp::kMin:
+    case AggOp::kMax: {
+      int idx = schema.FieldIndex(item.agg_column);
+      if (idx >= 0) return schema.field(static_cast<size_t>(idx)).type;
+      return DataType::kFloat64;
+    }
+    default:
+      return DataType::kFloat64;
+  }
+}
+
+/// Classification of one slot against the brush bounds.
+enum class SlotCoverage { kIncluded, kExcluded, kPartial };
+
+SlotCoverage ClassifySlot(const TileShape& shape, double vmin, double vmax) {
+  bool all = true;
+  if (shape.has_lower) {
+    const bool all_in = shape.lower_strict ? vmin > shape.lower
+                                           : vmin >= shape.lower;
+    const bool none_in = shape.lower_strict ? vmax <= shape.lower
+                                            : vmax < shape.lower;
+    if (none_in) return SlotCoverage::kExcluded;
+    all = all && all_in;
+  }
+  if (shape.has_upper) {
+    const bool all_in = shape.upper_strict ? vmax < shape.upper
+                                           : vmax <= shape.upper;
+    const bool none_in = shape.upper_strict ? vmin >= shape.upper
+                                            : vmin > shape.upper;
+    if (none_in) return SlotCoverage::kExcluded;
+    all = all && all_in;
+  }
+  return all ? SlotCoverage::kIncluded : SlotCoverage::kPartial;
+}
+
+}  // namespace
+
+bool TileServingEnabled() { return g_tile_serving.load(std::memory_order_relaxed); }
+void SetTileServingEnabled(bool enabled) {
+  g_tile_serving.store(enabled, std::memory_order_relaxed);
+}
+
+const expr::BinAggSlots* TileStore::Level::FindMeasure(
+    const std::string& name) const {
+  for (size_t i = 0; i < measure_names.size(); ++i) {
+    if (measure_names[i] == name) return &measure_slots[i];
+  }
+  return nullptr;
+}
+
+TileStore::TileStore(const sql::Engine* engine, TileStoreOptions options)
+    : engine_(engine), options_(options) {}
+
+TileStoreStats TileStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void TileStore::Invalidate(const std::string& table_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = trees_.begin(); it != trees_.end();) {
+    // Keys are "<table>\0<column>#kind".
+    const std::string& key = it->first;
+    if (key.size() > table_name.size() && key[table_name.size()] == '\0' &&
+        key.compare(0, table_name.size(), table_name) == 0) {
+      it = trees_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool TileStore::BuildLevel(const Table& table, const Vec& bin_values,
+                           Level* level) const {
+  const size_t n = table.num_rows();
+  const size_t slots = level->num_bins + 1;  // + null slot
+
+  // Assign every row to a slot. Chunks are MorselRows()-sized so the merge
+  // order below matches the executor's partial-state discipline.
+  std::vector<int32_t> bin_of(n);
+  std::vector<parallel::Range> chunks =
+      parallel::SplitRanges(n, parallel::MorselRows());
+  std::vector<char> chunk_ok(chunks.size(), 1);
+  parallel::ParallelFor(chunks.size(), [&](size_t c) {
+    chunk_ok[c] = expr::ComputeBinIndices(bin_values, level->start, level->step,
+                                          level->num_bins, chunks[c],
+                                          bin_of.data())
+                      ? 1
+                      : 0;
+  });
+  for (char ok : chunk_ok) {
+    if (!ok) return false;  // out-of-range value: extent/binning mismatch
+  }
+
+  // COUNT(*) and first-seen order per slot, merged in chunk order.
+  {
+    std::vector<std::vector<int64_t>> chunk_rows(chunks.size());
+    std::vector<std::vector<int64_t>> chunk_first(chunks.size());
+    parallel::ParallelFor(chunks.size(), [&](size_t c) {
+      chunk_rows[c].assign(slots, 0);
+      chunk_first[c].assign(slots, -1);
+      expr::AccumulateBinRows(bin_of.data(), chunks[c], &chunk_rows[c],
+                              &chunk_first[c]);
+    });
+    level->rows.assign(slots, 0);
+    level->first_row.assign(slots, -1);
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      for (size_t b = 0; b < slots; ++b) {
+        level->rows[b] += chunk_rows[c][b];
+        if (level->first_row[b] < 0) level->first_row[b] = chunk_first[c][b];
+      }
+    }
+  }
+
+  // Measure slots: every column the executor's typed aggregate path would
+  // accumulate as doubles (numeric, bool, timestamp — ColumnVec widens them
+  // all to kNum or kBool). String/unsupported columns are simply absent, so
+  // queries aggregating them fall back.
+  for (size_t col = 0; col < table.num_columns(); ++col) {
+    Vec values = expr::ColumnVec(table.column(col));
+    if (values.kind != RegKind::kNum && values.kind != RegKind::kBool) continue;
+    std::vector<BinAggSlots> chunk_slots(chunks.size());
+    parallel::ParallelFor(chunks.size(), [&](size_t c) {
+      chunk_slots[c].Resize(slots);
+      expr::AccumulateBinAggs(values, bin_of.data(), chunks[c],
+                              &chunk_slots[c]);
+    });
+    BinAggSlots merged;
+    merged.Resize(slots);
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      merged.MergeFrom(chunk_slots[c]);
+    }
+    level->measure_names.push_back(table.schema().field(col).name);
+    level->measure_slots.push_back(std::move(merged));
+  }
+  return true;
+}
+
+TileStore::TreePtr TileStore::BuildTree(const TablePtr& table,
+                                        const std::string& column,
+                                        bool categorical) const {
+  auto tree = std::make_shared<Tree>();
+  tree->source = table;
+  tree->categorical = categorical;
+  tree->unbuildable = true;  // cleared on success
+
+  int col_idx = table->schema().FieldIndex(column);
+  if (col_idx < 0 || table->num_rows() == 0) return tree;
+  const Column& col = table->column(static_cast<size_t>(col_idx));
+
+  if (categorical) {
+    if (!col.dict_encoded()) return tree;  // flat strings: not covered
+    tree->dict = col.dict_shared();
+    const size_t n = table->num_rows();
+    const size_t num_codes = tree->dict->values.size();
+    // Codes are already bin indices; -1 (null) maps to the trailing slot.
+    Vec values = expr::ColumnVec(col);
+    Level level;
+    level.num_bins = num_codes;
+    const int32_t* codes = col.codes_data();
+    std::vector<int32_t> bin_of(n);
+    for (size_t i = 0; i < n; ++i) {
+      bin_of[i] = codes[i] < 0 ? static_cast<int32_t>(num_codes) : codes[i];
+    }
+    const size_t slots = num_codes + 1;
+    level.rows.assign(slots, 0);
+    level.first_row.assign(slots, -1);
+    expr::AccumulateBinRows(bin_of.data(), parallel::Range{0, n}, &level.rows,
+                            &level.first_row);
+    // Measures over the same slot assignment, chunked like the numeric path.
+    std::vector<parallel::Range> chunks =
+        parallel::SplitRanges(n, parallel::MorselRows());
+    for (size_t c = 0; c < table->num_columns(); ++c) {
+      Vec mv = expr::ColumnVec(table->column(c));
+      if (mv.kind != RegKind::kNum && mv.kind != RegKind::kBool) continue;
+      std::vector<BinAggSlots> chunk_slots(chunks.size());
+      parallel::ParallelFor(chunks.size(), [&](size_t ci) {
+        chunk_slots[ci].Resize(slots);
+        expr::AccumulateBinAggs(mv, bin_of.data(), chunks[ci],
+                                &chunk_slots[ci]);
+      });
+      BinAggSlots merged;
+      merged.Resize(slots);
+      for (auto& cs : chunk_slots) merged.MergeFrom(cs);
+      level.measure_names.push_back(table->schema().field(c).name);
+      level.measure_slots.push_back(std::move(merged));
+    }
+    tree->levels.push_back(std::move(level));
+    tree->unbuildable = false;
+    return tree;
+  }
+
+  // Numeric tree: extent pass, then one level per distinct nice binning.
+  Vec bin_values = expr::ColumnVec(col);
+  if (bin_values.kind != RegKind::kNum && bin_values.kind != RegKind::kBool) {
+    return tree;
+  }
+  double lo = 0, hi = 0;
+  bool any = false;
+  for (size_t i = 0; i < table->num_rows(); ++i) {
+    if (!bin_values.ValidAt(i)) continue;
+    const double v = bin_values.kind == RegKind::kBool
+                         ? (bin_values.BitAt(i) ? 1.0 : 0.0)
+                         : bin_values.NumAt(i);
+    if (!std::isfinite(v)) return tree;  // inf/NaN column: not coverable
+    if (!any) {
+      lo = hi = v;
+      any = true;
+    } else {
+      if (v < lo) lo = v;
+      if (v > hi) hi = v;
+    }
+  }
+  if (!any) return tree;
+
+  for (size_t maxbins = 1; maxbins <= options_.max_maxbins; ++maxbins) {
+    transforms::Binning b =
+        transforms::ComputeBinning(lo, hi, static_cast<int>(maxbins));
+    if (!(b.step > 0) || !std::isfinite(b.start)) continue;
+    bool seen = false;
+    for (const Level& l : tree->levels) {
+      if (l.start == b.start && l.step == b.step) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    const double k_max = std::floor((hi - b.start) / b.step);
+    if (!(k_max >= 0) || k_max >= static_cast<double>(options_.max_level_bins)) {
+      continue;  // too fine for the slot cap; queries at this zoom fall back
+    }
+    Level level;
+    level.start = b.start;
+    level.step = b.step;
+    level.num_bins = static_cast<size_t>(k_max) + 1;
+    // Guard against catastrophic absorption (start + k*step collapsing for
+    // distinct k): the executor would merge such groups by value, tiles
+    // would not — so refuse the level.
+    bool monotone = true;
+    double prev = level.start;
+    for (size_t k = 1; k < level.num_bins && monotone; ++k) {
+      const double v = level.start + static_cast<double>(k) * level.step;
+      monotone = v > prev;
+      prev = v;
+    }
+    if (!monotone) continue;
+    if (!BuildLevel(*table, bin_values, &level)) continue;
+    tree->levels.push_back(std::move(level));
+  }
+  tree->unbuildable = tree->levels.empty();
+  return tree;
+}
+
+TileStore::TreePtr TileStore::GetOrBuildTree(const std::string& key,
+                                             const std::string& table_name,
+                                             const std::string& column,
+                                             bool categorical,
+                                             const TablePtr& table) {
+  (void)table_name;
+  (void)column;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = trees_.find(key);
+    if (it != trees_.end() && it->second->source == table) {
+      return it->second;
+    }
+    if (!options_.build_on_miss) return nullptr;
+    if (building_.count(key)) {
+      ++stats_.build_conflicts;
+      return nullptr;  // another thread is building: fall back, don't block
+    }
+    building_.insert(key);
+  }
+  TreePtr tree = BuildTree(table, column, categorical);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    trees_[key] = tree;
+    building_.erase(key);
+    ++stats_.builds;
+  }
+  return tree;
+}
+
+std::optional<TileAnswer> TileStore::TryAnswer(const SelectStmt& stmt) {
+  TileShape shape;
+  if (!rewrite::MatchTileShape(stmt, &shape)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.shape_misses;
+    return std::nullopt;
+  }
+  auto coverage_miss = [this]() -> std::optional<TileAnswer> {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.coverage_misses;
+    return std::nullopt;
+  };
+
+  auto table_r = engine_->catalog().GetTable(shape.table);
+  if (!table_r.ok()) return coverage_miss();
+  TablePtr table = *table_r;
+
+  const std::string key =
+      TreeKey(shape.table, shape.bin_column, shape.categorical);
+  TreePtr tree =
+      GetOrBuildTree(key, shape.table, shape.bin_column, shape.categorical,
+                     table);
+  if (tree == nullptr || tree->unbuildable) return coverage_miss();
+
+  // ---- Level selection ----
+  const Level* level = nullptr;
+  if (shape.categorical) {
+    level = &tree->levels[0];
+  } else {
+    for (const Level& l : tree->levels) {
+      if (l.start == shape.start && l.step == shape.step) {
+        level = &l;
+        break;
+      }
+    }
+  }
+  if (level == nullptr) return coverage_miss();
+
+  // ---- Aggregate-argument availability ----
+  for (const TileShape::Item& item : shape.items) {
+    if (item.kind != TileShape::Item::Kind::kAggregate || item.count_star) {
+      continue;
+    }
+    if (level->FindMeasure(item.agg_column) == nullptr) return coverage_miss();
+  }
+
+  // ---- Slot inclusion ----
+  const bool has_brush = shape.has_lower || shape.has_upper;
+  const BinAggSlots* bin_measure = nullptr;
+  if (has_brush) {
+    bin_measure = level->FindMeasure(shape.bin_column);
+    if (bin_measure == nullptr) return coverage_miss();
+  }
+  std::vector<size_t> included;
+  included.reserve(level->num_bins + 1);
+  for (size_t k = 0; k < level->num_bins; ++k) {
+    if (level->rows[k] == 0) continue;
+    if (has_brush) {
+      switch (ClassifySlot(shape, bin_measure->min[k], bin_measure->max[k])) {
+        case SlotCoverage::kExcluded:
+          continue;
+        case SlotCoverage::kPartial:
+          return coverage_miss();  // straddling slot: exact answer needs rows
+        case SlotCoverage::kIncluded:
+          break;
+      }
+    }
+    included.push_back(k);
+  }
+  // Null bin-column rows survive only an unfiltered scan (any brush
+  // comparison on null is null => filtered out).
+  if (!has_brush && level->rows[level->num_bins] > 0) {
+    included.push_back(level->num_bins);
+  }
+  std::sort(included.begin(), included.end(), [&](size_t a, size_t b) {
+    return level->first_row[a] < level->first_row[b];
+  });
+
+  // ---- Emit, replicating the executor's output exactly ----
+  std::vector<data::Field> fields;
+  fields.reserve(shape.items.size());
+  for (size_t i = 0; i < shape.items.size(); ++i) {
+    const TileShape::Item& item = shape.items[i];
+    DataType t;
+    switch (item.kind) {
+      case TileShape::Item::Kind::kBin0:
+      case TileShape::Item::Kind::kBin1:
+        t = DataType::kFloat64;
+        break;
+      case TileShape::Item::Kind::kKey:
+        t = DataType::kString;
+        break;
+      case TileShape::Item::Kind::kAggregate:
+        t = TileAggType(item, table->schema());
+        break;
+    }
+    fields.push_back({sql::DeriveItemName(stmt.items[i], i), t});
+  }
+
+  std::vector<Column> columns;
+  columns.reserve(fields.size());
+  for (size_t i = 0; i < shape.items.size(); ++i) {
+    const TileShape::Item& item = shape.items[i];
+    Column out(fields[i].type);
+    out.Reserve(included.size());
+    const BinAggSlots* m = item.kind == TileShape::Item::Kind::kAggregate &&
+                                   !item.count_star
+                               ? level->FindMeasure(item.agg_column)
+                               : nullptr;
+    for (size_t k : included) {
+      const bool null_slot = k == level->num_bins;
+      Value cell = Value::Null();
+      switch (item.kind) {
+        case TileShape::Item::Kind::kBin0:
+          if (!null_slot) {
+            cell = Value::Double(level->start +
+                                 static_cast<double>(k) * level->step);
+          }
+          break;
+        case TileShape::Item::Kind::kBin1:
+          if (!null_slot) {
+            cell = Value::Double(
+                (level->start + static_cast<double>(k) * level->step) +
+                level->step);
+          }
+          break;
+        case TileShape::Item::Kind::kKey:
+          if (!null_slot) cell = Value::String(tree->dict->values[k]);
+          break;
+        case TileShape::Item::Kind::kAggregate: {
+          if (item.count_star) {
+            cell = Value::Int(level->rows[k]);
+            break;
+          }
+          const int64_t cnt = m->count[k];
+          switch (item.op) {
+            case AggOp::kCount:
+              cell = Value::Int(cnt);
+              break;
+            case AggOp::kSum:
+              if (cnt > 0) cell = Value::Double(m->sum[k]);
+              break;
+            case AggOp::kAvg:
+              if (cnt > 0) {
+                cell = Value::Double(m->sum[k] / static_cast<double>(cnt));
+              }
+              break;
+            case AggOp::kMin:
+              if (cnt > 0) cell = Value::Double(m->min[k]);
+              break;
+            case AggOp::kMax:
+              if (cnt > 0) cell = Value::Double(m->max[k]);
+              break;
+            default:
+              break;  // unreachable: matcher rejects other ops
+          }
+          break;
+        }
+      }
+      out.Append(cell);
+    }
+    columns.push_back(std::move(out));
+  }
+
+  TileAnswer answer;
+  answer.table = std::make_shared<Table>(data::Schema(std::move(fields)),
+                                         std::move(columns));
+  answer.bins_touched = included.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.hits;
+  }
+  return answer;
+}
+
+}  // namespace tiles
+}  // namespace vegaplus

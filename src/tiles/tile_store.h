@@ -1,0 +1,161 @@
+// Multi-resolution tile store: precomputed per-zoom-level aggregation
+// trees answering the bin+aggregate query shapes the VDT pipeline emits
+// without touching base rows.
+//
+// A *tree* covers one (table, bin column) pair. For a numeric column it
+// holds one *level* per distinct nice binning of the column's extent
+// (ComputeBinning for maxbins 1..max_maxbins, deduplicated on the exact
+// (start, step) pair, which is the same enumeration the client-side bin
+// transform performs — so a query's bound bin parameters match a level
+// exactly or not at all). For a dictionary-encoded string column it holds a
+// single level keyed by dictionary code (categorical bar charts).
+//
+// Each level stores, per bin slot (plus one trailing slot for rows whose
+// bin column is null):
+//   - rows        total rows landing in the slot (COUNT(*))
+//   - first_row   smallest base-table row index in the slot, which is the
+//                 group's first-seen position in any full-bin selection —
+//                 emitting included slots in ascending first_row reproduces
+//                 the executor's group output order exactly
+//   - measures    per numeric/bool/timestamp column: non-null count, sum,
+//                 min, max — enough for COUNT/SUM/AVG/MIN/MAX
+//
+// Bit-identity with base execution: slot accumulation runs over fixed
+// MorselRows()-sized chunks merged in chunk order, the same partial-state
+// discipline as the executor's AggChunkSize chunking, and min/max/merge
+// replicate AggState semantics (strict compares, NaN never displaces, first
+// valid initializes). COUNT/MIN/MAX are therefore bit-identical always;
+// SUM/AVG are bit-identical whenever the executor's chunk size equals
+// MorselRows() and the query selects whole bins over the full table — which
+// covers every shape the rewriter emits at interactive cardinalities — and
+// exact for any chunking when the addends are exactly representable
+// (integer or quantized data). Brushes are answered only when every slot is
+// entirely inside or entirely outside the brush (checked against the slot's
+// stored value min/max); a straddling slot falls back to base execution.
+//
+// Concurrency: TryAnswer is thread-safe. A missing tree is built by the
+// first requester (single-flight); concurrent requesters for the same tree
+// fall back to base execution instead of blocking. Staleness is detected by
+// TablePtr identity — re-registering a table drops its trees on next probe.
+#ifndef VEGAPLUS_TILES_TILE_STORE_H_
+#define VEGAPLUS_TILES_TILE_STORE_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "data/table.h"
+#include "expr/batch_eval.h"
+#include "sql/sql_ast.h"
+
+namespace vegaplus {
+namespace sql {
+class Engine;
+}  // namespace sql
+
+namespace tiles {
+
+/// Process-wide kill switch (default on). Middleware snapshots this via
+/// runtime::EngineConfig at construction; flipping it afterwards affects
+/// only middlewares constructed later.
+bool TileServingEnabled();
+void SetTileServingEnabled(bool enabled);
+
+struct TileStoreOptions {
+  /// Zoom levels are enumerated as ComputeBinning(extent, maxbins) for
+  /// maxbins in [1, max_maxbins], deduplicated on (start, step).
+  size_t max_maxbins = 512;
+  /// Safety cap on slots per level; a finer binning than this is skipped
+  /// (queries at that zoom fall back to base execution).
+  size_t max_level_bins = 4096;
+  /// When false, TryAnswer never builds trees — only pre-built trees hit.
+  bool build_on_miss = true;
+};
+
+struct TileStoreStats {
+  size_t hits = 0;             ///< queries answered from tiles
+  size_t shape_misses = 0;     ///< statement not a covered bin shape
+  size_t coverage_misses = 0;  ///< shape covered, tiles could not answer
+  size_t builds = 0;           ///< trees built (including unbuildable ones)
+  size_t build_conflicts = 0;  ///< fallbacks while another thread was building
+};
+
+struct TileAnswer {
+  data::TablePtr table;
+  /// Slots read to form the answer; the middleware's latency model charges
+  /// this instead of a base-table scan.
+  size_t bins_touched = 0;
+};
+
+class TileStore {
+ public:
+  /// `engine` supplies the catalog for table lookup; it must outlive the
+  /// store. The store never executes queries through the engine, so tile
+  /// hits leave the engine's lifetime stats untouched.
+  explicit TileStore(const sql::Engine* engine, TileStoreOptions options = {});
+
+  TileStore(const TileStore&) = delete;
+  TileStore& operator=(const TileStore&) = delete;
+
+  /// Answer a bound statement from tiles, or std::nullopt when the shape is
+  /// not covered, the tiles cannot answer it exactly, or the tree is being
+  /// built by another thread.
+  std::optional<TileAnswer> TryAnswer(const sql::SelectStmt& stmt);
+
+  /// Drop every tree for `table_name` (e.g. after re-registering data).
+  /// Stale trees are also dropped lazily on the next probe.
+  void Invalidate(const std::string& table_name);
+
+  TileStoreStats stats() const;
+  const TileStoreOptions& options() const { return options_; }
+
+ private:
+  struct Level {
+    double start = 0;
+    double step = 0;
+    /// Bin slots; vectors below are sized num_bins + 1 (trailing null slot).
+    size_t num_bins = 0;
+    std::vector<int64_t> rows;
+    std::vector<int64_t> first_row;
+    /// Measure slots by column name. The bin column is always present and
+    /// doubles as the brush-coverage index (per-slot value min/max).
+    std::vector<std::string> measure_names;
+    std::vector<expr::BinAggSlots> measure_slots;
+
+    const expr::BinAggSlots* FindMeasure(const std::string& name) const;
+  };
+
+  struct Tree {
+    data::TablePtr source;  ///< identity snapshot for staleness checks
+    bool categorical = false;
+    bool unbuildable = false;  ///< cached negative: never answers
+    std::vector<Level> levels;  ///< numeric: one per zoom; categorical: one
+    data::DictPtr dict;         ///< categorical key dictionary
+  };
+  using TreePtr = std::shared_ptr<const Tree>;
+
+  TreePtr GetOrBuildTree(const std::string& key, const std::string& table_name,
+                         const std::string& column, bool categorical,
+                         const data::TablePtr& table);
+  TreePtr BuildTree(const data::TablePtr& table, const std::string& column,
+                    bool categorical) const;
+  bool BuildLevel(const data::Table& table, const expr::Vec& bin_values,
+                  Level* level) const;
+
+  const sql::Engine* engine_;
+  const TileStoreOptions options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, TreePtr> trees_;
+  std::unordered_set<std::string> building_;
+  TileStoreStats stats_;
+};
+
+}  // namespace tiles
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_TILES_TILE_STORE_H_

@@ -16,6 +16,7 @@
 #include "runtime/cache.h"
 #include "spec/spec.h"
 #include "sql/sql_parser.h"
+#include "tiles/tile_store.h"
 #include "transforms/binning.h"
 
 namespace vegaplus {
@@ -55,6 +56,9 @@ TEST(BuildSanityTest, EveryModuleLinks) {
   auto parsed_spec = spec::ParseSpecText(R"({"signals": [], "data": []})");
   ASSERT_TRUE(parsed_spec.ok()) << parsed_spec.status().ToString();
   rewrite::PlanBuilder builder(*parsed_spec);
+
+  // tiles
+  EXPECT_TRUE(tiles::TileServingEnabled());
 
   // runtime
   runtime::QueryCache cache(/*capacity=*/4, /*max_result_rows=*/16);
