@@ -23,6 +23,12 @@ enum class StatusCode : int {
   kIOError = 7,
   kRuntimeError = 8,
   kCancelled = 9,
+  /// A request's deadline expired before a result could be produced. The
+  /// underlying work may still complete (e.g. a later Await can observe it).
+  kDeadlineExceeded = 10,
+  /// The backend is (possibly transiently) unable to serve: injected or real
+  /// DBMS outage, an open circuit breaker, or load shedding. Retryable.
+  kUnavailable = 11,
 };
 
 /// \brief Outcome of an operation: OK, or an error code plus message.
@@ -67,6 +73,12 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -84,6 +96,10 @@ class Status {
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsRuntimeError() const { return code() == StatusCode::kRuntimeError; }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// Human-readable "Code: message" string.
   std::string ToString() const {
@@ -103,6 +119,8 @@ class Status {
       case StatusCode::kIOError: return "IOError";
       case StatusCode::kRuntimeError: return "RuntimeError";
       case StatusCode::kCancelled: return "Cancelled";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kUnavailable: return "Unavailable";
     }
     return "Unknown";
   }

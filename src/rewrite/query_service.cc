@@ -9,6 +9,16 @@ Result<QueryResponse> QueryTicket::Await() {
   return response_;
 }
 
+Result<QueryResponse> QueryTicket::Await(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!cv_.wait_for(lock, timeout, [this] { return done_; })) {
+    // Timed out: the request stays in flight (no cancellation), so a later
+    // Await can still observe the result once it lands.
+    return Status::DeadlineExceeded("Await timed out; request still in flight");
+  }
+  return response_;
+}
+
 bool QueryTicket::Cancel() {
   std::lock_guard<std::mutex> lock(mu_);
   if (done_ || delivery_decided_) return false;

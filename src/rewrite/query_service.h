@@ -15,6 +15,7 @@
 #ifndef VEGAPLUS_REWRITE_QUERY_SERVICE_H_
 #define VEGAPLUS_REWRITE_QUERY_SERVICE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -38,13 +39,20 @@ struct QueryResponse {
   /// Encoded payload size that crossed the wire.
   size_t bytes = 0;
   /// Which tier answered (client cache / middleware cache / middleware tile
-  /// store / DBMS).
+  /// store / DBMS / the stale-result archive on a degraded serve).
   enum class Source {
     kClientCache,
     kServerCache,
     kTileStore,
+    kStaleCache,
     kDbms
   } source = Source::kDbms;
+  /// True when the middleware could not produce the exact fresh answer in
+  /// time (backend outage, open circuit breaker, expired deadline) and served
+  /// a bounded-latency substitute instead: a stale-but-previously-exact
+  /// cached result (kStaleCache) or a coarser precomputed tile level
+  /// (kTileStore). Clients should render it but may mark it provisional.
+  bool degraded = false;
 };
 
 /// Opaque id of a prepared statement within one QueryService (0 = invalid).
@@ -75,6 +83,12 @@ struct QueryRequest {
   /// deduplicated statement must not cancel each other). 0 scopes by
   /// statement handle alone.
   uint64_t client_id = 0;
+  /// Soft deadline in wall-clock milliseconds from Submit, 0 = none. The
+  /// service stops *starting* backend work (DBMS execution, retries, backoff
+  /// sleeps) once the deadline passes and resolves the ticket — with a
+  /// degraded response when one is available, else kDeadlineExceeded. Work
+  /// that already completed is still delivered (and cached), never wasted.
+  double deadline_ms = 0;
 };
 
 /// \brief Future-like handle for one submitted query.
@@ -89,6 +103,13 @@ class QueryTicket {
 
   /// Block until the response (or error / cancellation) is available.
   Result<QueryResponse> Await();
+
+  /// Bounded wait: like Await() but gives up after `timeout`, returning
+  /// kDeadlineExceeded. The timeout does NOT cancel the in-flight work — the
+  /// request keeps executing and a later Await()/Await(timeout) call can
+  /// still pick up the eventual result. Callers that want to abandon the
+  /// work as well should Cancel() after the timeout.
+  Result<QueryResponse> Await(std::chrono::milliseconds timeout);
 
   /// Request cancellation. A ticket cancelled before execution starts never
   /// touches the DBMS; one cancelled mid-execution still resolves to

@@ -1,0 +1,87 @@
+#include "runtime/circuit_breaker.h"
+
+#include <chrono>
+#include <utility>
+
+namespace vegaplus {
+namespace runtime {
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(std::move(options)) {}
+
+double CircuitBreaker::NowMs() const {
+  if (options_.clock_ms) return options_.clock_ms();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void CircuitBreaker::OpenLocked(Entry* entry) {
+  entry->state = State::kOpen;
+  entry->opened_at_ms = NowMs();
+  entry->probe_in_flight = false;
+  ++open_transitions_;
+}
+
+bool CircuitBreaker::Admit(const std::string& scope) {
+  if (!options_.enabled) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[scope];
+  switch (entry.state) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (NowMs() - entry.opened_at_ms < options_.open_ms) return false;
+      entry.state = State::kHalfOpen;
+      entry.probe_in_flight = true;
+      return true;  // this caller is the probe
+    case State::kHalfOpen:
+      // One probe at a time; everyone else keeps failing fast. If the probe
+      // died without reporting (cancelled mid-flight), admit a new one.
+      if (entry.probe_in_flight) return false;
+      entry.probe_in_flight = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess(const std::string& scope) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[scope];
+  entry.consecutive_failures = 0;
+  entry.probe_in_flight = false;
+  entry.state = State::kClosed;
+}
+
+void CircuitBreaker::RecordFailure(const std::string& scope) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[scope];
+  switch (entry.state) {
+    case State::kHalfOpen:
+      OpenLocked(&entry);  // probe failed: back to open, timer restarts
+      break;
+    case State::kClosed:
+      if (++entry.consecutive_failures >= options_.failure_threshold) {
+        OpenLocked(&entry);
+      }
+      break;
+    case State::kOpen:
+      break;  // late report from an execution admitted before opening
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state(const std::string& scope) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(scope);
+  return it == entries_.end() ? State::kClosed : it->second.state;
+}
+
+size_t CircuitBreaker::open_transitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_transitions_;
+}
+
+}  // namespace runtime
+}  // namespace vegaplus

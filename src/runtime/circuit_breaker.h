@@ -1,0 +1,83 @@
+// Per-statement circuit breaker: a dead backend statement should fail fast,
+// not burn a worker (and the retry budget) on every request.
+//
+// Classic three-state machine, one instance per scope key (the middleware
+// scopes by canonical statement):
+//
+//   closed ──K consecutive transient failures──▶ open
+//   open   ──open_ms elapsed──▶ half-open (admits exactly one probe)
+//   half-open ──probe succeeds──▶ closed
+//   half-open ──probe fails────▶ open (timer restarts)
+//
+// While open, Admit() returns false and the middleware resolves the request
+// immediately (degraded response or kUnavailable) without touching a worker-
+// visible backend. Only *transient* failures (kUnavailable, kIOError) should
+// be recorded — a parse or type error says nothing about backend health.
+//
+// The clock is injectable so state transitions are testable without real
+// sleeps; production uses steady_clock.
+#ifndef VEGAPLUS_RUNTIME_CIRCUIT_BREAKER_H_
+#define VEGAPLUS_RUNTIME_CIRCUIT_BREAKER_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace vegaplus {
+namespace runtime {
+
+struct CircuitBreakerOptions {
+  bool enabled = true;
+  /// Consecutive transient failures that open the breaker.
+  size_t failure_threshold = 5;
+  /// How long an open breaker rejects before admitting a half-open probe.
+  double open_ms = 250.0;
+  /// Test hook: monotonic now() in milliseconds. Null = steady_clock.
+  std::function<double()> clock_ms;
+};
+
+/// \brief Thread-safe keyed circuit breaker.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerOptions options);
+
+  /// May a request for `scope` execute now? Open breakers reject until
+  /// open_ms has elapsed, then admit exactly one half-open probe; further
+  /// requests keep failing fast until that probe's outcome is recorded.
+  /// Always true when disabled.
+  bool Admit(const std::string& scope);
+
+  /// Record the outcome of an admitted execution. Success closes a half-open
+  /// breaker and resets the failure streak; a transient failure extends the
+  /// streak (possibly opening the breaker) or re-opens a half-open one.
+  void RecordSuccess(const std::string& scope);
+  void RecordFailure(const std::string& scope);
+
+  State state(const std::string& scope) const;
+  /// Closed->open and half-open->open transitions so far (monotonic).
+  size_t open_transitions() const;
+
+ private:
+  struct Entry {
+    State state = State::kClosed;
+    size_t consecutive_failures = 0;
+    double opened_at_ms = 0;
+    bool probe_in_flight = false;
+  };
+
+  double NowMs() const;
+  void OpenLocked(Entry* entry);
+
+  mutable std::mutex mu_;
+  const CircuitBreakerOptions options_;
+  std::unordered_map<std::string, Entry> entries_;
+  size_t open_transitions_ = 0;
+};
+
+}  // namespace runtime
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_RUNTIME_CIRCUIT_BREAKER_H_

@@ -1,0 +1,80 @@
+#include "runtime/fault_injector.h"
+
+#include <utility>
+
+#include "common/random.h"
+
+namespace vegaplus {
+namespace runtime {
+
+namespace {
+
+// FNV-1a over the key: stable across platforms (std::hash is not), so the
+// probabilistic schedule replays identically everywhere.
+uint64_t HashKey(const std::string& key) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultInjectorOptions options)
+    : options_(std::move(options)) {}
+
+FaultDecision FaultInjector::OnDbmsExecute(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t attempt = attempts_by_key_[key]++;
+  ++total_attempts_;
+
+  FaultDecision decision;
+  for (const FaultRule& rule : options_.rules) {
+    if (!rule.match.empty() && key.find(rule.match) == std::string::npos) {
+      continue;
+    }
+    decision.stall_ms = rule.stall_ms;
+    bool fail = rule.permanent || attempt < rule.fail_times;
+    if (!fail && rule.fail_probability > 0) {
+      // One deterministic draw per (seed, key, attempt): mix the attempt
+      // index into the seed so consecutive attempts get independent verdicts.
+      Rng rng(options_.seed ^ HashKey(key) ^
+              (0x9E3779B97F4A7C15ull * (attempt + 1)));
+      fail = rng.NextDouble() < rule.fail_probability;
+    }
+    if (fail) {
+      decision.fail = true;
+      decision.status =
+          Status(rule.code, "injected fault (attempt " +
+                                std::to_string(attempt + 1) + ")");
+      ++injected_failures_;
+    }
+    break;  // first matching rule wins
+  }
+  return decision;
+}
+
+void FaultInjector::AddRule(FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.rules.push_back(std::move(rule));
+}
+
+void FaultInjector::ClearRules() {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.rules.clear();
+}
+
+size_t FaultInjector::injected_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_failures_;
+}
+
+size_t FaultInjector::attempts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_attempts_;
+}
+
+}  // namespace runtime
+}  // namespace vegaplus

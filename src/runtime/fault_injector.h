@@ -1,0 +1,103 @@
+// Deterministic fault injection for the middleware's DBMS execution path.
+//
+// The injector sits exactly where MiddlewareOptions::before_dbms_execute
+// fires — after every cache and tile tier has missed, immediately before the
+// engine would run — and decides the fate of each execution *attempt*:
+// succeed, fail with a configured status, and/or stall for a fixed simulated
+// DBMS latency. Decisions are a pure function of (seed, query key, per-key
+// attempt number), so a chaos test or bench replays bit-identically run to
+// run regardless of thread interleaving: the Nth attempt of a given query
+// always gets the same verdict.
+//
+// Rules match on a substring of the query's cache key (canonical SQL +
+// rendered bound parameters), so one rule can target a single statement, a
+// whole table (its name appears in the canonical SQL), or everything (empty
+// match). The first matching rule wins. Supported schedules:
+//   * fail_times = N      fail the first N attempts of each distinct query,
+//                         then succeed (transient fault; exercises retry)
+//   * permanent = true    every attempt fails (dead statement / table;
+//                         exercises the circuit breaker and degraded serving)
+//   * fail_probability    per-attempt Bernoulli failure, hashed from
+//                         (seed, key, attempt) — random-looking but replayable
+//   * stall_ms            wall-clock stall added before the verdict (slow
+//                         backend; exercises deadlines and tail latency)
+#ifndef VEGAPLUS_RUNTIME_FAULT_INJECTOR_H_
+#define VEGAPLUS_RUNTIME_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vegaplus {
+namespace runtime {
+
+struct FaultRule {
+  /// Substring of the query cache key this rule applies to ("" = all
+  /// queries). Keys look like "<canonical sql>\x1f<param>=<literal>...".
+  std::string match;
+  /// Fail the first `fail_times` attempts of each distinct query key, then
+  /// succeed. Attempts are counted per key across retries and resubmissions.
+  size_t fail_times = 0;
+  /// Permanent outage: every attempt fails regardless of the counters.
+  bool permanent = false;
+  /// After `fail_times` is exhausted, fail each attempt with this
+  /// probability, decided deterministically from (seed, key, attempt).
+  double fail_probability = 0;
+  /// Wall-clock stall applied to every matching attempt (before the verdict),
+  /// simulating a slow backend. The middleware caps the actual sleep at the
+  /// request's remaining deadline but charges the full stall as simulated
+  /// server latency.
+  double stall_ms = 0;
+  /// Status code injected failures carry. kUnavailable (default) is
+  /// transient — the middleware retries it; most other codes are terminal.
+  StatusCode code = StatusCode::kUnavailable;
+};
+
+struct FaultInjectorOptions {
+  /// Seed for the probabilistic schedule; same seed => same verdicts.
+  uint64_t seed = 42;
+  std::vector<FaultRule> rules;
+};
+
+/// Verdict for one execution attempt.
+struct FaultDecision {
+  bool fail = false;
+  Status status;        ///< set iff fail
+  double stall_ms = 0;  ///< backend stall to simulate before the outcome
+};
+
+/// \brief Thread-safe deterministic fault schedule, keyed per query.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultInjectorOptions options);
+
+  /// Decide the fate of the next execution attempt of `key`. Increments the
+  /// per-key attempt counter.
+  FaultDecision OnDbmsExecute(const std::string& key);
+
+  /// Rules are mutable at runtime so tests can flip a healthy backend into
+  /// an outage (and back) mid-scenario. Attempt counters are preserved.
+  void AddRule(FaultRule rule);
+  void ClearRules();
+
+  /// Attempts that were failed by the schedule so far.
+  size_t injected_failures() const;
+  /// Total attempts inspected (failed or not).
+  size_t attempts() const;
+
+ private:
+  mutable std::mutex mu_;
+  FaultInjectorOptions options_;
+  std::unordered_map<std::string, size_t> attempts_by_key_;
+  size_t injected_failures_ = 0;
+  size_t total_attempts_ = 0;
+};
+
+}  // namespace runtime
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_RUNTIME_FAULT_INJECTOR_H_

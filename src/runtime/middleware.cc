@@ -1,8 +1,12 @@
 #include "runtime/middleware.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
 #include <utility>
 
+#include "common/random.h"
 #include "data/ipc.h"
 #include "expr/sql_translator.h"
 
@@ -15,6 +19,59 @@ using rewrite::QueryRequest;
 using rewrite::QueryResponse;
 using rewrite::QueryTicket;
 using rewrite::QueryTicketPtr;
+
+namespace {
+
+using Deadline = std::optional<std::chrono::steady_clock::time_point>;
+
+// FNV-1a, for deterministic per-(key, attempt) backoff jitter.
+uint64_t HashKey(const std::string& key) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// Sum `from` into `into`, field by field.
+void Accumulate(SessionStats* into, const SessionStats& from) {
+  into->submitted += from.submitted;
+  into->queries += from.queries;
+  into->client_cache_hits += from.client_cache_hits;
+  into->server_cache_hits += from.server_cache_hits;
+  into->tile_hits += from.tile_hits;
+  into->dbms_executions += from.dbms_executions;
+  into->cancelled += from.cancelled;
+  into->errors += from.errors;
+  into->retries += from.retries;
+  into->deadline_exceeded += from.deadline_exceeded;
+  into->shed += from.shed;
+  into->degraded_responses += from.degraded_responses;
+  into->bytes_transferred += from.bytes_transferred;
+  into->total_latency_ms += from.total_latency_ms;
+}
+
+// Sleep for `ms`, but never past `deadline`; the caller re-checks the
+// deadline afterwards.
+void SleepCapped(double ms, const Deadline& deadline) {
+  if (ms <= 0) return;
+  auto wake = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(ms));
+  if (deadline && *deadline < wake) wake = *deadline;
+  std::this_thread::sleep_until(wake);
+}
+
+bool PastDeadline(const Deadline& deadline) {
+  return deadline && std::chrono::steady_clock::now() >= *deadline;
+}
+
+bool IsTransient(const Status& st) {
+  return st.IsUnavailable() || st.IsIOError();
+}
+
+}  // namespace
 
 size_t EstimateEncodedBytes(const data::Table& table, bool binary, size_t sample_rows) {
   const size_t n = table.num_rows();
@@ -36,9 +93,11 @@ size_t EstimateEncodedBytes(const data::Table& table, bool binary, size_t sample
 // ---- Session ----
 
 Session::Session(Middleware* owner, uint64_t id, size_t cache_capacity,
-                 size_t cache_max_result_rows, QueryCache::Policy cache_policy)
+                 size_t cache_max_result_rows, QueryCache::Policy cache_policy,
+                 std::shared_ptr<SessionStatsBlock> stats_block)
     : owner_(owner), id_(id),
-      cache_(cache_capacity, cache_max_result_rows, cache_policy) {}
+      cache_(cache_capacity, cache_max_result_rows, cache_policy),
+      stats_block_(std::move(stats_block)) {}
 
 Result<QueryResponse> Session::Execute(const std::string& sql) {
   // Transient registration: ad-hoc literal-inlined SQL must not pin a
@@ -71,10 +130,17 @@ QueryTicketPtr Session::Submit(const QueryRequest& request) {
   std::string key = Middleware::CacheKeyFor(*stmt, request.params);
   auto ticket = std::make_shared<QueryTicket>(request.generation);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.submitted;
+    std::lock_guard<std::mutex> lock(stats_block_->mu);
+    ++stats_block_->stats.submitted;
   }
-  owner_->RecordSubmitted();
+  // The deadline is anchored at submit time: queue wait, single-flight wait,
+  // backoff — everything counts against it.
+  Deadline deadline;
+  if (request.deadline_ms > 0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double, std::milli>(request.deadline_ms));
+  }
 
   // Supersession: a newer generation within the same scope makes the older
   // in-flight request dead weight — cancel instead of decoding it. Sync
@@ -132,24 +198,38 @@ QueryTicketPtr Session::Submit(const QueryRequest& request) {
     return ticket;
   }
 
-  const bool accepted = owner_->pool_->Submit(
+  switch (owner_->pool_->TrySubmit(
       [owner = owner_, self = shared_from_this(), ticket, stmt,
-       params = request.params, key = std::move(key)]() mutable {
+       params = request.params, key = std::move(key), deadline]() mutable {
         owner->RunQueryTask(std::move(self), std::move(ticket), std::move(stmt),
-                            std::move(params), std::move(key));
-      });
-  if (!accepted) {
-    // Pool already shutting down: no worker will ever run the task, so the
-    // ticket must resolve here — otherwise Await would hang forever.
-    ticket->Cancel();
-    owner_->RecordCancelled(this);
+                            std::move(params), std::move(key), deadline);
+      })) {
+    case WorkerPool::Admission::kAccepted:
+      break;
+    case WorkerPool::Admission::kShed:
+      // Bounded queue full: refuse now rather than queue a result the
+      // client will receive long after it stopped caring.
+      if (ticket->CommitDelivery()) {
+        owner_->RecordShed(this);
+      } else {
+        owner_->RecordCancelled(this);
+      }
+      ticket->Deliver(
+          Status::Unavailable("middleware overloaded: request shed"));
+      break;
+    case WorkerPool::Admission::kShutdown:
+      // Pool already shutting down: no worker will ever run the task, so the
+      // ticket must resolve here — otherwise Await would hang forever.
+      ticket->Cancel();
+      owner_->RecordCancelled(this);
+      break;
   }
   return ticket;
 }
 
 Session::Stats Session::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  std::lock_guard<std::mutex> lock(stats_block_->mu);
+  return stats_block_->stats;
 }
 
 void Session::ClearCache() {
@@ -174,9 +254,16 @@ Middleware::Middleware(const sql::Engine* engine, MiddlewareOptions options)
       engine_config_(options_.engine_config.value_or(EngineConfig::Current())),
       server_cache_(options_.enable_server_cache ? options_.cache_capacity : 0,
                     options_.cache_max_result_rows, options_.cache_policy),
-      pool_(std::make_unique<WorkerPool>(options_.worker_threads)) {
+      stale_cache_(options_.enable_degraded_serving ? options_.stale_cache_capacity : 0,
+                   options_.cache_max_result_rows, QueryCache::Policy::kLru),
+      breaker_(std::make_unique<CircuitBreaker>(options_.circuit_breaker)),
+      pool_(std::make_unique<WorkerPool>(options_.worker_threads,
+                                         options_.max_queue_depth)) {
   if (engine_config_.tile_serving) {
     tile_store_ = std::make_unique<tiles::TileStore>(engine_, options_.tile_options);
+  }
+  if (options_.fault_injection.has_value()) {
+    fault_injector_ = std::make_unique<FaultInjector>(*options_.fault_injection);
   }
   default_session_ = CreateSession();
 }
@@ -190,17 +277,14 @@ void Middleware::Shutdown() { pool_->Shutdown(); }
 std::shared_ptr<Session> Middleware::CreateSession() {
   std::lock_guard<std::mutex> lock(mu_);
   size_t client_capacity = options_.enable_client_cache ? options_.cache_capacity : 0;
+  auto block = std::make_shared<SessionStatsBlock>();
   auto session = std::shared_ptr<Session>(
       new Session(this, next_session_id_++, client_capacity,
-                  options_.cache_max_result_rows, options_.cache_policy));
-  // Prune dead sessions while we are here (benchmarks create many).
-  sessions_.erase(std::remove_if(sessions_.begin(), sessions_.end(),
-                                 [](const std::weak_ptr<Session>& w) {
-                                   return w.expired();
-                                 }),
-                  sessions_.end());
-  sessions_.push_back(session);
-  ++stats_.sessions;
+                  options_.cache_max_result_rows, options_.cache_policy, block));
+  // Fold and drop dead sessions while we are here (benchmarks create many).
+  PruneSessionsLocked();
+  sessions_.push_back(SessionSlot{session, std::move(block)});
+  ++sessions_created_;
   return session;
 }
 
@@ -248,7 +332,7 @@ Result<PreparedHandle> Middleware::PrepareShared(const std::string& sql_template
   }
   by_canonical_.emplace(entry.stmt->canonical_sql, handle);
   statements_.emplace(handle, std::move(entry));
-  ++stats_.prepared_statements;
+  ++prepared_statements_created_;
   EvictStatementsLocked();
   return handle;
 }
@@ -340,10 +424,18 @@ std::string Middleware::CacheKeyFor(const sql::PreparedStatement& stmt,
 // at our pool sizes since duplicates collapse within one wave; a per-key
 // waiter list resolved in the leader's epilogue would free the thread if
 // pools grow large.
-void Middleware::EnterInFlight(const std::string& key) {
+bool Middleware::EnterInFlight(const std::string& key,
+                               std::optional<std::chrono::steady_clock::time_point>
+                                   deadline) {
   std::unique_lock<std::mutex> lock(flight_mu_);
-  flight_cv_.wait(lock, [&] { return in_flight_.count(key) == 0; });
+  const auto free = [&] { return in_flight_.count(key) == 0; };
+  if (deadline) {
+    if (!flight_cv_.wait_until(lock, *deadline, free)) return false;
+  } else {
+    flight_cv_.wait(lock, free);
+  }
   in_flight_.insert(key);
+  return true;
 }
 
 void Middleware::LeaveInFlight(const std::string& key) {
@@ -356,16 +448,86 @@ void Middleware::LeaveInFlight(const std::string& key) {
 
 void Middleware::RunQueryTask(std::shared_ptr<Session> session, QueryTicketPtr ticket,
                               sql::PreparedPtr stmt, std::vector<QueryParam> params,
-                              std::string key) {
+                              std::string key, Deadline deadline) {
   if (!ticket->BeginExecution()) {
     // Cancelled while queued: the ticket already resolved to Cancelled.
     RecordCancelled(session.get());
     return;
   }
 
+  auto deliver_error = [&](const Status& st) {
+    if (ticket->CommitDelivery()) {
+      RecordError(session.get(), st);
+    } else {
+      RecordCancelled(session.get());
+    }
+    ticket->Deliver(Status(st.code(), "middleware: " + st.message() + " [" +
+                                          stmt->canonical_sql + "]"));
+  };
+
+  // Bind first: a malformed request fails fast without claiming the
+  // single-flight slot or touching the fault machinery. The tile probe and
+  // the DBMS both consume the bound AST, so parameter resolution cost (and
+  // errors) are shared. Splitting ExecuteBound into Bind + Execute is
+  // behavior-preserving: that is exactly its implementation.
+  rewrite::ParamResolver resolver(params);
+  auto bound = sql::BindStatement(*stmt->stmt, resolver);
+  if (!bound.ok()) {
+    deliver_error(bound.status());
+    return;
+  }
+
+  auto deliver_response = [&](QueryResponse resp) {
+    if (ticket->CommitDelivery()) {
+      RecordCompletion(session.get(), resp);
+    } else {
+      RecordCancelled(session.get());
+    }
+    ticket->Deliver(std::move(resp));
+  };
+
+  // Degraded fallback for every "fresh execution impossible" exit: an
+  // archived stale result for this exact key, else the same shape answered
+  // from a coarser already-built tile level. False = nothing servable.
+  auto deliver_degraded = [&]() -> bool {
+    if (!options_.enable_degraded_serving) return false;
+    QueryResponse resp;
+    resp.degraded = true;
+    bool have_stale;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      have_stale = stale_cache_.Get(key, &resp.table);
+    }
+    if (have_stale) {
+      resp.bytes = EstimateEncodedBytes(*resp.table, options_.binary_encoding);
+      // No server compute: the archived bytes just cross the wire.
+      resp.latency_millis =
+          TransferMillis(resp.bytes, options_.binary_encoding, options_.latency);
+      resp.source = QueryResponse::Source::kStaleCache;
+    } else {
+      if (tile_store_ == nullptr) return false;
+      std::optional<tiles::TileAnswer> tile = tile_store_->TryAnswerCoarser(**bound);
+      if (!tile.has_value()) return false;
+      resp.table = tile->table;
+      resp.bytes = EstimateEncodedBytes(*resp.table, options_.binary_encoding);
+      resp.latency_millis =
+          ServerComputeMillis(tile->bins_touched, 1, options_.latency) +
+          TransferMillis(resp.bytes, options_.binary_encoding, options_.latency);
+      resp.source = QueryResponse::Source::kTileStore;
+    }
+    deliver_response(std::move(resp));
+    return true;
+  };
+
   // Single-flight: identical concurrent queries execute once; followers wait
   // and then resolve from the cache the leader filled.
-  EnterInFlight(key);
+  if (!EnterInFlight(key, deadline)) {
+    // Deadline expired while parked behind the leader.
+    if (!deliver_degraded()) {
+      deliver_error(Status::DeadlineExceeded("deadline expired awaiting execution"));
+    }
+    return;
+  }
 
   // Note: a same-session duplicate that completed while this task was
   // queued resolves through the *server* cache below, not the session
@@ -373,173 +535,268 @@ void Middleware::RunQueryTask(std::shared_ptr<Session> session, QueryTicketPtr t
   // modeled system still pays the round trip and transfer.
   QueryResponse response;
   bool from_dbms = false;
+  bool server_hit;
   {
-    bool server_hit;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      server_hit = server_cache_.Get(key, &response.table);
+    std::lock_guard<std::mutex> lock(mu_);
+    server_hit = server_cache_.Get(key, &response.table);
+  }
+  if (server_hit) {
+    response.bytes = EstimateEncodedBytes(*response.table, options_.binary_encoding);
+    response.latency_millis =
+        TransferMillis(response.bytes, options_.binary_encoding, options_.latency);
+    response.source = QueryResponse::Source::kServerCache;
+  } else {
+    if (PastDeadline(deadline)) {
+      // The deadline gates *starting* backend work; a result that exists
+      // already (cache tiers above, degraded below) is still fair game.
+      LeaveInFlight(key);
+      if (!deliver_degraded()) {
+        deliver_error(Status::DeadlineExceeded("deadline expired before execution"));
+      }
+      return;
     }
-    if (server_hit) {
+    std::optional<tiles::TileAnswer> tile;
+    if (tile_store_ != nullptr) tile = tile_store_->TryAnswer(**bound);
+    if (tile.has_value()) {
+      // Served from the precomputed aggregation tree: the server touches
+      // `bins_touched` slots instead of scanning base rows.
+      response.table = tile->table;
       response.bytes = EstimateEncodedBytes(*response.table, options_.binary_encoding);
       response.latency_millis =
+          ServerComputeMillis(tile->bins_touched, 1, options_.latency) +
           TransferMillis(response.bytes, options_.binary_encoding, options_.latency);
-      response.source = QueryResponse::Source::kServerCache;
+      response.source = QueryResponse::Source::kTileStore;
     } else {
-      // Bind once; the tile probe and the DBMS both consume the bound AST,
-      // so parameter resolution cost (and errors) are shared. Splitting
-      // ExecuteBound into Bind + Execute is behavior-preserving: that is
-      // exactly its implementation.
-      rewrite::ParamResolver resolver(params);
-      auto deliver_error = [&](const Status& st) {
-        LeaveInFlight(key);
-        if (ticket->CommitDelivery()) {
-          RecordError(session.get());
-        } else {
-          RecordCancelled(session.get());
+      // ---- DBMS execution: retry transient failures under the breaker ----
+      const std::string& scope = stmt->canonical_sql;
+      const size_t max_attempts = std::max<size_t>(1, options_.retry.max_attempts);
+      double fault_latency_ms = 0;  // injected stalls, charged as server time
+      Status failure;
+      bool degradable = false;  // only transient/deadline failures may degrade
+      for (size_t attempt = 0;; ++attempt) {
+        if (!breaker_->Admit(scope)) {
+          // Fast fail: a known-dead statement should not burn this worker.
+          failure = Status::Unavailable("circuit breaker open for statement");
+          degradable = true;
+          break;
         }
-        ticket->Deliver(Status(st.code(), "middleware: " + st.message() + " [" +
-                                              stmt->canonical_sql + "]"));
-      };
-      auto bound = sql::BindStatement(*stmt->stmt, resolver);
-      if (!bound.ok()) {
-        deliver_error(bound.status());
+        if (options_.before_dbms_execute) options_.before_dbms_execute(key);
+        Status injected;  // ok unless the injector fails this attempt
+        if (fault_injector_ != nullptr) {
+          FaultDecision fate = fault_injector_->OnDbmsExecute(key);
+          if (fate.stall_ms > 0) {
+            // Real sleep capped at the deadline; the *full* stall is still
+            // charged as simulated latency (the modeled backend was slow).
+            fault_latency_ms += fate.stall_ms;
+            SleepCapped(fate.stall_ms, deadline);
+          }
+          if (fate.fail) injected = fate.status;
+        }
+        if (PastDeadline(deadline)) {
+          failure = Status::DeadlineExceeded("deadline expired before DBMS execution");
+          degradable = true;
+          break;
+        }
+        Result<sql::QueryResult> result = injected.ok()
+                                              ? engine_->Execute(**bound)
+                                              : Result<sql::QueryResult>(injected);
+        if (result.ok()) {
+          breaker_->RecordSuccess(scope);
+          from_dbms = true;
+          response.table = result->table;
+          response.bytes =
+              EstimateEncodedBytes(*response.table, options_.binary_encoding);
+          response.latency_millis =
+              ServerComputeMillis(result->stats.rows_processed + result->stats.rows_scanned,
+                                  result->stats.num_operators, options_.latency) +
+              fault_latency_ms +
+              TransferMillis(response.bytes, options_.binary_encoding, options_.latency);
+          response.source = QueryResponse::Source::kDbms;
+          break;
+        }
+        const Status& st = result.status();
+        if (!IsTransient(st)) {
+          // Logic error (parse/type/plan): retrying cannot help, and a
+          // degraded response would mask a real bug. Surface it as-is.
+          failure = st;
+          break;
+        }
+        breaker_->RecordFailure(scope);
+        if (ticket->cancel_requested()) {
+          // Superseded mid-retry: the result is dead weight; never re-spend.
+          failure = st;
+          break;
+        }
+        if (attempt + 1 >= max_attempts) {
+          failure = st;
+          degradable = true;
+          break;
+        }
+        double backoff = options_.retry.initial_backoff_ms *
+                         std::pow(options_.retry.backoff_multiplier,
+                                  static_cast<double>(attempt));
+        backoff = std::min(backoff, options_.retry.max_backoff_ms);
+        // Deterministic jitter in [1 - j/2, 1 + j/2), drawn per (key,
+        // attempt) so replays back off identically.
+        Rng jitter_rng(HashKey(key) ^ (0x9E3779B97F4A7C15ull * (attempt + 1)));
+        backoff *= 1.0 + options_.retry.jitter * (jitter_rng.NextDouble() - 0.5);
+        RecordRetry(session.get());
+        SleepCapped(backoff, deadline);
+        if (PastDeadline(deadline)) {
+          failure = Status::DeadlineExceeded("deadline expired during retry backoff");
+          degradable = true;
+          break;
+        }
+      }
+      if (!from_dbms) {
+        LeaveInFlight(key);
+        if (!degradable || !deliver_degraded()) deliver_error(failure);
         return;
       }
-      std::optional<tiles::TileAnswer> tile;
-      if (tile_store_ != nullptr) tile = tile_store_->TryAnswer(**bound);
-      if (tile.has_value()) {
-        // Served from the precomputed aggregation tree: the server touches
-        // `bins_touched` slots instead of scanning base rows.
-        response.table = tile->table;
-        response.bytes = EstimateEncodedBytes(*response.table, options_.binary_encoding);
-        response.latency_millis =
-            ServerComputeMillis(tile->bins_touched, 1, options_.latency) +
-            TransferMillis(response.bytes, options_.binary_encoding, options_.latency);
-        response.source = QueryResponse::Source::kTileStore;
-      } else {
-        if (options_.before_dbms_execute) options_.before_dbms_execute(key);
-        auto result = engine_->Execute(**bound);
-        if (!result.ok()) {
-          deliver_error(result.status());
-          return;
-        }
-        from_dbms = true;
-        response.table = result->table;
-        response.bytes = EstimateEncodedBytes(*response.table, options_.binary_encoding);
-        response.latency_millis =
-            ServerComputeMillis(result->stats.rows_processed + result->stats.rows_scanned,
-                                result->stats.num_operators, options_.latency) +
-            TransferMillis(response.bytes, options_.binary_encoding, options_.latency);
-        response.source = QueryResponse::Source::kDbms;
-      }
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        server_cache_.Put(key, response.table);
-      }
     }
-    session->CachePut(key, response.table);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      server_cache_.Put(key, response.table);
+      // Archive for degraded serving; unlike the tier above this copy is
+      // served (marked stale) even after ClearCaches or under outage.
+      stale_cache_.Put(key, response.table);
+    }
   }
+  session->CachePut(key, response.table);
   LeaveInFlight(key);
 
   if (from_dbms) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.dbms_executions;
-    std::lock_guard<std::mutex> slock(session->mu_);
-    ++session->stats_.dbms_executions;
+    std::lock_guard<std::mutex> lock(session->stats_block_->mu);
+    ++session->stats_block_->stats.dbms_executions;
   }
-
-  if (ticket->CommitDelivery()) {
-    RecordCompletion(session.get(), response);
-  } else {
-    RecordCancelled(session.get());
-  }
-  ticket->Deliver(std::move(response));
+  deliver_response(std::move(response));
 }
 
-void Middleware::RecordSubmitted() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.submitted;
-}
-
-// dbms_executions is counted at execution time in RunQueryTask (the work
-// happened even when the delivery is later turned into a cancellation), so
-// completion recording only attributes the delivery tier.
+// Stats are recorded once, into the owning session's shared block; fleet
+// totals are computed on read by summing live blocks plus the retired
+// accumulator. dbms_executions is counted at execution time in RunQueryTask
+// (the work happened even when the delivery is later turned into a
+// cancellation), so completion recording only attributes the delivery tier.
 void Middleware::RecordCompletion(Session* session, const QueryResponse& response) {
-  auto bump = [&response](auto* stats) {
-    ++stats->queries;
-    switch (response.source) {
-      case QueryResponse::Source::kClientCache:
-        ++stats->client_cache_hits;
-        break;
-      case QueryResponse::Source::kServerCache:
-        ++stats->server_cache_hits;
-        break;
-      case QueryResponse::Source::kTileStore:
-        ++stats->tile_hits;
-        break;
-      case QueryResponse::Source::kDbms:
-        break;  // counted at execution time
-    }
-    stats->bytes_transferred += response.bytes;
-    stats->total_latency_ms += response.latency_millis;
-  };
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    bump(&stats_);
+  std::lock_guard<std::mutex> lock(session->stats_block_->mu);
+  SessionStats& stats = session->stats_block_->stats;
+  ++stats.queries;
+  switch (response.source) {
+    case QueryResponse::Source::kClientCache:
+      ++stats.client_cache_hits;
+      break;
+    case QueryResponse::Source::kServerCache:
+      ++stats.server_cache_hits;
+      break;
+    case QueryResponse::Source::kTileStore:
+      ++stats.tile_hits;
+      break;
+    case QueryResponse::Source::kStaleCache:
+      break;  // attributed via degraded_responses below
+    case QueryResponse::Source::kDbms:
+      break;  // counted at execution time
   }
-  std::lock_guard<std::mutex> lock(session->mu_);
-  bump(&session->stats_);
+  if (response.degraded) ++stats.degraded_responses;
+  stats.bytes_transferred += response.bytes;
+  stats.total_latency_ms += response.latency_millis;
 }
 
 void Middleware::RecordCancelled(Session* session) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.cancelled;
-  }
-  std::lock_guard<std::mutex> lock(session->mu_);
-  ++session->stats_.cancelled;
+  std::lock_guard<std::mutex> lock(session->stats_block_->mu);
+  ++session->stats_block_->stats.cancelled;
 }
 
-void Middleware::RecordError(Session* session) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.errors;
+void Middleware::RecordError(Session* session, const Status& status) {
+  std::lock_guard<std::mutex> lock(session->stats_block_->mu);
+  ++session->stats_block_->stats.errors;
+  if (status.IsDeadlineExceeded()) {
+    ++session->stats_block_->stats.deadline_exceeded;
   }
-  std::lock_guard<std::mutex> lock(session->mu_);
-  ++session->stats_.errors;
+}
+
+void Middleware::RecordRetry(Session* session) {
+  std::lock_guard<std::mutex> lock(session->stats_block_->mu);
+  ++session->stats_block_->stats.retries;
+}
+
+// Shed requests are errors (the client got kUnavailable), with the shed
+// counter attributing the cause.
+void Middleware::RecordShed(Session* session) {
+  std::lock_guard<std::mutex> lock(session->stats_block_->mu);
+  ++session->stats_block_->stats.shed;
+  ++session->stats_block_->stats.errors;
+}
+
+void Middleware::PruneSessionsLocked() const {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->session.expired()) {
+      // The block outlives the session (the slot holds it), so a retired
+      // session's history folds in atomically — totals never dip. Keep the
+      // block alive past the erase: destroying it while block_lock still
+      // holds its mutex would unlock a dead mutex.
+      std::shared_ptr<SessionStatsBlock> block = std::move(it->stats);
+      {
+        std::lock_guard<std::mutex> block_lock(block->mu);
+        Accumulate(&retired_stats_, block->stats);
+      }
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 Middleware::Stats Middleware::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  PruneSessionsLocked();
+  SessionStats total = retired_stats_;
+  for (const auto& slot : sessions_) {
+    std::lock_guard<std::mutex> block_lock(slot.stats->mu);
+    Accumulate(&total, slot.stats->stats);
+  }
+  Stats out;
+  out.queries = total.queries;
+  out.submitted = total.submitted;
+  out.client_cache_hits = total.client_cache_hits;
+  out.server_cache_hits = total.server_cache_hits;
+  out.tile_hits = total.tile_hits;
+  out.dbms_executions = total.dbms_executions;
+  out.cancelled = total.cancelled;
+  out.errors = total.errors;
+  out.retries = total.retries;
+  out.deadline_exceeded = total.deadline_exceeded;
+  out.shed = total.shed;
+  out.degraded_responses = total.degraded_responses;
+  out.breaker_open = breaker_->open_transitions() - breaker_open_baseline_;
+  out.prepared_statements = prepared_statements_created_;
+  out.sessions = sessions_created_;
+  out.bytes_transferred = total.bytes_transferred;
+  out.total_latency_ms = total.total_latency_ms;
+  return out;
 }
 
 void Middleware::ResetStats() {
-  std::vector<std::shared_ptr<Session>> live;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    size_t sessions = stats_.sessions;
-    size_t prepared = stats_.prepared_statements;
-    stats_ = Stats();
-    stats_.sessions = sessions;
-    stats_.prepared_statements = prepared;
-    for (const auto& w : sessions_) {
-      if (auto s = w.lock()) live.push_back(std::move(s));
-    }
+  std::lock_guard<std::mutex> lock(mu_);
+  PruneSessionsLocked();
+  retired_stats_ = SessionStats();
+  for (const auto& slot : sessions_) {
+    std::lock_guard<std::mutex> block_lock(slot.stats->mu);
+    slot.stats->stats = SessionStats();
   }
-  for (const auto& s : live) {
-    std::lock_guard<std::mutex> lock(s->mu_);
-    s->stats_ = Session::Stats();
-  }
+  // sessions_created_ / prepared_statements_created_ describe registry
+  // state, not traffic; they survive a reset (as before).
+  breaker_open_baseline_ = breaker_->open_transitions();
 }
 
 void Middleware::ClearCaches() {
   std::vector<std::shared_ptr<Session>> live;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // stale_cache_ deliberately survives: it is the degraded-serving
+    // reserve, not a freshness tier.
     server_cache_.Clear();
-    for (const auto& w : sessions_) {
-      if (auto s = w.lock()) live.push_back(std::move(s));
+    for (const auto& slot : sessions_) {
+      if (auto s = slot.session.lock()) live.push_back(std::move(s));
     }
   }
   for (const auto& s : live) s->ClearCache();

@@ -20,6 +20,7 @@
 #ifndef VEGAPLUS_RUNTIME_MIDDLEWARE_H_
 #define VEGAPLUS_RUNTIME_MIDDLEWARE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <list>
@@ -34,7 +35,9 @@
 #include <vector>
 
 #include "rewrite/query_service.h"
+#include "runtime/circuit_breaker.h"
 #include "runtime/engine_config.h"
+#include "runtime/fault_injector.h"
 #include "tiles/tile_store.h"
 #include "runtime/cache.h"
 #include "runtime/latency_model.h"
@@ -43,6 +46,22 @@
 
 namespace vegaplus {
 namespace runtime {
+
+/// Retry policy for *transient* DBMS failures (kUnavailable, kIOError):
+/// capped exponential backoff with deterministic jitter, so two runs with
+/// the same fault schedule retry at the same simulated cadence. Terminal
+/// failures (parse/type/logic errors) are never retried, and neither is a
+/// request that was superseded mid-flight — its result is dead weight.
+struct RetryPolicy {
+  /// Total execution attempts, including the first (1 = no retries).
+  size_t max_attempts = 3;
+  double initial_backoff_ms = 1.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 50.0;
+  /// Backoff is scaled by a factor in [1 - jitter/2, 1 + jitter/2], drawn
+  /// deterministically from (cache key, attempt).
+  double jitter = 0.25;
+};
 
 struct MiddlewareOptions {
   /// Encode results as columnar binary (true, the Arrow path) or JSON rows.
@@ -78,6 +97,29 @@ struct MiddlewareOptions {
   std::optional<EngineConfig> engine_config;
   /// Tile store tuning (used only when the snapshot enables tile serving).
   tiles::TileStoreOptions tile_options;
+  /// Retry schedule for transient DBMS failures.
+  RetryPolicy retry;
+  /// Per-statement circuit breaker; open breakers fail fast into the
+  /// degraded path instead of burning workers on a dead backend.
+  CircuitBreakerOptions circuit_breaker;
+  /// Deterministic fault injection on the DBMS execution path (chaos tests
+  /// and benches). Unset = no injector, zero overhead.
+  std::optional<FaultInjectorOptions> fault_injection;
+  /// Bound on *queued* (not running) worker tasks. Past it, submissions are
+  /// load-shed with kUnavailable instead of queueing unboundedly — under
+  /// saturation a fast refusal beats a result that arrives after the client
+  /// has already moved on. 0 = unbounded (legacy behavior).
+  size_t max_queue_depth = 0;
+  /// When fresh execution is impossible (open breaker, expired deadline,
+  /// retries exhausted), serve a stale-but-marked cached result or a coarser
+  /// already-built tile level instead of an error. Responses carry
+  /// `degraded = true` so clients can render them provisionally.
+  bool enable_degraded_serving = true;
+  /// Capacity of the stale-result archive backing degraded serving. The
+  /// archive is filled on every successful execution and — unlike the cache
+  /// tiers — deliberately survives ClearCaches(): it is a disaster reserve,
+  /// not a freshness tier.
+  size_t stale_cache_capacity = 256;
 };
 
 /// Measure the encoded payload size of a result. Exact for small tables;
@@ -87,6 +129,41 @@ size_t EstimateEncodedBytes(const data::Table& table, bool binary,
                             size_t sample_rows = 20000);
 
 class Middleware;
+
+/// Per-session counters. Also the unit of fleet aggregation: Middleware's
+/// totals are the sum of every live session's counters plus the counters of
+/// every *retired* session, folded in when the session is pruned.
+struct SessionStats {
+  size_t submitted = 0;
+  size_t queries = 0;  // completed: client + server + tiles + dbms below
+  size_t client_cache_hits = 0;
+  size_t server_cache_hits = 0;
+  size_t tile_hits = 0;
+  size_t dbms_executions = 0;
+  size_t cancelled = 0;
+  size_t errors = 0;
+  /// Re-executions after a transient DBMS failure (extra attempts only).
+  size_t retries = 0;
+  /// Requests that failed with kDeadlineExceeded (subset of errors).
+  size_t deadline_exceeded = 0;
+  /// Requests load-shed at the bounded worker queue (subset of errors).
+  size_t shed = 0;
+  /// Completions served degraded — stale cache or coarser tile level
+  /// (subset of queries).
+  size_t degraded_responses = 0;
+  size_t bytes_transferred = 0;
+  double total_latency_ms = 0;
+};
+
+/// A session's counters behind their own lock, shared between the Session
+/// and the Middleware's session registry. The block outlives the Session:
+/// when a client drops its session, the registry still holds the block and
+/// folds it into the retired-sessions accumulator, so fleet totals never go
+/// backwards on session churn.
+struct SessionStatsBlock {
+  mutable std::mutex mu;
+  SessionStats stats;
+};
 
 /// \brief One client's view of the shared Middleware: per-client cache,
 /// per-client stats, and the supersession scope for generations.
@@ -111,18 +188,7 @@ class Session : public rewrite::QueryService,
   /// handle cancels that older request.
   rewrite::QueryTicketPtr Submit(const rewrite::QueryRequest& request) override;
 
-  struct Stats {
-    size_t submitted = 0;
-    size_t queries = 0;  // completed: client + server + tiles + dbms below
-    size_t client_cache_hits = 0;
-    size_t server_cache_hits = 0;
-    size_t tile_hits = 0;
-    size_t dbms_executions = 0;
-    size_t cancelled = 0;
-    size_t errors = 0;
-    size_t bytes_transferred = 0;
-    double total_latency_ms = 0;
-  };
+  using Stats = SessionStats;
   Stats stats() const;
 
   uint64_t id() const { return id_; }
@@ -132,7 +198,8 @@ class Session : public rewrite::QueryService,
  private:
   friend class Middleware;
   Session(Middleware* owner, uint64_t id, size_t cache_capacity,
-          size_t cache_max_result_rows, QueryCache::Policy cache_policy);
+          size_t cache_max_result_rows, QueryCache::Policy cache_policy,
+          std::shared_ptr<SessionStatsBlock> stats_block);
 
   bool CacheGet(const std::string& key, data::TablePtr* out);
   void CachePut(const std::string& key, data::TablePtr table);
@@ -141,7 +208,8 @@ class Session : public rewrite::QueryService,
   uint64_t id_;
   mutable std::mutex mu_;
   QueryCache cache_;
-  Stats stats_;
+  /// Shared with the Middleware's session registry; see SessionStatsBlock.
+  std::shared_ptr<SessionStatsBlock> stats_block_;
   /// Latest live async ticket per supersession scope (client_id, handle).
   /// weak_ptr: completed tickets (and their result tables) are not pinned —
   /// an entry only matters while its request is in flight, when the worker
@@ -194,7 +262,9 @@ class Middleware : public rewrite::QueryService {
   /// a no-op.
   void Release(rewrite::PreparedHandle handle);
 
-  /// Aggregate stats across every session of this middleware.
+  /// Aggregate stats across every session of this middleware — live ones
+  /// plus the retired-sessions accumulator, so counters are monotone across
+  /// session churn (a dropped session's history is folded in, not lost).
   struct Stats {
     size_t queries = 0;
     size_t submitted = 0;
@@ -204,6 +274,11 @@ class Middleware : public rewrite::QueryService {
     size_t dbms_executions = 0;
     size_t cancelled = 0;
     size_t errors = 0;
+    size_t retries = 0;            ///< extra attempts after transient failures
+    size_t deadline_exceeded = 0;  ///< kDeadlineExceeded deliveries (⊂ errors)
+    size_t shed = 0;               ///< load-shed at the worker queue (⊂ errors)
+    size_t degraded_responses = 0; ///< stale/coarser completions (⊂ queries)
+    size_t breaker_open = 0;       ///< circuit-breaker open transitions
     size_t prepared_statements = 0;
     size_t sessions = 0;
     size_t bytes_transferred = 0;
@@ -229,6 +304,16 @@ class Middleware : public rewrite::QueryService {
   /// The shared tile tier, or nullptr when the snapshot disabled it.
   tiles::TileStore* tile_store() const { return tile_store_.get(); }
 
+  /// The fault injector, or nullptr when options.fault_injection is unset.
+  /// Tests mutate its rules mid-scenario (e.g. flip a table into outage).
+  FaultInjector* fault_injector() const { return fault_injector_.get(); }
+
+  /// The per-statement circuit breaker (always present; may be disabled).
+  CircuitBreaker* circuit_breaker() const { return breaker_.get(); }
+
+  /// Saturation signals: queue_depth() / rejected_count() / num_threads().
+  const WorkerPool& worker_pool() const { return *pool_; }
+
  private:
   friend class Session;
 
@@ -248,19 +333,30 @@ class Middleware : public rewrite::QueryService {
   static std::string CacheKeyFor(const sql::PreparedStatement& stmt,
                                  const std::vector<rewrite::QueryParam>& params);
 
-  /// Worker-side execution of one submitted request.
+  /// Worker-side execution of one submitted request. `deadline` is the
+  /// absolute wall-clock cutoff derived from QueryRequest::deadline_ms at
+  /// submit time (nullopt = none).
   void RunQueryTask(std::shared_ptr<Session> session, rewrite::QueryTicketPtr ticket,
                     sql::PreparedPtr stmt, std::vector<rewrite::QueryParam> params,
-                    std::string key);
+                    std::string key,
+                    std::optional<std::chrono::steady_clock::time_point> deadline);
 
-  // Single-flight: serialize workers executing the same cache key.
-  void EnterInFlight(const std::string& key);
+  // Single-flight: serialize workers executing the same cache key. Returns
+  // false — without claiming the slot — when `deadline` expires while
+  // waiting on the current leader.
+  bool EnterInFlight(const std::string& key,
+                     std::optional<std::chrono::steady_clock::time_point> deadline);
   void LeaveInFlight(const std::string& key);
 
-  void RecordSubmitted();
   void RecordCompletion(Session* session, const rewrite::QueryResponse& response);
   void RecordCancelled(Session* session);
-  void RecordError(Session* session);
+  void RecordError(Session* session, const Status& status);
+  void RecordRetry(Session* session);
+  void RecordShed(Session* session);
+
+  /// Fold the stats of expired sessions into retired_stats_ and drop their
+  /// slots. Requires mu_.
+  void PruneSessionsLocked() const;
 
   const sql::Engine* engine_;
   MiddlewareOptions options_;
@@ -292,9 +388,30 @@ class Middleware : public rewrite::QueryService {
   std::list<rewrite::PreparedHandle> statement_lru_;
   rewrite::PreparedHandle next_handle_ = 1;
   QueryCache server_cache_;
-  Stats stats_;
-  std::vector<std::weak_ptr<Session>> sessions_;
+  /// Stale-result archive for degraded serving: filled on every successful
+  /// execution, read only when fresh execution is impossible. Survives
+  /// ClearCaches() by design.
+  QueryCache stale_cache_;
+
+  /// Session registry. Each slot pairs the weak session pointer with the
+  /// session's stats block, which the slot keeps alive past the session so
+  /// pruning can fold its counters instead of losing them.
+  struct SessionSlot {
+    std::weak_ptr<Session> session;
+    std::shared_ptr<SessionStatsBlock> stats;
+  };
+  mutable std::vector<SessionSlot> sessions_;
+  /// Counters folded in from pruned (retired) sessions. Guarded by mu_;
+  /// mutable because stats() prunes lazily.
+  mutable SessionStats retired_stats_;
+  size_t sessions_created_ = 0;
+  size_t prepared_statements_created_ = 0;
+  /// ResetStats() rebases breaker_open on this monotone counter.
+  size_t breaker_open_baseline_ = 0;
   uint64_t next_session_id_ = 1;
+
+  std::unique_ptr<CircuitBreaker> breaker_;
+  std::unique_ptr<FaultInjector> fault_injector_;  // null unless configured
 
   std::mutex flight_mu_;
   std::condition_variable flight_cv_;

@@ -5,7 +5,8 @@
 namespace vegaplus {
 namespace runtime {
 
-WorkerPool::WorkerPool(size_t threads) {
+WorkerPool::WorkerPool(size_t threads, size_t max_queue_depth)
+    : max_queue_depth_(max_queue_depth) {
   threads = std::max<size_t>(1, threads);
   workers_.reserve(threads);
   for (size_t i = 0; i < threads; ++i) {
@@ -41,6 +42,30 @@ bool WorkerPool::Submit(std::function<void()> task) {
   }
   cv_.notify_one();
   return true;
+}
+
+WorkerPool::Admission WorkerPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return Admission::kShutdown;
+    if (max_queue_depth_ > 0 && queue_.size() >= max_queue_depth_) {
+      ++rejected_;
+      return Admission::kShed;
+    }
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return Admission::kAccepted;
+}
+
+size_t WorkerPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t WorkerPool::rejected_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
 }
 
 void WorkerPool::WorkerLoop() {

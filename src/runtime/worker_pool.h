@@ -27,8 +27,20 @@ namespace runtime {
 
 class WorkerPool {
  public:
-  /// Spawns `threads` workers (at least 1).
-  explicit WorkerPool(size_t threads);
+  /// Outcome of TrySubmit.
+  enum class Admission {
+    kAccepted,  ///< enqueued; a worker will run the task
+    kShed,      ///< bounded queue full — load shed, task NOT enqueued
+    kShutdown,  ///< pool is stopping — task NOT enqueued
+  };
+
+  /// Spawns `threads` workers (at least 1). `max_queue_depth` bounds the
+  /// number of queued (not yet running) tasks; 0 means unbounded. When the
+  /// bound is hit, TrySubmit sheds instead of blocking: under saturation the
+  /// middleware prefers a fast kUnavailable over unbounded queueing, whose
+  /// latency grows without limit while every queued result is likely already
+  /// superseded by the time it runs.
+  explicit WorkerPool(size_t threads, size_t max_queue_depth = 0);
 
   /// Calls Shutdown().
   ~WorkerPool();
@@ -38,7 +50,20 @@ class WorkerPool {
 
   /// Enqueue `task`. Returns false — and does not enqueue — once shutdown
   /// has begun; the caller owns resolving whatever awaited the task.
+  /// Equivalent to TrySubmit() == kAccepted, except a full queue *blocks
+  /// nothing and sheds nothing* — this legacy entry point ignores the bound.
   bool Submit(std::function<void()> task);
+
+  /// Enqueue `task`, honoring the queue bound. kShed increments
+  /// rejected_count(); the task is dropped and the caller owns resolving
+  /// whatever awaited it (typically as kUnavailable).
+  Admission TrySubmit(std::function<void()> task);
+
+  /// Tasks currently queued (excludes tasks being run). Saturation signal.
+  size_t queue_depth() const;
+
+  /// Tasks shed by TrySubmit because the queue was full (monotonic).
+  size_t rejected_count() const;
 
   /// Signals shutdown, runs every task still queued, joins all workers.
   /// Idempotent; safe to call concurrently with Submit (the loser of the
@@ -50,10 +75,12 @@ class WorkerPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
+  size_t max_queue_depth_ = 0;  // 0 = unbounded
+  size_t rejected_ = 0;         // guarded by mu_
   std::vector<std::thread> workers_;
 
   std::mutex shutdown_mu_;  // serializes Shutdown; held across the join

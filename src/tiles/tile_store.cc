@@ -369,12 +369,68 @@ std::optional<TileAnswer> TileStore::TryAnswer(const SelectStmt& stmt) {
   }
   if (level == nullptr) return coverage_miss();
 
+  std::optional<TileAnswer> answer = AnswerFromLevel(stmt, shape, *tree, *level);
+  if (!answer) return coverage_miss();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.hits;
+  }
+  return answer;
+}
+
+std::optional<TileAnswer> TileStore::TryAnswerCoarser(const SelectStmt& stmt) {
+  TileShape shape;
+  if (!rewrite::MatchTileShape(stmt, &shape)) return std::nullopt;
+  if (shape.categorical) return std::nullopt;  // single level: nothing coarser
+
+  auto table_r = engine_->catalog().GetTable(shape.table);
+  if (!table_r.ok()) return std::nullopt;
+  TablePtr table = *table_r;
+
+  // Lookup only — degraded mode must stay cheap, so never build here.
+  TreePtr tree;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = trees_.find(TreeKey(shape.table, shape.bin_column, false));
+    if (it == trees_.end() || it->second->source != table) return std::nullopt;
+    tree = it->second;
+  }
+  if (tree->unbuildable) return std::nullopt;
+
+  // Coarsest-acceptable-first would lose resolution needlessly; take the
+  // finest level at or above the requested step that can answer.
+  std::vector<const Level*> candidates;
+  for (const Level& l : tree->levels) {
+    if (l.step >= shape.step) candidates.push_back(&l);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Level* a, const Level* b) { return a->step < b->step; });
+  for (const Level* level : candidates) {
+    std::optional<TileAnswer> answer =
+        AnswerFromLevel(stmt, shape, *tree, *level);
+    if (answer) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.degraded_hits;
+      return answer;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<TileAnswer> TileStore::AnswerFromLevel(const SelectStmt& stmt,
+                                                     const TileShape& shape,
+                                                     const Tree& tree,
+                                                     const Level& level_ref)
+    const {
+  const Level* level = &level_ref;
+  const TablePtr& table = tree.source;
+
   // ---- Aggregate-argument availability ----
   for (const TileShape::Item& item : shape.items) {
     if (item.kind != TileShape::Item::Kind::kAggregate || item.count_star) {
       continue;
     }
-    if (level->FindMeasure(item.agg_column) == nullptr) return coverage_miss();
+    if (level->FindMeasure(item.agg_column) == nullptr) return std::nullopt;
   }
 
   // ---- Slot inclusion ----
@@ -382,7 +438,7 @@ std::optional<TileAnswer> TileStore::TryAnswer(const SelectStmt& stmt) {
   const BinAggSlots* bin_measure = nullptr;
   if (has_brush) {
     bin_measure = level->FindMeasure(shape.bin_column);
-    if (bin_measure == nullptr) return coverage_miss();
+    if (bin_measure == nullptr) return std::nullopt;
   }
   std::vector<size_t> included;
   included.reserve(level->num_bins + 1);
@@ -393,7 +449,7 @@ std::optional<TileAnswer> TileStore::TryAnswer(const SelectStmt& stmt) {
         case SlotCoverage::kExcluded:
           continue;
         case SlotCoverage::kPartial:
-          return coverage_miss();  // straddling slot: exact answer needs rows
+          return std::nullopt;  // straddling slot: exact answer needs rows
         case SlotCoverage::kIncluded:
           break;
       }
@@ -458,7 +514,7 @@ std::optional<TileAnswer> TileStore::TryAnswer(const SelectStmt& stmt) {
           }
           break;
         case TileShape::Item::Kind::kKey:
-          if (!null_slot) cell = Value::String(tree->dict->values[k]);
+          if (!null_slot) cell = Value::String(tree.dict->values[k]);
           break;
         case TileShape::Item::Kind::kAggregate: {
           if (item.count_star) {
@@ -499,10 +555,6 @@ std::optional<TileAnswer> TileStore::TryAnswer(const SelectStmt& stmt) {
   answer.table = std::make_shared<Table>(data::Schema(std::move(fields)),
                                          std::move(columns));
   answer.bins_touched = included.size();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.hits;
-  }
   return answer;
 }
 

@@ -53,6 +53,9 @@
 #include "sql/sql_ast.h"
 
 namespace vegaplus {
+namespace rewrite {
+struct TileShape;
+}  // namespace rewrite
 namespace sql {
 class Engine;
 }  // namespace sql
@@ -82,6 +85,7 @@ struct TileStoreStats {
   size_t coverage_misses = 0;  ///< shape covered, tiles could not answer
   size_t builds = 0;           ///< trees built (including unbuildable ones)
   size_t build_conflicts = 0;  ///< fallbacks while another thread was building
+  size_t degraded_hits = 0;    ///< queries answered coarser via TryAnswerCoarser
 };
 
 struct TileAnswer {
@@ -105,6 +109,14 @@ class TileStore {
   /// not covered, the tiles cannot answer it exactly, or the tree is being
   /// built by another thread.
   std::optional<TileAnswer> TryAnswer(const sql::SelectStmt& stmt);
+
+  /// Degraded-mode probe: answer the statement's shape at a *coarser* zoom
+  /// level than requested (smallest step >= the requested one among levels
+  /// already built — never builds). The answer is exact for that coarser
+  /// binning, just lower-resolution than asked; the middleware serves it
+  /// marked `degraded` when fresh execution is impossible (open breaker,
+  /// expired deadline). Numeric trees only; categorical has a single level.
+  std::optional<TileAnswer> TryAnswerCoarser(const sql::SelectStmt& stmt);
 
   /// Drop every tree for `table_name` (e.g. after re-registering data).
   /// Stale trees are also dropped lazily on the next probe.
@@ -137,6 +149,14 @@ class TileStore {
     data::DictPtr dict;         ///< categorical key dictionary
   };
   using TreePtr = std::shared_ptr<const Tree>;
+
+  /// Emit the answer for `stmt`/`shape` from one concrete level, or nullopt
+  /// when that level cannot answer exactly (missing measure, straddling
+  /// brush slot). Pure — touches no stats or locks.
+  std::optional<TileAnswer> AnswerFromLevel(const sql::SelectStmt& stmt,
+                                            const rewrite::TileShape& shape,
+                                            const Tree& tree,
+                                            const Level& level) const;
 
   TreePtr GetOrBuildTree(const std::string& key, const std::string& table_name,
                          const std::string& column, bool categorical,

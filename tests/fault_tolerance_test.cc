@@ -1,0 +1,476 @@
+// Fault-tolerance tests for the middleware: deterministic fault injection,
+// retry/backoff, deadlines, the per-statement circuit breaker, load
+// shedding at the bounded worker queue, and graceful degradation (stale
+// cache / coarser tile levels). Registered under the `chaos` ctest label
+// (CI runs it under ASan/UBSan) and `concurrency` (TSan).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/ipc.h"
+#include "rewrite/vdt.h"
+#include "runtime/middleware.h"
+#include "transforms/binning.h"
+
+namespace vegaplus {
+namespace runtime {
+namespace {
+
+using rewrite::QueryRequest;
+using rewrite::QueryResponse;
+
+data::TablePtr CountingTable(int rows) {
+  data::Schema schema({{"v", data::DataType::kFloat64}});
+  data::TableBuilder builder(schema);
+  for (int i = 0; i < rows; ++i) builder.AppendRow({data::Value::Double(i)});
+  return builder.Build();
+}
+
+// Spin until the middleware has accounted for every submitted request.
+void AwaitQuiescence(const Middleware& mw) {
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < deadline) {
+    Middleware::Stats s = mw.stats();
+    if (s.queries + s.cancelled + s.errors >= s.submitted) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "middleware did not quiesce";
+}
+
+std::string Bytes(const data::Table& table) { return data::SerializeBinary(table); }
+
+// A manual gate for before_dbms_execute: workers block inside the hook
+// until Open() is called.
+class Gate {
+ public:
+  std::function<void(const std::string&)> Hook() {
+    return [this](const std::string&) {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return open_; });
+    };
+  }
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+class FaultToleranceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { engine_.RegisterTable("t", CountingTable(500)); }
+
+  // Submit the shared counting template with one bound cut and await it.
+  // Using Prepare + params (instead of literal-inlined Execute) keeps every
+  // cut on ONE canonical statement — the circuit breaker's scope.
+  static Result<QueryResponse> RunCut(Middleware& mw,
+                                      rewrite::PreparedHandle handle,
+                                      double cut) {
+    QueryRequest request;
+    request.handle = handle;
+    request.params = {{"cut", expr::EvalValue::Number(cut)}};
+    return mw.Submit(request)->Await();
+  }
+
+  sql::Engine engine_;
+};
+
+constexpr char kCutTemplate[] = "SELECT COUNT(*) AS c FROM t WHERE v < ${cut}";
+
+// A backend that fails the first two attempts of every query must, with
+// retries enabled, produce results bit-identical to a fault-free middleware
+// — and the retry count must match the injected schedule exactly.
+TEST_F(FaultToleranceTest, RetryRecoversBitIdenticalToFaultFree) {
+  constexpr int kCuts = 5;
+
+  Middleware clean(&engine_, {});
+
+  MiddlewareOptions faulty_opts;
+  faulty_opts.fault_injection = FaultInjectorOptions{};
+  faulty_opts.fault_injection->rules.push_back(FaultRule{"", /*fail_times=*/2});
+  faulty_opts.retry.initial_backoff_ms = 0.1;  // keep the test fast
+  Middleware faulty(&engine_, faulty_opts);
+
+  for (int i = 0; i < kCuts; ++i) {
+    std::string sql =
+        "SELECT COUNT(*) AS c FROM t WHERE v < " + std::to_string(100 + i);
+    auto want = clean.Execute(sql);
+    auto got = faulty.Execute(sql);
+    ASSERT_TRUE(want.ok()) << want.status();
+    ASSERT_TRUE(got.ok()) << got.status() << "\n" << sql;
+    EXPECT_FALSE(got->degraded);
+    EXPECT_EQ(got->source, QueryResponse::Source::kDbms);
+    EXPECT_EQ(Bytes(*got->table), Bytes(*want->table)) << sql;
+  }
+
+  Middleware::Stats stats = faulty.stats();
+  EXPECT_EQ(stats.retries, 2u * kCuts);  // exactly the injected schedule
+  EXPECT_EQ(stats.dbms_executions, static_cast<size_t>(kCuts));
+  EXPECT_EQ(stats.errors, 0u);
+  ASSERT_NE(faulty.fault_injector(), nullptr);
+  EXPECT_EQ(faulty.fault_injector()->injected_failures(), 2u * kCuts);
+  EXPECT_EQ(faulty.fault_injector()->attempts(), 3u * kCuts);
+}
+
+// A permanent outage exhausts the retry budget once, opens the breaker, and
+// from then on fails fast with kUnavailable — without spending further
+// backend attempts on a statement known to be dead.
+TEST_F(FaultToleranceTest, PermanentOutageFailsFastViaBreaker) {
+  MiddlewareOptions options;
+  options.fault_injection = FaultInjectorOptions{};
+  options.fault_injection->rules.push_back(FaultRule{"", 0, /*permanent=*/true});
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff_ms = 0.1;
+  options.circuit_breaker.failure_threshold = 2;
+  options.circuit_breaker.clock_ms = [] { return 0.0; };  // frozen: stays open
+  Middleware mw(&engine_, options);
+  auto handle = mw.Prepare(kCutTemplate);
+  ASSERT_TRUE(handle.ok());
+
+  auto first = RunCut(mw, *handle, 100);
+  ASSERT_FALSE(first.ok());
+  EXPECT_TRUE(first.status().IsUnavailable()) << first.status();
+  EXPECT_EQ(mw.fault_injector()->attempts(), 2u);
+  EXPECT_EQ(mw.stats().breaker_open, 1u);
+
+  // Different parameters, same statement scope: no backend attempt at all.
+  auto second = RunCut(mw, *handle, 200);
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsUnavailable());
+  EXPECT_NE(second.status().message().find("circuit breaker"), std::string::npos)
+      << second.status();
+  EXPECT_EQ(mw.fault_injector()->attempts(), 2u) << "fast-fail hit the backend";
+
+  Middleware::Stats stats = mw.stats();
+  EXPECT_EQ(stats.errors, 2u);
+  EXPECT_EQ(stats.retries, 1u);  // only the first request retried
+}
+
+// Open -> half-open -> closed: once the open window elapses, a single probe
+// is admitted; its success closes the breaker and normal service resumes.
+TEST_F(FaultToleranceTest, BreakerHalfOpenProbeClosesAfterRecovery) {
+  auto clock = std::make_shared<std::atomic<double>>(0.0);
+  MiddlewareOptions options;
+  options.fault_injection = FaultInjectorOptions{};
+  options.fault_injection->rules.push_back(FaultRule{"", 0, /*permanent=*/true});
+  options.retry.max_attempts = 1;  // breaker transitions, not retries
+  options.circuit_breaker.failure_threshold = 2;
+  options.circuit_breaker.open_ms = 250.0;
+  options.circuit_breaker.clock_ms = [clock] { return clock->load(); };
+  Middleware mw(&engine_, options);
+  auto handle = mw.Prepare(kCutTemplate);
+  ASSERT_TRUE(handle.ok());
+
+  EXPECT_FALSE(RunCut(mw, *handle, 100).ok());
+  EXPECT_FALSE(RunCut(mw, *handle, 101).ok());
+  EXPECT_EQ(mw.stats().breaker_open, 1u);
+
+  // Still inside the open window: fast fail, no backend attempt.
+  EXPECT_FALSE(RunCut(mw, *handle, 102).ok());
+  EXPECT_EQ(mw.fault_injector()->attempts(), 2u);
+
+  // Backend recovers; the open window elapses; the probe closes the breaker.
+  mw.fault_injector()->ClearRules();
+  clock->store(300.0);
+  auto probe = RunCut(mw, *handle, 103);
+  ASSERT_TRUE(probe.ok()) << probe.status();
+  EXPECT_EQ(probe->source, QueryResponse::Source::kDbms);
+  auto after = RunCut(mw, *handle, 104);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(mw.stats().breaker_open, 1u);  // never re-opened
+}
+
+// A deadline that expires while the request is already on a worker resolves
+// as kDeadlineExceeded: the deadline gates *starting* backend work.
+TEST_F(FaultToleranceTest, DeadlineExpiryMidFlight) {
+  Gate gate;
+  MiddlewareOptions options;
+  options.before_dbms_execute = gate.Hook();
+  Middleware mw(&engine_, options);
+
+  auto handle = mw.Prepare("SELECT COUNT(*) AS c FROM t WHERE v < ${cut}");
+  ASSERT_TRUE(handle.ok());
+  QueryRequest request;
+  request.handle = *handle;
+  request.params = {{"cut", expr::EvalValue::Number(100)}};
+  request.deadline_ms = 40;
+  auto ticket = mw.Submit(request);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  gate.Open();
+  auto response = ticket->Await();
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsDeadlineExceeded()) << response.status();
+
+  Middleware::Stats stats = mw.stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_EQ(stats.dbms_executions, 0u);
+}
+
+// QueryTicket::Await(timeout) is a wait with a timeout, not a cancellation:
+// the request stays in flight, and a later Await still gets the result.
+TEST_F(FaultToleranceTest, AwaitTimeoutDoesNotCancelTheRequest) {
+  Gate gate;
+  MiddlewareOptions options;
+  options.before_dbms_execute = gate.Hook();
+  Middleware mw(&engine_, options);
+
+  auto handle = mw.Prepare("SELECT COUNT(*) AS c FROM t WHERE v < ${cut}");
+  ASSERT_TRUE(handle.ok());
+  QueryRequest request;
+  request.handle = *handle;
+  request.params = {{"cut", expr::EvalValue::Number(123)}};
+  auto ticket = mw.Submit(request);
+
+  auto timed_out = ticket->Await(std::chrono::milliseconds(10));
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_TRUE(timed_out.status().IsDeadlineExceeded());
+  EXPECT_FALSE(ticket->done());
+
+  gate.Open();
+  auto response = ticket->Await();
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->table->column(0).NumericAt(0), 123.0);
+
+  Middleware::Stats stats = mw.stats();
+  EXPECT_EQ(stats.queries, 1u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+// When fresh execution is impossible, a previously archived result is served
+// bit-identically, marked stale+degraded — even after ClearCaches.
+TEST_F(FaultToleranceTest, StaleCacheServedBitIdenticalUnderOutage) {
+  MiddlewareOptions options;
+  options.fault_injection = FaultInjectorOptions{};  // healthy until told
+  options.retry.initial_backoff_ms = 0.1;
+  Middleware mw(&engine_, options);
+
+  const std::string sql = "SELECT COUNT(*) AS c FROM t WHERE v < 250";
+  auto fresh = mw.Execute(sql);
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+
+  mw.ClearCaches();  // drops both cache tiers; the stale archive survives
+  mw.fault_injector()->AddRule(FaultRule{"", 0, /*permanent=*/true});
+
+  auto degraded = mw.Execute(sql);
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_TRUE(degraded->degraded);
+  EXPECT_EQ(degraded->source, QueryResponse::Source::kStaleCache);
+  EXPECT_EQ(Bytes(*degraded->table), Bytes(*fresh->table));
+
+  Middleware::Stats stats = mw.stats();
+  EXPECT_EQ(stats.degraded_responses, 1u);
+  EXPECT_EQ(stats.retries, 2u);  // default budget spent before degrading
+  EXPECT_EQ(stats.errors, 0u);   // the client got an answer
+
+  // Degraded serving can be turned off: same situation, hard error instead.
+  MiddlewareOptions strict = options;
+  strict.enable_degraded_serving = false;
+  strict.fault_injection->rules.push_back(FaultRule{"", 0, /*permanent=*/true});
+  Middleware strict_mw(&engine_, strict);
+  auto err = strict_mw.Execute(sql);
+  ASSERT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsUnavailable());
+}
+
+// With no stale entry to fall back on, a tile-shaped query is answered from
+// a *coarser* already-built zoom level — exact at that resolution, marked
+// degraded — instead of erroring out.
+TEST_F(FaultToleranceTest, CoarserTileLevelServedWhenBackendDown) {
+  const std::string bin0 = "${start} + FLOOR((v - ${start}) / ${step}) * ${step}";
+  const std::string sql = "SELECT " + bin0 + " AS bin0, (" + bin0 +
+                          ") + ${step} AS bin1, COUNT(*) AS c FROM t GROUP BY " +
+                          bin0 + ", (" + bin0 + ") + ${step}";
+
+  MiddlewareOptions options;
+  options.enable_client_cache = false;
+  options.enable_server_cache = false;
+  options.tile_options.max_maxbins = 4;  // only coarse levels get built
+  options.fault_injection = FaultInjectorOptions{};
+  options.fault_injection->rules.push_back(FaultRule{"", 0, /*permanent=*/true});
+  options.retry.max_attempts = 1;
+  Middleware mw(&engine_, options);
+  ASSERT_NE(mw.tile_store(), nullptr);
+
+  // Request a finer binning than any built level: the exact tile probe
+  // misses, the DBMS is down, and the degraded probe picks the finest built
+  // level at or above the requested step.
+  transforms::Binning fine = transforms::ComputeBinning(0, 499, 64);
+  auto handle = mw.Prepare(sql);
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  QueryRequest request;
+  request.handle = *handle;
+  request.params = {{"start", expr::EvalValue::Number(fine.start)},
+                    {"step", expr::EvalValue::Number(fine.step)}};
+  auto degraded = mw.Submit(request)->Await();
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_TRUE(degraded->degraded);
+  EXPECT_EQ(degraded->source, QueryResponse::Source::kTileStore);
+  EXPECT_EQ(mw.tile_store()->stats().degraded_hits, 1u);
+  EXPECT_EQ(mw.stats().degraded_responses, 1u);
+
+  // The degraded answer must be bit-identical to honestly executing the
+  // same template at the coarser level it came from: the finest binning
+  // with step >= the requested one among maxbins 1..4.
+  transforms::Binning coarse = transforms::ComputeBinning(0, 499, 1);
+  for (int maxbins = 2; maxbins <= 4; ++maxbins) {
+    transforms::Binning b = transforms::ComputeBinning(0, 499, maxbins);
+    if (b.step >= fine.step && b.step < coarse.step) coarse = b;
+  }
+  MiddlewareOptions plain;
+  plain.enable_client_cache = false;
+  plain.enable_server_cache = false;
+  plain.engine_config = EngineConfig::Current();
+  plain.engine_config->tile_serving = false;
+  Middleware base(&engine_, plain);
+  auto base_handle = base.Prepare(sql);
+  ASSERT_TRUE(base_handle.ok());
+  QueryRequest base_request;
+  base_request.handle = *base_handle;
+  base_request.params = {{"start", expr::EvalValue::Number(coarse.start)},
+                         {"step", expr::EvalValue::Number(coarse.step)}};
+  auto want = base.Submit(base_request)->Await();
+  ASSERT_TRUE(want.ok()) << want.status();
+  EXPECT_EQ(Bytes(*degraded->table), Bytes(*want->table));
+}
+
+// Saturation: one worker blocked, a queue bound of 2 — most of an 8-thread
+// burst is shed as kUnavailable, stats stay coherent, and the pool's
+// rejected count matches the shed stat exactly.
+TEST_F(FaultToleranceTest, ShedsLoadUnderSaturationCoherently) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4;
+
+  Gate gate;
+  MiddlewareOptions options;
+  options.worker_threads = 1;
+  options.max_queue_depth = 2;
+  options.before_dbms_execute = gate.Hook();
+  Middleware mw(&engine_, options);
+
+  std::vector<rewrite::QueryTicketPtr> tickets(kThreads * kPerThread);
+  std::vector<std::shared_ptr<Session>> sessions(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int tid = 0; tid < kThreads; ++tid) {
+      threads.emplace_back([&, tid] {
+        sessions[tid] = mw.CreateSession();
+        auto handle =
+            sessions[tid]->Prepare("SELECT COUNT(*) AS c FROM t WHERE v < ${cut}");
+        ASSERT_TRUE(handle.ok());
+        for (int i = 0; i < kPerThread; ++i) {
+          QueryRequest request;
+          request.handle = *handle;
+          // Distinct cut per submission: no single-flight collapse.
+          request.params = {
+              {"cut", expr::EvalValue::Number(tid * kPerThread + i + 1)}};
+          tickets[tid * kPerThread + i] = sessions[tid]->Submit(request);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  gate.Open();
+
+  size_t ok = 0, shed = 0;
+  for (const auto& ticket : tickets) {
+    auto response = ticket->Await();
+    if (response.ok()) {
+      ++ok;
+    } else {
+      ASSERT_TRUE(response.status().IsUnavailable()) << response.status();
+      EXPECT_NE(response.status().message().find("shed"), std::string::npos);
+      ++shed;
+    }
+  }
+  AwaitQuiescence(mw);
+
+  EXPECT_GT(shed, 0u);
+  EXPECT_GE(ok, 1u);  // the blocked task plus anything queued still lands
+  Middleware::Stats stats = mw.stats();
+  EXPECT_EQ(stats.submitted, static_cast<size_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.shed, shed);
+  EXPECT_EQ(stats.shed, mw.worker_pool().rejected_count());
+  EXPECT_EQ(stats.errors, stats.shed);
+  EXPECT_EQ(stats.queries + stats.cancelled + stats.errors, stats.submitted);
+  EXPECT_EQ(mw.worker_pool().queue_depth(), 0u);
+}
+
+// 8 threads against a flaky, stalling backend with retries, supersession,
+// and occasional deadlines: every ticket resolves, failure codes are only
+// the expected ones, and the fleet stats add up at quiescence.
+TEST_F(FaultToleranceTest, ChaosStressStatsStayCoherent) {
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 30;
+
+  MiddlewareOptions options;
+  options.fault_injection = FaultInjectorOptions{};
+  options.fault_injection->seed = 7;
+  options.fault_injection->rules.push_back(
+      FaultRule{"", 0, false, /*fail_probability=*/0.25, /*stall_ms=*/0.05});
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff_ms = 0.1;
+  options.circuit_breaker.failure_threshold = 1000;  // stress retries, not trips
+  Middleware mw(&engine_, options);
+
+  std::atomic<int> unexpected{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      auto session = mw.CreateSession();
+      auto handle =
+          session->Prepare("SELECT COUNT(*) AS c FROM t WHERE v < ${cut}");
+      if (!handle.ok()) {
+        ++unexpected;
+        return;
+      }
+      uint64_t generation = 0;
+      for (int i = 0; i < kIterations; ++i) {
+        QueryRequest request;
+        request.handle = *handle;
+        request.params = {
+            {"cut", expr::EvalValue::Number(25.0 * (1 + (i + tid) % 9))}};
+        request.generation = ++generation;
+        if (i % 5 == 4) request.deadline_ms = 5;
+        auto ticket = session->Submit(request);
+        auto response = ticket->Await();
+        if (response.ok()) continue;
+        const Status& st = response.status();
+        if (!st.IsCancelled() && !st.IsUnavailable() && !st.IsDeadlineExceeded()) {
+          ++unexpected;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  AwaitQuiescence(mw);
+
+  EXPECT_EQ(unexpected.load(), 0);
+  Middleware::Stats stats = mw.stats();
+  EXPECT_EQ(stats.queries + stats.cancelled + stats.errors, stats.submitted);
+  EXPECT_EQ(stats.submitted, static_cast<size_t>(kThreads * kIterations));
+  EXPECT_GT(mw.fault_injector()->attempts(), 0u);
+  // Errors are attributable: nothing failed without a cause counter.
+  EXPECT_LE(stats.deadline_exceeded + stats.shed, stats.errors);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace vegaplus

@@ -360,6 +360,30 @@ TEST_F(MiddlewareTest, BinaryEncodingCheaperThanJson) {
   EXPECT_LT(b->latency_millis, j->latency_millis);
 }
 
+// Fleet stats are monotone across session churn: a dropped session's
+// counters are folded into the retired-sessions accumulator, never lost.
+TEST_F(MiddlewareTest, RetiredSessionStatsFoldIntoAggregate) {
+  Middleware mw(&engine_, {});
+  size_t last_queries = 0;
+  for (int i = 0; i < 100; ++i) {
+    {
+      auto session = mw.CreateSession();
+      // Distinct literal per iteration: every query really runs.
+      auto r = session->Execute("SELECT COUNT(*) AS c FROM t WHERE v < " +
+                                std::to_string(i + 1));
+      ASSERT_TRUE(r.ok()) << r.status();
+    }  // session dropped here; its stats must survive
+    Middleware::Stats s = mw.stats();
+    ASSERT_GE(s.queries, last_queries) << "aggregate went backwards at " << i;
+    last_queries = s.queries;
+  }
+  Middleware::Stats s = mw.stats();
+  EXPECT_EQ(s.queries, 100u);
+  EXPECT_EQ(s.submitted, 100u);
+  EXPECT_EQ(s.dbms_executions, 100u);
+  EXPECT_EQ(s.sessions, 101u);  // 100 churned + the implicit default session
+}
+
 TEST(LatencyModelTest, Monotonicity) {
   LatencyParams p;
   EXPECT_GT(ServerComputeMillis(1000000, 3, p), ServerComputeMillis(1000, 3, p));
