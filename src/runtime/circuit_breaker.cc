@@ -23,7 +23,8 @@ void CircuitBreaker::OpenLocked(Entry* entry) {
   ++open_transitions_;
 }
 
-bool CircuitBreaker::Admit(const std::string& scope) {
+bool CircuitBreaker::Admit(const std::string& scope, bool* is_probe) {
+  if (is_probe != nullptr) *is_probe = false;
   if (!options_.enabled) return true;
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = entries_[scope];
@@ -34,12 +35,14 @@ bool CircuitBreaker::Admit(const std::string& scope) {
       if (NowMs() - entry.opened_at_ms < options_.open_ms) return false;
       entry.state = State::kHalfOpen;
       entry.probe_in_flight = true;
+      if (is_probe != nullptr) *is_probe = true;
       return true;  // this caller is the probe
     case State::kHalfOpen:
-      // One probe at a time; everyone else keeps failing fast. If the probe
-      // died without reporting (cancelled mid-flight), admit a new one.
+      // One probe at a time; everyone else keeps failing fast. A probe that
+      // will never report must call AbandonProbe to free the slot.
       if (entry.probe_in_flight) return false;
       entry.probe_in_flight = true;
+      if (is_probe != nullptr) *is_probe = true;
       return true;
   }
   return true;
@@ -49,9 +52,30 @@ void CircuitBreaker::RecordSuccess(const std::string& scope) {
   if (!options_.enabled) return;
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = entries_[scope];
+  if (entry.state == State::kOpen) {
+    // Late report from an execution admitted before the breaker opened; a
+    // single straggler's success must not bypass the open_ms window
+    // (symmetric with the kOpen branch in RecordFailure).
+    return;
+  }
   entry.consecutive_failures = 0;
   entry.probe_in_flight = false;
   entry.state = State::kClosed;
+}
+
+void CircuitBreaker::AbandonProbe(const std::string& scope) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(scope);
+  if (it == entries_.end()) return;
+  Entry& entry = it->second;
+  if (entry.state != State::kHalfOpen || !entry.probe_in_flight) return;
+  // The probe learned nothing about backend health: back to open with a
+  // restarted timer so the next request after open_ms becomes a fresh probe.
+  // Deliberately not counted as an open transition — no failure evidence.
+  entry.state = State::kOpen;
+  entry.opened_at_ms = NowMs();
+  entry.probe_in_flight = false;
 }
 
 void CircuitBreaker::RecordFailure(const std::string& scope) {

@@ -46,15 +46,28 @@ class CircuitBreaker {
 
   /// May a request for `scope` execute now? Open breakers reject until
   /// open_ms has elapsed, then admit exactly one half-open probe; further
-  /// requests keep failing fast until that probe's outcome is recorded.
-  /// Always true when disabled.
-  bool Admit(const std::string& scope);
+  /// requests keep failing fast until that probe's outcome is recorded (or
+  /// the probe is abandoned). Always true when disabled. When `is_probe` is
+  /// non-null it is set to whether this admission holds the half-open probe
+  /// slot — such a caller MUST eventually call RecordSuccess, RecordFailure,
+  /// or AbandonProbe, or the breaker wedges in half-open rejecting everyone.
+  bool Admit(const std::string& scope, bool* is_probe = nullptr);
 
   /// Record the outcome of an admitted execution. Success closes a half-open
   /// breaker and resets the failure streak; a transient failure extends the
   /// streak (possibly opening the breaker) or re-opens a half-open one.
+  /// Both ignore late reports that arrive while the breaker is open (the
+  /// execution was admitted before it opened): an open breaker's window is
+  /// decided only by its probe.
   void RecordSuccess(const std::string& scope);
   void RecordFailure(const std::string& scope);
+
+  /// The probe admission will never report an outcome (deadline expired
+  /// before execution, non-transient error that says nothing about backend
+  /// health). Releases the probe slot by returning the breaker to open with
+  /// a restarted timer, so a later request can probe again. No-op unless the
+  /// scope is half-open with its probe outstanding.
+  void AbandonProbe(const std::string& scope);
 
   State state(const std::string& scope) const;
   /// Closed->open and half-open->open transitions so far (monotonic).

@@ -27,31 +27,37 @@ FaultInjector::FaultInjector(FaultInjectorOptions options)
 
 FaultDecision FaultInjector::OnDbmsExecute(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
-  const size_t attempt = attempts_by_key_[key]++;
   ++total_attempts_;
 
   FaultDecision decision;
-  for (const FaultRule& rule : options_.rules) {
-    if (!rule.match.empty() && key.find(rule.match) == std::string::npos) {
-      continue;
+  const FaultRule* rule = nullptr;
+  for (const FaultRule& candidate : options_.rules) {
+    if (candidate.match.empty() ||
+        key.find(candidate.match) != std::string::npos) {
+      rule = &candidate;  // first matching rule wins
+      break;
     }
-    decision.stall_ms = rule.stall_ms;
-    bool fail = rule.permanent || attempt < rule.fail_times;
-    if (!fail && rule.fail_probability > 0) {
-      // One deterministic draw per (seed, key, attempt): mix the attempt
-      // index into the seed so consecutive attempts get independent verdicts.
-      Rng rng(options_.seed ^ HashKey(key) ^
-              (0x9E3779B97F4A7C15ull * (attempt + 1)));
-      fail = rng.NextDouble() < rule.fail_probability;
-    }
-    if (fail) {
-      decision.fail = true;
-      decision.status =
-          Status(rule.code, "injected fault (attempt " +
-                                std::to_string(attempt + 1) + ")");
-      ++injected_failures_;
-    }
-    break;  // first matching rule wins
+  }
+  // Attempt counters exist only for keys some rule matches: an unmatched
+  // key's attempt index decides nothing, and tracking every distinct query
+  // would grow the map without bound over a long chaos bench.
+  if (rule == nullptr) return decision;
+  const size_t attempt = attempts_by_key_[key]++;
+
+  decision.stall_ms = rule->stall_ms;
+  bool fail = rule->permanent || attempt < rule->fail_times;
+  if (!fail && rule->fail_probability > 0) {
+    // One deterministic draw per (seed, key, attempt): mix the attempt
+    // index into the seed so consecutive attempts get independent verdicts.
+    Rng rng(options_.seed ^ HashKey(key) ^
+            (0x9E3779B97F4A7C15ull * (attempt + 1)));
+    fail = rng.NextDouble() < rule->fail_probability;
+  }
+  if (fail) {
+    decision.fail = true;
+    decision.status = Status(rule->code, "injected fault (attempt " +
+                                             std::to_string(attempt + 1) + ")");
+    ++injected_failures_;
   }
   return decision;
 }
@@ -74,6 +80,11 @@ size_t FaultInjector::injected_failures() const {
 size_t FaultInjector::attempts() const {
   std::lock_guard<std::mutex> lock(mu_);
   return total_attempts_;
+}
+
+size_t FaultInjector::tracked_keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return attempts_by_key_.size();
 }
 
 }  // namespace runtime

@@ -40,7 +40,8 @@ struct FaultRule {
   /// queries). Keys look like "<canonical sql>\x1f<param>=<literal>...".
   std::string match;
   /// Fail the first `fail_times` attempts of each distinct query key, then
-  /// succeed. Attempts are counted per key across retries and resubmissions.
+  /// succeed. Attempts are counted per key across retries and resubmissions,
+  /// starting from the first attempt a rule matched the key.
   size_t fail_times = 0;
   /// Permanent outage: every attempt fails regardless of the counters.
   bool permanent = false;
@@ -76,7 +77,9 @@ class FaultInjector {
   explicit FaultInjector(FaultInjectorOptions options);
 
   /// Decide the fate of the next execution attempt of `key`. Increments the
-  /// per-key attempt counter.
+  /// per-key attempt counter — but only when some rule matches `key`, so the
+  /// counter map stays bounded by the faulted working set, not by every
+  /// distinct query a long bench ever runs.
   FaultDecision OnDbmsExecute(const std::string& key);
 
   /// Rules are mutable at runtime so tests can flip a healthy backend into
@@ -86,8 +89,10 @@ class FaultInjector {
 
   /// Attempts that were failed by the schedule so far.
   size_t injected_failures() const;
-  /// Total attempts inspected (failed or not).
+  /// Total attempts inspected (failed or not), matched by a rule or not.
   size_t attempts() const;
+  /// Distinct keys with an attempt counter (rule-matched keys only).
+  size_t tracked_keys() const;
 
  private:
   mutable std::mutex mu_;

@@ -574,7 +574,8 @@ void Middleware::RunQueryTask(std::shared_ptr<Session> session, QueryTicketPtr t
       Status failure;
       bool degradable = false;  // only transient/deadline failures may degrade
       for (size_t attempt = 0;; ++attempt) {
-        if (!breaker_->Admit(scope)) {
+        bool admitted_as_probe = false;
+        if (!breaker_->Admit(scope, &admitted_as_probe)) {
           // Fast fail: a known-dead statement should not burn this worker.
           failure = Status::Unavailable("circuit breaker open for statement");
           degradable = true;
@@ -593,6 +594,9 @@ void Middleware::RunQueryTask(std::shared_ptr<Session> session, QueryTicketPtr t
           if (fate.fail) injected = fate.status;
         }
         if (PastDeadline(deadline)) {
+          // No outcome will ever be recorded for this admission; a held
+          // half-open probe slot must be released or the breaker wedges.
+          if (admitted_as_probe) breaker_->AbandonProbe(scope);
           failure = Status::DeadlineExceeded("deadline expired before DBMS execution");
           degradable = true;
           break;
@@ -617,7 +621,10 @@ void Middleware::RunQueryTask(std::shared_ptr<Session> session, QueryTicketPtr t
         const Status& st = result.status();
         if (!IsTransient(st)) {
           // Logic error (parse/type/plan): retrying cannot help, and a
-          // degraded response would mask a real bug. Surface it as-is.
+          // degraded response would mask a real bug. Surface it as-is. It
+          // says nothing about backend health either way, so a probe that
+          // drew one releases its slot instead of recording an outcome.
+          if (admitted_as_probe) breaker_->AbandonProbe(scope);
           failure = st;
           break;
         }

@@ -194,6 +194,96 @@ TEST_F(FaultToleranceTest, BreakerHalfOpenProbeClosesAfterRecovery) {
   EXPECT_EQ(mw.stats().breaker_open, 1u);  // never re-opened
 }
 
+// Regression (review): a half-open probe that draws a *non-transient* error
+// records neither success nor failure — it must release the probe slot
+// (re-arming the open window) instead of wedging the breaker in half-open,
+// where it would reject every request forever even after recovery.
+TEST_F(FaultToleranceTest, BreakerProbeAbandonedOnNonTransientError) {
+  auto clock = std::make_shared<std::atomic<double>>(0.0);
+  MiddlewareOptions options;
+  options.fault_injection = FaultInjectorOptions{};
+  options.fault_injection->rules.push_back(FaultRule{"", 0, /*permanent=*/true});
+  options.retry.max_attempts = 1;
+  options.circuit_breaker.failure_threshold = 2;
+  options.circuit_breaker.open_ms = 250.0;
+  options.circuit_breaker.clock_ms = [clock] { return clock->load(); };
+  Middleware mw(&engine_, options);
+  auto handle = mw.Prepare(kCutTemplate);
+  ASSERT_TRUE(handle.ok());
+
+  EXPECT_FALSE(RunCut(mw, *handle, 100).ok());
+  EXPECT_FALSE(RunCut(mw, *handle, 101).ok());
+  EXPECT_EQ(mw.stats().breaker_open, 1u);
+
+  // The open window elapses; the probe draws an injected parse error, which
+  // is surfaced as-is and says nothing about backend health.
+  mw.fault_injector()->ClearRules();
+  mw.fault_injector()->AddRule(
+      FaultRule{"", 0, /*permanent=*/true, 0, 0, StatusCode::kParseError});
+  clock->store(300.0);
+  auto probe = RunCut(mw, *handle, 102);
+  ASSERT_FALSE(probe.ok());
+  EXPECT_TRUE(probe.status().IsParseError()) << probe.status();
+  EXPECT_EQ(mw.fault_injector()->attempts(), 3u);
+
+  // The abandoned probe re-armed the open window: inside it, fast fail with
+  // no backend attempt (NOT a wedged half-open rejecting forever).
+  auto inside = RunCut(mw, *handle, 103);
+  ASSERT_FALSE(inside.ok());
+  EXPECT_TRUE(inside.status().IsUnavailable()) << inside.status();
+  EXPECT_EQ(mw.fault_injector()->attempts(), 3u);
+
+  // Backend recovers; after the restarted window a fresh probe closes it.
+  mw.fault_injector()->ClearRules();
+  clock->store(600.0);
+  auto recovered = RunCut(mw, *handle, 104);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->source, QueryResponse::Source::kDbms);
+  EXPECT_EQ(mw.stats().breaker_open, 1u);  // abandonment is not a transition
+}
+
+// Regression (review): a half-open probe whose deadline expires before the
+// backend runs (stalled by the injector) likewise abandons its probe slot;
+// once the backend recovers the breaker can still probe and close.
+TEST_F(FaultToleranceTest, BreakerProbeAbandonedOnDeadlineExpiry) {
+  auto clock = std::make_shared<std::atomic<double>>(0.0);
+  MiddlewareOptions options;
+  options.fault_injection = FaultInjectorOptions{};
+  options.fault_injection->rules.push_back(FaultRule{"", 0, /*permanent=*/true});
+  options.retry.max_attempts = 1;
+  options.circuit_breaker.failure_threshold = 2;
+  options.circuit_breaker.open_ms = 250.0;
+  options.circuit_breaker.clock_ms = [clock] { return clock->load(); };
+  Middleware mw(&engine_, options);
+  auto handle = mw.Prepare(kCutTemplate);
+  ASSERT_TRUE(handle.ok());
+
+  EXPECT_FALSE(RunCut(mw, *handle, 100).ok());
+  EXPECT_FALSE(RunCut(mw, *handle, 101).ok());
+  EXPECT_EQ(mw.stats().breaker_open, 1u);
+
+  // The probe stalls past its deadline and exits without a verdict.
+  mw.fault_injector()->ClearRules();
+  mw.fault_injector()->AddRule(FaultRule{"", 0, false, 0, /*stall_ms=*/10000});
+  clock->store(300.0);
+  QueryRequest request;
+  request.handle = *handle;
+  request.params = {{"cut", expr::EvalValue::Number(102)}};
+  request.deadline_ms = 100;
+  auto expired = mw.Submit(request)->Await();
+  ASSERT_FALSE(expired.ok());
+  EXPECT_TRUE(expired.status().IsDeadlineExceeded()) << expired.status();
+
+  // Backend recovers; the re-armed window elapses; a new probe succeeds.
+  mw.fault_injector()->ClearRules();
+  clock->store(600.0);
+  auto recovered = RunCut(mw, *handle, 103);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->source, QueryResponse::Source::kDbms);
+  auto after = RunCut(mw, *handle, 104);
+  ASSERT_TRUE(after.ok()) << after.status();
+}
+
 // A deadline that expires while the request is already on a worker resolves
 // as kDeadlineExceeded: the deadline gates *starting* backend work.
 TEST_F(FaultToleranceTest, DeadlineExpiryMidFlight) {
@@ -469,6 +559,85 @@ TEST_F(FaultToleranceTest, ChaosStressStatsStayCoherent) {
   EXPECT_GT(mw.fault_injector()->attempts(), 0u);
   // Errors are attributable: nothing failed without a cause counter.
   EXPECT_LE(stats.deadline_exceeded + stats.shed, stats.errors);
+}
+
+// A success reported late — by an execution admitted before the breaker
+// opened — must not close an open breaker and bypass the open_ms window
+// (symmetric with how RecordFailure ignores late reports while open).
+TEST(CircuitBreakerTest, LateSuccessWhileOpenIsIgnored) {
+  double now = 0;
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_ms = 100.0;
+  options.clock_ms = [&now] { return now; };
+  CircuitBreaker breaker(options);
+
+  EXPECT_TRUE(breaker.Admit("s"));
+  breaker.RecordFailure("s");
+  ASSERT_EQ(breaker.state("s"), CircuitBreaker::State::kOpen);
+
+  breaker.RecordSuccess("s");  // straggler from a pre-open admission
+  EXPECT_EQ(breaker.state("s"), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Admit("s")) << "late success bypassed the open window";
+
+  now = 150;
+  bool is_probe = false;
+  EXPECT_TRUE(breaker.Admit("s", &is_probe));
+  EXPECT_TRUE(is_probe);
+  breaker.RecordSuccess("s");  // the probe's own success does close it
+  EXPECT_EQ(breaker.state("s"), CircuitBreaker::State::kClosed);
+}
+
+// AbandonProbe releases a probe slot whose holder will never report,
+// re-arming the open window instead of wedging the breaker half-open.
+TEST(CircuitBreakerTest, AbandonProbeReArmsTheOpenWindow) {
+  double now = 0;
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_ms = 100.0;
+  options.clock_ms = [&now] { return now; };
+  CircuitBreaker breaker(options);
+
+  EXPECT_TRUE(breaker.Admit("s"));
+  breaker.RecordFailure("s");
+  now = 150;
+  bool is_probe = false;
+  ASSERT_TRUE(breaker.Admit("s", &is_probe));
+  ASSERT_TRUE(is_probe);
+  EXPECT_FALSE(breaker.Admit("s"));  // one probe at a time
+
+  breaker.AbandonProbe("s");
+  EXPECT_EQ(breaker.state("s"), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.open_transitions(), 1u);  // not a failure transition
+  EXPECT_FALSE(breaker.Admit("s"));  // window restarted at abandon time
+
+  now = 300;
+  is_probe = false;
+  EXPECT_TRUE(breaker.Admit("s", &is_probe));
+  EXPECT_TRUE(is_probe);
+  breaker.RecordSuccess("s");
+  EXPECT_EQ(breaker.state("s"), CircuitBreaker::State::kClosed);
+}
+
+// The injector's per-key attempt map only tracks keys some rule matches:
+// a long chaos bench over millions of distinct healthy queries must not
+// grow it without bound.
+TEST(FaultInjectorTest, TracksAttemptsOnlyForRuleMatchedKeys) {
+  FaultInjector quiet((FaultInjectorOptions{}));  // no rules at all
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(quiet.OnDbmsExecute("query-" + std::to_string(i)).fail);
+  }
+  EXPECT_EQ(quiet.tracked_keys(), 0u);
+  EXPECT_EQ(quiet.attempts(), 100u);
+
+  FaultInjectorOptions options;
+  options.rules.push_back(FaultRule{"orders", /*fail_times=*/1});
+  FaultInjector injector(std::move(options));
+  EXPECT_TRUE(injector.OnDbmsExecute("SELECT c FROM orders").fail);
+  EXPECT_FALSE(injector.OnDbmsExecute("SELECT c FROM users").fail);
+  EXPECT_FALSE(injector.OnDbmsExecute("SELECT c FROM orders").fail);  // recovered
+  EXPECT_EQ(injector.tracked_keys(), 1u);  // only the matched key
+  EXPECT_EQ(injector.attempts(), 3u);      // all attempts still counted
 }
 
 }  // namespace
