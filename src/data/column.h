@@ -191,6 +191,15 @@ class Column {
   std::shared_ptr<std::vector<uint8_t>> shared_validity() const;
   std::shared_ptr<std::vector<int32_t>> shared_codes() const;
 
+  // Storage identity, used by caches (storage::GetMorselZones) to key derived
+  // metadata. Storage is append-only: cells [0, length) are never overwritten
+  // while the same Storage object lives, so (identity, offset, length)
+  // uniquely determines cell contents. Hold the anchor weakly so a recycled
+  // allocation at the same address cannot alias a stale cache entry.
+  const void* storage_identity() const { return store_.get(); }
+  std::shared_ptr<const void> storage_anchor() const { return store_; }
+  size_t storage_offset() const { return offset_; }
+
  private:
   struct Storage {
     std::vector<uint8_t> validity;  // 1 = present, 0 = null

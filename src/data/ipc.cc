@@ -29,14 +29,14 @@ void PutU64(std::string* out, uint64_t v) {
   out->append(buf, 8);
 }
 
-bool GetU32(const std::string& in, size_t* pos, uint32_t* v) {
+bool GetU32(std::string_view in, size_t* pos, uint32_t* v) {
   if (*pos + 4 > in.size()) return false;
   std::memcpy(v, in.data() + *pos, 4);
   *pos += 4;
   return true;
 }
 
-bool GetU64(const std::string& in, size_t* pos, uint64_t* v) {
+bool GetU64(std::string_view in, size_t* pos, uint64_t* v) {
   if (*pos + 8 > in.size()) return false;
   std::memcpy(v, in.data() + *pos, 8);
   *pos += 8;
@@ -48,7 +48,7 @@ void PutString(std::string* out, const std::string& s) {
   out->append(s);
 }
 
-bool GetString(const std::string& in, size_t* pos, std::string* s) {
+bool GetString(std::string_view in, size_t* pos, std::string* s) {
   uint32_t len;
   if (!GetU32(in, pos, &len)) return false;
   if (*pos + len > in.size()) return false;
@@ -280,7 +280,7 @@ std::string SerializeBinary(const Table& table) {
   return out;
 }
 
-Result<TablePtr> DeserializeBinary(const std::string& buffer) {
+Result<TablePtr> DeserializeBinary(std::string_view buffer) {
   size_t pos = 0;
   if (buffer.size() < 4 || std::memcmp(buffer.data(), kMagic, 4) != 0) {
     return Status::ParseError("binary table: bad magic");
@@ -455,7 +455,7 @@ std::string SerializeEnvelope(const std::string& kind, const std::string& meta,
   return out;
 }
 
-Result<Envelope> DeserializeEnvelope(const std::string& buffer) {
+Result<Envelope> DeserializeEnvelope(std::string_view buffer) {
   if (buffer.size() < 4 || buffer.compare(0, 4, "VPE1") != 0) {
     return Status::InvalidArgument("ipc: bad envelope magic");
   }

@@ -12,6 +12,7 @@
 #define VEGAPLUS_DATA_IPC_H_
 
 #include <string>
+#include <string_view>
 
 #include "common/result.h"
 #include "data/table.h"
@@ -37,11 +38,14 @@ Result<TablePtr> JsonToTable(const json::Value& rows);
 
 // ---- Columnar binary encoding ----
 
-/// Encode a table into the columnar binary format (magic "VPT1").
+/// Encode a table into the columnar binary format (magic "VPT2").
 std::string SerializeBinary(const Table& table);
 
-/// Decode a columnar binary buffer produced by SerializeBinary.
-Result<TablePtr> DeserializeBinary(const std::string& buffer);
+/// Decode a columnar binary buffer produced by SerializeBinary. Takes a view
+/// so callers holding mapped files (storage::ColumnFile) decode a chunk
+/// without first copying its bytes into a std::string; the decoded table
+/// owns its cells, so the view may be invalidated afterwards.
+Result<TablePtr> DeserializeBinary(std::string_view buffer);
 
 // ---- Tagged envelope ----
 //
@@ -63,8 +67,9 @@ struct Envelope {
 std::string SerializeEnvelope(const std::string& kind, const std::string& meta,
                               const Table& table);
 
-/// Decode an envelope produced by SerializeEnvelope.
-Result<Envelope> DeserializeEnvelope(const std::string& buffer);
+/// Decode an envelope produced by SerializeEnvelope (view-based for the same
+/// reason as DeserializeBinary; the body is decoded in place, not copied).
+Result<Envelope> DeserializeEnvelope(std::string_view buffer);
 
 }  // namespace data
 }  // namespace vegaplus

@@ -13,6 +13,8 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "expr/functions.h"
+#include "storage/stats.h"
+#include "storage/zone_map.h"
 
 namespace vegaplus {
 namespace expr {
@@ -1378,6 +1380,76 @@ bool MorselWorthIt(size_t num_morsels) {
          parallel::MorselParallelism() > 1;
 }
 
+/// Fused comparison ops map 1:1 onto zone-map ops; anything else (And/Or,
+/// arithmetic) never appears in fused_preds.
+bool ZoneCmpOf(BinaryOp cmp, storage::CmpOp* out) {
+  switch (cmp) {
+    case BinaryOp::kEq: *out = storage::CmpOp::kEq; return true;
+    case BinaryOp::kNeq: *out = storage::CmpOp::kNeq; return true;
+    case BinaryOp::kLt: *out = storage::CmpOp::kLt; return true;
+    case BinaryOp::kLte: *out = storage::CmpOp::kLte; return true;
+    case BinaryOp::kGt: *out = storage::CmpOp::kGt; return true;
+    case BinaryOp::kGte: *out = storage::CmpOp::kGte; return true;
+    default: return false;
+  }
+}
+
+/// Zone-map pruning of whole morsels for a fused AND-of-conjuncts filter:
+/// skip[m] == 1 means no row of morsel m can pass the conjunction, so its
+/// filter run (which would select nothing) is skipped entirely. Returns an
+/// empty vector when nothing is prunable, which keeps the common path free.
+///
+/// Sound regardless of whether PreparePreds later takes the fused loops or
+/// the general register path: fused_preds is only non-empty when the whole
+/// program is the AND-tree, both paths implement the same per-row
+/// comparison semantics, and ColumnZone::MayMatch* over-approximates them.
+/// Conjuncts whose column type does not line up with the zone kind simply
+/// never prune (MayMatch* returns true on kind mismatch).
+std::vector<uint8_t> ZoneSkipMorsels(const data::Table& table, const Program& p,
+                                     const std::vector<parallel::Range>& morsels) {
+  if (p.fused_preds.empty() || morsels.size() < 2 ||
+      !storage::ZoneMapPruningEnabled()) {
+    return {};
+  }
+  std::vector<uint8_t> skip(morsels.size(), 0);
+  size_t pruned = 0;
+  for (const Program::FusedPred& fp : p.fused_preds) {
+    storage::CmpOp cmp;
+    if (!ZoneCmpOf(fp.cmp, &cmp)) continue;
+    if (fp.col < 0 || static_cast<size_t>(fp.col) >= table.num_columns()) continue;
+    const Column& col = table.column(static_cast<size_t>(fp.col));
+    const auto zones = storage::GetMorselZones(col, morsels);
+    // Dictionary constants resolve exactly like the fused loop's
+    // DictCodeOf: -2 when absent (so == prunes everywhere, != nowhere
+    // with nulls present).
+    int32_t code = -2;
+    const std::string* sconst = nullptr;
+    if (fp.is_str) {
+      sconst = &p.str_consts[static_cast<size_t>(fp.str_const)];
+      if (col.dict_encoded()) code = DictCodeOf(col.dict(), *sconst);
+    }
+    for (size_t m = 0; m < morsels.size(); ++m) {
+      if (skip[m]) continue;
+      const storage::ColumnZone& z = (*zones)[m];
+      bool may_match = true;
+      if (!fp.is_str) {
+        may_match = z.MayMatchNumeric(cmp, fp.num_const);
+      } else if (col.dict_encoded()) {
+        may_match = z.MayMatchDictCode(cmp, code);
+      } else {
+        may_match = z.MayMatchString(cmp, *sconst);
+      }
+      if (!may_match) {
+        skip[m] = 1;
+        ++pruned;
+      }
+    }
+  }
+  if (pruned == 0) return {};
+  storage::AddMorselsPruned(pruned);
+  return skip;
+}
+
 /// Stitch per-morsel result registers (in morsel order) into one register of
 /// `n` rows. Registers are per-row containers, so concatenation in morsel
 /// order reproduces the full-batch register exactly. Constness is structural
@@ -1472,12 +1544,31 @@ Vec RunMorselParallel(const data::Table& table, const Program& p) {
 void RunFilterMorselParallel(const data::Table& table, const Program& p,
                              std::vector<int32_t>* sel) {
   const std::vector<parallel::Range> morsels = parallel::MorselRanges(table.num_rows());
+  // Zone-map morsel pruning: a pruned morsel's filter run would select
+  // nothing, so skipping it leaves the stitched selection vector
+  // bit-identical while saving the scan.
+  const std::vector<uint8_t> skip = ZoneSkipMorsels(table, p, morsels);
   if (!MorselWorthIt(morsels.size())) {
+    if (!skip.empty()) {
+      // Sequential, but still morsel-at-a-time so pruning pays off (zone
+      // maps accelerate the in-memory case independent of parallelism).
+      for (size_t m = 0; m < morsels.size(); ++m) {
+        if (skip[m]) continue;
+        data::TablePtr slice = table.Slice(morsels[m].begin, morsels[m].size());
+        std::vector<int32_t> part;
+        BatchEvaluator(*slice).RunFilter(p, &part);
+        const int32_t offset = static_cast<int32_t>(morsels[m].begin);
+        sel->reserve(sel->size() + part.size());
+        for (int32_t r : part) sel->push_back(r + offset);
+      }
+      return;
+    }
     BatchEvaluator(table).RunFilter(p, sel);
     return;
   }
   std::vector<std::vector<int32_t>> parts(morsels.size());
   parallel::ParallelFor(morsels.size(), [&](size_t m) {
+    if (!skip.empty() && skip[m]) return;  // zone-pruned: selects nothing
     data::TablePtr slice = table.Slice(morsels[m].begin, morsels[m].size());
     BatchEvaluator(*slice).RunFilter(p, &parts[m]);
     // Slice-local row ids -> table row ids.

@@ -3,6 +3,7 @@
 #include "common/parallel.h"
 #include "data/column.h"
 #include "expr/batch_eval.h"
+#include "storage/stats.h"
 #include "tiles/tile_store.h"
 
 namespace vegaplus {
@@ -16,6 +17,8 @@ EngineConfig EngineConfig::Current() {
   cfg.morsel_threads = parallel::MorselParallelism();
   cfg.morsel_rows = parallel::MorselRows();
   cfg.tile_serving = tiles::TileServingEnabled();
+  cfg.zone_map_pruning = storage::ZoneMapPruningEnabled();
+  cfg.storage_residency_bytes = storage::DefaultResidencyBudget();
   return cfg;
 }
 
@@ -26,6 +29,8 @@ void EngineConfig::Apply() const {
   parallel::SetMorselParallelism(morsel_threads);
   parallel::SetMorselRows(morsel_rows);
   tiles::SetTileServingEnabled(tile_serving);
+  storage::SetZoneMapPruningEnabled(zone_map_pruning);
+  storage::SetDefaultResidencyBudget(storage_residency_bytes);
 }
 
 }  // namespace runtime

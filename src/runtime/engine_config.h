@@ -39,6 +39,13 @@ struct EngineConfig {
   size_t morsel_rows = 16384;
   /// Middleware-side multi-resolution tile serving for bin+aggregate shapes.
   bool tile_serving = true;
+  /// Zone-map pruning of chunks/morsels in the storage layer and the fused
+  /// filter path. Disabling it is the differential baseline: every scan
+  /// decodes and evaluates everything, results must stay bit-identical.
+  bool zone_map_pruning = true;
+  /// Byte budget for decoded chunks resident per storage::Reader (LRU
+  /// evicted beyond it). 0 = unbounded.
+  size_t storage_residency_bytes = 256 << 20;
 
   /// Snapshot the live process-wide switches.
   static EngineConfig Current();

@@ -9,6 +9,7 @@
 #include "common/random.h"
 #include "data/ipc.h"
 #include "expr/sql_translator.h"
+#include "storage/stats.h"
 
 namespace vegaplus {
 namespace runtime {
@@ -198,17 +199,34 @@ QueryTicketPtr Session::Submit(const QueryRequest& request) {
     return ticket;
   }
 
-  switch (owner_->pool_->TrySubmit(
-      [owner = owner_, self = shared_from_this(), ticket, stmt,
-       params = request.params, key = std::move(key), deadline]() mutable {
-        owner->RunQueryTask(std::move(self), std::move(ticket), std::move(stmt),
-                            std::move(params), std::move(key), deadline);
-      })) {
+  // The session is charged for the task from submission until a worker picks
+  // it up; the count is the fairness signal for shed-the-heaviest admission.
+  queued_.fetch_add(1, std::memory_order_relaxed);
+  auto task = [owner = owner_, self = shared_from_this(), ticket, stmt,
+               params = request.params, key = std::move(key),
+               deadline]() mutable {
+    self->queued_.fetch_sub(1, std::memory_order_relaxed);
+    owner->RunQueryTask(std::move(self), std::move(ticket), std::move(stmt),
+                        std::move(params), std::move(key), deadline);
+  };
+  WorkerPool::Admission admission;
+  if (owner_->ShouldBypassQueueBound(this)) {
+    // Saturated queue, but a heavier session is responsible: admit past the
+    // bound (Submit ignores it) so this client is not punished for someone
+    // else's flood. Sheds stay attributed to the saturating session.
+    admission = owner_->pool_->Submit(std::move(task))
+                    ? WorkerPool::Admission::kAccepted
+                    : WorkerPool::Admission::kShutdown;
+  } else {
+    admission = owner_->pool_->TrySubmit(std::move(task));
+  }
+  switch (admission) {
     case WorkerPool::Admission::kAccepted:
       break;
     case WorkerPool::Admission::kShed:
       // Bounded queue full: refuse now rather than queue a result the
       // client will receive long after it stopped caring.
+      queued_.fetch_sub(1, std::memory_order_relaxed);
       if (ticket->CommitDelivery()) {
         owner_->RecordShed(this);
       } else {
@@ -220,6 +238,7 @@ QueryTicketPtr Session::Submit(const QueryRequest& request) {
     case WorkerPool::Admission::kShutdown:
       // Pool already shutting down: no worker will ever run the task, so the
       // ticket must resolve here — otherwise Await would hang forever.
+      queued_.fetch_sub(1, std::memory_order_relaxed);
       ticket->Cancel();
       owner_->RecordCancelled(this);
       break;
@@ -265,6 +284,11 @@ Middleware::Middleware(const sql::Engine* engine, MiddlewareOptions options)
   if (options_.fault_injection.has_value()) {
     fault_injector_ = std::make_unique<FaultInjector>(*options_.fault_injection);
   }
+  // Storage counters are process-wide; rebase on construction so this
+  // middleware reports only its own lifetime's activity.
+  storage_chunks_pruned_baseline_ = storage::ChunksPruned();
+  storage_morsels_pruned_baseline_ = storage::MorselsPruned();
+  storage_chunks_paged_in_baseline_ = storage::ChunksPagedIn();
   default_session_ = CreateSession();
 }
 
@@ -684,6 +708,26 @@ void Middleware::RunQueryTask(std::shared_ptr<Session> session, QueryTicketPtr t
 // accumulator. dbms_executions is counted at execution time in RunQueryTask
 // (the work happened even when the delivery is later turned into a
 // cancellation), so completion recording only attributes the delivery tier.
+// At a saturated queue the shed should land on whoever is flooding it. A
+// session bypasses the bound iff some *other* live session has strictly more
+// tasks queued — the strict compare makes the heaviest (and every session
+// tied for heaviest) shed, so with a single submitter the behavior is
+// exactly the legacy bound, and rejected_count() still equals sheds.
+bool Middleware::ShouldBypassQueueBound(const Session* session) const {
+  const size_t bound = options_.max_queue_depth;
+  if (bound == 0 || pool_->queue_depth() < bound) return false;
+  // The caller has already counted the request being admitted in queued();
+  // exclude it so the comparison reflects backlog, not the decision itself.
+  const size_t mine = session->queued() - 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& slot : sessions_) {
+    auto other = slot.session.lock();
+    if (!other || other.get() == session) continue;
+    if (other->queued() > mine) return true;
+  }
+  return false;
+}
+
 void Middleware::RecordCompletion(Session* session, const QueryResponse& response) {
   std::lock_guard<std::mutex> lock(session->stats_block_->mu);
   SessionStats& stats = session->stats_block_->stats;
@@ -779,6 +823,13 @@ Middleware::Stats Middleware::stats() const {
   out.sessions = sessions_created_;
   out.bytes_transferred = total.bytes_transferred;
   out.total_latency_ms = total.total_latency_ms;
+  out.storage_chunks_pruned =
+      storage::ChunksPruned() - storage_chunks_pruned_baseline_;
+  out.storage_morsels_pruned =
+      storage::MorselsPruned() - storage_morsels_pruned_baseline_;
+  out.storage_chunks_paged_in =
+      storage::ChunksPagedIn() - storage_chunks_paged_in_baseline_;
+  out.storage_resident_bytes = storage::ResidentBytes();
   return out;
 }
 
@@ -793,6 +844,9 @@ void Middleware::ResetStats() {
   // sessions_created_ / prepared_statements_created_ describe registry
   // state, not traffic; they survive a reset (as before).
   breaker_open_baseline_ = breaker_->open_transitions();
+  storage_chunks_pruned_baseline_ = storage::ChunksPruned();
+  storage_morsels_pruned_baseline_ = storage::MorselsPruned();
+  storage_chunks_paged_in_baseline_ = storage::ChunksPagedIn();
 }
 
 void Middleware::ClearCaches() {

@@ -20,6 +20,7 @@
 #ifndef VEGAPLUS_RUNTIME_MIDDLEWARE_H_
 #define VEGAPLUS_RUNTIME_MIDDLEWARE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <functional>
@@ -109,6 +110,11 @@ struct MiddlewareOptions {
   /// load-shed with kUnavailable instead of queueing unboundedly — under
   /// saturation a fast refusal beats a result that arrives after the client
   /// has already moved on. 0 = unbounded (legacy behavior).
+  ///
+  /// Shedding is fairness-aware: at the bound, only the session with the
+  /// most tasks already queued is refused (the heaviest submitter is the
+  /// one causing the saturation); lighter sessions are still admitted, so
+  /// one runaway dashboard cannot starve every other client's admission.
   size_t max_queue_depth = 0;
   /// When fresh execution is impossible (open breaker, expired deadline,
   /// retries exhausted), serve a stale-but-marked cached result or a coarser
@@ -193,6 +199,11 @@ class Session : public rewrite::QueryService,
 
   uint64_t id() const { return id_; }
 
+  /// Tasks this session has queued on the worker pool that have not yet
+  /// started running. The admission-fairness signal: at a saturated queue,
+  /// the session with the largest value is shed first.
+  size_t queued() const { return queued_.load(std::memory_order_relaxed); }
+
   void ClearCache();
 
  private:
@@ -206,6 +217,8 @@ class Session : public rewrite::QueryService,
 
   Middleware* owner_;
   uint64_t id_;
+  /// Queued-but-not-running worker tasks attributed to this session.
+  std::atomic<size_t> queued_{0};
   mutable std::mutex mu_;
   QueryCache cache_;
   /// Shared with the Middleware's session registry; see SessionStatsBlock.
@@ -283,6 +296,11 @@ class Middleware : public rewrite::QueryService {
     size_t sessions = 0;
     size_t bytes_transferred = 0;
     double total_latency_ms = 0;
+    // Out-of-core storage activity since construction / ResetStats().
+    size_t storage_chunks_pruned = 0;   ///< shard chunks skipped via zone maps
+    size_t storage_morsels_pruned = 0;  ///< in-memory morsels skipped likewise
+    size_t storage_chunks_paged_in = 0; ///< shard chunks decoded into residency
+    size_t storage_resident_bytes = 0;  ///< current decoded-chunk gauge (raw)
   };
   Stats stats() const;
   void ResetStats();
@@ -348,6 +366,11 @@ class Middleware : public rewrite::QueryService {
                      std::optional<std::chrono::steady_clock::time_point> deadline);
   void LeaveInFlight(const std::string& key);
 
+  /// True when the bounded queue is saturated but `session` is not (one of)
+  /// the heaviest submitters — such sessions bypass the bound instead of
+  /// being shed, so admission refusals land on the session causing the load.
+  bool ShouldBypassQueueBound(const Session* session) const;
+
   void RecordCompletion(Session* session, const rewrite::QueryResponse& response);
   void RecordCancelled(Session* session);
   void RecordError(Session* session, const Status& status);
@@ -408,6 +431,11 @@ class Middleware : public rewrite::QueryService {
   size_t prepared_statements_created_ = 0;
   /// ResetStats() rebases breaker_open on this monotone counter.
   size_t breaker_open_baseline_ = 0;
+  /// Likewise for the process-wide storage counters (monotone; the gauge
+  /// storage_resident_bytes is reported raw, not rebased).
+  size_t storage_chunks_pruned_baseline_ = 0;
+  size_t storage_morsels_pruned_baseline_ = 0;
+  size_t storage_chunks_paged_in_baseline_ = 0;
   uint64_t next_session_id_ = 1;
 
   std::unique_ptr<CircuitBreaker> breaker_;

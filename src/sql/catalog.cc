@@ -10,6 +10,17 @@ void Catalog::RegisterTable(const std::string& name, data::TablePtr table) {
   tables_[name] = std::move(entry);
 }
 
+Status Catalog::RegisterShardTable(const std::string& name,
+                                   std::shared_ptr<storage::Reader> shard) {
+  Entry entry;
+  VP_ASSIGN_OR_RETURN(data::TablePtr all, shard->ReadAll());
+  entry.stats = data::ComputeTableStats(*all);
+  shard->EvictAll();
+  entry.shard = std::move(shard);
+  tables_[name] = std::move(entry);
+  return Status::OK();
+}
+
 void Catalog::DropTable(const std::string& name) { tables_.erase(name); }
 
 Result<data::TablePtr> Catalog::GetTable(const std::string& name) const {
@@ -17,7 +28,13 @@ Result<data::TablePtr> Catalog::GetTable(const std::string& name) const {
   if (it == tables_.end()) {
     return Status::KeyError("catalog: unknown table '" + name + "'");
   }
+  if (it->second.shard != nullptr) return it->second.shard->ReadAll();
   return it->second.table;
+}
+
+std::shared_ptr<storage::Reader> Catalog::GetShard(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.shard;
 }
 
 const data::TableStats* Catalog::GetStats(const std::string& name) const {

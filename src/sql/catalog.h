@@ -10,22 +10,41 @@
 #include "common/result.h"
 #include "data/stats.h"
 #include "data/table.h"
+#include "storage/reader.h"
 
 namespace vegaplus {
 namespace sql {
 
 /// \brief Table registry with per-table statistics.
+///
+/// Tables come in two flavors: in-memory (a TablePtr pinned by the entry)
+/// and shard-backed (a storage::Reader over an on-disk columnar shard;
+/// chunks page in on demand and the WHERE path prunes them by zone map
+/// before decode). Both answer GetTable with a plain table, so every
+/// consumer downstream of the scan is storage-agnostic.
 class Catalog {
  public:
   /// Register (or replace) a table; computes stats with one full scan.
   void RegisterTable(const std::string& name, data::TablePtr table);
+
+  /// Register (or replace) a shard-backed table. Stats come from one full
+  /// materializing scan, which is then evicted so registration does not pin
+  /// the whole shard in memory.
+  Status RegisterShardTable(const std::string& name,
+                            std::shared_ptr<storage::Reader> shard);
 
   /// Drop a table; no-op if absent.
   void DropTable(const std::string& name);
 
   bool HasTable(const std::string& name) const { return tables_.count(name) > 0; }
 
+  /// The whole table. Shard-backed entries materialize every chunk (built
+  /// fresh per call; only chunks are cached, under the reader's budget).
   Result<data::TablePtr> GetTable(const std::string& name) const;
+
+  /// The shard reader behind `name`, or nullptr for in-memory tables and
+  /// unknown names — the scan path branches on this to push predicates down.
+  std::shared_ptr<storage::Reader> GetShard(const std::string& name) const;
 
   /// Stats for `name`; nullptr if unknown.
   const data::TableStats* GetStats(const std::string& name) const;
@@ -34,7 +53,8 @@ class Catalog {
 
  private:
   struct Entry {
-    data::TablePtr table;
+    data::TablePtr table;                     // in-memory entries
+    std::shared_ptr<storage::Reader> shard;   // shard-backed entries
     data::TableStats stats;
   };
   std::map<std::string, Entry> tables_;

@@ -31,6 +31,14 @@ class Engine {
     catalog_.RegisterTable(name, std::move(table));
   }
 
+  /// Register (or replace) a shard-backed base table (storage::Reader over
+  /// an on-disk columnar shard); scans page chunks in on demand and prune
+  /// them by zone map against the WHERE clause.
+  Status RegisterShardTable(const std::string& name,
+                            std::shared_ptr<storage::Reader> shard) {
+    return catalog_.RegisterShardTable(name, std::move(shard));
+  }
+
   const Catalog& catalog() const { return catalog_; }
 
   /// Parse and execute one SELECT.

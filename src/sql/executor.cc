@@ -8,6 +8,8 @@
 #include "common/str_util.h"
 #include "expr/batch_eval.h"
 #include "expr/evaluator.h"
+#include "storage/reader.h"
+#include "storage/stats.h"
 
 namespace vegaplus {
 namespace sql {
@@ -64,6 +66,52 @@ Vec EvalVec(const NodePtr& node, const Table& table,
     values.push_back(EvalScalar(node, table, r));
   }
   return expr::BoxedVec(std::move(values));
+}
+
+/// The fused comparison ops map 1:1 onto zone-map ops; fused_preds never
+/// carries anything else, but an unmappable conjunct is simply not pushed
+/// down (dropping a conjunct from a conjunction only weakens pruning).
+bool ShardCmpOf(expr::BinaryOp cmp, storage::CmpOp* out) {
+  switch (cmp) {
+    case expr::BinaryOp::kEq: *out = storage::CmpOp::kEq; return true;
+    case expr::BinaryOp::kNeq: *out = storage::CmpOp::kNeq; return true;
+    case expr::BinaryOp::kLt: *out = storage::CmpOp::kLt; return true;
+    case expr::BinaryOp::kLte: *out = storage::CmpOp::kLte; return true;
+    case expr::BinaryOp::kGt: *out = storage::CmpOp::kGt; return true;
+    case expr::BinaryOp::kGte: *out = storage::CmpOp::kGte; return true;
+    default: return false;
+  }
+}
+
+/// Scan entry point for shard-backed FROM sources: when the WHERE clause
+/// compiles to a fused AND-of-conjuncts, push the conjuncts into the
+/// storage layer so zone maps prune chunks before decode. The surviving
+/// chunks still go through the ordinary FilterRows pass, so pruning only
+/// has to be sound, not exact — and disabling it (EngineConfig) degrades
+/// to a full materializing scan with identical results.
+Result<TablePtr> ShardInput(const storage::Reader& shard, const SelectStmt& stmt) {
+  if (stmt.where != nullptr && expr::VectorizedEnabled() &&
+      storage::ZoneMapPruningEnabled()) {
+    if (auto program = Compiler::Compile(stmt.where, shard.schema())) {
+      if (!program->fused_preds.empty()) {
+        std::vector<storage::Predicate> preds;
+        preds.reserve(program->fused_preds.size());
+        for (const auto& fp : program->fused_preds) {
+          storage::Predicate pred;
+          if (!ShardCmpOf(fp.cmp, &pred.cmp)) continue;
+          pred.col = fp.col;
+          pred.is_str = fp.is_str;
+          pred.num_const = fp.num_const;
+          if (fp.is_str) {
+            pred.str_const = program->str_consts[static_cast<size_t>(fp.str_const)];
+          }
+          preds.push_back(std::move(pred));
+        }
+        if (!preds.empty()) return shard.MaterializeMatching(preds);
+      }
+    }
+  }
+  return shard.ReadAll();
 }
 
 /// Append the row indices of `table` where `pred` is truthy: the vectorized
@@ -417,7 +465,12 @@ Result<TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
   if (stmt.from.subquery) {
     VP_ASSIGN_OR_RETURN(input, ExecuteSelect(*stmt.from.subquery, catalog, stats));
   } else if (!stmt.from.table_name.empty()) {
-    VP_ASSIGN_OR_RETURN(input, catalog.GetTable(stmt.from.table_name));
+    if (std::shared_ptr<storage::Reader> shard =
+            catalog.GetShard(stmt.from.table_name)) {
+      VP_ASSIGN_OR_RETURN(input, ShardInput(*shard, stmt));
+    } else {
+      VP_ASSIGN_OR_RETURN(input, catalog.GetTable(stmt.from.table_name));
+    }
     local.rows_scanned += input->num_rows();
   } else {
     return Status::InvalidArgument("SQL exec: missing FROM source");

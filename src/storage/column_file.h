@@ -1,0 +1,88 @@
+// ColumnFile: read side of the "VPS1" shard format (see table_shard.h).
+//
+// Open() maps the file read-only (mmap on POSIX, a heap read elsewhere) and
+// validates the header, dictionary pages, and chunk directory up front —
+// corrupted or truncated shards fail Open or DecodeChunk with a Status, never
+// a crash. Chunk payloads stay untouched in the mapping until DecodeChunk
+// pages one in: decode works directly on a string_view of the mapped bytes
+// (zero copies before the typed column buffers are built), then chunk-local
+// compacted dictionary codes are remapped onto the file's shared dictionary
+// page so every chunk of a column shares one DictPtr.
+#ifndef VEGAPLUS_STORAGE_COLUMN_FILE_H_
+#define VEGAPLUS_STORAGE_COLUMN_FILE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/table.h"
+#include "storage/zone_map.h"
+
+namespace vegaplus {
+namespace storage {
+
+class ColumnFile {
+ public:
+  struct ChunkInfo {
+    uint64_t row_begin = 0;
+    uint64_t rows = 0;
+    uint64_t payload_off = 0;
+    uint64_t payload_size = 0;
+  };
+
+  /// Map and validate a shard. The returned object is immutable and safe to
+  /// share across threads.
+  static Result<std::shared_ptr<ColumnFile>> Open(const std::string& path);
+
+  ~ColumnFile();
+  ColumnFile(const ColumnFile&) = delete;
+  ColumnFile& operator=(const ColumnFile&) = delete;
+
+  const std::string& path() const { return path_; }
+  const std::string& kind() const { return kind_; }
+  const std::string& meta() const { return meta_; }
+  const data::Schema& schema() const { return schema_; }
+  uint64_t total_rows() const { return total_rows_; }
+  uint64_t chunk_rows() const { return chunk_rows_; }
+  size_t num_chunks() const { return chunks_.size(); }
+  const ChunkInfo& chunk(size_t i) const { return chunks_[i]; }
+  /// Zone of column `col` over chunk `i`.
+  const ColumnZone& zone(size_t i, size_t col) const {
+    return zones_[i * schema_.num_fields() + col];
+  }
+  /// Shared dictionary page of column `col`; nullptr when the column was
+  /// written flat (or is not a string column).
+  const data::DictPtr& dict(size_t col) const { return dicts_[col]; }
+  size_t file_bytes() const { return size_; }
+
+  /// Decode chunk `i` into an owning table (columns share the file's
+  /// dictionary pages). Pure: safe concurrently from any thread.
+  Result<data::TablePtr> DecodeChunk(size_t i) const;
+
+ private:
+  ColumnFile() = default;
+
+  Status ParseAndValidate();
+
+  std::string path_;
+  // Mapped (or heap-loaded) file image.
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  void* map_base_ = nullptr;   // non-null when mmap'd
+  std::string heap_buffer_;    // fallback owner when not mmap'd
+
+  std::string kind_;
+  std::string meta_;
+  data::Schema schema_;
+  uint64_t total_rows_ = 0;
+  uint64_t chunk_rows_ = 0;
+  std::vector<data::DictPtr> dicts_;
+  std::vector<ChunkInfo> chunks_;
+  std::vector<ColumnZone> zones_;  // num_chunks x num_cols, row-major
+};
+
+}  // namespace storage
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_STORAGE_COLUMN_FILE_H_

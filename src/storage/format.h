@@ -1,0 +1,96 @@
+// Little-endian put/get helpers shared by the shard writer, the column-file
+// parser, and zone-map (de)serialization. Same wire conventions as the IPC
+// codec (data/ipc.cc): u32/u64 memcpy'd little-endian, strings as u32 length
+// + bytes. Internal to the storage module.
+#ifndef VEGAPLUS_STORAGE_FORMAT_H_
+#define VEGAPLUS_STORAGE_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace vegaplus {
+namespace storage {
+namespace format {
+
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+inline void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+inline void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  PutU64(out, bits);
+}
+
+inline void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+inline bool GetU8(std::string_view in, size_t* pos, uint8_t* v) {
+  if (*pos + 1 > in.size()) return false;
+  *v = static_cast<uint8_t>(in[*pos]);
+  *pos += 1;
+  return true;
+}
+
+inline bool GetU32(std::string_view in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, 4);
+  *pos += 4;
+  return true;
+}
+
+inline bool GetU64(std::string_view in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+inline bool GetI32(std::string_view in, size_t* pos, int32_t* v) {
+  uint32_t u;
+  if (!GetU32(in, pos, &u)) return false;
+  *v = static_cast<int32_t>(u);
+  return true;
+}
+
+inline bool GetF64(std::string_view in, size_t* pos, double* v) {
+  uint64_t bits;
+  if (!GetU64(in, pos, &bits)) return false;
+  std::memcpy(v, &bits, 8);
+  return true;
+}
+
+inline bool GetString(std::string_view in, size_t* pos, std::string* s) {
+  uint32_t len;
+  if (!GetU32(in, pos, &len)) return false;
+  if (*pos + len > in.size()) return false;
+  s->assign(in.data() + *pos, len);
+  *pos += len;
+  return true;
+}
+
+}  // namespace format
+}  // namespace storage
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_STORAGE_FORMAT_H_

@@ -1,0 +1,289 @@
+#include "storage/reader.h"
+
+#include <utility>
+
+#include "storage/stats.h"
+
+namespace vegaplus {
+namespace storage {
+
+Reader::Reader(std::shared_ptr<const ColumnFile> file)
+    : file_(std::move(file)), budget_(DefaultResidencyBudget()) {}
+
+Result<std::shared_ptr<Reader>> Reader::Open(const std::string& path) {
+  VP_ASSIGN_OR_RETURN(std::shared_ptr<ColumnFile> file, ColumnFile::Open(path));
+  return std::shared_ptr<Reader>(new Reader(std::move(file)));
+}
+
+Reader::~Reader() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (resident_bytes_ > 0) {
+    AddResidentBytes(-static_cast<int64_t>(resident_bytes_));
+  }
+}
+
+void Reader::set_residency_budget(size_t bytes) {
+  budget_.store(bytes, std::memory_order_relaxed);
+  // Shrink eagerly so tests and benchmarks observe the new bound at once.
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t budget = bytes;
+  while (budget > 0 && resident_bytes_ > budget && !lru_.empty()) {
+    const size_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = resident_.find(victim);
+    resident_bytes_ -= it->second.bytes;
+    AddResidentBytes(-static_cast<int64_t>(it->second.bytes));
+    resident_.erase(it);
+  }
+}
+
+size_t Reader::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+Result<data::TablePtr> Reader::Chunk(size_t i) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = resident_.find(i);
+    if (it != resident_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.table;
+    }
+  }
+
+  // Decode outside the lock; concurrent first touches may decode twice, the
+  // first insertion wins and the loser's copy is dropped.
+  VP_ASSIGN_OR_RETURN(data::TablePtr table, file_->DecodeChunk(i));
+  AddChunksPagedIn(1);
+  const size_t bytes = static_cast<size_t>(file_->chunk(i).payload_size);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = resident_.find(i);
+  if (it != resident_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.table;
+  }
+  lru_.push_front(i);
+  resident_.emplace(i, Resident{table, bytes, lru_.begin()});
+  resident_bytes_ += bytes;
+  AddResidentBytes(static_cast<int64_t>(bytes));
+  const size_t budget = budget_.load(std::memory_order_relaxed);
+  while (budget > 0 && resident_bytes_ > budget && lru_.size() > 1) {
+    const size_t victim = lru_.back();
+    lru_.pop_back();
+    auto vit = resident_.find(victim);
+    resident_bytes_ -= vit->second.bytes;
+    AddResidentBytes(-static_cast<int64_t>(vit->second.bytes));
+    resident_.erase(vit);
+  }
+  return table;
+}
+
+Result<data::TablePtr> Reader::ReadAll() const {
+  std::vector<data::TablePtr> chunks;
+  chunks.reserve(file_->num_chunks());
+  for (size_t i = 0; i < file_->num_chunks(); ++i) {
+    VP_ASSIGN_OR_RETURN(data::TablePtr chunk, Chunk(i));
+    chunks.push_back(std::move(chunk));
+  }
+  return Concat(chunks);
+}
+
+bool Reader::ChunkPruned(size_t i, const std::vector<Predicate>& preds,
+                         const std::vector<int32_t>& dict_codes) const {
+  for (size_t p = 0; p < preds.size(); ++p) {
+    const Predicate& pred = preds[p];
+    if (pred.col < 0 ||
+        static_cast<size_t>(pred.col) >= file_->schema().num_fields()) {
+      continue;  // unknown column: cannot prune on it
+    }
+    const ColumnZone& zone = file_->zone(i, static_cast<size_t>(pred.col));
+    bool may_match = true;
+    if (!pred.is_str) {
+      may_match = zone.MayMatchNumeric(pred.cmp, pred.num_const);
+    } else if (file_->dict(static_cast<size_t>(pred.col)) != nullptr) {
+      may_match = zone.MayMatchDictCode(pred.cmp, dict_codes[p]);
+    } else {
+      may_match = zone.MayMatchString(pred.cmp, pred.str_const);
+    }
+    // The predicates are a conjunction: one impossible conjunct kills the
+    // whole chunk.
+    if (!may_match) return true;
+  }
+  return false;
+}
+
+Result<data::TablePtr> Reader::MaterializeMatching(
+    const std::vector<Predicate>& preds, ScanStats* stats) const {
+  const bool prune = ZoneMapPruningEnabled() && !preds.empty();
+
+  // Resolve string constants against the file dictionaries once. An absent
+  // constant resolves to -2, mirroring the expression engine (null cells
+  // carry -1, so == matches nothing and != matches everything).
+  std::vector<int32_t> dict_codes(preds.size(), -2);
+  if (prune) {
+    for (size_t p = 0; p < preds.size(); ++p) {
+      const Predicate& pred = preds[p];
+      if (!pred.is_str || pred.col < 0 ||
+          static_cast<size_t>(pred.col) >= file_->schema().num_fields()) {
+        continue;
+      }
+      const data::DictPtr& dict = file_->dict(static_cast<size_t>(pred.col));
+      if (dict == nullptr) continue;
+      const int32_t code = dict->Find(pred.str_const);
+      dict_codes[p] = code < 0 ? -2 : code;
+    }
+  }
+
+  std::vector<data::TablePtr> survivors;
+  survivors.reserve(file_->num_chunks());
+  uint64_t pruned = 0;
+  for (size_t i = 0; i < file_->num_chunks(); ++i) {
+    if (prune && ChunkPruned(i, preds, dict_codes)) {
+      ++pruned;
+      continue;
+    }
+    VP_ASSIGN_OR_RETURN(data::TablePtr chunk, Chunk(i));
+    survivors.push_back(std::move(chunk));
+  }
+  if (pruned > 0) AddChunksPruned(pruned);
+  if (stats != nullptr) {
+    stats->chunks_scanned += file_->num_chunks() - pruned;
+    stats->chunks_pruned += pruned;
+  }
+  return Concat(survivors);
+}
+
+void Reader::EvictAll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (resident_bytes_ > 0) {
+    AddResidentBytes(-static_cast<int64_t>(resident_bytes_));
+  }
+  resident_.clear();
+  lru_.clear();
+  resident_bytes_ = 0;
+}
+
+Result<data::TablePtr> Reader::Concat(
+    const std::vector<data::TablePtr>& chunks) const {
+  const data::Schema& schema = file_->schema();
+  if (chunks.empty()) return data::EmptyTable(schema);
+  if (chunks.size() == 1) return chunks[0];
+
+  size_t total = 0;
+  for (const data::TablePtr& t : chunks) total += t->num_rows();
+
+  std::vector<data::Column> columns;
+  columns.reserve(schema.num_fields());
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    const data::DataType type = schema.field(c).type;
+    switch (type) {
+      case data::DataType::kFloat64: {
+        std::vector<double> values;
+        std::vector<uint8_t> validity;
+        values.reserve(total);
+        validity.reserve(total);
+        for (const data::TablePtr& t : chunks) {
+          const data::Column& col = t->column(c);
+          const double* v = col.doubles_data();
+          const uint8_t* ok = col.validity_data();
+          values.insert(values.end(), v, v + col.length());
+          validity.insert(validity.end(), ok, ok + col.length());
+        }
+        columns.push_back(
+            data::Column::FromDoubles(std::move(values), std::move(validity)));
+        break;
+      }
+      case data::DataType::kString: {
+        // All chunks of a dictionary column share the file page (DecodeChunk
+        // remaps), so concatenation is a plain code gather.
+        bool shared_dict = true;
+        data::DictPtr dict = chunks[0]->column(c).dict_encoded()
+                                 ? chunks[0]->column(c).dict_shared()
+                                 : nullptr;
+        if (dict == nullptr) {
+          shared_dict = false;
+        } else {
+          for (const data::TablePtr& t : chunks) {
+            const data::Column& col = t->column(c);
+            if (!col.dict_encoded() || col.dict_shared() != dict) {
+              shared_dict = false;
+              break;
+            }
+          }
+        }
+        if (shared_dict) {
+          std::vector<int32_t> codes;
+          codes.reserve(total);
+          for (const data::TablePtr& t : chunks) {
+            const data::Column& col = t->column(c);
+            const int32_t* cd = col.codes_data();
+            codes.insert(codes.end(), cd, cd + col.length());
+          }
+          columns.push_back(data::Column::FromDictionary(dict, std::move(codes)));
+        } else {
+          std::vector<std::string> values;
+          std::vector<uint8_t> validity;
+          values.reserve(total);
+          validity.reserve(total);
+          for (const data::TablePtr& t : chunks) {
+            const data::Column& col = t->column(c);
+            for (size_t r = 0; r < col.length(); ++r) {
+              validity.push_back(col.IsNull(r) ? 0 : 1);
+              values.push_back(col.IsNull(r) ? std::string() : col.StringAt(r));
+            }
+          }
+          columns.push_back(data::Column::FromStrings(std::move(values),
+                                                      std::move(validity)));
+        }
+        break;
+      }
+      case data::DataType::kBool: {
+        data::Column col(type);
+        col.Reserve(total);
+        for (const data::TablePtr& t : chunks) {
+          const data::Column& in = t->column(c);
+          for (size_t r = 0; r < in.length(); ++r) {
+            if (in.IsNull(r)) {
+              col.AppendNull();
+            } else {
+              col.AppendBool(in.BoolAt(r));
+            }
+          }
+        }
+        columns.push_back(std::move(col));
+        break;
+      }
+      case data::DataType::kInt64:
+      case data::DataType::kTimestamp: {
+        data::Column col(type);
+        col.Reserve(total);
+        for (const data::TablePtr& t : chunks) {
+          const data::Column& in = t->column(c);
+          for (size_t r = 0; r < in.length(); ++r) {
+            if (in.IsNull(r)) {
+              col.AppendNull();
+            } else {
+              col.AppendInt(in.IntAt(r));
+            }
+          }
+        }
+        columns.push_back(std::move(col));
+        break;
+      }
+      case data::DataType::kNull: {
+        data::Column col(data::DataType::kNull);
+        col.Reserve(total);
+        for (size_t r = 0; r < total; ++r) col.AppendNull();
+        columns.push_back(std::move(col));
+        break;
+      }
+    }
+  }
+  return data::TablePtr(
+      std::make_shared<data::Table>(schema, std::move(columns)));
+}
+
+}  // namespace storage
+}  // namespace vegaplus

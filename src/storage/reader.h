@@ -1,0 +1,116 @@
+// Reader: on-demand materialization over a ColumnFile with LRU chunk
+// residency and zone-map predicate pushdown.
+//
+// Chunks page in on first touch (DecodeChunk) and stay resident in an LRU
+// cache bounded by a byte budget (payload size approximates decoded size;
+// the budget is a target, not a hard cap — the chunk being served is always
+// kept). MaterializeMatching prunes chunks whose zones prove no row can pass
+// the conjunction of fused predicates, then concatenates the survivors in
+// chunk order — so downstream execution sees the same rows, in the same
+// order, as a full scan filtered by the same predicates, which keeps pruned
+// and unpruned execution bit-identical.
+//
+// Thread safety: all methods are safe concurrently. Decoding happens outside
+// the cache lock; two threads racing on the same cold chunk may both decode,
+// one insertion wins.
+#ifndef VEGAPLUS_STORAGE_READER_H_
+#define VEGAPLUS_STORAGE_READER_H_
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "data/table.h"
+#include "storage/column_file.h"
+#include "storage/zone_map.h"
+
+namespace vegaplus {
+namespace storage {
+
+/// One fused conjunct, in shard column space. String constants are carried
+/// as strings and resolved against the file's dictionary pages here, so the
+/// same predicate list works across shards with different dictionaries.
+struct Predicate {
+  int32_t col = -1;  ///< Index into the shard schema.
+  CmpOp cmp = CmpOp::kEq;
+  bool is_str = false;
+  double num_const = 0.0;   ///< !is_str
+  std::string str_const;    ///< is_str
+};
+
+/// Per-call pruning accounting (process-global counters are also bumped).
+struct ScanStats {
+  uint64_t chunks_scanned = 0;
+  uint64_t chunks_pruned = 0;
+};
+
+class Reader {
+ public:
+  /// Open a shard for reading. The residency budget is snapshotted from
+  /// DefaultResidencyBudget() and adjustable per reader afterwards.
+  static Result<std::shared_ptr<Reader>> Open(const std::string& path);
+
+  ~Reader();
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  const ColumnFile& file() const { return *file_; }
+  const data::Schema& schema() const { return file_->schema(); }
+  uint64_t total_rows() const { return file_->total_rows(); }
+  size_t num_chunks() const { return file_->num_chunks(); }
+
+  /// Byte budget for resident decoded chunks; 0 = unbounded.
+  void set_residency_budget(size_t bytes);
+  size_t residency_budget() const { return budget_.load(std::memory_order_relaxed); }
+  /// Bytes of decoded chunks currently resident in this reader.
+  size_t resident_bytes() const;
+
+  /// Chunk `i`, decoding and caching it on first touch.
+  Result<data::TablePtr> Chunk(size_t i) const;
+
+  /// The whole shard as one table (chunk concatenation; built fresh per
+  /// call so out-of-core behavior is honest — only chunks are cached).
+  Result<data::TablePtr> ReadAll() const;
+
+  /// The concatenation of chunks whose zones admit the conjunction of
+  /// `preds`. Honors the ZoneMapPruningEnabled() kill switch (disabled =>
+  /// identical to ReadAll). Sound, not exact: surviving chunks may still
+  /// contain non-matching rows — callers run the real filter downstream.
+  Result<data::TablePtr> MaterializeMatching(const std::vector<Predicate>& preds,
+                                             ScanStats* stats = nullptr) const;
+
+  /// Drop every resident chunk (tests and benchmarks).
+  void EvictAll() const;
+
+ private:
+  explicit Reader(std::shared_ptr<const ColumnFile> file);
+
+  /// True when `preds` provably reject every row of chunk `i`.
+  bool ChunkPruned(size_t i, const std::vector<Predicate>& preds,
+                   const std::vector<int32_t>& dict_codes) const;
+
+  Result<data::TablePtr> Concat(const std::vector<data::TablePtr>& chunks) const;
+
+  std::shared_ptr<const ColumnFile> file_;
+  std::atomic<size_t> budget_;
+
+  mutable std::mutex mu_;
+  struct Resident {
+    data::TablePtr table;
+    size_t bytes = 0;
+    std::list<size_t>::iterator lru_it;
+  };
+  mutable std::list<size_t> lru_;  // front = most recently used
+  mutable std::unordered_map<size_t, Resident> resident_;
+  mutable size_t resident_bytes_ = 0;
+};
+
+}  // namespace storage
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_STORAGE_READER_H_

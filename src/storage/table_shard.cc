@@ -1,0 +1,135 @@
+#include "storage/table_shard.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "data/ipc.h"
+#include "storage/format.h"
+#include "storage/zone_map.h"
+
+namespace vegaplus {
+namespace storage {
+
+namespace {
+
+using format::PutString;
+using format::PutU32;
+using format::PutU64;
+using format::PutU8;
+
+constexpr size_t kPayloadAlign = 8;
+
+size_t AlignUp(size_t v) {
+  return (v + kPayloadAlign - 1) & ~(kPayloadAlign - 1);
+}
+
+}  // namespace
+
+Status TableShard::Write(const std::string& path, const data::Table& table,
+                         const WriteOptions& opts) {
+  const size_t chunk_rows =
+      opts.chunk_rows > 0 ? opts.chunk_rows : parallel::MorselRows();
+  const std::vector<parallel::Range> chunks =
+      parallel::SplitRanges(table.num_rows(), chunk_rows);
+  const size_t num_cols = table.num_columns();
+
+  // Header: identity, schema, shape, dictionary pages.
+  std::string head;
+  head.append(kShardMagic, sizeof(kShardMagic));
+  PutU32(&head, kShardVersion);
+  PutString(&head, opts.kind);
+  PutString(&head, opts.meta);
+  PutU32(&head, static_cast<uint32_t>(num_cols));
+  for (size_t c = 0; c < num_cols; ++c) {
+    PutString(&head, table.schema().field(c).name);
+    PutU8(&head, static_cast<uint8_t>(table.schema().field(c).type));
+  }
+  PutU64(&head, table.num_rows());
+  PutU64(&head, chunk_rows);
+  PutU64(&head, chunks.size());
+  for (size_t c = 0; c < num_cols; ++c) {
+    const data::Column& col = table.column(c);
+    if (col.type() == data::DataType::kString && col.dict_encoded()) {
+      PutU8(&head, 1);
+      const auto& values = col.dict().values;
+      PutU32(&head, static_cast<uint32_t>(values.size()));
+      for (const std::string& v : values) PutString(&head, v);
+    } else {
+      PutU8(&head, 0);
+    }
+  }
+
+  // Per chunk: encoded payload + zone blobs. Payload offsets depend on the
+  // directory size, so serialize everything first, then lay out.
+  std::vector<std::string> payloads;
+  std::vector<std::string> zone_blobs;
+  payloads.reserve(chunks.size());
+  zone_blobs.reserve(chunks.size());
+  for (const parallel::Range& r : chunks) {
+    data::TablePtr slice = table.Slice(r.begin, r.size());
+    payloads.push_back(data::SerializeEnvelope(opts.kind, "", *slice));
+    std::string zones;
+    for (size_t c = 0; c < num_cols; ++c) {
+      ComputeZone(slice->column(c)).AppendTo(&zones);
+    }
+    zone_blobs.push_back(std::move(zones));
+  }
+
+  size_t dir_size = 0;
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    dir_size += 4 * 8 + zone_blobs[i].size();
+  }
+
+  std::string dir;
+  dir.reserve(dir_size);
+  size_t cursor = head.size() + 8 /* dir_size field */ + dir_size;
+  std::vector<size_t> offsets(chunks.size());
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    cursor = AlignUp(cursor);
+    offsets[i] = cursor;
+    PutU64(&dir, chunks[i].begin);
+    PutU64(&dir, chunks[i].size());
+    PutU64(&dir, cursor);
+    PutU64(&dir, payloads[i].size());
+    dir.append(zone_blobs[i]);
+    cursor += payloads[i].size();
+  }
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError("storage: cannot open " + tmp + " for writing");
+    }
+    out.write(head.data(), static_cast<std::streamsize>(head.size()));
+    std::string dir_size_field;
+    PutU64(&dir_size_field, dir_size);
+    out.write(dir_size_field.data(), 8);
+    out.write(dir.data(), static_cast<std::streamsize>(dir.size()));
+    size_t written = head.size() + 8 + dir.size();
+    static const char kZeros[kPayloadAlign] = {0};
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      const size_t pad = offsets[i] - written;
+      if (pad > 0) out.write(kZeros, static_cast<std::streamsize>(pad));
+      out.write(payloads[i].data(),
+                static_cast<std::streamsize>(payloads[i].size()));
+      written = offsets[i] + payloads[i].size();
+    }
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IOError("storage: short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("storage: cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace vegaplus

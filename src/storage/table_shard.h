@@ -1,0 +1,65 @@
+// TableShard: writer for the on-disk chunked columnar shard format ("VPS1").
+//
+// A shard extends the binary IPC encoding into an out-of-core layout:
+//
+//   +--------------------------------------------------------------+
+//   | magic "VPS1" | version u32                                   |
+//   | kind string | meta string                                    |
+//   | num_cols u32 | per column: name string, type u8              |
+//   | total_rows u64 | chunk_rows u64 | num_chunks u64             |
+//   | per column dictionary page: has_dict u8 [n u32, n x string]  |
+//   +--------------------------------------------------------------+
+//   | dir_size u64                                                 |
+//   | per chunk: row_begin u64, rows u64,                          |
+//   |            payload_off u64, payload_size u64,                |
+//   |            per column ColumnZone blob                        |
+//   +--------------------------------------------------------------+
+//   | chunk payloads, each 8-aligned:                              |
+//   |   data::SerializeEnvelope(kind, "", chunk_table)             |
+//   +--------------------------------------------------------------+
+//
+// Chunks are row slices of `chunk_rows` (default: parallel::MorselRows(), so
+// chunk boundaries line up with morsel boundaries). Dictionary pages store
+// the column's FULL dictionary; each chunk payload carries the IPC codec's
+// per-chunk compacted dictionary, and the reader remaps chunk codes back to
+// the shared page so every materialized chunk shares one DictPtr and zone
+// code membership is meaningful across the whole file.
+//
+// Writes go to `<path>.tmp` and rename into place, so readers never observe
+// a torn shard.
+#ifndef VEGAPLUS_STORAGE_TABLE_SHARD_H_
+#define VEGAPLUS_STORAGE_TABLE_SHARD_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace vegaplus {
+namespace storage {
+
+/// Shard file magic + version (bump on incompatible layout changes).
+inline constexpr char kShardMagic[4] = {'V', 'P', 'S', '1'};
+inline constexpr uint32_t kShardVersion = 1;
+
+struct WriteOptions {
+  /// Payload kind tag stamped on the header and every chunk envelope
+  /// ("TABL" for plain tables, "TILE" for spilled tile-store levels).
+  std::string kind = "TABL";
+  /// Opaque producer metadata (typically JSON), not interpreted here.
+  std::string meta;
+  /// Rows per chunk; 0 = parallel::MorselRows().
+  size_t chunk_rows = 0;
+};
+
+class TableShard {
+ public:
+  /// Write `table` as a shard at `path` (replacing any existing file).
+  static Status Write(const std::string& path, const data::Table& table,
+                      const WriteOptions& opts = WriteOptions());
+};
+
+}  // namespace storage
+}  // namespace vegaplus
+
+#endif  // VEGAPLUS_STORAGE_TABLE_SHARD_H_

@@ -3,12 +3,18 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <numeric>
 
 #include "common/parallel.h"
 #include "expr/ast.h"
+#include "json/json_value.h"
+#include "json/json_writer.h"
 #include "rewrite/tile_shape.h"
 #include "sql/engine.h"
+#include "storage/reader.h"
+#include "storage/table_shard.h"
 #include "transforms/binning.h"
 
 namespace vegaplus {
@@ -61,6 +67,27 @@ DataType TileAggType(const TileShape::Item& item, const data::Schema& schema) {
 
 /// Classification of one slot against the brush bounds.
 enum class SlotCoverage { kIncluded, kExcluded, kPartial };
+
+/// Stable filename stem for a tree key (keys embed '\0', so they cannot be
+/// used as path components directly).
+std::string Fnv1aHex(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf);
+}
+
+/// Slot-array footprint of a level: rows + first_row (int64 each) plus four
+/// slot-sized arrays per measure (count int64, sum/min/max float64).
+size_t LevelApproxBytes(size_t num_bins, size_t num_measures) {
+  const size_t slots = num_bins + 1;
+  return slots * 16 + num_measures * slots * 32;
+}
 
 SlotCoverage ClassifySlot(const TileShape& shape, double vmin, double vmax) {
   bool all = true;
@@ -186,9 +213,9 @@ bool TileStore::BuildLevel(const Table& table, const Vec& bin_values,
   return true;
 }
 
-TileStore::TreePtr TileStore::BuildTree(const TablePtr& table,
-                                        const std::string& column,
-                                        bool categorical) const {
+std::shared_ptr<TileStore::Tree> TileStore::BuildTree(const TablePtr& table,
+                                                      const std::string& column,
+                                                      bool categorical) const {
   auto tree = std::make_shared<Tree>();
   tree->source = table;
   tree->categorical = categorical;
@@ -301,6 +328,138 @@ TileStore::TreePtr TileStore::BuildTree(const TablePtr& table,
   return tree;
 }
 
+std::pair<size_t, size_t> TileStore::SpillTree(const std::string& key,
+                                               Tree* tree) const {
+  size_t spilled = 0;
+  size_t evicted = 0;
+  const std::string stem = options_.spill_dir + "/" + Fnv1aHex(key);
+  for (size_t i = 0; i < tree->levels.size(); ++i) {
+    Level& level = tree->levels[i];
+    const size_t slots = level.num_bins + 1;
+    level.approx_bytes = LevelApproxBytes(level.num_bins,
+                                          level.measure_slots.size());
+
+    std::vector<data::Field> fields;
+    std::vector<Column> columns;
+    auto add_ints = [&](const std::string& name,
+                        const std::vector<int64_t>& v) {
+      Column c(DataType::kInt64);
+      c.Reserve(v.size());
+      for (int64_t x : v) c.AppendInt(x);
+      fields.push_back({name, DataType::kInt64});
+      columns.push_back(std::move(c));
+    };
+    auto add_doubles = [&](const std::string& name,
+                           const std::vector<double>& v) {
+      fields.push_back({name, DataType::kFloat64});
+      columns.push_back(Column::FromDoubles(v, {}));
+    };
+    add_ints("rows", level.rows);
+    add_ints("first_row", level.first_row);
+    for (size_t m = 0; m < level.measure_slots.size(); ++m) {
+      const BinAggSlots& s = level.measure_slots[m];
+      const std::string p = "m" + std::to_string(m) + "_";
+      add_ints(p + "count", s.count);
+      add_doubles(p + "sum", s.sum);
+      add_doubles(p + "min", s.min);
+      add_doubles(p + "max", s.max);
+    }
+    Table slot_table(data::Schema(std::move(fields)), std::move(columns));
+    if (slot_table.num_rows() != slots) continue;  // malformed level: keep hot
+
+    json::Value meta = json::Value::MakeObject();
+    meta.Set("start", level.start);
+    meta.Set("step", level.step);
+    meta.Set("num_bins", level.num_bins);
+    json::Value names = json::Value::MakeArray();
+    for (const std::string& n : level.measure_names) names.Append(n);
+    meta.Set("measure_names", std::move(names));
+
+    storage::WriteOptions opts;
+    opts.kind = "TILE";
+    opts.meta = json::Write(meta);
+    const std::string path = stem + "-L" + std::to_string(i) + ".vps";
+    if (!storage::TableShard::Write(path, slot_table, opts).ok()) continue;
+    level.spill_path = path;
+    ++spilled;
+  }
+
+  // Evict largest spilled levels until the resident slot arrays fit the
+  // budget. Never evicts an unspilled level — there would be nothing to
+  // hydrate from.
+  if (options_.resident_level_bytes > 0) {
+    size_t resident_total = 0;
+    std::vector<size_t> order;
+    for (size_t i = 0; i < tree->levels.size(); ++i) {
+      resident_total += tree->levels[i].approx_bytes;
+      if (!tree->levels[i].spill_path.empty()) order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return tree->levels[a].approx_bytes > tree->levels[b].approx_bytes;
+    });
+    for (size_t i : order) {
+      if (resident_total <= options_.resident_level_bytes) break;
+      Level& level = tree->levels[i];
+      resident_total -= level.approx_bytes;
+      level.rows.clear();
+      level.rows.shrink_to_fit();
+      level.first_row.clear();
+      level.first_row.shrink_to_fit();
+      level.measure_slots.clear();
+      level.measure_slots.shrink_to_fit();
+      level.resident = false;
+      ++evicted;
+    }
+  }
+  return {spilled, evicted};
+}
+
+Result<TileStore::Level> TileStore::HydrateLevel(const Level& level) const {
+  VP_ASSIGN_OR_RETURN(std::shared_ptr<storage::Reader> reader,
+                      storage::Reader::Open(level.spill_path));
+  VP_ASSIGN_OR_RETURN(TablePtr t, reader->ReadAll());
+  const size_t slots = level.num_bins + 1;
+  const size_t want_cols = 2 + 4 * level.measure_names.size();
+  if (t->num_rows() != slots || t->num_columns() != want_cols) {
+    return Status::IOError("tile level shard " + level.spill_path +
+                           " does not match the resident skeleton");
+  }
+  auto ints = [&](size_t col, std::vector<int64_t>* out) -> Status {
+    const Column& c = t->column(col);
+    if (c.type() != DataType::kInt64) {
+      return Status::IOError("tile level shard " + level.spill_path +
+                             ": expected int64 at column " +
+                             std::to_string(col));
+    }
+    out->assign(c.ints_data(), c.ints_data() + slots);
+    return Status::OK();
+  };
+  auto doubles = [&](size_t col, std::vector<double>* out) -> Status {
+    const Column& c = t->column(col);
+    if (c.type() != DataType::kFloat64) {
+      return Status::IOError("tile level shard " + level.spill_path +
+                             ": expected float64 at column " +
+                             std::to_string(col));
+    }
+    out->assign(c.doubles_data(), c.doubles_data() + slots);
+    return Status::OK();
+  };
+  Level out = level;  // scalars, measure_names, spill_path carry over
+  out.resident = true;
+  VP_RETURN_IF_ERROR(ints(0, &out.rows));
+  VP_RETURN_IF_ERROR(ints(1, &out.first_row));
+  out.measure_slots.resize(level.measure_names.size());
+  for (size_t m = 0; m < level.measure_names.size(); ++m) {
+    BinAggSlots& s = out.measure_slots[m];
+    const size_t base = 2 + 4 * m;
+    VP_RETURN_IF_ERROR(ints(base + 0, &s.count));
+    VP_RETURN_IF_ERROR(doubles(base + 1, &s.sum));
+    VP_RETURN_IF_ERROR(doubles(base + 2, &s.min));
+    VP_RETURN_IF_ERROR(doubles(base + 3, &s.max));
+  }
+  return out;
+}
+
 TileStore::TreePtr TileStore::GetOrBuildTree(const std::string& key,
                                              const std::string& table_name,
                                              const std::string& column,
@@ -321,12 +480,18 @@ TileStore::TreePtr TileStore::GetOrBuildTree(const std::string& key,
     }
     building_.insert(key);
   }
-  TreePtr tree = BuildTree(table, column, categorical);
+  std::shared_ptr<Tree> tree = BuildTree(table, column, categorical);
+  std::pair<size_t, size_t> spill{0, 0};
+  if (!options_.spill_dir.empty() && !tree->unbuildable) {
+    spill = SpillTree(key, tree.get());
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     trees_[key] = tree;
     building_.erase(key);
     ++stats_.builds;
+    stats_.levels_spilled += spill.first;
+    stats_.levels_evicted += spill.second;
   }
   return tree;
 }
@@ -369,7 +534,20 @@ std::optional<TileAnswer> TileStore::TryAnswer(const SelectStmt& stmt) {
   }
   if (level == nullptr) return coverage_miss();
 
-  std::optional<TileAnswer> answer = AnswerFromLevel(stmt, shape, *tree, *level);
+  // Non-resident level: hydrate a transient copy from its shard file. The
+  // copy is not re-cached — residency is governed solely at build time.
+  std::optional<TileAnswer> answer;
+  if (!level->resident) {
+    Result<Level> hydrated = HydrateLevel(*level);
+    if (!hydrated.ok()) return coverage_miss();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.level_hydrations;
+    }
+    answer = AnswerFromLevel(stmt, shape, *tree, *hydrated);
+  } else {
+    answer = AnswerFromLevel(stmt, shape, *tree, *level);
+  }
   if (!answer) return coverage_miss();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -406,8 +584,18 @@ std::optional<TileAnswer> TileStore::TryAnswerCoarser(const SelectStmt& stmt) {
   std::sort(candidates.begin(), candidates.end(),
             [](const Level* a, const Level* b) { return a->step < b->step; });
   for (const Level* level : candidates) {
-    std::optional<TileAnswer> answer =
-        AnswerFromLevel(stmt, shape, *tree, *level);
+    std::optional<TileAnswer> answer;
+    if (!level->resident) {
+      Result<Level> hydrated = HydrateLevel(*level);
+      if (!hydrated.ok()) continue;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.level_hydrations;
+      }
+      answer = AnswerFromLevel(stmt, shape, *tree, *hydrated);
+    } else {
+      answer = AnswerFromLevel(stmt, shape, *tree, *level);
+    }
     if (answer) {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.degraded_hits;

@@ -77,6 +77,15 @@ struct TileStoreOptions {
   size_t max_level_bins = 4096;
   /// When false, TryAnswer never builds trees — only pre-built trees hit.
   bool build_on_miss = true;
+  /// Out-of-core tile pages: when non-empty, freshly built levels spill
+  /// their slot arrays into chunked shard files (storage::TableShard, kind
+  /// "TILE") under this directory. Tiles are immutable once built, so the
+  /// spilled copy never goes stale while the tree is alive.
+  std::string spill_dir;
+  /// With spilling on: byte budget for level slot arrays kept resident per
+  /// tree (0 = keep everything). Largest levels evict first; a non-resident
+  /// level hydrates from its shard file per query and is not re-cached.
+  size_t resident_level_bytes = 0;
 };
 
 struct TileStoreStats {
@@ -86,6 +95,9 @@ struct TileStoreStats {
   size_t builds = 0;           ///< trees built (including unbuildable ones)
   size_t build_conflicts = 0;  ///< fallbacks while another thread was building
   size_t degraded_hits = 0;    ///< queries answered coarser via TryAnswerCoarser
+  size_t levels_spilled = 0;    ///< levels written to shard files
+  size_t levels_evicted = 0;    ///< levels whose slot arrays were dropped
+  size_t level_hydrations = 0;  ///< per-query loads of non-resident levels
 };
 
 struct TileAnswer {
@@ -138,6 +150,14 @@ class TileStore {
     std::vector<std::string> measure_names;
     std::vector<expr::BinAggSlots> measure_slots;
 
+    // Out-of-core state. A spilled level keeps its scalars and
+    // measure_names resident (tiny); eviction drops only the slot vectors
+    // above. Queries against a non-resident level hydrate a transient copy
+    // from spill_path.
+    bool resident = true;
+    size_t approx_bytes = 0;   ///< slot-array footprint estimate
+    std::string spill_path;    ///< shard file; empty = never spilled
+
     const expr::BinAggSlots* FindMeasure(const std::string& name) const;
   };
 
@@ -161,8 +181,16 @@ class TileStore {
   TreePtr GetOrBuildTree(const std::string& key, const std::string& table_name,
                          const std::string& column, bool categorical,
                          const data::TablePtr& table);
-  TreePtr BuildTree(const data::TablePtr& table, const std::string& column,
-                    bool categorical) const;
+  std::shared_ptr<Tree> BuildTree(const data::TablePtr& table,
+                                  const std::string& column,
+                                  bool categorical) const;
+  /// Spill every level of a freshly built tree to shard files under
+  /// options_.spill_dir, then evict slot arrays beyond
+  /// options_.resident_level_bytes (largest first). Best-effort: a level
+  /// whose spill fails stays resident. Returns (spilled, evicted) counts.
+  std::pair<size_t, size_t> SpillTree(const std::string& key, Tree* tree) const;
+  /// Rebuild a non-resident level's slot arrays from its shard file.
+  Result<Level> HydrateLevel(const Level& level) const;
   bool BuildLevel(const data::Table& table, const expr::Vec& bin_values,
                   Level* level) const;
 

@@ -16,6 +16,7 @@
 #include "runtime/cache.h"
 #include "spec/spec.h"
 #include "sql/sql_parser.h"
+#include "storage/stats.h"
 #include "tiles/tile_store.h"
 #include "transforms/binning.h"
 
@@ -41,6 +42,9 @@ TEST(BuildSanityTest, EveryModuleLinks) {
   // ml
   ml::DecisionTree tree;
   tree.Train({{0.0}, {1.0}}, {0, 1});
+
+  // storage
+  EXPECT_TRUE(storage::ZoneMapPruningEnabled());
 
   // sql
   EXPECT_TRUE(sql::ParseSql("SELECT a FROM t").ok());

@@ -502,6 +502,74 @@ TEST_F(FaultToleranceTest, ShedsLoadUnderSaturationCoherently) {
   EXPECT_EQ(mw.worker_pool().queue_depth(), 0u);
 }
 
+// Per-session admission fairness: when one session floods the bounded queue,
+// it is the one shed — a light session arriving at the already-saturated
+// queue is still admitted (it bypasses the bound), so a runaway dashboard
+// cannot starve other clients.
+TEST_F(FaultToleranceTest, ShedsHeaviestSessionFirstAtSaturatedQueue) {
+  Gate gate;
+  MiddlewareOptions options;
+  options.worker_threads = 1;
+  options.max_queue_depth = 2;
+  options.before_dbms_execute = gate.Hook();
+  Middleware mw(&engine_, options);
+
+  auto heavy = mw.CreateSession();
+  auto light = mw.CreateSession();
+  auto heavy_handle = heavy->Prepare(kCutTemplate);
+  auto light_handle =
+      light->Prepare("SELECT COUNT(*) AS c FROM t WHERE v >= ${cut}");
+  ASSERT_TRUE(heavy_handle.ok());
+  ASSERT_TRUE(light_handle.ok());
+
+  // Flood from the heavy session: one request occupies the (gated) worker,
+  // two fill the queue, the rest are shed — heavy is always the heaviest
+  // submitter, so the bound applies to it in full.
+  constexpr int kHeavy = 8;
+  std::vector<rewrite::QueryTicketPtr> heavy_tickets;
+  for (int i = 0; i < kHeavy; ++i) {
+    QueryRequest request;
+    request.handle = *heavy_handle;
+    // Distinct cut per submission: no single-flight collapse.
+    request.params = {{"cut", expr::EvalValue::Number(i + 1)}};
+    heavy_tickets.push_back(heavy->Submit(request));
+  }
+
+  // The queue is now saturated entirely by heavy's tasks; light's own
+  // queued count (0, then 1) stays strictly below heavy's, so both of its
+  // submissions must be admitted past the bound.
+  std::vector<rewrite::QueryTicketPtr> light_tickets;
+  for (int i = 0; i < 2; ++i) {
+    QueryRequest request;
+    request.handle = *light_handle;
+    request.params = {{"cut", expr::EvalValue::Number(i + 1)}};
+    light_tickets.push_back(light->Submit(request));
+  }
+
+  gate.Open();
+  size_t heavy_shed = 0;
+  for (const auto& ticket : heavy_tickets) {
+    auto response = ticket->Await();
+    if (!response.ok()) {
+      ASSERT_TRUE(response.status().IsUnavailable()) << response.status();
+      ++heavy_shed;
+    }
+  }
+  for (const auto& ticket : light_tickets) {
+    auto response = ticket->Await();
+    EXPECT_TRUE(response.ok()) << response.status();
+  }
+  AwaitQuiescence(mw);
+
+  EXPECT_GT(heavy_shed, 0u);
+  EXPECT_EQ(heavy->stats().shed, heavy_shed);
+  EXPECT_EQ(light->stats().shed, 0u);
+  Middleware::Stats stats = mw.stats();
+  EXPECT_EQ(stats.shed, heavy_shed);
+  EXPECT_EQ(stats.shed, mw.worker_pool().rejected_count());
+  EXPECT_EQ(mw.worker_pool().queue_depth(), 0u);
+}
+
 // 8 threads against a flaky, stalling backend with retries, supersession,
 // and occasional deadlines: every ticket resolves, failure codes are only
 // the expected ones, and the fleet stats add up at quiescence.
