@@ -1,5 +1,7 @@
 #include "data/column.h"
 
+#include "expr/kernels/kernels.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -340,31 +342,22 @@ Column Column::Take(const std::vector<int32_t>& indices) const {
   out.length_ = m;
   s.validity.resize(m);
   const uint8_t* valid = store_->validity.data() + offset_;
-  size_t nulls = 0;
-  for (size_t j = 0; j < m; ++j) {
-    const uint8_t v = valid[static_cast<size_t>(indices[j])];
-    s.validity[j] = v;
-    nulls += v == 0;
-  }
-  out.null_count_ = nulls;
+  out.null_count_ =
+      kernels::GatherValidity(valid, indices.data(), m, s.validity.data());
   switch (type_) {
     case DataType::kBool:
     case DataType::kInt64:
     case DataType::kTimestamp:
     case DataType::kNull: {
       s.ints.resize(m);
-      const int64_t* src = store_->ints.data() + offset_;
-      for (size_t j = 0; j < m; ++j) {
-        s.ints[j] = src[static_cast<size_t>(indices[j])];
-      }
+      kernels::GatherInt64(store_->ints.data() + offset_, indices.data(),
+                                 m, s.ints.data());
       break;
     }
     case DataType::kFloat64: {
       s.doubles.resize(m);
-      const double* src = store_->doubles.data() + offset_;
-      for (size_t j = 0; j < m; ++j) {
-        s.doubles[j] = src[static_cast<size_t>(indices[j])];
-      }
+      kernels::GatherDoubles(store_->doubles.data() + offset_,
+                                   indices.data(), m, s.doubles.data());
       break;
     }
     case DataType::kString: {
@@ -372,10 +365,8 @@ Column Column::Take(const std::vector<int32_t>& indices) const {
         // Integer gather + shared dictionary: no strings touched at all.
         s.dict = store_->dict;
         s.codes.resize(m);
-        const int32_t* src = store_->codes.data() + offset_;
-        for (size_t j = 0; j < m; ++j) {
-          s.codes[j] = src[static_cast<size_t>(indices[j])];
-        }
+        kernels::GatherCodes(store_->codes.data() + offset_,
+                                   indices.data(), m, s.codes.data());
         break;
       }
       s.strings.resize(m);

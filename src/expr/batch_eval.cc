@@ -1107,13 +1107,14 @@ struct PredState {
   const std::string* sconst = nullptr;
 };
 
-/// Resolve every conjunct against the batch's columns. Returns false when a
-/// conjunct cannot take the fused path (kNull columns, type drift) and the
+/// Resolve every leaf against the batch's columns. Returns false when a
+/// leaf cannot take the fused path (kNull columns, type drift) and the
 /// caller must run the general register path.
-bool PreparePreds(const Program& p, const data::Table& table,
-                  std::vector<PredState>* out) {
-  out->reserve(p.fused_preds.size());
-  for (const Program::FusedPred& fp : p.fused_preds) {
+bool PreparePreds(const Program& p,
+                  const std::vector<Program::FusedPred>& leaves,
+                  const data::Table& table, std::vector<PredState>* out) {
+  out->reserve(leaves.size());
+  for (const Program::FusedPred& fp : leaves) {
     const Column& col = table.column(static_cast<size_t>(fp.col));
     PredState s;
     s.cmp = fp.cmp;
@@ -1153,179 +1154,140 @@ bool PreparePreds(const Program& p, const data::Table& table,
   return true;
 }
 
-/// Append selected row ids for a numeric conjunct over [0, n) — the same
-/// semantics as EqNum/CmpNum against a non-null constant: null rows fail
-/// every compare except !=, and NaN rows pass == (Value::Compare quirk).
-template <typename T>
-void FusedFilterLoop(const T* vals, const uint8_t* valid, size_t n, BinaryOp cmp,
-                     double c, std::vector<int32_t>* sel) {
-  auto push_if = [&](auto pred) {
-    for (size_t i = 0; i < n; ++i) {
-      if (valid != nullptr && valid[i] == 0) continue;
-      if (pred(static_cast<double>(vals[i]))) sel->push_back(static_cast<int32_t>(i));
-    }
-  };
+kernels::Cmp KernelCmpOf(BinaryOp cmp) {
   switch (cmp) {
-    case BinaryOp::kLt: push_if([c](double x) { return x < c; }); return;
-    case BinaryOp::kLte: push_if([c](double x) { return x <= c; }); return;
-    case BinaryOp::kGt: push_if([c](double x) { return x > c; }); return;
-    case BinaryOp::kGte: push_if([c](double x) { return x >= c; }); return;
-    case BinaryOp::kEq: push_if([c](double x) { return !(x < c) && !(x > c); }); return;
-    case BinaryOp::kNeq:
-      // A null cell is != any non-null constant (Value::Compare orders nulls
-      // first), so null rows are included.
-      for (size_t i = 0; i < n; ++i) {
-        if (valid != nullptr && valid[i] == 0) {
-          sel->push_back(static_cast<int32_t>(i));
-          continue;
-        }
-        double x = static_cast<double>(vals[i]);
-        if (x < c || x > c) sel->push_back(static_cast<int32_t>(i));
-      }
-      return;
-    default:
-      break;
+    case BinaryOp::kLt: return kernels::Cmp::kLt;
+    case BinaryOp::kLte: return kernels::Cmp::kLte;
+    case BinaryOp::kGt: return kernels::Cmp::kGt;
+    case BinaryOp::kGte: return kernels::Cmp::kGte;
+    case BinaryOp::kEq: return kernels::Cmp::kEq;
+    default: return kernels::Cmp::kNeq;  // only compare ops reach here
   }
 }
 
-/// Append selected row ids for a string ==/!= conjunct over a dictionary
-/// column: one int32 compare per row. Null rows carry code -1 and the
-/// constant's code is >= 0 or -2 (absent), so == excludes nulls and !=
-/// includes them — exactly EqStr's semantics.
-void FusedStrCodeLoop(const int32_t* codes, size_t n, BinaryOp cmp, int32_t code,
-                      std::vector<int32_t>* sel) {
-  if (cmp == BinaryOp::kEq) {
-    for (size_t i = 0; i < n; ++i) {
-      if (codes[i] == code) sel->push_back(static_cast<int32_t>(i));
-    }
-  } else {
-    for (size_t i = 0; i < n; ++i) {
-      if (codes[i] != code) sel->push_back(static_cast<int32_t>(i));
-    }
-  }
-}
-
-/// Flat-string ==/!= conjunct (the kill-switch baseline): one string
-/// compare per row.
-void FusedStrFlatLoop(const std::string* strs, const uint8_t* valid, size_t n,
-                      BinaryOp cmp, const std::string& c,
-                      std::vector<int32_t>* sel) {
-  const bool negate = cmp == BinaryOp::kNeq;
-  for (size_t i = 0; i < n; ++i) {
-    const bool is_null = valid != nullptr && valid[i] == 0;
-    const bool eq = !is_null && strs[i] == c;
-    if (eq != negate) sel->push_back(static_cast<int32_t>(i));
-  }
-}
-
-void FirstPredSelect(const PredState& s, size_t n, std::vector<int32_t>* sel) {
+/// Evaluate one prepared leaf into a full-width 0/1 bitmap — the same
+/// semantics as EqNum/CmpNum/EqStr against a non-null constant: null rows
+/// fail every compare except != (which includes them), and NaN rows pass ==
+/// (Value::Compare quirk), all owned by the compare kernels.
+void PredBits(const PredState& s, size_t n, uint8_t* out) {
   switch (s.kind) {
     case PredState::Kind::kDouble:
-      FusedFilterLoop(s.d, s.valid, n, s.cmp, s.c, sel);
+      kernels::CompareNumToBits(s.d, s.valid, n, KernelCmpOf(s.cmp), s.c, out);
       return;
     case PredState::Kind::kInt64:
-      FusedFilterLoop(s.i64, s.valid, n, s.cmp, s.c, sel);
+      kernels::CompareInt64ToBits(s.i64, s.valid, n, KernelCmpOf(s.cmp), s.c,
+                                  out);
       return;
     case PredState::Kind::kStrCode:
-      FusedStrCodeLoop(s.codes, n, s.cmp, s.code, sel);
+      kernels::CompareCodeToBits(s.codes, n, s.cmp == BinaryOp::kNeq, s.code,
+                                 out);
       return;
     case PredState::Kind::kStrFlat:
-      FusedStrFlatLoop(s.strs, s.valid, n, s.cmp, *s.sconst, sel);
+      kernels::CompareStrToBits(s.strs, s.valid, n, s.cmp == BinaryOp::kNeq,
+                                *s.sconst, out);
       return;
   }
 }
 
-/// Compact (*sel)[base..] in place, keeping rows that pass the conjunct —
-/// candidate-list refinement, so an AND chain is one shrinking selection
-/// instead of per-conjunct bool registers plus a blend.
-template <typename T>
-void RefineNum(const T* vals, const uint8_t* valid, BinaryOp cmp, double c,
-               std::vector<int32_t>* sel, size_t base) {
-  auto keep_if = [&](auto pred) {
-    size_t w = base;
-    for (size_t j = base; j < sel->size(); ++j) {
-      const size_t r = static_cast<size_t>((*sel)[j]);
-      const bool is_null = valid != nullptr && valid[r] == 0;
-      if (!is_null && pred(static_cast<double>(vals[r]))) {
-        (*sel)[w++] = (*sel)[j];
-      }
-    }
-    sel->resize(w);
-  };
-  switch (cmp) {
-    case BinaryOp::kLt: keep_if([c](double x) { return x < c; }); return;
-    case BinaryOp::kLte: keep_if([c](double x) { return x <= c; }); return;
-    case BinaryOp::kGt: keep_if([c](double x) { return x > c; }); return;
-    case BinaryOp::kGte: keep_if([c](double x) { return x >= c; }); return;
-    case BinaryOp::kEq: keep_if([c](double x) { return !(x < c) && !(x > c); }); return;
-    case BinaryOp::kNeq: {
-      size_t w = base;
-      for (size_t j = base; j < sel->size(); ++j) {
-        const size_t r = static_cast<size_t>((*sel)[j]);
-        if (valid != nullptr && valid[r] == 0) {
-          (*sel)[w++] = (*sel)[j];  // null != const: kept
-          continue;
-        }
-        const double x = static_cast<double>(vals[r]);
-        if (x < c || x > c) (*sel)[w++] = (*sel)[j];
-      }
-      sel->resize(w);
-      return;
-    }
-    default:
-      break;
-  }
-}
-
+/// Compact (*sel)[base..] in place, keeping rows that pass the leaf —
+/// candidate-list refinement for sparse AND chains.
 void RefinePred(const PredState& s, std::vector<int32_t>* sel, size_t base) {
   switch (s.kind) {
     case PredState::Kind::kDouble:
-      RefineNum(s.d, s.valid, s.cmp, s.c, sel, base);
+      kernels::RefineNumIndices(s.d, s.valid, KernelCmpOf(s.cmp), s.c, sel,
+                                base);
       return;
     case PredState::Kind::kInt64:
-      RefineNum(s.i64, s.valid, s.cmp, s.c, sel, base);
+      kernels::RefineInt64Indices(s.i64, s.valid, KernelCmpOf(s.cmp), s.c, sel,
+                                  base);
       return;
-    case PredState::Kind::kStrCode: {
-      const bool negate = s.cmp == BinaryOp::kNeq;
-      size_t w = base;
-      for (size_t j = base; j < sel->size(); ++j) {
-        const size_t r = static_cast<size_t>((*sel)[j]);
-        if ((s.codes[r] == s.code) != negate) (*sel)[w++] = (*sel)[j];
+    case PredState::Kind::kStrCode:
+      kernels::RefineCodeIndices(s.codes, s.cmp == BinaryOp::kNeq, s.code, sel,
+                                 base);
+      return;
+    case PredState::Kind::kStrFlat:
+      kernels::RefineStrIndices(s.strs, s.valid, s.cmp == BinaryOp::kNeq,
+                                *s.sconst, sel, base);
+      return;
+  }
+}
+
+/// AND-chain filter with the density heuristic: the first conjunct always
+/// evaluates as a branchless bitmap; if its selectivity is dense the chain
+/// stays in the bitmap domain (AND-combine every conjunct, convert once),
+/// otherwise the bitmap converts to an index vector and later conjuncts
+/// refine only the survivors.
+void FilterAndChain(const std::vector<PredState>& preds, size_t n,
+                    std::vector<int32_t>* sel) {
+  std::vector<uint8_t> bits(n);
+  PredBits(preds[0], n, bits.data());
+  const size_t matches = kernels::CountBits(bits.data(), n);
+  if (preds.size() == 1 || kernels::PreferBitmap(matches, n)) {
+    kernels::AddBitmapSelections(1);
+    if (preds.size() > 1) {
+      std::vector<uint8_t> tmp(n);
+      for (size_t k = 1; k < preds.size(); ++k) {
+        PredBits(preds[k], n, tmp.data());
+        kernels::AndBits(bits.data(), tmp.data(), n);
       }
-      sel->resize(w);
-      return;
     }
-    case PredState::Kind::kStrFlat: {
-      const bool negate = s.cmp == BinaryOp::kNeq;
-      size_t w = base;
-      for (size_t j = base; j < sel->size(); ++j) {
-        const size_t r = static_cast<size_t>((*sel)[j]);
-        const bool is_null = s.valid != nullptr && s.valid[r] == 0;
-        const bool eq = !is_null && s.strs[r] == *s.sconst;
-        if (eq != negate) (*sel)[w++] = (*sel)[j];
-      }
-      sel->resize(w);
-      return;
+    kernels::BitsToIndices(bits.data(), n, 0, sel);
+    return;
+  }
+  kernels::AddIndexSelections(1);
+  const size_t base = sel->size();
+  kernels::BitsToIndices(bits.data(), n, 0, sel);
+  for (size_t k = 1; k < preds.size(); ++k) RefinePred(preds[k], sel, base);
+}
+
+/// Arbitrary AND/OR tree of leaves as one bitmap-combine pass over the
+/// postfix program in Program::fused_tree_ops. Equivalent to the general
+/// register path because compare registers are two-valued (never null) with
+/// exactly the leaf semantics above, and kAndBool/kOrBool are bitwise on
+/// them.
+void FilterTree(const std::vector<int32_t>& ops,
+                const std::vector<PredState>& preds, size_t n,
+                std::vector<int32_t>* sel) {
+  std::vector<std::vector<uint8_t>> stack;
+  for (int32_t op : ops) {
+    if (op >= 0) {
+      stack.emplace_back(n);
+      PredBits(preds[static_cast<size_t>(op)], n, stack.back().data());
+      continue;
+    }
+    std::vector<uint8_t> rhs = std::move(stack.back());
+    stack.pop_back();
+    if (op == Program::kTreeAnd) {
+      kernels::AndBits(stack.back().data(), rhs.data(), n);
+    } else {
+      kernels::OrBits(stack.back().data(), rhs.data(), n);
     }
   }
+  kernels::AddBitmapSelections(1);
+  kernels::BitsToIndices(stack.back().data(), n, 0, sel);
 }
 
 }  // namespace
 
 void BatchEvaluator::RunFilter(const Program& p, std::vector<int32_t>* sel) const {
   const size_t n = table_.num_rows();
-  if (!p.fused_preds.empty()) {
+  const bool and_chain = !p.fused_preds.empty();
+  // OR-trees only take the bitmap pass when the SIMD kernels are on; with
+  // the kill switch off they fall through to the general register path,
+  // which is the genuine pre-kernel baseline for them.
+  if (and_chain || (!p.fused_tree_ops.empty() && kernels::SimdEnabled())) {
+    const std::vector<Program::FusedPred>& leaves =
+        and_chain ? p.fused_preds : p.fused_tree_leaves;
     std::vector<PredState> preds;
-    if (PreparePreds(p, table_, &preds)) {
-      // One selection loop for the first conjunct, then in-place candidate
-      // refinement for the rest — no bool registers, no second full pass.
-      const size_t base = sel->size();
-      FirstPredSelect(preds[0], n, sel);
-      for (size_t k = 1; k < preds.size(); ++k) {
-        RefinePred(preds[k], sel, base);
+    if (PreparePreds(p, leaves, table_, &preds) && n > 0) {
+      if (and_chain) {
+        FilterAndChain(preds, n, sel);
+      } else {
+        FilterTree(p.fused_tree_ops, preds, n, sel);
       }
       return;
     }
+    if (n == 0) return;
   }
   Vec v = Run(p);
   const std::vector<uint8_t> mask = TruthyMask(v, v.is_const ? 1 : n);
@@ -1335,9 +1297,7 @@ void BatchEvaluator::RunFilter(const Program& p, std::vector<int32_t>* sel) cons
     }
     return;
   }
-  for (size_t i = 0; i < n; ++i) {
-    if (mask[i]) sel->push_back(static_cast<int32_t>(i));
-  }
+  kernels::BitsToIndices(mask.data(), n, 0, sel);
 }
 
 void VecToColumn(Vec v, size_t n, Column* out) {
@@ -1775,77 +1735,40 @@ GroupResult BuildGroups(const std::vector<const Vec*>& keys,
 }
 
 // ---- Per-bin accumulation kernels ----
+//
+// Thin wrappers: the loop bodies live in kernels/ (shared with the SQL
+// executor's grouped accumulation), these adapt a Vec to the kernels'
+// NumSpan view.
+
+kernels::NumSpan NumSpanOf(const Vec& values) {
+  kernels::NumSpan span;
+  span.stride = values.is_const ? 0 : 1;
+  if (values.kind == RegKind::kBool) {
+    span.bits = values.bits.data();
+  } else {
+    span.vals = values.num.data();
+    span.valid = values.valid.empty() ? nullptr : values.valid.data();
+  }
+  return span;
+}
 
 bool ComputeBinIndices(const Vec& values, double start, double step,
                        size_t num_bins, parallel::Range span, int32_t* bin_of) {
-  for (size_t i = span.begin; i < span.end; ++i) {
-    if (!values.ValidAt(i)) {
-      bin_of[i] = static_cast<int32_t>(num_bins);
-      continue;
-    }
-    const double v = values.kind == RegKind::kBool
-                         ? (values.BitAt(i) ? 1.0 : 0.0)
-                         : values.NumAt(i);
-    if (!std::isfinite(v)) return false;
-    const double k = std::floor((v - start) / step);
-    if (!(k >= 0.0) || k >= static_cast<double>(num_bins)) return false;
-    bin_of[i] = static_cast<int32_t>(k);
-  }
-  return true;
+  return kernels::ComputeBinIndices(NumSpanOf(values), start, step, num_bins,
+                                    span.begin, span.end, bin_of);
 }
 
 void AccumulateBinRows(const int32_t* bin_of, parallel::Range span,
                        std::vector<int64_t>* rows,
                        std::vector<int64_t>* first_row) {
-  for (size_t i = span.begin; i < span.end; ++i) {
-    const size_t b = static_cast<size_t>(bin_of[i]);
-    ++(*rows)[b];
-    if ((*first_row)[b] < 0) (*first_row)[b] = static_cast<int64_t>(i);
-  }
-}
-
-void BinAggSlots::Resize(size_t slots) {
-  count.assign(slots, 0);
-  sum.assign(slots, 0.0);
-  min.assign(slots, 0.0);
-  max.assign(slots, 0.0);
-}
-
-void BinAggSlots::MergeFrom(const BinAggSlots& other) {
-  for (size_t b = 0; b < count.size(); ++b) {
-    if (other.count[b] == 0) continue;
-    if (count[b] == 0) {
-      min[b] = other.min[b];
-      max[b] = other.max[b];
-    } else {
-      // Strict compares, so the earlier chunk's extremum wins ties and a
-      // NaN extremum is never displaced — exactly AggState::Merge.
-      if (other.min[b] < min[b]) min[b] = other.min[b];
-      if (other.max[b] > max[b]) max[b] = other.max[b];
-    }
-    sum[b] += other.sum[b];
-    count[b] += other.count[b];
-  }
+  kernels::AccumulateBinRows(bin_of, span.begin, span.end, rows->data(),
+                             first_row->data());
 }
 
 void AccumulateBinAggs(const Vec& values, const int32_t* bin_of,
                        parallel::Range span, BinAggSlots* slots) {
-  for (size_t i = span.begin; i < span.end; ++i) {
-    if (!values.ValidAt(i)) continue;
-    const size_t b = static_cast<size_t>(bin_of[i]);
-    const double v = values.kind == RegKind::kBool
-                         ? (values.BitAt(i) ? 1.0 : 0.0)
-                         : values.NumAt(i);
-    if (slots->count[b] == 0) {
-      slots->min[b] = v;
-      slots->max[b] = v;
-    } else {
-      if (v < slots->min[b]) slots->min[b] = v;
-      if (v > slots->max[b]) slots->max[b] = v;
-    }
-    slots->sum[b] += v;
-    ++slots->count[b];
-  }
+  kernels::AccumulateBinAggs(NumSpanOf(values), bin_of, span.begin, span.end,
+                             slots);
 }
 
 }  // namespace expr

@@ -18,6 +18,7 @@
 #include "common/parallel.h"
 #include "data/table.h"
 #include "expr/compiler.h"
+#include "expr/kernels/kernels.h"
 
 namespace vegaplus {
 namespace expr {
@@ -317,6 +318,7 @@ GroupResult BuildGroups(const std::vector<const Vec*>& keys,
 /// row of the bin. Null rows map to slot `num_bins` (the null bin). Returns
 /// false when any value is non-finite or lands outside [0, num_bins) — the
 /// level cannot serve queries bit-identically and must be discarded.
+/// Thin wrapper over kernels::ComputeBinIndices on a NumSpanOf view.
 bool ComputeBinIndices(const Vec& values, double start, double step,
                        size_t num_bins, parallel::Range span, int32_t* bin_of);
 
@@ -328,18 +330,9 @@ void AccumulateBinRows(const int32_t* bin_of, parallel::Range span,
                        std::vector<int64_t>* rows,
                        std::vector<int64_t>* first_row);
 
-/// Per-bin aggregate slots of one measure column.
-struct BinAggSlots {
-  std::vector<int64_t> count;  // valid (non-null) cells per bin
-  std::vector<double> sum;
-  std::vector<double> min;  // meaningful iff count > 0
-  std::vector<double> max;
-
-  void Resize(size_t slots);
-  /// Fold `other` (a later chunk of the same bins) into this; callers merge
-  /// in chunk order so float sums are deterministic.
-  void MergeFrom(const BinAggSlots& other);
-};
+/// Per-bin aggregate slots of one measure column; the implementation lives
+/// in the kernel library so the tile builder and benches share one copy.
+using BinAggSlots = kernels::BinAggSlots;
 
 /// Accumulate one measure register into per-bin slots for rows in `span`.
 /// Numeric and bool registers use the typed fast path (bools as 1.0/0.0);
@@ -347,6 +340,11 @@ struct BinAggSlots {
 /// the caller's column selection.
 void AccumulateBinAggs(const Vec& values, const int32_t* bin_of,
                        parallel::Range span, BinAggSlots* slots);
+
+/// Null-aware kernel view of a numeric or bool register (the accumulation
+/// kernels' argument shape). Valid only while `values`'s buffers are alive;
+/// callers must only pass kNum or kBool registers.
+kernels::NumSpan NumSpanOf(const Vec& values);
 
 }  // namespace expr
 }  // namespace vegaplus

@@ -430,31 +430,44 @@ bool MatchFusedCompare(const Program& p, size_t i, Program::FusedPred* out) {
   return true;
 }
 
-/// Detect programs that are a pure AND-tree of `column <cmp> constant`
-/// compares — `a > x`, `a > x && b < y && s == 'k'`, any association — and
-/// record the conjunct list so RunFilter emits one selection loop over the
-/// column storage instead of per-conjunct bool registers plus blends.
+/// Detect programs that are an AND/OR tree of `column <cmp> constant`
+/// compares — `a > x`, `a > x && b < y && s == 'k'`, `a > x || b == y`, any
+/// association and mixing — and record the leaf list plus a postfix combine
+/// program so RunFilter runs one bitmap pass over the compare kernels
+/// instead of per-leaf bool registers plus blends. Pure AND chains
+/// additionally populate fused_preds (the conjunct list the zone-map
+/// pruning paths consume; OR nodes would break their semantics).
 void DetectFusedPredicates(Program* p) {
-  std::vector<Program::FusedPred> preds;
+  std::vector<Program::FusedPred> leaves;
+  std::vector<int32_t> ops;
   size_t bools_on_stack = 0;
+  bool has_or = false;
   size_t i = 0;
   while (i < p->code.size()) {
     Program::FusedPred pred;
     if (MatchFusedCompare(*p, i, &pred)) {
-      preds.push_back(pred);
+      ops.push_back(static_cast<int32_t>(leaves.size()));
+      leaves.push_back(pred);
       ++bools_on_stack;
       i += 3;
       continue;
     }
-    if (p->code[i].op == VecOp::kAndBool && bools_on_stack >= 2) {
+    const VecOp op = p->code[i].op;
+    if ((op == VecOp::kAndBool || op == VecOp::kOrBool) &&
+        bools_on_stack >= 2) {
+      has_or = has_or || op == VecOp::kOrBool;
+      ops.push_back(op == VecOp::kAndBool ? Program::kTreeAnd
+                                          : Program::kTreeOr);
       --bools_on_stack;
       ++i;
       continue;
     }
-    return;  // anything else: not a fused conjunction
+    return;  // anything else: not a fused predicate tree
   }
-  if (bools_on_stack != 1 || preds.empty()) return;
-  p->fused_preds = std::move(preds);
+  if (bools_on_stack != 1 || leaves.empty()) return;
+  if (!has_or) p->fused_preds = leaves;
+  p->fused_tree_leaves = std::move(leaves);
+  p->fused_tree_ops = std::move(ops);
 }
 
 /// Compile-time CSE analysis: record columns loaded more than once (and how

@@ -119,7 +119,22 @@ struct Program {
   /// Non-empty when the whole program is an AND-tree of FusedPreds: the
   /// filter executor evaluates all conjuncts in one selection loop instead
   /// of materializing per-conjunct bool registers and blending them.
+  /// Deliberately AND-only — zone-map pruning (morsel skips and shard chunk
+  /// pushdown) assumes conjunction semantics over this list.
   std::vector<FusedPred> fused_preds;
+
+  /// Postfix combine ops for fused_tree_leaves: an op >= 0 pushes that
+  /// leaf's selection bitmap, kTreeAnd/kTreeOr pop two and combine.
+  static constexpr int32_t kTreeAnd = -1;
+  static constexpr int32_t kTreeOr = -2;
+
+  /// Non-empty when the whole program is an arbitrary AND/OR tree of
+  /// FusedPred leaves — a superset of the fused_preds case (a pure AND
+  /// chain populates both). The filter executor compiles the tree to one
+  /// bitmap-combine pass over the compare kernels instead of falling back
+  /// to the general register path.
+  std::vector<FusedPred> fused_tree_leaves;
+  std::vector<int32_t> fused_tree_ops;
 
   /// Common-subexpression elimination for column loads: (column, load count)
   /// for every column that appears in two or more kLoadCol instructions

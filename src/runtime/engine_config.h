@@ -31,6 +31,9 @@ struct EngineConfig {
   bool vectorized = true;
   /// Dictionary encoding for string columns loaded from CSV/JSON.
   bool dictionary_encoding = true;
+  /// Explicit-SIMD inner-loop kernels (expr/kernels). Disabling forces the
+  /// scalar fallback bodies; results must stay bit-identical either way.
+  bool simd_kernels = true;
   /// Morsel-driven parallelism across the shared worker pool.
   bool morsel_parallel = true;
   /// Worker count for morsel execution. 0 = hardware concurrency.

@@ -8,6 +8,7 @@
 
 #include "common/random.h"
 #include "data/ipc.h"
+#include "expr/kernels/kernels.h"
 #include "expr/sql_translator.h"
 #include "storage/stats.h"
 
@@ -289,6 +290,9 @@ Middleware::Middleware(const sql::Engine* engine, MiddlewareOptions options)
   storage_chunks_pruned_baseline_ = storage::ChunksPruned();
   storage_morsels_pruned_baseline_ = storage::MorselsPruned();
   storage_chunks_paged_in_baseline_ = storage::ChunksPagedIn();
+  kernel_bitmap_selections_baseline_ = kernels::BitmapSelections();
+  kernel_index_selections_baseline_ = kernels::IndexSelections();
+  kernel_scalar_fallbacks_baseline_ = kernels::ScalarFallbacks();
   default_session_ = CreateSession();
 }
 
@@ -830,6 +834,12 @@ Middleware::Stats Middleware::stats() const {
   out.storage_chunks_paged_in =
       storage::ChunksPagedIn() - storage_chunks_paged_in_baseline_;
   out.storage_resident_bytes = storage::ResidentBytes();
+  out.kernel_bitmap_selections =
+      kernels::BitmapSelections() - kernel_bitmap_selections_baseline_;
+  out.kernel_index_selections =
+      kernels::IndexSelections() - kernel_index_selections_baseline_;
+  out.kernel_scalar_fallbacks =
+      kernels::ScalarFallbacks() - kernel_scalar_fallbacks_baseline_;
   return out;
 }
 
@@ -847,6 +857,9 @@ void Middleware::ResetStats() {
   storage_chunks_pruned_baseline_ = storage::ChunksPruned();
   storage_morsels_pruned_baseline_ = storage::MorselsPruned();
   storage_chunks_paged_in_baseline_ = storage::ChunksPagedIn();
+  kernel_bitmap_selections_baseline_ = kernels::BitmapSelections();
+  kernel_index_selections_baseline_ = kernels::IndexSelections();
+  kernel_scalar_fallbacks_baseline_ = kernels::ScalarFallbacks();
 }
 
 void Middleware::ClearCaches() {

@@ -301,6 +301,10 @@ class Middleware : public rewrite::QueryService {
     size_t storage_morsels_pruned = 0;  ///< in-memory morsels skipped likewise
     size_t storage_chunks_paged_in = 0; ///< shard chunks decoded into residency
     size_t storage_resident_bytes = 0;  ///< current decoded-chunk gauge (raw)
+    // SIMD kernel dispatch since construction / ResetStats().
+    size_t kernel_bitmap_selections = 0; ///< filters resolved in bitmap domain
+    size_t kernel_index_selections = 0;  ///< filters refined on index lists
+    size_t kernel_scalar_fallbacks = 0;  ///< kernel calls on the scalar bodies
   };
   Stats stats() const;
   void ResetStats();
@@ -436,6 +440,10 @@ class Middleware : public rewrite::QueryService {
   size_t storage_chunks_pruned_baseline_ = 0;
   size_t storage_morsels_pruned_baseline_ = 0;
   size_t storage_chunks_paged_in_baseline_ = 0;
+  /// Likewise for the process-wide SIMD kernel dispatch counters.
+  size_t kernel_bitmap_selections_baseline_ = 0;
+  size_t kernel_index_selections_baseline_ = 0;
+  size_t kernel_scalar_fallbacks_baseline_ = 0;
   uint64_t next_session_id_ = 1;
 
   std::unique_ptr<CircuitBreaker> breaker_;

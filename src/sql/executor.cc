@@ -8,6 +8,7 @@
 #include "common/str_util.h"
 #include "expr/batch_eval.h"
 #include "expr/evaluator.h"
+#include "expr/kernels/kernels.h"
 #include "storage/reader.h"
 #include "storage/stats.h"
 
@@ -263,64 +264,91 @@ void AccumulateAgg(AggOp op, const Vec& arg, const std::vector<int32_t>& rows,
   auto state = [&](size_t pos) -> AggState& { return (*states)[group_of[pos]]; };
 
   if (arg.kind == RegKind::kNum || arg.kind == RegKind::kBool) {
-    auto value_at = [&arg](size_t r) {
-      return arg.kind == RegKind::kBool ? (arg.BitAt(r) ? 1.0 : 0.0) : arg.NumAt(r);
-    };
+    // Typed fast path: the inner loops live in the kernel library, which
+    // accumulates into dense SoA scratch (one slot per group) in strict
+    // position order; the scratch then folds into the chunk's AggStates.
+    // Each invocation starts from fresh states (one call per chunk per
+    // aggregate), so the fold reproduces the former per-row updates
+    // bit-for-bit — including min/max NaN stickiness, which would not
+    // survive folding into already-populated extrema.
+    const kernels::NumSpan v = expr::NumSpanOf(arg);
+    const size_t num_groups = states->size();
     switch (op) {
-      case AggOp::kCount:
-        for (size_t pos = span.begin; pos < npos; ++pos) {
-          if (arg.ValidAt(static_cast<size_t>(rows[pos]))) ++state(pos).count;
+      case AggOp::kCount: {
+        std::vector<uint64_t> counts(num_groups, 0);
+        kernels::GroupedCount(v, rows.data(), group_of.data(), span.begin,
+                              span.end, counts.data());
+        for (size_t g = 0; g < num_groups; ++g) {
+          (*states)[g].count += static_cast<size_t>(counts[g]);
         }
         return;
+      }
       case AggOp::kSum:
-      case AggOp::kAvg:
-        for (size_t pos = span.begin; pos < npos; ++pos) {
-          const size_t r = static_cast<size_t>(rows[pos]);
-          if (!arg.ValidAt(r)) continue;
-          AggState& st = state(pos);
-          st.sum += value_at(r);
-          ++st.count;
+      case AggOp::kAvg: {
+        std::vector<double> sums(num_groups, 0.0);
+        std::vector<uint64_t> counts(num_groups, 0);
+        kernels::GroupedSum(v, rows.data(), group_of.data(), span.begin,
+                            span.end, sums.data(), counts.data());
+        for (size_t g = 0; g < num_groups; ++g) {
+          AggState& st = (*states)[g];
+          st.sum += sums[g];
+          st.count += static_cast<size_t>(counts[g]);
         }
         return;
+      }
       case AggOp::kStddev:
-      case AggOp::kVariance:
-        for (size_t pos = span.begin; pos < npos; ++pos) {
-          const size_t r = static_cast<size_t>(rows[pos]);
-          if (!arg.ValidAt(r)) continue;
-          AggState& st = state(pos);
-          const double d = value_at(r);
-          st.sum += d;
-          st.sum_sq += d * d;
-          ++st.count;
+      case AggOp::kVariance: {
+        std::vector<double> sums(num_groups, 0.0);
+        std::vector<double> sumsqs(num_groups, 0.0);
+        std::vector<uint64_t> counts(num_groups, 0);
+        kernels::GroupedSumSq(v, rows.data(), group_of.data(), span.begin,
+                              span.end, sums.data(), sumsqs.data(),
+                              counts.data());
+        for (size_t g = 0; g < num_groups; ++g) {
+          AggState& st = (*states)[g];
+          st.sum += sums[g];
+          st.sum_sq += sumsqs[g];
+          st.count += static_cast<size_t>(counts[g]);
         }
         return;
+      }
       case AggOp::kMedian:
+        // Per-group value collection stays here: the kernel scratch is
+        // fixed-width, medians are not.
         for (size_t pos = span.begin; pos < npos; ++pos) {
           const size_t r = static_cast<size_t>(rows[pos]);
           if (!arg.ValidAt(r)) continue;
           AggState& st = state(pos);
-          st.values.push_back(value_at(r));
+          st.values.push_back(v.ValueAt(r));
           ++st.count;
         }
         return;
       case AggOp::kMin:
-        for (size_t pos = span.begin; pos < npos; ++pos) {
-          const size_t r = static_cast<size_t>(rows[pos]);
-          if (!arg.ValidAt(r)) continue;
-          AggState& st = state(pos);
-          const double v = value_at(r);
-          if (st.min.is_null() || v < st.min.AsDouble()) st.min = Value::Double(v);
+      case AggOp::kMax: {
+        std::vector<double> mins(num_groups, 0.0);
+        std::vector<double> maxs(num_groups, 0.0);
+        std::vector<uint8_t> seen(num_groups, 0);
+        kernels::GroupedMinMax(v, rows.data(), group_of.data(), span.begin,
+                               span.end, mins.data(), maxs.data(), seen.data());
+        // Note: the typed min/max never touches count, matching the former
+        // loops (Finish ignores count for them).
+        for (size_t g = 0; g < num_groups; ++g) {
+          if (seen[g] == 0) continue;
+          AggState& st = (*states)[g];
+          if (op == AggOp::kMin) {
+            const double m = mins[g];
+            if (st.min.is_null() || m < st.min.AsDouble()) {
+              st.min = Value::Double(m);
+            }
+          } else {
+            const double m = maxs[g];
+            if (st.max.is_null() || m > st.max.AsDouble()) {
+              st.max = Value::Double(m);
+            }
+          }
         }
         return;
-      case AggOp::kMax:
-        for (size_t pos = span.begin; pos < npos; ++pos) {
-          const size_t r = static_cast<size_t>(rows[pos]);
-          if (!arg.ValidAt(r)) continue;
-          AggState& st = state(pos);
-          const double v = value_at(r);
-          if (st.max.is_null() || v > st.max.AsDouble()) st.max = Value::Double(v);
-        }
-        return;
+      }
     }
     return;
   }
@@ -638,8 +666,11 @@ Result<TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
         states.assign(num_groups, AggState());
         if (item->agg_arg == nullptr) {
           // COUNT(*): group cardinalities, no argument to evaluate.
-          for (size_t pos = chunks[c].begin; pos < chunks[c].end; ++pos) {
-            ++states[groups.group_of[pos]].count;
+          std::vector<uint64_t> counts(num_groups, 0);
+          kernels::GroupedCountStar(groups.group_of.data(), chunks[c].begin,
+                                    chunks[c].end, counts.data());
+          for (size_t g = 0; g < num_groups; ++g) {
+            states[g].count += static_cast<size_t>(counts[g]);
           }
           return;
         }

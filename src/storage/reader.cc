@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "expr/kernels/kernels.h"
 #include "storage/stats.h"
 
 namespace vegaplus {
@@ -145,6 +146,7 @@ Result<data::TablePtr> Reader::MaterializeMatching(
       continue;
     }
     VP_ASSIGN_OR_RETURN(data::TablePtr chunk, Chunk(i));
+    if (prune) chunk = FilterChunkRows(std::move(chunk), preds, dict_codes);
     survivors.push_back(std::move(chunk));
   }
   if (pruned > 0) AddChunksPruned(pruned);
@@ -153,6 +155,84 @@ Result<data::TablePtr> Reader::MaterializeMatching(
     stats->chunks_pruned += pruned;
   }
   return Concat(survivors);
+}
+
+/// Map a zone-map comparison onto a compare kernel op (same operator set).
+static kernels::Cmp KernelCmpOf(CmpOp cmp) {
+  switch (cmp) {
+    case CmpOp::kEq: return kernels::Cmp::kEq;
+    case CmpOp::kNeq: return kernels::Cmp::kNeq;
+    case CmpOp::kLt: return kernels::Cmp::kLt;
+    case CmpOp::kLte: return kernels::Cmp::kLte;
+    case CmpOp::kGt: return kernels::Cmp::kGt;
+    default: return kernels::Cmp::kGte;
+  }
+}
+
+data::TablePtr Reader::FilterChunkRows(data::TablePtr chunk,
+                                       const std::vector<Predicate>& preds,
+                                       const std::vector<int32_t>& dict_codes) const {
+  const size_t n = chunk->num_rows();
+  if (n == 0) return chunk;
+
+  // Exact row filter over the pushed-down conjunction: AND one compare
+  // bitmap per evaluable predicate. Predicates a kernel cannot evaluate
+  // exactly (string order compares, unknown columns) are skipped — sound
+  // because the scan consumer re-runs the full WHERE over whatever this
+  // returns, so over-approximating can only cost rows carried, never
+  // correctness. Only active when zone-map pruning is on, preserving the
+  // "pruning disabled => identical to ReadAll" contract.
+  std::vector<uint8_t> bits(n, 1);
+  std::vector<uint8_t> tmp(n);
+  bool filtered = false;
+  for (size_t p = 0; p < preds.size(); ++p) {
+    const Predicate& pred = preds[p];
+    if (pred.col < 0 ||
+        static_cast<size_t>(pred.col) >= chunk->num_columns()) {
+      continue;
+    }
+    const data::Column& col = chunk->column(static_cast<size_t>(pred.col));
+    const uint8_t* valid =
+        col.null_count() > 0 ? col.validity_data() : nullptr;
+    const kernels::Cmp cmp = KernelCmpOf(pred.cmp);
+    if (pred.is_str) {
+      if (col.type() != data::DataType::kString ||
+          (pred.cmp != CmpOp::kEq && pred.cmp != CmpOp::kNeq)) {
+        continue;
+      }
+      const bool negate = pred.cmp == CmpOp::kNeq;
+      if (col.dict_encoded()) {
+        kernels::CompareCodeToBits(col.codes_data(), n, negate, dict_codes[p],
+                                   tmp.data());
+      } else {
+        kernels::CompareStrToBits(col.strings_data(), valid, n, negate,
+                                  pred.str_const, tmp.data());
+      }
+    } else {
+      switch (col.type()) {
+        case data::DataType::kFloat64:
+          kernels::CompareNumToBits(col.doubles_data(), valid, n, cmp,
+                                    pred.num_const, tmp.data());
+          break;
+        case data::DataType::kInt64:
+        case data::DataType::kTimestamp:
+        case data::DataType::kBool:
+          kernels::CompareInt64ToBits(col.ints_data(), valid, n, cmp,
+                                      pred.num_const, tmp.data());
+          break;
+        default:
+          continue;
+      }
+    }
+    kernels::AndBits(bits.data(), tmp.data(), n);
+    filtered = true;
+  }
+  if (!filtered) return chunk;
+  const size_t matches = kernels::CountBits(bits.data(), n);
+  if (matches == n) return chunk;
+  std::vector<int32_t> sel;
+  kernels::BitsToIndices(bits.data(), n, 0, &sel);
+  return chunk->Take(sel);
 }
 
 void Reader::EvictAll() const {

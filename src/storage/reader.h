@@ -78,9 +78,12 @@ class Reader {
   Result<data::TablePtr> ReadAll() const;
 
   /// The concatenation of chunks whose zones admit the conjunction of
-  /// `preds`. Honors the ZoneMapPruningEnabled() kill switch (disabled =>
-  /// identical to ReadAll). Sound, not exact: surviving chunks may still
-  /// contain non-matching rows — callers run the real filter downstream.
+  /// `preds`, with each surviving chunk row-filtered through the compare
+  /// kernels (exact for numeric and string ==/!= conjuncts; anything a
+  /// kernel cannot evaluate exactly is skipped). Honors the
+  /// ZoneMapPruningEnabled() kill switch (disabled => identical to
+  /// ReadAll). Sound, not exact: the result may still carry non-matching
+  /// rows — callers run the real filter downstream.
   Result<data::TablePtr> MaterializeMatching(const std::vector<Predicate>& preds,
                                              ScanStats* stats = nullptr) const;
 
@@ -93,6 +96,14 @@ class Reader {
   /// True when `preds` provably reject every row of chunk `i`.
   bool ChunkPruned(size_t i, const std::vector<Predicate>& preds,
                    const std::vector<int32_t>& dict_codes) const;
+
+  /// Exact post-prune row filter of one surviving chunk: AND one compare-
+  /// kernel bitmap per evaluable predicate and Take the matching rows
+  /// (returns the chunk unchanged when every row matches or nothing is
+  /// evaluable). Only called when pruning is active.
+  data::TablePtr FilterChunkRows(data::TablePtr chunk,
+                                 const std::vector<Predicate>& preds,
+                                 const std::vector<int32_t>& dict_codes) const;
 
   Result<data::TablePtr> Concat(const std::vector<data::TablePtr>& chunks) const;
 

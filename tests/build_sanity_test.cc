@@ -7,6 +7,7 @@
 #include "common/str_util.h"
 #include "data/data_type.h"
 #include "dataflow/signal_registry.h"
+#include "expr/kernels/kernels.h"
 #include "expr/parser.h"
 #include "json/json_value.h"
 #include "ml/random_forest.h"
@@ -35,6 +36,10 @@ TEST(BuildSanityTest, EveryModuleLinks) {
 
   // data
   EXPECT_EQ(data::DataTypeFromName("float64"), data::DataType::kFloat64);
+
+  // kernels
+  const uint8_t bits[4] = {1, 0, 1, 1};
+  EXPECT_EQ(kernels::CountBits(bits, 4), 3u);
 
   // expr
   EXPECT_TRUE(expr::ParseExpression("1 + 2").ok());

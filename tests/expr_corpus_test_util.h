@@ -7,6 +7,7 @@
 #define VEGAPLUS_TESTS_EXPR_CORPUS_TEST_UTIL_H_
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,7 +18,8 @@
 namespace vegaplus {
 namespace testutil {
 
-/// Random table with doubles (nulls + NaNs), ints, bools, short strings
+/// Random table with doubles (nulls + NaNs + ±Inf/−0.0/denormals), ints,
+/// bools, short strings
 /// (nulls + empties), timestamps (nulls), a low-cardinality category column
 /// (`sc`, 12 distinct + nulls — the dictionary-encoding sweet spot), and a
 /// high-cardinality string column (`sh`, mostly unique + nulls — the
@@ -41,6 +43,17 @@ inline data::TablePtr MakeRandomExprTable(uint64_t seed, size_t rows) {
       dd.AppendNull();
     } else if (rng.NextBool(0.05)) {
       dd.AppendDouble(std::nan(""));
+    } else if (rng.NextBool(0.05)) {
+      // SIMD-hostile specials: infinities, signed zero, denormals — values
+      // where a vectorized compare or accumulate could legally diverge from
+      // scalar code if it took shortcuts (x*0, x-x, flush-to-zero).
+      const double specials[] = {std::numeric_limits<double>::infinity(),
+                                 -std::numeric_limits<double>::infinity(),
+                                 -0.0,
+                                 std::numeric_limits<double>::denorm_min(),
+                                 -std::numeric_limits<double>::denorm_min(),
+                                 std::numeric_limits<double>::min() / 2};
+      dd.AppendDouble(specials[rng.Index(6)]);
     } else {
       dd.AppendDouble(rng.Uniform(-50, 50));
     }

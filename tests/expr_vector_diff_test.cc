@@ -11,9 +11,11 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "data/table.h"
 #include "expr/batch_eval.h"
 #include "expr/compiler.h"
+#include "expr/kernels/kernels.h"
 #include "expr/evaluator.h"
 #include "expr/parser.h"
 #include "expr_corpus_test_util.h"
@@ -110,6 +112,12 @@ TEST_P(VectorEngineDiffTest, FilterSelectionsMatchScalarTruthiness) {
       "datum.dd > -10 && datum.ii <= 5",
       "!(datum.dd <= 0 || datum.bb)",
       "isValid(datum.dd) && datum.dd * 2 < 40",
+      // Fused OR-trees: compiled to one bitmap-combine pass by the kernels.
+      "datum.dd > 10 || datum.ii < -5",
+      "datum.dd > 10 || datum.ii < -5 || datum.sc == 'cat_1'",
+      "datum.dd > 0 && datum.ii < 10 || datum.dd < -40",
+      "(datum.dd > 0 || datum.ii == 4) && datum.sc != 'cat_2'",
+      "datum.ss == 'mid' || datum.dd >= 49",
   };
   for (const char* text : predicates) {
     auto parsed = expr::ParseExpression(text);
@@ -173,6 +181,74 @@ TEST_P(VectorEngineDiffTest, ExecutorAgreesWithScalarPath) {
     ASSERT_TRUE(vec->table->Equals(*scalar->table))
         << sql << "\nvectorized:\n" << vec->table->ToString(8)
         << "scalar:\n" << scalar->table->ToString(8);
+  }
+}
+
+// Kill-switch differential for the SIMD kernel library: RunFilter must be
+// bit-identical with kernels enabled and disabled, against the scalar
+// interpreter as ground truth, across SIMD-hostile batch lengths (empty,
+// single row, one off either side of typical register widths, and one off
+// either side of the morsel size) plus an all-null batch. The table mixes
+// NaN/±Inf/−0.0/denormal doubles via MakeRandomExprTable.
+TEST_P(VectorEngineDiffTest, KernelKillSwitchBitIdentical) {
+  const char* predicates[] = {
+      "datum.dd > 0",
+      "datum.ii != 4",
+      "datum.dd == 0",  // −0.0 == 0.0 must hold in both bodies
+      "datum.dd > -10 && datum.ii <= 5 && datum.dd != 7",
+      "datum.sc == 'cat_1' && datum.dd > 0",
+      "datum.dd > 10 || datum.ii < -5",
+      "(datum.dd > 0 || datum.ii == 4) && datum.sc != 'cat_2'",
+      "datum.ss == 'mid' || datum.dd >= 49",
+  };
+  const size_t morsel = parallel::MorselRows();
+  const size_t lengths[] = {0,          1,      7,      8,  9,
+                            15,         16,     17,     63, 64,
+                            65,         400,    morsel - 1, morsel,
+                            morsel + 1};
+  const size_t max_len = morsel + 1;
+  TablePtr full = testutil::MakeRandomExprTable(GetParam() * 977 + 5, max_len);
+  // All-null twin: every cell null, exercising the all-invalid fast paths.
+  TablePtr all_null;
+  {
+    std::vector<data::Column> cols;
+    for (const auto& field : full->schema().fields()) {
+      data::Column col(field.type);
+      for (size_t r = 0; r < 32; ++r) col.AppendNull();
+      cols.push_back(std::move(col));
+    }
+    all_null = std::make_shared<data::Table>(full->schema(), std::move(cols));
+  }
+  std::vector<TablePtr> tables;
+  for (size_t len : lengths) tables.push_back(full->Slice(0, len));
+  tables.push_back(all_null);
+
+  for (const char* text : predicates) {
+    auto parsed = expr::ParseExpression(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    for (const TablePtr& table : tables) {
+      auto program = expr::Compiler::Compile(*parsed, table->schema());
+      ASSERT_TRUE(program.has_value()) << text << " should vectorize";
+      std::vector<int32_t> on_sel, off_sel;
+      kernels::SetSimdEnabled(true);
+      expr::BatchEvaluator(*table).RunFilter(*program, &on_sel);
+      kernels::SetSimdEnabled(false);
+      expr::BatchEvaluator(*table).RunFilter(*program, &off_sel);
+      kernels::SetSimdEnabled(true);
+      EXPECT_EQ(on_sel, off_sel)
+          << text << " rows=" << table->num_rows() << " kernels on vs off";
+      std::vector<int32_t> scalar_sel;
+      expr::EvalContext ctx;
+      ctx.table = table.get();
+      for (size_t r = 0; r < table->num_rows(); ++r) {
+        ctx.row = r;
+        if (expr::Evaluate(*parsed, ctx).Truthy()) {
+          scalar_sel.push_back(static_cast<int32_t>(r));
+        }
+      }
+      EXPECT_EQ(on_sel, scalar_sel)
+          << text << " rows=" << table->num_rows() << " vs scalar interpreter";
+    }
   }
 }
 
