@@ -380,6 +380,226 @@ int main() {
     std::remove(shard_path.c_str());
   }
 
+  // --- Deadline storm: 8 sessions burst tight-deadline requests at 2 workers
+  // whose DBMS path stalls 20ms per execute. Cooperative cancellation caps
+  // the stall at the deadline and aborts engine work at the next checkpoint,
+  // so each worker is reclaimed in ~deadline ms instead of being held for the
+  // full stall — the storm drains fast and the pool stays serviceable.
+  {
+    const size_t kStormSessions = 8;
+    const size_t kStormBurst = 16;
+    const double kStormDeadlineMs = 5;
+    const double kStormStallMs = 20;
+    runtime::MiddlewareOptions options;
+    options.enable_client_cache = false;
+    options.enable_server_cache = false;
+    options.worker_threads = 2;
+    options.fault_injection = runtime::FaultInjectorOptions{};
+    options.fault_injection->seed = config.seed;
+    options.fault_injection->rules.push_back(
+        runtime::FaultRule{"", 0, false, 0, /*stall_ms=*/kStormStallMs});
+    runtime::Middleware middleware(&engine, options);
+
+    const std::string sql_template = "SELECT COUNT(*) AS n, AVG(" + field +
+                                     ") AS m FROM flights WHERE " + field +
+                                     " < ${cut}";
+    std::atomic<bool> bad_status{false};
+    std::vector<std::vector<double>> reclaim(kStormSessions);
+    StopWatch wall;
+    std::vector<std::thread> threads;
+    threads.reserve(kStormSessions);
+    for (size_t s = 0; s < kStormSessions; ++s) {
+      threads.emplace_back([&, s] {
+        auto session = middleware.CreateSession();
+        auto handle = session->Prepare(sql_template);
+        if (!handle.ok()) {
+          bad_status = true;
+          return;
+        }
+        std::vector<rewrite::QueryTicketPtr> tickets;
+        std::vector<StopWatch> watches(kStormBurst);
+        tickets.reserve(kStormBurst);
+        for (size_t q = 0; q < kStormBurst; ++q) {
+          rewrite::QueryRequest request;
+          request.handle = *handle;
+          request.params = {{"cut", expr::EvalValue::Number(
+                                        9000.0 + static_cast<double>(s) * 1000.0 +
+                                        static_cast<double>(q))}};
+          request.deadline_ms = kStormDeadlineMs;
+          watches[q] = StopWatch();
+          tickets.push_back(session->Submit(request));
+        }
+        for (size_t q = 0; q < kStormBurst; ++q) {
+          auto response = tickets[q]->Await();
+          reclaim[s].push_back(watches[q].ElapsedMillis());
+          // Completion, expiry, and shed are all legitimate storm outcomes;
+          // anything else is a bug the bench must not paper over.
+          if (!response.ok() && !response.status().IsDeadlineExceeded() &&
+              !response.status().IsUnavailable()) {
+            bad_status = true;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    if (bad_status) Die(Status::RuntimeError("unexpected status"), "deadline storm");
+    const double storm_wall_ms = wall.ElapsedMillis();
+
+    auto stats = middleware.stats();
+    const size_t total = kStormSessions * kStormBurst;
+    if (stats.queries + stats.cancelled + stats.errors != stats.submitted) {
+      std::fprintf(stderr, "GATE FAILED: deadline-storm stats incoherent\n");
+      return 1;
+    }
+    // Worker-reclaim latency: mean worker occupancy per storm request. An
+    // uncancellable 20ms stall would pin it at >=20ms; the deadline cap plus
+    // checkpoint abort reclaims each worker in about the 5ms deadline.
+    const double reclaim_ms =
+        storm_wall_ms * static_cast<double>(options.worker_threads) /
+        static_cast<double>(total);
+    std::vector<double> all;
+    for (const auto& l : reclaim) all.insert(all.end(), l.begin(), l.end());
+    std::printf("\n=== deadline storm: %zu sessions x %zu, deadline %.0fms, stall %.0fms, 2 workers ===\n",
+                kStormSessions, kStormBurst, kStormDeadlineMs, kStormStallMs);
+    std::printf("%10s %14s %14s %12s %10s %10s\n", "submitted", "deadline-hit",
+                "mid-flight", "reclaim ms", "p95 ms", "p99 ms");
+    std::printf("%10zu %14zu %14zu %12.3f %10.3f %10.3f\n", stats.submitted,
+                stats.deadline_exceeded, stats.cancelled_mid_flight, reclaim_ms,
+                Percentile(all, 0.95), Percentile(all, 0.99));
+
+    // The pool must come back clean: a fresh query right after the storm.
+    auto after = middleware.Execute("SELECT COUNT(*) AS n FROM flights");
+    if (!after.ok()) Die(after.status(), "post-storm query");
+
+    json::Value row = json::Value::MakeObject();
+    row.Set("sessions", kStormSessions);
+    row.Set("submitted", stats.submitted);
+    row.Set("deadline_exceeded", stats.deadline_exceeded);
+    row.Set("cancelled_mid_flight", stats.cancelled_mid_flight);
+    row.Set("wall_ms", storm_wall_ms);
+    row.Set("worker_reclaim_ms", reclaim_ms);
+    row.Set("await_p95_ms", Percentile(all, 0.95));
+    row.Set("await_p99_ms", Percentile(all, 0.99));
+    reporter.AddMetric("deadline_storm", std::move(row));
+    reporter.AddPhase("deadline_storm", storm_wall_ms);
+    if (stats.deadline_exceeded == 0) {
+      std::fprintf(stderr, "GATE FAILED: deadline storm never hit a deadline\n");
+      return 1;
+    }
+    if (reclaim_ms >= kStormStallMs) {
+      std::fprintf(stderr,
+                   "GATE FAILED: worker reclaim %.1fms not below the %.0fms stall\n",
+                   reclaim_ms, kStormStallMs);
+      return 1;
+    }
+  }
+
+  // --- Hedged requests vs injected stalls: every primary execution draws a
+  // deterministic 40ms stall (the rule matches the cache key's "cut=" param
+  // segment; hedge attempts run under an opaque digest key the rule cannot
+  // match). Without hedging, every query eats the stall; with a 5ms hedge
+  // threshold, the duplicate attempt answers in ~threshold + compute and the
+  // stalled primary is abandoned through its token. p99 must improve.
+  {
+    const size_t kHedgeSessions = 4;
+    const size_t kHedgeQueries = 32;
+    const double kHedgeStallMs = 40;
+    double p99_ms[2] = {0, 0};
+    const bool hedge_on[2] = {false, true};
+    const char* mode_names[2] = {"unhedged", "hedged"};
+    std::printf("\n=== hedged requests: %.0fms primary stall, 5ms hedge threshold ===\n",
+                kHedgeStallMs);
+    std::printf("%10s %10s %10s %10s %10s %10s\n", "mode", "queries", "hedges",
+                "wins", "p50 ms", "p99 ms");
+    for (int m = 0; m < 2; ++m) {
+      runtime::MiddlewareOptions options;
+      options.enable_client_cache = false;
+      options.enable_server_cache = false;
+      // Headroom above the session count so hedge attempts get workers while
+      // the stalled primaries are still occupying theirs.
+      options.worker_threads = kHedgeSessions * 2;
+      options.hedge.enabled = hedge_on[m];
+      options.hedge.fixed_threshold_ms = 5;
+      options.fault_injection = runtime::FaultInjectorOptions{};
+      options.fault_injection->seed = config.seed;
+      options.fault_injection->rules.push_back(
+          runtime::FaultRule{"cut=", 0, false, 0, /*stall_ms=*/kHedgeStallMs});
+      runtime::Middleware middleware(&engine, options);
+
+      const std::string sql_template = "SELECT COUNT(*) AS n, AVG(" + field +
+                                       ") AS m FROM flights WHERE " + field +
+                                       " < ${cut}";
+      std::atomic<bool> failed{false};
+      std::vector<std::vector<double>> latencies(kHedgeSessions);
+      StopWatch wall;
+      std::vector<std::thread> threads;
+      threads.reserve(kHedgeSessions);
+      for (size_t s = 0; s < kHedgeSessions; ++s) {
+        threads.emplace_back([&, s] {
+          auto session = middleware.CreateSession();
+          auto handle = session->Prepare(sql_template);
+          if (!handle.ok()) {
+            failed = true;
+            return;
+          }
+          latencies[s].reserve(kHedgeQueries);
+          for (size_t q = 0; q < kHedgeQueries; ++q) {
+            rewrite::QueryRequest request;
+            request.handle = *handle;
+            request.params = {{"cut", expr::EvalValue::Number(
+                                          20000.0 +
+                                          static_cast<double>(s) * 1000.0 +
+                                          static_cast<double>(q))}};
+            StopWatch latency;
+            auto response = session->Submit(request)->Await();
+            latencies[s].push_back(latency.ElapsedMillis());
+            if (!response.ok()) failed = true;
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+      if (failed) Die(Status::RuntimeError("query failed"), "hedge workload");
+      const double hedge_wall_ms = wall.ElapsedMillis();
+
+      auto stats = middleware.stats();
+      if (stats.queries + stats.cancelled + stats.errors != stats.submitted) {
+        std::fprintf(stderr, "GATE FAILED: %s-run stats incoherent\n",
+                     mode_names[m]);
+        return 1;
+      }
+      std::vector<double> all;
+      for (const auto& l : latencies) all.insert(all.end(), l.begin(), l.end());
+      p99_ms[m] = Percentile(all, 0.99);
+      std::printf("%10s %10zu %10zu %10zu %10.3f %10.3f\n", mode_names[m],
+                  all.size(), stats.hedged_requests, stats.hedge_wins,
+                  Percentile(all, 0.50), p99_ms[m]);
+
+      json::Value row = json::Value::MakeObject();
+      row.Set("queries", all.size());
+      row.Set("hedged_requests", stats.hedged_requests);
+      row.Set("hedge_wins", stats.hedge_wins);
+      row.Set("cancelled_mid_flight", stats.cancelled_mid_flight);
+      row.Set("wall_ms", hedge_wall_ms);
+      row.Set("p50_ms", Percentile(all, 0.50));
+      row.Set("p99_ms", p99_ms[m]);
+      reporter.AddMetric(std::string("hedge_") + mode_names[m], std::move(row));
+      reporter.AddPhase(std::string("hedge_") + mode_names[m], hedge_wall_ms);
+      if (hedge_on[m] && stats.hedge_wins == 0) {
+        std::fprintf(stderr, "GATE FAILED: hedged run adopted no hedge results\n");
+        return 1;
+      }
+    }
+    std::printf("hedging p99: %.3fms -> %.3fms (%.1fx)\n", p99_ms[0], p99_ms[1],
+                p99_ms[0] / p99_ms[1]);
+    reporter.AddMetric("hedge_p99_speedup", json::Value(p99_ms[0] / p99_ms[1]));
+    if (p99_ms[1] >= p99_ms[0]) {
+      std::fprintf(stderr,
+                   "GATE FAILED: hedged p99 %.3fms not below unhedged %.3fms\n",
+                   p99_ms[1], p99_ms[0]);
+      return 1;
+    }
+  }
+
   double scaling = results.back().throughput_qps / results.front().throughput_qps;
   size_t cores = std::thread::hardware_concurrency();
   std::printf("\nthroughput scaling 1 -> %zu sessions: %.2fx (%zu hardware threads)\n",

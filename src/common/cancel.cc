@@ -1,0 +1,19 @@
+#include "common/cancel.h"
+
+namespace vegaplus {
+namespace common {
+
+namespace {
+std::atomic<bool> g_cooperative_cancel{true};
+}  // namespace
+
+bool CooperativeCancelEnabled() {
+  return g_cooperative_cancel.load(std::memory_order_relaxed);
+}
+
+void SetCooperativeCancelEnabled(bool enabled) {
+  g_cooperative_cancel.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace common
+}  // namespace vegaplus

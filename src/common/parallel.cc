@@ -27,6 +27,7 @@ std::atomic<size_t> g_morsel_rows{16384};
 struct ForState {
   size_t n = 0;
   const std::function<void(size_t)>* fn = nullptr;
+  const common::CancelToken* cancel = nullptr;
   std::atomic<size_t> next{0};
 
   std::mutex mu;
@@ -41,10 +42,16 @@ void RunWork(ForState& s) {
   std::exception_ptr error;
   for (size_t i = s.next.fetch_add(1, std::memory_order_relaxed); i < s.n;
        i = s.next.fetch_add(1, std::memory_order_relaxed)) {
-    try {
-      (*s.fn)(i);
-    } catch (...) {
-      if (!error) error = std::current_exception();
+    // Cancellation checkpoint: a fired token turns the remaining morsels
+    // into no-ops, but claimed indices still count as completed so the
+    // caller's done_cv wait always terminates. The caller observes the
+    // fired token itself and discards the partial output.
+    if (!common::Fired(s.cancel)) {
+      try {
+        (*s.fn)(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
     }
     ++done_local;
   }
@@ -160,17 +167,22 @@ void SetMorselRows(size_t rows) {
   g_morsel_rows.store(rows == 0 ? 1 : rows, std::memory_order_relaxed);
 }
 
-void ParallelFor(size_t num_tasks, const std::function<void(size_t)>& fn) {
+void ParallelFor(size_t num_tasks, const std::function<void(size_t)>& fn,
+                 const common::CancelToken* cancel) {
   if (num_tasks == 0) return;
   const size_t workers =
       MorselParallelEnabled() ? std::min(num_tasks, EffectiveParallelism()) : 1;
   if (workers <= 1) {
-    for (size_t i = 0; i < num_tasks; ++i) fn(i);
+    for (size_t i = 0; i < num_tasks; ++i) {
+      if (common::Fired(cancel)) return;
+      fn(i);
+    }
     return;
   }
   auto state = std::make_shared<ForState>();
   state->n = num_tasks;
   state->fn = &fn;
+  state->cancel = cancel;
   MorselPool::Instance().SubmitHelpers(workers - 1, state);
   RunWork(*state);
   std::unique_lock<std::mutex> lock(state->mu);

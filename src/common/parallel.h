@@ -27,6 +27,8 @@
 #include <functional>
 #include <vector>
 
+#include "common/cancel.h"
+
 namespace vegaplus {
 namespace parallel {
 
@@ -60,7 +62,16 @@ void SetMorselRows(size_t rows);
 /// use per-task slots and merge in index order for deterministic results.
 /// If a task throws, the first exception is rethrown on the calling thread
 /// after all tasks complete.
-void ParallelFor(size_t num_tasks, const std::function<void(size_t)>& fn);
+///
+/// `cancel` (optional) is the cooperative-cancellation checkpoint between
+/// morsels: once the token fires, indices claimed afterwards skip `fn`
+/// entirely (their output slots stay unwritten) but still count toward
+/// completion, so ParallelFor always returns promptly and waiters never
+/// hang. Callers must poll the token after the call and discard the
+/// (partially written) results if it fired — ParallelFor itself has no
+/// error channel for cancellation.
+void ParallelFor(size_t num_tasks, const std::function<void(size_t)>& fn,
+                 const common::CancelToken* cancel = nullptr);
 
 /// One contiguous half-open range of rows/positions.
 struct Range {

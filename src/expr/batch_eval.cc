@@ -1489,20 +1489,29 @@ Vec ConcatVecs(std::vector<Vec> parts, size_t n) {
 
 }  // namespace
 
-Vec RunMorselParallel(const data::Table& table, const Program& p) {
+Vec RunMorselParallel(const data::Table& table, const Program& p,
+                      const common::CancelToken* cancel) {
   const size_t n = table.num_rows();
   const std::vector<parallel::Range> morsels = parallel::MorselRanges(n);
   if (!MorselWorthIt(morsels.size())) return BatchEvaluator(table).Run(p);
   std::vector<Vec> parts(morsels.size());
-  parallel::ParallelFor(morsels.size(), [&](size_t m) {
-    data::TablePtr slice = table.Slice(morsels[m].begin, morsels[m].size());
-    parts[m] = BatchEvaluator(*slice).Run(p);
-  });
+  parallel::ParallelFor(
+      morsels.size(),
+      [&](size_t m) {
+        data::TablePtr slice = table.Slice(morsels[m].begin, morsels[m].size());
+        parts[m] = BatchEvaluator(*slice).Run(p);
+      },
+      cancel);
+  // A fired token leaves skipped morsels' slots default-constructed; the
+  // stitch would be garbage. Return an empty register instead — the caller
+  // polls the token and discards the result.
+  if (common::Fired(cancel)) return Vec{};
   return ConcatVecs(std::move(parts), n);
 }
 
 void RunFilterMorselParallel(const data::Table& table, const Program& p,
-                             std::vector<int32_t>* sel) {
+                             std::vector<int32_t>* sel,
+                             const common::CancelToken* cancel) {
   const std::vector<parallel::Range> morsels = parallel::MorselRanges(table.num_rows());
   // Zone-map morsel pruning: a pruned morsel's filter run would select
   // nothing, so skipping it leaves the stitched selection vector
@@ -1514,6 +1523,7 @@ void RunFilterMorselParallel(const data::Table& table, const Program& p,
       // maps accelerate the in-memory case independent of parallelism).
       for (size_t m = 0; m < morsels.size(); ++m) {
         if (skip[m]) continue;
+        if (common::Fired(cancel)) return;
         data::TablePtr slice = table.Slice(morsels[m].begin, morsels[m].size());
         std::vector<int32_t> part;
         BatchEvaluator(*slice).RunFilter(p, &part);
@@ -1527,14 +1537,18 @@ void RunFilterMorselParallel(const data::Table& table, const Program& p,
     return;
   }
   std::vector<std::vector<int32_t>> parts(morsels.size());
-  parallel::ParallelFor(morsels.size(), [&](size_t m) {
-    if (!skip.empty() && skip[m]) return;  // zone-pruned: selects nothing
-    data::TablePtr slice = table.Slice(morsels[m].begin, morsels[m].size());
-    BatchEvaluator(*slice).RunFilter(p, &parts[m]);
-    // Slice-local row ids -> table row ids.
-    const int32_t offset = static_cast<int32_t>(morsels[m].begin);
-    for (int32_t& r : parts[m]) r += offset;
-  });
+  parallel::ParallelFor(
+      morsels.size(),
+      [&](size_t m) {
+        if (!skip.empty() && skip[m]) return;  // zone-pruned: selects nothing
+        data::TablePtr slice = table.Slice(morsels[m].begin, morsels[m].size());
+        BatchEvaluator(*slice).RunFilter(p, &parts[m]);
+        // Slice-local row ids -> table row ids.
+        const int32_t offset = static_cast<int32_t>(morsels[m].begin);
+        for (int32_t& r : parts[m]) r += offset;
+      },
+      cancel);
+  if (common::Fired(cancel)) return;  // partial parts; caller discards sel
   // Ordered stitch: morsel order == ascending row order, exactly the
   // sequential selection vector.
   size_t total = 0;

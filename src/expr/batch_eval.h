@@ -272,9 +272,16 @@ class BatchEvaluator {
 /// elementwise, so the stitched result is bit-identical to a single
 /// full-batch run; single-morsel inputs and the kill-switch path go through
 /// BatchEvaluator directly.
-Vec RunMorselParallel(const data::Table& table, const Program& p);
+///
+/// `cancel` (optional) is polled at morsel checkpoints (common/cancel.h):
+/// once it fires, the remaining morsels are skipped and the return value /
+/// `sel` contents are unspecified — callers must poll the token after the
+/// call and discard the result if it fired.
+Vec RunMorselParallel(const data::Table& table, const Program& p,
+                      const common::CancelToken* cancel = nullptr);
 void RunFilterMorselParallel(const data::Table& table, const Program& p,
-                             std::vector<int32_t>* sel);
+                             std::vector<int32_t>* sel,
+                             const common::CancelToken* cancel = nullptr);
 
 /// \brief Hash-grouping over typed key registers.
 struct GroupResult {

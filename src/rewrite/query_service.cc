@@ -23,6 +23,7 @@ bool QueryTicket::Cancel() {
   std::lock_guard<std::mutex> lock(mu_);
   if (done_ || delivery_decided_) return false;
   cancel_requested_ = true;
+  if (cancel_token_) cancel_token_->Cancel();
   if (!executing_) {
     // Never started: resolve right away so Await() does not block on a
     // request no worker will ever pick up after the service drops it.
@@ -48,6 +49,12 @@ QueryTicketPtr QueryTicket::Ready(Result<QueryResponse> response, uint64_t gener
   ticket->done_ = true;
   ticket->response_ = std::move(response);
   return ticket;
+}
+
+void QueryTicket::LinkCancel(std::shared_ptr<common::CancelToken> token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (token && cancel_requested_) token->Cancel();
+  cancel_token_ = std::move(token);
 }
 
 bool QueryTicket::BeginExecution() {

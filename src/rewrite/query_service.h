@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "data/table.h"
 #include "expr/evaluator.h"
@@ -147,6 +148,13 @@ class QueryTicket {
   bool CommitDelivery();
   void Deliver(Result<QueryResponse> response);
 
+  /// Attach the cooperative cancellation token of the execution serving this
+  /// ticket. From then on, Cancel() also fires the token, so a superseded or
+  /// abandoned request stops *running* at the engine's next morsel
+  /// checkpoint instead of merely having its result discarded. If
+  /// cancellation was already requested, the token fires immediately.
+  void LinkCancel(std::shared_ptr<common::CancelToken> token);
+
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -157,6 +165,9 @@ class QueryTicket {
   bool deliver_response_ = false;  // valid once delivery_decided_
   uint64_t generation_ = 0;
   Result<QueryResponse> response_{QueryResponse{}};
+  /// Fired by Cancel() once linked; lets cancellation reach into a running
+  /// engine execution instead of only racing its delivery.
+  std::shared_ptr<common::CancelToken> cancel_token_;
 };
 
 using QueryTicketPtr = std::shared_ptr<QueryTicket>;

@@ -62,6 +62,11 @@ FaultDecision FaultInjector::OnDbmsExecute(const std::string& key) {
   return decision;
 }
 
+FaultDecision FaultInjector::OnStoragePageIn(const std::string& path,
+                                             size_t chunk_index) {
+  return OnDbmsExecute("storage:" + path + "#" + std::to_string(chunk_index));
+}
+
 void FaultInjector::AddRule(FaultRule rule) {
   std::lock_guard<std::mutex> lock(mu_);
   options_.rules.push_back(std::move(rule));

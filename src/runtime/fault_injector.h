@@ -82,6 +82,13 @@ class FaultInjector {
   /// distinct query a long bench ever runs.
   FaultDecision OnDbmsExecute(const std::string& key);
 
+  /// Storage-layer chaos: decide the fate of one chunk page-in, keyed
+  /// "storage:<shard path>#<chunk index>" so rules can target one shard
+  /// (match its path), one chunk, or the whole out-of-core tier (match
+  /// "storage:"). Same deterministic (seed, key, attempt) schedule as
+  /// OnDbmsExecute; bridge the verdict into storage::SetPageInFaultHook.
+  FaultDecision OnStoragePageIn(const std::string& path, size_t chunk_index);
+
   /// Rules are mutable at runtime so tests can flip a healthy backend into
   /// an outage (and back) mid-scenario. Attempt counters are preserved.
   void AddRule(FaultRule rule);

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/random.h"
 #include "data/ipc.h"
@@ -36,6 +38,40 @@ uint64_t HashKey(const std::string& key) {
   return h;
 }
 
+// Opaque digest of a cache key, for the hedge attempt's fault-injector
+// identity. Fault rules match by *substring*, and every substring of `key`
+// is also a substring of "key#1" — so the hedge must not reuse the primary's
+// key with a suffix, or rules stalling the primary would stall the hedge
+// too and hedging could never win. "hedge:<digest>#1" keeps the hedge
+// individually addressable (and all hedges via the "hedge:" prefix) while
+// sharing no substring with the primary.
+std::string HedgeInjectorKey(const std::string& key) {
+  char digest[17];
+  std::snprintf(digest, sizeof(digest), "%016llx",
+                static_cast<unsigned long long>(HashKey(key)));
+  return std::string("hedge:") + digest + "#1";
+}
+
+// Shared state of one hedged execution race. Ownership protocol: only the
+// *primary* worker sets `decided` (by finishing first or by adopting the
+// hedge's result); the hedge side only publishes hedge_started/hedge_done/
+// hedge_result. That single-writer rule is what makes the first-success
+// claim race-free.
+struct HedgeRace {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool decided = false;        // primary claimed an outcome; hedge no-ops
+  bool hedge_started = false;  // hedge began backend work
+  bool hedge_done = false;     // hedge finished (or declined to start)
+  std::optional<Result<sql::QueryResult>> hedge_result;
+  double hedge_fault_ms = 0;   // injected stall charged to the hedge attempt
+  double threshold_ms = 0;     // delay before the hedge starts
+  /// Child of the primary's token: the primary abandons a losing hedge
+  /// through it without touching its own cancellation state, while a fired
+  /// parent (superseded ticket) stops both attempts.
+  std::shared_ptr<common::CancelToken> hedge_token;
+};
+
 // Sum `from` into `into`, field by field.
 void Accumulate(SessionStats* into, const SessionStats& from) {
   into->submitted += from.submitted;
@@ -50,6 +86,9 @@ void Accumulate(SessionStats* into, const SessionStats& from) {
   into->deadline_exceeded += from.deadline_exceeded;
   into->shed += from.shed;
   into->degraded_responses += from.degraded_responses;
+  into->hedged_requests += from.hedged_requests;
+  into->hedge_wins += from.hedge_wins;
+  into->cancelled_mid_flight += from.cancelled_mid_flight;
   into->bytes_transferred += from.bytes_transferred;
   into->total_latency_ms += from.total_latency_ms;
 }
@@ -483,6 +522,18 @@ void Middleware::RunQueryTask(std::shared_ptr<Session> session, QueryTicketPtr t
     return;
   }
 
+  // Cooperative cancellation: one token per request, fired by ticket
+  // cancellation (supersession, client abandon) or by the request deadline.
+  // The engine polls it at morsel checkpoints, so a fired token reclaims
+  // this worker within one morsel instead of after the full scan.
+  std::shared_ptr<common::CancelToken> token;
+  if (engine_config_.cooperative_cancel) {
+    token = deadline.has_value()
+                ? std::make_shared<common::CancelToken>(*deadline)
+                : std::make_shared<common::CancelToken>();
+    ticket->LinkCancel(token);
+  }
+
   auto deliver_error = [&](const Status& st) {
     if (ticket->CommitDelivery()) {
       RecordError(session.get(), st);
@@ -584,7 +635,7 @@ void Middleware::RunQueryTask(std::shared_ptr<Session> session, QueryTicketPtr t
       return;
     }
     std::optional<tiles::TileAnswer> tile;
-    if (tile_store_ != nullptr) tile = tile_store_->TryAnswer(**bound);
+    if (tile_store_ != nullptr) tile = tile_store_->TryAnswer(**bound, token.get());
     if (tile.has_value()) {
       // Served from the precomputed aggregation tree: the server touches
       // `bins_touched` slots instead of scanning base rows.
@@ -601,7 +652,128 @@ void Middleware::RunQueryTask(std::shared_ptr<Session> session, QueryTicketPtr t
       double fault_latency_ms = 0;  // injected stalls, charged as server time
       Status failure;
       bool degradable = false;  // only transient/deadline failures may degrade
+
+      // Hedged request: past the statement's observed tail threshold, launch
+      // one duplicate attempt on another worker and take the first success.
+      // TrySubmit only — under queue saturation the hedge is shed rather
+      // than amplifying the overload. The hedge bypasses single-flight by
+      // design: it *is* the deliberate duplicate.
+      std::shared_ptr<HedgeRace> race;
+      const double hedge_threshold_ms = HedgeThresholdMs(scope);
+      if (hedge_threshold_ms >= 0) {
+        race = std::make_shared<HedgeRace>();
+        race->threshold_ms = hedge_threshold_ms;
+        if (token != nullptr) {
+          race->hedge_token =
+              std::make_shared<common::CancelToken>(token, deadline);
+        }
+        auto hedge_task = [this, race, bound_stmt = *bound,
+                           hedge_key = HedgeInjectorKey(key), deadline]() {
+          {
+            std::unique_lock<std::mutex> lk(race->mu);
+            const auto start_at =
+                std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(race->threshold_ms));
+            race->cv.wait_until(lk, start_at, [&] { return race->decided; });
+            if (race->decided) {  // primary finished inside the threshold
+              race->hedge_done = true;
+              race->cv.notify_all();
+              return;
+            }
+            race->hedge_started = true;
+          }
+          Status injected;
+          double stall_ms = 0;
+          if (fault_injector_ != nullptr) {
+            FaultDecision fate = fault_injector_->OnDbmsExecute(hedge_key);
+            if (fate.stall_ms > 0) {
+              stall_ms = fate.stall_ms;
+              SleepCapped(fate.stall_ms, deadline);
+            }
+            if (fate.fail) injected = fate.status;
+          }
+          common::QueryContext hedge_ctx{race->hedge_token};
+          Result<sql::QueryResult> r =
+              !injected.ok()
+                  ? Result<sql::QueryResult>(injected)
+                  : engine_->Execute(*bound_stmt,
+                                     race->hedge_token ? &hedge_ctx : nullptr);
+          std::lock_guard<std::mutex> lk(race->mu);
+          race->hedge_fault_ms = stall_ms;
+          race->hedge_result.emplace(std::move(r));
+          race->hedge_done = true;
+          race->cv.notify_all();
+        };
+        if (pool_->TrySubmit(std::move(hedge_task)) ==
+            WorkerPool::Admission::kAccepted) {
+          RecordHedgeLaunched(session.get());
+        } else {
+          race.reset();  // pool saturated or shutting down: no hedge
+        }
+      }
+
+      // First-success claim: adopt the hedge's result if it already landed.
+      // Only the primary sets `decided`, so the claim cannot be contested.
+      auto claim_hedge_win = [&]() -> std::optional<sql::QueryResult> {
+        if (race == nullptr) return std::nullopt;
+        std::lock_guard<std::mutex> lk(race->mu);
+        if (race->decided || !race->hedge_done ||
+            !race->hedge_result.has_value() || !race->hedge_result->ok()) {
+          return std::nullopt;
+        }
+        race->decided = true;
+        return std::move(**race->hedge_result);
+      };
+      auto adopt_hedge = [&](sql::QueryResult won) {
+        // A completed duplicate of the same statement: truthful evidence of
+        // backend health (and it settles any probe admission the stalled
+        // primary still holds).
+        breaker_->RecordSuccess(scope);
+        from_dbms = true;
+        RecordHedgeWin(session.get());
+        response.table = won.table;
+        response.bytes =
+            EstimateEncodedBytes(*response.table, options_.binary_encoding);
+        response.latency_millis =
+            race->threshold_ms + race->hedge_fault_ms +
+            ServerComputeMillis(won.stats.rows_processed + won.stats.rows_scanned,
+                                won.stats.num_operators, options_.latency) +
+            TransferMillis(response.bytes, options_.binary_encoding, options_.latency);
+        response.source = QueryResponse::Source::kDbms;
+      };
+      // Close the race on every exit: a hedge still running is abandoned
+      // through its token and discards its result when it finds `decided`.
+      auto settle_race = [&]() {
+        if (race == nullptr) return;
+        std::lock_guard<std::mutex> lk(race->mu);
+        if (!race->decided) {
+          race->decided = true;
+          if (race->hedge_token) race->hedge_token->Cancel();
+          race->cv.notify_all();
+        }
+      };
+      // An injected stall on the primary is where hedges earn their keep:
+      // sleep, but wake the moment the hedge finishes instead of serving
+      // out the full stall.
+      auto stall_for = [&](double ms) {
+        if (race == nullptr) {
+          SleepCapped(ms, deadline);
+          return;
+        }
+        auto wake = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double, std::milli>(ms));
+        if (deadline && *deadline < wake) wake = *deadline;
+        std::unique_lock<std::mutex> lk(race->mu);
+        race->cv.wait_until(lk, wake, [&] { return race->hedge_done; });
+      };
+
       for (size_t attempt = 0;; ++attempt) {
+        if (auto won = claim_hedge_win()) {
+          adopt_hedge(std::move(*won));
+          break;
+        }
         bool admitted_as_probe = false;
         if (!breaker_->Admit(scope, &admitted_as_probe)) {
           // Fast fail: a known-dead statement should not burn this worker.
@@ -617,9 +789,13 @@ void Middleware::RunQueryTask(std::shared_ptr<Session> session, QueryTicketPtr t
             // Real sleep capped at the deadline; the *full* stall is still
             // charged as simulated latency (the modeled backend was slow).
             fault_latency_ms += fate.stall_ms;
-            SleepCapped(fate.stall_ms, deadline);
+            stall_for(fate.stall_ms);
           }
           if (fate.fail) injected = fate.status;
+        }
+        if (auto won = claim_hedge_win()) {
+          adopt_hedge(std::move(*won));  // RecordSuccess settles the probe
+          break;
         }
         if (PastDeadline(deadline)) {
           // No outcome will ever be recorded for this admission; a held
@@ -629,9 +805,11 @@ void Middleware::RunQueryTask(std::shared_ptr<Session> session, QueryTicketPtr t
           degradable = true;
           break;
         }
-        Result<sql::QueryResult> result = injected.ok()
-                                              ? engine_->Execute(**bound)
-                                              : Result<sql::QueryResult>(injected);
+        common::QueryContext qctx{token};
+        Result<sql::QueryResult> result =
+            injected.ok()
+                ? engine_->Execute(**bound, token != nullptr ? &qctx : nullptr)
+                : Result<sql::QueryResult>(injected);
         if (result.ok()) {
           breaker_->RecordSuccess(scope);
           from_dbms = true;
@@ -647,6 +825,18 @@ void Middleware::RunQueryTask(std::shared_ptr<Session> session, QueryTicketPtr t
           break;
         }
         const Status& st = result.status();
+        if (st.IsCancelled() || st.IsDeadlineExceeded()) {
+          // Cooperative abort at a morsel checkpoint: the engine stopped
+          // because *this request* was cancelled or out of time, which says
+          // nothing about backend health — release any probe slot, never
+          // record a breaker failure, never retry. Only the deadline flavor
+          // may degrade: an explicit cancel means nobody wants any answer.
+          if (admitted_as_probe) breaker_->AbandonProbe(scope);
+          RecordCancelledMidFlight(session.get());
+          failure = st;
+          degradable = st.IsDeadlineExceeded();
+          break;
+        }
         if (!IsTransient(st)) {
           // Logic error (parse/type/plan): retrying cannot help, and a
           // degraded response would mask a real bug. Surface it as-is. It
@@ -684,10 +874,18 @@ void Middleware::RunQueryTask(std::shared_ptr<Session> session, QueryTicketPtr t
         }
       }
       if (!from_dbms) {
+        // Last look before giving up: a hedge that finished while the
+        // primary was failing is a completed result — deliver it, don't
+        // waste it.
+        if (auto won = claim_hedge_win()) adopt_hedge(std::move(*won));
+      }
+      settle_race();
+      if (!from_dbms) {
         LeaveInFlight(key);
         if (!degradable || !deliver_degraded()) deliver_error(failure);
         return;
       }
+      RecordDbmsLatency(scope, response.latency_millis);
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -782,6 +980,56 @@ void Middleware::RecordShed(Session* session) {
   ++session->stats_block_->stats.errors;
 }
 
+void Middleware::RecordCancelledMidFlight(Session* session) {
+  std::lock_guard<std::mutex> lock(session->stats_block_->mu);
+  ++session->stats_block_->stats.cancelled_mid_flight;
+}
+
+void Middleware::RecordHedgeLaunched(Session* session) {
+  std::lock_guard<std::mutex> lock(session->stats_block_->mu);
+  ++session->stats_block_->stats.hedged_requests;
+}
+
+void Middleware::RecordHedgeWin(Session* session) {
+  std::lock_guard<std::mutex> lock(session->stats_block_->mu);
+  ++session->stats_block_->stats.hedge_wins;
+}
+
+double Middleware::HedgeThresholdMs(const std::string& scope) const {
+  const HedgePolicy& hp = options_.hedge;
+  if (!hp.enabled) return -1;
+  if (hp.fixed_threshold_ms > 0) {
+    return std::max(hp.fixed_threshold_ms, hp.min_threshold_ms);
+  }
+  double p95;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = latency_rings_.find(scope);
+    if (it == latency_rings_.end() || it->second.count < hp.min_samples) {
+      return -1;  // not enough observations to know this statement's tail
+    }
+    const LatencyRing& ring = it->second;
+    std::vector<double> samples(ring.samples, ring.samples + ring.count);
+    size_t idx = (samples.size() * 95) / 100;
+    if (idx >= samples.size()) idx = samples.size() - 1;
+    std::nth_element(samples.begin(), samples.begin() + static_cast<long>(idx),
+                     samples.end());
+    p95 = samples[idx];
+  }
+  return std::max(hp.min_threshold_ms, hp.latency_factor * p95);
+}
+
+void Middleware::RecordDbmsLatency(const std::string& scope, double ms) {
+  // Rings exist to drive the observed-p95 threshold; with hedging off or on
+  // a fixed threshold they would be dead weight per statement.
+  if (!options_.hedge.enabled || options_.hedge.fixed_threshold_ms > 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  LatencyRing& ring = latency_rings_[scope];
+  ring.samples[ring.next] = ms;
+  ring.next = (ring.next + 1) % LatencyRing::kCapacity;
+  if (ring.count < LatencyRing::kCapacity) ++ring.count;
+}
+
 void Middleware::PruneSessionsLocked() const {
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     if (it->session.expired()) {
@@ -822,6 +1070,9 @@ Middleware::Stats Middleware::stats() const {
   out.deadline_exceeded = total.deadline_exceeded;
   out.shed = total.shed;
   out.degraded_responses = total.degraded_responses;
+  out.hedged_requests = total.hedged_requests;
+  out.hedge_wins = total.hedge_wins;
+  out.cancelled_mid_flight = total.cancelled_mid_flight;
   out.breaker_open = breaker_->open_transitions() - breaker_open_baseline_;
   out.prepared_statements = prepared_statements_created_;
   out.sessions = sessions_created_;

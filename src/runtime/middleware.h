@@ -64,6 +64,27 @@ struct RetryPolicy {
   double jitter = 0.25;
 };
 
+/// Hedged requests: when a DBMS execution is still running past a latency
+/// threshold, launch one duplicate attempt on another worker and take the
+/// first success; the loser is cancelled through its cooperative token. The
+/// threshold comes from live per-statement latency observations (p95 of a
+/// recent-sample ring), so hedges fire only for requests already slower than
+/// the statement's own tail — the classic tail-at-scale recipe.
+struct HedgePolicy {
+  bool enabled = false;
+  /// Hedge when the primary has been running longer than
+  /// `latency_factor * observed p95` for the statement.
+  double latency_factor = 1.0;
+  /// Observations required before the p95 is trusted; below it no hedge
+  /// fires (unless fixed_threshold_ms overrides).
+  size_t min_samples = 8;
+  /// > 0: skip the latency model and hedge at this fixed delay (tests).
+  double fixed_threshold_ms = 0;
+  /// Floor under the computed threshold, so a run of cache-warm fast
+  /// samples cannot make hedging fire instantly on every request.
+  double min_threshold_ms = 1.0;
+};
+
 struct MiddlewareOptions {
   /// Encode results as columnar binary (true, the Arrow path) or JSON rows.
   bool binary_encoding = true;
@@ -100,6 +121,8 @@ struct MiddlewareOptions {
   tiles::TileStoreOptions tile_options;
   /// Retry schedule for transient DBMS failures.
   RetryPolicy retry;
+  /// Hedged duplicate attempts for tail-latency DBMS executions.
+  HedgePolicy hedge;
   /// Per-statement circuit breaker; open breakers fail fast into the
   /// degraded path instead of burning workers on a dead backend.
   CircuitBreakerOptions circuit_breaker;
@@ -157,6 +180,13 @@ struct SessionStats {
   /// Completions served degraded — stale cache or coarser tile level
   /// (subset of queries).
   size_t degraded_responses = 0;
+  /// Duplicate attempts launched past the hedge threshold.
+  size_t hedged_requests = 0;
+  /// Completions adopted from the hedge attempt (subset of hedged_requests).
+  size_t hedge_wins = 0;
+  /// Engine executions aborted at a cooperative cancellation checkpoint
+  /// (fired token observed mid-flight: supersession, deadline, hedge loss).
+  size_t cancelled_mid_flight = 0;
   size_t bytes_transferred = 0;
   double total_latency_ms = 0;
 };
@@ -291,6 +321,9 @@ class Middleware : public rewrite::QueryService {
     size_t deadline_exceeded = 0;  ///< kDeadlineExceeded deliveries (⊂ errors)
     size_t shed = 0;               ///< load-shed at the worker queue (⊂ errors)
     size_t degraded_responses = 0; ///< stale/coarser completions (⊂ queries)
+    size_t hedged_requests = 0;    ///< duplicate attempts launched
+    size_t hedge_wins = 0;         ///< completions adopted from the hedge
+    size_t cancelled_mid_flight = 0; ///< engine aborts at a cancel checkpoint
     size_t breaker_open = 0;       ///< circuit-breaker open transitions
     size_t prepared_statements = 0;
     size_t sessions = 0;
@@ -380,6 +413,16 @@ class Middleware : public rewrite::QueryService {
   void RecordError(Session* session, const Status& status);
   void RecordRetry(Session* session);
   void RecordShed(Session* session);
+  void RecordCancelledMidFlight(Session* session);
+  void RecordHedgeLaunched(Session* session);
+  void RecordHedgeWin(Session* session);
+
+  /// Hedge delay for `scope` (canonical SQL): fixed_threshold_ms when set,
+  /// else latency_factor * the statement's observed p95 once min_samples
+  /// have landed. Negative = do not hedge (disabled or not enough data).
+  double HedgeThresholdMs(const std::string& scope) const;
+  /// Feed one successful DBMS completion latency into the statement's ring.
+  void RecordDbmsLatency(const std::string& scope, double ms);
 
   /// Fold the stats of expired sessions into retired_stats_ and drop their
   /// slots. Requires mu_.
@@ -404,6 +447,15 @@ class Middleware : public rewrite::QueryService {
     /// Position in statement_lru_ (unpinned entries only; pinned entries
     /// leave the order list, they can never be victims).
     std::list<rewrite::PreparedHandle>::iterator lru_it;
+  };
+
+  /// Recent DBMS completion latencies of one statement (fixed ring; the
+  /// hedge threshold reads its p95). Small enough to copy under mu_.
+  struct LatencyRing {
+    static constexpr size_t kCapacity = 64;
+    double samples[kCapacity];
+    size_t next = 0;
+    size_t count = 0;
   };
 
   mutable std::mutex mu_;  // statements, server cache, stats, session list
@@ -445,6 +497,10 @@ class Middleware : public rewrite::QueryService {
   size_t kernel_index_selections_baseline_ = 0;
   size_t kernel_scalar_fallbacks_baseline_ = 0;
   uint64_t next_session_id_ = 1;
+
+  /// Per-statement latency observations driving the hedge threshold.
+  /// Guarded by mu_; keyed by canonical SQL.
+  std::unordered_map<std::string, LatencyRing> latency_rings_;
 
   std::unique_ptr<CircuitBreaker> breaker_;
   std::unique_ptr<FaultInjector> fault_injector_;  // null unless configured

@@ -3,25 +3,32 @@
 namespace vegaplus {
 namespace sql {
 
-Result<QueryResult> Engine::Query(const std::string& sql_text) const {
+Result<QueryResult> Engine::Query(const std::string& sql_text,
+                                  const common::QueryContext* ctx) const {
   VP_ASSIGN_OR_RETURN(SelectPtr stmt, ParseSql(sql_text));
-  return Execute(*stmt);
+  return Execute(*stmt, ctx);
 }
 
-Result<QueryResult> Engine::Execute(const SelectStmt& stmt) const {
+Result<QueryResult> Engine::Execute(const SelectStmt& stmt,
+                                    const common::QueryContext* ctx) const {
   QueryResult result;
-  VP_ASSIGN_OR_RETURN(result.table, ExecuteSelect(stmt, catalog_, &result.stats));
+  Result<data::TablePtr> table = ExecuteSelect(stmt, catalog_, &result.stats, ctx);
+  // Accumulate even on failure: a cancelled scan's partial rows_scanned is
+  // the observable evidence that workers were reclaimed mid-flight.
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     lifetime_stats_.Add(result.stats);
   }
+  VP_RETURN_IF_ERROR(table.status());
+  result.table = std::move(*table);
   return result;
 }
 
 Result<QueryResult> Engine::ExecuteBound(const PreparedStatement& prepared,
-                                         const expr::SignalResolver& params) const {
+                                         const expr::SignalResolver& params,
+                                         const common::QueryContext* ctx) const {
   VP_ASSIGN_OR_RETURN(SelectPtr bound, BindStatement(*prepared.stmt, params));
-  return Execute(*bound);
+  return Execute(*bound, ctx);
 }
 
 Result<EstimatedPlan> Engine::Explain(const std::string& sql_text) const {

@@ -41,14 +41,20 @@ class Engine {
 
   const Catalog& catalog() const { return catalog_; }
 
-  /// Parse and execute one SELECT.
-  Result<QueryResult> Query(const std::string& sql_text) const;
+  /// Parse and execute one SELECT. `ctx` (optional, here and below) carries
+  /// the cooperative cancellation token; a fired token aborts execution at
+  /// the next morsel/chunk checkpoint with kCancelled/kDeadlineExceeded.
+  /// Work counters for the stages that ran still accumulate into
+  /// lifetime_stats(), so aborted scans report the rows they touched.
+  Result<QueryResult> Query(const std::string& sql_text,
+                            const common::QueryContext* ctx = nullptr) const;
 
   /// Execute an already-parsed statement.
   ///
   /// Thread-safe against concurrent Execute calls (the middleware runs DBMS
   /// work on a worker pool); RegisterTable must not race with execution.
-  Result<QueryResult> Execute(const SelectStmt& stmt) const;
+  Result<QueryResult> Execute(const SelectStmt& stmt,
+                              const common::QueryContext* ctx = nullptr) const;
 
   /// Parse a SQL template with ${...} parameter holes once; execute it many
   /// times with ExecuteBound. Statement identity (PreparedStatement::
@@ -60,7 +66,8 @@ class Engine {
   /// Bind `params` into `prepared` and execute — no SQL text is rendered or
   /// parsed on this path.
   Result<QueryResult> ExecuteBound(const PreparedStatement& prepared,
-                                   const expr::SignalResolver& params) const;
+                                   const expr::SignalResolver& params,
+                                   const common::QueryContext* ctx = nullptr) const;
 
   /// Parse and estimate one SELECT without executing (EXPLAIN).
   Result<EstimatedPlan> Explain(const std::string& sql_text) const;

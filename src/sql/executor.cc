@@ -48,15 +48,21 @@ Value EvalScalar(const NodePtr& node, const Table& table, size_t row) {
 /// don't pay interpreter cost for filtered-out rows; the vectorized path
 /// always computes the full batch, which is cheaper than gathering.
 Vec EvalVec(const NodePtr& node, const Table& table,
-            const std::vector<int32_t>* rows = nullptr) {
+            const std::vector<int32_t>* rows = nullptr,
+            const common::CancelToken* cancel = nullptr) {
   if (expr::VectorizedEnabled()) {
     if (auto program = Compiler::Compile(node, table.schema())) {
-      return expr::RunMorselParallel(table, *program);
+      return expr::RunMorselParallel(table, *program, cancel);
     }
   }
+  // Scalar fallback: poll the token every few thousand rows; a fired token
+  // leaves the remaining cells null/absent, and the caller's checkpoint
+  // discards the register before anything reads it.
   if (rows != nullptr) {
     std::vector<Value> values(table.num_rows());
-    for (int32_t r : *rows) {
+    for (size_t pos = 0; pos < rows->size(); ++pos) {
+      if ((pos & 4095u) == 0 && common::Fired(cancel)) break;
+      const int32_t r = (*rows)[pos];
       values[static_cast<size_t>(r)] = EvalScalar(node, table, static_cast<size_t>(r));
     }
     return expr::BoxedVec(std::move(values));
@@ -64,6 +70,7 @@ Vec EvalVec(const NodePtr& node, const Table& table,
   std::vector<Value> values;
   values.reserve(table.num_rows());
   for (size_t r = 0; r < table.num_rows(); ++r) {
+    if ((r & 4095u) == 0 && common::Fired(cancel)) break;
     values.push_back(EvalScalar(node, table, r));
   }
   return expr::BoxedVec(std::move(values));
@@ -90,7 +97,9 @@ bool ShardCmpOf(expr::BinaryOp cmp, storage::CmpOp* out) {
 /// chunks still go through the ordinary FilterRows pass, so pruning only
 /// has to be sound, not exact — and disabling it (EngineConfig) degrades
 /// to a full materializing scan with identical results.
-Result<TablePtr> ShardInput(const storage::Reader& shard, const SelectStmt& stmt) {
+Result<TablePtr> ShardInput(const storage::Reader& shard, const SelectStmt& stmt,
+                            storage::ScanStats* sstats,
+                            const common::CancelToken* cancel) {
   if (stmt.where != nullptr && expr::VectorizedEnabled() &&
       storage::ZoneMapPruningEnabled()) {
     if (auto program = Compiler::Compile(stmt.where, shard.schema())) {
@@ -108,26 +117,30 @@ Result<TablePtr> ShardInput(const storage::Reader& shard, const SelectStmt& stmt
           }
           preds.push_back(std::move(pred));
         }
-        if (!preds.empty()) return shard.MaterializeMatching(preds);
+        if (!preds.empty()) {
+          return shard.MaterializeMatching(preds, sstats, cancel);
+        }
       }
     }
   }
-  return shard.ReadAll();
+  return shard.ReadAll(cancel, sstats);
 }
 
 /// Append the row indices of `table` where `pred` is truthy: the vectorized
 /// path emits the selection vector directly (with the fused column-compare
 /// fast path when available).
-void FilterRows(const NodePtr& pred, const Table& table, std::vector<int32_t>* keep) {
+void FilterRows(const NodePtr& pred, const Table& table, std::vector<int32_t>* keep,
+                const common::CancelToken* cancel = nullptr) {
   if (expr::VectorizedEnabled()) {
     if (auto program = Compiler::Compile(pred, table.schema())) {
-      expr::RunFilterMorselParallel(table, *program, keep);
+      expr::RunFilterMorselParallel(table, *program, keep, cancel);
       return;
     }
   }
   EvalContext ctx;
   ctx.table = &table;
   for (size_t r = 0; r < table.num_rows(); ++r) {
+    if ((r & 4095u) == 0 && common::Fired(cancel)) return;
     ctx.row = r;
     if (expr::Evaluate(pred, ctx).Truthy()) {
       keep->push_back(static_cast<int32_t>(r));
@@ -403,10 +416,16 @@ DataType AggResultType(AggOp op, const NodePtr& arg, const Schema& input) {
 // code-backed string keys order by a precomputed dictionary permutation (one
 // int compare per probe instead of a string compare).
 void SortIndices(std::vector<int32_t>* order, const Table& table,
-                 const std::vector<OrderItem>& keys) {
+                 const std::vector<OrderItem>& keys,
+                 const common::CancelToken* cancel = nullptr) {
   std::vector<Vec> key_vecs;
   key_vecs.reserve(keys.size());
-  for (const OrderItem& k : keys) key_vecs.push_back(EvalVec(k.expr, table));
+  for (const OrderItem& k : keys) {
+    key_vecs.push_back(EvalVec(k.expr, table, nullptr, cancel));
+  }
+  // A fired token leaves short/empty key registers; skip the sort (the
+  // caller's checkpoint discards the order anyway).
+  if (common::Fired(cancel)) return;
   for (Vec& v : key_vecs) v.BuildDictRanks();
   std::stable_sort(order->begin(), order->end(), [&](int32_t a, int32_t b) {
     for (size_t k = 0; k < keys.size(); ++k) {
@@ -485,17 +504,37 @@ data::DataType InferType(const NodePtr& node, const Schema& input) {
 }
 
 Result<TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
-                               ExecStats* stats) {
+                               ExecStats* stats,
+                               const common::QueryContext* ctx) {
   ExecStats local;
+  const common::CancelToken* cancel = ctx != nullptr ? ctx->token() : nullptr;
+  // Every cancellation exit funnels through here so the work counters of the
+  // stages that DID run reach `stats` — an aborted 4M-row scan reports the
+  // rows it touched (strictly below the full count), which is the observable
+  // proof that workers were reclaimed mid-flight.
+  const auto bail = [&](Status st) {
+    if (stats != nullptr) stats->Add(local);
+    return st;
+  };
 
   // ---- FROM ----
   TablePtr input;
   if (stmt.from.subquery) {
-    VP_ASSIGN_OR_RETURN(input, ExecuteSelect(*stmt.from.subquery, catalog, stats));
+    Result<TablePtr> sub = ExecuteSelect(*stmt.from.subquery, catalog, stats, ctx);
+    if (!sub.ok()) return std::move(sub).status();
+    input = std::move(*sub);
   } else if (!stmt.from.table_name.empty()) {
     if (std::shared_ptr<storage::Reader> shard =
             catalog.GetShard(stmt.from.table_name)) {
-      VP_ASSIGN_OR_RETURN(input, ShardInput(*shard, stmt));
+      storage::ScanStats shard_scan;
+      Result<TablePtr> shard_input = ShardInput(*shard, stmt, &shard_scan, cancel);
+      if (!shard_input.ok()) {
+        // Aborted/failed scan: report the rows actually paged in (a full
+        // scan reports the materialized row count below, as before).
+        local.rows_scanned += static_cast<size_t>(shard_scan.rows_scanned);
+        return bail(std::move(shard_input).status());
+      }
+      input = std::move(*shard_input);
     } else {
       VP_ASSIGN_OR_RETURN(input, catalog.GetTable(stmt.from.table_name));
     }
@@ -504,6 +543,7 @@ Result<TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
     return Status::InvalidArgument("SQL exec: missing FROM source");
   }
   ++local.num_operators;
+  if (common::Fired(cancel)) return bail(cancel->status());
 
   // Validate expressions up front (unknown functions etc).
   for (const auto& item : stmt.items) {
@@ -518,7 +558,8 @@ Result<TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
   if (stmt.where) {
     ++local.num_operators;
     local.rows_processed += input->num_rows();
-    FilterRows(stmt.where, *input, &selection);
+    FilterRows(stmt.where, *input, &selection, cancel);
+    if (common::Fired(cancel)) return bail(cancel->status());
   } else {
     selection.resize(input->num_rows());
     std::iota(selection.begin(), selection.end(), 0);
@@ -629,8 +670,9 @@ Result<TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
     key_vecs.reserve(stmt.group_by.size());
     for (const auto& g : stmt.group_by) {
       key_vecs.push_back(
-          EvalVec(g, *key_input, gathered ? nullptr : &selection));
+          EvalVec(g, *key_input, gathered ? nullptr : &selection, cancel));
     }
+    if (common::Fired(cancel)) return bail(cancel->status());
     std::vector<const Vec*> key_ptrs;
     key_ptrs.reserve(key_vecs.size());
     for (const Vec& v : key_vecs) key_ptrs.push_back(&v);
@@ -658,25 +700,32 @@ Result<TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
       const SelectItem* item = agg_items[a];
       Vec arg;
       if (item->agg_arg != nullptr) {
-        arg = EvalVec(item->agg_arg, *key_input, gathered ? nullptr : &selection);
+        arg = EvalVec(item->agg_arg, *key_input, gathered ? nullptr : &selection,
+                      cancel);
+        if (common::Fired(cancel)) return bail(cancel->status());
       }
       std::vector<std::vector<AggState>> chunk_states(chunks.size());
-      parallel::ParallelFor(chunks.size(), [&](size_t c) {
-        std::vector<AggState>& states = chunk_states[c];
-        states.assign(num_groups, AggState());
-        if (item->agg_arg == nullptr) {
-          // COUNT(*): group cardinalities, no argument to evaluate.
-          std::vector<uint64_t> counts(num_groups, 0);
-          kernels::GroupedCountStar(groups.group_of.data(), chunks[c].begin,
-                                    chunks[c].end, counts.data());
-          for (size_t g = 0; g < num_groups; ++g) {
-            states[g].count += static_cast<size_t>(counts[g]);
-          }
-          return;
-        }
-        AccumulateAgg(item->agg_op, arg, *acc_rows, groups.group_of, chunks[c],
-                      &states);
-      });
+      parallel::ParallelFor(
+          chunks.size(),
+          [&](size_t c) {
+            std::vector<AggState>& states = chunk_states[c];
+            states.assign(num_groups, AggState());
+            if (item->agg_arg == nullptr) {
+              // COUNT(*): group cardinalities, no argument to evaluate.
+              std::vector<uint64_t> counts(num_groups, 0);
+              kernels::GroupedCountStar(groups.group_of.data(), chunks[c].begin,
+                                        chunks[c].end, counts.data());
+              for (size_t g = 0; g < num_groups; ++g) {
+                states[g].count += static_cast<size_t>(counts[g]);
+              }
+              return;
+            }
+            AccumulateAgg(item->agg_op, arg, *acc_rows, groups.group_of,
+                          chunks[c], &states);
+          },
+          cancel);
+      // Checkpoint before the merge: skipped chunks left default states.
+      if (common::Fired(cancel)) return bail(cancel->status());
       for (size_t c = 0; c < chunks.size(); ++c) {
         for (size_t g = 0; g < num_groups; ++g) {
           group_states[g][a].Merge(item->agg_op, std::move(chunk_states[c][g]));
@@ -721,7 +770,8 @@ Result<TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
       local.rows_processed += output->num_rows();
       std::vector<int32_t> keep;
       keep.reserve(output->num_rows());
-      FilterRows(stmt.having, *output, &keep);
+      FilterRows(stmt.having, *output, &keep, cancel);
+      if (common::Fired(cancel)) return bail(cancel->status());
       output = output->Take(keep);
     }
   } else {
@@ -774,7 +824,9 @@ Result<TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
           if (auto program = Compiler::Compile(item.expr, filtered->schema())) {
             // Morsel-parallel projection: compute the register across the
             // pool, then build the column once (identical to RunToColumn).
-            expr::VecToColumn(expr::RunMorselParallel(*filtered, *program), n, &col);
+            Vec reg = expr::RunMorselParallel(*filtered, *program, cancel);
+            if (common::Fired(cancel)) return bail(cancel->status());
+            expr::VecToColumn(std::move(reg), n, &col);
             vectorized = true;
           }
         }
@@ -839,9 +891,11 @@ Result<TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
   if (!stmt.order_by.empty()) {
     ++local.num_operators;
     local.rows_processed += output->num_rows();
+    if (common::Fired(cancel)) return bail(cancel->status());
     std::vector<int32_t> order(output->num_rows());
     std::iota(order.begin(), order.end(), 0);
-    SortIndices(&order, *output, stmt.order_by);
+    SortIndices(&order, *output, stmt.order_by, cancel);
+    if (common::Fired(cancel)) return bail(cancel->status());
     output = output->Take(order);
   }
 

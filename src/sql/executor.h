@@ -6,6 +6,7 @@
 #ifndef VEGAPLUS_SQL_EXECUTOR_H_
 #define VEGAPLUS_SQL_EXECUTOR_H_
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "data/table.h"
 #include "sql/catalog.h"
@@ -36,8 +37,16 @@ struct ExecStats {
 
 /// Execute `stmt` against `catalog`; work counters accumulate into `stats`
 /// (which may be null).
+///
+/// `ctx` (optional) carries the cooperative cancellation token
+/// (common/cancel.h). The pipeline checkpoints between stages and between
+/// morsels/chunks inside the scan, filter, and aggregation loops; a fired
+/// token aborts with Status::Cancelled / kDeadlineExceeded. Work counters
+/// for the stages that did run are still added to `stats` on abort, so a
+/// cancelled scan reports the rows it actually touched.
 Result<data::TablePtr> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
-                                     ExecStats* stats);
+                                     ExecStats* stats,
+                                     const common::QueryContext* ctx = nullptr);
 
 /// Infer the output type of a scalar expression over `input` (used to build
 /// typed result columns without a separate analyzer pass).

@@ -8,6 +8,27 @@
 namespace vegaplus {
 namespace storage {
 
+namespace {
+// Installed page-in fault hook. Held by shared_ptr so a concurrent
+// SetPageInFaultHook never frees a hook another thread is mid-invoking.
+std::mutex g_fault_hook_mu;
+std::shared_ptr<const PageInFaultHook> g_fault_hook;
+
+std::shared_ptr<const PageInFaultHook> CurrentFaultHook() {
+  std::lock_guard<std::mutex> lock(g_fault_hook_mu);
+  return g_fault_hook;
+}
+}  // namespace
+
+void SetPageInFaultHook(PageInFaultHook hook) {
+  std::lock_guard<std::mutex> lock(g_fault_hook_mu);
+  if (hook) {
+    g_fault_hook = std::make_shared<const PageInFaultHook>(std::move(hook));
+  } else {
+    g_fault_hook.reset();
+  }
+}
+
 Reader::Reader(std::shared_ptr<const ColumnFile> file)
     : file_(std::move(file)), budget_(DefaultResidencyBudget()) {}
 
@@ -53,6 +74,12 @@ Result<data::TablePtr> Reader::Chunk(size_t i) const {
     }
   }
 
+  // Chaos seam: injected page-in faults/stalls fire on the cache-miss path
+  // only, like real IO errors would.
+  if (std::shared_ptr<const PageInFaultHook> hook = CurrentFaultHook()) {
+    VP_RETURN_IF_ERROR((*hook)(file_->path(), i));
+  }
+
   // Decode outside the lock; concurrent first touches may decode twice, the
   // first insertion wins and the loser's copy is dropped.
   VP_ASSIGN_OR_RETURN(data::TablePtr table, file_->DecodeChunk(i));
@@ -81,11 +108,19 @@ Result<data::TablePtr> Reader::Chunk(size_t i) const {
   return table;
 }
 
-Result<data::TablePtr> Reader::ReadAll() const {
+Result<data::TablePtr> Reader::ReadAll(const common::CancelToken* cancel,
+                                       ScanStats* stats) const {
   std::vector<data::TablePtr> chunks;
   chunks.reserve(file_->num_chunks());
   for (size_t i = 0; i < file_->num_chunks(); ++i) {
+    // Cancellation checkpoint: abort before paging in / decoding the next
+    // chunk, so an expired deadline stops the scan at chunk granularity.
+    if (common::Fired(cancel)) return cancel->status();
     VP_ASSIGN_OR_RETURN(data::TablePtr chunk, Chunk(i));
+    if (stats != nullptr) {
+      ++stats->chunks_scanned;
+      stats->rows_scanned += chunk->num_rows();
+    }
     chunks.push_back(std::move(chunk));
   }
   return Concat(chunks);
@@ -116,7 +151,8 @@ bool Reader::ChunkPruned(size_t i, const std::vector<Predicate>& preds,
 }
 
 Result<data::TablePtr> Reader::MaterializeMatching(
-    const std::vector<Predicate>& preds, ScanStats* stats) const {
+    const std::vector<Predicate>& preds, ScanStats* stats,
+    const common::CancelToken* cancel) const {
   const bool prune = ZoneMapPruningEnabled() && !preds.empty();
 
   // Resolve string constants against the file dictionaries once. An absent
@@ -145,15 +181,23 @@ Result<data::TablePtr> Reader::MaterializeMatching(
       ++pruned;
       continue;
     }
+    // Cancellation checkpoint before each page-in; stats are incremental so
+    // an aborted scan reports the chunks/rows it actually touched.
+    if (common::Fired(cancel)) {
+      if (pruned > 0) AddChunksPruned(pruned);
+      if (stats != nullptr) stats->chunks_pruned += pruned;
+      return cancel->status();
+    }
     VP_ASSIGN_OR_RETURN(data::TablePtr chunk, Chunk(i));
+    if (stats != nullptr) {
+      ++stats->chunks_scanned;
+      stats->rows_scanned += chunk->num_rows();
+    }
     if (prune) chunk = FilterChunkRows(std::move(chunk), preds, dict_codes);
     survivors.push_back(std::move(chunk));
   }
   if (pruned > 0) AddChunksPruned(pruned);
-  if (stats != nullptr) {
-    stats->chunks_scanned += file_->num_chunks() - pruned;
-    stats->chunks_pruned += pruned;
-  }
+  if (stats != nullptr) stats->chunks_pruned += pruned;
   return Concat(survivors);
 }
 

@@ -17,6 +17,7 @@
 #define VEGAPLUS_STORAGE_READER_H_
 
 #include <atomic>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -24,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "data/table.h"
 #include "storage/column_file.h"
@@ -44,10 +46,25 @@ struct Predicate {
 };
 
 /// Per-call pruning accounting (process-global counters are also bumped).
+/// Updated incrementally, chunk by chunk, so a scan aborted by a fired
+/// CancelToken leaves an honest partial count behind (rows_scanned strictly
+/// below the full-scan total is the observable proof of a mid-scan abort).
 struct ScanStats {
   uint64_t chunks_scanned = 0;
   uint64_t chunks_pruned = 0;
+  uint64_t rows_scanned = 0;  ///< Rows of chunks paged in (pre row-filter).
 };
+
+/// Chaos seam for the out-of-core path (storage cannot depend on runtime, so
+/// runtime::FaultInjector bridges in through this free function — the same
+/// storage-owner pattern as stats.h). The hook runs on every chunk page-in
+/// (cache miss, before decode), keyed by shard path + chunk index; a non-OK
+/// return surfaces as the page-in's status (the retry/degraded machinery
+/// upstream sees an IO-shaped failure, never a crash). The hook itself is
+/// responsible for any injected stall. Pass nullptr to clear.
+using PageInFaultHook =
+    std::function<Status(const std::string& path, size_t chunk_index)>;
+void SetPageInFaultHook(PageInFaultHook hook);
 
 class Reader {
  public:
@@ -75,7 +92,10 @@ class Reader {
 
   /// The whole shard as one table (chunk concatenation; built fresh per
   /// call so out-of-core behavior is honest — only chunks are cached).
-  Result<data::TablePtr> ReadAll() const;
+  /// `cancel` is polled before each chunk page-in: a fired token aborts the
+  /// scan with its status, leaving partial counts in `stats`.
+  Result<data::TablePtr> ReadAll(const common::CancelToken* cancel = nullptr,
+                                 ScanStats* stats = nullptr) const;
 
   /// The concatenation of chunks whose zones admit the conjunction of
   /// `preds`, with each surviving chunk row-filtered through the compare
@@ -84,8 +104,10 @@ class Reader {
   /// ZoneMapPruningEnabled() kill switch (disabled => identical to
   /// ReadAll). Sound, not exact: the result may still carry non-matching
   /// rows — callers run the real filter downstream.
-  Result<data::TablePtr> MaterializeMatching(const std::vector<Predicate>& preds,
-                                             ScanStats* stats = nullptr) const;
+  /// `cancel` is polled before each chunk page-in, as in ReadAll.
+  Result<data::TablePtr> MaterializeMatching(
+      const std::vector<Predicate>& preds, ScanStats* stats = nullptr,
+      const common::CancelToken* cancel = nullptr) const;
 
   /// Drop every resident chunk (tests and benchmarks).
   void EvictAll() const;

@@ -148,23 +148,31 @@ void TileStore::Invalidate(const std::string& table_name) {
 }
 
 bool TileStore::BuildLevel(const Table& table, const Vec& bin_values,
-                           Level* level) const {
+                           Level* level,
+                           const common::CancelToken* cancel) const {
   const size_t n = table.num_rows();
   const size_t slots = level->num_bins + 1;  // + null slot
 
   // Assign every row to a slot. Chunks are MorselRows()-sized so the merge
-  // order below matches the executor's partial-state discipline.
+  // order below matches the executor's partial-state discipline. A fired
+  // token skips the remaining chunks; every post-ParallelFor checkpoint
+  // returns false and BuildTree converts that into an aborted (uncached)
+  // build.
   std::vector<int32_t> bin_of(n);
   std::vector<parallel::Range> chunks =
       parallel::SplitRanges(n, parallel::MorselRows());
   std::vector<char> chunk_ok(chunks.size(), 1);
-  parallel::ParallelFor(chunks.size(), [&](size_t c) {
-    chunk_ok[c] = expr::ComputeBinIndices(bin_values, level->start, level->step,
-                                          level->num_bins, chunks[c],
-                                          bin_of.data())
-                      ? 1
-                      : 0;
-  });
+  parallel::ParallelFor(
+      chunks.size(),
+      [&](size_t c) {
+        chunk_ok[c] = expr::ComputeBinIndices(bin_values, level->start,
+                                              level->step, level->num_bins,
+                                              chunks[c], bin_of.data())
+                          ? 1
+                          : 0;
+      },
+      cancel);
+  if (common::Fired(cancel)) return false;
   for (char ok : chunk_ok) {
     if (!ok) return false;  // out-of-range value: extent/binning mismatch
   }
@@ -173,12 +181,16 @@ bool TileStore::BuildLevel(const Table& table, const Vec& bin_values,
   {
     std::vector<std::vector<int64_t>> chunk_rows(chunks.size());
     std::vector<std::vector<int64_t>> chunk_first(chunks.size());
-    parallel::ParallelFor(chunks.size(), [&](size_t c) {
-      chunk_rows[c].assign(slots, 0);
-      chunk_first[c].assign(slots, -1);
-      expr::AccumulateBinRows(bin_of.data(), chunks[c], &chunk_rows[c],
-                              &chunk_first[c]);
-    });
+    parallel::ParallelFor(
+        chunks.size(),
+        [&](size_t c) {
+          chunk_rows[c].assign(slots, 0);
+          chunk_first[c].assign(slots, -1);
+          expr::AccumulateBinRows(bin_of.data(), chunks[c], &chunk_rows[c],
+                                  &chunk_first[c]);
+        },
+        cancel);
+    if (common::Fired(cancel)) return false;
     level->rows.assign(slots, 0);
     level->first_row.assign(slots, -1);
     for (size_t c = 0; c < chunks.size(); ++c) {
@@ -197,11 +209,15 @@ bool TileStore::BuildLevel(const Table& table, const Vec& bin_values,
     Vec values = expr::ColumnVec(table.column(col));
     if (values.kind != RegKind::kNum && values.kind != RegKind::kBool) continue;
     std::vector<BinAggSlots> chunk_slots(chunks.size());
-    parallel::ParallelFor(chunks.size(), [&](size_t c) {
-      chunk_slots[c].Resize(slots);
-      expr::AccumulateBinAggs(values, bin_of.data(), chunks[c],
-                              &chunk_slots[c]);
-    });
+    parallel::ParallelFor(
+        chunks.size(),
+        [&](size_t c) {
+          chunk_slots[c].Resize(slots);
+          expr::AccumulateBinAggs(values, bin_of.data(), chunks[c],
+                                  &chunk_slots[c]);
+        },
+        cancel);
+    if (common::Fired(cancel)) return false;
     BinAggSlots merged;
     merged.Resize(slots);
     for (size_t c = 0; c < chunks.size(); ++c) {
@@ -213,9 +229,9 @@ bool TileStore::BuildLevel(const Table& table, const Vec& bin_values,
   return true;
 }
 
-std::shared_ptr<TileStore::Tree> TileStore::BuildTree(const TablePtr& table,
-                                                      const std::string& column,
-                                                      bool categorical) const {
+std::shared_ptr<TileStore::Tree> TileStore::BuildTree(
+    const TablePtr& table, const std::string& column, bool categorical,
+    const common::CancelToken* cancel) const {
   auto tree = std::make_shared<Tree>();
   tree->source = table;
   tree->categorical = categorical;
@@ -237,6 +253,7 @@ std::shared_ptr<TileStore::Tree> TileStore::BuildTree(const TablePtr& table,
     const int32_t* codes = col.codes_data();
     std::vector<int32_t> bin_of(n);
     for (size_t i = 0; i < n; ++i) {
+      if ((i & 16383u) == 0 && common::Fired(cancel)) return nullptr;
       bin_of[i] = codes[i] < 0 ? static_cast<int32_t>(num_codes) : codes[i];
     }
     const size_t slots = num_codes + 1;
@@ -251,11 +268,15 @@ std::shared_ptr<TileStore::Tree> TileStore::BuildTree(const TablePtr& table,
       Vec mv = expr::ColumnVec(table->column(c));
       if (mv.kind != RegKind::kNum && mv.kind != RegKind::kBool) continue;
       std::vector<BinAggSlots> chunk_slots(chunks.size());
-      parallel::ParallelFor(chunks.size(), [&](size_t ci) {
-        chunk_slots[ci].Resize(slots);
-        expr::AccumulateBinAggs(mv, bin_of.data(), chunks[ci],
-                                &chunk_slots[ci]);
-      });
+      parallel::ParallelFor(
+          chunks.size(),
+          [&](size_t ci) {
+            chunk_slots[ci].Resize(slots);
+            expr::AccumulateBinAggs(mv, bin_of.data(), chunks[ci],
+                                    &chunk_slots[ci]);
+          },
+          cancel);
+      if (common::Fired(cancel)) return nullptr;  // aborted: never cached
       BinAggSlots merged;
       merged.Resize(slots);
       for (auto& cs : chunk_slots) merged.MergeFrom(cs);
@@ -275,6 +296,7 @@ std::shared_ptr<TileStore::Tree> TileStore::BuildTree(const TablePtr& table,
   double lo = 0, hi = 0;
   bool any = false;
   for (size_t i = 0; i < table->num_rows(); ++i) {
+    if ((i & 16383u) == 0 && common::Fired(cancel)) return nullptr;
     if (!bin_values.ValidAt(i)) continue;
     const double v = bin_values.kind == RegKind::kBool
                          ? (bin_values.BitAt(i) ? 1.0 : 0.0)
@@ -321,7 +343,11 @@ std::shared_ptr<TileStore::Tree> TileStore::BuildTree(const TablePtr& table,
       prev = v;
     }
     if (!monotone) continue;
-    if (!BuildLevel(*table, bin_values, &level)) continue;
+    const bool built = BuildLevel(*table, bin_values, &level, cancel);
+    // Distinguish abort (fired token — the partial tree must not be cached)
+    // from an unbuildable level (skip it, keep enumerating zooms).
+    if (common::Fired(cancel)) return nullptr;
+    if (!built) continue;
     tree->levels.push_back(std::move(level));
   }
   tree->unbuildable = tree->levels.empty();
@@ -464,7 +490,8 @@ TileStore::TreePtr TileStore::GetOrBuildTree(const std::string& key,
                                              const std::string& table_name,
                                              const std::string& column,
                                              bool categorical,
-                                             const TablePtr& table) {
+                                             const TablePtr& table,
+                                             const common::CancelToken* cancel) {
   (void)table_name;
   (void)column;
   {
@@ -480,7 +507,16 @@ TileStore::TreePtr TileStore::GetOrBuildTree(const std::string& key,
     }
     building_.insert(key);
   }
-  std::shared_ptr<Tree> tree = BuildTree(table, column, categorical);
+  std::shared_ptr<Tree> tree = BuildTree(table, column, categorical, cancel);
+  if (tree == nullptr) {
+    // Build aborted by a fired token. Release the single-flight slot and
+    // cache nothing: a leader that dies mid-build must not poison the key —
+    // the next requester (or a promoted follower) simply rebuilds.
+    std::lock_guard<std::mutex> lock(mu_);
+    building_.erase(key);
+    ++stats_.builds_aborted;
+    return nullptr;
+  }
   std::pair<size_t, size_t> spill{0, 0};
   if (!options_.spill_dir.empty() && !tree->unbuildable) {
     spill = SpillTree(key, tree.get());
@@ -496,7 +532,8 @@ TileStore::TreePtr TileStore::GetOrBuildTree(const std::string& key,
   return tree;
 }
 
-std::optional<TileAnswer> TileStore::TryAnswer(const SelectStmt& stmt) {
+std::optional<TileAnswer> TileStore::TryAnswer(const SelectStmt& stmt,
+                                               const common::CancelToken* cancel) {
   TileShape shape;
   if (!rewrite::MatchTileShape(stmt, &shape)) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -517,7 +554,7 @@ std::optional<TileAnswer> TileStore::TryAnswer(const SelectStmt& stmt) {
       TreeKey(shape.table, shape.bin_column, shape.categorical);
   TreePtr tree =
       GetOrBuildTree(key, shape.table, shape.bin_column, shape.categorical,
-                     table);
+                     table, cancel);
   if (tree == nullptr || tree->unbuildable) return coverage_miss();
 
   // ---- Level selection ----

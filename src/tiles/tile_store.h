@@ -48,6 +48,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/cancel.h"
 #include "data/table.h"
 #include "expr/batch_eval.h"
 #include "sql/sql_ast.h"
@@ -94,6 +95,7 @@ struct TileStoreStats {
   size_t coverage_misses = 0;  ///< shape covered, tiles could not answer
   size_t builds = 0;           ///< trees built (including unbuildable ones)
   size_t build_conflicts = 0;  ///< fallbacks while another thread was building
+  size_t builds_aborted = 0;   ///< first-touch builds aborted by cancellation
   size_t degraded_hits = 0;    ///< queries answered coarser via TryAnswerCoarser
   size_t levels_spilled = 0;    ///< levels written to shard files
   size_t levels_evicted = 0;    ///< levels whose slot arrays were dropped
@@ -119,8 +121,11 @@ class TileStore {
 
   /// Answer a bound statement from tiles, or std::nullopt when the shape is
   /// not covered, the tiles cannot answer it exactly, or the tree is being
-  /// built by another thread.
-  std::optional<TileAnswer> TryAnswer(const sql::SelectStmt& stmt);
+  /// built by another thread. `cancel` (optional) checkpoints a first-touch
+  /// build: a fired token aborts the build mid-flight without poisoning the
+  /// single-flight slot — nothing is cached, the next requester rebuilds.
+  std::optional<TileAnswer> TryAnswer(const sql::SelectStmt& stmt,
+                                      const common::CancelToken* cancel = nullptr);
 
   /// Degraded-mode probe: answer the statement's shape at a *coarser* zoom
   /// level than requested (smallest step >= the requested one among levels
@@ -180,10 +185,14 @@ class TileStore {
 
   TreePtr GetOrBuildTree(const std::string& key, const std::string& table_name,
                          const std::string& column, bool categorical,
-                         const data::TablePtr& table);
+                         const data::TablePtr& table,
+                         const common::CancelToken* cancel);
+  /// Returns nullptr when `cancel` fired mid-build (abort — never cached, as
+  /// opposed to a completed-but-unbuildable tree, which is a negative cache
+  /// entry).
   std::shared_ptr<Tree> BuildTree(const data::TablePtr& table,
-                                  const std::string& column,
-                                  bool categorical) const;
+                                  const std::string& column, bool categorical,
+                                  const common::CancelToken* cancel) const;
   /// Spill every level of a freshly built tree to shard files under
   /// options_.spill_dir, then evict slot arrays beyond
   /// options_.resident_level_bytes (largest first). Best-effort: a level
@@ -192,7 +201,7 @@ class TileStore {
   /// Rebuild a non-resident level's slot arrays from its shard file.
   Result<Level> HydrateLevel(const Level& level) const;
   bool BuildLevel(const data::Table& table, const expr::Vec& bin_values,
-                  Level* level) const;
+                  Level* level, const common::CancelToken* cancel) const;
 
   const sql::Engine* engine_;
   const TileStoreOptions options_;
